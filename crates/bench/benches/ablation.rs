@@ -1,0 +1,81 @@
+//! Ablation benchmarks: simulator *throughput* (simulated seconds per
+//! wall second) as the design knobs from DESIGN.md vary. The companion
+//! accuracy ablation lives in `repro ablation`; this file quantifies the
+//! performance half of the fidelity/cost trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use resex_hypervisor::SchedModel;
+use resex_platform::{run_scenario, PolicyKind, ScenarioConfig};
+use resex_simcore::time::SimDuration;
+use std::hint::black_box;
+
+fn base_cfg() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::IoShares);
+    cfg.duration = SimDuration::from_millis(400);
+    cfg.warmup = SimDuration::from_millis(50);
+    cfg
+}
+
+fn bench_grant_granularity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/grant_mtus");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(4));
+    g.throughput(Throughput::Elements(1));
+    for grant in [1u32, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(grant), &grant, |b, &grant| {
+            b.iter(|| {
+                let mut cfg = base_cfg();
+                cfg.fabric.grant_mtus = grant;
+                black_box(run_scenario(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sched_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/sched_model");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(4));
+    for (name, model) in [
+        ("fluid", SchedModel::Fluid),
+        ("slice", SchedModel::Slice { period: SimDuration::from_millis(10) }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = base_cfg();
+                cfg.sched = model;
+                black_box(run_scenario(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_interval_length(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/charging_interval");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(4));
+    for ms in [1u64, 5, 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(ms), &ms, |b, &ms| {
+            b.iter(|| {
+                let mut cfg = base_cfg();
+                cfg.resex.interval = SimDuration::from_millis(ms);
+                black_box(run_scenario(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_grant_granularity,
+    bench_sched_model,
+    bench_interval_length
+);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Micro-benchmarks of the fabric data path: how fast can the simulator
+//! push packets? This bounds the wall-clock cost of every figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use resex_fabric::link::{EgressJob, GrantDecision, JobKind, LinkArbiter};
+use resex_fabric::qp::{RecvRequest, WorkRequest};
+use resex_fabric::{Access, Cqe, Fabric, NodeId, Opcode, QpNum, WcStatus, CQE_SIZE};
+use resex_simcore::time::SimTime;
+use resex_simmem::{Gpa, MemoryHandle};
+use std::hint::black_box;
+
+fn job(seq: u64, qp: u32, len: u32) -> EgressJob {
+    EgressJob {
+        seq,
+        src_node: NodeId::new(0),
+        qp: QpNum::new(qp),
+        wr_id: seq,
+        opcode: Opcode::Send,
+        kind: JobKind::Send,
+        dst_node: NodeId::new(1),
+        dst_qp: QpNum::new(0),
+        len,
+        sent: 0,
+        signaled: true,
+        remote_gpa: Gpa::new(0),
+        rkey: 0,
+        imm: 0,
+        payload: None,
+    }
+}
+
+fn bench_arbiter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arbiter");
+    for flows in [1u32, 4, 16] {
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("drain_1MiB_per_flow", flows), &flows, |b, &flows| {
+            b.iter_batched(
+                || {
+                    let mut a = LinkArbiter::new();
+                    for f in 0..flows {
+                        a.enqueue(job(f as u64, f, 1024 * 1024));
+                    }
+                    a
+                },
+                |mut a| {
+                    while let GrantDecision::Grant(gr) =
+                        a.next_grant(16 * 1024, 1024, SimTime::ZERO)
+                    {
+                        black_box(gr.bytes);
+                    }
+                    a
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_cqe(c: &mut Criterion) {
+    let cqe = Cqe {
+        wr_id: 0xDEAD_BEEF,
+        qp_num: QpNum::new(7),
+        byte_len: 65536,
+        wqe_counter: 42,
+        opcode: Opcode::Send,
+        status: WcStatus::Success,
+        imm_data: 9,
+    };
+    c.bench_function("cqe/encode", |b| b.iter(|| black_box(cqe.encode(1))));
+    let raw: [u8; CQE_SIZE] = cqe.encode(1);
+    c.bench_function("cqe/decode", |b| b.iter(|| black_box(Cqe::decode(&raw))));
+}
+
+/// One full 64 KiB send through the engine, including CQE DMA.
+fn bench_end_to_end_message(c: &mut Criterion) {
+    c.bench_function("fabric/send_64k_roundtrip", |b| {
+        let mut f = Fabric::with_defaults();
+        let n0 = f.add_node();
+        let n1 = f.add_node();
+        let m0 = MemoryHandle::new(8 << 20);
+        let m1 = MemoryHandle::new(8 << 20);
+        let pd0 = f.create_pd(n0).unwrap();
+        let pd1 = f.create_pd(n1).unwrap();
+        let u0 = f.create_uar(n0, &m0).unwrap();
+        let u1 = f.create_uar(n1, &m1).unwrap();
+        let s0 = f.create_cq(n0, &m0, 256).unwrap();
+        let r0 = f.create_cq(n0, &m0, 256).unwrap();
+        let s1 = f.create_cq(n1, &m1, 256).unwrap();
+        let r1 = f.create_cq(n1, &m1, 256).unwrap();
+        let q0 = f.create_qp(n0, pd0, s0, r0, 128, 128, u0).unwrap();
+        let q1 = f.create_qp(n1, pd1, s1, r1, 128, 128, u1).unwrap();
+        let b0 = m0.alloc_bytes(64 * 1024).unwrap();
+        let mr0 = f.register_mr(n0, pd0, &m0, b0, 64 * 1024, Access::FULL).unwrap();
+        let b1 = m1.alloc_bytes(64 * 1024).unwrap();
+        let mr1 = f.register_mr(n1, pd1, &m1, b1, 64 * 1024, Access::FULL).unwrap();
+        f.connect(n0, q0, n1, q1).unwrap();
+        let mut now = SimTime::ZERO;
+        let mut wr_id = 0u64;
+        b.iter(|| {
+            f.post_recv(
+                n1,
+                q1,
+                RecvRequest { wr_id, lkey: mr1.lkey, gpa: b1, len: 64 * 1024 },
+            )
+            .unwrap();
+            f.post_send(
+                n0,
+                q0,
+                WorkRequest {
+                    wr_id,
+                    opcode: Opcode::Send,
+                    lkey: mr0.lkey,
+                    local_gpa: b0,
+                    len: 64 * 1024,
+                    remote: None,
+                    imm: 0,
+                    signaled: true,
+                },
+                now,
+            )
+            .unwrap();
+            while let Some(t) = f.next_time() {
+                now = t;
+                black_box(f.advance(t));
+            }
+            f.poll_cq(n0, s0, 16).unwrap();
+            f.poll_cq(n1, r1, 16).unwrap();
+            wr_id += 1;
+        });
+    });
+}
+
+criterion_group!(benches, bench_arbiter, bench_cqe, bench_end_to_end_message);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Whole-figure benchmarks: wall-clock cost of regenerating each paper
+//! figure at a reduced scale. One bench per figure keeps the mapping
+//! "figure ↔ bench target" explicit and catches regressions in end-to-end
+//! simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use resex_platform::experiments::{
+    fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, Scale,
+};
+use resex_simcore::time::SimDuration;
+use std::hint::black_box;
+
+/// A miniature scale so each bench iteration stays sub-second.
+fn bench_scale() -> Scale {
+    Scale {
+        duration: SimDuration::from_millis(400),
+        timeline: SimDuration::from_millis(800),
+        warmup: SimDuration::from_millis(50),
+    }
+}
+
+fn figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(5));
+    let s = bench_scale();
+    g.bench_function("fig1_histograms", |b| b.iter(|| black_box(fig1::run(&s))));
+    g.bench_function("fig2_server_scaling", |b| b.iter(|| black_box(fig2::run(&s))));
+    g.bench_function("fig3_buffer_ratio_caps", |b| b.iter(|| black_box(fig3::run(&s))));
+    g.bench_function("fig4_cap_sweep", |b| b.iter(|| black_box(fig4::run(&s))));
+    g.bench_function("fig5_freemarket_timeline", |b| b.iter(|| black_box(fig5::run(&s))));
+    g.bench_function("fig6_reso_depletion", |b| b.iter(|| black_box(fig6::run(&s))));
+    g.bench_function("fig7_ioshares_timeline", |b| b.iter(|| black_box(fig7::run(&s))));
+    g.bench_function("fig8_no_interference", |b| b.iter(|| black_box(fig8::run(&s))));
+    g.bench_function("fig9_policy_sweep", |b| b.iter(|| black_box(fig9::run(&s))));
+    g.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the financial library — BenchEx's per-request
+//! compute kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resex_finance::{
+    crr_price, implied_vol, mc_price, Exercise, OptionKind, OptionSpec, PricingTask, TaskKind,
+};
+use std::hint::black_box;
+
+fn spec() -> OptionSpec {
+    OptionSpec {
+        kind: OptionKind::Call,
+        spot: 100.0,
+        strike: 105.0,
+        rate: 0.05,
+        sigma: 0.25,
+        expiry: 0.75,
+    }
+}
+
+fn bench_black_scholes(c: &mut Criterion) {
+    let s = spec();
+    c.bench_function("bs/price", |b| b.iter(|| black_box(s.price())));
+    c.bench_function("bs/greeks", |b| b.iter(|| black_box(s.greeks())));
+    let price = s.price();
+    c.bench_function("bs/implied_vol", |b| {
+        b.iter(|| black_box(implied_vol(&s, price).unwrap()))
+    });
+}
+
+fn bench_binomial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crr");
+    let s = spec();
+    for steps in [32u32, 128, 512] {
+        g.bench_with_input(BenchmarkId::new("american", steps), &steps, |b, &steps| {
+            b.iter(|| black_box(crr_price(&s, steps, Exercise::American)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monte_carlo");
+    let s = spec();
+    for paths in [1_000u32, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::new("paths", paths), &paths, |b, &paths| {
+            b.iter(|| black_box(mc_price(&s, paths, 42)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_tasks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pricing_task");
+    for (name, kind) in [
+        ("quote", TaskKind::Quote),
+        ("risk", TaskKind::Risk),
+        ("reprice64", TaskKind::Reprice { steps: 64 }),
+        ("implied", TaskKind::ImpliedVol),
+    ] {
+        let task = PricingTask { kind, n_options: 8, seed: 42 };
+        g.bench_function(name, |b| b.iter(|| black_box(task.execute())));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_black_scholes,
+    bench_binomial,
+    bench_monte_carlo,
+    bench_tasks
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! IBMon scan cost: the dom0 monitoring loop runs every millisecond over
+//! every monitored VM's rings, so scan cost bounds how many VMs one dom0
+//! can watch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use resex_fabric::{CompletionQueue, Cqe, CqNum, Opcode, QpNum, WcStatus, CQE_SIZE};
+use resex_ibmon::CqMonitor;
+use resex_simcore::time::SimTime;
+use resex_simmem::{ForeignMapping, MemoryHandle};
+use std::hint::black_box;
+
+fn setup(capacity: u32) -> (CompletionQueue, CqMonitor) {
+    let mem = MemoryHandle::new(8 << 20);
+    let gpa = mem.alloc_bytes(capacity as u64 * CQE_SIZE as u64).unwrap();
+    let cq = CompletionQueue::new(CqNum::new(0), mem.clone(), gpa, capacity).unwrap();
+    let mapping = ForeignMapping::map(&mem, gpa, capacity as usize * CQE_SIZE).unwrap();
+    let mon = CqMonitor::new(mapping, capacity, 1024).unwrap();
+    (cq, mon)
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ibmon_scan");
+    for capacity in [64u32, 256, 1024] {
+        g.throughput(Throughput::Elements(capacity as u64));
+        g.bench_with_input(
+            BenchmarkId::new("quiet_ring", capacity),
+            &capacity,
+            |b, &capacity| {
+                let (_cq, mut mon) = setup(capacity);
+                let mut t = 0u64;
+                b.iter(|| {
+                    t += 1;
+                    black_box(mon.scan(SimTime::from_millis(t)).unwrap())
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("busy_ring", capacity),
+            &capacity,
+            |b, &capacity| {
+                let (mut cq, mut mon) = setup(capacity);
+                let mut t = 0u64;
+                let mut counter = 0u16;
+                b.iter(|| {
+                    // 8 fresh completions between scans.
+                    for _ in 0..8 {
+                        cq.push(Cqe {
+                            wr_id: counter as u64,
+                            qp_num: QpNum::new(1),
+                            byte_len: 65536,
+                            wqe_counter: counter,
+                            opcode: Opcode::Send,
+                            status: WcStatus::Success,
+                            imm_data: 0,
+                        })
+                        .unwrap();
+                        cq.poll().unwrap();
+                        counter = counter.wrapping_add(1);
+                    }
+                    t += 1;
+                    black_box(mon.scan(SimTime::from_millis(t)).unwrap())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

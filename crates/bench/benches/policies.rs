@@ -1,0 +1,73 @@
+//! Per-interval cost of the ResEx manager under each policy.
+//!
+//! The paper's charging loop runs every millisecond in dom0; its per-
+//! interval cost is pure overhead on the control plane. These benches
+//! measure one `on_interval` call as VM count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resex_core::{
+    BufferRatio, FreeMarket, IoShares, LatencyFeedback, PricingPolicy, ResExConfig, ResExManager,
+    SlaTarget, StaticReserve, VmId, VmSnapshot,
+};
+use resex_simcore::time::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn snapshots(n: u32) -> Vec<(VmId, VmSnapshot)> {
+    (0..n)
+        .map(|i| {
+            (
+                VmId::new(i),
+                VmSnapshot {
+                    mtus: 64 + (i as u64) * 131,
+                    cpu_pct: 40.0 + i as f64,
+                    latency: Some(LatencyFeedback {
+                        mean_us: 209.0 + i as f64 * 17.0,
+                        std_us: 4.0,
+                        count: 5,
+                    }),
+                    est_buffer_bytes: 65536.0 * (1 + i) as f64,
+                },
+            )
+        })
+        .collect()
+}
+
+fn policy(name: &str, n: u32) -> Box<dyn PricingPolicy> {
+    match name {
+        "freemarket" => Box::new(FreeMarket::new()),
+        "ioshares" => Box::new(IoShares::new((0..n).map(|i| {
+            (
+                VmId::new(i),
+                SlaTarget { base_mean_us: 209.0, base_std_us: 2.0 },
+            )
+        }))),
+        "static" => Box::new(StaticReserve::new((0..n).map(|i| (VmId::new(i), 50)))),
+        "bufferratio" => Box::new(BufferRatio::new(VmId::new(0))),
+        _ => unreachable!(),
+    }
+}
+
+fn bench_interval_cost(c: &mut Criterion) {
+    for name in ["freemarket", "ioshares", "static", "bufferratio"] {
+        let mut g = c.benchmark_group(format!("manager/{name}"));
+        for n in [2u32, 8, 32] {
+            g.bench_with_input(BenchmarkId::new("vms", n), &n, |b, &n| {
+                let mut mgr =
+                    ResExManager::new(ResExConfig::default(), policy(name, n)).unwrap();
+                for i in 0..n {
+                    mgr.register_vm(VmId::new(i), 1);
+                }
+                let snaps = snapshots(n);
+                let mut t = SimTime::ZERO;
+                b.iter(|| {
+                    t += SimDuration::from_millis(1);
+                    black_box(mgr.on_interval(t, &snaps))
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_interval_cost);
+criterion_main!(benches);

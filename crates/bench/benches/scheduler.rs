@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the hypervisor scheduler math.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resex_hypervisor::sched::{slice_finish, slice_progress};
+use resex_hypervisor::{fair_shares, Hypervisor, SchedModel, ShareReq};
+use resex_simcore::time::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_fair_shares(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fair_shares");
+    for n in [2usize, 8, 32] {
+        let reqs: Vec<ShareReq> = (0..n)
+            .map(|i| ShareReq {
+                weight: 100 + i as u32 * 37,
+                cap: if i % 2 == 0 { Some(0.2 + i as f64 * 0.01) } else { None },
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("vcpus", n), &reqs, |b, reqs| {
+            b.iter(|| black_box(fair_shares(reqs)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_slice_math(c: &mut Criterion) {
+    let period = SimDuration::from_millis(10);
+    c.bench_function("slice/progress", |b| {
+        b.iter(|| {
+            black_box(slice_progress(
+                SimTime::from_micros(12_345),
+                SimTime::from_millis(987),
+                0.3,
+                period,
+            ))
+        })
+    });
+    c.bench_function("slice/finish", |b| {
+        b.iter(|| {
+            black_box(slice_finish(
+                SimTime::from_micros(12_345),
+                SimDuration::from_millis(7),
+                0.3,
+                period,
+            ))
+        })
+    });
+}
+
+/// Cost of a cap change + completion recomputation with many VCPUs, the
+/// hot operation on ResEx's actuation path.
+fn bench_cap_change(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hypervisor");
+    for n in [2u32, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("set_cap_with_vcpus", n), &n, |b, &n| {
+            let mut hv = Hypervisor::new(SchedModel::Fluid);
+            let _d0 = hv.create_domain("dom0", 1 << 20, true);
+            let mut doms = Vec::new();
+            for i in 0..n {
+                let p = hv.add_pcpu();
+                let d = hv.create_domain(format!("vm{i}"), 1 << 20, false);
+                let v = hv.add_vcpu(d, p, SimTime::ZERO).unwrap();
+                hv.set_polling(v, SimTime::ZERO).unwrap();
+                doms.push(d);
+            }
+            let mut t = SimTime::ZERO;
+            let mut cap = 10u32;
+            b.iter(|| {
+                t += SimDuration::from_micros(10);
+                cap = if cap >= 100 { 10 } else { cap + 10 };
+                for &d in &doms {
+                    hv.set_cap(d, cap, t).unwrap();
+                }
+                black_box(hv.next_time());
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fair_shares, bench_slice_math, bench_cap_change);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! `repro` — regenerate every figure of the ResEx paper.
+//!
+//! ```text
+//! cargo run -p resex-bench --release --bin repro -- all
+//! cargo run -p resex-bench --release --bin repro -- fig7 --full
+//! cargo run -p resex-bench --release --bin repro -- fig9 --json out.json
+//! ```
+//!
+//! Targets: `fig1` … `fig9`, `ablation`, `all`. `--quick` (default) runs
+//! CI-scale simulations; `--full` runs paper-shaped spans. `--json PATH`
+//! additionally dumps the figure data as JSON for plotting.
+
+use resex_platform::experiments::{
+    ablation, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, hw_qos, scaling, Scale,
+};
+use serde_json::{json, Value};
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!("usage: repro <fig1|...|fig9|ablation|hw_qos|scaling|all> [--quick|--full] [--json PATH]");
+    std::process::exit(2);
+}
+
+fn run_target(target: &str, scale: &Scale) -> Value {
+    let t0 = std::time::Instant::now();
+    let value = match target {
+        "fig1" => {
+            let r = fig1::run(scale);
+            r.print();
+            json!({ "fig1": r })
+        }
+        "fig2" => {
+            let r = fig2::run(scale);
+            r.print();
+            json!({ "fig2": r })
+        }
+        "fig3" => {
+            let r = fig3::run(scale);
+            r.print();
+            json!({ "fig3": r })
+        }
+        "fig4" => {
+            let r = fig4::run(scale);
+            r.print();
+            json!({ "fig4": r })
+        }
+        "fig5" => {
+            let r = fig5::run(scale);
+            r.print();
+            json!({ "fig5": r })
+        }
+        "fig6" => {
+            let r = fig6::run(scale);
+            r.print();
+            json!({ "fig6": r })
+        }
+        "fig7" => {
+            let r = fig7::run(scale);
+            r.print();
+            json!({ "fig7": r })
+        }
+        "fig8" => {
+            let r = fig8::run(scale);
+            r.print();
+            json!({ "fig8": r })
+        }
+        "fig9" => {
+            let r = fig9::run(scale);
+            r.print();
+            json!({ "fig9": r })
+        }
+        "ablation" => {
+            let r = ablation::run(scale);
+            r.print();
+            json!({ "ablation": r })
+        }
+        "hw_qos" => {
+            let r = hw_qos::run(scale);
+            r.print();
+            json!({ "hw_qos": r })
+        }
+        "scaling" => {
+            let r = scaling::run(scale);
+            r.print();
+            json!({ "scaling": r })
+        }
+        _ => usage(),
+    };
+    eprintln!("[{target} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+    value
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut target = None;
+    let mut scale = Scale::quick();
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--full" => scale = Scale::full(),
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            t if target.is_none() => target = Some(t.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let target = target.unwrap_or_else(|| usage());
+
+    let targets: Vec<&str> = if target == "all" {
+        vec![
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablation",
+            "hw_qos", "scaling",
+        ]
+    } else {
+        vec![target.as_str()]
+    };
+
+    let mut doc = serde_json::Map::new();
+    for t in targets {
+        let v = run_target(t, &scale);
+        if let Value::Object(m) = v {
+            doc.extend(m);
+        }
+        println!();
+    }
+
+    if let Some(path) = json_path {
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        serde_json::to_writer_pretty(&mut f, &Value::Object(doc)).expect("write json");
+        writeln!(f).ok();
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,65 @@
+//! `simulate` — run an arbitrary scenario from a JSON description.
+//!
+//! ```text
+//! # Print a template scenario to stdout:
+//! cargo run -p resex-bench --release --bin simulate -- --template > my.json
+//! # Edit my.json, then run it:
+//! cargo run -p resex-bench --release --bin simulate -- my.json
+//! ```
+//!
+//! The JSON schema is `resex_platform::ScenarioConfig` — everything the
+//! figure harness can express (VM buffer sizes, traces, client modes,
+//! policies, QoS, scheduler model, fabric parameters) is file-drivable.
+
+use resex_platform::{run_scenario, PolicyKind, ScenarioConfig};
+
+fn template() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::IoShares);
+    cfg.label = "my-experiment".into();
+    cfg
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--template") => {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&template()).expect("template serializes")
+            );
+        }
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let cfg: ScenarioConfig = serde_json::from_str(&text)
+                .unwrap_or_else(|e| panic!("invalid scenario in {path}: {e}"));
+            if let Err(e) = cfg.validate() {
+                eprintln!("invalid scenario: {e}");
+                std::process::exit(1);
+            }
+            let label = cfg.label.clone();
+            let t0 = std::time::Instant::now();
+            let run = run_scenario(cfg);
+            eprintln!(
+                "[{label}: {} events in {:.1}s wall]",
+                run.events_processed,
+                t0.elapsed().as_secs_f64()
+            );
+            println!(
+                "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                "VM", "requests", "mean µs", "std µs", "p99 µs", "ptime", "ctime", "wtime"
+            );
+            for r in run.rows() {
+                println!(
+                    "{:<10} {:>9} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+                    r.vm, r.requests, r.mean_us, r.std_us, r.p99_us, r.ptime_us, r.ctime_us,
+                    r.wtime_us
+                );
+            }
+        }
+        None => {
+            eprintln!("usage: simulate <scenario.json> | --template");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+//! # resex-bench — benchmarks and the figure-reproduction harness
+//!
+//! * Criterion benches (`benches/`): data-path micro-benchmarks (`fabric`,
+//!   `scheduler`, `finance`), ResEx control-plane cost (`policies`),
+//!   whole-figure wall-clock (`figures`), and fidelity/cost ablations
+//!   (`ablation`).
+//! * `src/bin/repro.rs`: regenerates every figure of the paper —
+//!   `cargo run -p resex-bench --release --bin repro -- all`.

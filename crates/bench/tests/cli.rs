@@ -1,0 +1,67 @@
+//! Smoke tests for the `repro` and `simulate` command-line tools.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn simulate() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_simulate"))
+}
+
+#[test]
+fn repro_rejects_unknown_targets() {
+    let out = repro().arg("fig99").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "stderr: {err}");
+}
+
+#[test]
+fn repro_runs_one_figure_and_emits_json() {
+    let json_path = std::env::temp_dir().join("resex_repro_cli_test.json");
+    let out = repro()
+        .args(["fig8", "--quick", "--json"])
+        .arg(&json_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Figure 8"), "stdout: {stdout}");
+    assert!(stdout.contains("Base-64KB"));
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+    assert!(doc.get("fig8").is_some(), "json has the figure data");
+    let rows = doc["fig8"]["rows"].as_array().unwrap();
+    assert_eq!(rows.len(), 5, "five configurations");
+    std::fs::remove_file(&json_path).ok();
+}
+
+#[test]
+fn simulate_template_roundtrips_through_a_run() {
+    let out = simulate().arg("--template").output().unwrap();
+    assert!(out.status.success());
+    let mut cfg: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    // Shrink the run so the test stays fast (durations are nanoseconds).
+    cfg["duration"] = serde_json::json!(300_000_000u64);
+    cfg["warmup"] = serde_json::json!(50_000_000u64);
+    let path = std::env::temp_dir().join("resex_simulate_cli_test.json");
+    std::fs::write(&path, serde_json::to_string(&cfg).unwrap()).unwrap();
+
+    let out = simulate().arg(&path).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("64KB"), "summary table printed: {stdout}");
+    assert!(stdout.contains("2MB"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn simulate_rejects_invalid_scenarios() {
+    let path = std::env::temp_dir().join("resex_simulate_bad.json");
+    std::fs::write(&path, "{\"not\": \"a scenario\"}").unwrap();
+    let out = simulate().arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_file(&path).ok();
+}

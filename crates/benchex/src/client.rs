@@ -1,0 +1,263 @@
+//! BenchEx clients.
+//!
+//! Two workload shapes from the paper's experiments:
+//!
+//! * **Closed loop** — send, wait for the response, immediately (or after a
+//!   think time) send the next. Saturating; this is what both the reporting
+//!   and the standard interfering VMs run.
+//! * **Open loop** — send at a fixed rate regardless of responses. Used for
+//!   the "10 requests per epoch" slow interferer in the no-interference
+//!   experiment (Figure 8).
+//!
+//! Like the server, a client is a pure state machine returning
+//! [`ClientAction`]s that the platform executes.
+
+use crate::request::TransactionRequest;
+use crate::trace::TraceGen;
+use resex_simcore::rng::SimRng;
+use resex_simcore::stats::Histogram;
+use resex_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Workload shape.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ClientMode {
+    /// Wait for each response; then wait `think` before the next request.
+    ClosedLoop {
+        /// Pause between response and next request.
+        think: SimDuration,
+    },
+    /// Send every `interval` regardless of outstanding requests.
+    OpenLoop {
+        /// Inter-request interval.
+        interval: SimDuration,
+    },
+}
+
+/// What the platform must do for the client.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientAction {
+    /// Post this request to the server now.
+    Send(TransactionRequest),
+    /// Call [`Client::on_timer`] at the given time.
+    ArmTimer(SimTime),
+    /// Nothing.
+    Idle,
+}
+
+/// Relative half-width of the think-time jitter window. Real clients
+/// never reissue with cycle-exact timing; a ±5 % wobble decorrelates the
+/// request phase from collocated VMs' burst cycles without measurably
+/// widening the solo-latency distribution.
+const THINK_JITTER: f64 = 0.05;
+
+/// One benchmark client.
+pub struct Client {
+    /// This client's id (echoed by the server).
+    pub id: u32,
+    mode: ClientMode,
+    trace: TraceGen,
+    rng: SimRng,
+    next_id: u64,
+    sent: u64,
+    received: u64,
+    outstanding: u64,
+    /// Round-trip latencies in nanoseconds.
+    pub rtt: Histogram,
+}
+
+impl Client {
+    /// Creates a client; call [`Client::start`] to kick it off. `seed`
+    /// drives the client's think-time jitter stream.
+    pub fn new(id: u32, mode: ClientMode, trace: TraceGen, seed: u64) -> Self {
+        Client {
+            id,
+            mode,
+            trace,
+            rng: SimRng::seed_from_u64(seed),
+            next_id: 0,
+            sent: 0,
+            received: 0,
+            outstanding: 0,
+            rtt: Histogram::with_default_resolution(),
+        }
+    }
+
+    /// Requests sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Responses received so far.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Requests in flight.
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding
+    }
+
+    fn make_request(&mut self, now: SimTime) -> TransactionRequest {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sent += 1;
+        self.outstanding += 1;
+        TransactionRequest {
+            id,
+            client_id: self.id,
+            sent_at: now,
+            task: self.trace.next_task(),
+        }
+    }
+
+    /// Begins the workload at `now`.
+    pub fn start(&mut self, now: SimTime) -> ClientAction {
+        match self.mode {
+            ClientMode::ClosedLoop { .. } => ClientAction::Send(self.make_request(now)),
+            ClientMode::OpenLoop { .. } => {
+                // First send fires immediately via the timer path so all
+                // sends share one code path.
+                ClientAction::ArmTimer(now)
+            }
+        }
+    }
+
+    /// A response for `request_id` arrived (matched by the platform).
+    pub fn on_response(&mut self, sent_at: SimTime, now: SimTime) -> ClientAction {
+        self.received += 1;
+        self.outstanding = self.outstanding.saturating_sub(1);
+        self.rtt.record(now.duration_since(sent_at).as_nanos());
+        match self.mode {
+            ClientMode::ClosedLoop { think } => {
+                if think.is_zero() {
+                    ClientAction::Send(self.make_request(now))
+                } else {
+                    // Jitter the think time by ±THINK_JITTER.
+                    let f = 1.0 + THINK_JITTER * (2.0 * self.rng.next_f64() - 1.0);
+                    ClientAction::ArmTimer(now + think.mul_f64(f))
+                }
+            }
+            ClientMode::OpenLoop { .. } => ClientAction::Idle,
+        }
+    }
+
+    /// A previously armed timer fired.
+    pub fn on_timer(&mut self, now: SimTime) -> Vec<ClientAction> {
+        match self.mode {
+            ClientMode::ClosedLoop { .. } => {
+                // Think-time expiry: send the next request.
+                vec![ClientAction::Send(self.make_request(now))]
+            }
+            ClientMode::OpenLoop { interval } => {
+                vec![
+                    ClientAction::Send(self.make_request(now)),
+                    ClientAction::ArmTimer(now + interval),
+                ]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceProfile;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
+
+    fn trace() -> TraceGen {
+        TraceGen::new(TraceProfile::default(), 42)
+    }
+
+    #[test]
+    fn closed_loop_sends_immediately_on_response() {
+        let mut c = Client::new(1, ClientMode::ClosedLoop { think: SimDuration::ZERO }, trace(), 7);
+        let a = c.start(us(0));
+        let first = match a {
+            ClientAction::Send(r) => r,
+            other => panic!("expected send, got {other:?}"),
+        };
+        assert_eq!(first.id, 0);
+        assert_eq!(c.outstanding(), 1);
+        let a = c.on_response(first.sent_at, us(209));
+        match a {
+            ClientAction::Send(r) => assert_eq!(r.id, 1),
+            other => panic!("expected send, got {other:?}"),
+        }
+        assert_eq!(c.received(), 1);
+        assert_eq!(c.rtt.mean(), 209_000.0, "RTT recorded in ns");
+    }
+
+    #[test]
+    fn closed_loop_with_think_time_arms_timer() {
+        let think = SimDuration::from_micros(50);
+        let mut c = Client::new(1, ClientMode::ClosedLoop { think }, trace(), 7);
+        let first = match c.start(us(0)) {
+            ClientAction::Send(r) => r,
+            _ => panic!(),
+        };
+        match c.on_response(first.sent_at, us(200)) {
+            // Think time is jittered ±5%: 200 + 50·[0.95, 1.05].
+            ClientAction::ArmTimer(t) => {
+                assert!(t >= us(247) && t <= us(253), "jittered think: {t}");
+            }
+            other => panic!("expected timer, got {other:?}"),
+        }
+        let acts = c.on_timer(us(250));
+        assert!(matches!(acts[0], ClientAction::Send(_)));
+    }
+
+    #[test]
+    fn open_loop_sends_on_schedule() {
+        let interval = SimDuration::from_millis(100); // 10 req/s
+        let mut c = Client::new(2, ClientMode::OpenLoop { interval }, trace(), 7);
+        match c.start(us(0)) {
+            ClientAction::ArmTimer(t) => assert_eq!(t, us(0)),
+            other => panic!("expected timer, got {other:?}"),
+        }
+        let acts = c.on_timer(us(0));
+        assert_eq!(acts.len(), 2);
+        assert!(matches!(acts[0], ClientAction::Send(_)));
+        match &acts[1] {
+            ClientAction::ArmTimer(t) => assert_eq!(*t, SimTime::from_millis(100)),
+            other => panic!("expected re-arm, got {other:?}"),
+        }
+        // Responses do not trigger sends in open loop.
+        assert_eq!(c.on_response(us(0), us(500)), ClientAction::Idle);
+    }
+
+    #[test]
+    fn open_loop_tolerates_multiple_outstanding() {
+        let mut c = Client::new(
+            3,
+            ClientMode::OpenLoop { interval: SimDuration::from_micros(10) },
+            trace(),
+            7,
+        );
+        c.start(us(0));
+        c.on_timer(us(0));
+        c.on_timer(us(10));
+        c.on_timer(us(20));
+        assert_eq!(c.outstanding(), 3);
+        assert_eq!(c.sent(), 3);
+    }
+
+    #[test]
+    fn request_ids_are_sequential_and_stamped() {
+        let mut c = Client::new(1, ClientMode::ClosedLoop { think: SimDuration::ZERO }, trace(), 7);
+        let r0 = match c.start(us(5)) {
+            ClientAction::Send(r) => r,
+            _ => panic!(),
+        };
+        assert_eq!(r0.sent_at, us(5));
+        assert_eq!(r0.client_id, 1);
+        let r1 = match c.on_response(r0.sent_at, us(100)) {
+            ClientAction::Send(r) => r,
+            _ => panic!(),
+        };
+        assert_eq!((r0.id, r1.id), (0, 1));
+    }
+}

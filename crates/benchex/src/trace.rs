@@ -1,0 +1,292 @@
+//! Exchange workload traces.
+//!
+//! The paper's BenchEx "includes traces which model the I/O and processing
+//! workloads present in an exchange like ICE". Real ICE traces are
+//! proprietary, so [`TraceGen`] synthesizes transaction mixes with the
+//! load-shape features that matter to the experiments: a configurable blend
+//! of light quotes, medium risk checks, and heavy repricings, plus optional
+//! burst regimes (markets alternate calm and frantic periods).
+
+use resex_finance::{PricingTask, TaskKind};
+use resex_simcore::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Relative weights of the transaction mix.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TaskMix {
+    /// Weight of plain quotes (light).
+    pub quote: u32,
+    /// Weight of risk checks (medium).
+    pub risk: u32,
+    /// Weight of binomial repricings (heavy).
+    pub reprice: u32,
+    /// Weight of implied-vol solves (medium-heavy).
+    pub implied: u32,
+}
+
+impl Default for TaskMix {
+    fn default() -> Self {
+        // Quote-dominated, like real exchange order flow.
+        TaskMix {
+            quote: 90,
+            risk: 7,
+            reprice: 1,
+            implied: 2,
+        }
+    }
+}
+
+/// Burst behaviour of the trace.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum Burstiness {
+    /// Uniform mix throughout.
+    Steady,
+    /// Alternate calm and bursty regimes; during a burst, batch sizes are
+    /// multiplied (heavier transactions, more I/O per response).
+    Bursty {
+        /// Transactions per regime.
+        regime_len: u32,
+        /// Batch-size multiplier during bursts.
+        burst_factor: u32,
+    },
+}
+
+/// Trace configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TraceProfile {
+    /// Transaction mix weights.
+    pub mix: TaskMix,
+    /// Base options per transaction.
+    pub base_batch: u32,
+    /// Lattice depth for repricing transactions.
+    pub reprice_steps: u32,
+    /// Burst structure.
+    pub burstiness: Burstiness,
+}
+
+impl Default for TraceProfile {
+    fn default() -> Self {
+        TraceProfile {
+            mix: TaskMix::default(),
+            // 8 quote units ≈ 100 µs of CPU with the default server config.
+            base_batch: 8,
+            reprice_steps: 24,
+            burstiness: Burstiness::Steady,
+        }
+    }
+}
+
+impl TraceProfile {
+    /// A uniform profile where *every* transaction is a quote batch of the
+    /// given size — the fixed-cost workload the paper's latency figures use.
+    pub fn uniform_quotes(batch: u32) -> Self {
+        TraceProfile {
+            mix: TaskMix { quote: 1, risk: 0, reprice: 0, implied: 0 },
+            base_batch: batch,
+            reprice_steps: 0,
+            burstiness: Burstiness::Steady,
+        }
+    }
+}
+
+/// A fixed transaction sequence, recordable to / loadable from JSON — the
+/// mechanism behind the paper's "traces which model the I/O and processing
+/// workloads present in an exchange": generate once, inspect or edit, then
+/// replay byte-identically across experiments.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecordedTrace {
+    /// The transactions, in order.
+    pub tasks: Vec<PricingTask>,
+}
+
+impl RecordedTrace {
+    /// Records `n` transactions from a generator.
+    pub fn capture(gen: &mut TraceGen, n: usize) -> Self {
+        RecordedTrace {
+            tasks: (0..n).map(|_| gen.next_task()).collect(),
+        }
+    }
+}
+
+/// Deterministic transaction generator (or replayer).
+pub struct TraceGen {
+    profile: TraceProfile,
+    rng: SimRng,
+    emitted: u64,
+    replay: Option<Vec<PricingTask>>,
+}
+
+impl TraceGen {
+    /// Creates a generator with the given profile and seed.
+    pub fn new(profile: TraceProfile, seed: u64) -> Self {
+        TraceGen {
+            profile,
+            rng: SimRng::seed_from_u64(seed),
+            emitted: 0,
+            replay: None,
+        }
+    }
+
+    /// Creates a replayer over a recorded trace (cycles at the end).
+    ///
+    /// # Panics
+    /// If the trace is empty.
+    pub fn replay(trace: RecordedTrace) -> Self {
+        assert!(!trace.tasks.is_empty(), "cannot replay an empty trace");
+        TraceGen {
+            profile: TraceProfile::default(),
+            rng: SimRng::seed_from_u64(0),
+            emitted: 0,
+            replay: Some(trace.tasks),
+        }
+    }
+
+    /// Transactions emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// The next transaction's pricing task.
+    pub fn next_task(&mut self) -> PricingTask {
+        if let Some(tasks) = &self.replay {
+            let task = tasks[(self.emitted % tasks.len() as u64) as usize];
+            self.emitted += 1;
+            return task;
+        }
+        self.next_generated()
+    }
+
+    /// The next freshly generated task (bypasses replay).
+    fn next_generated(&mut self) -> PricingTask {
+        let m = self.profile.mix;
+        let total = (m.quote + m.risk + m.reprice + m.implied).max(1) as u64;
+        let roll = self.rng.next_below(total) as u32;
+        let kind = if roll < m.quote {
+            TaskKind::Quote
+        } else if roll < m.quote + m.risk {
+            TaskKind::Risk
+        } else if roll < m.quote + m.risk + m.reprice {
+            TaskKind::Reprice {
+                steps: self.profile.reprice_steps.max(1),
+            }
+        } else {
+            TaskKind::ImpliedVol
+        };
+        let batch_mult = match self.profile.burstiness {
+            Burstiness::Steady => 1,
+            Burstiness::Bursty {
+                regime_len,
+                burst_factor,
+            } => {
+                let regime = (self.emitted / regime_len.max(1) as u64) % 2;
+                if regime == 1 {
+                    burst_factor.max(1)
+                } else {
+                    1
+                }
+            }
+        };
+        let seed = self.rng.next_u64();
+        self.emitted += 1;
+        PricingTask {
+            kind,
+            n_options: (self.profile.base_batch * batch_mult).max(1),
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = TraceGen::new(TraceProfile::default(), 7);
+        let mut b = TraceGen::new(TraceProfile::default(), 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_task(), b.next_task());
+        }
+    }
+
+    #[test]
+    fn mix_roughly_matches_weights() {
+        let mut g = TraceGen::new(TraceProfile::default(), 1);
+        let n = 10_000;
+        let mut quotes = 0;
+        for _ in 0..n {
+            if matches!(g.next_task().kind, TaskKind::Quote) {
+                quotes += 1;
+            }
+        }
+        let frac = quotes as f64 / n as f64;
+        assert!((frac - 0.90).abs() < 0.02, "quote fraction {frac}");
+    }
+
+    #[test]
+    fn uniform_quotes_is_constant_cost() {
+        let mut g = TraceGen::new(TraceProfile::uniform_quotes(8), 3);
+        for _ in 0..50 {
+            let t = g.next_task();
+            assert_eq!(t.kind, TaskKind::Quote);
+            assert_eq!(t.n_options, 8);
+            assert_eq!(t.work_estimate(), 8);
+        }
+    }
+
+    #[test]
+    fn bursts_alternate_batch_sizes() {
+        let profile = TraceProfile {
+            burstiness: Burstiness::Bursty {
+                regime_len: 10,
+                burst_factor: 4,
+            },
+            ..TraceProfile::uniform_quotes(8)
+        };
+        let mut g = TraceGen::new(profile, 5);
+        let sizes: Vec<u32> = (0..30).map(|_| g.next_task().n_options).collect();
+        assert!(sizes[..10].iter().all(|&s| s == 8), "calm regime");
+        assert!(sizes[10..20].iter().all(|&s| s == 32), "burst regime");
+        assert!(sizes[20..30].iter().all(|&s| s == 8), "calm again");
+    }
+
+    #[test]
+    fn recorded_trace_replays_identically() {
+        let mut original = TraceGen::new(TraceProfile::default(), 11);
+        let recorded = RecordedTrace::capture(&mut original, 25);
+        let mut fresh = TraceGen::new(TraceProfile::default(), 11);
+        let mut replayer = TraceGen::replay(recorded.clone());
+        for i in 0..25 {
+            let expect = fresh.next_task();
+            assert_eq!(recorded.tasks[i], expect);
+            assert_eq!(replayer.next_task(), expect);
+        }
+    }
+
+    #[test]
+    fn replay_cycles_at_the_end() {
+        let mut g = TraceGen::new(TraceProfile::uniform_quotes(4), 1);
+        let recorded = RecordedTrace::capture(&mut g, 3);
+        let mut r = TraceGen::replay(recorded.clone());
+        let first_pass: Vec<_> = (0..3).map(|_| r.next_task()).collect();
+        let second_pass: Vec<_> = (0..3).map(|_| r.next_task()).collect();
+        assert_eq!(first_pass, second_pass, "wraps around");
+        assert_eq!(r.emitted(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_replay_rejected() {
+        TraceGen::replay(RecordedTrace { tasks: vec![] });
+    }
+
+    #[test]
+    fn batch_is_never_zero() {
+        let profile = TraceProfile {
+            base_batch: 0,
+            ..TraceProfile::default()
+        };
+        let mut g = TraceGen::new(profile, 1);
+        assert!(g.next_task().n_options >= 1);
+    }
+}

@@ -1,0 +1,376 @@
+//! The ResEx manager — the dom0 charging loop.
+//!
+//! Mechanism, not policy: every interval the manager assembles the
+//! [`IntervalCtx`] from usage snapshots (IBMon + XenStat data the platform
+//! collects), lets the active [`PricingPolicy`] decide rates and caps,
+//! performs the Reso deductions at those rates, and returns the cap
+//! actuations for the platform to apply through the hypervisor
+//! (`SetVMCap`). Epoch boundaries replenish every account — with a
+//! weighted redistribution of the shared I/O pool — and notify the policy.
+
+use crate::account::ResoAccount;
+use crate::config::ResExConfig;
+use crate::pricing::{IntervalCtx, PricingPolicy, VmId, VmSnapshot};
+use crate::resos::Resos;
+use resex_simcore::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An actuation the platform must perform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ManagerAction {
+    /// Set the VM's CPU cap (percent; Xen semantics, 0 = uncapped).
+    SetCap {
+        /// Target VM.
+        vm: VmId,
+        /// New cap.
+        cap_pct: u32,
+    },
+}
+
+/// What one interval charged one VM.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VmCharge {
+    /// The VM.
+    pub vm: VmId,
+    /// I/O Resos deducted.
+    pub io: Resos,
+    /// CPU Resos deducted.
+    pub cpu: Resos,
+    /// The I/O rate applied.
+    pub io_rate: f64,
+    /// Balance after deduction.
+    pub remaining: Resos,
+    /// Balance after deduction as a fraction of the allocation.
+    pub remaining_fraction: f64,
+}
+
+/// Result of one charging interval.
+#[derive(Clone, Debug, Default)]
+pub struct IntervalOutcome {
+    /// Cap actuations to apply.
+    pub actions: Vec<ManagerAction>,
+    /// Per-VM charges performed.
+    pub charges: Vec<VmCharge>,
+    /// True if this interval opened a new epoch (accounts replenished).
+    pub epoch_started: bool,
+}
+
+struct VmState {
+    weight: u32,
+    account: ResoAccount,
+}
+
+/// The ResEx manager.
+///
+/// ```
+/// use resex_core::{FreeMarket, ResExConfig, ResExManager, VmId, VmSnapshot};
+/// use resex_simcore::time::SimTime;
+///
+/// let mut mgr = ResExManager::new(
+///     ResExConfig::default(),
+///     Box::new(FreeMarket::new()),
+/// ).unwrap();
+/// mgr.register_vm(VmId::new(0), 1);
+///
+/// // One charging interval: the VM sent 64 MTUs and used 50% CPU.
+/// let usage = VmSnapshot { mtus: 64, cpu_pct: 50.0, ..Default::default() };
+/// let outcome = mgr.on_interval(SimTime::from_millis(1), &[(VmId::new(0), usage)]);
+/// assert_eq!(outcome.charges.len(), 1);
+/// assert_eq!(outcome.charges[0].io, resex_core::Resos::from_whole(64));
+/// ```
+pub struct ResExManager {
+    cfg: ResExConfig,
+    policy: Box<dyn PricingPolicy>,
+    vms: BTreeMap<VmId, VmState>,
+    interval_index: u64,
+}
+
+impl ResExManager {
+    /// Creates a manager with the given configuration and policy.
+    pub fn new(cfg: ResExConfig, policy: Box<dyn PricingPolicy>) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(ResExManager {
+            cfg,
+            policy,
+            vms: BTreeMap::new(),
+            interval_index: 0,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ResExConfig {
+        &self.cfg
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Registers a VM with the given share weight. Existing VMs' I/O
+    /// shares shrink at the *next* epoch; the new VM starts with its
+    /// weighted share immediately.
+    pub fn register_vm(&mut self, vm: VmId, weight: u32) {
+        assert!(weight > 0, "weight must be positive");
+        let cpu = Resos::from_whole(self.cfg.cpu_resos_per_epoch);
+        self.vms.insert(
+            vm,
+            VmState {
+                weight,
+                account: ResoAccount::new(cpu, Resos::ZERO),
+            },
+        );
+        // Give the newcomer its weighted slice right away (it will be
+        // normalized with everyone else at the next epoch).
+        let share = self.io_share(vm);
+        if let Some(st) = self.vms.get_mut(&vm) {
+            st.account.replenish(Some((cpu, share)));
+        }
+    }
+
+    /// The set of registered VMs.
+    pub fn registered(&self) -> Vec<VmId> {
+        self.vms.keys().copied().collect()
+    }
+
+    /// A VM's account, if registered.
+    pub fn account(&self, vm: VmId) -> Option<ResoAccount> {
+        self.vms.get(&vm).map(|s| s.account)
+    }
+
+    /// This VM's weighted share of the epoch I/O pool.
+    fn io_share(&self, vm: VmId) -> Resos {
+        let total: u64 = self.vms.values().map(|s| s.weight as u64).sum();
+        let w = self.vms.get(&vm).map(|s| s.weight).unwrap_or(0);
+        if total == 0 {
+            return Resos::ZERO;
+        }
+        Resos::from_whole(self.cfg.io_resos_per_epoch).scale(w as f64 / total as f64)
+    }
+
+    /// Runs one charging interval. `snapshots` carries this interval's
+    /// usage per VM (missing VMs are treated as idle).
+    pub fn on_interval(
+        &mut self,
+        now: SimTime,
+        snapshots: &[(VmId, VmSnapshot)],
+    ) -> IntervalOutcome {
+        let ipe = self.cfg.intervals_per_epoch();
+        let interval_in_epoch = self.interval_index % ipe;
+        let mut outcome = IntervalOutcome::default();
+
+        // Epoch boundary (not on the very first interval): replenish with
+        // freshly weighted shares, then tell the policy.
+        if interval_in_epoch == 0 && self.interval_index > 0 {
+            let shares: Vec<(VmId, Resos)> = self
+                .vms
+                .keys()
+                .map(|&vm| (vm, self.io_share(vm)))
+                .collect();
+            let cpu = Resos::from_whole(self.cfg.cpu_resos_per_epoch);
+            for (vm, share) in shares {
+                if let Some(st) = self.vms.get_mut(&vm) {
+                    st.account.replenish(Some((cpu, share)));
+                }
+            }
+            self.policy.on_epoch(self.interval_index / ipe);
+            outcome.epoch_started = true;
+        }
+
+        // Snapshot view sorted by VmId for deterministic policy input.
+        let mut vms_sorted: Vec<(VmId, VmSnapshot)> = snapshots
+            .iter()
+            .filter(|(vm, _)| self.vms.contains_key(vm))
+            .copied()
+            .collect();
+        vms_sorted.sort_by_key(|&(vm, _)| vm);
+
+        let verdicts = {
+            let vms = &self.vms;
+            let lookup = move |vm: VmId| vms.get(&vm).map(|s| s.account);
+            let ctx = IntervalCtx {
+                now,
+                interval_in_epoch,
+                intervals_per_epoch: ipe,
+                vms: &vms_sorted,
+                accounts: &lookup,
+                cfg: &self.cfg,
+            };
+            self.policy.on_interval(&ctx)
+        };
+        debug_assert_eq!(
+            verdicts.len(),
+            vms_sorted.len(),
+            "policy must return one verdict per VM"
+        );
+
+        for verdict in verdicts {
+            let snap = match vms_sorted.iter().find(|(vm, _)| *vm == verdict.vm) {
+                Some((_, s)) => *s,
+                None => continue,
+            };
+            let st = match self.vms.get_mut(&verdict.vm) {
+                Some(st) => st,
+                None => continue,
+            };
+            let io = st
+                .account
+                .charge_io(Resos::charge(snap.mtus as f64, verdict.io_rate));
+            let cpu = st
+                .account
+                .charge_cpu(Resos::charge(snap.cpu_pct, verdict.cpu_rate));
+            outcome.charges.push(VmCharge {
+                vm: verdict.vm,
+                io,
+                cpu,
+                io_rate: verdict.io_rate,
+                remaining: st.account.total_remaining(),
+                remaining_fraction: st.account.fraction_remaining(),
+            });
+            if let Some(cap) = verdict.cap_pct {
+                outcome.actions.push(ManagerAction::SetCap {
+                    vm: verdict.vm,
+                    cap_pct: cap,
+                });
+            }
+        }
+        self.interval_index += 1;
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freemarket::FreeMarket;
+    use crate::ioshares::{IoShares, SlaTarget};
+    use crate::pricing::LatencyFeedback;
+
+    const A: VmId = VmId::new(0);
+    const B: VmId = VmId::new(1);
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn mgr(policy: Box<dyn PricingPolicy>) -> ResExManager {
+        let mut m = ResExManager::new(ResExConfig::default(), policy).unwrap();
+        m.register_vm(A, 1);
+        m.register_vm(B, 1);
+        m
+    }
+
+    fn snap(mtus: u64, cpu: f64) -> VmSnapshot {
+        VmSnapshot {
+            mtus,
+            cpu_pct: cpu,
+            latency: None,
+            est_buffer_bytes: 0.0,
+        }
+    }
+
+    #[test]
+    fn charges_deduct_at_base_rate() {
+        let mut m = mgr(Box::new(FreeMarket::new()));
+        let out = m.on_interval(t(1), &[(A, snap(64, 50.0)), (B, snap(2048, 95.0))]);
+        assert_eq!(out.charges.len(), 2);
+        let ca = out.charges.iter().find(|c| c.vm == A).unwrap();
+        assert_eq!(ca.io, Resos::from_whole(64));
+        assert_eq!(ca.cpu, Resos::from_whole(50));
+        // A registered first and holds the whole I/O pool until the first
+        // epoch boundary re-normalizes shares.
+        let before = Resos::from_whole(100_000) + Resos::from_whole(1_048_576);
+        assert_eq!(ca.remaining, before - Resos::from_whole(114));
+    }
+
+    #[test]
+    fn io_pool_is_weighted() {
+        let mut m = ResExManager::new(ResExConfig::default(), Box::new(FreeMarket::new())).unwrap();
+        m.register_vm(A, 3);
+        m.register_vm(B, 1);
+        // Force an epoch boundary so both accounts get normalized shares.
+        m.on_interval(t(0), &[]);
+        for i in 1..=1000u64 {
+            m.on_interval(t(i), &[]);
+        }
+        let a = m.account(A).unwrap();
+        let b = m.account(B).unwrap();
+        assert_eq!(a.io_alloc, Resos::from_whole(1_048_576).scale(0.75));
+        assert_eq!(b.io_alloc, Resos::from_whole(1_048_576).scale(0.25));
+    }
+
+    #[test]
+    fn epoch_replenishes_and_notifies() {
+        let mut m = mgr(Box::new(FreeMarket::new()));
+        // Burn most of B's balance.
+        for i in 0..1000u64 {
+            m.on_interval(t(i), &[(B, snap(1000, 100.0))]);
+        }
+        assert!(m.account(B).unwrap().fraction_remaining() < 0.2);
+        // Interval 1000 opens epoch 1.
+        let out = m.on_interval(t(1000), &[(B, snap(0, 0.0))]);
+        assert!(out.epoch_started);
+        assert!((m.account(B).unwrap().fraction_remaining() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn freemarket_emits_cap_actions_when_broke() {
+        let mut m = mgr(Box::new(FreeMarket::new()));
+        let mut saw_cap = false;
+        // B spends way over budget: its 524k I/O Resos deplete long before
+        // the epoch ends (5000 MTUs/interval ≈ 5× its share).
+        for i in 0..500u64 {
+            let out = m.on_interval(t(i), &[(A, snap(64, 50.0)), (B, snap(5000, 100.0))]);
+            for a in &out.actions {
+                let ManagerAction::SetCap { vm, cap_pct } = a;
+                assert_eq!(*vm, B, "only the overspender is throttled");
+                assert!(*cap_pct < 100);
+                saw_cap = true;
+            }
+        }
+        assert!(saw_cap, "cap action expected before the epoch ends");
+    }
+
+    #[test]
+    fn ioshares_end_to_end_taxes_the_interferer() {
+        let sla = vec![(A, SlaTarget { base_mean_us: 209.0, base_std_us: 2.0 })];
+        let mut m = mgr(Box::new(IoShares::new(sla)));
+        let hurt = VmSnapshot {
+            latency: Some(LatencyFeedback { mean_us: 420.0, std_us: 60.0, count: 20 }),
+            ..snap(64, 50.0)
+        };
+        let out = m.on_interval(t(1), &[(A, hurt), (B, snap(2000, 100.0))]);
+        let cap = out.actions.iter().find_map(|a| match a {
+            ManagerAction::SetCap { vm, cap_pct } if *vm == B => Some(*cap_pct),
+            _ => None,
+        });
+        assert!(cap.is_some() && cap.unwrap() <= 10, "cap={cap:?}");
+        // And B was charged at an elevated rate.
+        let cb = out.charges.iter().find(|c| c.vm == B).unwrap();
+        assert!(cb.io_rate > 10.0);
+        assert!(cb.io > Resos::from_whole(2000), "more than base price");
+    }
+
+    #[test]
+    fn unregistered_vms_are_ignored() {
+        let mut m = mgr(Box::new(FreeMarket::new()));
+        let out = m.on_interval(t(1), &[(VmId::new(99), snap(500, 50.0))]);
+        assert!(out.charges.is_empty());
+    }
+
+    #[test]
+    fn conservation_property_sum_of_charges() {
+        // Total deducted equals allocation minus remaining, exactly.
+        let mut m = mgr(Box::new(FreeMarket::new()));
+        let mut total_io = Resos::ZERO;
+        for i in 0..100u64 {
+            let out = m.on_interval(t(i), &[(A, snap(123, 45.0))]);
+            for c in &out.charges {
+                total_io += c.io;
+            }
+        }
+        let acct = m.account(A).unwrap();
+        assert_eq!(acct.io_alloc - acct.io_remaining(), total_io);
+    }
+}

@@ -1,0 +1,144 @@
+//! The pricing-policy interface.
+//!
+//! A [`PricingPolicy`] is invoked once per charging interval with a
+//! read-only view of every monitored VM's usage (from IBMon and XenStat)
+//! and account state, and returns per-VM [`VmVerdict`]s: the charging
+//! *rates* to apply this interval and, optionally, a new CPU cap. The
+//! manager performs the actual deduction and cap actuation — policies
+//! decide, mechanism executes.
+
+use crate::account::ResoAccount;
+use crate::config::ResExConfig;
+use resex_simcore::define_id;
+use resex_simcore::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+define_id!(
+    /// A managed VM, as ResEx names it (the platform maps these to
+    /// hypervisor domains).
+    VmId
+);
+
+/// Latency feedback forwarded by a VM's reporting agent.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LatencyFeedback {
+    /// Mean total service latency over the report window, µs.
+    pub mean_us: f64,
+    /// Standard deviation of total latency, µs.
+    pub std_us: f64,
+    /// Requests in the window.
+    pub count: u64,
+}
+
+/// One VM's observed usage during the interval.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct VmSnapshot {
+    /// MTUs the VM sent (IBMon estimate).
+    pub mtus: u64,
+    /// CPU consumed, percent of one PCPU over the interval (XenStat).
+    pub cpu_pct: f64,
+    /// Latest latency report, if the VM runs an agent.
+    pub latency: Option<LatencyFeedback>,
+    /// IBMon's buffer-size estimate in bytes.
+    pub est_buffer_bytes: f64,
+}
+
+/// Everything a policy may consult during one interval.
+pub struct IntervalCtx<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Interval number within the current epoch (0-based).
+    pub interval_in_epoch: u64,
+    /// Intervals per epoch.
+    pub intervals_per_epoch: u64,
+    /// Per-VM usage this interval, sorted by [`VmId`].
+    pub vms: &'a [(VmId, VmSnapshot)],
+    /// Account state as of the end of the previous interval.
+    pub accounts: &'a dyn Fn(VmId) -> Option<ResoAccount>,
+    /// The manager configuration.
+    pub cfg: &'a ResExConfig,
+}
+
+impl IntervalCtx<'_> {
+    /// Fraction of the current epoch still ahead.
+    pub fn epoch_remaining_fraction(&self) -> f64 {
+        1.0 - self.interval_in_epoch as f64 / self.intervals_per_epoch as f64
+    }
+
+    /// Total MTUs sent by all VMs this interval.
+    pub fn total_mtus(&self) -> u64 {
+        self.vms.iter().map(|(_, s)| s.mtus).sum()
+    }
+}
+
+/// A policy's decision for one VM for one interval.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VmVerdict {
+    /// The VM.
+    pub vm: VmId,
+    /// Resos charged per MTU this interval (base rate 1.0).
+    pub io_rate: f64,
+    /// Resos charged per CPU-percent this interval (base rate 1.0).
+    pub cpu_rate: f64,
+    /// New CPU cap to actuate, if the policy wants a change
+    /// (`None` = leave as is; `Some(0)` = uncap, Xen semantics).
+    pub cap_pct: Option<u32>,
+}
+
+impl VmVerdict {
+    /// The neutral verdict: base rates, no cap change.
+    pub fn neutral(vm: VmId) -> Self {
+        VmVerdict {
+            vm,
+            io_rate: 1.0,
+            cpu_rate: 1.0,
+            cap_pct: None,
+        }
+    }
+}
+
+/// A congestion-pricing policy, invoked every charging interval.
+pub trait PricingPolicy: Send {
+    /// Short policy name for experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Decides this interval's rates and cap changes. Must return exactly
+    /// one verdict per VM in `ctx.vms` (any order).
+    fn on_interval(&mut self, ctx: &IntervalCtx<'_>) -> Vec<VmVerdict>;
+
+    /// Epoch boundary hook (after accounts replenish).
+    fn on_epoch(&mut self, _epoch: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutral_verdict() {
+        let v = VmVerdict::neutral(VmId::new(3));
+        assert_eq!(v.io_rate, 1.0);
+        assert_eq!(v.cpu_rate, 1.0);
+        assert_eq!(v.cap_pct, None);
+    }
+
+    #[test]
+    fn ctx_helpers() {
+        let vms = vec![
+            (VmId::new(0), VmSnapshot { mtus: 100, ..Default::default() }),
+            (VmId::new(1), VmSnapshot { mtus: 900, ..Default::default() }),
+        ];
+        let cfg = ResExConfig::default();
+        let lookup = |_vm: VmId| None;
+        let ctx = IntervalCtx {
+            now: SimTime::ZERO,
+            interval_in_epoch: 250,
+            intervals_per_epoch: 1000,
+            vms: &vms,
+            accounts: &lookup,
+            cfg: &cfg,
+        };
+        assert_eq!(ctx.total_mtus(), 1000);
+        assert!((ctx.epoch_remaining_fraction() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for Reso accounting and policy invariants.
+
+use proptest::prelude::*;
+use resex_core::{
+    FreeMarket, IoShares, LatencyFeedback, ManagerAction, PricingPolicy, ResExConfig,
+    ResExManager, Resos, SlaTarget, VmId, VmSnapshot,
+};
+use resex_simcore::time::SimTime;
+
+proptest! {
+    /// Charging rounds against the VM: the charge is always ≥ the exact
+    /// product, and within one milli-Reso of it.
+    #[test]
+    fn charge_rounds_up(units in 0f64..1e7, rate in 0f64..1e3) {
+        let c = Resos::charge(units, rate);
+        let exact = units * rate;
+        prop_assert!(c.as_f64() >= exact - 1e-9);
+        prop_assert!(c.as_f64() <= exact + 0.001 + 1e-9);
+    }
+
+    /// Weighted scaling never over-allocates the pool.
+    #[test]
+    fn scale_never_overallocates(pool in 0i64..10_000_000, weights in prop::collection::vec(1u32..100, 1..10)) {
+        let pool = Resos::from_whole(pool);
+        let total_w: u64 = weights.iter().map(|&w| w as u64).sum();
+        let shares: Vec<Resos> = weights
+            .iter()
+            .map(|&w| pool.scale(w as f64 / total_w as f64))
+            .collect();
+        let sum: Resos = shares.iter().copied().sum();
+        prop_assert!(sum <= pool, "allocated {sum} of {pool}");
+    }
+
+    /// Account conservation: allocation − remaining == total charged,
+    /// exactly, for any charge sequence within one epoch.
+    #[test]
+    fn account_conservation(charges in prop::collection::vec((0u64..5000, 0f64..100.0), 1..200)) {
+        let cfg = ResExConfig::default();
+        let mut mgr = ResExManager::new(cfg, Box::new(FreeMarket::new())).unwrap();
+        let vm = VmId::new(0);
+        mgr.register_vm(vm, 1);
+        let mut charged = Resos::ZERO;
+        for (i, &(mtus, cpu)) in charges.iter().enumerate().take(999) {
+            let out = mgr.on_interval(
+                SimTime::from_millis(i as u64),
+                &[(vm, VmSnapshot { mtus, cpu_pct: cpu, ..Default::default() })],
+            );
+            for c in &out.charges {
+                charged += c.io + c.cpu;
+            }
+        }
+        let acct = mgr.account(vm).unwrap();
+        prop_assert_eq!(acct.total_alloc() - acct.total_remaining(), charged);
+    }
+
+    /// The manager's cap actions always target registered VMs and stay in
+    /// the valid percentage range.
+    #[test]
+    fn cap_actions_valid(
+        mtus_a in 0u64..3000,
+        mtus_b in 0u64..3000,
+        latency in 150f64..800.0,
+        intervals in 1usize..300,
+    ) {
+        let a = VmId::new(0);
+        let b = VmId::new(1);
+        let sla = vec![(a, SlaTarget { base_mean_us: 209.0, base_std_us: 2.0 })];
+        let mut mgr =
+            ResExManager::new(ResExConfig::default(), Box::new(IoShares::new(sla))).unwrap();
+        mgr.register_vm(a, 1);
+        mgr.register_vm(b, 1);
+        for i in 0..intervals {
+            let snap_a = VmSnapshot {
+                mtus: mtus_a,
+                cpu_pct: 50.0,
+                latency: Some(LatencyFeedback { mean_us: latency, std_us: 5.0, count: 5 }),
+                est_buffer_bytes: 65536.0,
+            };
+            let snap_b = VmSnapshot { mtus: mtus_b, cpu_pct: 90.0, ..Default::default() };
+            let out = mgr.on_interval(SimTime::from_millis(i as u64), &[(a, snap_a), (b, snap_b)]);
+            for act in &out.actions {
+                let ManagerAction::SetCap { vm, cap_pct } = *act;
+                prop_assert!(vm == a || vm == b);
+                prop_assert!((1..=100).contains(&cap_pct), "cap {cap_pct}");
+            }
+        }
+    }
+
+    /// IOShares never taxes a VM whose link share is zero: the culprit is
+    /// always a sender.
+    #[test]
+    fn ioshares_taxes_only_senders(latency in 300f64..800.0) {
+        let a = VmId::new(0);
+        let b = VmId::new(1);
+        let sla = vec![(a, SlaTarget { base_mean_us: 209.0, base_std_us: 2.0 })];
+        let mut policy = IoShares::new(sla);
+        let cfg = ResExConfig::default();
+        let vms = vec![
+            (a, VmSnapshot {
+                mtus: 64,
+                cpu_pct: 50.0,
+                latency: Some(LatencyFeedback { mean_us: latency, std_us: 5.0, count: 5 }),
+                est_buffer_bytes: 65536.0,
+            }),
+            // b is idle on the link.
+            (b, VmSnapshot { mtus: 0, cpu_pct: 90.0, ..Default::default() }),
+        ];
+        let lookup = |_vm: VmId| None;
+        let ctx = resex_core::IntervalCtx {
+            now: SimTime::ZERO,
+            interval_in_epoch: 1,
+            intervals_per_epoch: 1000,
+            vms: &vms,
+            accounts: &lookup,
+            cfg: &cfg,
+        };
+        let verdicts = policy.on_interval(&ctx);
+        let vb = verdicts.iter().find(|v| v.vm == b).unwrap();
+        prop_assert_eq!(vb.io_rate, 1.0, "idle VM must not be taxed");
+    }
+
+    /// FreeMarket caps only ever move downward within an epoch (monotone
+    /// throttle) and never below the configured floor.
+    #[test]
+    fn freemarket_caps_monotone_within_epoch(spend_heavy in any::<bool>()) {
+        let cfg = ResExConfig::default();
+        let mut mgr = ResExManager::new(cfg, Box::new(FreeMarket::new())).unwrap();
+        let vm = VmId::new(0);
+        mgr.register_vm(vm, 1);
+        let mtus = if spend_heavy { 8000 } else { 10 };
+        let mut last_cap = 100u32;
+        for i in 0..999u64 {
+            let out = mgr.on_interval(
+                SimTime::from_millis(i),
+                &[(vm, VmSnapshot { mtus, cpu_pct: 100.0, ..Default::default() })],
+            );
+            for act in &out.actions {
+                let ManagerAction::SetCap { cap_pct, .. } = *act;
+                prop_assert!(cap_pct <= last_cap, "cap rose mid-epoch");
+                prop_assert!(cap_pct >= cfg.min_cap_pct);
+                last_cap = cap_pct;
+            }
+        }
+    }
+}

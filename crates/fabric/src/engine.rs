@@ -1,0 +1,1277 @@
+//! The fabric engine: HCAs, the switch, and the data-path state machine.
+//!
+//! [`Fabric`] owns every node's HCA state (TPT, queue pairs, completion
+//! queues, UARs, egress arbiter) plus an internal event agenda. The platform
+//! drives it with two calls:
+//!
+//! * [`Fabric::next_time`] — when does the fabric need attention next?
+//! * [`Fabric::advance`] — process everything due up to `now`, returning the
+//!   externally visible [`FabricEvent`]s (completions, deliveries, drops).
+//!
+//! The data path of one work request:
+//!
+//! ```text
+//! post_send ─→ doorbell ─→ egress arbiter ─(grants)─→ serialization
+//!        ─(switch+wire)─→ delivery at destination ─→ receiver effects
+//!        ─(ack)─→ sender completion CQE
+//! ```
+//!
+//! Completions are *really written* into guest-memory CQE rings — the same
+//! bytes IBMon later introspects.
+
+use crate::config::FabricConfig;
+use crate::cqe::{CompletionQueue, Cqe, CQE_SIZE};
+use crate::error::FabricError;
+use crate::link::{EgressJob, FlowParams, GrantDecision, GrantPlan, JobKind, LinkArbiter};
+use crate::mr::{MrHandle, Need, Tpt};
+use crate::qp::{QueuePair, RecvRequest, WorkRequest};
+use crate::types::{Access, CqNum, McGroupId, NodeId, Opcode, PdId, QpNum, QpType, WcStatus};
+use crate::uar::Uar;
+use resex_simcore::event::EventQueue;
+use resex_simcore::ids::IdAllocator;
+use resex_simcore::rng::SimRng;
+use resex_simcore::time::{SimDuration, SimTime};
+use resex_simmem::{Gpa, MemoryHandle, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+resex_simcore::define_id!(
+    /// One UAR (doorbell) page on an HCA.
+    UarId
+);
+
+/// Wire size of the request packet that initiates an RDMA read.
+const READ_REQUEST_BYTES: u32 = 16;
+
+/// Per-node (per-HCA) aggregate counters.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct NodeCounters {
+    /// Payload bytes serialized onto the egress link.
+    pub bytes_sent: u64,
+    /// MTUs serialized onto the egress link.
+    pub mtus_sent: u64,
+    /// Arbiter grants issued.
+    pub grants: u64,
+    /// Cumulative link-busy time (for utilization).
+    pub busy: SimDuration,
+    /// Incoming messages dropped for lack of a posted receive.
+    pub rnr_drops: u64,
+    /// Unreliable datagrams silently dropped (not-ready receiver).
+    pub ud_drops: u64,
+}
+
+/// Externally visible fabric happenings, timestamped by [`Fabric::advance`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FabricEvent {
+    /// A sender-side completion CQE was written.
+    SendComplete {
+        /// Node owning the sending QP.
+        node: NodeId,
+        /// The sending queue pair.
+        qp: QpNum,
+        /// The work request's cookie.
+        wr_id: u64,
+        /// The completed operation.
+        opcode: Opcode,
+        /// Completion status.
+        status: WcStatus,
+        /// Message length.
+        byte_len: u32,
+    },
+    /// A receive-side completion CQE was written (Send or WriteImm arrival).
+    RecvComplete {
+        /// Node owning the receiving QP.
+        node: NodeId,
+        /// The receiving queue pair.
+        qp: QpNum,
+        /// The receive request's cookie.
+        wr_id: u64,
+        /// Message length.
+        byte_len: u32,
+        /// Immediate value, for `RdmaWriteImm`.
+        imm: Option<u32>,
+    },
+    /// A plain RDMA write landed (no CQE; the destination CPU is not
+    /// notified on real hardware — the platform uses this to model apps
+    /// that poll memory).
+    RdmaWriteDelivered {
+        /// Destination node.
+        node: NodeId,
+        /// Destination queue pair.
+        qp: QpNum,
+        /// Where the data landed.
+        gpa: Gpa,
+        /// Bytes written.
+        byte_len: u32,
+    },
+    /// An incoming send found no posted receive and was dropped.
+    RnrDrop {
+        /// Destination node.
+        node: NodeId,
+        /// Destination queue pair.
+        qp: QpNum,
+    },
+}
+
+enum Timer {
+    GrantDone { node: NodeId, plan: GrantPlan },
+    LinkRetry { node: NodeId },
+    Deliver { job: EgressJob, final_chunk: bool },
+    SenderComplete {
+        node: NodeId,
+        qp: QpNum,
+        wr_id: u64,
+        opcode: Opcode,
+        byte_len: u32,
+    },
+}
+
+struct Node {
+    tpt: Tpt,
+    qps: HashMap<QpNum, QueuePair>,
+    cqs: HashMap<CqNum, CompletionQueue>,
+    pds: HashSet<PdId>,
+    uars: HashMap<UarId, Uar>,
+    qp_uar: HashMap<QpNum, UarId>,
+    qp_alloc: IdAllocator<QpNum>,
+    cq_alloc: IdAllocator<CqNum>,
+    pd_alloc: IdAllocator<PdId>,
+    uar_alloc: IdAllocator<UarId>,
+    arbiter: LinkArbiter,
+    link_busy: bool,
+    /// Pending rate-limit retry, if one is scheduled.
+    next_retry: Option<SimTime>,
+    /// Virtual-clock cursor of the node's *ingress* port: the instant the
+    /// last-accepted chunk finished arriving. Models switch output-port
+    /// contention (incast) without penalizing uncongested cut-through
+    /// traffic.
+    ingress_free: SimTime,
+    counters: NodeCounters,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node {
+            tpt: Tpt::new(),
+            qps: HashMap::new(),
+            cqs: HashMap::new(),
+            pds: HashSet::new(),
+            uars: HashMap::new(),
+            qp_uar: HashMap::new(),
+            // QP numbers start at 1 like real HCAs (0 is reserved).
+            qp_alloc: IdAllocator::starting_at(1),
+            cq_alloc: IdAllocator::new(),
+            pd_alloc: IdAllocator::new(),
+            uar_alloc: IdAllocator::new(),
+            arbiter: LinkArbiter::new(),
+            link_busy: false,
+            next_retry: None,
+            ingress_free: SimTime::ZERO,
+            counters: NodeCounters::default(),
+        }
+    }
+}
+
+/// The simulated fabric: all HCAs plus the crossbar switch between them.
+pub struct Fabric {
+    cfg: FabricConfig,
+    nodes: Vec<Node>,
+    agenda: EventQueue<Timer>,
+    outputs: Vec<(SimTime, FabricEvent)>,
+    job_seq: u64,
+    jitter_rng: SimRng,
+    mcast_groups: Vec<Vec<(NodeId, QpNum)>>,
+}
+
+impl Fabric {
+    /// Creates a fabric with the given configuration.
+    pub fn new(cfg: FabricConfig) -> Result<Self, FabricError> {
+        cfg.validate().map_err(FabricError::Config)?;
+        let jitter_rng = SimRng::seed_from_u64(cfg.jitter_seed);
+        Ok(Fabric {
+            cfg,
+            nodes: Vec::new(),
+            agenda: EventQueue::new(),
+            outputs: Vec::new(),
+            job_seq: 0,
+            jitter_rng,
+            mcast_groups: Vec::new(),
+        })
+    }
+
+    /// Creates a fabric with default (paper-testbed) parameters.
+    pub fn with_defaults() -> Self {
+        Fabric::new(FabricConfig::default()).expect("default config is valid")
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// Adds a node (HCA + switch port) and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.nodes.push(Node::new());
+        NodeId::new((self.nodes.len() - 1) as u32)
+    }
+
+    fn node(&self, n: NodeId) -> Result<&Node, FabricError> {
+        self.nodes.get(n.index()).ok_or(FabricError::UnknownNode(n))
+    }
+
+    fn node_mut(&mut self, n: NodeId) -> Result<&mut Node, FabricError> {
+        self.nodes
+            .get_mut(n.index())
+            .ok_or(FabricError::UnknownNode(n))
+    }
+
+    // ----- control path (verbs) ---------------------------------------
+
+    /// Allocates a protection domain.
+    pub fn create_pd(&mut self, node: NodeId) -> Result<PdId, FabricError> {
+        let n = self.node_mut(node)?;
+        let pd = n.pd_alloc.next();
+        n.pds.insert(pd);
+        Ok(pd)
+    }
+
+    /// Allocates a UAR (doorbell page) inside `mem`.
+    pub fn create_uar(&mut self, node: NodeId, mem: &MemoryHandle) -> Result<UarId, FabricError> {
+        let base = mem.alloc_bytes(PAGE_SIZE as u64)?;
+        let uar = Uar::new(mem.clone(), base)?;
+        let n = self.node_mut(node)?;
+        let id = n.uar_alloc.next();
+        n.uars.insert(id, uar);
+        Ok(id)
+    }
+
+    /// Registers a memory region, pinning its pages.
+    pub fn register_mr(
+        &mut self,
+        node: NodeId,
+        pd: PdId,
+        mem: &MemoryHandle,
+        gpa: Gpa,
+        len: u32,
+        access: Access,
+    ) -> Result<MrHandle, FabricError> {
+        let n = self.node_mut(node)?;
+        if !n.pds.contains(&pd) {
+            return Err(FabricError::UnknownPd(node, pd));
+        }
+        n.tpt.register(pd, mem, gpa, len, access)
+    }
+
+    /// Deregisters a memory region.
+    pub fn deregister_mr(&mut self, node: NodeId, key: u32) -> Result<(), FabricError> {
+        self.node_mut(node)?.tpt.deregister(key)
+    }
+
+    /// Creates a completion queue whose ring is allocated inside `mem`.
+    pub fn create_cq(
+        &mut self,
+        node: NodeId,
+        mem: &MemoryHandle,
+        capacity: u32,
+    ) -> Result<CqNum, FabricError> {
+        let ring_gpa = mem.alloc_bytes((capacity as usize * CQE_SIZE) as u64)?;
+        let n = self.node_mut(node)?;
+        let num = n.cq_alloc.next();
+        let cq = CompletionQueue::new(num, mem.clone(), ring_gpa, capacity)?;
+        n.cqs.insert(num, cq);
+        Ok(num)
+    }
+
+    /// Creates a queue pair bound to the given CQs and UAR.
+    #[allow(clippy::too_many_arguments)] // mirrors ibv_create_qp's surface
+    pub fn create_qp(
+        &mut self,
+        node: NodeId,
+        pd: PdId,
+        send_cq: CqNum,
+        recv_cq: CqNum,
+        sq_depth: usize,
+        rq_depth: usize,
+        uar: UarId,
+    ) -> Result<QpNum, FabricError> {
+        let n = self.node_mut(node)?;
+        if !n.pds.contains(&pd) {
+            return Err(FabricError::UnknownPd(node, pd));
+        }
+        if !n.cqs.contains_key(&send_cq) {
+            return Err(FabricError::UnknownCq(node, send_cq));
+        }
+        if !n.cqs.contains_key(&recv_cq) {
+            return Err(FabricError::UnknownCq(node, recv_cq));
+        }
+        let num = n.qp_alloc.next();
+        let u = n
+            .uars
+            .get_mut(&uar)
+            .ok_or(FabricError::Config("unknown UAR".into()))?;
+        u.assign(num)?;
+        n.qp_uar.insert(num, uar);
+        n.qps
+            .insert(num, QueuePair::new(num, pd, send_cq, recv_cq, sq_depth, rq_depth));
+        Ok(num)
+    }
+
+    /// Connects two queue pairs (both walked `INIT → RTR → RTS`).
+    pub fn connect(
+        &mut self,
+        a_node: NodeId,
+        a_qp: QpNum,
+        b_node: NodeId,
+        b_qp: QpNum,
+    ) -> Result<(), FabricError> {
+        {
+            let n = self.node_mut(a_node)?;
+            let qp = n.qps.get_mut(&a_qp).ok_or(FabricError::UnknownQp(a_node, a_qp))?;
+            qp.to_init()?;
+            qp.to_rtr((b_node, b_qp))?;
+            qp.to_rts()?;
+        }
+        {
+            let n = self.node_mut(b_node)?;
+            let qp = n.qps.get_mut(&b_qp).ok_or(FabricError::UnknownQp(b_node, b_qp))?;
+            qp.to_init()?;
+            qp.to_rtr((a_node, a_qp))?;
+            qp.to_rts()?;
+        }
+        Ok(())
+    }
+
+    /// Creates an unreliable-datagram queue pair (already in RTS; UD needs
+    /// no peer handshake).
+    #[allow(clippy::too_many_arguments)] // mirrors ibv_create_qp's surface
+    pub fn create_ud_qp(
+        &mut self,
+        node: NodeId,
+        pd: PdId,
+        send_cq: CqNum,
+        recv_cq: CqNum,
+        sq_depth: usize,
+        rq_depth: usize,
+        uar: UarId,
+    ) -> Result<QpNum, FabricError> {
+        let n = self.node_mut(node)?;
+        if !n.pds.contains(&pd) {
+            return Err(FabricError::UnknownPd(node, pd));
+        }
+        if !n.cqs.contains_key(&send_cq) {
+            return Err(FabricError::UnknownCq(node, send_cq));
+        }
+        if !n.cqs.contains_key(&recv_cq) {
+            return Err(FabricError::UnknownCq(node, recv_cq));
+        }
+        let num = n.qp_alloc.next();
+        let u = n
+            .uars
+            .get_mut(&uar)
+            .ok_or(FabricError::Config("unknown UAR".into()))?;
+        u.assign(num)?;
+        n.qp_uar.insert(num, uar);
+        n.qps.insert(
+            num,
+            QueuePair::new_ud(num, pd, send_cq, recv_cq, sq_depth, rq_depth),
+        );
+        Ok(num)
+    }
+
+    /// Creates an empty multicast group.
+    pub fn create_mcast_group(&mut self) -> McGroupId {
+        self.mcast_groups.push(Vec::new());
+        McGroupId::new((self.mcast_groups.len() - 1) as u32)
+    }
+
+    /// Attaches a UD queue pair to a multicast group.
+    pub fn join_mcast(
+        &mut self,
+        group: McGroupId,
+        node: NodeId,
+        qp: QpNum,
+    ) -> Result<(), FabricError> {
+        {
+            let n = self.node(node)?;
+            let q = n.qps.get(&qp).ok_or(FabricError::UnknownQp(node, qp))?;
+            if q.qp_type != QpType::Ud {
+                return Err(FabricError::BadQpState { qp, needed: "a UD queue pair" });
+            }
+        }
+        let members = self
+            .mcast_groups
+            .get_mut(group.index())
+            .ok_or(FabricError::Config("unknown multicast group".into()))?;
+        if !members.contains(&(node, qp)) {
+            members.push((node, qp));
+        }
+        Ok(())
+    }
+
+    /// Members of a multicast group.
+    pub fn mcast_members(&self, group: McGroupId) -> &[(NodeId, QpNum)] {
+        self.mcast_groups
+            .get(group.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Posts an unreliable datagram to an explicit destination. UD messages
+    /// are limited to one MTU; `wr.opcode` must be `Send`; the completion is
+    /// local (generated as soon as the datagram is serialized — UD has no
+    /// acknowledgements).
+    pub fn post_send_ud(
+        &mut self,
+        node: NodeId,
+        qp_num: QpNum,
+        wr: WorkRequest,
+        dst: (NodeId, QpNum),
+        now: SimTime,
+    ) -> Result<(), FabricError> {
+        self.post_ud_inner(node, qp_num, wr, JobKind::UdSend, dst, now)
+    }
+
+    /// Posts an unreliable datagram to every member of a multicast group.
+    /// The datagram is serialized **once** on the sender's egress; the
+    /// switch replicates it to each member's ingress port.
+    pub fn post_send_mcast(
+        &mut self,
+        node: NodeId,
+        qp_num: QpNum,
+        wr: WorkRequest,
+        group: McGroupId,
+        now: SimTime,
+    ) -> Result<(), FabricError> {
+        if group.index() >= self.mcast_groups.len() {
+            return Err(FabricError::Config("unknown multicast group".into()));
+        }
+        // Destination fields are unused for multicast; the fan-out happens
+        // at delivery from the group table.
+        self.post_ud_inner(node, qp_num, wr, JobKind::McastSend { group }, (node, qp_num), now)
+    }
+
+    fn post_ud_inner(
+        &mut self,
+        node: NodeId,
+        qp_num: QpNum,
+        wr: WorkRequest,
+        kind: JobKind,
+        dst: (NodeId, QpNum),
+        now: SimTime,
+    ) -> Result<(), FabricError> {
+        if wr.opcode != Opcode::Send {
+            return Err(FabricError::BadQpState { qp: qp_num, needed: "a Send opcode (UD)" });
+        }
+        if wr.len > self.cfg.mtu_bytes {
+            return Err(FabricError::Config(format!(
+                "UD datagrams are limited to one MTU ({} bytes), got {}",
+                self.cfg.mtu_bytes, wr.len
+            )));
+        }
+        let threshold = self.cfg.payload_copy_threshold;
+        let seq = self.job_seq;
+        let n = self.node_mut(node)?;
+        let payload = {
+            let qp = n.qps.get(&qp_num).ok_or(FabricError::UnknownQp(node, qp_num))?;
+            if qp.qp_type != QpType::Ud {
+                return Err(FabricError::BadQpState { qp: qp_num, needed: "a UD queue pair" });
+            }
+            let mem = n.tpt.check(wr.lkey, wr.local_gpa, wr.len, Need::LocalRead, Some(qp.pd))?;
+            if wr.len <= threshold {
+                let mut buf = vec![0u8; wr.len as usize];
+                mem.read(wr.local_gpa, &mut buf)?;
+                Some(buf)
+            } else {
+                None
+            }
+        };
+        n.qps.get_mut(&qp_num).unwrap().post_send(wr)?;
+        n.qps.get_mut(&qp_num).unwrap().sq.pop_back();
+        if let Some(&uid) = n.qp_uar.get(&qp_num) {
+            if let Some(uar) = n.uars.get_mut(&uid) {
+                uar.ring(qp_num)?;
+            }
+        }
+        self.job_seq += 1;
+        let job = EgressJob {
+            seq,
+            src_node: node,
+            qp: qp_num,
+            wr_id: wr.wr_id,
+            opcode: wr.opcode,
+            kind,
+            dst_node: dst.0,
+            dst_qp: dst.1,
+            len: wr.len,
+            sent: 0,
+            signaled: wr.signaled,
+            remote_gpa: Gpa::new(0),
+            rkey: 0,
+            imm: wr.imm,
+            payload,
+        };
+        let n = self.node_mut(node)?;
+        n.arbiter.enqueue(job);
+        self.kick_link(node, now);
+        Ok(())
+    }
+
+    // ----- data path ---------------------------------------------------
+
+    /// Posts a send-side work request at simulated time `now`.
+    ///
+    /// Local memory keys are validated synchronously (as `ibv_post_send`
+    /// does); remote keys are validated at the responder when data arrives.
+    pub fn post_send(
+        &mut self,
+        node: NodeId,
+        qp_num: QpNum,
+        wr: WorkRequest,
+        now: SimTime,
+    ) -> Result<(), FabricError> {
+        let threshold = self.cfg.payload_copy_threshold;
+        let seq = self.job_seq;
+        let n = self.node_mut(node)?;
+        // Local key validation + optional payload capture.
+        let payload = {
+            let qp = n.qps.get(&qp_num).ok_or(FabricError::UnknownQp(node, qp_num))?;
+            if qp.qp_type != QpType::Rc {
+                return Err(FabricError::BadQpState {
+                    qp: qp_num,
+                    needed: "an RC queue pair (use post_send_ud)",
+                });
+            }
+            let need = match wr.opcode {
+                Opcode::RdmaRead => Need::LocalWrite,
+                _ => Need::LocalRead,
+            };
+            let mem = n.tpt.check(wr.lkey, wr.local_gpa, wr.len, need, Some(qp.pd))?;
+            let copy = wr.len <= threshold
+                && matches!(wr.opcode, Opcode::Send | Opcode::RdmaWrite | Opcode::RdmaWriteImm);
+            if copy {
+                let mut buf = vec![0u8; wr.len as usize];
+                mem.read(wr.local_gpa, &mut buf)?;
+                Some(buf)
+            } else {
+                None
+            }
+        };
+        let (dst_node, dst_qp, kind, job_len) = {
+            let qp = n.qps.get_mut(&qp_num).unwrap();
+            qp.post_send(wr)?;
+            let remote = qp.remote().ok_or(FabricError::BadQpState {
+                qp: qp_num,
+                needed: "a connected peer",
+            })?;
+            let kind = match wr.opcode {
+                Opcode::Send => JobKind::Send,
+                Opcode::RdmaWrite => JobKind::Write,
+                Opcode::RdmaWriteImm => JobKind::WriteImm,
+                Opcode::RdmaRead => JobKind::ReadRequest {
+                    resp_len: wr.len,
+                    remote_gpa: wr.remote.map(|r| r.gpa).unwrap_or(Gpa::new(0)),
+                    rkey: wr.remote.map(|r| r.rkey).unwrap_or(0),
+                    local_gpa: wr.local_gpa,
+                    lkey: wr.lkey,
+                },
+                Opcode::Recv => {
+                    return Err(FabricError::BadQpState {
+                        qp: qp_num,
+                        needed: "a send-side opcode",
+                    })
+                }
+            };
+            let job_len = if wr.opcode == Opcode::RdmaRead {
+                READ_REQUEST_BYTES
+            } else {
+                wr.len
+            };
+            // The WQE is consumed by the engine immediately (the HCA's DMA
+            // engine picks it up at doorbell time).
+            qp.sq.pop_back();
+            (remote.0, remote.1, kind, job_len)
+        };
+        // Ring the doorbell (guest-visible posting signal).
+        if let Some(&uid) = n.qp_uar.get(&qp_num) {
+            if let Some(uar) = n.uars.get_mut(&uid) {
+                uar.ring(qp_num)?;
+            }
+        }
+        self.job_seq += 1;
+        let job = EgressJob {
+            seq,
+            src_node: node,
+            qp: qp_num,
+            wr_id: wr.wr_id,
+            opcode: wr.opcode,
+            kind,
+            dst_node,
+            dst_qp,
+            len: job_len,
+            sent: 0,
+            signaled: wr.signaled,
+            remote_gpa: wr.remote.map(|r| r.gpa).unwrap_or(Gpa::new(0)),
+            rkey: wr.remote.map(|r| r.rkey).unwrap_or(0),
+            imm: wr.imm,
+            payload,
+        };
+        let n = self.node_mut(node)?;
+        n.arbiter.enqueue(job);
+        self.kick_link(node, now);
+        Ok(())
+    }
+
+    /// Posts a receive-side work request.
+    pub fn post_recv(
+        &mut self,
+        node: NodeId,
+        qp_num: QpNum,
+        rr: RecvRequest,
+    ) -> Result<(), FabricError> {
+        let n = self.node_mut(node)?;
+        let qp = n.qps.get(&qp_num).ok_or(FabricError::UnknownQp(node, qp_num))?;
+        n.tpt.check(rr.lkey, rr.gpa, rr.len, Need::LocalWrite, Some(qp.pd))?;
+        n.qps.get_mut(&qp_num).unwrap().post_recv(rr)
+    }
+
+    /// Polls up to `max` completions from a CQ.
+    pub fn poll_cq(
+        &mut self,
+        node: NodeId,
+        cq: CqNum,
+        max: usize,
+    ) -> Result<Vec<Cqe>, FabricError> {
+        let n = self.node_mut(node)?;
+        let c = n.cqs.get_mut(&cq).ok_or(FabricError::UnknownCq(node, cq))?;
+        c.poll_batch(max)
+    }
+
+    // ----- introspection & accounting -----------------------------------
+
+    /// Location and capacity of a CQ's ring, for IBMon mapping.
+    pub fn cq_ring_info(&self, node: NodeId, cq: CqNum) -> Result<(Gpa, u32), FabricError> {
+        let n = self.node(node)?;
+        let c = n.cqs.get(&cq).ok_or(FabricError::UnknownCq(node, cq))?;
+        Ok((c.ring_gpa(), c.capacity()))
+    }
+
+    /// Ground-truth per-QP counters (used by tests and the oracle baseline).
+    pub fn qp_counters(&self, node: NodeId, qp: QpNum) -> Result<crate::qp::QpCounters, FabricError> {
+        let n = self.node(node)?;
+        n.qps
+            .get(&qp)
+            .map(|q| q.counters)
+            .ok_or(FabricError::UnknownQp(node, qp))
+    }
+
+    /// Per-node aggregate counters.
+    pub fn node_counters(&self, node: NodeId) -> Result<NodeCounters, FabricError> {
+        Ok(self.node(node)?.counters)
+    }
+
+    /// Current doorbell value for a QP (introspection).
+    pub fn doorbell_value(&self, node: NodeId, qp: QpNum) -> Result<u32, FabricError> {
+        let n = self.node(node)?;
+        let uid = n
+            .qp_uar
+            .get(&qp)
+            .ok_or(FabricError::UnknownQp(node, qp))?;
+        n.uars[uid].read(qp)
+    }
+
+    /// Bytes queued but not yet serialized on a node's egress link.
+    pub fn egress_backlog(&self, node: NodeId) -> Result<u64, FabricError> {
+        Ok(self.node(node)?.arbiter.pending_bytes())
+    }
+
+    /// Installs HCA QoS parameters (priority, WRR weight, rate limit) for a
+    /// queue pair's egress flow — the hardware-side isolation knobs the
+    /// paper contrasts with ResEx's hypervisor-side cap.
+    pub fn set_qp_flow_params(
+        &mut self,
+        node: NodeId,
+        qp: QpNum,
+        params: FlowParams,
+    ) -> Result<(), FabricError> {
+        let n = self.node_mut(node)?;
+        if !n.qps.contains_key(&qp) {
+            return Err(FabricError::UnknownQp(node, qp));
+        }
+        n.arbiter.set_flow_params(qp, params);
+        Ok(())
+    }
+
+    // ----- time & event loop --------------------------------------------
+
+    /// When the fabric next needs to run, if ever.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.agenda.peek_time()
+    }
+
+    /// Processes all internal events due at or before `now`; returns the
+    /// externally visible events that occurred, in time order.
+    pub fn advance(&mut self, now: SimTime) -> Vec<(SimTime, FabricEvent)> {
+        while self.agenda.peek_time().is_some_and(|t| t <= now) {
+            let (t, timer) = self.agenda.pop().expect("peeked");
+            self.handle(t, timer);
+        }
+        std::mem::take(&mut self.outputs)
+    }
+
+    fn kick_link(&mut self, node: NodeId, now: SimTime) {
+        let (grant_bytes, mtu, overhead) = (
+            self.cfg.grant_mtus * self.cfg.mtu_bytes,
+            self.cfg.mtu_bytes,
+            self.cfg.wqe_overhead,
+        );
+        let n = match self.nodes.get_mut(node.index()) {
+            Some(n) => n,
+            None => return,
+        };
+        if n.link_busy {
+            return;
+        }
+        match n.arbiter.next_grant(grant_bytes, mtu, now) {
+            GrantDecision::Grant(plan) => {
+                n.link_busy = true;
+                let mut dur = self.cfg.serialization_time(plan.bytes as u64);
+                if plan.is_first {
+                    dur += overhead;
+                }
+                if self.cfg.hw_jitter > 0.0 {
+                    // Multiplicative timing noise, clamped to stay causal.
+                    let f = 1.0 + self.cfg.hw_jitter * self.jitter_rng.standard_normal();
+                    dur = dur.mul_f64(f.max(0.1));
+                }
+                n.counters.busy += dur;
+                self.agenda
+                    .schedule_at(now + dur, Timer::GrantDone { node, plan });
+            }
+            GrantDecision::Throttled { until } => {
+                // Arm (or tighten) a retry when every pending flow is
+                // rate-limited. The guard avoids piling up duplicates, and
+                // the retry is always strictly in the future (a same-instant
+                // retry would spin).
+                let until = until.max(now + SimDuration::from_nanos(1));
+                if n.next_retry.is_none_or(|t| until < t) {
+                    n.next_retry = Some(until);
+                    self.agenda.schedule_at(until, Timer::LinkRetry { node });
+                }
+            }
+            GrantDecision::Idle => {}
+        }
+    }
+
+    fn handle(&mut self, t: SimTime, timer: Timer) {
+        match timer {
+            Timer::GrantDone { node, plan } => self.on_grant_done(t, node, plan),
+            Timer::LinkRetry { node } => {
+                if let Some(n) = self.nodes.get_mut(node.index()) {
+                    if n.next_retry == Some(t) {
+                        n.next_retry = None;
+                    }
+                }
+                self.kick_link(node, t);
+            }
+            Timer::Deliver { job, final_chunk } => {
+                if final_chunk {
+                    self.on_final_delivery(t, job);
+                }
+            }
+            Timer::SenderComplete {
+                node,
+                qp,
+                wr_id,
+                opcode,
+                byte_len,
+            } => {
+                self.write_send_cqe(t, node, qp, wr_id, opcode, WcStatus::Success, byte_len);
+            }
+        }
+    }
+
+    fn on_grant_done(&mut self, t: SimTime, node: NodeId, plan: GrantPlan) {
+        let one_way = self.cfg.one_way_latency();
+        let chunk_ser = self.cfg.serialization_time(plan.bytes as u64);
+        {
+            let n = self.nodes.get_mut(node.index()).expect("grant on known node");
+            n.counters.bytes_sent += plan.bytes as u64;
+            n.counters.mtus_sent += plan.mtus as u64;
+            n.counters.grants += 1;
+            if let Some(qp) = n.qps.get_mut(&plan.job.qp) {
+                qp.counters.bytes_sent += plan.bytes as u64;
+                qp.counters.mtus_sent += plan.mtus as u64;
+            }
+            n.link_busy = false;
+        }
+        let arrival = t + one_way;
+        match plan.job.kind {
+            JobKind::McastSend { group } => {
+                // UD completions are local: the datagram left the HCA.
+                if plan.job_finished && plan.job.signaled {
+                    self.agenda.schedule_at(
+                        t,
+                        Timer::SenderComplete {
+                            node: plan.job.src_node,
+                            qp: plan.job.qp,
+                            wr_id: plan.job.wr_id,
+                            opcode: plan.job.opcode,
+                            byte_len: plan.job.len,
+                        },
+                    );
+                }
+                // Switch replication: one egress serialization, one ingress
+                // arrival per member.
+                let members = self
+                    .mcast_groups
+                    .get(group.index())
+                    .cloned()
+                    .unwrap_or_default();
+                for (dst_node, dst_qp) in members {
+                    let mut member_job = plan.job.clone();
+                    member_job.kind = JobKind::UdSend;
+                    member_job.dst_node = dst_node;
+                    member_job.dst_qp = dst_qp;
+                    let delivery = self.ingress_delivery(dst_node, arrival, chunk_ser);
+                    self.agenda.schedule_at(
+                        delivery,
+                        Timer::Deliver {
+                            final_chunk: plan.job_finished,
+                            job: member_job,
+                        },
+                    );
+                }
+            }
+            JobKind::UdSend => {
+                if plan.job_finished && plan.job.signaled {
+                    self.agenda.schedule_at(
+                        t,
+                        Timer::SenderComplete {
+                            node: plan.job.src_node,
+                            qp: plan.job.qp,
+                            wr_id: plan.job.wr_id,
+                            opcode: plan.job.opcode,
+                            byte_len: plan.job.len,
+                        },
+                    );
+                }
+                let delivery = self.ingress_delivery(plan.job.dst_node, arrival, chunk_ser);
+                self.agenda.schedule_at(
+                    delivery,
+                    Timer::Deliver {
+                        final_chunk: plan.job_finished,
+                        job: plan.job,
+                    },
+                );
+            }
+            _ => {
+                let delivery = self.ingress_delivery(plan.job.dst_node, arrival, chunk_ser);
+                self.agenda.schedule_at(
+                    delivery,
+                    Timer::Deliver {
+                        final_chunk: plan.job_finished,
+                        job: plan.job,
+                    },
+                );
+            }
+        }
+        self.kick_link(node, t);
+    }
+
+    /// Ingress contention at the destination (incast): a chunk finishes
+    /// arriving no earlier than its wire arrival, and no earlier than one
+    /// chunk-serialization after the previous chunk accepted by the same
+    /// port. A single paced sender never queues (cut-through); multiple
+    /// senders converge to the port's line rate.
+    fn ingress_delivery(
+        &mut self,
+        dst_node: NodeId,
+        arrival: SimTime,
+        chunk_ser: SimDuration,
+    ) -> SimTime {
+        if let Some(dst) = self.nodes.get_mut(dst_node.index()) {
+            let d = arrival.max(dst.ingress_free + chunk_ser);
+            dst.ingress_free = d;
+            d
+        } else {
+            arrival
+        }
+    }
+
+    /// Receiver-side effects once a message has fully arrived.
+    fn on_final_delivery(&mut self, t: SimTime, job: EgressJob) {
+        match job.kind.clone() {
+            JobKind::UdSend => self.deliver_ud(t, job),
+            JobKind::McastSend { .. } => {
+                unreachable!("multicast jobs fan out into UdSend deliveries")
+            }
+            JobKind::Send => self.deliver_two_sided(t, job, None),
+            JobKind::WriteImm => {
+                // Place the data first, then consume a receive.
+                if let Err(status) = self.place_rdma_write(&job) {
+                    self.complete_sender_err(t, &job, status);
+                    return;
+                }
+                let imm = job.imm;
+                self.deliver_two_sided(t, job, Some(imm));
+            }
+            JobKind::Write => {
+                if let Err(status) = self.place_rdma_write(&job) {
+                    self.complete_sender_err(t, &job, status);
+                    return;
+                }
+                self.outputs.push((
+                    t,
+                    FabricEvent::RdmaWriteDelivered {
+                        node: job.dst_node,
+                        qp: job.dst_qp,
+                        gpa: job.remote_gpa,
+                        byte_len: job.len,
+                    },
+                ));
+                self.schedule_sender_success(t, &job, job.len);
+            }
+            JobKind::ReadRequest {
+                resp_len,
+                remote_gpa,
+                rkey,
+                local_gpa,
+                lkey,
+            } => self.start_read_response(t, job, resp_len, remote_gpa, rkey, local_gpa, lkey),
+            JobKind::ReadResponse {
+                local_gpa,
+                lkey,
+                initiator_wr,
+                initiator_qp,
+            } => self.finish_read(t, job, local_gpa, lkey, initiator_wr, initiator_qp),
+        }
+    }
+
+    /// Unreliable-datagram arrival: consume a receive WQE if present,
+    /// otherwise drop silently (UD has no NAKs; the sender never learns).
+    fn deliver_ud(&mut self, t: SimTime, job: EgressJob) {
+        let dst = job.dst_node;
+        let n = match self.nodes.get_mut(dst.index()) {
+            Some(n) => n,
+            None => return,
+        };
+        let rr = match n.qps.get_mut(&job.dst_qp) {
+            Some(qp) if qp.qp_type == QpType::Ud => qp.rq.pop_front(),
+            _ => None,
+        };
+        let rr = match rr {
+            Some(rr) => rr,
+            None => {
+                n.counters.ud_drops += 1;
+                return;
+            }
+        };
+        if rr.len >= job.len {
+            if let Some(payload) = &job.payload {
+                let pd = n.qps.get(&job.dst_qp).map(|q| q.pd);
+                if let Ok(mem) = n.tpt.check(rr.lkey, rr.gpa, job.len, Need::LocalWrite, pd) {
+                    let _ = mem.dma_write(rr.gpa, payload);
+                }
+            }
+        }
+        let (recv_cq, counter) = match n.qps.get_mut(&job.dst_qp) {
+            Some(qp) => (qp.recv_cq, qp.next_rq_counter()),
+            None => return,
+        };
+        let cqe = Cqe {
+            wr_id: rr.wr_id,
+            qp_num: job.dst_qp,
+            byte_len: job.len,
+            wqe_counter: counter,
+            opcode: Opcode::Recv,
+            status: WcStatus::Success,
+            imm_data: job.imm,
+        };
+        Self::push_cqe(n, job.dst_qp, recv_cq, cqe);
+        self.outputs.push((
+            t,
+            FabricEvent::RecvComplete {
+                node: dst,
+                qp: job.dst_qp,
+                wr_id: rr.wr_id,
+                byte_len: job.len,
+                imm: None,
+            },
+        ));
+    }
+
+    /// Send / WriteImm arrival: consume a receive WQE and write a CQE.
+    fn deliver_two_sided(&mut self, t: SimTime, job: EgressJob, imm: Option<u32>) {
+        let dst = job.dst_node;
+        let rr = {
+            let n = match self.nodes.get_mut(dst.index()) {
+                Some(n) => n,
+                None => return,
+            };
+            match n.qps.get_mut(&job.dst_qp) {
+                Some(qp) => qp.rq.pop_front(),
+                None => None,
+            }
+        };
+        let rr = match rr {
+            Some(rr) => rr,
+            None => {
+                // Receiver not ready: drop and fail the sender.
+                let n = self.nodes.get_mut(dst.index()).expect("dst exists");
+                n.counters.rnr_drops += 1;
+                if let Some(qp) = n.qps.get_mut(&job.dst_qp) {
+                    qp.counters.rnr_drops += 1;
+                }
+                self.outputs.push((
+                    t,
+                    FabricEvent::RnrDrop {
+                        node: dst,
+                        qp: job.dst_qp,
+                    },
+                ));
+                self.complete_sender_err(t, &job, WcStatus::RnrRetryExceeded);
+                return;
+            }
+        };
+        // For plain sends the payload lands in the receive buffer; WriteImm
+        // data has already been placed at the remote address.
+        if job.kind == JobKind::Send {
+            if rr.len < job.len {
+                self.complete_sender_err(t, &job, WcStatus::RemoteAccessError);
+                return;
+            }
+            if let Some(payload) = &job.payload {
+                let n = self.nodes.get_mut(dst.index()).expect("dst exists");
+                let pd = n.qps.get(&job.dst_qp).map(|q| q.pd);
+                if let Ok(mem) = n.tpt.check(rr.lkey, rr.gpa, job.len, Need::LocalWrite, pd) {
+                    // Landing buffers are registered, hence pinned.
+                    let _ = mem.dma_write(rr.gpa, payload);
+                }
+            }
+        }
+        let n = self.nodes.get_mut(dst.index()).expect("dst exists");
+        let (recv_cq, counter) = match n.qps.get_mut(&job.dst_qp) {
+            Some(qp) => (qp.recv_cq, qp.next_rq_counter()),
+            None => return,
+        };
+        let cqe = Cqe {
+            wr_id: rr.wr_id,
+            qp_num: job.dst_qp,
+            byte_len: job.len,
+            wqe_counter: counter,
+            opcode: Opcode::Recv,
+            status: WcStatus::Success,
+            imm_data: imm.unwrap_or(0),
+        };
+        Self::push_cqe(n, job.dst_qp, recv_cq, cqe);
+        self.outputs.push((
+            t,
+            FabricEvent::RecvComplete {
+                node: dst,
+                qp: job.dst_qp,
+                wr_id: rr.wr_id,
+                byte_len: job.len,
+                imm,
+            },
+        ));
+        self.schedule_sender_success(t, &job, job.len);
+    }
+
+    /// Validates the rkey and places RDMA-write payload at the destination.
+    fn place_rdma_write(&mut self, job: &EgressJob) -> Result<(), WcStatus> {
+        let n = self
+            .nodes
+            .get_mut(job.dst_node.index())
+            .ok_or(WcStatus::RemoteAccessError)?;
+        let mem = n
+            .tpt
+            .check(job.rkey, job.remote_gpa, job.len, Need::RemoteWrite, None)
+            .map_err(|_| WcStatus::RemoteAccessError)?;
+        if let Some(payload) = &job.payload {
+            mem.dma_write(job.remote_gpa, payload)
+                .map_err(|_| WcStatus::RemoteAccessError)?;
+        }
+        Ok(())
+    }
+
+    /// A read request arrived at the responder: validate and stream back.
+    #[allow(clippy::too_many_arguments)]
+    fn start_read_response(
+        &mut self,
+        t: SimTime,
+        job: EgressJob,
+        resp_len: u32,
+        remote_gpa: Gpa,
+        rkey: u32,
+        local_gpa: Gpa,
+        lkey: u32,
+    ) {
+        let responder = job.dst_node;
+        let payload = {
+            let n = match self.nodes.get_mut(responder.index()) {
+                Some(n) => n,
+                None => return,
+            };
+            match n.tpt.check(rkey, remote_gpa, resp_len, Need::RemoteRead, None) {
+                Ok(mem) => {
+                    if resp_len <= self.cfg.payload_copy_threshold {
+                        let mut buf = vec![0u8; resp_len as usize];
+                        if mem.read(remote_gpa, &mut buf).is_ok() {
+                            Some(buf)
+                        } else {
+                            None
+                        }
+                    } else {
+                        None
+                    }
+                }
+                Err(_) => {
+                    self.complete_sender_err(t, &job, WcStatus::RemoteAccessError);
+                    return;
+                }
+            }
+        };
+        let seq = self.job_seq;
+        self.job_seq += 1;
+        let resp = EgressJob {
+            seq,
+            src_node: responder,
+            // Charge the responder-side QP: read traffic consumes the
+            // responder's egress bandwidth, as on real fabrics.
+            qp: job.dst_qp,
+            wr_id: job.wr_id,
+            opcode: Opcode::RdmaRead,
+            kind: JobKind::ReadResponse {
+                local_gpa,
+                lkey,
+                initiator_wr: job.wr_id,
+                initiator_qp: job.qp,
+            },
+            dst_node: job.src_node,
+            dst_qp: job.qp,
+            len: resp_len,
+            sent: 0,
+            signaled: job.signaled,
+            remote_gpa,
+            rkey,
+            imm: 0,
+            payload,
+        };
+        let n = self.nodes.get_mut(responder.index()).expect("responder exists");
+        n.arbiter.enqueue(resp);
+        self.kick_link(responder, t);
+    }
+
+    /// Read-response data fully arrived back at the initiator.
+    fn finish_read(
+        &mut self,
+        t: SimTime,
+        job: EgressJob,
+        local_gpa: Gpa,
+        lkey: u32,
+        initiator_wr: u64,
+        initiator_qp: QpNum,
+    ) {
+        let initiator = job.dst_node;
+        let n = match self.nodes.get_mut(initiator.index()) {
+            Some(n) => n,
+            None => return,
+        };
+        if let Some(payload) = &job.payload {
+            let pd = n.qps.get(&initiator_qp).map(|q| q.pd);
+            if let Ok(mem) =
+                n.tpt
+                    .check(lkey, local_gpa, payload.len() as u32, Need::LocalWrite, pd)
+            {
+                let _ = mem.dma_write(local_gpa, payload);
+            }
+        }
+        if job.signaled {
+            self.write_send_cqe(
+                t,
+                initiator,
+                initiator_qp,
+                initiator_wr,
+                Opcode::RdmaRead,
+                WcStatus::Success,
+                job.len,
+            );
+        }
+    }
+
+    fn schedule_sender_success(&mut self, t: SimTime, job: &EgressJob, byte_len: u32) {
+        if !job.signaled {
+            return;
+        }
+        self.agenda.schedule_at(
+            t + self.cfg.ack_latency,
+            Timer::SenderComplete {
+                node: job.src_node,
+                qp: job.qp,
+                wr_id: job.wr_id,
+                opcode: job.opcode,
+                byte_len,
+            },
+        );
+    }
+
+    fn complete_sender_err(&mut self, t: SimTime, job: &EgressJob, status: WcStatus) {
+        // Errors are always reported, signaled or not, like real RC QPs.
+        let (node, qp, wr_id, opcode, len) =
+            (job.src_node, job.qp, job.wr_id, job.opcode, job.len);
+        self.write_send_cqe(t, node, qp, wr_id, opcode, status, len);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn write_send_cqe(
+        &mut self,
+        t: SimTime,
+        node: NodeId,
+        qp_num: QpNum,
+        wr_id: u64,
+        opcode: Opcode,
+        status: WcStatus,
+        byte_len: u32,
+    ) {
+        let n = match self.nodes.get_mut(node.index()) {
+            Some(n) => n,
+            None => return,
+        };
+        let (send_cq, counter) = match n.qps.get_mut(&qp_num) {
+            Some(qp) => (qp.send_cq, qp.next_sq_counter()),
+            None => return,
+        };
+        let cqe = Cqe {
+            wr_id,
+            qp_num,
+            byte_len,
+            wqe_counter: counter,
+            opcode,
+            status,
+            imm_data: 0,
+        };
+        Self::push_cqe(n, qp_num, send_cq, cqe);
+        self.outputs.push((
+            t,
+            FabricEvent::SendComplete {
+                node,
+                qp: qp_num,
+                wr_id,
+                opcode,
+                status,
+                byte_len,
+            },
+        ));
+    }
+
+    fn push_cqe(n: &mut Node, qp: QpNum, cq: CqNum, cqe: Cqe) {
+        if let Some(q) = n.qps.get_mut(&qp) {
+            q.counters.completions += 1;
+        }
+        if let Some(c) = n.cqs.get_mut(&cq) {
+            // Overruns are counted inside the CQ; experiments size rings to
+            // never hit this.
+            let _ = c.push(cqe);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Token-bucket rate limiting for egress flows.
+//!
+//! Models the per-flow bandwidth caps of newer HCAs that the paper points
+//! at as an alternative (hardware) isolation mechanism: "Newer generation
+//! InfiniBand cards allow controls such as setting a limit on bandwidth
+//! for different traffic flows". The `hw_qos` extension experiment compares
+//! this lever against ResEx's CPU-cap lever.
+
+use resex_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A classic token bucket: `rate` bytes/second refill, `capacity` bytes of
+/// burst.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TokenBucket {
+    rate: u64,
+    capacity: u64,
+    tokens: f64,
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that starts full.
+    ///
+    /// # Panics
+    /// If `rate` or `capacity` is zero.
+    pub fn new(rate_bytes_per_sec: u64, capacity_bytes: u64) -> Self {
+        assert!(rate_bytes_per_sec > 0, "rate must be positive");
+        assert!(capacity_bytes > 0, "capacity must be positive");
+        TokenBucket {
+            rate: rate_bytes_per_sec,
+            capacity: capacity_bytes,
+            tokens: capacity_bytes as f64,
+            last_refill: SimTime::ZERO,
+        }
+    }
+
+    /// The configured rate, bytes/second.
+    pub fn rate(&self) -> u64 {
+        self.rate
+    }
+
+    /// The configured burst capacity, bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if now <= self.last_refill {
+            return;
+        }
+        let dt = now.duration_since(self.last_refill).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate as f64).min(self.capacity as f64);
+        self.last_refill = now;
+    }
+
+    /// Current token level at `now`.
+    pub fn available(&mut self, now: SimTime) -> u64 {
+        self.refill(now);
+        self.tokens as u64
+    }
+
+    /// Tries to spend `bytes`; returns whether the bucket had them.
+    pub fn try_consume(&mut self, bytes: u64, now: SimTime) -> bool {
+        self.refill(now);
+        if self.tokens >= bytes as f64 {
+            self.tokens -= bytes as f64;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The earliest time at which `bytes` tokens will be available.
+    /// Requests beyond the bucket capacity are answered for `capacity`
+    /// tokens (a caller asking for more must fragment).
+    pub fn next_available(&mut self, bytes: u64, now: SimTime) -> SimTime {
+        self.refill(now);
+        let want = (bytes.min(self.capacity)) as f64;
+        if self.tokens >= want {
+            return now;
+        }
+        let missing = want - self.tokens;
+        // Round the wait *up* to a whole nanosecond: returning `now` for a
+        // sub-nanosecond deficit would let a caller retry at the same
+        // instant forever.
+        let wait_ns = (missing * 1e9 / self.rate as f64).ceil().max(1.0);
+        now + SimDuration::from_nanos(wait_ns as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+
+    #[test]
+    fn starts_full_and_consumes() {
+        let mut b = TokenBucket::new(1000, 500);
+        assert_eq!(b.available(SimTime::ZERO), 500);
+        assert!(b.try_consume(300, SimTime::ZERO));
+        assert!(b.try_consume(200, SimTime::ZERO));
+        assert!(!b.try_consume(1, SimTime::ZERO), "empty");
+    }
+
+    #[test]
+    fn refills_at_rate() {
+        let mut b = TokenBucket::new(1000, 1000); // 1000 B/s
+        assert!(b.try_consume(1000, SimTime::ZERO));
+        assert!(!b.try_consume(100, ms(50)), "only 50 tokens at 50 ms");
+        assert!(b.try_consume(100, ms(100)), "100 tokens at 100 ms");
+    }
+
+    #[test]
+    fn capacity_caps_the_burst() {
+        let mut b = TokenBucket::new(1_000_000, 2000);
+        // After a long idle period the bucket holds only `capacity`.
+        assert_eq!(b.available(SimTime::from_secs(100)), 2000);
+    }
+
+    #[test]
+    fn next_available_is_exact() {
+        let mut b = TokenBucket::new(1000, 1000);
+        assert!(b.try_consume(1000, SimTime::ZERO));
+        let t = b.next_available(500, SimTime::ZERO);
+        assert_eq!(t, ms(500));
+        // And consuming at that time succeeds.
+        assert!(b.try_consume(500, t));
+    }
+
+    #[test]
+    fn oversized_requests_answered_at_capacity() {
+        let mut b = TokenBucket::new(1000, 1000);
+        b.try_consume(1000, SimTime::ZERO);
+        // Asking for 5000 (> capacity) is answered for 1000.
+        let t = b.next_available(5000, SimTime::ZERO);
+        assert_eq!(t, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn time_going_backwards_is_ignored() {
+        let mut b = TokenBucket::new(1000, 1000);
+        b.try_consume(600, ms(10));
+        let before = b.available(ms(10));
+        // A stale query must not un-refill.
+        assert!(b.available(ms(5)) >= before);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        TokenBucket::new(0, 1);
+    }
+}

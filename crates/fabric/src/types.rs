@@ -1,0 +1,177 @@
+//! Identifiers and wire-level enums shared across the fabric model.
+
+use resex_simcore::define_id;
+use serde::{Deserialize, Serialize};
+
+define_id!(
+    /// One HCA port / fabric endpoint (the simulated analogue of an
+    /// InfiniBand LID). The paper's testbed has two nodes.
+    NodeId
+);
+
+define_id!(
+    /// Queue-pair number, unique within one HCA.
+    QpNum
+);
+
+define_id!(
+    /// Completion-queue number, unique within one HCA.
+    CqNum
+);
+
+define_id!(
+    /// Protection domain, unique within one HCA.
+    PdId
+);
+
+define_id!(
+    /// A multicast group spanning the fabric (switch-replicated).
+    McGroupId
+);
+
+/// Transport type of a queue pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QpType {
+    /// Reliable connected: acknowledged, ordered, supports RDMA (default).
+    Rc,
+    /// Unreliable datagram: connectionless sends of at most one MTU, no
+    /// acknowledgements, silent drops when the receiver is not ready —
+    /// the transport real exchanges use for multicast market data.
+    Ud,
+}
+
+/// Verbs opcode carried by a work request and echoed in its completion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Two-sided send; consumes a receive WQE at the destination.
+    Send = 0,
+    /// One-sided RDMA write; invisible to the destination CPU.
+    RdmaWrite = 1,
+    /// RDMA write with immediate; also consumes a receive WQE and generates
+    /// a receive completion carrying the immediate value.
+    RdmaWriteImm = 2,
+    /// One-sided RDMA read; data flows from the responder back to the
+    /// initiator, consuming the *responder's* egress bandwidth.
+    RdmaRead = 3,
+    /// Receive completion (never posted; only appears in CQEs).
+    Recv = 4,
+}
+
+impl Opcode {
+    /// Decodes from the CQE byte.
+    pub fn from_u8(v: u8) -> Option<Opcode> {
+        Some(match v {
+            0 => Opcode::Send,
+            1 => Opcode::RdmaWrite,
+            2 => Opcode::RdmaWriteImm,
+            3 => Opcode::RdmaRead,
+            4 => Opcode::Recv,
+            _ => return None,
+        })
+    }
+}
+
+/// Completion status, mirroring the interesting subset of `ibv_wc_status`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum WcStatus {
+    /// Operation completed successfully.
+    Success = 0,
+    /// Local memory-key validation failed at post time.
+    LocalProtectionError = 1,
+    /// Remote key validation failed at the responder.
+    RemoteAccessError = 2,
+    /// The responder had no receive WQE posted (receiver-not-ready).
+    RnrRetryExceeded = 3,
+    /// The QP was not in a state that allows the operation.
+    InvalidQpState = 4,
+    /// The completion queue overflowed and this entry was dropped.
+    CqOverrun = 5,
+}
+
+impl WcStatus {
+    /// Decodes from the CQE byte.
+    pub fn from_u8(v: u8) -> Option<WcStatus> {
+        Some(match v {
+            0 => WcStatus::Success,
+            1 => WcStatus::LocalProtectionError,
+            2 => WcStatus::RemoteAccessError,
+            3 => WcStatus::RnrRetryExceeded,
+            4 => WcStatus::InvalidQpState,
+            5 => WcStatus::CqOverrun,
+            _ => return None,
+        })
+    }
+
+    /// True for [`WcStatus::Success`].
+    pub fn is_ok(self) -> bool {
+        self == WcStatus::Success
+    }
+}
+
+/// Access rights requested when registering a memory region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// Local read (always required for sends).
+    pub local_read: bool,
+    /// Local write (required for receive and read-response placement).
+    pub local_write: bool,
+    /// Remote write (required for incoming RDMA writes).
+    pub remote_write: bool,
+    /// Remote read (required for incoming RDMA reads).
+    pub remote_read: bool,
+}
+
+impl Access {
+    /// Local-only access (send sources).
+    pub const LOCAL: Access = Access {
+        local_read: true,
+        local_write: true,
+        remote_write: false,
+        remote_read: false,
+    };
+
+    /// Full local + remote access (typical for benchmark buffers).
+    pub const FULL: Access = Access {
+        local_read: true,
+        local_write: true,
+        remote_write: true,
+        remote_read: true,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_roundtrip() {
+        for op in [
+            Opcode::Send,
+            Opcode::RdmaWrite,
+            Opcode::RdmaWriteImm,
+            Opcode::RdmaRead,
+            Opcode::Recv,
+        ] {
+            assert_eq!(Opcode::from_u8(op as u8), Some(op));
+        }
+        assert_eq!(Opcode::from_u8(200), None);
+    }
+
+    #[test]
+    fn status_roundtrip() {
+        for st in [
+            WcStatus::Success,
+            WcStatus::LocalProtectionError,
+            WcStatus::RemoteAccessError,
+            WcStatus::RnrRetryExceeded,
+            WcStatus::InvalidQpState,
+            WcStatus::CqOverrun,
+        ] {
+            assert_eq!(WcStatus::from_u8(st as u8), Some(st));
+        }
+        assert!(WcStatus::Success.is_ok());
+        assert!(!WcStatus::CqOverrun.is_ok());
+    }
+}

@@ -1,0 +1,261 @@
+//! UD transport and switch multicast: the market-data path.
+
+use resex_fabric::qp::{RecvRequest, WorkRequest};
+use resex_fabric::{
+    Access, CqNum, Fabric, FabricEvent, NodeId, Opcode, PdId, QpNum, UarId, WcStatus,
+};
+use resex_simcore::time::SimTime;
+use resex_simmem::{Gpa, MemoryHandle};
+
+#[allow(dead_code)] // fixture keeps every handle alive for the test body
+struct UdEndpoint {
+    node: NodeId,
+    mem: MemoryHandle,
+    pd: PdId,
+    uar: UarId,
+    send_cq: CqNum,
+    recv_cq: CqNum,
+    qp: QpNum,
+    buf_gpa: Gpa,
+    lkey: u32,
+}
+
+fn ud_endpoint(f: &mut Fabric, node: NodeId) -> UdEndpoint {
+    let mem = MemoryHandle::new(4 << 20);
+    let pd = f.create_pd(node).unwrap();
+    let uar = f.create_uar(node, &mem).unwrap();
+    let send_cq = f.create_cq(node, &mem, 256).unwrap();
+    let recv_cq = f.create_cq(node, &mem, 256).unwrap();
+    let qp = f
+        .create_ud_qp(node, pd, send_cq, recv_cq, 256, 256, uar)
+        .unwrap();
+    let buf_gpa = mem.alloc_bytes(64 * 1024).unwrap();
+    let mr = f
+        .register_mr(node, pd, &mem, buf_gpa, 64 * 1024, Access::FULL)
+        .unwrap();
+    UdEndpoint {
+        node,
+        mem,
+        pd,
+        uar,
+        send_cq,
+        recv_cq,
+        qp,
+        buf_gpa,
+        lkey: mr.lkey,
+    }
+}
+
+fn drain(f: &mut Fabric) -> Vec<(SimTime, FabricEvent)> {
+    let mut out = Vec::new();
+    while let Some(t) = f.next_time() {
+        out.extend(f.advance(t));
+    }
+    out
+}
+
+fn datagram(id: u64, lkey: u32, gpa: Gpa, len: u32) -> WorkRequest {
+    WorkRequest {
+        wr_id: id,
+        opcode: Opcode::Send,
+        lkey,
+        local_gpa: gpa,
+        len,
+        remote: None,
+        imm: 0,
+        signaled: true,
+    }
+}
+
+#[test]
+fn ud_send_delivers_with_local_completion() {
+    let mut f = Fabric::with_defaults();
+    let n0 = f.add_node();
+    let n1 = f.add_node();
+    let pub_ep = ud_endpoint(&mut f, n0);
+    let sub_ep = ud_endpoint(&mut f, n1);
+    pub_ep.mem.write(pub_ep.buf_gpa, b"tick:ICE@42.17").unwrap();
+    f.post_recv(
+        n1,
+        sub_ep.qp,
+        RecvRequest { wr_id: 5, lkey: sub_ep.lkey, gpa: sub_ep.buf_gpa, len: 1024 },
+    )
+    .unwrap();
+    f.post_send_ud(
+        n0,
+        pub_ep.qp,
+        datagram(1, pub_ep.lkey, pub_ep.buf_gpa, 14),
+        (n1, sub_ep.qp),
+        SimTime::ZERO,
+    )
+    .unwrap();
+    let events = drain(&mut f);
+    let send_at = events
+        .iter()
+        .find_map(|(t, e)| matches!(e, FabricEvent::SendComplete { .. }).then_some(*t))
+        .unwrap();
+    let recv_at = events
+        .iter()
+        .find_map(|(t, e)| matches!(e, FabricEvent::RecvComplete { .. }).then_some(*t))
+        .unwrap();
+    // UD completion is local: it precedes the delivery (no ack round-trip).
+    assert!(send_at < recv_at, "local completion at {send_at}, delivery at {recv_at}");
+    // Payload arrived.
+    let mut got = [0u8; 14];
+    sub_ep.mem.read(sub_ep.buf_gpa, &mut got).unwrap();
+    assert_eq!(&got, b"tick:ICE@42.17");
+    // Receive CQE pollable.
+    let cqes = f.poll_cq(n1, sub_ep.recv_cq, 8).unwrap();
+    assert_eq!(cqes[0].wr_id, 5);
+    assert_eq!(cqes[0].byte_len, 14);
+}
+
+#[test]
+fn ud_drops_silently_without_recv() {
+    let mut f = Fabric::with_defaults();
+    let n0 = f.add_node();
+    let n1 = f.add_node();
+    let pub_ep = ud_endpoint(&mut f, n0);
+    let sub_ep = ud_endpoint(&mut f, n1);
+    f.post_send_ud(
+        n0,
+        pub_ep.qp,
+        datagram(1, pub_ep.lkey, pub_ep.buf_gpa, 100),
+        (n1, sub_ep.qp),
+        SimTime::ZERO,
+    )
+    .unwrap();
+    let events = drain(&mut f);
+    // The sender still gets its (local, successful) completion — it never
+    // learns about the drop. No receive event, no error.
+    assert!(events.iter().any(|(_, e)| matches!(
+        e,
+        FabricEvent::SendComplete { status: WcStatus::Success, .. }
+    )));
+    assert!(!events.iter().any(|(_, e)| matches!(e, FabricEvent::RecvComplete { .. })));
+    assert_eq!(f.node_counters(n1).unwrap().ud_drops, 1);
+}
+
+#[test]
+fn ud_enforces_mtu_limit_and_qp_types() {
+    let mut f = Fabric::with_defaults();
+    let n0 = f.add_node();
+    let n1 = f.add_node();
+    let pub_ep = ud_endpoint(&mut f, n0);
+    let sub_ep = ud_endpoint(&mut f, n1);
+    // Over one MTU: rejected.
+    assert!(f
+        .post_send_ud(
+            n0,
+            pub_ep.qp,
+            datagram(1, pub_ep.lkey, pub_ep.buf_gpa, 2048),
+            (n1, sub_ep.qp),
+            SimTime::ZERO,
+        )
+        .is_err());
+    // RC verbs on a UD QP: rejected.
+    assert!(f
+        .post_send(n0, pub_ep.qp, datagram(1, pub_ep.lkey, pub_ep.buf_gpa, 100), SimTime::ZERO)
+        .is_err());
+    // UD QPs cannot be connected.
+    assert!(f.connect(n0, pub_ep.qp, n1, sub_ep.qp).is_err());
+}
+
+#[test]
+fn multicast_fans_out_with_one_egress_serialization() {
+    let mut f = Fabric::with_defaults();
+    let n_pub = f.add_node();
+    let subs: Vec<NodeId> = (0..3).map(|_| f.add_node()).collect();
+    let pub_ep = ud_endpoint(&mut f, n_pub);
+    let sub_eps: Vec<UdEndpoint> = subs.iter().map(|&n| ud_endpoint(&mut f, n)).collect();
+
+    let group = f.create_mcast_group();
+    for ep in &sub_eps {
+        f.join_mcast(group, ep.node, ep.qp).unwrap();
+        f.post_recv(
+            ep.node,
+            ep.qp,
+            RecvRequest { wr_id: 9, lkey: ep.lkey, gpa: ep.buf_gpa, len: 1024 },
+        )
+        .unwrap();
+    }
+    assert_eq!(f.mcast_members(group).len(), 3);
+
+    pub_ep.mem.write(pub_ep.buf_gpa, b"NBBO update").unwrap();
+    f.post_send_mcast(
+        n_pub,
+        pub_ep.qp,
+        datagram(1, pub_ep.lkey, pub_ep.buf_gpa, 11),
+        group,
+        SimTime::ZERO,
+    )
+    .unwrap();
+    let events = drain(&mut f);
+    let recvs: Vec<&FabricEvent> = events
+        .iter()
+        .filter_map(|(_, e)| matches!(e, FabricEvent::RecvComplete { .. }).then_some(e))
+        .collect();
+    assert_eq!(recvs.len(), 3, "every member received the tick");
+    for ep in &sub_eps {
+        let mut got = [0u8; 11];
+        ep.mem.read(ep.buf_gpa, &mut got).unwrap();
+        assert_eq!(&got, b"NBBO update");
+    }
+    // One datagram on the publisher's egress, not three (switch replicates).
+    let nc = f.node_counters(n_pub).unwrap();
+    assert_eq!(nc.mtus_sent, 1, "serialized once");
+    assert!(nc.bytes_sent < 100);
+}
+
+#[test]
+fn mcast_member_without_recv_drops_without_affecting_others() {
+    let mut f = Fabric::with_defaults();
+    let n_pub = f.add_node();
+    let n_a = f.add_node();
+    let n_b = f.add_node();
+    let pub_ep = ud_endpoint(&mut f, n_pub);
+    let a = ud_endpoint(&mut f, n_a);
+    let b = ud_endpoint(&mut f, n_b);
+    let group = f.create_mcast_group();
+    f.join_mcast(group, n_a, a.qp).unwrap();
+    f.join_mcast(group, n_b, b.qp).unwrap();
+    // Only a posts a receive.
+    f.post_recv(n_a, a.qp, RecvRequest { wr_id: 1, lkey: a.lkey, gpa: a.buf_gpa, len: 1024 })
+        .unwrap();
+    f.post_send_mcast(
+        n_pub,
+        pub_ep.qp,
+        datagram(1, pub_ep.lkey, pub_ep.buf_gpa, 64),
+        group,
+        SimTime::ZERO,
+    )
+    .unwrap();
+    let events = drain(&mut f);
+    let recvs = events
+        .iter()
+        .filter(|(_, e)| matches!(e, FabricEvent::RecvComplete { .. }))
+        .count();
+    assert_eq!(recvs, 1, "only the ready member receives");
+    assert_eq!(f.node_counters(n_b).unwrap().ud_drops, 1);
+    assert_eq!(f.node_counters(n_a).unwrap().ud_drops, 0);
+}
+
+#[test]
+fn joining_twice_is_idempotent_and_rc_qps_are_rejected() {
+    let mut f = Fabric::with_defaults();
+    let n0 = f.add_node();
+    let ep = ud_endpoint(&mut f, n0);
+    let group = f.create_mcast_group();
+    f.join_mcast(group, n0, ep.qp).unwrap();
+    f.join_mcast(group, n0, ep.qp).unwrap();
+    assert_eq!(f.mcast_members(group).len(), 1);
+
+    // An RC QP cannot join a multicast group.
+    let mem = MemoryHandle::new(1 << 20);
+    let pd = f.create_pd(n0).unwrap();
+    let uar = f.create_uar(n0, &mem).unwrap();
+    let scq = f.create_cq(n0, &mem, 16).unwrap();
+    let rcq = f.create_cq(n0, &mem, 16).unwrap();
+    let rc_qp = f.create_qp(n0, pd, scq, rcq, 16, 16, uar).unwrap();
+    assert!(f.join_mcast(group, n0, rc_qp).is_err());
+}

@@ -1,0 +1,132 @@
+//! Cox–Ross–Rubinstein binomial pricing.
+//!
+//! A lattice pricer for European and American exercise. BenchEx uses the
+//! binomial path for "heavy" transaction types: its cost scales with the
+//! step count, giving the benchmark a knob for per-request compute time
+//! (the paper's configurable "per-request processing times").
+
+use crate::black_scholes::{OptionKind, OptionSpec};
+
+/// Exercise style.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Exercise {
+    /// Exercise only at expiry.
+    European,
+    /// Exercise any time up to expiry.
+    American,
+}
+
+/// Prices `spec` on a CRR lattice with `steps` time steps.
+///
+/// # Panics
+/// If `steps == 0` or the spec fails validation.
+pub fn crr_price(spec: &OptionSpec, steps: u32, exercise: Exercise) -> f64 {
+    assert!(steps > 0, "binomial lattice needs at least one step");
+    spec.validate().expect("valid option spec");
+    let n = steps as usize;
+    let dt = spec.expiry / steps as f64;
+    let u = (spec.sigma * dt.sqrt()).exp();
+    let d = 1.0 / u;
+    let disc = (-spec.rate * dt).exp();
+    let p = ((spec.rate * dt).exp() - d) / (u - d);
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "risk-neutral probability out of range (σ too small for the step count?)"
+    );
+
+    let payoff = |s: f64| match spec.kind {
+        OptionKind::Call => (s - spec.strike).max(0.0),
+        OptionKind::Put => (spec.strike - s).max(0.0),
+    };
+
+    // Terminal layer.
+    let mut values: Vec<f64> = (0..=n)
+        .map(|j| payoff(spec.spot * u.powi(j as i32) * d.powi((n - j) as i32)))
+        .collect();
+
+    // Backward induction.
+    for i in (0..n).rev() {
+        for j in 0..=i {
+            let cont = disc * (p * values[j + 1] + (1.0 - p) * values[j]);
+            values[j] = match exercise {
+                Exercise::European => cont,
+                Exercise::American => {
+                    let s = spec.spot * u.powi(j as i32) * d.powi((i - j) as i32);
+                    cont.max(payoff(s))
+                }
+            };
+        }
+    }
+    values[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atm_call() -> OptionSpec {
+        OptionSpec {
+            kind: OptionKind::Call,
+            spot: 100.0,
+            strike: 100.0,
+            rate: 0.05,
+            sigma: 0.2,
+            expiry: 1.0,
+        }
+    }
+
+    #[test]
+    fn converges_to_black_scholes() {
+        let spec = atm_call();
+        let bs = spec.price();
+        let coarse = (crr_price(&spec, 64, Exercise::European) - bs).abs();
+        let fine = (crr_price(&spec, 1024, Exercise::European) - bs).abs();
+        assert!(fine < 0.01, "1024-step error {fine}");
+        assert!(fine < coarse, "refinement reduces error");
+    }
+
+    #[test]
+    fn european_put_converges_too() {
+        let spec = atm_call().flipped();
+        let bs = spec.price();
+        let approx = crr_price(&spec, 1024, Exercise::European);
+        assert!((approx - bs).abs() < 0.01);
+    }
+
+    #[test]
+    fn american_call_without_dividends_equals_european() {
+        // Classic result: never optimal to exercise a call early when the
+        // underlying pays no dividends.
+        let spec = atm_call();
+        let eu = crr_price(&spec, 256, Exercise::European);
+        let am = crr_price(&spec, 256, Exercise::American);
+        assert!((am - eu).abs() < 1e-9);
+    }
+
+    #[test]
+    fn american_put_carries_a_premium() {
+        let spec = atm_call().flipped();
+        let eu = crr_price(&spec, 256, Exercise::European);
+        let am = crr_price(&spec, 256, Exercise::American);
+        assert!(am > eu + 1e-3, "early-exercise premium: eu={eu} am={am}");
+    }
+
+    #[test]
+    fn american_value_at_least_intrinsic() {
+        let spec = OptionSpec { strike: 130.0, ..atm_call().flipped() };
+        let am = crr_price(&spec, 128, Exercise::American);
+        assert!(am >= 30.0 - 1e-9, "deep ITM put is worth at least intrinsic");
+    }
+
+    #[test]
+    fn single_step_lattice_is_sane() {
+        let p = crr_price(&atm_call(), 1, Exercise::European);
+        assert!(p > 0.0 && p < 100.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_steps_panics() {
+        crr_price(&atm_call(), 0, Exercise::European);
+    }
+}

@@ -1,0 +1,238 @@
+//! Black–Scholes option pricing and Greeks.
+//!
+//! The BenchEx server uses these routines as its per-request processing
+//! workload, standing in for the proprietary trade-matching code of a real
+//! exchange (the paper used Ødegaard's C++ finance library the same way).
+
+use crate::norm::{cdf, pdf};
+use serde::{Deserialize, Serialize};
+
+/// Call or put.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptionKind {
+    /// Right to buy at the strike.
+    Call,
+    /// Right to sell at the strike.
+    Put,
+}
+
+/// Terms of a European option plus market inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OptionSpec {
+    /// Call or put.
+    pub kind: OptionKind,
+    /// Spot price of the underlying (> 0).
+    pub spot: f64,
+    /// Strike price (> 0).
+    pub strike: f64,
+    /// Continuously compounded risk-free rate.
+    pub rate: f64,
+    /// Volatility of the underlying (> 0).
+    pub sigma: f64,
+    /// Time to expiry in years (> 0).
+    pub expiry: f64,
+}
+
+/// First-order risk sensitivities.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Greeks {
+    /// ∂V/∂S.
+    pub delta: f64,
+    /// ∂²V/∂S².
+    pub gamma: f64,
+    /// ∂V/∂σ (per 1.0 of vol, not per percentage point).
+    pub vega: f64,
+    /// ∂V/∂t (per year; negative for long options).
+    pub theta: f64,
+    /// ∂V/∂r.
+    pub rho: f64,
+}
+
+impl OptionSpec {
+    /// Validates the market inputs.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.spot > 0.0 && self.spot.is_finite()) {
+            return Err(format!("spot must be positive, got {}", self.spot));
+        }
+        if !(self.strike > 0.0 && self.strike.is_finite()) {
+            return Err(format!("strike must be positive, got {}", self.strike));
+        }
+        if !(self.sigma > 0.0 && self.sigma.is_finite()) {
+            return Err(format!("sigma must be positive, got {}", self.sigma));
+        }
+        if !(self.expiry > 0.0 && self.expiry.is_finite()) {
+            return Err(format!("expiry must be positive, got {}", self.expiry));
+        }
+        if !self.rate.is_finite() {
+            return Err("rate must be finite".into());
+        }
+        Ok(())
+    }
+
+    fn d1_d2(&self) -> (f64, f64) {
+        let sqrt_t = self.expiry.sqrt();
+        let d1 = ((self.spot / self.strike).ln()
+            + (self.rate + 0.5 * self.sigma * self.sigma) * self.expiry)
+            / (self.sigma * sqrt_t);
+        (d1, d1 - self.sigma * sqrt_t)
+    }
+
+    /// The Black–Scholes price.
+    pub fn price(&self) -> f64 {
+        let (d1, d2) = self.d1_d2();
+        let df = (-self.rate * self.expiry).exp();
+        match self.kind {
+            OptionKind::Call => self.spot * cdf(d1) - self.strike * df * cdf(d2),
+            OptionKind::Put => self.strike * df * cdf(-d2) - self.spot * cdf(-d1),
+        }
+    }
+
+    /// All first-order Greeks in one pass (shares the d1/d2 computation).
+    pub fn greeks(&self) -> Greeks {
+        let (d1, d2) = self.d1_d2();
+        let sqrt_t = self.expiry.sqrt();
+        let df = (-self.rate * self.expiry).exp();
+        let gamma = pdf(d1) / (self.spot * self.sigma * sqrt_t);
+        let vega = self.spot * pdf(d1) * sqrt_t;
+        match self.kind {
+            OptionKind::Call => Greeks {
+                delta: cdf(d1),
+                gamma,
+                vega,
+                theta: -(self.spot * pdf(d1) * self.sigma) / (2.0 * sqrt_t)
+                    - self.rate * self.strike * df * cdf(d2),
+                rho: self.strike * self.expiry * df * cdf(d2),
+            },
+            OptionKind::Put => Greeks {
+                delta: cdf(d1) - 1.0,
+                gamma,
+                vega,
+                theta: -(self.spot * pdf(d1) * self.sigma) / (2.0 * sqrt_t)
+                    + self.rate * self.strike * df * cdf(-d2),
+                rho: -self.strike * self.expiry * df * cdf(-d2),
+            },
+        }
+    }
+
+    /// The same option with the other kind (call ↔ put).
+    pub fn flipped(&self) -> OptionSpec {
+        OptionSpec {
+            kind: match self.kind {
+                OptionKind::Call => OptionKind::Put,
+                OptionKind::Put => OptionKind::Call,
+            },
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atm_call() -> OptionSpec {
+        OptionSpec {
+            kind: OptionKind::Call,
+            spot: 100.0,
+            strike: 100.0,
+            rate: 0.05,
+            sigma: 0.2,
+            expiry: 1.0,
+        }
+    }
+
+    #[test]
+    fn textbook_call_price() {
+        // Hull's canonical example: S=K=100, r=5%, σ=20%, T=1 → C ≈ 10.4506.
+        assert!((atm_call().price() - 10.4506).abs() < 2e-4);
+    }
+
+    #[test]
+    fn textbook_put_price() {
+        assert!((atm_call().flipped().price() - 5.5735).abs() < 2e-4);
+    }
+
+    #[test]
+    fn put_call_parity() {
+        for strike in [60.0, 80.0, 100.0, 120.0, 150.0] {
+            let call = OptionSpec { strike, ..atm_call() };
+            let put = call.flipped();
+            let lhs = call.price() - put.price();
+            let rhs = call.spot - strike * (-call.rate * call.expiry).exp();
+            assert!((lhs - rhs).abs() < 1e-6, "parity violated at K={strike}");
+        }
+    }
+
+    #[test]
+    fn deep_itm_call_approaches_forward_value() {
+        let spec = OptionSpec { strike: 1.0, ..atm_call() };
+        let intrinsic = spec.spot - spec.strike * (-spec.rate * spec.expiry).exp();
+        assert!((spec.price() - intrinsic).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deep_otm_call_is_nearly_worthless() {
+        let spec = OptionSpec { strike: 100_000.0, ..atm_call() };
+        assert!(spec.price() < 1e-8);
+    }
+
+    #[test]
+    fn price_increases_with_vol() {
+        let mut prev = 0.0;
+        for sigma in [0.05, 0.1, 0.2, 0.4, 0.8] {
+            let p = OptionSpec { sigma, ..atm_call() }.price();
+            assert!(p > prev, "vega positive: σ={sigma}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn greeks_reference_values() {
+        // Same Hull example; standard published Greeks.
+        let g = atm_call().greeks();
+        assert!((g.delta - 0.6368).abs() < 1e-3, "delta={}", g.delta);
+        assert!((g.gamma - 0.0188).abs() < 1e-3, "gamma={}", g.gamma);
+        assert!((g.vega - 37.524).abs() < 0.05, "vega={}", g.vega);
+        assert!((g.theta + 6.414).abs() < 0.01, "theta={}", g.theta);
+        assert!((g.rho - 53.232).abs() < 0.05, "rho={}", g.rho);
+    }
+
+    #[test]
+    fn put_delta_is_call_delta_minus_one() {
+        let call = atm_call();
+        let cd = call.greeks().delta;
+        let pd = call.flipped().greeks().delta;
+        assert!((cd - pd - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_matches_finite_difference() {
+        let spec = atm_call();
+        let h = 1e-4;
+        let up = OptionSpec { spot: spec.spot + h, ..spec }.price();
+        let dn = OptionSpec { spot: spec.spot - h, ..spec }.price();
+        let fd = (up - dn) / (2.0 * h);
+        assert!((spec.greeks().delta - fd).abs() < 1e-5);
+    }
+
+    #[test]
+    fn vega_matches_finite_difference() {
+        let spec = atm_call();
+        let h = 1e-5;
+        let up = OptionSpec { sigma: spec.sigma + h, ..spec }.price();
+        let dn = OptionSpec { sigma: spec.sigma - h, ..spec }.price();
+        let fd = (up - dn) / (2.0 * h);
+        assert!((spec.greeks().vega - fd).abs() < 1e-3);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let bad = OptionSpec { spot: -1.0, ..atm_call() };
+        assert!(bad.validate().is_err());
+        let bad = OptionSpec { sigma: 0.0, ..atm_call() };
+        assert!(bad.validate().is_err());
+        let bad = OptionSpec { expiry: f64::NAN, ..atm_call() };
+        assert!(bad.validate().is_err());
+        assert!(atm_call().validate().is_ok());
+    }
+}

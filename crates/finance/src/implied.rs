@@ -1,0 +1,154 @@
+//! Implied volatility: invert Black–Scholes for σ given an observed price.
+//!
+//! Newton–Raphson on vega with a bisection fallback when Newton steps leave
+//! the bracket (deep in/out of the money, tiny vega). Always converges on
+//! arbitrage-free inputs.
+
+use crate::black_scholes::{OptionKind, OptionSpec};
+
+/// Error cases for implied-vol inversion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImpliedVolError {
+    /// The target price violates static no-arbitrage bounds.
+    PriceOutOfBounds {
+        /// Lower bound (intrinsic value).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// The offending price.
+        price: f64,
+    },
+    /// Inputs failed validation.
+    BadInputs(String),
+}
+
+impl std::fmt::Display for ImpliedVolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImpliedVolError::PriceOutOfBounds { lo, hi, price } => {
+                write!(f, "price {price} outside no-arbitrage bounds [{lo}, {hi}]")
+            }
+            ImpliedVolError::BadInputs(msg) => write!(f, "bad inputs: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ImpliedVolError {}
+
+/// Solves for the volatility that reprices `spec` (whose `sigma` field is
+/// ignored) to `target_price`, to within `1e-8` in price.
+pub fn implied_vol(spec: &OptionSpec, target_price: f64) -> Result<f64, ImpliedVolError> {
+    let probe = OptionSpec { sigma: 1.0, ..*spec };
+    probe
+        .validate()
+        .map_err(ImpliedVolError::BadInputs)?;
+    let df = (-spec.rate * spec.expiry).exp();
+    let (lo_bound, hi_bound) = match spec.kind {
+        OptionKind::Call => ((spec.spot - spec.strike * df).max(0.0), spec.spot),
+        OptionKind::Put => ((spec.strike * df - spec.spot).max(0.0), spec.strike * df),
+    };
+    if target_price < lo_bound - 1e-12 || target_price > hi_bound + 1e-12 {
+        return Err(ImpliedVolError::PriceOutOfBounds {
+            lo: lo_bound,
+            hi: hi_bound,
+            price: target_price,
+        });
+    }
+
+    let price_at = |sigma: f64| OptionSpec { sigma, ..*spec }.price();
+    // Bracket the root: price is monotone increasing in sigma.
+    let mut lo = 1e-6;
+    let mut hi = 4.0;
+    while price_at(hi) < target_price && hi < 64.0 {
+        hi *= 2.0;
+    }
+
+    let mut sigma = 0.3; // classic warm start
+    for _ in 0..100 {
+        let p = price_at(sigma);
+        let diff = p - target_price;
+        if diff.abs() < 1e-8 {
+            return Ok(sigma);
+        }
+        if diff > 0.0 {
+            hi = sigma;
+        } else {
+            lo = sigma;
+        }
+        let vega = OptionSpec { sigma, ..*spec }.greeks().vega;
+        let newton = sigma - diff / vega;
+        // Take the Newton step if it stays inside the bracket; bisect
+        // otherwise.
+        sigma = if vega > 1e-12 && newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi)
+        };
+    }
+    Ok(sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::black_scholes::OptionKind;
+
+    fn spec(kind: OptionKind, strike: f64) -> OptionSpec {
+        OptionSpec {
+            kind,
+            spot: 100.0,
+            strike,
+            rate: 0.05,
+            sigma: 0.0, // ignored by implied_vol
+            expiry: 0.75,
+        }
+    }
+
+    #[test]
+    fn recovers_known_vol_call() {
+        for true_vol in [0.05, 0.12, 0.2, 0.45, 0.9] {
+            let s = OptionSpec { sigma: true_vol, ..spec(OptionKind::Call, 105.0) };
+            let price = s.price();
+            let iv = implied_vol(&s, price).unwrap();
+            assert!((iv - true_vol).abs() < 1e-6, "true={true_vol} got={iv}");
+        }
+    }
+
+    #[test]
+    fn recovers_known_vol_put() {
+        for true_vol in [0.1, 0.3, 0.6] {
+            let s = OptionSpec { sigma: true_vol, ..spec(OptionKind::Put, 92.0) };
+            let iv = implied_vol(&s, s.price()).unwrap();
+            assert!((iv - true_vol).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn deep_otm_converges() {
+        // Tiny vega regime exercises the bisection fallback.
+        let s = OptionSpec { sigma: 0.25, ..spec(OptionKind::Call, 250.0) };
+        let iv = implied_vol(&s, s.price()).unwrap();
+        assert!((iv - 0.25).abs() < 1e-4);
+    }
+
+    #[test]
+    fn arbitrage_violations_are_rejected() {
+        let s = spec(OptionKind::Call, 100.0);
+        // Below intrinsic value.
+        assert!(matches!(
+            implied_vol(&s, -1.0),
+            Err(ImpliedVolError::PriceOutOfBounds { .. })
+        ));
+        // Above the spot (calls can never exceed S).
+        assert!(matches!(
+            implied_vol(&s, 150.0),
+            Err(ImpliedVolError::PriceOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        let s = OptionSpec { spot: -5.0, ..spec(OptionKind::Call, 100.0) };
+        assert!(matches!(implied_vol(&s, 1.0), Err(ImpliedVolError::BadInputs(_))));
+    }
+}

@@ -1,0 +1,154 @@
+//! Monte Carlo option pricing under geometric Brownian motion.
+//!
+//! The heaviest transaction type BenchEx can issue: price a European option
+//! by simulating terminal prices `S_T = S·exp((r − σ²/2)T + σ√T·Z)` with
+//! antithetic variates for variance reduction. Deterministic given a seed,
+//! like everything else in the workspace.
+
+use crate::black_scholes::{OptionKind, OptionSpec};
+
+/// SplitMix64-based normal sampler, self-contained so the crate stays free
+/// of RNG dependencies (mirrors `resex_simcore::rng` but local).
+struct Normals {
+    state: u64,
+}
+
+impl Normals {
+    fn new(seed: u64) -> Self {
+        Normals { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// One standard normal via Box–Muller.
+    fn normal(&mut self) -> f64 {
+        let u1 = (1.0 - self.uniform()).max(f64::MIN_POSITIVE);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Result of a Monte Carlo pricing run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct McEstimate {
+    /// Discounted mean payoff.
+    pub price: f64,
+    /// Standard error of the estimate.
+    pub std_error: f64,
+    /// Payoff evaluations performed (2× paths, antithetic).
+    pub evaluations: u64,
+}
+
+/// Prices `spec` with `paths` antithetic path pairs.
+///
+/// # Panics
+/// If `paths == 0` or the spec fails validation.
+pub fn mc_price(spec: &OptionSpec, paths: u32, seed: u64) -> McEstimate {
+    assert!(paths > 0, "need at least one path");
+    spec.validate().expect("valid option spec");
+    let drift = (spec.rate - 0.5 * spec.sigma * spec.sigma) * spec.expiry;
+    let vol = spec.sigma * spec.expiry.sqrt();
+    let df = (-spec.rate * spec.expiry).exp();
+    let payoff = |s: f64| match spec.kind {
+        OptionKind::Call => (s - spec.strike).max(0.0),
+        OptionKind::Put => (spec.strike - s).max(0.0),
+    };
+    let mut rng = Normals::new(seed);
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for _ in 0..paths {
+        let z = rng.normal();
+        // Antithetic pair: +z and −z share one draw and cancel first-order
+        // noise.
+        let a = payoff(spec.spot * (drift + vol * z).exp());
+        let b = payoff(spec.spot * (drift - vol * z).exp());
+        let pair = 0.5 * (a + b);
+        sum += pair;
+        sum_sq += pair * pair;
+    }
+    let n = paths as f64;
+    let mean = sum / n;
+    let var = (sum_sq / n - mean * mean).max(0.0);
+    McEstimate {
+        price: df * mean,
+        std_error: df * (var / n).sqrt(),
+        evaluations: 2 * paths as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atm_call() -> OptionSpec {
+        OptionSpec {
+            kind: OptionKind::Call,
+            spot: 100.0,
+            strike: 100.0,
+            rate: 0.05,
+            sigma: 0.2,
+            expiry: 1.0,
+        }
+    }
+
+    #[test]
+    fn converges_to_black_scholes() {
+        let spec = atm_call();
+        let bs = spec.price();
+        let est = mc_price(&spec, 200_000, 42);
+        let err = (est.price - bs).abs();
+        assert!(
+            err < 4.0 * est.std_error.max(0.01),
+            "MC {:.4} vs BS {:.4} (se {:.4})",
+            est.price,
+            bs,
+            est.std_error
+        );
+        assert!(err < 0.1, "absolute error {err}");
+    }
+
+    #[test]
+    fn puts_converge_too() {
+        let spec = atm_call().flipped();
+        let bs = spec.price();
+        let est = mc_price(&spec, 200_000, 7);
+        assert!((est.price - bs).abs() < 0.1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = atm_call();
+        assert_eq!(mc_price(&spec, 1000, 1), mc_price(&spec, 1000, 1));
+        assert_ne!(mc_price(&spec, 1000, 1).price, mc_price(&spec, 1000, 2).price);
+    }
+
+    #[test]
+    fn std_error_shrinks_with_paths() {
+        let spec = atm_call();
+        let small = mc_price(&spec, 1_000, 3);
+        let large = mc_price(&spec, 100_000, 3);
+        assert!(large.std_error < small.std_error / 5.0, "≈1/√n scaling");
+    }
+
+    #[test]
+    fn antithetic_counts_evaluations() {
+        let est = mc_price(&atm_call(), 500, 1);
+        assert_eq!(est.evaluations, 1000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_paths_panics() {
+        mc_price(&atm_call(), 0, 1);
+    }
+}

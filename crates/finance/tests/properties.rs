@@ -1,0 +1,117 @@
+//! Property-based tests for the pricing library's mathematical invariants.
+
+use proptest::prelude::*;
+use resex_finance::{crr_price, implied_vol, Exercise, OptionKind, OptionSpec};
+
+fn arb_spec() -> impl Strategy<Value = OptionSpec> {
+    (
+        prop_oneof![Just(OptionKind::Call), Just(OptionKind::Put)],
+        10.0f64..500.0,   // spot
+        10.0f64..500.0,   // strike
+        -0.02f64..0.12,   // rate
+        0.05f64..1.2,     // sigma
+        0.05f64..3.0,     // expiry
+    )
+        .prop_map(|(kind, spot, strike, rate, sigma, expiry)| OptionSpec {
+            kind,
+            spot,
+            strike,
+            rate,
+            sigma,
+            expiry,
+        })
+}
+
+proptest! {
+    /// Put–call parity holds for all valid inputs:
+    /// `C − P = S − K·e^{−rT}`.
+    #[test]
+    fn put_call_parity(spec in arb_spec()) {
+        let call = OptionSpec { kind: OptionKind::Call, ..spec };
+        let put = call.flipped();
+        let lhs = call.price() - put.price();
+        let rhs = spec.spot - spec.strike * (-spec.rate * spec.expiry).exp();
+        prop_assert!((lhs - rhs).abs() < 1e-4 * (1.0 + rhs.abs()), "lhs={lhs} rhs={rhs}");
+    }
+
+    /// Prices respect static no-arbitrage bounds.
+    #[test]
+    fn no_arbitrage_bounds(spec in arb_spec()) {
+        let p = spec.price();
+        let df = (-spec.rate * spec.expiry).exp();
+        prop_assert!(p >= -1e-9, "negative price {p}");
+        match spec.kind {
+            OptionKind::Call => {
+                prop_assert!(p <= spec.spot + 1e-9);
+                prop_assert!(p >= (spec.spot - spec.strike * df).max(0.0) - 1e-6);
+            }
+            OptionKind::Put => {
+                prop_assert!(p <= spec.strike * df + 1e-9);
+                prop_assert!(p >= (spec.strike * df - spec.spot).max(0.0) - 1e-6);
+            }
+        }
+    }
+
+    /// Vega is positive: price strictly increases with volatility.
+    #[test]
+    fn price_monotone_in_vol(spec in arb_spec(), bump in 0.01f64..0.5) {
+        let p0 = spec.price();
+        let p1 = OptionSpec { sigma: spec.sigma + bump, ..spec }.price();
+        prop_assert!(p1 >= p0 - 1e-9, "vol {:.3}→{:.3}: {p0} → {p1}", spec.sigma, spec.sigma + bump);
+    }
+
+    /// Call prices decrease with strike; put prices increase.
+    #[test]
+    fn price_monotone_in_strike(spec in arb_spec(), bump in 1.0f64..100.0) {
+        let p0 = spec.price();
+        let p1 = OptionSpec { strike: spec.strike + bump, ..spec }.price();
+        match spec.kind {
+            OptionKind::Call => prop_assert!(p1 <= p0 + 1e-9),
+            OptionKind::Put => prop_assert!(p1 >= p0 - 1e-9),
+        }
+    }
+
+    /// Delta is bounded: calls in [0,1], puts in [-1,0]; gamma and vega
+    /// are non-negative.
+    #[test]
+    fn greeks_bounds(spec in arb_spec()) {
+        let g = spec.greeks();
+        match spec.kind {
+            OptionKind::Call => prop_assert!((0.0..=1.0).contains(&g.delta)),
+            OptionKind::Put => prop_assert!((-1.0..=0.0).contains(&g.delta)),
+        }
+        prop_assert!(g.gamma >= 0.0);
+        prop_assert!(g.vega >= 0.0);
+    }
+
+    /// Implied vol inverts the pricer: price at recovered vol matches.
+    #[test]
+    fn implied_vol_roundtrip(spec in arb_spec()) {
+        let price = spec.price();
+        // Skip numerically degenerate deep-OTM cases (price ≈ 0, vega ≈ 0).
+        prop_assume!(price > 1e-4);
+        let iv = implied_vol(&spec, price).unwrap();
+        let repriced = OptionSpec { sigma: iv, ..spec }.price();
+        prop_assert!((repriced - price).abs() < 1e-6, "sigma={} iv={iv}", spec.sigma);
+    }
+
+    /// American options are never worth less than European ones, and
+    /// both CRR prices are non-negative.
+    #[test]
+    fn american_dominates_european(spec in arb_spec()) {
+        let eu = crr_price(&spec, 64, Exercise::European);
+        let am = crr_price(&spec, 64, Exercise::American);
+        prop_assert!(eu >= -1e-9);
+        prop_assert!(am >= eu - 1e-9, "eu={eu} am={am}");
+    }
+
+    /// The CRR European price converges toward Black–Scholes.
+    #[test]
+    fn crr_converges_to_bs(spec in arb_spec()) {
+        let bs = spec.price();
+        let crr = crr_price(&spec, 512, Exercise::European);
+        // Convergence is O(1/n) with an oscillating term; 512 steps is
+        // comfortably within 2% + small absolute slack.
+        prop_assert!((crr - bs).abs() < 0.02 * (1.0 + bs), "bs={bs} crr={crr}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Hypervisor error types.
+
+use crate::domain::DomainId;
+use crate::vcpu::{PcpuId, VcpuId};
+use std::fmt;
+
+/// Failures of hypervisor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HvError {
+    /// Referenced domain does not exist.
+    UnknownDomain(DomainId),
+    /// Referenced VCPU does not exist.
+    UnknownVcpu(VcpuId),
+    /// Referenced PCPU does not exist.
+    UnknownPcpu(PcpuId),
+    /// The caller lacked the privilege (dom0-ness) the operation needs.
+    NotPrivileged(DomainId),
+    /// A cap or weight was out of range.
+    BadParameter {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: i64,
+    },
+    /// The slice-granular scheduler supports one VCPU per PCPU.
+    PcpuOvercommitted(PcpuId),
+    /// A job was started on a VCPU that is already running one.
+    VcpuBusy(VcpuId),
+    /// An underlying guest-memory failure.
+    Mem(resex_simmem::MemError),
+}
+
+impl fmt::Display for HvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HvError::UnknownDomain(d) => write!(f, "unknown domain {d}"),
+            HvError::UnknownVcpu(v) => write!(f, "unknown VCPU {v}"),
+            HvError::UnknownPcpu(p) => write!(f, "unknown PCPU {p}"),
+            HvError::NotPrivileged(d) => {
+                write!(f, "{d} is not privileged for this operation")
+            }
+            HvError::BadParameter { what, value } => {
+                write!(f, "parameter {what} out of range: {value}")
+            }
+            HvError::PcpuOvercommitted(p) => write!(
+                f,
+                "slice-granular scheduling supports one VCPU per PCPU; {p} already has one"
+            ),
+            HvError::VcpuBusy(v) => write!(f, "{v} is already running a job"),
+            HvError::Mem(e) => write!(f, "guest memory error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HvError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<resex_simmem::MemError> for HvError {
+    fn from(e: resex_simmem::MemError) -> Self {
+        HvError::Mem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_works() {
+        let e = HvError::NotPrivileged(DomainId::new(3));
+        assert!(format!("{e}").contains("privileged"));
+        let e = HvError::BadParameter { what: "cap", value: 150 };
+        assert!(format!("{e}").contains("cap"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Credit-scheduler mathematics.
+//!
+//! Two service models, both enforcing Xen-style **caps** (a domain may use
+//! at most `cap` percent of a PCPU per accounting period) and **weights**
+//! (proportional sharing among runnable VCPUs):
+//!
+//! * **Fluid** — a runnable VCPU makes continuous progress at its fair-share
+//!   rate. Shares are computed by water-filling: capacity is split in
+//!   proportion to weights, any VCPU whose share exceeds its cap is clamped
+//!   and the surplus redistributed. This is the long-run behaviour of the
+//!   credit scheduler and is cheap to simulate.
+//! * **Slice** — the VM literally runs for the first `cap%` of every
+//!   scheduling period (the paper's 10 ms time slice) and is idle for the
+//!   rest. Identical long-run rates, but bursty — used to check that results
+//!   do not depend on the fluid idealization.
+
+use resex_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which service model the hypervisor uses.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum SchedModel {
+    /// Continuous fair-share progress (default).
+    #[default]
+    Fluid,
+    /// Run-then-idle windows of the given period (Xen's 10 ms slice).
+    Slice {
+        /// Scheduling period.
+        period: SimDuration,
+    },
+}
+
+
+/// Input to the share computation: one runnable VCPU.
+#[derive(Clone, Copy, Debug)]
+pub struct ShareReq {
+    /// Scheduling weight (>0).
+    pub weight: u32,
+    /// Cap as a fraction of one PCPU; `None` = uncapped.
+    pub cap: Option<f64>,
+}
+
+/// Water-filling fair shares of one PCPU among runnable VCPUs.
+///
+/// Returns one rate (fraction of the PCPU) per request, in order. Rates sum
+/// to at most 1 and never exceed a VCPU's cap. Capacity freed by capped
+/// VCPUs is redistributed to the others in proportion to weight.
+pub fn fair_shares(reqs: &[ShareReq]) -> Vec<f64> {
+    let n = reqs.len();
+    let mut rates = vec![0.0f64; n];
+    if n == 0 {
+        return rates;
+    }
+    let mut open: Vec<usize> = (0..n).collect();
+    let mut capacity = 1.0f64;
+    // Every iteration either fixes at least one capped VCPU or terminates,
+    // so this loop runs at most n+1 times.
+    loop {
+        let total_weight: f64 = open.iter().map(|&i| reqs[i].weight as f64).sum();
+        if total_weight == 0.0 || capacity <= 0.0 {
+            break;
+        }
+        let mut clamped = Vec::new();
+        for &i in &open {
+            let share = capacity * reqs[i].weight as f64 / total_weight;
+            let cap = reqs[i].cap.unwrap_or(1.0).min(1.0);
+            if share >= cap {
+                clamped.push(i);
+            }
+        }
+        if clamped.is_empty() {
+            for &i in &open {
+                rates[i] = capacity * reqs[i].weight as f64 / total_weight;
+            }
+            break;
+        }
+        for &i in &clamped {
+            let cap = reqs[i].cap.unwrap_or(1.0).min(1.0);
+            rates[i] = cap;
+            capacity -= cap;
+        }
+        open.retain(|i| !clamped.contains(i));
+        if open.is_empty() {
+            break;
+        }
+    }
+    rates
+}
+
+/// CPU time accumulated by a slice-scheduled VCPU from time 0 to `t`, given
+/// cap fraction `c` and period `T`: the VCPU runs during `[kT, kT + cT)`.
+fn slice_cpu_until(t: SimTime, c: f64, period: SimDuration) -> f64 {
+    let t = t.as_nanos() as f64;
+    let period = period.as_nanos() as f64;
+    let window = c * period;
+    let k = (t / period).floor();
+    let s = t - k * period;
+    k * window + s.min(window)
+}
+
+/// CPU time a slice-scheduled VCPU accrues in `[from, to]`.
+pub fn slice_progress(from: SimTime, to: SimTime, c: f64, period: SimDuration) -> SimDuration {
+    debug_assert!(from <= to);
+    let ns = slice_cpu_until(to, c, period) - slice_cpu_until(from, c, period);
+    SimDuration::from_nanos(ns.max(0.0).round() as u64)
+}
+
+/// Earliest time at which a slice-scheduled VCPU that starts needing
+/// `cpu_need` of CPU at `start` will have received it.
+pub fn slice_finish(
+    start: SimTime,
+    cpu_need: SimDuration,
+    c: f64,
+    period: SimDuration,
+) -> SimTime {
+    assert!(c > 0.0, "slice_finish with a zero rate never completes");
+    if cpu_need.is_zero() {
+        return start;
+    }
+    let period_ns = period.as_nanos() as f64;
+    let window = c * period_ns;
+    let target = slice_cpu_until(start, c, period) + cpu_need.as_nanos() as f64;
+    // Invert f(t): find the smallest t with f(t) >= target.
+    let k = (target / window).floor();
+    let rem = target - k * window;
+    let t_ns = if rem <= 1e-9 {
+        // Lands exactly at a window end.
+        (k - 1.0) * period_ns + window
+    } else {
+        k * period_ns + rem
+    };
+    SimTime::from_nanos(t_ns.ceil() as u64)
+}
+
+/// Fluid-model completion: `start + need/rate`.
+pub fn fluid_finish(start: SimTime, cpu_need: SimDuration, rate: f64) -> SimTime {
+    assert!(rate > 0.0, "fluid_finish with a zero rate never completes");
+    let ns = cpu_need.as_nanos() as f64 / rate;
+    start + SimDuration::from_nanos(ns.ceil() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(weight: u32, cap: Option<f64>) -> ShareReq {
+        ShareReq { weight, cap }
+    }
+
+    #[test]
+    fn single_uncapped_vcpu_gets_everything() {
+        assert_eq!(fair_shares(&[req(256, None)]), vec![1.0]);
+    }
+
+    #[test]
+    fn single_capped_vcpu_is_clamped() {
+        assert_eq!(fair_shares(&[req(256, Some(0.25))]), vec![0.25]);
+    }
+
+    #[test]
+    fn equal_weights_split_evenly() {
+        let r = fair_shares(&[req(256, None), req(256, None)]);
+        assert!((r[0] - 0.5).abs() < 1e-12);
+        assert!((r[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_are_proportional() {
+        let r = fair_shares(&[req(100, None), req(300, None)]);
+        assert!((r[0] - 0.25).abs() < 1e-12);
+        assert!((r[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cap_surplus_is_redistributed() {
+        // Equal weights, but one capped at 10% — the other picks up the rest.
+        let r = fair_shares(&[req(256, Some(0.10)), req(256, None)]);
+        assert!((r[0] - 0.10).abs() < 1e-12);
+        assert!((r[1] - 0.90).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_capped_leaves_idle_capacity() {
+        let r = fair_shares(&[req(256, Some(0.2)), req(256, Some(0.3))]);
+        assert!((r[0] - 0.2).abs() < 1e-12);
+        assert!((r[1] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_never_exceed_capacity() {
+        let r = fair_shares(&[
+            req(1, None),
+            req(1000, Some(0.5)),
+            req(10, Some(0.01)),
+            req(500, None),
+        ]);
+        let sum: f64 = r.iter().sum();
+        assert!(sum <= 1.0 + 1e-9, "sum={sum}");
+        for (i, rate) in r.iter().enumerate() {
+            assert!(*rate >= 0.0 && *rate <= 1.0, "rate[{i}]={rate}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(fair_shares(&[]).is_empty());
+    }
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+
+    #[test]
+    fn slice_progress_full_periods() {
+        let period = SimDuration::from_millis(10);
+        // 25% cap: 2.5 ms of CPU per 10 ms period.
+        let p = slice_progress(ms(0), ms(100), 0.25, period);
+        assert_eq!(p, SimDuration::from_millis(25));
+    }
+
+    #[test]
+    fn slice_progress_partial_period() {
+        let period = SimDuration::from_millis(10);
+        // Within the first period at 25%: busy [0, 2.5ms).
+        assert_eq!(
+            slice_progress(ms(0), SimTime::from_micros(1000), 0.25, period),
+            SimDuration::from_micros(1000),
+            "entirely inside the busy window"
+        );
+        assert_eq!(
+            slice_progress(ms(0), ms(5), 0.25, period),
+            SimDuration::from_micros(2500),
+            "window exhausted after 2.5 ms"
+        );
+        assert_eq!(
+            slice_progress(ms(5), ms(10), 0.25, period),
+            SimDuration::ZERO,
+            "idle part of the period"
+        );
+    }
+
+    #[test]
+    fn slice_finish_within_first_window() {
+        let period = SimDuration::from_millis(10);
+        let t = slice_finish(ms(0), SimDuration::from_micros(500), 0.25, period);
+        assert_eq!(t, SimTime::from_micros(500));
+    }
+
+    #[test]
+    fn slice_finish_spans_periods() {
+        let period = SimDuration::from_millis(10);
+        // Needs 5 ms of CPU at 2.5 ms/period: 2 full windows, done exactly
+        // at the end of the second window = 12.5 ms.
+        let t = slice_finish(ms(0), SimDuration::from_micros(5000), 0.25, period);
+        assert_eq!(t, SimTime::from_micros(12_500));
+    }
+
+    #[test]
+    fn slice_finish_from_idle_region() {
+        let period = SimDuration::from_millis(10);
+        // Starting at 5 ms (idle at 25% cap): work begins at 10 ms.
+        let t = slice_finish(ms(5), SimDuration::from_micros(1000), 0.25, period);
+        assert_eq!(t, SimTime::from_micros(11_000));
+    }
+
+    #[test]
+    fn slice_progress_finish_are_inverse() {
+        let period = SimDuration::from_millis(10);
+        for &(start_us, need_us, cap) in &[
+            (0u64, 100u64, 0.5f64),
+            (3000, 7000, 0.3),
+            (12_345, 40_000, 0.25),
+            (9999, 1, 0.9),
+        ] {
+            let start = SimTime::from_micros(start_us);
+            let need = SimDuration::from_micros(need_us);
+            let fin = slice_finish(start, need, cap, period);
+            let got = slice_progress(start, fin, cap, period);
+            let err = got.as_nanos() as i64 - need.as_nanos() as i64;
+            assert!(
+                err.abs() <= 2,
+                "progress({start},{fin})={got} vs need {need} (cap {cap})"
+            );
+        }
+    }
+
+    #[test]
+    fn fluid_finish_scales_inverse_to_rate() {
+        let t = fluid_finish(ms(0), SimDuration::from_millis(10), 0.25);
+        assert_eq!(t, ms(40));
+        let t = fluid_finish(ms(7), SimDuration::from_millis(3), 1.0);
+        assert_eq!(t, ms(10));
+    }
+
+    #[test]
+    fn uncapped_slice_runs_continuously() {
+        let period = SimDuration::from_millis(10);
+        let p = slice_progress(ms(0), ms(50), 1.0, period);
+        assert_eq!(p, SimDuration::from_millis(50));
+    }
+}

@@ -1,0 +1,100 @@
+//! Virtual and physical CPUs.
+
+use crate::domain::DomainId;
+use resex_simcore::define_id;
+use resex_simcore::time::{SimDuration, SimTime};
+
+define_id!(
+    /// A virtual CPU belonging to one domain.
+    VcpuId
+);
+
+define_id!(
+    /// A physical CPU (core) of the host.
+    PcpuId
+);
+
+/// What a VCPU is doing, from the scheduler's point of view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VcpuMode {
+    /// Blocked: consumes no CPU (not runnable).
+    Idle,
+    /// Runnable and burning CPU, but with no finite job — the state of a
+    /// busy-polling RDMA application waiting on its completion queue.
+    Polling,
+    /// Running a finite compute job; completion fires an event.
+    Busy,
+}
+
+/// A finite compute job running on a VCPU.
+#[derive(Clone, Copy, Debug)]
+pub struct Job {
+    /// Caller cookie echoed in the completion event.
+    pub tag: u64,
+    /// Remaining CPU time.
+    pub remaining: SimDuration,
+}
+
+/// Scheduler-side VCPU state.
+pub struct Vcpu {
+    /// This VCPU's id.
+    pub id: VcpuId,
+    /// Owning domain.
+    pub dom: DomainId,
+    /// Pinned physical CPU.
+    pub pcpu: PcpuId,
+    /// Current mode.
+    pub mode: VcpuMode,
+    /// In-flight job when `mode == Busy`.
+    pub job: Option<Job>,
+    /// Current service rate as a fraction of one PCPU (fluid model).
+    pub rate: f64,
+    /// Total CPU time consumed, in nanoseconds (f64 for fractional accrual).
+    pub accrued_ns: f64,
+    /// Time up to which `accrued_ns` and `job.remaining` are accurate.
+    pub last_update: SimTime,
+}
+
+impl Vcpu {
+    /// Creates an idle VCPU.
+    pub fn new(id: VcpuId, dom: DomainId, pcpu: PcpuId) -> Self {
+        Vcpu {
+            id,
+            dom,
+            pcpu,
+            mode: VcpuMode::Idle,
+            job: None,
+            rate: 0.0,
+            accrued_ns: 0.0,
+            last_update: SimTime::ZERO,
+        }
+    }
+
+    /// True if the scheduler should give this VCPU time.
+    pub fn runnable(&self) -> bool {
+        self.mode != VcpuMode::Idle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_vcpu_is_idle() {
+        let v = Vcpu::new(VcpuId::new(0), DomainId::new(1), PcpuId::new(2));
+        assert_eq!(v.mode, VcpuMode::Idle);
+        assert!(!v.runnable());
+        assert!(v.job.is_none());
+        assert_eq!(v.accrued_ns, 0.0);
+    }
+
+    #[test]
+    fn polling_is_runnable() {
+        let mut v = Vcpu::new(VcpuId::new(0), DomainId::new(1), PcpuId::new(0));
+        v.mode = VcpuMode::Polling;
+        assert!(v.runnable());
+        v.mode = VcpuMode::Busy;
+        assert!(v.runnable());
+    }
+}

@@ -1,0 +1,24 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # resex-ibmon — introspection-based InfiniBand monitoring
+//!
+//! A reimplementation of the IBMon tool (Ranadive et al., HPCVirt '09) the
+//! paper builds on: because VMM-bypass devices hide guest I/O from the
+//! hypervisor, the *only* way dom0 can observe a VM's InfiniBand usage is
+//! to map the VM's completion-queue rings (`xc_map_foreign_range`) and
+//! watch the HCA's DMA writes appear. [`CqMonitor`] diffs successive ring
+//! scans and recovers completion counts from the CQEs' wrapping
+//! `wqe_counter`; [`IbMon`] aggregates scans into the per-VM
+//! `MTUSent` / byte-rate / buffer-size estimates that ResEx's pricing
+//! policies charge against.
+//!
+//! Estimation artifacts of the real tool are preserved: an IBMon estimate
+//! can lag (polling period), alias (ring wrapped several times between
+//! polls — detected via the counter and scaled), and must infer buffer
+//! sizes from byte counts rather than being told.
+
+pub mod cq_monitor;
+pub mod monitor;
+
+pub use cq_monitor::{CqMonitor, ScanSample};
+pub use monitor::{IbMon, IbMonConfig, VmUsage};

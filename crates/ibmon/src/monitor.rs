@@ -1,0 +1,339 @@
+//! The IBMon service: per-VM usage estimation.
+//!
+//! One [`IbMon`] instance runs (conceptually) in dom0. For each monitored
+//! VM it holds [`CqMonitor`]s over the VM's completion-queue rings (mapped
+//! via the hypervisor's foreign-mapping interface) and rolls their scans up
+//! into per-VM usage estimates: MTUs sent per interval, byte rates, and the
+//! VM's apparent application buffer size — everything the ResEx pricing
+//! loop consumes (`GetMTUs` in the paper's pseudo-code).
+
+use crate::cq_monitor::{CqMonitor, ScanSample};
+use resex_hypervisor::{DomainId, Hypervisor};
+use resex_simcore::stats::Ewma;
+use resex_simcore::time::{SimDuration, SimTime};
+use resex_simcore::WindowedRate;
+use resex_simmem::MemError;
+use resex_simmem::Gpa;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-interval usage estimate for one VM.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct VmUsage {
+    /// MTUs sent since the previous sample (the paper's `MTUSent` metric).
+    pub mtus: u64,
+    /// Bytes sent since the previous sample.
+    pub bytes: u64,
+    /// Completions since the previous sample.
+    pub completions: u64,
+    /// Smoothed estimate of the application's buffer size in bytes
+    /// (bytes / completion) — the input to buffer-ratio policies.
+    pub est_buffer_size: f64,
+    /// MTU rate over the trailing window, per second.
+    pub mtu_rate: f64,
+    /// True if any underlying ring scan detected aliasing this interval.
+    pub aliased: bool,
+}
+
+/// IBMon configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct IbMonConfig {
+    /// MTU size used to convert bytes to MTUs (paper default: 1 KiB).
+    pub mtu: u32,
+    /// Length of the trailing rate window.
+    pub rate_window: SimDuration,
+    /// Smoothing factor for the buffer-size estimate.
+    pub buffer_ewma_alpha: f64,
+}
+
+impl Default for IbMonConfig {
+    fn default() -> Self {
+        IbMonConfig {
+            mtu: 1024,
+            rate_window: SimDuration::from_millis(100),
+            buffer_ewma_alpha: 0.2,
+        }
+    }
+}
+
+struct VmMonitor {
+    cqs: Vec<CqMonitor>,
+    mtu_window: WindowedRate,
+    buffer_est: Ewma,
+    lifetime_mtus: u64,
+}
+
+/// The dom0 monitoring service.
+pub struct IbMon {
+    cfg: IbMonConfig,
+    vms: HashMap<DomainId, VmMonitor>,
+}
+
+impl IbMon {
+    /// Creates an empty monitor.
+    pub fn new(cfg: IbMonConfig) -> Self {
+        IbMon {
+            cfg,
+            vms: HashMap::new(),
+        }
+    }
+
+    /// Registers a VM's CQ ring for monitoring, mapping it through the
+    /// hypervisor as `caller` (must be privileged, i.e. dom0).
+    pub fn watch_cq(
+        &mut self,
+        hv: &Hypervisor,
+        caller: DomainId,
+        target: DomainId,
+        ring_gpa: Gpa,
+        capacity: u32,
+    ) -> Result<(), String> {
+        let mapping = hv
+            .map_foreign_range(
+                caller,
+                target,
+                ring_gpa,
+                capacity as usize * resex_fabric::CQE_SIZE,
+            )
+            .map_err(|e| e.to_string())?;
+        let mon = CqMonitor::new(mapping, capacity, self.cfg.mtu).map_err(|e| e.to_string())?;
+        self.vms
+            .entry(target)
+            .or_insert_with(|| VmMonitor {
+                cqs: Vec::new(),
+                mtu_window: WindowedRate::new(self.cfg.rate_window),
+                buffer_est: Ewma::new(self.cfg.buffer_ewma_alpha),
+                lifetime_mtus: 0,
+            })
+            .cqs
+            .push(mon);
+        Ok(())
+    }
+
+    /// The set of monitored VMs.
+    pub fn monitored(&self) -> Vec<DomainId> {
+        let mut v: Vec<DomainId> = self.vms.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Scans all of one VM's rings and returns the interval usage.
+    pub fn sample_vm(&mut self, dom: DomainId, now: SimTime) -> Result<VmUsage, MemError> {
+        let vm = match self.vms.get_mut(&dom) {
+            Some(vm) => vm,
+            None => return Ok(VmUsage::default()),
+        };
+        let mut agg = ScanSample::default();
+        for cq in &mut vm.cqs {
+            let s = cq.scan(now)?;
+            agg.completions += s.completions;
+            agg.bytes += s.bytes;
+            agg.mtus += s.mtus;
+            agg.slots_changed += s.slots_changed;
+            agg.aliased |= s.aliased;
+        }
+        vm.lifetime_mtus += agg.mtus;
+        vm.mtu_window.record(now, agg.mtus);
+        if agg.completions > 0 {
+            vm.buffer_est
+                .push(agg.bytes as f64 / agg.completions as f64);
+        }
+        Ok(VmUsage {
+            mtus: agg.mtus,
+            bytes: agg.bytes,
+            completions: agg.completions,
+            est_buffer_size: vm.buffer_est.value_or(0.0),
+            mtu_rate: vm.mtu_window.rate_per_sec(now),
+            aliased: agg.aliased,
+        })
+    }
+
+    /// Lifetime MTU count attributed to a VM.
+    pub fn lifetime_mtus(&self, dom: DomainId) -> u64 {
+        self.vms.get(&dom).map_or(0, |v| v.lifetime_mtus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resex_fabric::{CompletionQueue, Cqe, CqNum, Opcode, QpNum, WcStatus, CQE_SIZE};
+    use resex_hypervisor::SchedModel;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+
+    /// Builds an hv with dom0 + one guest whose memory holds a CQ ring.
+    fn setup() -> (Hypervisor, DomainId, DomainId, CompletionQueue, Gpa) {
+        let mut hv = Hypervisor::new(SchedModel::Fluid);
+        hv.add_pcpu();
+        let dom0 = hv.create_domain("dom0", 1 << 20, true);
+        let vm = hv.create_domain("vm1", 1 << 20, false);
+        let mem = hv.domain_memory(vm).unwrap();
+        let gpa = mem.alloc_bytes(64 * CQE_SIZE as u64).unwrap();
+        let cq = CompletionQueue::new(CqNum::new(0), mem, gpa, 64).unwrap();
+        (hv, dom0, vm, cq, gpa)
+    }
+
+    fn push(cq: &mut CompletionQueue, counter: u16, byte_len: u32) {
+        cq.push(Cqe {
+            wr_id: counter as u64,
+            qp_num: QpNum::new(1),
+            byte_len,
+            wqe_counter: counter,
+            opcode: Opcode::Send,
+            status: WcStatus::Success,
+            imm_data: 0,
+        })
+        .unwrap();
+        cq.poll().unwrap();
+    }
+
+    #[test]
+    fn end_to_end_usage_estimation() {
+        let (hv, dom0, vm, mut cq, gpa) = setup();
+        let mut ibmon = IbMon::new(IbMonConfig::default());
+        ibmon.watch_cq(&hv, dom0, vm, gpa, 64).unwrap();
+        ibmon.sample_vm(vm, t(0)).unwrap(); // prime
+
+        // The VM "sends" 10 × 64 KiB buffers.
+        for i in 0..10 {
+            push(&mut cq, i, 65536);
+        }
+        let u = ibmon.sample_vm(vm, t(1)).unwrap();
+        assert_eq!(u.completions, 10);
+        assert_eq!(u.mtus, 640);
+        assert_eq!(u.bytes, 10 * 65536);
+        assert!((u.est_buffer_size - 65536.0).abs() < 1.0);
+        assert!(!u.aliased);
+        assert_eq!(ibmon.lifetime_mtus(vm), 640);
+    }
+
+    #[test]
+    fn unprivileged_caller_cannot_watch() {
+        let (hv, _dom0, vm, _cq, gpa) = setup();
+        let mut ibmon = IbMon::new(IbMonConfig::default());
+        let err = ibmon.watch_cq(&hv, vm, vm, gpa, 64).unwrap_err();
+        assert!(err.contains("privileged"));
+    }
+
+    #[test]
+    fn unmonitored_vm_reads_zero() {
+        let (_hv, _dom0, vm, _cq, _gpa) = setup();
+        let mut ibmon = IbMon::new(IbMonConfig::default());
+        let u = ibmon.sample_vm(vm, t(0)).unwrap();
+        assert_eq!(u, VmUsage::default());
+    }
+
+    #[test]
+    fn buffer_estimate_tracks_workload_change() {
+        let (hv, dom0, vm, mut cq, gpa) = setup();
+        let mut ibmon = IbMon::new(IbMonConfig::default());
+        ibmon.watch_cq(&hv, dom0, vm, gpa, 64).unwrap();
+        ibmon.sample_vm(vm, t(0)).unwrap();
+        let mut counter = 0u16;
+        // 64 KiB phase.
+        for interval in 1..=5u64 {
+            for _ in 0..4 {
+                push(&mut cq, counter, 65536);
+                counter += 1;
+            }
+            ibmon.sample_vm(vm, t(interval)).unwrap();
+        }
+        // Switch to 2 MiB responses: estimate should move toward 2 MiB.
+        let mut last = VmUsage::default();
+        for interval in 6..=40u64 {
+            for _ in 0..4 {
+                push(&mut cq, counter, 2 * 1024 * 1024);
+                counter += 1;
+            }
+            last = ibmon.sample_vm(vm, t(interval)).unwrap();
+        }
+        assert!(
+            last.est_buffer_size > 1.9 * 1024.0 * 1024.0,
+            "est={}",
+            last.est_buffer_size
+        );
+    }
+
+    #[test]
+    fn monitored_lists_vms() {
+        let (hv, dom0, vm, _cq, gpa) = setup();
+        let mut ibmon = IbMon::new(IbMonConfig::default());
+        assert!(ibmon.monitored().is_empty());
+        ibmon.watch_cq(&hv, dom0, vm, gpa, 64).unwrap();
+        assert_eq!(ibmon.monitored(), vec![vm]);
+    }
+
+    #[test]
+    fn mtu_rate_reflects_window() {
+        let (hv, dom0, vm, mut cq, gpa) = setup();
+        let mut ibmon = IbMon::new(IbMonConfig::default());
+        ibmon.watch_cq(&hv, dom0, vm, gpa, 64).unwrap();
+        ibmon.sample_vm(vm, t(0)).unwrap();
+        // 100 intervals of 1 ms, 64 MTUs each → 64k MTUs/s.
+        let mut last = VmUsage::default();
+        for i in 1..=100u64 {
+            push(&mut cq, (i - 1) as u16, 65536);
+            last = ibmon.sample_vm(vm, t(i)).unwrap();
+        }
+        assert!(
+            (last.mtu_rate - 64_000.0).abs() < 1500.0,
+            "rate={}",
+            last.mtu_rate
+        );
+    }
+}
+
+#[cfg(test)]
+mod multi_ring_tests {
+    use super::*;
+    use resex_fabric::{CompletionQueue, Cqe, CqNum, Opcode, QpNum, WcStatus, CQE_SIZE};
+    use resex_hypervisor::SchedModel;
+
+    /// A VM with two monitored rings (e.g. two QPs' send CQs): samples
+    /// aggregate across both.
+    #[test]
+    fn aggregates_across_multiple_rings() {
+        let mut hv = Hypervisor::new(SchedModel::Fluid);
+        hv.add_pcpu();
+        let dom0 = hv.create_domain("dom0", 1 << 20, true);
+        let vm = hv.create_domain("vm", 1 << 20, false);
+        let mem = hv.domain_memory(vm).unwrap();
+        let gpa_a = mem.alloc_bytes(32 * CQE_SIZE as u64).unwrap();
+        let gpa_b = mem.alloc_bytes(32 * CQE_SIZE as u64).unwrap();
+        let mut cq_a = CompletionQueue::new(CqNum::new(0), mem.clone(), gpa_a, 32).unwrap();
+        let mut cq_b = CompletionQueue::new(CqNum::new(1), mem, gpa_b, 32).unwrap();
+
+        let mut ibmon = IbMon::new(IbMonConfig::default());
+        ibmon.watch_cq(&hv, dom0, vm, gpa_a, 32).unwrap();
+        ibmon.watch_cq(&hv, dom0, vm, gpa_b, 32).unwrap();
+        ibmon.sample_vm(vm, SimTime::ZERO).unwrap();
+
+        let push = |cq: &mut CompletionQueue, qp: u32, counter: u16, len: u32| {
+            cq.push(Cqe {
+                wr_id: counter as u64,
+                qp_num: QpNum::new(qp),
+                byte_len: len,
+                wqe_counter: counter,
+                opcode: Opcode::Send,
+                status: WcStatus::Success,
+                imm_data: 0,
+            })
+            .unwrap();
+            cq.poll().unwrap();
+        };
+        // 3 × 64 KiB on ring A, 2 × 128 KiB on ring B.
+        for i in 0..3 {
+            push(&mut cq_a, 1, i, 65536);
+        }
+        for i in 0..2 {
+            push(&mut cq_b, 2, i, 131072);
+        }
+        let u = ibmon.sample_vm(vm, SimTime::from_millis(1)).unwrap();
+        assert_eq!(u.completions, 5);
+        assert_eq!(u.bytes, 3 * 65536 + 2 * 131072);
+        assert_eq!(u.mtus, 3 * 64 + 2 * 128);
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 9 — FreeMarket and IOShares vs interfering buffer size.
+//!
+//! Paper: "IOShares outperforms FreeMarket by maintaining the average
+//! latency very close to the base value" across interferer buffer sizes
+//! 64 KiB – 1 MiB; FreeMarket is work-conserving but "does not limit the
+//! latency since it does not have access to that information."
+
+use crate::experiments::{mean_std, Scale};
+use crate::scenario::{fmt_size, PolicyKind, ScenarioConfig};
+use crate::world::run_scenario;
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// One x-axis group.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig9Row {
+    /// Interferer buffer size label.
+    pub buffer: String,
+    /// Base (solo) latency, µs.
+    pub base_us: f64,
+    /// Unmanaged interfered latency, µs (context; not in the paper's plot).
+    pub interfered_us: f64,
+    /// FreeMarket latency, µs.
+    pub freemarket_us: f64,
+    /// IOShares latency, µs.
+    pub ioshares_us: f64,
+}
+
+/// The full figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig9Result {
+    /// One row per interferer buffer size.
+    pub rows: Vec<Fig9Row>,
+}
+
+/// Runs the policy comparison across buffer sizes (in parallel).
+pub fn run(scale: &Scale) -> Fig9Result {
+    let buffers: Vec<u32> = vec![
+        64 * 1024,
+        128 * 1024,
+        256 * 1024,
+        512 * 1024,
+        1024 * 1024,
+    ];
+    let mut base_cfg = ScenarioConfig::base_case(64 * 1024);
+    base_cfg.duration = scale.duration;
+    base_cfg.warmup = scale.warmup;
+    let base = run_scenario(base_cfg);
+    let base_us = mean_std(&base, "64KB").0;
+
+    let rows = buffers
+        .into_par_iter()
+        .map(|buf| {
+            let mk = |policy: PolicyKind| {
+                let mut cfg = match policy {
+                    PolicyKind::None => ScenarioConfig::interfered(buf),
+                    p => ScenarioConfig::managed(buf, p),
+                };
+                cfg.duration = scale.duration;
+                cfg.warmup = scale.warmup;
+                cfg
+            };
+            let (intf, (fm, ios)) = rayon::join(
+                || run_scenario(mk(PolicyKind::None)),
+                || {
+                    rayon::join(
+                        || run_scenario(mk(PolicyKind::FreeMarket)),
+                        || run_scenario(mk(PolicyKind::IoShares)),
+                    )
+                },
+            );
+            Fig9Row {
+                buffer: fmt_size(buf),
+                base_us,
+                interfered_us: mean_std(&intf, "64KB").0,
+                freemarket_us: mean_std(&fm, "64KB").0,
+                ioshares_us: mean_std(&ios, "64KB").0,
+            }
+        })
+        .collect();
+    Fig9Result { rows }
+}
+
+impl Fig9Result {
+    /// Prints the figure.
+    pub fn print(&self) {
+        println!("Figure 9 — policies vs interfering buffer size (64KB reporter)");
+        println!(
+            "\n  {:>8} {:>10} {:>12} {:>12} {:>12}",
+            "buffer", "base µs", "unmanaged", "FreeMarket", "IOShares"
+        );
+        for r in &self.rows {
+            println!(
+                "  {:>8} {:>10.1} {:>12.1} {:>12.1} {:>12.1}",
+                r.buffer, r.base_us, r.interfered_us, r.freemarket_us, r.ioshares_us
+            );
+        }
+        let ios_wins = self
+            .rows
+            .iter()
+            .filter(|r| r.ioshares_us <= r.freemarket_us + 2.0)
+            .count();
+        println!(
+            "\n  IOShares ≤ FreeMarket in {}/{} groups (paper: IOShares stays near base)",
+            ios_wins,
+            self.rows.len()
+        );
+    }
+}

@@ -1,0 +1,19 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # resex-platform — the composed virtualized testbed
+//!
+//! Wires every substrate into one deterministic event loop reproducing the
+//! paper's two-machine setup: server VMs (and dom0 running ResEx + IBMon)
+//! on machine S, their clients on machine C, all sharing machine S's
+//! InfiniBand egress link. Scenarios are declared with
+//! [`ScenarioConfig`] and executed by [`World`]; [`experiments`] contains
+//! one module per paper figure.
+
+pub mod experiments;
+pub mod metrics;
+pub mod scenario;
+pub mod world;
+
+pub use metrics::{RunMetrics, SummaryRow, VmMetrics};
+pub use scenario::{fmt_size, PolicyKind, QosSpec, ScenarioConfig, VmSpec, BASE_LATENCY_US};
+pub use world::{run_scenario, World};

@@ -1,0 +1,186 @@
+//! Experiment output: everything a figure needs.
+
+use resex_benchex::{LatencyRecord, LatencySummary};
+use resex_simcore::stats::Histogram;
+use resex_simcore::time::SimDuration;
+use resex_simcore::TimeSeries;
+use serde::Serialize;
+
+/// Per-VM measurement streams collected during a run.
+#[derive(Clone, Debug)]
+pub struct VmMetrics {
+    /// VM name (e.g. "64KB", "2MB").
+    pub name: String,
+    /// Every post-warmup latency record, in completion order.
+    pub records: Vec<LatencyRecord>,
+    /// Latency histogram (total service time, ns), post-warmup.
+    pub histogram: Histogram,
+    /// CPU cap over time (sampled every charging interval).
+    pub cap_trace: TimeSeries,
+    /// Remaining Reso fraction over time (ResEx runs only).
+    pub reso_trace: TimeSeries,
+    /// IBMon MTU estimate per interval.
+    pub mtus_trace: TimeSeries,
+    /// Mean latency per interval (µs), for timeline figures.
+    pub latency_trace: TimeSeries,
+    /// Requests served (lifetime).
+    pub served: u64,
+    /// Ground-truth MTUs sent (fabric counters), for estimator validation.
+    pub true_mtus: u64,
+    /// IBMon lifetime MTU estimate.
+    pub ibmon_mtus: u64,
+}
+
+impl VmMetrics {
+    /// Creates an empty stream set for a named VM.
+    pub fn new(name: impl Into<String>) -> Self {
+        VmMetrics {
+            name: name.into(),
+            records: Vec::new(),
+            histogram: Histogram::with_default_resolution(),
+            cap_trace: TimeSeries::new(),
+            reso_trace: TimeSeries::new(),
+            mtus_trace: TimeSeries::new(),
+            latency_trace: TimeSeries::new(),
+            served: 0,
+            true_mtus: 0,
+            ibmon_mtus: 0,
+        }
+    }
+
+    /// Summary over all post-warmup records.
+    pub fn summary(&self) -> LatencySummary {
+        let mut s = LatencySummary::new();
+        for r in &self.records {
+            s.push(r);
+        }
+        s
+    }
+}
+
+/// Everything one simulation run produced.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    /// Scenario label.
+    pub label: String,
+    /// Active policy name ("none" for unmanaged runs).
+    pub policy: String,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Warmup excluded from summaries.
+    pub warmup: SimDuration,
+    /// Per-VM streams, in VM declaration order.
+    pub vms: Vec<VmMetrics>,
+    /// Total events processed by the platform loop (sanity/throughput).
+    pub events_processed: u64,
+}
+
+impl RunMetrics {
+    /// The named VM's metrics.
+    pub fn vm(&self, name: &str) -> Option<&VmMetrics> {
+        self.vms.iter().find(|v| v.name == name)
+    }
+
+    /// Compact per-VM summary rows suitable for printing.
+    pub fn rows(&self) -> Vec<SummaryRow> {
+        self.vms
+            .iter()
+            .map(|v| {
+                let s = v.summary();
+                SummaryRow {
+                    vm: v.name.clone(),
+                    requests: s.count(),
+                    mean_us: s.total.mean(),
+                    std_us: s.total.population_std_dev(),
+                    p99_us: v.histogram.quantile(0.99) as f64 / 1000.0,
+                    ptime_us: s.ptime.mean(),
+                    ctime_us: s.ctime.mean(),
+                    wtime_us: s.wtime.mean(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One printable summary row (also serialized as JSON for plotting).
+#[derive(Clone, Debug, Serialize)]
+pub struct SummaryRow {
+    /// VM name.
+    pub vm: String,
+    /// Post-warmup requests.
+    pub requests: u64,
+    /// Mean total service latency, µs.
+    pub mean_us: f64,
+    /// Latency standard deviation, µs.
+    pub std_us: f64,
+    /// 99th percentile latency, µs.
+    pub p99_us: f64,
+    /// Mean polling time, µs.
+    pub ptime_us: f64,
+    /// Mean compute time, µs.
+    pub ctime_us: f64,
+    /// Mean I/O wait, µs.
+    pub wtime_us: f64,
+}
+
+/// Helper: record a latency sample into the per-interval timeline.
+pub fn record_latency(metrics: &mut VmMetrics, r: &LatencyRecord, after_warmup: bool) {
+    if after_warmup {
+        metrics.records.push(*r);
+        metrics.histogram.record(r.total().as_nanos());
+    }
+    metrics
+        .latency_trace
+        .push(r.at, r.total().as_micros_f64());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resex_simcore::time::SimTime;
+
+    fn rec(at_us: u64, total_us: u64) -> LatencyRecord {
+        LatencyRecord {
+            at: SimTime::from_micros(at_us),
+            request_id: at_us,
+            ptime: SimDuration::from_micros(total_us / 4),
+            ctime: SimDuration::from_micros(total_us / 2),
+            wtime: SimDuration::from_micros(total_us / 4),
+        }
+    }
+
+    #[test]
+    fn warmup_gates_summary_but_not_trace() {
+        let mut m = VmMetrics::new("64KB");
+        record_latency(&mut m, &rec(10, 200), false);
+        record_latency(&mut m, &rec(20, 300), true);
+        assert_eq!(m.records.len(), 1);
+        assert_eq!(m.latency_trace.len(), 2);
+        assert_eq!(m.summary().total.mean(), 300.0);
+        assert_eq!(m.histogram.count(), 1);
+    }
+
+    #[test]
+    fn rows_compute_components() {
+        let mut run = RunMetrics::default();
+        let mut m = VmMetrics::new("vm");
+        record_latency(&mut m, &rec(1, 200), true);
+        record_latency(&mut m, &rec(2, 200), true);
+        run.vms.push(m);
+        let rows = run.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].requests, 2);
+        assert_eq!(rows[0].mean_us, 200.0);
+        assert_eq!(rows[0].ctime_us, 100.0);
+        assert_eq!(rows[0].ptime_us, 50.0);
+    }
+
+    #[test]
+    fn vm_lookup_by_name() {
+        let mut run = RunMetrics::default();
+        run.vms.push(VmMetrics::new("a"));
+        run.vms.push(VmMetrics::new("b"));
+        assert!(run.vm("b").is_some());
+        assert!(run.vm("zz").is_none());
+    }
+}

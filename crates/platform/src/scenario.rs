@@ -1,0 +1,265 @@
+//! Scenario configuration: declarative descriptions of the paper's
+//! experimental setups, turned into a running [`World`](crate::World).
+//!
+//! Terminology follows the paper: a VM is named by its configured buffer
+//! size ("64KB VM", "2MB VM"); the *reporting* VM is the latency-sensitive
+//! one; an *interfering* VM has a larger buffer. The canonical testbed is
+//! two physical machines — servers (and dom0 with ResEx/IBMon) on one,
+//! clients on the other.
+
+use resex_benchex::{ClientMode, ServerConfig, TraceProfile};
+use resex_core::{ResExConfig, SlaTarget};
+use resex_fabric::FabricConfig;
+use resex_hypervisor::SchedModel;
+use resex_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Which pricing policy manages the run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Unmanaged (the paper's "base"/"interfered" runs).
+    None,
+    /// FreeMarket (Algorithm 1).
+    FreeMarket,
+    /// IOShares (Algorithm 2); SLAs come from each VM's `sla` field.
+    IoShares,
+    /// Fixed caps per VM index.
+    StaticReserve(Vec<(usize, u32)>),
+    /// Buffer-ratio caps relative to the VM at `reference` index.
+    BufferRatio {
+        /// Index of the reporting VM.
+        reference: usize,
+    },
+    /// Uniform demand-driven epoch pricing (goal 1, purest form).
+    DemandPricing,
+}
+
+/// Hardware QoS assigned to a VM's queue pair at the HCA — the alternative
+/// isolation lever the paper mentions newer cards support.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QosSpec {
+    /// Strict priority level (lower = served first; default 0).
+    pub priority: u8,
+    /// Weighted-round-robin weight within the level (default 1).
+    pub weight: u32,
+    /// Egress bandwidth cap in bytes/second (None = unlimited).
+    pub rate_limit: Option<u64>,
+}
+
+/// One server VM (plus its dedicated client on the client machine).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VmSpec {
+    /// Display name; by convention the buffer size ("64KB").
+    pub name: String,
+    /// Response buffer size in bytes.
+    pub buffer_size: u32,
+    /// Workload trace for this VM's client.
+    pub trace: TraceProfile,
+    /// Client behaviour.
+    pub client_mode: ClientMode,
+    /// Initial CPU cap (0 = uncapped), for the static-cap experiments
+    /// (Figures 3 and 4).
+    pub initial_cap: u32,
+    /// SLA for IOShares (reporting VMs only).
+    pub sla: Option<SlaTarget>,
+    /// Reso share weight.
+    pub weight: u32,
+    /// Hardware QoS for this VM's egress flow (None = default best-effort).
+    pub qos: Option<QosSpec>,
+}
+
+impl VmSpec {
+    /// A standard latency-sensitive server VM with the given buffer size.
+    pub fn server(name: impl Into<String>, buffer_size: u32) -> Self {
+        VmSpec {
+            name: name.into(),
+            buffer_size,
+            trace: TraceProfile::uniform_quotes(8),
+            client_mode: ClientMode::ClosedLoop {
+                think: SimDuration::from_micros(40),
+            },
+            initial_cap: 0,
+            sla: None,
+            weight: 1,
+            qos: None,
+        }
+    }
+
+    /// Attaches an SLA (makes this a reporting VM under IOShares).
+    pub fn with_sla(mut self, base_mean_us: f64, base_std_us: f64) -> Self {
+        self.sla = Some(SlaTarget {
+            base_mean_us,
+            base_std_us,
+        });
+        self
+    }
+
+    /// Sets an initial static cap.
+    pub fn with_cap(mut self, cap: u32) -> Self {
+        self.initial_cap = cap;
+        self
+    }
+
+    /// Replaces the client mode.
+    pub fn with_client(mut self, mode: ClientMode) -> Self {
+        self.client_mode = mode;
+        self
+    }
+
+    /// Installs hardware QoS for this VM's egress flow.
+    pub fn with_qos(mut self, qos: QosSpec) -> Self {
+        self.qos = Some(qos);
+        self
+    }
+}
+
+/// A full experiment description (JSON-serializable; see the `simulate`
+/// binary in `resex-bench` for file-driven runs).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Human-readable label (appears in output).
+    pub label: String,
+    /// Server VMs (index order is VM id order).
+    pub vms: Vec<VmSpec>,
+    /// Fabric parameters.
+    pub fabric: FabricConfig,
+    /// Scheduler model.
+    pub sched: SchedModel,
+    /// ResEx parameters (ignored when `policy == None`).
+    pub resex: ResExConfig,
+    /// Active policy.
+    pub policy: PolicyKind,
+    /// Base server configuration (buffer size overridden per VM).
+    pub server: ServerConfig,
+    /// Simulated run length.
+    pub duration: SimDuration,
+    /// Initial span excluded from summaries.
+    pub warmup: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// The paper's canonical 64 KiB baseline latency, used as the default SLA.
+pub const BASE_LATENCY_US: f64 = 209.0;
+
+impl ScenarioConfig {
+    /// A solo reporting VM — the paper's "base case".
+    pub fn base_case(buffer_size: u32) -> Self {
+        ScenarioConfig {
+            label: format!("base-{}", fmt_size(buffer_size)),
+            vms: vec![VmSpec::server(fmt_size(buffer_size), buffer_size)],
+            fabric: FabricConfig::default(),
+            sched: SchedModel::Fluid,
+            resex: ResExConfig::default(),
+            policy: PolicyKind::None,
+            server: ServerConfig::default(),
+            duration: SimDuration::from_secs(5),
+            warmup: SimDuration::from_millis(200),
+            seed: 42,
+        }
+    }
+
+    /// The canonical two-VM setup: a 64 KiB reporting VM plus an
+    /// interferer with the given buffer size, unmanaged.
+    pub fn interfered(intf_buffer: u32) -> Self {
+        let mut cfg = ScenarioConfig::base_case(64 * 1024);
+        cfg.label = format!("interfered-{}", fmt_size(intf_buffer));
+        cfg.vms[0] = cfg.vms[0]
+            .clone()
+            .with_sla(BASE_LATENCY_US, 2.0);
+        cfg.vms.push(VmSpec::server(fmt_size(intf_buffer), intf_buffer));
+        cfg
+    }
+
+    /// The two-VM setup under a pricing policy.
+    pub fn managed(intf_buffer: u32, policy: PolicyKind) -> Self {
+        let mut cfg = ScenarioConfig::interfered(intf_buffer);
+        cfg.label = format!("{:?}-{}", policy_tag(&policy), fmt_size(intf_buffer));
+        cfg.policy = policy;
+        cfg
+    }
+
+    /// Validates the scenario.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.vms.is_empty() {
+            return Err("at least one VM required".into());
+        }
+        self.fabric.validate()?;
+        self.resex.validate()?;
+        if self.warmup.as_nanos() >= self.duration.as_nanos() {
+            return Err("warmup must be shorter than the run".into());
+        }
+        if let PolicyKind::BufferRatio { reference } = self.policy {
+            if reference >= self.vms.len() {
+                return Err("BufferRatio reference out of range".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Formats a byte count the way the paper names VMs ("64KB", "2MB").
+pub fn fmt_size(bytes: u32) -> String {
+    if bytes >= 1024 * 1024 && bytes.is_multiple_of(1024 * 1024) {
+        format!("{}MB", bytes / (1024 * 1024))
+    } else if bytes >= 1024 && bytes.is_multiple_of(1024) {
+        format!("{}KB", bytes / 1024)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+fn policy_tag(p: &PolicyKind) -> &'static str {
+    match p {
+        PolicyKind::None => "none",
+        PolicyKind::FreeMarket => "freemarket",
+        PolicyKind::IoShares => "ioshares",
+        PolicyKind::StaticReserve(_) => "static",
+        PolicyKind::BufferRatio { .. } => "bufferratio",
+        PolicyKind::DemandPricing => "demand",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_formatting() {
+        assert_eq!(fmt_size(64 * 1024), "64KB");
+        assert_eq!(fmt_size(2 * 1024 * 1024), "2MB");
+        assert_eq!(fmt_size(1500), "1500B");
+    }
+
+    #[test]
+    fn canonical_scenarios_validate() {
+        assert!(ScenarioConfig::base_case(64 * 1024).validate().is_ok());
+        assert!(ScenarioConfig::interfered(2 * 1024 * 1024).validate().is_ok());
+        assert!(ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::IoShares)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn interfered_has_reporting_sla() {
+        let cfg = ScenarioConfig::interfered(2 * 1024 * 1024);
+        assert_eq!(cfg.vms.len(), 2);
+        assert!(cfg.vms[0].sla.is_some());
+        assert!(cfg.vms[1].sla.is_none());
+        assert_eq!(cfg.vms[1].name, "2MB");
+    }
+
+    #[test]
+    fn validation_catches_bad_reference() {
+        let mut cfg = ScenarioConfig::interfered(131072);
+        cfg.policy = PolicyKind::BufferRatio { reference: 9 };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_long_warmup() {
+        let mut cfg = ScenarioConfig::base_case(65536);
+        cfg.warmup = cfg.duration;
+        assert!(cfg.validate().is_err());
+    }
+}

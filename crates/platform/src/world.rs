@@ -1,0 +1,752 @@
+//! The composed testbed: fabric + hypervisor + BenchEx + IBMon + ResEx in
+//! one deterministic event loop.
+//!
+//! Layout (mirroring the paper's two Dell PowerEdge servers):
+//!
+//! ```text
+//!  machine S (node 0)                         machine C (node 1)
+//!  ┌──────────────────────────────┐           ┌──────────────────┐
+//!  │ dom0: ResEx + IBMon + XenStat│   switch  │ client 0 ─ QP ───┼─▶ VM 0
+//!  │ VM 0 "64KB": BenchEx server ─┼───────────┼─ client 1 ─ QP ──┼─▶ VM 1
+//!  │ VM 1 "2MB" : BenchEx server ─┼───────────┼─ ...             │
+//!  └──────────────────────────────┘           └──────────────────┘
+//! ```
+//!
+//! Requests travel client → server as IB *sends* (real bytes, decoded by
+//! the server); responses travel server → client as *RDMA-write-with-
+//! immediate* into the client's registered response buffer, padded to the
+//! VM's configured buffer size — so all response traffic of all VMs shares
+//! machine S's egress link, which is where interference lives.
+
+use crate::metrics::{record_latency, RunMetrics, VmMetrics};
+use crate::scenario::{PolicyKind, ScenarioConfig};
+use resex_benchex::{
+    AgentConfig, Client, ClientAction, LatencyReport, ReportingAgent, Server, ServerAction,
+    TraceGen, TransactionRequest, TransactionResponse, REQUEST_WIRE_BYTES,
+};
+use resex_core::{
+    BufferRatio, DemandPricing, FreeMarket, IoShares, LatencyFeedback, ManagerAction,
+    PricingPolicy, ResExManager, StaticReserve, VmId, VmSnapshot,
+};
+use resex_fabric::qp::{RecvRequest, WorkRequest};
+use resex_fabric::{
+    Access, CqNum, Fabric, FabricEvent, FlowParams, MrHandle, NodeId, Opcode, QpNum, TokenBucket,
+    WcStatus,
+};
+use resex_hypervisor::{DomainId, HvEvent, Hypervisor, VcpuId, XenStat};
+use resex_ibmon::{IbMon, IbMonConfig};
+use resex_simcore::event::{EventKey, EventQueue};
+use resex_simcore::rng::SimRng;
+use resex_simcore::time::{SimDuration, SimTime};
+use resex_simmem::{Gpa, MemoryHandle};
+use std::collections::HashMap;
+
+/// Receive slots pre-posted per queue pair.
+const RECV_SLOTS: u32 = 64;
+/// Spacing of request landing slots in server memory.
+const SLOT_BYTES: u64 = 4096;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Ev {
+    FabricSync,
+    HvSync,
+    ClientTimer { client: usize },
+    ResExInterval,
+    End,
+}
+
+struct VmRuntime {
+    dom: DomainId,
+    vcpu: VcpuId,
+    server: Server,
+    agent: ReportingAgent,
+    last_report: Option<LatencyReport>,
+    qp: QpNum,
+    send_cq: CqNum,
+    recv_cq: CqNum,
+    resp_mr: MrHandle,
+    req_base: Gpa,
+    req_lkey: u32,
+    mem: MemoryHandle,
+    /// Client-side response landing target (rkey, gpa).
+    client_resp: (u32, Gpa),
+}
+
+struct ClientRuntime {
+    client: Client,
+    qp: QpNum,
+    recv_cq: CqNum,
+    mem: MemoryHandle,
+    req_mr: MrHandle,
+    resp_mr: MrHandle,
+    outstanding: HashMap<u64, SimTime>,
+}
+
+/// The running testbed.
+pub struct World {
+    cfg: ScenarioConfig,
+    fabric: Fabric,
+    hv: Hypervisor,
+    queue: EventQueue<Ev>,
+    vms: Vec<VmRuntime>,
+    clients: Vec<ClientRuntime>,
+    manager: Option<ResExManager>,
+    ibmon: IbMon,
+    xenstat: XenStat,
+    metrics: Vec<VmMetrics>,
+    dom0: DomainId,
+    node_srv: NodeId,
+    node_cli: NodeId,
+    fabric_sync: Option<(SimTime, EventKey)>,
+    hv_sync: Option<(SimTime, EventKey)>,
+    events: u64,
+    srv_qp_to_vm: HashMap<QpNum, usize>,
+    cli_qp_to_client: HashMap<QpNum, usize>,
+}
+
+impl World {
+    /// Builds the testbed described by `cfg`.
+    ///
+    /// # Panics
+    /// On invalid configuration (validated eagerly) or on any setup-time
+    /// verbs failure — setup errors are programming errors, not runtime
+    /// conditions.
+    pub fn build(cfg: ScenarioConfig) -> World {
+        cfg.validate().expect("valid scenario");
+        let mut fabric = Fabric::new(cfg.fabric.clone()).expect("valid fabric config");
+        let node_srv = fabric.add_node();
+        let node_cli = fabric.add_node();
+
+        let mut hv = Hypervisor::new(cfg.sched);
+        let dom0 = hv.create_domain("dom0", 64 << 20, true);
+        // dom0 gets its own PCPU (it runs ResEx/IBMon, not simulated work).
+        hv.add_pcpu();
+
+        let mut rng = SimRng::seed_from_u64(cfg.seed);
+        let mut vms = Vec::new();
+        let mut clients = Vec::new();
+        let mut metrics = Vec::new();
+        let mut srv_qp_to_vm = HashMap::new();
+        let mut cli_qp_to_client = HashMap::new();
+
+        for (i, spec) in cfg.vms.iter().enumerate() {
+            // --- server VM on machine S ---
+            let mem_size = (spec.buffer_size as u64 + (RECV_SLOTS as u64) * SLOT_BYTES)
+                .max(8 << 20)
+                + (16 << 20);
+            let dom = hv.create_domain(spec.name.clone(), mem_size, false);
+            let pcpu = hv.add_pcpu();
+            let vcpu = hv
+                .add_vcpu(dom, pcpu, SimTime::ZERO)
+                .expect("fresh pcpu accepts a vcpu");
+            if spec.initial_cap > 0 {
+                hv.set_cap(dom, spec.initial_cap, SimTime::ZERO)
+                    .expect("valid cap");
+            }
+            let mem = hv.domain_memory(dom).expect("domain exists");
+            let pd = fabric.create_pd(node_srv).expect("pd");
+            let uar = fabric.create_uar(node_srv, &mem).expect("uar");
+            let send_cq = fabric.create_cq(node_srv, &mem, 1024).expect("cq");
+            let recv_cq = fabric.create_cq(node_srv, &mem, 1024).expect("cq");
+            let qp = fabric
+                .create_qp(node_srv, pd, send_cq, recv_cq, 512, 512, uar)
+                .expect("qp");
+            let resp_base = mem.alloc_bytes(spec.buffer_size.max(4096) as u64).expect("mem");
+            let resp_mr = fabric
+                .register_mr(node_srv, pd, &mem, resp_base, spec.buffer_size.max(4096), Access::FULL)
+                .expect("mr");
+            let req_base = mem
+                .alloc_bytes(RECV_SLOTS as u64 * SLOT_BYTES)
+                .expect("mem");
+            let req_mr = fabric
+                .register_mr(
+                    node_srv,
+                    pd,
+                    &mem,
+                    req_base,
+                    (RECV_SLOTS as u64 * SLOT_BYTES) as u32,
+                    Access::FULL,
+                )
+                .expect("mr");
+
+            // --- matching client on machine C ---
+            let cmem = MemoryHandle::new((spec.buffer_size as u64).max(4 << 20) + (8 << 20));
+            let cpd = fabric.create_pd(node_cli).expect("pd");
+            let cuar = fabric.create_uar(node_cli, &cmem).expect("uar");
+            let c_send_cq = fabric.create_cq(node_cli, &cmem, 1024).expect("cq");
+            let c_recv_cq = fabric.create_cq(node_cli, &cmem, 1024).expect("cq");
+            let cqp = fabric
+                .create_qp(node_cli, cpd, c_send_cq, c_recv_cq, 512, 512, cuar)
+                .expect("qp");
+            let c_req_base = cmem.alloc_bytes(4096).expect("mem");
+            let c_req_mr = fabric
+                .register_mr(node_cli, cpd, &cmem, c_req_base, 4096, Access::FULL)
+                .expect("mr");
+            let c_resp_base = cmem
+                .alloc_bytes(spec.buffer_size.max(4096) as u64)
+                .expect("mem");
+            let c_resp_mr = fabric
+                .register_mr(
+                    node_cli,
+                    cpd,
+                    &cmem,
+                    c_resp_base,
+                    spec.buffer_size.max(4096),
+                    Access::FULL,
+                )
+                .expect("mr");
+
+            fabric.connect(node_srv, qp, node_cli, cqp).expect("connect");
+
+            // Install hardware QoS on the server VM's egress flow.
+            if let Some(q) = spec.qos {
+                fabric
+                    .set_qp_flow_params(
+                        node_srv,
+                        qp,
+                        FlowParams {
+                            weight: q.weight.max(1),
+                            priority: q.priority,
+                            rate_limit: q.rate_limit.map(|bps| {
+                                // A one-grant burst keeps shaping tight.
+                                let burst = (cfg.fabric.grant_mtus * cfg.fabric.mtu_bytes) as u64;
+                                TokenBucket::new(bps, burst.max(1))
+                            }),
+                        },
+                    )
+                    .expect("qos installs");
+            }
+
+            // Pre-post receives on both sides.
+            for slot in 0..RECV_SLOTS {
+                fabric
+                    .post_recv(
+                        node_srv,
+                        qp,
+                        RecvRequest {
+                            wr_id: slot as u64,
+                            lkey: req_mr.lkey,
+                            gpa: req_base.add(slot as u64 * SLOT_BYTES),
+                            len: SLOT_BYTES as u32,
+                        },
+                    )
+                    .expect("post recv");
+                fabric
+                    .post_recv(
+                        node_cli,
+                        cqp,
+                        RecvRequest {
+                            wr_id: slot as u64,
+                            lkey: c_resp_mr.lkey,
+                            gpa: c_resp_base,
+                            len: spec.buffer_size.max(4096),
+                        },
+                    )
+                    .expect("post recv");
+            }
+
+            let mut server_cfg = cfg.server;
+            server_cfg.buffer_size = spec.buffer_size;
+            vms.push(VmRuntime {
+                dom,
+                vcpu,
+                server: Server::new(server_cfg),
+                agent: ReportingAgent::new(AgentConfig::default()),
+                last_report: None,
+                qp,
+                send_cq,
+                recv_cq,
+                resp_mr,
+                req_base,
+                req_lkey: req_mr.lkey,
+                mem,
+                client_resp: (c_resp_mr.rkey, c_resp_base),
+            });
+            srv_qp_to_vm.insert(qp, i);
+
+            clients.push(ClientRuntime {
+                client: Client::new(
+                    i as u32,
+                    spec.client_mode,
+                    TraceGen::new(spec.trace, rng.next_u64()),
+                    rng.next_u64(),
+                ),
+                qp: cqp,
+                recv_cq: c_recv_cq,
+                mem: cmem,
+                req_mr: c_req_mr,
+                resp_mr: c_resp_mr,
+                outstanding: HashMap::new(),
+            });
+            cli_qp_to_client.insert(cqp, i);
+            metrics.push(VmMetrics::new(spec.name.clone()));
+        }
+
+        // --- ResEx + IBMon in dom0 ---
+        let manager = match &cfg.policy {
+            PolicyKind::None => None,
+            policy => {
+                let boxed: Box<dyn PricingPolicy> = match policy {
+                    PolicyKind::FreeMarket => Box::new(FreeMarket::new()),
+                    PolicyKind::IoShares => Box::new(IoShares::new(
+                        cfg.vms
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, s)| s.sla.map(|sla| (VmId::new(i as u32), sla))),
+                    )),
+                    PolicyKind::StaticReserve(caps) => Box::new(StaticReserve::new(
+                        caps.iter().map(|&(i, c)| (VmId::new(i as u32), c)),
+                    )),
+                    PolicyKind::BufferRatio { reference } => {
+                        Box::new(BufferRatio::new(VmId::new(*reference as u32)))
+                    }
+                    PolicyKind::DemandPricing => Box::new(DemandPricing::new(
+                        cfg.fabric.mtus_per_second()
+                            * cfg.resex.epoch.as_nanos().max(1) / 1_000_000_000,
+                    )),
+                    PolicyKind::None => unreachable!(),
+                };
+                let mut m = ResExManager::new(cfg.resex, boxed).expect("valid resex config");
+                for (i, spec) in cfg.vms.iter().enumerate() {
+                    m.register_vm(VmId::new(i as u32), spec.weight);
+                }
+                Some(m)
+            }
+        };
+
+        let mut ibmon = IbMon::new(IbMonConfig {
+            mtu: cfg.fabric.mtu_bytes,
+            ..IbMonConfig::default()
+        });
+        for vm in &vms {
+            let (ring, cap) = fabric.cq_ring_info(node_srv, vm.send_cq).expect("cq info");
+            ibmon
+                .watch_cq(&hv, dom0, vm.dom, ring, cap)
+                .expect("dom0 may introspect");
+        }
+
+        World {
+            cfg,
+            fabric,
+            hv,
+            queue: EventQueue::new(),
+            vms,
+            clients,
+            manager,
+            ibmon,
+            xenstat: XenStat::new(),
+            metrics,
+            dom0,
+            node_srv,
+            node_cli,
+            fabric_sync: None,
+            hv_sync: None,
+            events: 0,
+            srv_qp_to_vm,
+            cli_qp_to_client,
+        }
+    }
+
+    /// Runs the scenario to completion and returns the collected metrics.
+    pub fn run(mut self) -> RunMetrics {
+        let duration = self.cfg.duration;
+        let warmup = self.cfg.warmup;
+        // Kick off clients.
+        for i in 0..self.clients.len() {
+            let act = self.clients[i].client.start(SimTime::ZERO);
+            self.apply_client_action(i, act, SimTime::ZERO);
+        }
+        // Servers burn CPU polling from the start.
+        for i in 0..self.vms.len() {
+            let vcpu = self.vms[i].vcpu;
+            self.hv.set_polling(vcpu, SimTime::ZERO).expect("vcpu");
+        }
+        if let Some(manager) = &self.manager {
+            let interval = manager.config().interval;
+            // Prime XenStat so the first real interval measures a full window.
+            for i in 0..self.vms.len() {
+                let dom = self.vms[i].dom;
+                let _ = self.xenstat.sample(&mut self.hv, dom, SimTime::ZERO);
+            }
+            self.xenstat.end_round(SimTime::ZERO);
+            self.queue
+                .schedule_at(SimTime::ZERO + interval, Ev::ResExInterval);
+        }
+        self.queue.schedule_at(SimTime::ZERO + duration, Ev::End);
+        self.rearm();
+
+        while let Some((t, ev)) = self.queue.pop() {
+            self.events += 1;
+            match ev {
+                Ev::End => break,
+                Ev::FabricSync => {
+                    if self.fabric_sync.map(|(ft, _)| ft) == Some(t) {
+                        self.fabric_sync = None;
+                    }
+                    let evs = self.fabric.advance(t);
+                    for (et, fe) in evs {
+                        self.on_fabric_event(et, fe, warmup);
+                    }
+                }
+                Ev::HvSync => {
+                    if self.hv_sync.map(|(ht, _)| ht) == Some(t) {
+                        self.hv_sync = None;
+                    }
+                    let evs = self.hv.advance(t);
+                    for (et, he) in evs {
+                        let HvEvent::JobDone { dom, .. } = he;
+                        self.on_compute_done(dom, et);
+                    }
+                }
+                Ev::ClientTimer { client } => {
+                    let acts = self.clients[client].client.on_timer(t);
+                    for act in acts {
+                        self.apply_client_action(client, act, t);
+                    }
+                }
+                Ev::ResExInterval => self.on_resex_interval(t),
+            }
+            self.rearm();
+        }
+
+        let mut out = RunMetrics {
+            label: self.cfg.label.clone(),
+            policy: self
+                .manager
+                .as_ref()
+                .map(|m| m.policy_name().to_string())
+                .unwrap_or_else(|| "none".to_string()),
+            duration,
+            warmup,
+            vms: Vec::new(),
+            events_processed: self.events,
+        };
+        for (i, mut m) in self.metrics.into_iter().enumerate() {
+            m.served = self.vms[i].server.served();
+            m.true_mtus = self
+                .fabric
+                .qp_counters(self.node_srv, self.vms[i].qp)
+                .map(|c| c.mtus_sent)
+                .unwrap_or(0);
+            m.ibmon_mtus = self.ibmon.lifetime_mtus(self.vms[i].dom);
+            out.vms.push(m);
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+
+    fn rearm(&mut self) {
+        let ft = self.fabric.next_time();
+        if self.fabric_sync.map(|(t, _)| t) != ft {
+            if let Some((_, key)) = self.fabric_sync.take() {
+                self.queue.cancel(key);
+            }
+            if let Some(t) = ft {
+                let key = self.queue.schedule_at(t.max(self.queue.now()), Ev::FabricSync);
+                self.fabric_sync = Some((t, key));
+            }
+        }
+        let ht = self.hv.next_time();
+        if self.hv_sync.map(|(t, _)| t) != ht {
+            if let Some((_, key)) = self.hv_sync.take() {
+                self.queue.cancel(key);
+            }
+            if let Some(t) = ht {
+                let key = self.queue.schedule_at(t.max(self.queue.now()), Ev::HvSync);
+                self.hv_sync = Some((t, key));
+            }
+        }
+    }
+
+    fn on_fabric_event(&mut self, t: SimTime, ev: FabricEvent, warmup: SimDuration) {
+        match ev {
+            FabricEvent::RecvComplete {
+                node,
+                qp,
+                wr_id,
+                imm,
+                ..
+            } => {
+                if node == self.node_srv {
+                    self.on_server_request(qp, wr_id, t);
+                } else if node == self.node_cli {
+                    self.on_client_response(qp, imm, t);
+                }
+            }
+            FabricEvent::SendComplete {
+                node,
+                qp,
+                opcode,
+                status,
+                ..
+            } => {
+                if node == self.node_srv
+                    && opcode == Opcode::RdmaWriteImm
+                    && status == WcStatus::Success
+                {
+                    self.on_server_send_complete(qp, t, warmup);
+                }
+                debug_assert!(
+                    status.is_ok(),
+                    "unexpected completion error at {t}: {status:?}"
+                );
+            }
+            FabricEvent::RdmaWriteDelivered { .. } => {}
+            FabricEvent::RnrDrop { node, qp } => {
+                // Should never happen with RECV_SLOTS pre-posted.
+                panic!("receiver not ready at {t} on {node:?}/{qp:?}");
+            }
+        }
+    }
+
+    /// A transaction arrived at a server VM.
+    fn on_server_request(&mut self, qp: QpNum, slot: u64, t: SimTime) {
+        let vmi = match self.srv_qp_to_vm.get(&qp) {
+            Some(&i) => i,
+            None => return,
+        };
+        // The guest's poll loop consumes the completion (frees the ring
+        // slot for the HCA; IBMon still sees the written bytes).
+        let recv_cq = self.vms[vmi].recv_cq;
+        let _ = self.fabric.poll_cq(self.node_srv, recv_cq, 64);
+        let gpa = self.vms[vmi].req_base.add(slot * SLOT_BYTES);
+        let mut wire = [0u8; REQUEST_WIRE_BYTES as usize];
+        self.vms[vmi].mem.read(gpa, &mut wire).expect("request bytes");
+        let req = TransactionRequest::decode(&wire).expect("well-formed request");
+        // Replenish the receive slot before handing the request over.
+        let lkey = self.vms[vmi].req_lkey;
+        self.fabric
+            .post_recv(
+                self.node_srv,
+                qp,
+                RecvRequest {
+                    wr_id: slot,
+                    lkey,
+                    gpa,
+                    len: SLOT_BYTES as u32,
+                },
+            )
+            .expect("replenish recv");
+        let act = self.vms[vmi].server.on_request(req, t);
+        self.apply_server_action(vmi, act, t);
+    }
+
+    /// A response landed at a client.
+    fn on_client_response(&mut self, qp: QpNum, imm: Option<u32>, t: SimTime) {
+        let ci = match self.cli_qp_to_client.get(&qp) {
+            Some(&i) => i,
+            None => return,
+        };
+        // The client's poll loop consumes the completion.
+        let recv_cq = self.clients[ci].recv_cq;
+        let _ = self.fabric.poll_cq(self.node_cli, recv_cq, 64);
+        // Replenish the consumed receive.
+        let (lkey, gpa, len) = {
+            let c = &self.clients[ci];
+            (c.resp_mr.lkey, c.resp_mr.gpa, c.resp_mr.len)
+        };
+        self.fabric
+            .post_recv(
+                self.node_cli,
+                qp,
+                RecvRequest { wr_id: 0, lkey, gpa, len },
+            )
+            .expect("replenish recv");
+        // Correlate by immediate (request id); for small responses the
+        // header is also in memory — check it when present.
+        let req_id = imm.expect("responses carry the request id") as u64;
+        if len <= 4096 {
+            let mut hdr = [0u8; 36];
+            if self.clients[ci].mem.read(gpa, &mut hdr).is_ok() {
+                if let Some(resp) = TransactionResponse::decode(&hdr) {
+                    debug_assert_eq!(resp.id & 0xFFFF_FFFF, req_id);
+                }
+            }
+        }
+        let sent_at = match self.clients[ci].outstanding.remove(&req_id) {
+            Some(s) => s,
+            None => return, // duplicate/late; nothing to do
+        };
+        let act = self.clients[ci].client.on_response(sent_at, t);
+        self.apply_client_action(ci, act, t);
+    }
+
+    /// A server VM's response send completed.
+    fn on_server_send_complete(&mut self, qp: QpNum, t: SimTime, warmup: SimDuration) {
+        let vmi = match self.srv_qp_to_vm.get(&qp) {
+            Some(&i) => i,
+            None => return,
+        };
+        let send_cq = self.vms[vmi].send_cq;
+        let _ = self.fabric.poll_cq(self.node_srv, send_cq, 64);
+        let (record, act) = self.vms[vmi].server.on_send_complete_with_record(t);
+        let after_warmup = t.duration_since(SimTime::ZERO) >= warmup;
+        record_latency(&mut self.metrics[vmi], &record, after_warmup);
+        self.apply_server_action(vmi, act, t);
+    }
+
+    fn on_compute_done(&mut self, dom: DomainId, t: SimTime) {
+        let vmi = match self.vms.iter().position(|v| v.dom == dom) {
+            Some(i) => i,
+            None => return,
+        };
+        let act = self.vms[vmi].server.on_compute_done(t);
+        self.apply_server_action(vmi, act, t);
+    }
+
+    fn apply_server_action(&mut self, vmi: usize, act: ServerAction, t: SimTime) {
+        match act {
+            ServerAction::StartCompute { cpu_time } => {
+                let vcpu = self.vms[vmi].vcpu;
+                self.hv
+                    .start_job(vcpu, cpu_time, vmi as u64, t)
+                    .expect("vcpu accepts job");
+            }
+            ServerAction::PostResponse {
+                len,
+                client_id: _,
+                request_id,
+            } => {
+                let vm = &self.vms[vmi];
+                // Write the response header into the (server-side) buffer.
+                let resp = TransactionResponse {
+                    id: request_id,
+                    sent_at: SimTime::ZERO, // echoed via imm correlation
+                    value_sum: vm.server.value_checksum,
+                    service_ns: 0,
+                };
+                let hdr = resp.encode();
+                vm.mem.write(vm.resp_mr.gpa, &hdr).expect("resp header");
+                let (rkey, rgpa) = vm.client_resp;
+                let wr = WorkRequest {
+                    wr_id: request_id,
+                    opcode: Opcode::RdmaWriteImm,
+                    lkey: vm.resp_mr.lkey,
+                    local_gpa: vm.resp_mr.gpa,
+                    len,
+                    remote: Some(resex_fabric::RemoteTarget { rkey, gpa: rgpa }),
+                    imm: request_id as u32,
+                    signaled: true,
+                };
+                let qp = vm.qp;
+                self.fabric
+                    .post_send(self.node_srv, qp, wr, t)
+                    .expect("response posts");
+            }
+            ServerAction::Idle => {
+                // Nothing queued: the server spins on its CQ. The VCPU is
+                // already in polling mode (JobDone leaves it there).
+            }
+        }
+    }
+
+    fn apply_client_action(&mut self, ci: usize, act: ClientAction, t: SimTime) {
+        match act {
+            ClientAction::Send(req) => {
+                let wire = req.encode();
+                let c = &mut self.clients[ci];
+                c.mem.write(c.req_mr.gpa, &wire).expect("request bytes");
+                c.outstanding.insert(req.id & 0xFFFF_FFFF, req.sent_at);
+                let wr = WorkRequest {
+                    wr_id: req.id,
+                    opcode: Opcode::Send,
+                    lkey: c.req_mr.lkey,
+                    local_gpa: c.req_mr.gpa,
+                    len: REQUEST_WIRE_BYTES,
+                    remote: None,
+                    imm: 0,
+                    signaled: false,
+                };
+                let qp = c.qp;
+                self.fabric
+                    .post_send(self.node_cli, qp, wr, t)
+                    .expect("request posts");
+            }
+            ClientAction::ArmTimer(at) => {
+                self.queue.schedule_at(at.max(t), Ev::ClientTimer { client: ci });
+            }
+            ClientAction::Idle => {}
+        }
+    }
+
+    /// One ResEx charging interval: gather IBMon + XenStat + agent data,
+    /// run the policy, actuate caps, record traces.
+    fn on_resex_interval(&mut self, t: SimTime) {
+        let interval = self.manager.as_ref().expect("tick implies manager").config().interval;
+        let mut snapshots = Vec::with_capacity(self.vms.len());
+        for i in 0..self.vms.len() {
+            let dom = self.vms[i].dom;
+            let usage = self.ibmon.sample_vm(dom, t).expect("introspection reads");
+            let cpu = self
+                .xenstat
+                .sample(&mut self.hv, dom, t)
+                .expect("domain exists");
+            let (report, _cost) = {
+                let vm = &mut self.vms[i];
+                vm.agent.report(&vm.server.window, t)
+            };
+            if report.is_some() {
+                self.vms[i].last_report = report;
+            }
+            let latency = self.vms[i].last_report.map(|r| LatencyFeedback {
+                mean_us: r.mean_us,
+                std_us: r.std_us,
+                count: r.count,
+            });
+            snapshots.push((
+                VmId::new(i as u32),
+                VmSnapshot {
+                    mtus: usage.mtus,
+                    cpu_pct: cpu.percent,
+                    latency,
+                    est_buffer_bytes: usage.est_buffer_size,
+                },
+            ));
+            self.metrics[i].mtus_trace.push(t, usage.mtus as f64);
+        }
+        self.xenstat.end_round(t);
+
+        let outcome = self
+            .manager
+            .as_mut()
+            .expect("manager present")
+            .on_interval(t, &snapshots);
+        for action in &outcome.actions {
+            let ManagerAction::SetCap { vm, cap_pct } = *action;
+            let dom = self.vms[vm.index()].dom;
+            self.hv
+                .privileged_set_cap(self.dom0, dom, cap_pct, t)
+                .expect("dom0 sets caps");
+        }
+        for charge in &outcome.charges {
+            self.metrics[charge.vm.index()]
+                .reso_trace
+                .push(t, charge.remaining_fraction);
+        }
+        for i in 0..self.vms.len() {
+            let cap = self.hv.cap(self.vms[i].dom).unwrap_or(0);
+            let cap = if cap == 0 { 100 } else { cap };
+            self.metrics[i].cap_trace.push(t, cap as f64);
+        }
+        self.queue.schedule_at(t + interval, Ev::ResExInterval);
+    }
+}
+
+/// Convenience: build and run in one call.
+///
+/// ```
+/// use resex_platform::{run_scenario, ScenarioConfig};
+/// use resex_simcore::time::SimDuration;
+///
+/// let mut cfg = ScenarioConfig::base_case(64 * 1024);
+/// cfg.duration = SimDuration::from_millis(300);
+/// cfg.warmup = SimDuration::from_millis(50);
+/// let run = run_scenario(cfg);
+/// let row = &run.rows()[0];
+/// assert!(row.requests > 100);
+/// assert!((row.mean_us - 209.0).abs() < 30.0, "calibrated base latency");
+/// ```
+pub fn run_scenario(cfg: ScenarioConfig) -> RunMetrics {
+    World::build(cfg).run()
+}

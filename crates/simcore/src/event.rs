@@ -1,0 +1,257 @@
+//! The event calendar at the heart of the discrete-event simulation.
+//!
+//! [`EventQueue`] is a priority queue of `(fire_time, payload)` entries with
+//! two guarantees that matter for reproducibility:
+//!
+//! 1. **Deterministic tie-breaking** — events scheduled for the same instant
+//!    fire in scheduling order (FIFO among ties), independent of heap
+//!    internals.
+//! 2. **Monotonic clock** — popping an event advances the queue's notion of
+//!    `now`; scheduling in the past is rejected (panic in debug, clamped to
+//!    `now` in release) so causality violations surface during development.
+//!
+//! Events can be cancelled by [`EventKey`] without heap surgery: cancellation
+//! marks the key dead and the entry is discarded lazily on pop.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventKey(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. seq breaks ties FIFO.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event calendar.
+///
+/// ```
+/// use resex_simcore::event::EventQueue;
+/// use resex_simcore::time::{SimTime, SimDuration};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule_after(SimDuration::from_micros(5), "b");
+/// q.schedule_at(SimTime::from_micros(2), "a");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (SimTime::from_micros(2), "a"));
+/// assert_eq!(q.now(), SimTime::from_micros(2));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated instant (time of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a causality bug: debug builds panic; release
+    /// builds clamp to `now` so long experiments degrade instead of dying.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventKey {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: at={at}, now={}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+        EventKey(seq)
+    }
+
+    /// Schedules `payload` to fire `delay` after now.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) -> EventKey {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Cancels a previously scheduled event. Returns true if the event was
+    /// still pending (i.e. had not fired and was not already cancelled).
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if key.0 >= self.next_seq {
+            return false;
+        }
+        // We cannot cheaply tell whether the seq already fired, so track
+        // cancellations and reconcile on pop. Inserting a fired seq is
+        // harmless: it can never be popped again, but it would leak; callers
+        // in this codebase only cancel pending timers they own.
+        self.cancelled.insert(key.0)
+    }
+
+    /// The firing time of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skim_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the next live event, advancing `now` to its firing time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skim_cancelled();
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "event calendar went backwards");
+        self.now = entry.at;
+        Some((entry.at, entry.payload))
+    }
+
+    /// Drops cancelled entries sitting at the top of the heap.
+    fn skim_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(us(30), 3);
+        q.schedule_at(us(10), 1);
+        q.schedule_at(us(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_fire_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(us(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule_at(us(10), ());
+        q.schedule_at(us(25), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), us(10));
+        q.pop();
+        assert_eq!(q.now(), us(25));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(us(10), "first");
+        q.pop();
+        q.schedule_after(SimDuration::from_micros(5), "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, us(15));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic]
+    fn past_scheduling_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule_at(us(10), ());
+        q.pop();
+        q.schedule_at(us(5), ());
+    }
+
+    #[test]
+    fn cancellation_removes_event() {
+        let mut q = EventQueue::new();
+        let k1 = q.schedule_at(us(10), 1);
+        q.schedule_at(us(20), 2);
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(k1));
+        assert!(!q.cancel(k1), "double-cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(us(20)));
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_key_is_noop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventKey(99)));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule_at(us(10), ());
+        assert_eq!(q.peek_time(), Some(us(10)));
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,27 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # resex-simmem — simulated guest physical memory
+//!
+//! Models the memory substrate that makes both VMM-bypass I/O and IBMon-style
+//! introspection possible:
+//!
+//! * Each simulated domain owns a [`GuestMemory`]: a demand-allocated array of
+//!   4 KiB pages addressed by guest-physical address ([`Gpa`]).
+//! * The HCA "DMAs" into guest memory through [`MemoryHandle::dma_write`],
+//!   which — exactly like real RDMA — requires the target pages to be
+//!   **pinned** (registered with the HCA and locked against paging).
+//! * dom0 tooling maps another domain's pages with [`ForeignMapping`], the
+//!   simulated analogue of Xen's `xc_map_foreign_range`. IBMon reads the very
+//!   bytes the HCA wrote; there is no side channel.
+//!
+//! Handles are `Arc<RwLock<…>>`-based so a single simulated address space can
+//! be shared by the guest application, the HCA engine, and the monitor while
+//! experiments run on independent threads (parameter sweeps use rayon).
+
+pub mod error;
+pub mod mapping;
+pub mod memory;
+
+pub use error::MemError;
+pub use mapping::ForeignMapping;
+pub use memory::{Gpa, GuestMemory, MemoryHandle, PAGE_SIZE};

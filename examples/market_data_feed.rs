@@ -1,0 +1,204 @@
+//! Multicast market data under interference — the other half of an
+//! exchange's traffic.
+//!
+//! BenchEx models the *transactional* path (RC request/response). Real
+//! exchanges also publish market data over UD multicast: one publisher,
+//! many subscribers, no retransmits — a late tick is a worthless tick.
+//! This example uses the fabric directly to show:
+//!
+//! 1. a publisher multicasting 512-byte ticks to three subscriber hosts,
+//! 2. the tick latency distribution when the publisher host is quiet,
+//! 3. the same feed while a bulk RDMA stream shares the publisher's egress
+//!    link, and
+//! 4. the feed protected by an HCA priority level — the hardware analogue
+//!    of what ResEx achieves with CPU caps on the transactional path.
+//!
+//! ```text
+//! cargo run --release --example market_data_feed
+//! ```
+
+use resex_fabric::link::FlowParams;
+use resex_fabric::qp::{RecvRequest, WorkRequest};
+use resex_fabric::{Access, Fabric, FabricEvent, NodeId, Opcode, RemoteTarget};
+use resex_simcore::stats::OnlineStats;
+use resex_simcore::time::{SimDuration, SimTime};
+use resex_simmem::MemoryHandle;
+
+const TICKS: usize = 400;
+const TICK_BYTES: u32 = 512;
+const TICK_INTERVAL: SimDuration = SimDuration::from_micros(250); // 4k ticks/s
+
+#[allow(dead_code)] // keeps subscriber handles alive for the whole feed
+struct Sub {
+    node: NodeId,
+    qp: resex_fabric::QpNum,
+    lkey: u32,
+    gpa: resex_simmem::Gpa,
+}
+
+fn run_feed(interferer: bool, prioritized: bool) -> OnlineStats {
+    let mut f = Fabric::with_defaults();
+    let n_pub = f.add_node();
+
+    // Publisher UD endpoint.
+    let pmem = MemoryHandle::new(8 << 20);
+    let ppd = f.create_pd(n_pub).unwrap();
+    let puar = f.create_uar(n_pub, &pmem).unwrap();
+    let pscq = f.create_cq(n_pub, &pmem, 1024).unwrap();
+    let prcq = f.create_cq(n_pub, &pmem, 1024).unwrap();
+    let pqp = f.create_ud_qp(n_pub, ppd, pscq, prcq, 1024, 16, puar).unwrap();
+    let pbuf = pmem.alloc_bytes(4096).unwrap();
+    let pmr = f.register_mr(n_pub, ppd, &pmem, pbuf, 4096, Access::FULL).unwrap();
+
+    // Three subscriber hosts.
+    let group = f.create_mcast_group();
+    let mut subs = Vec::new();
+    for _ in 0..3 {
+        let node = f.add_node();
+        let mem = MemoryHandle::new(8 << 20);
+        let pd = f.create_pd(node).unwrap();
+        let uar = f.create_uar(node, &mem).unwrap();
+        let scq = f.create_cq(node, &mem, 1024).unwrap();
+        let rcq = f.create_cq(node, &mem, 1024).unwrap();
+        let qp = f.create_ud_qp(node, pd, scq, rcq, 16, 1024, uar).unwrap();
+        let gpa = mem.alloc_bytes(4096).unwrap();
+        let mr = f.register_mr(node, pd, &mem, gpa, 4096, Access::FULL).unwrap();
+        f.join_mcast(group, node, qp).unwrap();
+        for i in 0..(TICKS as u64 + 8) {
+            f.post_recv(node, qp, RecvRequest { wr_id: i, lkey: mr.lkey, gpa, len: 4096 })
+                .unwrap();
+        }
+        subs.push(Sub { node, qp, lkey: mr.lkey, gpa });
+    }
+    let _keep = &subs; // recvs reference the subscriber state
+
+    // Optional bulk interferer sharing the publisher's egress: an RC QP
+    // streaming 2 MiB writes to a sink host.
+    if interferer {
+        let sink = f.add_node();
+        let smem = MemoryHandle::new(16 << 20);
+        let spd = f.create_pd(sink).unwrap();
+        let suar = f.create_uar(sink, &smem).unwrap();
+        let sscq = f.create_cq(sink, &smem, 64).unwrap();
+        let srcq = f.create_cq(sink, &smem, 64).unwrap();
+        let sqp = f.create_qp(sink, spd, sscq, srcq, 64, 64, suar).unwrap();
+        let sbuf = smem.alloc_bytes(4 << 20).unwrap();
+        let smr = f.register_mr(sink, spd, &smem, sbuf, 4 << 20, Access::FULL).unwrap();
+
+        let bpd = f.create_pd(n_pub).unwrap();
+        let buar = f.create_uar(n_pub, &pmem).unwrap();
+        let bscq = f.create_cq(n_pub, &pmem, 64).unwrap();
+        let brcq = f.create_cq(n_pub, &pmem, 64).unwrap();
+        let bqp = f.create_qp(n_pub, bpd, bscq, brcq, 64, 64, buar).unwrap();
+        let bbuf = pmem.alloc_bytes(2 << 20).unwrap();
+        let bmr = f
+            .register_mr(n_pub, bpd, &pmem, bbuf, 2 << 20, Access::FULL)
+            .unwrap();
+        f.connect(n_pub, bqp, sink, sqp).unwrap();
+        // Keep the link saturated for the whole run.
+        for i in 0..64u64 {
+            f.post_send(
+                n_pub,
+                bqp,
+                WorkRequest {
+                    wr_id: 1000 + i,
+                    opcode: Opcode::RdmaWrite,
+                    lkey: bmr.lkey,
+                    local_gpa: bbuf,
+                    len: 2 << 20,
+                    remote: Some(RemoteTarget { rkey: smr.rkey, gpa: sbuf }),
+                    imm: 0,
+                    signaled: false,
+                },
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        if prioritized {
+            // SL-style protection: the feed outranks the bulk stream.
+            f.set_qp_flow_params(n_pub, pqp, FlowParams { priority: 0, ..Default::default() })
+                .unwrap();
+            f.set_qp_flow_params(n_pub, bqp, FlowParams { priority: 1, ..Default::default() })
+                .unwrap();
+        }
+    }
+
+    // Publish ticks on a fixed schedule, measuring publish→delivery per
+    // subscriber.
+    let mut stats = OnlineStats::new();
+    let mut now = SimTime::ZERO;
+    for tick in 0..TICKS as u64 {
+        let publish_at = SimTime::ZERO + TICK_INTERVAL * tick;
+        // Drive the fabric up to the publish instant.
+        while let Some(t) = f.next_time() {
+            if t > publish_at {
+                break;
+            }
+            f.advance(t);
+            now = t;
+        }
+        now = now.max(publish_at);
+        pmem.write(pbuf, &tick.to_le_bytes()).unwrap();
+        f.post_send_mcast(
+            n_pub,
+            pqp,
+            WorkRequest {
+                wr_id: tick,
+                opcode: Opcode::Send,
+                lkey: pmr.lkey,
+                local_gpa: pbuf,
+                len: TICK_BYTES,
+                remote: None,
+                imm: tick as u32,
+                signaled: false,
+            },
+            group,
+            now,
+        )
+        .unwrap();
+        // Collect deliveries until the next publish instant.
+        let horizon = publish_at + TICK_INTERVAL;
+        while let Some(t) = f.next_time() {
+            if t > horizon {
+                break;
+            }
+            for (at, ev) in f.advance(t) {
+                if let FabricEvent::RecvComplete { .. } = ev {
+                    stats.push(at.duration_since(publish_at).as_micros_f64());
+                }
+            }
+            now = t;
+        }
+    }
+    stats
+}
+
+fn main() {
+    println!("multicast market data: 3 subscribers, {TICKS} ticks of {TICK_BYTES}B at 4k/s\n");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10}",
+        "scenario", "ticks rcvd", "mean µs", "max µs", "std µs"
+    );
+    for (label, interferer, prio) in [
+        ("quiet publisher", false, false),
+        ("bulk stream interfering", true, false),
+        ("interference + SL priority", true, true),
+    ] {
+        let s = run_feed(interferer, prio);
+        println!(
+            "{:<28} {:>10} {:>10.1} {:>10.1} {:>10.2}",
+            label,
+            s.count(),
+            s.mean(),
+            s.max(),
+            s.population_std_dev()
+        );
+    }
+    println!(
+        "\n(a 512B tick serializes in ~0.5 µs; behind a 2 MiB bulk stream it waits\n\
+         for the arbiter. A strict SL priority removes the queueing — the residual\n\
+         over the quiet case is head-of-line blocking behind the one in-flight\n\
+         grant, which shrinks with `FabricConfig::grant_mtus`. This is why\n\
+         exchanges put feeds on dedicated service levels.)"
+    );
+}

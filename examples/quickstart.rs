@@ -1,0 +1,55 @@
+//! Quickstart: the paper's headline experiment in one page.
+//!
+//! Runs three scenarios — a 64 KiB latency-sensitive trading VM alone, the
+//! same VM next to a 2 MiB interferer, and the pair under ResEx's IOShares
+//! congestion pricing — and prints the latency comparison.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use resex_platform::{run_scenario, PolicyKind, ScenarioConfig};
+use resex_simcore::time::SimDuration;
+
+fn main() {
+    let shorten = |mut cfg: ScenarioConfig| {
+        cfg.duration = SimDuration::from_secs(3);
+        cfg.warmup = SimDuration::from_millis(200);
+        cfg
+    };
+
+    println!("ResEx quickstart — 64KB trading VM vs 2MB interferer");
+    println!("=====================================================");
+
+    let base = run_scenario(shorten(ScenarioConfig::base_case(64 * 1024)));
+    let intf = run_scenario(shorten(ScenarioConfig::interfered(2 * 1024 * 1024)));
+    let ios = run_scenario(shorten(ScenarioConfig::managed(
+        2 * 1024 * 1024,
+        PolicyKind::IoShares,
+    )));
+
+    println!(
+        "\n{:<22} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "scenario", "mean µs", "std µs", "p99 µs", "wtime µs", "requests"
+    );
+    for (label, run) in [("base (solo)", &base), ("interfered", &intf), ("ResEx IOShares", &ios)] {
+        let row = run
+            .rows()
+            .into_iter()
+            .find(|r| r.vm == "64KB")
+            .expect("reporting VM present");
+        println!(
+            "{:<22} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10}",
+            label, row.mean_us, row.std_us, row.p99_us, row.wtime_us, row.requests
+        );
+    }
+
+    let b = base.rows()[0].mean_us;
+    let i = intf.rows().iter().find(|r| r.vm == "64KB").unwrap().mean_us;
+    let s = ios.rows().iter().find(|r| r.vm == "64KB").unwrap().mean_us;
+    println!(
+        "\ninterference added {:.1} µs; IOShares removed {:.0}% of it",
+        i - b,
+        100.0 * (i - s) / (i - b)
+    );
+}

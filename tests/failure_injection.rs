@@ -1,0 +1,174 @@
+//! Failure injection: the control plane must degrade gracefully when its
+//! inputs disappear — monitoring outages, silent agents, frozen rings.
+
+use resex_core::{
+    FreeMarket, IoShares, LatencyFeedback, ManagerAction, ResExConfig, ResExManager, SlaTarget,
+    VmId, VmSnapshot,
+};
+use resex_fabric::{CompletionQueue, Cqe, CqNum, Opcode, QpNum, WcStatus, CQE_SIZE};
+use resex_ibmon::{CqMonitor, ScanSample};
+use resex_simcore::time::SimTime;
+use resex_simmem::{ForeignMapping, MemoryHandle};
+
+fn ms(n: u64) -> SimTime {
+    SimTime::from_millis(n)
+}
+
+const REPORTER: VmId = VmId::new(0);
+const STREAMER: VmId = VmId::new(1);
+
+fn ioshares_mgr() -> ResExManager {
+    let sla = vec![(REPORTER, SlaTarget { base_mean_us: 209.0, base_std_us: 2.0 })];
+    let mut m = ResExManager::new(ResExConfig::default(), Box::new(IoShares::new(sla))).unwrap();
+    m.register_vm(REPORTER, 1);
+    m.register_vm(STREAMER, 1);
+    m
+}
+
+fn hurting(mtus: u64) -> VmSnapshot {
+    VmSnapshot {
+        mtus,
+        cpu_pct: 50.0,
+        latency: Some(LatencyFeedback { mean_us: 320.0, std_us: 30.0, count: 10 }),
+        est_buffer_bytes: 65536.0,
+    }
+}
+
+fn silent(mtus: u64) -> VmSnapshot {
+    VmSnapshot { mtus, cpu_pct: 90.0, ..Default::default() }
+}
+
+fn last_cap_of(out: &[ManagerAction], vm: VmId) -> Option<u32> {
+    out.iter().rev().find_map(|a| match a {
+        ManagerAction::SetCap { vm: v, cap_pct } if *v == vm => Some(*cap_pct),
+        _ => None,
+    })
+}
+
+/// A monitoring outage (all-zero snapshots) must not crash or corrupt the
+/// manager; once data resumes, interference is re-detected and taxed again.
+#[test]
+fn ioshares_survives_monitor_outage() {
+    let mut m = ioshares_mgr();
+    let mut t = 0u64;
+
+    // Phase 1: active interference → streamer capped hard.
+    let mut caps = Vec::new();
+    for _ in 0..50 {
+        t += 1;
+        let out = m.on_interval(ms(t), &[(REPORTER, hurting(64)), (STREAMER, silent(2000))]);
+        caps.extend(out.actions);
+    }
+    let capped = last_cap_of(&caps, STREAMER).expect("streamer capped");
+    assert!(capped <= 10);
+
+    // Phase 2: total monitoring outage — no usage, no reports.
+    let mut outage_caps = Vec::new();
+    for _ in 0..200 {
+        t += 1;
+        let out = m.on_interval(
+            ms(t),
+            &[(REPORTER, VmSnapshot::default()), (STREAMER, VmSnapshot::default())],
+        );
+        outage_caps.extend(out.actions);
+    }
+    // Fail-open: with no evidence of interference the tax decays and the
+    // cap is eventually restored (a blind controller must not keep
+    // punishing).
+    assert_eq!(last_cap_of(&outage_caps, STREAMER), Some(100), "fail-open restore");
+
+    // Phase 3: data returns, interference persists → re-capped.
+    let mut recovery_caps = Vec::new();
+    for _ in 0..50 {
+        t += 1;
+        let out = m.on_interval(ms(t), &[(REPORTER, hurting(64)), (STREAMER, silent(2000))]);
+        recovery_caps.extend(out.actions);
+    }
+    let recapped = last_cap_of(&recovery_caps, STREAMER).expect("re-detected");
+    assert!(recapped <= 10, "re-capped to {recapped}");
+}
+
+/// Stale latency feedback: the agent goes quiet while usage data continues.
+/// The manager keeps using the last report (by design); the tax persists
+/// while the hysteresis band is held, and the accounts keep charging.
+#[test]
+fn silent_agent_keeps_last_verdict_but_charges_continue() {
+    let mut m = ioshares_mgr();
+    let mut t = 0u64;
+    for _ in 0..20 {
+        t += 1;
+        m.on_interval(ms(t), &[(REPORTER, hurting(64)), (STREAMER, silent(2000))]);
+    }
+    let spent_before = m.account(STREAMER).unwrap().total_remaining();
+    // Agent silent (latency: None) but the streamer keeps sending.
+    for _ in 0..20 {
+        t += 1;
+        let mut rep = hurting(64);
+        rep.latency = None;
+        let out = m.on_interval(ms(t), &[(REPORTER, rep), (STREAMER, silent(2000))]);
+        // Charges keep flowing for the streamer's traffic.
+        assert!(out.charges.iter().any(|c| c.vm == STREAMER && c.io.as_milli() > 0));
+    }
+    let spent_after = m.account(STREAMER).unwrap().total_remaining();
+    assert!(spent_after < spent_before, "charging never paused");
+}
+
+/// FreeMarket with a VM that vanishes mid-epoch (snapshot missing
+/// entirely): remaining VMs are unaffected, and the ghost is simply not
+/// charged.
+#[test]
+fn freemarket_handles_vanishing_vm() {
+    let mut m = ResExManager::new(ResExConfig::default(), Box::new(FreeMarket::new())).unwrap();
+    m.register_vm(REPORTER, 1);
+    m.register_vm(STREAMER, 1);
+    for i in 1..=10u64 {
+        let out = m.on_interval(ms(i), &[(REPORTER, silent(64)), (STREAMER, silent(500))]);
+        assert_eq!(out.charges.len(), 2);
+    }
+    let ghost_balance = m.account(STREAMER).unwrap().total_remaining();
+    // STREAMER disappears from the snapshots (e.g. its rings were torn down).
+    for i in 11..=20u64 {
+        let out = m.on_interval(ms(i), &[(REPORTER, silent(64))]);
+        assert_eq!(out.charges.len(), 1);
+        assert_eq!(out.charges[0].vm, REPORTER);
+    }
+    assert_eq!(
+        m.account(STREAMER).unwrap().total_remaining(),
+        ghost_balance,
+        "absent VMs are not charged"
+    );
+}
+
+/// A frozen ring (guest stopped polling, CQ overran, HCA stopped writing):
+/// the monitor must report zero activity without error — undercounting is
+/// the correct, observable symptom.
+#[test]
+fn ibmon_on_a_frozen_ring_reads_zero_not_garbage() {
+    let mem = MemoryHandle::new(1 << 20);
+    let gpa = mem.alloc_bytes(8 * CQE_SIZE as u64).unwrap();
+    let mut cq = CompletionQueue::new(CqNum::new(0), mem.clone(), gpa, 8).unwrap();
+    let mapping = ForeignMapping::map(&mem, gpa, 8 * CQE_SIZE).unwrap();
+    let mut mon = CqMonitor::new(mapping, 8, 1024).unwrap();
+    mon.scan(ms(0)).unwrap();
+
+    // The guest stops polling: after 8 completions the ring is full and
+    // every further push is dropped by the HCA.
+    for i in 0..20u16 {
+        let _ = cq.push(Cqe {
+            wr_id: i as u64,
+            qp_num: QpNum::new(1),
+            byte_len: 65536,
+            wqe_counter: i,
+            opcode: Opcode::Send,
+            status: WcStatus::Success,
+            imm_data: 0,
+        });
+    }
+    assert_eq!(cq.overruns(), 12);
+    let s1 = mon.scan(ms(1)).unwrap();
+    assert_eq!(s1.completions, 8, "monitor sees what the HCA wrote");
+    // The ring is frozen now: further scans read zero, forever, cleanly.
+    for i in 2..10u64 {
+        assert_eq!(mon.scan(ms(i)).unwrap(), ScanSample::default());
+    }
+}
