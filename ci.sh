@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI: format, lint, build, and the tier-1 test suite — fully offline.
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release (tier-1)"
+cargo build --release --offline
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q --offline
+
+echo "==> OK"

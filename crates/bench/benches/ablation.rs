@@ -4,11 +4,11 @@
 //! performance half of the fidelity/cost trade-off.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
 use resex_hypervisor::SchedModel;
 use resex_platform::{run_scenario, PolicyKind, ScenarioConfig};
 use resex_simcore::time::SimDuration;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn base_cfg() -> ScenarioConfig {
     let mut cfg = ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::IoShares);
@@ -42,7 +42,12 @@ fn bench_sched_model(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(4));
     for (name, model) in [
         ("fluid", SchedModel::Fluid),
-        ("slice", SchedModel::Slice { period: SimDuration::from_millis(10) }),
+        (
+            "slice",
+            SchedModel::Slice {
+                period: SimDuration::from_millis(10),
+            },
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {

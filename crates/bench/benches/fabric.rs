@@ -33,26 +33,30 @@ fn bench_arbiter(c: &mut Criterion) {
     let mut g = c.benchmark_group("arbiter");
     for flows in [1u32, 4, 16] {
         g.throughput(Throughput::Elements(1));
-        g.bench_with_input(BenchmarkId::new("drain_1MiB_per_flow", flows), &flows, |b, &flows| {
-            b.iter_batched(
-                || {
-                    let mut a = LinkArbiter::new();
-                    for f in 0..flows {
-                        a.enqueue(job(f as u64, f, 1024 * 1024));
-                    }
-                    a
-                },
-                |mut a| {
-                    while let GrantDecision::Grant(gr) =
-                        a.next_grant(16 * 1024, 1024, SimTime::ZERO)
-                    {
-                        black_box(gr.bytes);
-                    }
-                    a
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::new("drain_1MiB_per_flow", flows),
+            &flows,
+            |b, &flows| {
+                b.iter_batched(
+                    || {
+                        let mut a = LinkArbiter::new();
+                        for f in 0..flows {
+                            a.enqueue(job(f as u64, f, 1024 * 1024));
+                        }
+                        a
+                    },
+                    |mut a| {
+                        while let GrantDecision::Grant(gr) =
+                            a.next_grant(16 * 1024, 1024, SimTime::ZERO)
+                        {
+                            black_box(gr.bytes);
+                        }
+                        a
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
     }
     g.finish();
 }
@@ -91,9 +95,13 @@ fn bench_end_to_end_message(c: &mut Criterion) {
         let q0 = f.create_qp(n0, pd0, s0, r0, 128, 128, u0).unwrap();
         let q1 = f.create_qp(n1, pd1, s1, r1, 128, 128, u1).unwrap();
         let b0 = m0.alloc_bytes(64 * 1024).unwrap();
-        let mr0 = f.register_mr(n0, pd0, &m0, b0, 64 * 1024, Access::FULL).unwrap();
+        let mr0 = f
+            .register_mr(n0, pd0, &m0, b0, 64 * 1024, Access::FULL)
+            .unwrap();
         let b1 = m1.alloc_bytes(64 * 1024).unwrap();
-        let mr1 = f.register_mr(n1, pd1, &m1, b1, 64 * 1024, Access::FULL).unwrap();
+        let mr1 = f
+            .register_mr(n1, pd1, &m1, b1, 64 * 1024, Access::FULL)
+            .unwrap();
         f.connect(n0, q0, n1, q1).unwrap();
         let mut now = SimTime::ZERO;
         let mut wr_id = 0u64;
@@ -101,7 +109,12 @@ fn bench_end_to_end_message(c: &mut Criterion) {
             f.post_recv(
                 n1,
                 q1,
-                RecvRequest { wr_id, lkey: mr1.lkey, gpa: b1, len: 64 * 1024 },
+                RecvRequest {
+                    wr_id,
+                    lkey: mr1.lkey,
+                    gpa: b1,
+                    len: 64 * 1024,
+                },
             )
             .unwrap();
             f.post_send(

@@ -4,12 +4,10 @@
 //! simulation throughput.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-use resex_platform::experiments::{
-    fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, Scale,
-};
+use resex_platform::experiments::{fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, Scale};
 use resex_simcore::time::SimDuration;
 use std::hint::black_box;
+use std::time::Duration;
 
 /// A miniature scale so each bench iteration stays sub-second.
 fn bench_scale() -> Scale {
@@ -27,13 +25,25 @@ fn figures(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(5));
     let s = bench_scale();
     g.bench_function("fig1_histograms", |b| b.iter(|| black_box(fig1::run(&s))));
-    g.bench_function("fig2_server_scaling", |b| b.iter(|| black_box(fig2::run(&s))));
-    g.bench_function("fig3_buffer_ratio_caps", |b| b.iter(|| black_box(fig3::run(&s))));
+    g.bench_function("fig2_server_scaling", |b| {
+        b.iter(|| black_box(fig2::run(&s)))
+    });
+    g.bench_function("fig3_buffer_ratio_caps", |b| {
+        b.iter(|| black_box(fig3::run(&s)))
+    });
     g.bench_function("fig4_cap_sweep", |b| b.iter(|| black_box(fig4::run(&s))));
-    g.bench_function("fig5_freemarket_timeline", |b| b.iter(|| black_box(fig5::run(&s))));
-    g.bench_function("fig6_reso_depletion", |b| b.iter(|| black_box(fig6::run(&s))));
-    g.bench_function("fig7_ioshares_timeline", |b| b.iter(|| black_box(fig7::run(&s))));
-    g.bench_function("fig8_no_interference", |b| b.iter(|| black_box(fig8::run(&s))));
+    g.bench_function("fig5_freemarket_timeline", |b| {
+        b.iter(|| black_box(fig5::run(&s)))
+    });
+    g.bench_function("fig6_reso_depletion", |b| {
+        b.iter(|| black_box(fig6::run(&s)))
+    });
+    g.bench_function("fig7_ioshares_timeline", |b| {
+        b.iter(|| black_box(fig7::run(&s)))
+    });
+    g.bench_function("fig8_no_interference", |b| {
+        b.iter(|| black_box(fig8::run(&s)))
+    });
     g.bench_function("fig9_policy_sweep", |b| b.iter(|| black_box(fig9::run(&s))));
     g.finish();
 }

@@ -58,7 +58,11 @@ fn bench_tasks(c: &mut Criterion) {
         ("reprice64", TaskKind::Reprice { steps: 64 }),
         ("implied", TaskKind::ImpliedVol),
     ] {
-        let task = PricingTask { kind, n_options: 8, seed: 42 };
+        let task = PricingTask {
+            kind,
+            n_options: 8,
+            seed: 42,
+        };
         g.bench_function(name, |b| b.iter(|| black_box(task.execute())));
     }
     g.finish();

@@ -3,7 +3,7 @@
 //! can watch.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use resex_fabric::{CompletionQueue, Cqe, CqNum, Opcode, QpNum, WcStatus, CQE_SIZE};
+use resex_fabric::{CompletionQueue, CqNum, Cqe, Opcode, QpNum, WcStatus, CQE_SIZE};
 use resex_ibmon::CqMonitor;
 use resex_simcore::time::SimTime;
 use resex_simmem::{ForeignMapping, MemoryHandle};

@@ -38,7 +38,10 @@ fn policy(name: &str, n: u32) -> Box<dyn PricingPolicy> {
         "ioshares" => Box::new(IoShares::new((0..n).map(|i| {
             (
                 VmId::new(i),
-                SlaTarget { base_mean_us: 209.0, base_std_us: 2.0 },
+                SlaTarget {
+                    base_mean_us: 209.0,
+                    base_std_us: 2.0,
+                },
             )
         }))),
         "static" => Box::new(StaticReserve::new((0..n).map(|i| (VmId::new(i), 50)))),
@@ -52,8 +55,7 @@ fn bench_interval_cost(c: &mut Criterion) {
         let mut g = c.benchmark_group(format!("manager/{name}"));
         for n in [2u32, 8, 32] {
             g.bench_with_input(BenchmarkId::new("vms", n), &n, |b, &n| {
-                let mut mgr =
-                    ResExManager::new(ResExConfig::default(), policy(name, n)).unwrap();
+                let mut mgr = ResExManager::new(ResExConfig::default(), policy(name, n)).unwrap();
                 for i in 0..n {
                     mgr.register_vm(VmId::new(i), 1);
                 }

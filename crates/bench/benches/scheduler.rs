@@ -12,7 +12,11 @@ fn bench_fair_shares(c: &mut Criterion) {
         let reqs: Vec<ShareReq> = (0..n)
             .map(|i| ShareReq {
                 weight: 100 + i as u32 * 37,
-                cap: if i % 2 == 0 { Some(0.2 + i as f64 * 0.01) } else { None },
+                cap: if i % 2 == 0 {
+                    Some(0.2 + i as f64 * 0.01)
+                } else {
+                    None
+                },
             })
             .collect();
         g.bench_with_input(BenchmarkId::new("vcpus", n), &reqs, |b, reqs| {
@@ -77,5 +81,10 @@ fn bench_cap_change(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fair_shares, bench_slice_math, bench_cap_change);
+criterion_group!(
+    benches,
+    bench_fair_shares,
+    bench_slice_math,
+    bench_cap_change
+);
 criterion_main!(benches);

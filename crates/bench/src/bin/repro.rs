@@ -8,17 +8,45 @@
 //!
 //! Targets: `fig1` … `fig9`, `ablation`, `all`. `--quick` (default) runs
 //! CI-scale simulations; `--full` runs paper-shaped spans. `--json PATH`
-//! additionally dumps the figure data as JSON for plotting.
+//! additionally dumps the figure data as JSON for plotting. `--trace PATH`
+//! / `--metrics PATH` additionally run the representative managed
+//! scenario (64KB + 2MB under FreeMarket) with observability on and write
+//! a Perfetto-loadable trace / per-interval JSONL metrics.
 
 use resex_platform::experiments::{
     ablation, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, hw_qos, scaling, Scale,
 };
+use resex_platform::{run_scenario_observed, PolicyKind, ScenarioConfig};
 use serde_json::{json, Value};
 use std::io::Write;
 
 fn usage() -> ! {
-    eprintln!("usage: repro <fig1|...|fig9|ablation|hw_qos|scaling|all> [--quick|--full] [--json PATH]");
+    eprintln!(
+        "usage: repro <fig1|...|fig9|ablation|hw_qos|scaling|all> \
+         [--quick|--full] [--json PATH] [--trace PATH] [--metrics PATH]"
+    );
     std::process::exit(2);
+}
+
+/// The run the observability flags record: the paper's canonical managed
+/// contention case (64KB reporting VM vs 2MB interferer, FreeMarket).
+fn observed_representative(scale: &Scale, trace_path: Option<&str>, metrics_path: Option<&str>) {
+    let mut cfg = ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::FreeMarket);
+    cfg.duration = scale.duration;
+    cfg.warmup = scale.warmup;
+    cfg.obs.trace = trace_path.is_some();
+    cfg.obs.metrics = metrics_path.is_some();
+    let label = cfg.label.clone();
+    let (run, observed) = run_scenario_observed(cfg);
+    eprintln!("[observed {label}: {} events]", run.events_processed);
+    if let (Some(out), Some(json)) = (trace_path, &observed.trace_json) {
+        std::fs::write(out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+        eprintln!("[trace -> {out}]");
+    }
+    if let (Some(out), Some(jsonl)) = (metrics_path, &observed.metrics_jsonl) {
+        std::fs::write(out, jsonl).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+        eprintln!("[metrics -> {out}]");
+    }
 }
 
 fn run_target(target: &str, scale: &Scale) -> Value {
@@ -98,6 +126,8 @@ fn main() {
     let mut target = None;
     let mut scale = Scale::quick();
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -106,6 +136,14 @@ fn main() {
             "--json" => {
                 i += 1;
                 json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--metrics" => {
+                i += 1;
+                metrics_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             t if target.is_none() => target = Some(t.to_string()),
             _ => usage(),
@@ -137,5 +175,9 @@ fn main() {
         serde_json::to_writer_pretty(&mut f, &Value::Object(doc)).expect("write json");
         writeln!(f).ok();
         eprintln!("wrote {path}");
+    }
+
+    if trace_path.is_some() || metrics_path.is_some() {
+        observed_representative(&scale, trace_path.as_deref(), metrics_path.as_deref());
     }
 }

@@ -5,13 +5,19 @@
 //! cargo run -p resex-bench --release --bin simulate -- --template > my.json
 //! # Edit my.json, then run it:
 //! cargo run -p resex-bench --release --bin simulate -- my.json
+//! # Same run, recording a Perfetto-loadable trace and per-interval metrics:
+//! cargo run -p resex-bench --release --bin simulate -- my.json \
+//!     --trace trace.json --metrics metrics.jsonl
 //! ```
 //!
 //! The JSON schema is `resex_platform::ScenarioConfig` — everything the
 //! figure harness can express (VM buffer sizes, traces, client modes,
 //! policies, QoS, scheduler model, fabric parameters) is file-drivable.
+//! `--trace` / `--metrics` override the scenario's `obs` block; recording
+//! never perturbs simulated time, so an observed run reproduces the
+//! unobserved run's numbers exactly.
 
-use resex_platform::{run_scenario, PolicyKind, ScenarioConfig};
+use resex_platform::{run_scenario_observed, PolicyKind, ScenarioConfig};
 
 fn template() -> ScenarioConfig {
     let mut cfg = ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::IoShares);
@@ -19,47 +25,73 @@ fn template() -> ScenarioConfig {
     cfg
 }
 
+fn usage() -> ! {
+    eprintln!("usage: simulate <scenario.json> [--trace <out.json>] [--metrics <out.jsonl>]");
+    eprintln!("       simulate --template");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("--template") => {
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&template()).expect("template serializes")
-            );
+    if args.first().map(String::as_str) == Some("--template") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&template()).expect("template serializes")
+        );
+        return;
+    }
+
+    let mut scenario_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => trace_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--metrics" => metrics_path = Some(it.next().unwrap_or_else(|| usage())),
+            _ if arg.starts_with("--") => usage(),
+            _ if scenario_path.is_none() => scenario_path = Some(arg),
+            _ => usage(),
         }
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-            let cfg: ScenarioConfig = serde_json::from_str(&text)
-                .unwrap_or_else(|e| panic!("invalid scenario in {path}: {e}"));
-            if let Err(e) = cfg.validate() {
-                eprintln!("invalid scenario: {e}");
-                std::process::exit(1);
-            }
-            let label = cfg.label.clone();
-            let t0 = std::time::Instant::now();
-            let run = run_scenario(cfg);
-            eprintln!(
-                "[{label}: {} events in {:.1}s wall]",
-                run.events_processed,
-                t0.elapsed().as_secs_f64()
-            );
-            println!(
-                "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-                "VM", "requests", "mean µs", "std µs", "p99 µs", "ptime", "ctime", "wtime"
-            );
-            for r in run.rows() {
-                println!(
-                    "{:<10} {:>9} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
-                    r.vm, r.requests, r.mean_us, r.std_us, r.p99_us, r.ptime_us, r.ctime_us,
-                    r.wtime_us
-                );
-            }
-        }
-        None => {
-            eprintln!("usage: simulate <scenario.json> | --template");
-            std::process::exit(2);
-        }
+    }
+    let path = scenario_path.unwrap_or_else(|| usage());
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let mut cfg: ScenarioConfig =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("invalid scenario in {path}: {e}"));
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid scenario: {e}");
+        std::process::exit(1);
+    }
+    cfg.obs.trace |= trace_path.is_some();
+    cfg.obs.metrics |= metrics_path.is_some();
+    let label = cfg.label.clone();
+    let t0 = std::time::Instant::now();
+    let (run, observed) = run_scenario_observed(cfg);
+    eprintln!(
+        "[{label}: {} events in {:.1}s wall]",
+        run.events_processed,
+        t0.elapsed().as_secs_f64()
+    );
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "VM", "requests", "mean µs", "std µs", "p99 µs", "ptime", "ctime", "wtime"
+    );
+    for r in run.rows() {
+        println!(
+            "{:<10} {:>9} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            r.vm, r.requests, r.mean_us, r.std_us, r.p99_us, r.ptime_us, r.ctime_us, r.wtime_us
+        );
+    }
+    if let (Some(out), Some(json)) = (&trace_path, &observed.trace_json) {
+        std::fs::write(out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+        eprintln!(
+            "[trace: {} bytes -> {out} (load in Perfetto / chrome://tracing)]",
+            json.len()
+        );
+    }
+    if let (Some(out), Some(jsonl)) = (&metrics_path, &observed.metrics_jsonl) {
+        std::fs::write(out, jsonl).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+        eprintln!("[metrics: {} rows -> {out}]", jsonl.lines().count());
     }
 }

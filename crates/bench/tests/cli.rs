@@ -26,7 +26,11 @@ fn repro_runs_one_figure_and_emits_json() {
         .arg(&json_path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Figure 8"), "stdout: {stdout}");
     assert!(stdout.contains("Base-64KB"));
@@ -50,7 +54,11 @@ fn simulate_template_roundtrips_through_a_run() {
     std::fs::write(&path, serde_json::to_string(&cfg).unwrap()).unwrap();
 
     let out = simulate().arg(&path).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("64KB"), "summary table printed: {stdout}");
     assert!(stdout.contains("2MB"));

@@ -174,7 +174,14 @@ mod tests {
 
     #[test]
     fn closed_loop_sends_immediately_on_response() {
-        let mut c = Client::new(1, ClientMode::ClosedLoop { think: SimDuration::ZERO }, trace(), 7);
+        let mut c = Client::new(
+            1,
+            ClientMode::ClosedLoop {
+                think: SimDuration::ZERO,
+            },
+            trace(),
+            7,
+        );
         let a = c.start(us(0));
         let first = match a {
             ClientAction::Send(r) => r,
@@ -233,7 +240,9 @@ mod tests {
     fn open_loop_tolerates_multiple_outstanding() {
         let mut c = Client::new(
             3,
-            ClientMode::OpenLoop { interval: SimDuration::from_micros(10) },
+            ClientMode::OpenLoop {
+                interval: SimDuration::from_micros(10),
+            },
             trace(),
             7,
         );
@@ -247,7 +256,14 @@ mod tests {
 
     #[test]
     fn request_ids_are_sequential_and_stamped() {
-        let mut c = Client::new(1, ClientMode::ClosedLoop { think: SimDuration::ZERO }, trace(), 7);
+        let mut c = Client::new(
+            1,
+            ClientMode::ClosedLoop {
+                think: SimDuration::ZERO,
+            },
+            trace(),
+            7,
+        );
         let r0 = match c.start(us(5)) {
             ClientAction::Send(r) => r,
             _ => panic!(),

@@ -171,6 +171,10 @@ mod tests {
             w.push(rec(i * 10, 1, 1, 1));
         }
         assert_eq!(w.since(SimTime::from_micros(15)).count(), 3);
-        assert_eq!(w.since(SimTime::from_micros(40)).count(), 0, "strictly newer");
+        assert_eq!(
+            w.since(SimTime::from_micros(40)).count(),
+            0,
+            "strictly newer"
+        );
     }
 }

@@ -78,7 +78,11 @@ fn decode_task(buf: &mut impl Buf) -> Option<PricingTask> {
         4 => TaskKind::MonteCarlo { paths: param },
         _ => return None,
     };
-    Some(PricingTask { kind, n_options, seed })
+    Some(PricingTask {
+        kind,
+        n_options,
+        seed,
+    })
 }
 
 impl TransactionRequest {
@@ -176,7 +180,11 @@ mod tests {
     fn request_roundtrip_all_kinds() {
         for kind in [TaskKind::Quote, TaskKind::Risk, TaskKind::ImpliedVol] {
             let r = TransactionRequest {
-                task: PricingTask { kind, n_options: 1, seed: 0 },
+                task: PricingTask {
+                    kind,
+                    n_options: 1,
+                    seed: 0,
+                },
                 ..req()
             };
             assert_eq!(TransactionRequest::decode(&r.encode()), Some(r));

@@ -155,7 +155,12 @@ impl Server {
     /// # Panics
     /// If the server was not computing (platform wiring bug).
     pub fn on_compute_done(&mut self, now: SimTime) -> ServerAction {
-        assert_eq!(self.state, State::Computing, "compute-done while {:?}", self.state);
+        assert_eq!(
+            self.state,
+            State::Computing,
+            "compute-done while {:?}",
+            self.state
+        );
         let svc = self.in_service.as_mut().expect("in service");
         svc.ctime = now.duration_since(svc.compute_started);
         svc.send_posted = now;
@@ -182,7 +187,12 @@ impl Server {
     /// request's latency record (the platform feeds it to run metrics; the
     /// same record lands in [`Server::window`] for the agent).
     pub fn on_send_complete_with_record(&mut self, now: SimTime) -> (LatencyRecord, ServerAction) {
-        assert_eq!(self.state, State::Sending, "send-complete while {:?}", self.state);
+        assert_eq!(
+            self.state,
+            State::Sending,
+            "send-complete while {:?}",
+            self.state
+        );
         let svc = self.in_service.take().expect("in service");
         let wtime = now.duration_since(svc.send_posted);
         let record = LatencyRecord {
@@ -208,8 +218,8 @@ impl Server {
         // PTime: how long the server spun on the CQ before this request was
         // returned by a poll, plus the cost of the successful poll itself.
         let ptime = now.duration_since(self.ready_since) + self.cfg.poll_overhead;
-        let cpu_time = self.cfg.per_request_overhead
-            + self.cfg.cpu_per_work_unit * req.task.work_estimate();
+        let cpu_time =
+            self.cfg.per_request_overhead + self.cfg.cpu_per_work_unit * req.task.work_estimate();
         self.in_service = Some(InService {
             req,
             ptime,
@@ -299,7 +309,11 @@ mod tests {
         assert!(matches!(a, ServerAction::StartCompute { .. }));
         s.on_compute_done(us(260));
         s.on_send_complete(us(320));
-        let ids: Vec<u64> = s.window.since(SimTime::ZERO).map(|r| r.request_id).collect();
+        let ids: Vec<u64> = s
+            .window
+            .since(SimTime::ZERO)
+            .map(|r| r.request_id)
+            .collect();
         assert_eq!(ids, vec![1, 2]);
         assert_eq!(s.backlog(), 0, "request 3 is now in service");
     }
@@ -315,14 +329,22 @@ mod tests {
         s.on_send_complete(us(320));
         let recs: Vec<_> = s.window.since(SimTime::ZERO).collect();
         // Request 2 was already queued when the server became ready.
-        assert_eq!(recs[1].ptime, SimDuration::from_micros(2), "just the poll cost");
+        assert_eq!(
+            recs[1].ptime,
+            SimDuration::from_micros(2),
+            "just the poll cost"
+        );
     }
 
     #[test]
     fn heavier_tasks_compute_longer() {
         let mut s = Server::new(ServerConfig::default());
         let heavy = TransactionRequest {
-            task: PricingTask { kind: TaskKind::Risk, n_options: 8, seed: 0 },
+            task: PricingTask {
+                kind: TaskKind::Risk,
+                n_options: 8,
+                seed: 0,
+            },
             ..req(1)
         };
         match s.on_request(heavy, us(0)) {

@@ -81,7 +81,12 @@ impl TraceProfile {
     /// given size — the fixed-cost workload the paper's latency figures use.
     pub fn uniform_quotes(batch: u32) -> Self {
         TraceProfile {
-            mix: TaskMix { quote: 1, risk: 0, reprice: 0, implied: 0 },
+            mix: TaskMix {
+                quote: 1,
+                risk: 0,
+                reprice: 0,
+                implied: 0,
+            },
             base_batch: batch,
             reprice_steps: 0,
             burstiness: Burstiness::Steady,

@@ -19,7 +19,11 @@ fn arb_task() -> impl Strategy<Value = PricingTask> {
         1u32..1000,
         any::<u64>(),
     )
-        .prop_map(|(kind, n_options, seed)| PricingTask { kind, n_options, seed })
+        .prop_map(|(kind, n_options, seed)| PricingTask {
+            kind,
+            n_options,
+            seed,
+        })
 }
 
 proptest! {

@@ -119,11 +119,20 @@ mod tests {
 
     #[test]
     fn validation_catches_errors() {
-        let c = ResExConfig { epoch: SimDuration::from_micros(1), ..Default::default() };
+        let c = ResExConfig {
+            epoch: SimDuration::from_micros(1),
+            ..Default::default()
+        };
         assert!(c.validate().is_err(), "epoch < interval");
-        let c = ResExConfig { rate_decay: 1.0, ..Default::default() };
+        let c = ResExConfig {
+            rate_decay: 1.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = ResExConfig { min_cap_pct: 0, ..Default::default() };
+        let c = ResExConfig {
+            min_cap_pct: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -129,14 +129,17 @@ mod tests {
     use resex_simcore::time::SimTime;
 
     fn ctx_vms() -> Vec<(VmId, VmSnapshot)> {
-        vec![(VmId::new(0), VmSnapshot { mtus: 500, cpu_pct: 90.0, ..Default::default() })]
+        vec![(
+            VmId::new(0),
+            VmSnapshot {
+                mtus: 500,
+                cpu_pct: 90.0,
+                ..Default::default()
+            },
+        )]
     }
 
-    fn run_interval(
-        fm: &mut FreeMarket,
-        remaining_fraction: f64,
-        interval: u64,
-    ) -> Vec<VmVerdict> {
+    fn run_interval(fm: &mut FreeMarket, remaining_fraction: f64, interval: u64) -> Vec<VmVerdict> {
         let cfg = ResExConfig::default();
         let vms = ctx_vms();
         let lookup = move |_vm: VmId| {
@@ -228,25 +231,49 @@ mod depletion_tests {
 
     #[test]
     fn gradual_steps_down() {
-        assert_eq!(depleted_cap(DepletionMode::Gradual, 100, 0.05, 0.10, 10, 3), 90);
-        assert_eq!(depleted_cap(DepletionMode::Gradual, 12, 0.05, 0.10, 10, 3), 3);
-        assert_eq!(depleted_cap(DepletionMode::Gradual, 3, 0.05, 0.10, 10, 3), 3);
+        assert_eq!(
+            depleted_cap(DepletionMode::Gradual, 100, 0.05, 0.10, 10, 3),
+            90
+        );
+        assert_eq!(
+            depleted_cap(DepletionMode::Gradual, 12, 0.05, 0.10, 10, 3),
+            3
+        );
+        assert_eq!(
+            depleted_cap(DepletionMode::Gradual, 3, 0.05, 0.10, 10, 3),
+            3
+        );
     }
 
     #[test]
     fn hard_stop_goes_straight_to_the_floor() {
-        assert_eq!(depleted_cap(DepletionMode::HardStop, 100, 0.09, 0.10, 10, 3), 3);
+        assert_eq!(
+            depleted_cap(DepletionMode::HardStop, 100, 0.09, 0.10, 10, 3),
+            3
+        );
     }
 
     #[test]
     fn proportional_tracks_the_balance() {
         // At the threshold: full speed.
-        assert_eq!(depleted_cap(DepletionMode::Proportional, 100, 0.10, 0.10, 10, 3), 100);
+        assert_eq!(
+            depleted_cap(DepletionMode::Proportional, 100, 0.10, 0.10, 10, 3),
+            100
+        );
         // Half the threshold: half speed.
-        assert_eq!(depleted_cap(DepletionMode::Proportional, 100, 0.05, 0.10, 10, 3), 50);
+        assert_eq!(
+            depleted_cap(DepletionMode::Proportional, 100, 0.05, 0.10, 10, 3),
+            50
+        );
         // Exhausted (or overdrawn): floor.
-        assert_eq!(depleted_cap(DepletionMode::Proportional, 100, 0.0, 0.10, 10, 3), 3);
-        assert_eq!(depleted_cap(DepletionMode::Proportional, 100, -0.2, 0.10, 10, 3), 3);
+        assert_eq!(
+            depleted_cap(DepletionMode::Proportional, 100, 0.0, 0.10, 10, 3),
+            3
+        );
+        assert_eq!(
+            depleted_cap(DepletionMode::Proportional, 100, -0.2, 0.10, 10, 3),
+            3
+        );
     }
 
     /// End-to-end through FreeMarket: HardStop caps to the floor on the
@@ -260,10 +287,19 @@ mod depletion_tests {
         use resex_simcore::time::SimTime;
 
         let run_mode = |mode: DepletionMode| {
-            let cfg = ResExConfig { depletion: mode, ..Default::default() };
+            let cfg = ResExConfig {
+                depletion: mode,
+                ..Default::default()
+            };
             let mut fm = FreeMarket::new();
-            let vms =
-                vec![(VmId::new(0), VmSnapshot { mtus: 500, cpu_pct: 90.0, ..Default::default() })];
+            let vms = vec![(
+                VmId::new(0),
+                VmSnapshot {
+                    mtus: 500,
+                    cpu_pct: 90.0,
+                    ..Default::default()
+                },
+            )];
             let lookup = |_vm: VmId| {
                 let mut a = ResoAccount::new(Resos::from_whole(100), Resos::ZERO);
                 a.charge_cpu(Resos::from_whole(95)); // 5% left

@@ -186,7 +186,13 @@ mod tests {
     const INTF: VmId = VmId::new(1);
 
     fn sla() -> Vec<(VmId, SlaTarget)> {
-        vec![(REPORTER, SlaTarget { base_mean_us: 209.0, base_std_us: 2.0 })]
+        vec![(
+            REPORTER,
+            SlaTarget {
+                base_mean_us: 209.0,
+                base_std_us: 2.0,
+            },
+        )]
     }
 
     fn interval(
@@ -265,7 +271,11 @@ mod tests {
         // 25% over SLA, interferer sends 80% of traffic → r' = 20, cap ≈ 5.
         let v = interval(&mut p, Some(261.0), 409, 1639);
         let iv = verdict(&v, INTF);
-        assert!(iv.io_rate > 15.0 && iv.io_rate < 25.0, "rate={}", iv.io_rate);
+        assert!(
+            iv.io_rate > 15.0 && iv.io_rate < 25.0,
+            "rate={}",
+            iv.io_rate
+        );
         let cap = iv.cap_pct.unwrap();
         assert!((4..=7).contains(&cap), "cap={cap}");
     }
@@ -311,7 +321,10 @@ mod tests {
     fn jitter_alone_can_trigger_via_std() {
         let mut p = IoShares::new(vec![(
             REPORTER,
-            SlaTarget { base_mean_us: 209.0, base_std_us: 2.0 },
+            SlaTarget {
+                base_mean_us: 209.0,
+                base_std_us: 2.0,
+            },
         )]);
         let cfg = ResExConfig::default();
         let vms = vec![
@@ -321,11 +334,21 @@ mod tests {
                     mtus: 64,
                     cpu_pct: 50.0,
                     // Mean barely moved, but jitter exploded.
-                    latency: Some(LatencyFeedback { mean_us: 211.0, std_us: 40.0, count: 10 }),
+                    latency: Some(LatencyFeedback {
+                        mean_us: 211.0,
+                        std_us: 40.0,
+                        count: 10,
+                    }),
                     est_buffer_bytes: 65536.0,
                 },
             ),
-            (INTF, VmSnapshot { mtus: 2048, ..Default::default() }),
+            (
+                INTF,
+                VmSnapshot {
+                    mtus: 2048,
+                    ..Default::default()
+                },
+            ),
         ];
         let lookup = |_vm: VmId| None;
         let ctx = IntervalCtx {
@@ -368,11 +391,15 @@ mod victim_tests {
     fn victims_never_indict_each_other() {
         let reporters: Vec<VmId> = (0..3).map(VmId::new).collect();
         let streamer = VmId::new(9);
-        let mut policy = IoShares::new(
-            reporters
-                .iter()
-                .map(|&r| (r, SlaTarget { base_mean_us: 209.0, base_std_us: 2.0 })),
-        );
+        let mut policy = IoShares::new(reporters.iter().map(|&r| {
+            (
+                r,
+                SlaTarget {
+                    base_mean_us: 209.0,
+                    base_std_us: 2.0,
+                },
+            )
+        }));
         let cfg = ResExConfig::default();
         // The streamer is mid-compute this interval: it sent *nothing*,
         // while every reporter pushed ~256 MTUs and is 40% over SLA.
@@ -395,7 +422,11 @@ mod victim_tests {
             })
             .chain(std::iter::once((
                 streamer,
-                VmSnapshot { mtus: 0, cpu_pct: 95.0, ..Default::default() },
+                VmSnapshot {
+                    mtus: 0,
+                    cpu_pct: 95.0,
+                    ..Default::default()
+                },
             )))
             .collect();
         let lookup = |_vm: VmId| None;
@@ -425,20 +456,43 @@ mod victim_tests {
         let b = VmId::new(1);
         let hog = VmId::new(2);
         let mut policy = IoShares::new(vec![
-            (a, SlaTarget { base_mean_us: 209.0, base_std_us: 2.0 }),
-            (b, SlaTarget { base_mean_us: 209.0, base_std_us: 2.0 }),
+            (
+                a,
+                SlaTarget {
+                    base_mean_us: 209.0,
+                    base_std_us: 2.0,
+                },
+            ),
+            (
+                b,
+                SlaTarget {
+                    base_mean_us: 209.0,
+                    base_std_us: 2.0,
+                },
+            ),
         ]);
         let cfg = ResExConfig::default();
         let hurting = |mtus| VmSnapshot {
             mtus,
             cpu_pct: 70.0,
-            latency: Some(LatencyFeedback { mean_us: 320.0, std_us: 30.0, count: 10 }),
+            latency: Some(LatencyFeedback {
+                mean_us: 320.0,
+                std_us: 30.0,
+                count: 10,
+            }),
             est_buffer_bytes: 65536.0,
         };
         let vms = vec![
             (a, hurting(256)),
             (b, hurting(300)), // b sends more than a — still not indictable
-            (hog, VmSnapshot { mtus: 900, cpu_pct: 95.0, ..Default::default() }),
+            (
+                hog,
+                VmSnapshot {
+                    mtus: 900,
+                    cpu_pct: 95.0,
+                    ..Default::default()
+                },
+            ),
         ];
         let lookup = |_vm: VmId| None;
         let ctx = IntervalCtx {

@@ -12,6 +12,7 @@ use crate::account::ResoAccount;
 use crate::config::ResExConfig;
 use crate::pricing::{IntervalCtx, PricingPolicy, VmId, VmSnapshot};
 use crate::resos::Resos;
+use resex_obs::{subsystem, Scope, Tracer};
 use resex_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -84,6 +85,7 @@ pub struct ResExManager {
     policy: Box<dyn PricingPolicy>,
     vms: BTreeMap<VmId, VmState>,
     interval_index: u64,
+    tracer: Tracer,
 }
 
 impl ResExManager {
@@ -95,7 +97,14 @@ impl ResExManager {
             policy,
             vms: BTreeMap::new(),
             interval_index: 0,
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Installs an observability tracer. Charging is unaffected; the
+    /// manager only *emits* through it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The active configuration.
@@ -163,11 +172,8 @@ impl ResExManager {
         // Epoch boundary (not on the very first interval): replenish with
         // freshly weighted shares, then tell the policy.
         if interval_in_epoch == 0 && self.interval_index > 0 {
-            let shares: Vec<(VmId, Resos)> = self
-                .vms
-                .keys()
-                .map(|&vm| (vm, self.io_share(vm)))
-                .collect();
+            let shares: Vec<(VmId, Resos)> =
+                self.vms.keys().map(|&vm| (vm, self.io_share(vm))).collect();
             let cpu = Resos::from_whole(self.cfg.cpu_resos_per_epoch);
             for (vm, share) in shares {
                 if let Some(st) = self.vms.get_mut(&vm) {
@@ -176,6 +182,15 @@ impl ResExManager {
             }
             self.policy.on_epoch(self.interval_index / ipe);
             outcome.epoch_started = true;
+            if self.tracer.enabled() {
+                self.tracer.instant(
+                    now,
+                    subsystem::RESEX_MANAGER,
+                    "epoch",
+                    Scope::Global,
+                    vec![("epoch", (self.interval_index / ipe).into())],
+                );
+            }
         }
 
         // Snapshot view sorted by VmId for deterministic policy input.
@@ -220,15 +235,60 @@ impl ResExManager {
             let cpu = st
                 .account
                 .charge_cpu(Resos::charge(snap.cpu_pct, verdict.cpu_rate));
-            outcome.charges.push(VmCharge {
+            let charge = VmCharge {
                 vm: verdict.vm,
                 io,
                 cpu,
                 io_rate: verdict.io_rate,
                 remaining: st.account.total_remaining(),
                 remaining_fraction: st.account.fraction_remaining(),
-            });
+            };
+            if self.tracer.enabled() {
+                let vm_raw = verdict.vm.raw();
+                self.tracer.instant(
+                    now,
+                    subsystem::RESEX_MANAGER,
+                    "charge",
+                    Scope::Vm(vm_raw),
+                    vec![
+                        ("io_resos", io.as_f64().into()),
+                        ("cpu_resos", cpu.as_f64().into()),
+                        ("io_rate", verdict.io_rate.into()),
+                        ("mtus", snap.mtus.into()),
+                        ("cpu_pct", snap.cpu_pct.into()),
+                        ("policy", self.policy.name().into()),
+                    ],
+                );
+                self.tracer.counter(
+                    now,
+                    subsystem::RESEX_MANAGER,
+                    "reso_balance",
+                    Scope::Vm(vm_raw),
+                    charge.remaining.as_f64(),
+                );
+                self.tracer.counter(
+                    now,
+                    subsystem::RESEX_MANAGER,
+                    "congestion_price",
+                    Scope::Vm(vm_raw),
+                    verdict.io_rate,
+                );
+            }
+            outcome.charges.push(charge);
             if let Some(cap) = verdict.cap_pct {
+                if self.tracer.enabled() {
+                    self.tracer.instant(
+                        now,
+                        subsystem::RESEX_MANAGER,
+                        "cap_decision",
+                        Scope::Vm(verdict.vm.raw()),
+                        vec![
+                            ("cap_pct", cap.into()),
+                            ("policy", self.policy.name().into()),
+                            ("remaining_fraction", charge.remaining_fraction.into()),
+                        ],
+                    );
+                }
                 outcome.actions.push(ManagerAction::SetCap {
                     vm: verdict.vm,
                     cap_pct: cap,
@@ -334,10 +394,20 @@ mod tests {
 
     #[test]
     fn ioshares_end_to_end_taxes_the_interferer() {
-        let sla = vec![(A, SlaTarget { base_mean_us: 209.0, base_std_us: 2.0 })];
+        let sla = vec![(
+            A,
+            SlaTarget {
+                base_mean_us: 209.0,
+                base_std_us: 2.0,
+            },
+        )];
         let mut m = mgr(Box::new(IoShares::new(sla)));
         let hurt = VmSnapshot {
-            latency: Some(LatencyFeedback { mean_us: 420.0, std_us: 60.0, count: 20 }),
+            latency: Some(LatencyFeedback {
+                mean_us: 420.0,
+                std_us: 60.0,
+                count: 20,
+            }),
             ..snap(64, 50.0)
         };
         let out = m.on_interval(t(1), &[(A, hurt), (B, snap(2000, 100.0))]);

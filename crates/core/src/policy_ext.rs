@@ -41,7 +41,11 @@ impl PricingPolicy for StaticReserve {
         ctx.vms
             .iter()
             .map(|&(vm, _)| VmVerdict {
-                cap_pct: if first { self.caps.get(&vm).copied() } else { None },
+                cap_pct: if first {
+                    self.caps.get(&vm).copied()
+                } else {
+                    None
+                },
                 ..VmVerdict::neutral(vm)
             })
             .collect()
@@ -135,8 +139,20 @@ mod tests {
     fn buffer_ratio_caps_larger_buffers() {
         let mut p = BufferRatio::new(A);
         let vms = vec![
-            (A, VmSnapshot { est_buffer_bytes: 65536.0, ..Default::default() }),
-            (B, VmSnapshot { est_buffer_bytes: 2_097_152.0, ..Default::default() }),
+            (
+                A,
+                VmSnapshot {
+                    est_buffer_bytes: 65536.0,
+                    ..Default::default()
+                },
+            ),
+            (
+                B,
+                VmSnapshot {
+                    est_buffer_bytes: 2_097_152.0,
+                    ..Default::default()
+                },
+            ),
         ];
         let v = run(&mut p, &vms);
         // Ratio 32 → cap 3 (the paper's 2 MB case).
@@ -152,8 +168,20 @@ mod tests {
     fn buffer_ratio_ignores_smaller_buffers() {
         let mut p = BufferRatio::new(A);
         let vms = vec![
-            (A, VmSnapshot { est_buffer_bytes: 65536.0, ..Default::default() }),
-            (B, VmSnapshot { est_buffer_bytes: 16384.0, ..Default::default() }),
+            (
+                A,
+                VmSnapshot {
+                    est_buffer_bytes: 65536.0,
+                    ..Default::default()
+                },
+            ),
+            (
+                B,
+                VmSnapshot {
+                    est_buffer_bytes: 16384.0,
+                    ..Default::default()
+                },
+            ),
         ];
         let v = run(&mut p, &vms);
         assert!(v.iter().all(|v| v.cap_pct.is_none()));
@@ -164,8 +192,20 @@ mod tests {
         let mut p = BufferRatio::new(A);
         let mk = |b: f64| {
             vec![
-                (A, VmSnapshot { est_buffer_bytes: 65536.0, ..Default::default() }),
-                (B, VmSnapshot { est_buffer_bytes: b, ..Default::default() }),
+                (
+                    A,
+                    VmSnapshot {
+                        est_buffer_bytes: 65536.0,
+                        ..Default::default()
+                    },
+                ),
+                (
+                    B,
+                    VmSnapshot {
+                        est_buffer_bytes: b,
+                        ..Default::default()
+                    },
+                ),
             ]
         };
         let v = run(&mut p, &mk(262_144.0));
@@ -285,7 +325,14 @@ mod demand_tests {
 
     fn run_interval(p: &mut DemandPricing, mtus: u64, interval: u64) -> Vec<VmVerdict> {
         let cfg = ResExConfig::default();
-        let vms = vec![(VmId::new(0), VmSnapshot { mtus, cpu_pct: 50.0, ..Default::default() })];
+        let vms = vec![(
+            VmId::new(0),
+            VmSnapshot {
+                mtus,
+                cpu_pct: 50.0,
+                ..Default::default()
+            },
+        )];
         let lookup = |_vm: VmId| None;
         let ctx = IntervalCtx {
             now: SimTime::ZERO,
@@ -314,7 +361,11 @@ mod demand_tests {
             run_interval(&mut p, 1500, i);
         }
         p.on_epoch(1);
-        assert!((p.current_price() - 1.5).abs() < 1e-9, "price={}", p.current_price());
+        assert!(
+            (p.current_price() - 1.5).abs() < 1e-9,
+            "price={}",
+            p.current_price()
+        );
         let v = run_interval(&mut p, 100, 0);
         assert_eq!(v[0].io_rate, 1.5, "uniform higher price in force");
     }

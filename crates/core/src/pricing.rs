@@ -125,8 +125,20 @@ mod tests {
     #[test]
     fn ctx_helpers() {
         let vms = vec![
-            (VmId::new(0), VmSnapshot { mtus: 100, ..Default::default() }),
-            (VmId::new(1), VmSnapshot { mtus: 900, ..Default::default() }),
+            (
+                VmId::new(0),
+                VmSnapshot {
+                    mtus: 100,
+                    ..Default::default()
+                },
+            ),
+            (
+                VmId::new(1),
+                VmSnapshot {
+                    mtus: 900,
+                    ..Default::default()
+                },
+            ),
         ];
         let cfg = ResExConfig::default();
         let lookup = |_vm: VmId| None;

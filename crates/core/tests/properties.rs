@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use resex_core::{
-    FreeMarket, IoShares, LatencyFeedback, ManagerAction, PricingPolicy, ResExConfig,
-    ResExManager, Resos, SlaTarget, VmId, VmSnapshot,
+    FreeMarket, IoShares, LatencyFeedback, ManagerAction, PricingPolicy, ResExConfig, ResExManager,
+    Resos, SlaTarget, VmId, VmSnapshot,
 };
 use resex_simcore::time::SimTime;
 

@@ -92,13 +92,19 @@ impl FabricConfig {
             return Err("link_bandwidth must be positive".into());
         }
         if self.mtu_bytes == 0 || !self.mtu_bytes.is_power_of_two() {
-            return Err(format!("mtu_bytes must be a power of two, got {}", self.mtu_bytes));
+            return Err(format!(
+                "mtu_bytes must be a power of two, got {}",
+                self.mtu_bytes
+            ));
         }
         if self.grant_mtus == 0 {
             return Err("grant_mtus must be at least 1".into());
         }
         if !(0.0..1.0).contains(&self.hw_jitter) {
-            return Err(format!("hw_jitter must be in [0, 1), got {}", self.hw_jitter));
+            return Err(format!(
+                "hw_jitter must be in [0, 1), got {}",
+                self.hw_jitter
+            ));
         }
         Ok(())
     }
@@ -111,7 +117,11 @@ mod tests {
     #[test]
     fn default_matches_paper_numbers() {
         let c = FabricConfig::default();
-        assert_eq!(c.mtus_per_second(), 1_048_576, "paper: 1,048,576 MTUs/epoch");
+        assert_eq!(
+            c.mtus_per_second(),
+            1_048_576,
+            "paper: 1,048,576 MTUs/epoch"
+        );
         assert!(c.validate().is_ok());
     }
 
@@ -139,15 +149,30 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let c = FabricConfig { mtu_bytes: 1000, ..Default::default() };
+        let c = FabricConfig {
+            mtu_bytes: 1000,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = FabricConfig { grant_mtus: 0, ..Default::default() };
+        let c = FabricConfig {
+            grant_mtus: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = FabricConfig { link_bandwidth: 0, ..Default::default() };
+        let c = FabricConfig {
+            link_bandwidth: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = FabricConfig { hw_jitter: 1.0, ..Default::default() };
+        let c = FabricConfig {
+            hw_jitter: 1.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = FabricConfig { hw_jitter: 0.05, ..Default::default() };
+        let c = FabricConfig {
+            hw_jitter: 0.05,
+            ..Default::default()
+        };
         assert!(c.validate().is_ok());
     }
 }

@@ -199,9 +199,8 @@ impl CompletionQueue {
         let gpa = self.slot_gpa(self.consumed);
         let mut raw = [0u8; CQE_SIZE];
         self.mem.read(gpa, &mut raw)?;
-        let (cqe, owner) = Cqe::decode(&raw).ok_or(FabricError::Config(
-            "corrupt CQE in ring".into(),
-        ))?;
+        let (cqe, owner) =
+            Cqe::decode(&raw).ok_or(FabricError::Config("corrupt CQE in ring".into()))?;
         debug_assert_eq!(owner, expected_owner, "ownership parity mismatch");
         self.consumed += 1;
         Ok(Some(cqe))
@@ -238,7 +237,9 @@ mod tests {
 
     fn mk_cq(capacity: u32) -> CompletionQueue {
         let mem = MemoryHandle::new(1024 * 1024);
-        let gpa = mem.alloc_bytes((capacity as usize * CQE_SIZE) as u64).unwrap();
+        let gpa = mem
+            .alloc_bytes((capacity as usize * CQE_SIZE) as u64)
+            .unwrap();
         CompletionQueue::new(CqNum::new(0), mem, gpa, capacity).unwrap()
     }
 

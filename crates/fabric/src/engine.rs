@@ -27,6 +27,7 @@ use crate::mr::{MrHandle, Need, Tpt};
 use crate::qp::{QueuePair, RecvRequest, WorkRequest};
 use crate::types::{Access, CqNum, McGroupId, NodeId, Opcode, PdId, QpNum, QpType, WcStatus};
 use crate::uar::Uar;
+use resex_obs::{subsystem, Scope, Tracer};
 use resex_simcore::event::EventQueue;
 use resex_simcore::ids::IdAllocator;
 use resex_simcore::rng::SimRng;
@@ -114,9 +115,17 @@ pub enum FabricEvent {
 }
 
 enum Timer {
-    GrantDone { node: NodeId, plan: GrantPlan },
-    LinkRetry { node: NodeId },
-    Deliver { job: EgressJob, final_chunk: bool },
+    GrantDone {
+        node: NodeId,
+        plan: GrantPlan,
+    },
+    LinkRetry {
+        node: NodeId,
+    },
+    Deliver {
+        job: EgressJob,
+        final_chunk: bool,
+    },
     SenderComplete {
         node: NodeId,
         qp: QpNum,
@@ -181,6 +190,7 @@ pub struct Fabric {
     job_seq: u64,
     jitter_rng: SimRng,
     mcast_groups: Vec<Vec<(NodeId, QpNum)>>,
+    tracer: Tracer,
 }
 
 impl Fabric {
@@ -196,6 +206,7 @@ impl Fabric {
             job_seq: 0,
             jitter_rng,
             mcast_groups: Vec::new(),
+            tracer: Tracer::disabled(),
         })
     }
 
@@ -207,6 +218,12 @@ impl Fabric {
     /// The active configuration.
     pub fn config(&self) -> &FabricConfig {
         &self.cfg
+    }
+
+    /// Installs an observability tracer. Timing and behaviour are
+    /// unaffected; the fabric only *emits* through it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Adds a node (HCA + switch port) and returns its id.
@@ -311,8 +328,10 @@ impl Fabric {
             .ok_or(FabricError::Config("unknown UAR".into()))?;
         u.assign(num)?;
         n.qp_uar.insert(num, uar);
-        n.qps
-            .insert(num, QueuePair::new(num, pd, send_cq, recv_cq, sq_depth, rq_depth));
+        n.qps.insert(
+            num,
+            QueuePair::new(num, pd, send_cq, recv_cq, sq_depth, rq_depth),
+        );
         Ok(num)
     }
 
@@ -326,14 +345,20 @@ impl Fabric {
     ) -> Result<(), FabricError> {
         {
             let n = self.node_mut(a_node)?;
-            let qp = n.qps.get_mut(&a_qp).ok_or(FabricError::UnknownQp(a_node, a_qp))?;
+            let qp = n
+                .qps
+                .get_mut(&a_qp)
+                .ok_or(FabricError::UnknownQp(a_node, a_qp))?;
             qp.to_init()?;
             qp.to_rtr((b_node, b_qp))?;
             qp.to_rts()?;
         }
         {
             let n = self.node_mut(b_node)?;
-            let qp = n.qps.get_mut(&b_qp).ok_or(FabricError::UnknownQp(b_node, b_qp))?;
+            let qp = n
+                .qps
+                .get_mut(&b_qp)
+                .ok_or(FabricError::UnknownQp(b_node, b_qp))?;
             qp.to_init()?;
             qp.to_rtr((a_node, a_qp))?;
             qp.to_rts()?;
@@ -395,7 +420,10 @@ impl Fabric {
             let n = self.node(node)?;
             let q = n.qps.get(&qp).ok_or(FabricError::UnknownQp(node, qp))?;
             if q.qp_type != QpType::Ud {
-                return Err(FabricError::BadQpState { qp, needed: "a UD queue pair" });
+                return Err(FabricError::BadQpState {
+                    qp,
+                    needed: "a UD queue pair",
+                });
             }
         }
         let members = self
@@ -447,7 +475,14 @@ impl Fabric {
         }
         // Destination fields are unused for multicast; the fan-out happens
         // at delivery from the group table.
-        self.post_ud_inner(node, qp_num, wr, JobKind::McastSend { group }, (node, qp_num), now)
+        self.post_ud_inner(
+            node,
+            qp_num,
+            wr,
+            JobKind::McastSend { group },
+            (node, qp_num),
+            now,
+        )
     }
 
     fn post_ud_inner(
@@ -460,7 +495,10 @@ impl Fabric {
         now: SimTime,
     ) -> Result<(), FabricError> {
         if wr.opcode != Opcode::Send {
-            return Err(FabricError::BadQpState { qp: qp_num, needed: "a Send opcode (UD)" });
+            return Err(FabricError::BadQpState {
+                qp: qp_num,
+                needed: "a Send opcode (UD)",
+            });
         }
         if wr.len > self.cfg.mtu_bytes {
             return Err(FabricError::Config(format!(
@@ -472,11 +510,19 @@ impl Fabric {
         let seq = self.job_seq;
         let n = self.node_mut(node)?;
         let payload = {
-            let qp = n.qps.get(&qp_num).ok_or(FabricError::UnknownQp(node, qp_num))?;
+            let qp = n
+                .qps
+                .get(&qp_num)
+                .ok_or(FabricError::UnknownQp(node, qp_num))?;
             if qp.qp_type != QpType::Ud {
-                return Err(FabricError::BadQpState { qp: qp_num, needed: "a UD queue pair" });
+                return Err(FabricError::BadQpState {
+                    qp: qp_num,
+                    needed: "a UD queue pair",
+                });
             }
-            let mem = n.tpt.check(wr.lkey, wr.local_gpa, wr.len, Need::LocalRead, Some(qp.pd))?;
+            let mem = n
+                .tpt
+                .check(wr.lkey, wr.local_gpa, wr.len, Need::LocalRead, Some(qp.pd))?;
             if wr.len <= threshold {
                 let mut buf = vec![0u8; wr.len as usize];
                 mem.read(wr.local_gpa, &mut buf)?;
@@ -534,7 +580,10 @@ impl Fabric {
         let n = self.node_mut(node)?;
         // Local key validation + optional payload capture.
         let payload = {
-            let qp = n.qps.get(&qp_num).ok_or(FabricError::UnknownQp(node, qp_num))?;
+            let qp = n
+                .qps
+                .get(&qp_num)
+                .ok_or(FabricError::UnknownQp(node, qp_num))?;
             if qp.qp_type != QpType::Rc {
                 return Err(FabricError::BadQpState {
                     qp: qp_num,
@@ -545,9 +594,14 @@ impl Fabric {
                 Opcode::RdmaRead => Need::LocalWrite,
                 _ => Need::LocalRead,
             };
-            let mem = n.tpt.check(wr.lkey, wr.local_gpa, wr.len, need, Some(qp.pd))?;
+            let mem = n
+                .tpt
+                .check(wr.lkey, wr.local_gpa, wr.len, need, Some(qp.pd))?;
             let copy = wr.len <= threshold
-                && matches!(wr.opcode, Opcode::Send | Opcode::RdmaWrite | Opcode::RdmaWriteImm);
+                && matches!(
+                    wr.opcode,
+                    Opcode::Send | Opcode::RdmaWrite | Opcode::RdmaWriteImm
+                );
             if copy {
                 let mut buf = vec![0u8; wr.len as usize];
                 mem.read(wr.local_gpa, &mut buf)?;
@@ -629,8 +683,12 @@ impl Fabric {
         rr: RecvRequest,
     ) -> Result<(), FabricError> {
         let n = self.node_mut(node)?;
-        let qp = n.qps.get(&qp_num).ok_or(FabricError::UnknownQp(node, qp_num))?;
-        n.tpt.check(rr.lkey, rr.gpa, rr.len, Need::LocalWrite, Some(qp.pd))?;
+        let qp = n
+            .qps
+            .get(&qp_num)
+            .ok_or(FabricError::UnknownQp(node, qp_num))?;
+        n.tpt
+            .check(rr.lkey, rr.gpa, rr.len, Need::LocalWrite, Some(qp.pd))?;
         n.qps.get_mut(&qp_num).unwrap().post_recv(rr)
     }
 
@@ -656,7 +714,11 @@ impl Fabric {
     }
 
     /// Ground-truth per-QP counters (used by tests and the oracle baseline).
-    pub fn qp_counters(&self, node: NodeId, qp: QpNum) -> Result<crate::qp::QpCounters, FabricError> {
+    pub fn qp_counters(
+        &self,
+        node: NodeId,
+        qp: QpNum,
+    ) -> Result<crate::qp::QpCounters, FabricError> {
         let n = self.node(node)?;
         n.qps
             .get(&qp)
@@ -672,10 +734,7 @@ impl Fabric {
     /// Current doorbell value for a QP (introspection).
     pub fn doorbell_value(&self, node: NodeId, qp: QpNum) -> Result<u32, FabricError> {
         let n = self.node(node)?;
-        let uid = n
-            .qp_uar
-            .get(&qp)
-            .ok_or(FabricError::UnknownQp(node, qp))?;
+        let uid = n.qp_uar.get(&qp).ok_or(FabricError::UnknownQp(node, qp))?;
         n.uars[uid].read(qp)
     }
 
@@ -744,6 +803,21 @@ impl Fabric {
                     dur = dur.mul_f64(f.max(0.1));
                 }
                 n.counters.busy += dur;
+                if self.tracer.enabled() {
+                    self.tracer.complete(
+                        now,
+                        dur,
+                        subsystem::FABRIC_LINK,
+                        "grant",
+                        Scope::Qp(plan.job.qp.raw()),
+                        vec![
+                            ("bytes", plan.bytes.into()),
+                            ("mtus", plan.mtus.into()),
+                            ("first", plan.is_first.into()),
+                            ("finishes_job", plan.job_finished.into()),
+                        ],
+                    );
+                }
                 self.agenda
                     .schedule_at(now + dur, Timer::GrantDone { node, plan });
             }
@@ -755,6 +829,21 @@ impl Fabric {
                 let until = until.max(now + SimDuration::from_nanos(1));
                 if n.next_retry.is_none_or(|t| until < t) {
                     n.next_retry = Some(until);
+                    if self.tracer.enabled() {
+                        self.tracer.instant(
+                            now,
+                            subsystem::FABRIC_LINK,
+                            "arb_stall",
+                            Scope::Node(node.raw()),
+                            vec![
+                                ("until_ns", until.as_nanos().into()),
+                                (
+                                    "pending_bytes",
+                                    self.nodes[node.index()].arbiter.pending_bytes().into(),
+                                ),
+                            ],
+                        );
+                    }
                     self.agenda.schedule_at(until, Timer::LinkRetry { node });
                 }
             }
@@ -794,15 +883,36 @@ impl Fabric {
         let one_way = self.cfg.one_way_latency();
         let chunk_ser = self.cfg.serialization_time(plan.bytes as u64);
         {
-            let n = self.nodes.get_mut(node.index()).expect("grant on known node");
+            let n = self
+                .nodes
+                .get_mut(node.index())
+                .expect("grant on known node");
             n.counters.bytes_sent += plan.bytes as u64;
             n.counters.mtus_sent += plan.mtus as u64;
             n.counters.grants += 1;
+            let mut qp_bytes_total = 0;
             if let Some(qp) = n.qps.get_mut(&plan.job.qp) {
                 qp.counters.bytes_sent += plan.bytes as u64;
                 qp.counters.mtus_sent += plan.mtus as u64;
+                qp_bytes_total = qp.counters.bytes_sent;
             }
             n.link_busy = false;
+            if self.tracer.enabled() {
+                self.tracer.counter(
+                    t,
+                    subsystem::FABRIC_LINK,
+                    "egress_bytes",
+                    Scope::Qp(plan.job.qp.raw()),
+                    qp_bytes_total as f64,
+                );
+                self.tracer.counter(
+                    t,
+                    subsystem::FABRIC_LINK,
+                    "queue_depth_bytes",
+                    Scope::Node(node.raw()),
+                    n.arbiter.pending_bytes() as f64,
+                );
+            }
         }
         let arrival = t + one_way;
         match plan.job.kind {
@@ -900,6 +1010,19 @@ impl Fabric {
 
     /// Receiver-side effects once a message has fully arrived.
     fn on_final_delivery(&mut self, t: SimTime, job: EgressJob) {
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                t,
+                subsystem::FABRIC_ENGINE,
+                "deliver",
+                Scope::Qp(job.dst_qp.raw()),
+                vec![
+                    ("bytes", job.len.into()),
+                    ("src_qp", job.qp.raw().into()),
+                    ("opcode", format!("{:?}", job.opcode).into()),
+                ],
+            );
+        }
         match job.kind.clone() {
             JobKind::UdSend => self.deliver_ud(t, job),
             JobKind::McastSend { .. } => {
@@ -1112,7 +1235,10 @@ impl Fabric {
                 Some(n) => n,
                 None => return,
             };
-            match n.tpt.check(rkey, remote_gpa, resp_len, Need::RemoteRead, None) {
+            match n
+                .tpt
+                .check(rkey, remote_gpa, resp_len, Need::RemoteRead, None)
+            {
                 Ok(mem) => {
                     if resp_len <= self.cfg.payload_copy_threshold {
                         let mut buf = vec![0u8; resp_len as usize];
@@ -1157,7 +1283,10 @@ impl Fabric {
             imm: 0,
             payload,
         };
-        let n = self.nodes.get_mut(responder.index()).expect("responder exists");
+        let n = self
+            .nodes
+            .get_mut(responder.index())
+            .expect("responder exists");
         n.arbiter.enqueue(resp);
         self.kick_link(responder, t);
     }
@@ -1217,8 +1346,7 @@ impl Fabric {
 
     fn complete_sender_err(&mut self, t: SimTime, job: &EgressJob, status: WcStatus) {
         // Errors are always reported, signaled or not, like real RC QPs.
-        let (node, qp, wr_id, opcode, len) =
-            (job.src_node, job.qp, job.wr_id, job.opcode, job.len);
+        let (node, qp, wr_id, opcode, len) = (job.src_node, job.qp, job.wr_id, job.opcode, job.len);
         self.write_send_cqe(t, node, qp, wr_id, opcode, status, len);
     }
 

@@ -87,8 +87,14 @@ mod tests {
         let cases: Vec<FabricError> = vec![
             FabricError::UnknownNode(NodeId::new(1)),
             FabricError::UnknownQp(NodeId::new(0), QpNum::new(5)),
-            FabricError::InvalidKey { key: 0xAB, reason: "stale generation" },
-            FabricError::BadQpState { qp: QpNum::new(1), needed: "RTS" },
+            FabricError::InvalidKey {
+                key: 0xAB,
+                reason: "stale generation",
+            },
+            FabricError::BadQpState {
+                qp: QpNum::new(1),
+                needed: "RTS",
+            },
             FabricError::SendQueueFull(QpNum::new(2)),
             FabricError::PdMismatch,
         ];
@@ -99,7 +105,9 @@ mod tests {
 
     #[test]
     fn mem_error_converts() {
-        let me = MemError::NotPinned { page_base: resex_simmem::Gpa::new(0) };
+        let me = MemError::NotPinned {
+            page_base: resex_simmem::Gpa::new(0),
+        };
         let fe: FabricError = me.clone().into();
         assert_eq!(fe, FabricError::Mem(me));
         assert!(std::error::Error::source(&fe).is_some());

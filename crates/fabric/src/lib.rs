@@ -84,7 +84,7 @@ pub use engine::{Fabric, FabricEvent, NodeCounters, UarId};
 pub use error::FabricError;
 pub use link::{FlowParams, GrantDecision};
 pub use mr::{MrHandle, Need, Tpt};
-pub use ratelimit::TokenBucket;
 pub use qp::{QpCounters, QpState, QueuePair, RecvRequest, RemoteTarget, WorkRequest};
+pub use ratelimit::TokenBucket;
 pub use types::{Access, CqNum, McGroupId, NodeId, Opcode, PdId, QpNum, QpType, WcStatus};
 pub use uar::Uar;

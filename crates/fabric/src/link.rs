@@ -261,7 +261,10 @@ impl LinkArbiter {
                     if !bucket.try_consume(cost, now) {
                         let t = bucket.next_available(cost, now);
                         earliest = Some(earliest.map_or(t, |e| e.min(t)));
-                        self.rings.get_mut(&level).expect("level exists").push_back(qp);
+                        self.rings
+                            .get_mut(&level)
+                            .expect("level exists")
+                            .push_back(qp);
                         continue;
                     }
                 }
@@ -420,7 +423,11 @@ mod tests {
                 small_done_at = Some(i);
             }
         }
-        assert_eq!(small_done_at, Some(7), "finished at the 8th grant (4 of its own)");
+        assert_eq!(
+            small_done_at,
+            Some(7),
+            "finished at the 8th grant (4 of its own)"
+        );
     }
 
     #[test]
@@ -490,8 +497,20 @@ mod tests {
     #[test]
     fn strict_priority_preempts_between_grants() {
         let mut a = LinkArbiter::new();
-        a.set_flow_params(QpNum::new(0), FlowParams { priority: 1, ..Default::default() });
-        a.set_flow_params(QpNum::new(1), FlowParams { priority: 0, ..Default::default() });
+        a.set_flow_params(
+            QpNum::new(0),
+            FlowParams {
+                priority: 1,
+                ..Default::default()
+            },
+        );
+        a.set_flow_params(
+            QpNum::new(1),
+            FlowParams {
+                priority: 0,
+                ..Default::default()
+            },
+        );
         a.enqueue(job(1, 0, 64 * 1024)); // low priority, first in
         a.enqueue(job(2, 1, 32 * 1024)); // high priority
         let order: Vec<u32> = (0..6)
@@ -504,8 +523,20 @@ mod tests {
     #[test]
     fn weights_give_proportional_grants() {
         let mut a = LinkArbiter::new();
-        a.set_flow_params(QpNum::new(0), FlowParams { weight: 3, ..Default::default() });
-        a.set_flow_params(QpNum::new(1), FlowParams { weight: 1, ..Default::default() });
+        a.set_flow_params(
+            QpNum::new(0),
+            FlowParams {
+                weight: 3,
+                ..Default::default()
+            },
+        );
+        a.set_flow_params(
+            QpNum::new(1),
+            FlowParams {
+                weight: 1,
+                ..Default::default()
+            },
+        );
         a.enqueue(job(1, 0, 1024 * 1024));
         a.enqueue(job(2, 1, 1024 * 1024));
         let order: Vec<u32> = (0..8)
@@ -553,15 +584,18 @@ mod tests {
         );
         a.enqueue(job(1, 0, 64 * 1024)); // limited
         a.enqueue(job(2, 1, 64 * 1024)); // unlimited
-        // The limited flow spends its burst on the first grant; afterwards
-        // only the unlimited flow is served (work conservation: the link
-        // never reports Throttled while qp 1 has data).
+                                         // The limited flow spends its burst on the first grant; afterwards
+                                         // only the unlimited flow is served (work conservation: the link
+                                         // never reports Throttled while qp 1 has data).
         let mut qps = Vec::new();
         for _ in 0..5 {
             qps.push(grant(&mut a, t0()).unwrap().job.qp.raw());
         }
         assert_eq!(qps[0], 0, "burst lets the limited flow start");
-        assert!(qps[1..].iter().all(|&q| q == 1), "limited flow stands aside: {qps:?}");
+        assert!(
+            qps[1..].iter().all(|&q| q == 1),
+            "limited flow stands aside: {qps:?}"
+        );
     }
 
     #[test]
@@ -570,7 +604,13 @@ mod tests {
         a.enqueue(job(1, 0, 64 * 1024));
         a.enqueue(job(2, 1, 64 * 1024));
         // Demote qp 0 while it is queued.
-        a.set_flow_params(QpNum::new(0), FlowParams { priority: 2, ..Default::default() });
+        a.set_flow_params(
+            QpNum::new(0),
+            FlowParams {
+                priority: 2,
+                ..Default::default()
+            },
+        );
         let order: Vec<u32> = (0..8)
             .map(|_| grant(&mut a, t0()).unwrap().job.qp.raw())
             .collect();

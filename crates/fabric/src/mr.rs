@@ -187,10 +187,12 @@ impl Tpt {
             }
         }
         let start = gpa.raw();
-        let end = start.checked_add(len as u64).ok_or(FabricError::InvalidKey {
-            key,
-            reason: "address overflow",
-        })?;
+        let end = start
+            .checked_add(len as u64)
+            .ok_or(FabricError::InvalidKey {
+                key,
+                reason: "address overflow",
+            })?;
         let rstart = entry.gpa.raw();
         let rend = rstart + entry.len as u64;
         if start < rstart || end > rend {
@@ -271,7 +273,13 @@ mod tests {
         let err = tpt
             .check(mr1.lkey, Gpa::new(0), 4, Need::LocalRead, None)
             .unwrap_err();
-        assert!(matches!(err, FabricError::InvalidKey { reason: "stale generation", .. }));
+        assert!(matches!(
+            err,
+            FabricError::InvalidKey {
+                reason: "stale generation",
+                ..
+            }
+        ));
         // Deregistering with the stale key fails and leaves the live region intact.
         assert!(tpt.deregister(mr1.lkey).is_err());
         assert_eq!(tpt.live_regions(), 1);
@@ -285,12 +293,20 @@ mod tests {
             .register(PdId::new(0), &m, Gpa::new(4096), 4096, Access::FULL)
             .unwrap();
         // Inside: ok.
-        assert!(tpt.check(mr.lkey, Gpa::new(4096), 4096, Need::LocalRead, None).is_ok());
-        assert!(tpt.check(mr.lkey, Gpa::new(5000), 100, Need::RemoteWrite, None).is_ok());
+        assert!(tpt
+            .check(mr.lkey, Gpa::new(4096), 4096, Need::LocalRead, None)
+            .is_ok());
+        assert!(tpt
+            .check(mr.lkey, Gpa::new(5000), 100, Need::RemoteWrite, None)
+            .is_ok());
         // Starts before the region.
-        assert!(tpt.check(mr.lkey, Gpa::new(4000), 200, Need::LocalRead, None).is_err());
+        assert!(tpt
+            .check(mr.lkey, Gpa::new(4000), 200, Need::LocalRead, None)
+            .is_err());
         // Runs past the end.
-        assert!(tpt.check(mr.lkey, Gpa::new(8000), 200, Need::LocalRead, None).is_err());
+        assert!(tpt
+            .check(mr.lkey, Gpa::new(8000), 200, Need::LocalRead, None)
+            .is_err());
     }
 
     #[test]
@@ -300,9 +316,15 @@ mod tests {
         let mr = tpt
             .register(PdId::new(0), &m, Gpa::new(0), 4096, Access::LOCAL)
             .unwrap();
-        assert!(tpt.check(mr.lkey, Gpa::new(0), 4, Need::LocalRead, None).is_ok());
-        assert!(tpt.check(mr.rkey, Gpa::new(0), 4, Need::RemoteWrite, None).is_err());
-        assert!(tpt.check(mr.rkey, Gpa::new(0), 4, Need::RemoteRead, None).is_err());
+        assert!(tpt
+            .check(mr.lkey, Gpa::new(0), 4, Need::LocalRead, None)
+            .is_ok());
+        assert!(tpt
+            .check(mr.rkey, Gpa::new(0), 4, Need::RemoteWrite, None)
+            .is_err());
+        assert!(tpt
+            .check(mr.rkey, Gpa::new(0), 4, Need::RemoteRead, None)
+            .is_err());
     }
 
     #[test]

@@ -271,7 +271,14 @@ mod tests {
     use super::*;
 
     fn qp() -> QueuePair {
-        QueuePair::new(QpNum::new(1), PdId::new(0), CqNum::new(0), CqNum::new(1), 4, 4)
+        QueuePair::new(
+            QpNum::new(1),
+            PdId::new(0),
+            CqNum::new(0),
+            CqNum::new(1),
+            4,
+            4,
+        )
     }
 
     fn wr(id: u64) -> WorkRequest {
@@ -350,8 +357,14 @@ mod tests {
             q.post_send(wr(i)).unwrap();
             q.post_recv(rr(i)).unwrap();
         }
-        assert!(matches!(q.post_send(wr(9)), Err(FabricError::SendQueueFull(_))));
-        assert!(matches!(q.post_recv(rr(9)), Err(FabricError::RecvQueueFull(_))));
+        assert!(matches!(
+            q.post_send(wr(9)),
+            Err(FabricError::SendQueueFull(_))
+        ));
+        assert!(matches!(
+            q.post_recv(rr(9)),
+            Err(FabricError::RecvQueueFull(_))
+        ));
     }
 
     #[test]

@@ -33,7 +33,9 @@ fn endpoint(f: &mut Fabric, buf_len: u32) -> Endpoint {
     let uar = f.create_uar(node, &mem).unwrap();
     let send_cq = f.create_cq(node, &mem, 256).unwrap();
     let recv_cq = f.create_cq(node, &mem, 256).unwrap();
-    let qp = f.create_qp(node, pd, send_cq, recv_cq, 128, 128, uar).unwrap();
+    let qp = f
+        .create_qp(node, pd, send_cq, recv_cq, 128, 128, uar)
+        .unwrap();
     let buf_gpa = mem.alloc_bytes(buf_len as u64).unwrap();
     let mr = f
         .register_mr(node, pd, &mem, buf_gpa, buf_len, Access::FULL)
@@ -95,8 +97,13 @@ fn one_kib_send_exact_timing() {
         },
     )
     .unwrap();
-    f.post_send(a.node, a.qp, send_wr(1, a.lkey, a.buf_gpa, 1024), SimTime::ZERO)
-        .unwrap();
+    f.post_send(
+        a.node,
+        a.qp,
+        send_wr(1, a.lkey, a.buf_gpa, 1024),
+        SimTime::ZERO,
+    )
+    .unwrap();
 
     let events = drain(&mut f);
     // Serialization: 500ns WQE overhead + 1024B at 1 GiB/s = 953ns → grant
@@ -132,8 +139,13 @@ fn send_delivers_payload_bytes() {
         },
     )
     .unwrap();
-    f.post_send(a.node, a.qp, send_wr(1, a.lkey, a.buf_gpa, msg.len() as u32), SimTime::ZERO)
-        .unwrap();
+    f.post_send(
+        a.node,
+        a.qp,
+        send_wr(1, a.lkey, a.buf_gpa, msg.len() as u32),
+        SimTime::ZERO,
+    )
+    .unwrap();
     drain(&mut f);
     let mut got = vec![0u8; msg.len()];
     b.mem.read(b.buf_gpa, &mut got).unwrap();
@@ -169,9 +181,13 @@ fn rdma_write_places_data_without_receiver_cqe() {
     assert!(events
         .iter()
         .any(|(_, e)| matches!(e, FabricEvent::RdmaWriteDelivered { byte_len: 64, .. })));
-    assert!(events.iter().any(
-        |(_, e)| matches!(e, FabricEvent::SendComplete { status: WcStatus::Success, .. })
-    ));
+    assert!(events.iter().any(|(_, e)| matches!(
+        e,
+        FabricEvent::SendComplete {
+            status: WcStatus::Success,
+            ..
+        }
+    )));
     let mut got = [0u8; 64];
     b.mem.read(b.buf_gpa, &mut got).unwrap();
     assert_eq!(got, [0xAB; 64]);
@@ -258,8 +274,13 @@ fn rdma_read_pulls_remote_data() {
 fn missing_receive_is_an_rnr_drop() {
     let mut f = Fabric::with_defaults();
     let (a, b) = pair(&mut f, 4096, 4096);
-    f.post_send(a.node, a.qp, send_wr(9, a.lkey, a.buf_gpa, 512), SimTime::ZERO)
-        .unwrap();
+    f.post_send(
+        a.node,
+        a.qp,
+        send_wr(9, a.lkey, a.buf_gpa, 512),
+        SimTime::ZERO,
+    )
+    .unwrap();
     let events = drain(&mut f);
     assert!(events
         .iter()
@@ -308,7 +329,12 @@ fn bad_lkey_fails_synchronously() {
     let mut f = Fabric::with_defaults();
     let (a, _b) = pair(&mut f, 4096, 4096);
     let err = f
-        .post_send(a.node, a.qp, send_wr(1, a.lkey ^ 0xFF00, a.buf_gpa, 64), SimTime::ZERO)
+        .post_send(
+            a.node,
+            a.qp,
+            send_wr(1, a.lkey ^ 0xFF00, a.buf_gpa, 64),
+            SimTime::ZERO,
+        )
         .unwrap_err();
     assert!(format!("{err}").contains("key"));
 }
@@ -332,8 +358,13 @@ fn mtu_accounting_matches_message_sizes() {
     }
     // 64 KiB = 64 MTUs, four times.
     for i in 0..4u64 {
-        f.post_send(a.node, a.qp, send_wr(i, a.lkey, a.buf_gpa, 64 * 1024), SimTime::ZERO)
-            .unwrap();
+        f.post_send(
+            a.node,
+            a.qp,
+            send_wr(i, a.lkey, a.buf_gpa, 64 * 1024),
+            SimTime::ZERO,
+        )
+        .unwrap();
     }
     drain(&mut f);
     let qc = f.qp_counters(a.node, a.qp).unwrap();
@@ -354,11 +385,21 @@ fn shared_link_delays_small_flow_behind_large_flow() {
         f.post_recv(
             b.node,
             b.qp,
-            RecvRequest { wr_id: 1, lkey: b.lkey, gpa: b.buf_gpa, len: 64 * 1024 },
+            RecvRequest {
+                wr_id: 1,
+                lkey: b.lkey,
+                gpa: b.buf_gpa,
+                len: 64 * 1024,
+            },
         )
         .unwrap();
-        f.post_send(a.node, a.qp, send_wr(1, a.lkey, a.buf_gpa, 64 * 1024), SimTime::ZERO)
-            .unwrap();
+        f.post_send(
+            a.node,
+            a.qp,
+            send_wr(1, a.lkey, a.buf_gpa, 64 * 1024),
+            SimTime::ZERO,
+        )
+        .unwrap();
         drain(&mut f)
             .iter()
             .find(|(_, e)| matches!(e, FabricEvent::RecvComplete { .. }))
@@ -373,7 +414,9 @@ fn shared_link_delays_small_flow_behind_large_flow() {
         let uar2 = f.create_uar(a.node, &a.mem).unwrap();
         let scq2 = f.create_cq(a.node, &a.mem, 256).unwrap();
         let rcq2 = f.create_cq(a.node, &a.mem, 256).unwrap();
-        let qp2 = f.create_qp(a.node, a.pd, scq2, rcq2, 128, 128, uar2).unwrap();
+        let qp2 = f
+            .create_qp(a.node, a.pd, scq2, rcq2, 128, 128, uar2)
+            .unwrap();
         let buf2 = a.mem.alloc_bytes(2 * 1024 * 1024).unwrap();
         let mr2 = f
             .register_mr(a.node, a.pd, &a.mem, buf2, 2 * 1024 * 1024, Access::FULL)
@@ -392,7 +435,10 @@ fn shared_link_delays_small_flow_behind_large_flow() {
             lkey: mr2.lkey,
             local_gpa: buf2,
             len: 2 * 1024 * 1024,
-            remote: Some(RemoteTarget { rkey: b.rkey, gpa: b.buf_gpa }),
+            remote: Some(RemoteTarget {
+                rkey: b.rkey,
+                gpa: b.buf_gpa,
+            }),
             imm: 0,
             signaled: false,
         };
@@ -400,14 +446,32 @@ fn shared_link_delays_small_flow_behind_large_flow() {
         f.post_recv(
             b.node,
             b.qp,
-            RecvRequest { wr_id: 1, lkey: b.lkey, gpa: b.buf_gpa, len: 64 * 1024 },
+            RecvRequest {
+                wr_id: 1,
+                lkey: b.lkey,
+                gpa: b.buf_gpa,
+                len: 64 * 1024,
+            },
         )
         .unwrap();
-        f.post_send(a.node, a.qp, send_wr(1, a.lkey, a.buf_gpa, 64 * 1024), SimTime::ZERO)
-            .unwrap();
+        f.post_send(
+            a.node,
+            a.qp,
+            send_wr(1, a.lkey, a.buf_gpa, 64 * 1024),
+            SimTime::ZERO,
+        )
+        .unwrap();
         drain(&mut f)
             .iter()
-            .find(|(_, e)| matches!(e, FabricEvent::RecvComplete { byte_len: 65536, .. }))
+            .find(|(_, e)| {
+                matches!(
+                    e,
+                    FabricEvent::RecvComplete {
+                        byte_len: 65536,
+                        ..
+                    }
+                )
+            })
             .map(|(t, _)| *t)
             .unwrap()
     };
@@ -416,8 +480,14 @@ fn shared_link_delays_small_flow_behind_large_flow() {
     // not starve it behind the full 2 MiB.
     let solo = solo_latency.as_micros_f64();
     let shared = shared_latency.as_micros_f64();
-    assert!(shared > solo * 1.7, "expected contention: solo={solo}µs shared={shared}µs");
-    assert!(shared < solo * 3.0, "RR must prevent starvation: solo={solo}µs shared={shared}µs");
+    assert!(
+        shared > solo * 1.7,
+        "expected contention: solo={solo}µs shared={shared}µs"
+    );
+    assert!(
+        shared < solo * 3.0,
+        "RR must prevent starvation: solo={solo}µs shared={shared}µs"
+    );
 }
 
 #[test]
@@ -427,11 +497,21 @@ fn link_utilization_accounting() {
     f.post_recv(
         b.node,
         b.qp,
-        RecvRequest { wr_id: 1, lkey: b.lkey, gpa: b.buf_gpa, len: 1024 * 1024 },
+        RecvRequest {
+            wr_id: 1,
+            lkey: b.lkey,
+            gpa: b.buf_gpa,
+            len: 1024 * 1024,
+        },
     )
     .unwrap();
-    f.post_send(a.node, a.qp, send_wr(1, a.lkey, a.buf_gpa, 1024 * 1024), SimTime::ZERO)
-        .unwrap();
+    f.post_send(
+        a.node,
+        a.qp,
+        send_wr(1, a.lkey, a.buf_gpa, 1024 * 1024),
+        SimTime::ZERO,
+    )
+    .unwrap();
     drain(&mut f);
     let nc = f.node_counters(a.node).unwrap();
     // 1 MiB at 1 GiB/s ≈ 976.6 µs of busy time plus the one-off WQE overhead.
@@ -453,11 +533,21 @@ fn doorbells_count_posts() {
         f.post_recv(
             b.node,
             b.qp,
-            RecvRequest { wr_id: i, lkey: b.lkey, gpa: b.buf_gpa, len: 4096 },
+            RecvRequest {
+                wr_id: i,
+                lkey: b.lkey,
+                gpa: b.buf_gpa,
+                len: 4096,
+            },
         )
         .unwrap();
-        f.post_send(a.node, a.qp, send_wr(i, a.lkey, a.buf_gpa, 100), SimTime::ZERO)
-            .unwrap();
+        f.post_send(
+            a.node,
+            a.qp,
+            send_wr(i, a.lkey, a.buf_gpa, 100),
+            SimTime::ZERO,
+        )
+        .unwrap();
     }
     assert_eq!(f.doorbell_value(a.node, a.qp).unwrap(), 3);
     drain(&mut f);
@@ -473,11 +563,21 @@ fn cq_ring_info_exposes_ring_for_introspection() {
     f.post_recv(
         b.node,
         b.qp,
-        RecvRequest { wr_id: 77, lkey: b.lkey, gpa: b.buf_gpa, len: 4096 },
+        RecvRequest {
+            wr_id: 77,
+            lkey: b.lkey,
+            gpa: b.buf_gpa,
+            len: 4096,
+        },
     )
     .unwrap();
-    f.post_send(a.node, a.qp, send_wr(1, a.lkey, a.buf_gpa, 2048), SimTime::ZERO)
-        .unwrap();
+    f.post_send(
+        a.node,
+        a.qp,
+        send_wr(1, a.lkey, a.buf_gpa, 2048),
+        SimTime::ZERO,
+    )
+    .unwrap();
     drain(&mut f);
     // Read the first CQE straight out of guest memory, like IBMon.
     let mut raw = [0u8; resex_fabric::CQE_SIZE];
@@ -497,7 +597,10 @@ fn backlog_reflects_pending_bytes() {
         lkey: a.lkey,
         local_gpa: a.buf_gpa,
         len: 2 * 1024 * 1024,
-        remote: Some(RemoteTarget { rkey: b.rkey, gpa: b.buf_gpa }),
+        remote: Some(RemoteTarget {
+            rkey: b.rkey,
+            gpa: b.buf_gpa,
+        }),
         imm: 0,
         signaled: false,
     };
@@ -518,11 +621,21 @@ fn deterministic_event_sequence() {
             f.post_recv(
                 b.node,
                 b.qp,
-                RecvRequest { wr_id: i, lkey: b.lkey, gpa: b.buf_gpa, len: 64 * 1024 },
+                RecvRequest {
+                    wr_id: i,
+                    lkey: b.lkey,
+                    gpa: b.buf_gpa,
+                    len: 64 * 1024,
+                },
             )
             .unwrap();
-            f.post_send(a.node, a.qp, send_wr(i, a.lkey, a.buf_gpa, 8192), SimTime::ZERO)
-                .unwrap();
+            f.post_send(
+                a.node,
+                a.qp,
+                send_wr(i, a.lkey, a.buf_gpa, 8192),
+                SimTime::ZERO,
+            )
+            .unwrap();
         }
         drain(&mut f)
             .into_iter()
@@ -535,7 +648,10 @@ fn deterministic_event_sequence() {
 #[test]
 fn hw_jitter_spreads_timing_but_stays_reproducible() {
     let run = |jitter: f64| {
-        let cfg = FabricConfig { hw_jitter: jitter, ..Default::default() };
+        let cfg = FabricConfig {
+            hw_jitter: jitter,
+            ..Default::default()
+        };
         let mut f = Fabric::new(cfg).unwrap();
         let (a, b) = pair(&mut f, 256 * 1024, 256 * 1024);
         let mut latencies = Vec::new();
@@ -544,12 +660,22 @@ fn hw_jitter_spreads_timing_but_stays_reproducible() {
             f.post_recv(
                 b.node,
                 b.qp,
-                RecvRequest { wr_id: i, lkey: b.lkey, gpa: b.buf_gpa, len: 256 * 1024 },
+                RecvRequest {
+                    wr_id: i,
+                    lkey: b.lkey,
+                    gpa: b.buf_gpa,
+                    len: 256 * 1024,
+                },
             )
             .unwrap();
             let start = now;
-            f.post_send(a.node, a.qp, send_wr(i, a.lkey, a.buf_gpa, 64 * 1024), start)
-                .unwrap();
+            f.post_send(
+                a.node,
+                a.qp,
+                send_wr(i, a.lkey, a.buf_gpa, 64 * 1024),
+                start,
+            )
+            .unwrap();
             let events = drain(&mut f);
             let done = events
                 .iter()
@@ -566,7 +692,10 @@ fn hw_jitter_spreads_timing_but_stays_reproducible() {
     let clean = run(0.0);
     let noisy = run(0.05);
     // Deterministic model: every transfer identical to the nanosecond.
-    assert!(clean.windows(2).all(|w| w[0] == w[1]), "clean runs are exact");
+    assert!(
+        clean.windows(2).all(|w| w[0] == w[1]),
+        "clean runs are exact"
+    );
     // Jittered model: spread appears...
     let distinct: std::collections::HashSet<_> = noisy.iter().collect();
     assert!(distinct.len() > 16, "jitter spreads latencies");

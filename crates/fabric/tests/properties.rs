@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use resex_fabric::link::{EgressJob, GrantDecision, JobKind, LinkArbiter};
-use resex_simcore::time::SimTime;
 use resex_fabric::{Cqe, FabricConfig, NodeId, Opcode, QpNum, WcStatus, CQE_SIZE};
+use resex_simcore::time::SimTime;
 use resex_simmem::Gpa;
 use std::collections::HashMap;
 

@@ -6,8 +6,7 @@ use resex_fabric::link::FlowParams;
 use resex_fabric::qp::{RecvRequest, WorkRequest};
 use resex_fabric::ratelimit::TokenBucket;
 use resex_fabric::{
-    Access, CqNum, Fabric, FabricEvent, NodeId, Opcode, PdId, QpNum, RemoteTarget, UarId,
-    WcStatus,
+    Access, CqNum, Fabric, FabricEvent, NodeId, Opcode, PdId, QpNum, RemoteTarget, UarId, WcStatus,
 };
 use resex_simcore::time::SimTime;
 use resex_simmem::{Gpa, MemoryHandle};
@@ -32,9 +31,13 @@ fn endpoint(f: &mut Fabric, node: NodeId, buf_len: u32, cq_cap: u32) -> Endpoint
     let uar = f.create_uar(node, &mem).unwrap();
     let send_cq = f.create_cq(node, &mem, cq_cap).unwrap();
     let recv_cq = f.create_cq(node, &mem, cq_cap).unwrap();
-    let qp = f.create_qp(node, pd, send_cq, recv_cq, 1024, 1024, uar).unwrap();
+    let qp = f
+        .create_qp(node, pd, send_cq, recv_cq, 1024, 1024, uar)
+        .unwrap();
     let buf_gpa = mem.alloc_bytes(buf_len as u64).unwrap();
-    let mr = f.register_mr(node, pd, &mem, buf_gpa, buf_len, Access::FULL).unwrap();
+    let mr = f
+        .register_mr(node, pd, &mem, buf_gpa, buf_len, Access::FULL)
+        .unwrap();
     Endpoint {
         node,
         mem,
@@ -80,7 +83,10 @@ fn reads_and_writes_contend_correctly() {
             lkey: a.lkey,
             local_gpa: a.buf_gpa,
             len: 1024 * 1024,
-            remote: Some(RemoteTarget { rkey: b.rkey, gpa: b.buf_gpa }),
+            remote: Some(RemoteTarget {
+                rkey: b.rkey,
+                gpa: b.buf_gpa,
+            }),
             imm: 0,
             signaled: true,
         },
@@ -96,7 +102,10 @@ fn reads_and_writes_contend_correctly() {
             lkey: b.lkey,
             local_gpa: b.buf_gpa,
             len: 1024 * 1024,
-            remote: Some(RemoteTarget { rkey: a.rkey, gpa: a.buf_gpa }),
+            remote: Some(RemoteTarget {
+                rkey: a.rkey,
+                gpa: a.buf_gpa,
+            }),
             imm: 0,
             signaled: true,
         },
@@ -106,15 +115,34 @@ fn reads_and_writes_contend_correctly() {
 
     let events = drain(&mut f);
     let read_done = events.iter().any(|(_, e)| {
-        matches!(e, FabricEvent::SendComplete { wr_id: 1, opcode: Opcode::RdmaRead, status: WcStatus::Success, .. })
+        matches!(
+            e,
+            FabricEvent::SendComplete {
+                wr_id: 1,
+                opcode: Opcode::RdmaRead,
+                status: WcStatus::Success,
+                ..
+            }
+        )
     });
     let write_done = events.iter().any(|(_, e)| {
-        matches!(e, FabricEvent::SendComplete { wr_id: 2, opcode: Opcode::RdmaWrite, status: WcStatus::Success, .. })
+        matches!(
+            e,
+            FabricEvent::SendComplete {
+                wr_id: 2,
+                opcode: Opcode::RdmaWrite,
+                status: WcStatus::Success,
+                ..
+            }
+        )
     });
     assert!(read_done && write_done);
     // b's egress carried both megabytes (plus nothing else).
     let bytes_b = f.node_counters(n1).unwrap().bytes_sent;
-    assert!(bytes_b >= 2 * 1024 * 1024, "responder egress carried both: {bytes_b}");
+    assert!(
+        bytes_b >= 2 * 1024 * 1024,
+        "responder egress carried both: {bytes_b}"
+    );
     // a's egress carried only the tiny read request.
     let bytes_a = f.node_counters(n0).unwrap().bytes_sent;
     assert!(bytes_a < 1024, "initiator sent only the request: {bytes_a}");
@@ -134,7 +162,12 @@ fn cq_overrun_is_counted_not_fatal() {
         f.post_recv(
             n1,
             b.qp,
-            RecvRequest { wr_id: i, lkey: b.lkey, gpa: b.buf_gpa, len: 64 * 1024 },
+            RecvRequest {
+                wr_id: i,
+                lkey: b.lkey,
+                gpa: b.buf_gpa,
+                len: 64 * 1024,
+            },
         )
         .unwrap();
     }
@@ -178,7 +211,12 @@ fn deregistration_after_traffic() {
     f.post_recv(
         n1,
         b.qp,
-        RecvRequest { wr_id: 0, lkey: b.lkey, gpa: b.buf_gpa, len: 64 * 1024 },
+        RecvRequest {
+            wr_id: 0,
+            lkey: b.lkey,
+            gpa: b.buf_gpa,
+            len: 64 * 1024,
+        },
     )
     .unwrap();
     f.post_send(
@@ -237,14 +275,22 @@ fn engine_level_priority_protects_small_flow() {
             f.set_qp_flow_params(
                 n0,
                 bulk.qp,
-                FlowParams { priority: 1, ..Default::default() },
+                FlowParams {
+                    priority: 1,
+                    ..Default::default()
+                },
             )
             .unwrap();
         }
         f.post_recv(
             n1,
             peer_s.qp,
-            RecvRequest { wr_id: 0, lkey: peer_s.lkey, gpa: peer_s.buf_gpa, len: 256 * 1024 },
+            RecvRequest {
+                wr_id: 0,
+                lkey: peer_s.lkey,
+                gpa: peer_s.buf_gpa,
+                len: 256 * 1024,
+            },
         )
         .unwrap();
         // Bulk 2 MiB write first, then the small 64 KiB send.
@@ -257,7 +303,10 @@ fn engine_level_priority_protects_small_flow() {
                 lkey: bulk.lkey,
                 local_gpa: bulk.buf_gpa,
                 len: 2 * 1024 * 1024,
-                remote: Some(RemoteTarget { rkey: peer_b.rkey, gpa: peer_b.buf_gpa }),
+                remote: Some(RemoteTarget {
+                    rkey: peer_b.rkey,
+                    gpa: peer_b.buf_gpa,
+                }),
                 imm: 0,
                 signaled: false,
             },
@@ -290,7 +339,10 @@ fn engine_level_priority_protects_small_flow() {
     let prioritized = run(true).as_micros_f64();
     // With strict priority the small flow sees near-solo latency (~64 µs);
     // with plain RR it pays the interleaving penalty (~128 µs).
-    assert!(prioritized < shared * 0.7, "prio={prioritized:.0}µs rr={shared:.0}µs");
+    assert!(
+        prioritized < shared * 0.7,
+        "prio={prioritized:.0}µs rr={shared:.0}µs"
+    );
     assert!(prioritized < 80.0, "near solo: {prioritized:.0}µs");
 }
 
@@ -318,7 +370,12 @@ fn engine_level_rate_limit_paces_traffic() {
     f.post_recv(
         n1,
         b.qp,
-        RecvRequest { wr_id: 0, lkey: b.lkey, gpa: b.buf_gpa, len: 1024 * 1024 },
+        RecvRequest {
+            wr_id: 0,
+            lkey: b.lkey,
+            gpa: b.buf_gpa,
+            len: 1024 * 1024,
+        },
     )
     .unwrap();
     f.post_send(
@@ -371,7 +428,10 @@ fn incast_is_limited_by_the_ingress_port() {
                 lkey: s.lkey,
                 local_gpa: s.buf_gpa,
                 len: transfer,
-                remote: Some(RemoteTarget { rkey: r.rkey, gpa: r.buf_gpa }),
+                remote: Some(RemoteTarget {
+                    rkey: r.rkey,
+                    gpa: r.buf_gpa,
+                }),
                 imm: 0,
                 signaled: false,
             },
@@ -380,9 +440,7 @@ fn incast_is_limited_by_the_ingress_port() {
         .unwrap();
         drain(&mut f)
             .iter()
-            .filter_map(|(t, e)| {
-                matches!(e, FabricEvent::RdmaWriteDelivered { .. }).then_some(*t)
-            })
+            .filter_map(|(t, e)| matches!(e, FabricEvent::RdmaWriteDelivered { .. }).then_some(*t))
             .next_back()
             .unwrap()
     };
@@ -408,7 +466,10 @@ fn incast_is_limited_by_the_ingress_port() {
                     lkey: s.lkey,
                     local_gpa: s.buf_gpa,
                     len: transfer,
-                    remote: Some(RemoteTarget { rkey: r.rkey, gpa: r.buf_gpa }),
+                    remote: Some(RemoteTarget {
+                        rkey: r.rkey,
+                        gpa: r.buf_gpa,
+                    }),
                     imm: 0,
                     signaled: false,
                 },
@@ -418,9 +479,7 @@ fn incast_is_limited_by_the_ingress_port() {
         }
         drain(&mut f)
             .iter()
-            .filter_map(|(t, e)| {
-                matches!(e, FabricEvent::RdmaWriteDelivered { .. }).then_some(*t)
-            })
+            .filter_map(|(t, e)| matches!(e, FabricEvent::RdmaWriteDelivered { .. }).then_some(*t))
             .next_back()
             .unwrap()
     };

@@ -78,7 +78,12 @@ fn ud_send_delivers_with_local_completion() {
     f.post_recv(
         n1,
         sub_ep.qp,
-        RecvRequest { wr_id: 5, lkey: sub_ep.lkey, gpa: sub_ep.buf_gpa, len: 1024 },
+        RecvRequest {
+            wr_id: 5,
+            lkey: sub_ep.lkey,
+            gpa: sub_ep.buf_gpa,
+            len: 1024,
+        },
     )
     .unwrap();
     f.post_send_ud(
@@ -99,7 +104,10 @@ fn ud_send_delivers_with_local_completion() {
         .find_map(|(t, e)| matches!(e, FabricEvent::RecvComplete { .. }).then_some(*t))
         .unwrap();
     // UD completion is local: it precedes the delivery (no ack round-trip).
-    assert!(send_at < recv_at, "local completion at {send_at}, delivery at {recv_at}");
+    assert!(
+        send_at < recv_at,
+        "local completion at {send_at}, delivery at {recv_at}"
+    );
     // Payload arrived.
     let mut got = [0u8; 14];
     sub_ep.mem.read(sub_ep.buf_gpa, &mut got).unwrap();
@@ -130,9 +138,14 @@ fn ud_drops_silently_without_recv() {
     // learns about the drop. No receive event, no error.
     assert!(events.iter().any(|(_, e)| matches!(
         e,
-        FabricEvent::SendComplete { status: WcStatus::Success, .. }
+        FabricEvent::SendComplete {
+            status: WcStatus::Success,
+            ..
+        }
     )));
-    assert!(!events.iter().any(|(_, e)| matches!(e, FabricEvent::RecvComplete { .. })));
+    assert!(!events
+        .iter()
+        .any(|(_, e)| matches!(e, FabricEvent::RecvComplete { .. })));
     assert_eq!(f.node_counters(n1).unwrap().ud_drops, 1);
 }
 
@@ -155,7 +168,12 @@ fn ud_enforces_mtu_limit_and_qp_types() {
         .is_err());
     // RC verbs on a UD QP: rejected.
     assert!(f
-        .post_send(n0, pub_ep.qp, datagram(1, pub_ep.lkey, pub_ep.buf_gpa, 100), SimTime::ZERO)
+        .post_send(
+            n0,
+            pub_ep.qp,
+            datagram(1, pub_ep.lkey, pub_ep.buf_gpa, 100),
+            SimTime::ZERO
+        )
         .is_err());
     // UD QPs cannot be connected.
     assert!(f.connect(n0, pub_ep.qp, n1, sub_ep.qp).is_err());
@@ -175,7 +193,12 @@ fn multicast_fans_out_with_one_egress_serialization() {
         f.post_recv(
             ep.node,
             ep.qp,
-            RecvRequest { wr_id: 9, lkey: ep.lkey, gpa: ep.buf_gpa, len: 1024 },
+            RecvRequest {
+                wr_id: 9,
+                lkey: ep.lkey,
+                gpa: ep.buf_gpa,
+                len: 1024,
+            },
         )
         .unwrap();
     }
@@ -220,8 +243,17 @@ fn mcast_member_without_recv_drops_without_affecting_others() {
     f.join_mcast(group, n_a, a.qp).unwrap();
     f.join_mcast(group, n_b, b.qp).unwrap();
     // Only a posts a receive.
-    f.post_recv(n_a, a.qp, RecvRequest { wr_id: 1, lkey: a.lkey, gpa: a.buf_gpa, len: 1024 })
-        .unwrap();
+    f.post_recv(
+        n_a,
+        a.qp,
+        RecvRequest {
+            wr_id: 1,
+            lkey: a.lkey,
+            gpa: a.buf_gpa,
+            len: 1024,
+        },
+    )
+    .unwrap();
     f.post_send_mcast(
         n_pub,
         pub_ep.qp,

@@ -74,12 +74,16 @@ impl PricingTask {
             base + ((h >> shift) & 0xFFFF) as f64 / 65535.0 * range
         };
         OptionSpec {
-            kind: if h & 1 == 0 { OptionKind::Call } else { OptionKind::Put },
+            kind: if h & 1 == 0 {
+                OptionKind::Call
+            } else {
+                OptionKind::Put
+            },
             spot: 100.0,
-            strike: pick(8, 60.0, 70.0),    // 70–130
-            rate: pick(24, 0.06, 0.01),     // 1–7%
-            sigma: pick(40, 0.55, 0.10),    // 10–65%
-            expiry: pick(16, 1.9, 0.1),     // 0.1–2 years
+            strike: pick(8, 60.0, 70.0), // 70–130
+            rate: pick(24, 0.06, 0.01),  // 1–7%
+            sigma: pick(40, 0.55, 0.10), // 10–65%
+            expiry: pick(16, 1.9, 0.1),  // 0.1–2 years
         }
     }
 
@@ -143,7 +147,11 @@ mod tests {
 
     #[test]
     fn execution_is_deterministic() {
-        let t = PricingTask { kind: TaskKind::Risk, n_options: 50, seed: 7 };
+        let t = PricingTask {
+            kind: TaskKind::Risk,
+            n_options: 50,
+            seed: 7,
+        };
         let a = t.execute();
         let b = t.execute();
         assert_eq!(a, b);
@@ -152,22 +160,48 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = PricingTask { kind: TaskKind::Quote, n_options: 10, seed: 1 }.execute();
-        let b = PricingTask { kind: TaskKind::Quote, n_options: 10, seed: 2 }.execute();
+        let a = PricingTask {
+            kind: TaskKind::Quote,
+            n_options: 10,
+            seed: 1,
+        }
+        .execute();
+        let b = PricingTask {
+            kind: TaskKind::Quote,
+            n_options: 10,
+            seed: 2,
+        }
+        .execute();
         assert_ne!(a.value_sum, b.value_sum);
     }
 
     #[test]
     fn work_scales_with_batch_size() {
-        let small = PricingTask { kind: TaskKind::Quote, n_options: 10, seed: 0 };
-        let large = PricingTask { kind: TaskKind::Quote, n_options: 100, seed: 0 };
+        let small = PricingTask {
+            kind: TaskKind::Quote,
+            n_options: 10,
+            seed: 0,
+        };
+        let large = PricingTask {
+            kind: TaskKind::Quote,
+            n_options: 100,
+            seed: 0,
+        };
         assert_eq!(large.execute().work_units, 10 * small.execute().work_units);
     }
 
     #[test]
     fn reprice_is_heavier_than_quote() {
-        let quote = PricingTask { kind: TaskKind::Quote, n_options: 10, seed: 0 };
-        let heavy = PricingTask { kind: TaskKind::Reprice { steps: 64 }, n_options: 10, seed: 0 };
+        let quote = PricingTask {
+            kind: TaskKind::Quote,
+            n_options: 10,
+            seed: 0,
+        };
+        let heavy = PricingTask {
+            kind: TaskKind::Reprice { steps: 64 },
+            n_options: 10,
+            seed: 0,
+        };
         assert!(heavy.execute().work_units > 100 * quote.execute().work_units);
     }
 
@@ -180,14 +214,22 @@ mod tests {
             TaskKind::ImpliedVol,
             TaskKind::MonteCarlo { paths: 250 },
         ] {
-            let t = PricingTask { kind, n_options: 17, seed: 3 };
+            let t = PricingTask {
+                kind,
+                n_options: 17,
+                seed: 3,
+            };
             assert_eq!(t.work_estimate(), t.execute().work_units);
         }
     }
 
     #[test]
     fn generated_options_are_valid() {
-        let t = PricingTask { kind: TaskKind::Quote, n_options: 200, seed: 99 };
+        let t = PricingTask {
+            kind: TaskKind::Quote,
+            n_options: 200,
+            seed: 99,
+        };
         for i in 0..t.n_options {
             t.option(i).validate().unwrap();
         }
@@ -195,7 +237,11 @@ mod tests {
 
     #[test]
     fn implied_vol_task_runs() {
-        let t = PricingTask { kind: TaskKind::ImpliedVol, n_options: 5, seed: 11 };
+        let t = PricingTask {
+            kind: TaskKind::ImpliedVol,
+            n_options: 5,
+            seed: 11,
+        };
         let r = t.execute();
         // Implied vols land in the generator's sigma range.
         assert!(r.value_sum > 0.0 && r.value_sum < 5.0 * 0.7);

@@ -113,9 +113,15 @@ mod tests {
 
     #[test]
     fn american_value_at_least_intrinsic() {
-        let spec = OptionSpec { strike: 130.0, ..atm_call().flipped() };
+        let spec = OptionSpec {
+            strike: 130.0,
+            ..atm_call().flipped()
+        };
         let am = crr_price(&spec, 128, Exercise::American);
-        assert!(am >= 30.0 - 1e-9, "deep ITM put is worth at least intrinsic");
+        assert!(
+            am >= 30.0 - 1e-9,
+            "deep ITM put is worth at least intrinsic"
+        );
     }
 
     #[test]

@@ -155,7 +155,10 @@ mod tests {
     #[test]
     fn put_call_parity() {
         for strike in [60.0, 80.0, 100.0, 120.0, 150.0] {
-            let call = OptionSpec { strike, ..atm_call() };
+            let call = OptionSpec {
+                strike,
+                ..atm_call()
+            };
             let put = call.flipped();
             let lhs = call.price() - put.price();
             let rhs = call.spot - strike * (-call.rate * call.expiry).exp();
@@ -165,14 +168,20 @@ mod tests {
 
     #[test]
     fn deep_itm_call_approaches_forward_value() {
-        let spec = OptionSpec { strike: 1.0, ..atm_call() };
+        let spec = OptionSpec {
+            strike: 1.0,
+            ..atm_call()
+        };
         let intrinsic = spec.spot - spec.strike * (-spec.rate * spec.expiry).exp();
         assert!((spec.price() - intrinsic).abs() < 1e-6);
     }
 
     #[test]
     fn deep_otm_call_is_nearly_worthless() {
-        let spec = OptionSpec { strike: 100_000.0, ..atm_call() };
+        let spec = OptionSpec {
+            strike: 100_000.0,
+            ..atm_call()
+        };
         assert!(spec.price() < 1e-8);
     }
 
@@ -180,7 +189,11 @@ mod tests {
     fn price_increases_with_vol() {
         let mut prev = 0.0;
         for sigma in [0.05, 0.1, 0.2, 0.4, 0.8] {
-            let p = OptionSpec { sigma, ..atm_call() }.price();
+            let p = OptionSpec {
+                sigma,
+                ..atm_call()
+            }
+            .price();
             assert!(p > prev, "vega positive: σ={sigma}");
             prev = p;
         }
@@ -209,8 +222,16 @@ mod tests {
     fn delta_matches_finite_difference() {
         let spec = atm_call();
         let h = 1e-4;
-        let up = OptionSpec { spot: spec.spot + h, ..spec }.price();
-        let dn = OptionSpec { spot: spec.spot - h, ..spec }.price();
+        let up = OptionSpec {
+            spot: spec.spot + h,
+            ..spec
+        }
+        .price();
+        let dn = OptionSpec {
+            spot: spec.spot - h,
+            ..spec
+        }
+        .price();
         let fd = (up - dn) / (2.0 * h);
         assert!((spec.greeks().delta - fd).abs() < 1e-5);
     }
@@ -219,19 +240,36 @@ mod tests {
     fn vega_matches_finite_difference() {
         let spec = atm_call();
         let h = 1e-5;
-        let up = OptionSpec { sigma: spec.sigma + h, ..spec }.price();
-        let dn = OptionSpec { sigma: spec.sigma - h, ..spec }.price();
+        let up = OptionSpec {
+            sigma: spec.sigma + h,
+            ..spec
+        }
+        .price();
+        let dn = OptionSpec {
+            sigma: spec.sigma - h,
+            ..spec
+        }
+        .price();
         let fd = (up - dn) / (2.0 * h);
         assert!((spec.greeks().vega - fd).abs() < 1e-3);
     }
 
     #[test]
     fn validation_rejects_nonsense() {
-        let bad = OptionSpec { spot: -1.0, ..atm_call() };
+        let bad = OptionSpec {
+            spot: -1.0,
+            ..atm_call()
+        };
         assert!(bad.validate().is_err());
-        let bad = OptionSpec { sigma: 0.0, ..atm_call() };
+        let bad = OptionSpec {
+            sigma: 0.0,
+            ..atm_call()
+        };
         assert!(bad.validate().is_err());
-        let bad = OptionSpec { expiry: f64::NAN, ..atm_call() };
+        let bad = OptionSpec {
+            expiry: f64::NAN,
+            ..atm_call()
+        };
         assert!(bad.validate().is_err());
         assert!(atm_call().validate().is_ok());
     }

@@ -38,10 +38,11 @@ impl std::error::Error for ImpliedVolError {}
 /// Solves for the volatility that reprices `spec` (whose `sigma` field is
 /// ignored) to `target_price`, to within `1e-8` in price.
 pub fn implied_vol(spec: &OptionSpec, target_price: f64) -> Result<f64, ImpliedVolError> {
-    let probe = OptionSpec { sigma: 1.0, ..*spec };
-    probe
-        .validate()
-        .map_err(ImpliedVolError::BadInputs)?;
+    let probe = OptionSpec {
+        sigma: 1.0,
+        ..*spec
+    };
+    probe.validate().map_err(ImpliedVolError::BadInputs)?;
     let df = (-spec.rate * spec.expiry).exp();
     let (lo_bound, hi_bound) = match spec.kind {
         OptionKind::Call => ((spec.spot - spec.strike * df).max(0.0), spec.spot),
@@ -107,7 +108,10 @@ mod tests {
     #[test]
     fn recovers_known_vol_call() {
         for true_vol in [0.05, 0.12, 0.2, 0.45, 0.9] {
-            let s = OptionSpec { sigma: true_vol, ..spec(OptionKind::Call, 105.0) };
+            let s = OptionSpec {
+                sigma: true_vol,
+                ..spec(OptionKind::Call, 105.0)
+            };
             let price = s.price();
             let iv = implied_vol(&s, price).unwrap();
             assert!((iv - true_vol).abs() < 1e-6, "true={true_vol} got={iv}");
@@ -117,7 +121,10 @@ mod tests {
     #[test]
     fn recovers_known_vol_put() {
         for true_vol in [0.1, 0.3, 0.6] {
-            let s = OptionSpec { sigma: true_vol, ..spec(OptionKind::Put, 92.0) };
+            let s = OptionSpec {
+                sigma: true_vol,
+                ..spec(OptionKind::Put, 92.0)
+            };
             let iv = implied_vol(&s, s.price()).unwrap();
             assert!((iv - true_vol).abs() < 1e-6);
         }
@@ -126,7 +133,10 @@ mod tests {
     #[test]
     fn deep_otm_converges() {
         // Tiny vega regime exercises the bisection fallback.
-        let s = OptionSpec { sigma: 0.25, ..spec(OptionKind::Call, 250.0) };
+        let s = OptionSpec {
+            sigma: 0.25,
+            ..spec(OptionKind::Call, 250.0)
+        };
         let iv = implied_vol(&s, s.price()).unwrap();
         assert!((iv - 0.25).abs() < 1e-4);
     }
@@ -148,7 +158,13 @@ mod tests {
 
     #[test]
     fn bad_inputs_are_rejected() {
-        let s = OptionSpec { spot: -5.0, ..spec(OptionKind::Call, 100.0) };
-        assert!(matches!(implied_vol(&s, 1.0), Err(ImpliedVolError::BadInputs(_))));
+        let s = OptionSpec {
+            spot: -5.0,
+            ..spec(OptionKind::Call, 100.0)
+        };
+        assert!(matches!(
+            implied_vol(&s, 1.0),
+            Err(ImpliedVolError::BadInputs(_))
+        ));
     }
 }

@@ -129,7 +129,10 @@ mod tests {
     fn deterministic_per_seed() {
         let spec = atm_call();
         assert_eq!(mc_price(&spec, 1000, 1), mc_price(&spec, 1000, 1));
-        assert_ne!(mc_price(&spec, 1000, 1).price, mc_price(&spec, 1000, 2).price);
+        assert_ne!(
+            mc_price(&spec, 1000, 1).price,
+            mc_price(&spec, 1000, 2).price
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ mod tests {
             (3.0, 0.9999779095),
         ];
         for (x, want) in cases {
-            assert!((erf(x) - want).abs() < 2e-7, "erf({x})={} want {want}", erf(x));
+            assert!(
+                (erf(x) - want).abs() < 2e-7,
+                "erf({x})={} want {want}",
+                erf(x)
+            );
             assert!((erf(-x) + want).abs() < 2e-7, "odd symmetry at {x}");
         }
     }
@@ -73,7 +77,11 @@ mod tests {
             (-2.575, 0.0050120043),
         ];
         for (x, want) in cases {
-            assert!((cdf(x) - want).abs() < 2e-7, "cdf({x})={} want {want}", cdf(x));
+            assert!(
+                (cdf(x) - want).abs() < 2e-7,
+                "cdf({x})={} want {want}",
+                cdf(x)
+            );
         }
     }
 

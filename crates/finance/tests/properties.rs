@@ -6,11 +6,11 @@ use resex_finance::{crr_price, implied_vol, Exercise, OptionKind, OptionSpec};
 fn arb_spec() -> impl Strategy<Value = OptionSpec> {
     (
         prop_oneof![Just(OptionKind::Call), Just(OptionKind::Put)],
-        10.0f64..500.0,   // spot
-        10.0f64..500.0,   // strike
-        -0.02f64..0.12,   // rate
-        0.05f64..1.2,     // sigma
-        0.05f64..3.0,     // expiry
+        10.0f64..500.0, // spot
+        10.0f64..500.0, // strike
+        -0.02f64..0.12, // rate
+        0.05f64..1.2,   // sigma
+        0.05f64..3.0,   // expiry
     )
         .prop_map(|(kind, spot, strike, rate, sigma, expiry)| OptionSpec {
             kind,

@@ -75,7 +75,10 @@ mod tests {
     fn display_works() {
         let e = HvError::NotPrivileged(DomainId::new(3));
         assert!(format!("{e}").contains("privileged"));
-        let e = HvError::BadParameter { what: "cap", value: 150 };
+        let e = HvError::BadParameter {
+            what: "cap",
+            value: 150,
+        };
         assert!(format!("{e}").contains("cap"));
     }
 }

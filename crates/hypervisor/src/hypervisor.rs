@@ -15,6 +15,7 @@ use crate::domain::{Domain, DomainId};
 use crate::error::HvError;
 use crate::sched::{fair_shares, fluid_finish, slice_finish, slice_progress, SchedModel, ShareReq};
 use crate::vcpu::{Job, PcpuId, Vcpu, VcpuId, VcpuMode};
+use resex_obs::{subsystem, Scope, Tracer};
 use resex_simcore::time::{SimDuration, SimTime};
 use resex_simmem::MemoryHandle;
 
@@ -54,6 +55,7 @@ pub struct Hypervisor {
     domains: Vec<Domain>,
     vcpus: Vec<Vcpu>,
     n_pcpus: u32,
+    tracer: Tracer,
 }
 
 impl Hypervisor {
@@ -64,7 +66,14 @@ impl Hypervisor {
             domains: Vec::new(),
             vcpus: Vec::new(),
             n_pcpus: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs an observability tracer. Scheduling is unaffected; the
+    /// hypervisor only *emits* through it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The active scheduling model.
@@ -132,7 +141,12 @@ impl Hypervisor {
     ///
     /// The slice-granular model supports at most one VCPU per PCPU (the
     /// paper's configuration — "each guest domain is assigned a VCPU each").
-    pub fn add_vcpu(&mut self, dom: DomainId, pcpu: PcpuId, now: SimTime) -> Result<VcpuId, HvError> {
+    pub fn add_vcpu(
+        &mut self,
+        dom: DomainId,
+        pcpu: PcpuId,
+        now: SimTime,
+    ) -> Result<VcpuId, HvError> {
         self.dom(dom)?;
         if pcpu.raw() >= self.n_pcpus {
             return Err(HvError::UnknownPcpu(pcpu));
@@ -163,12 +177,7 @@ impl Hypervisor {
     /// a 2-VCPU domain runs each VCPU at 75 %). The budget is split evenly
     /// across the domain's runnable VCPUs.
     pub fn set_cap(&mut self, dom: DomainId, cap_pct: u32, now: SimTime) -> Result<(), HvError> {
-        let vcpus = self
-            .vcpus
-            .iter()
-            .filter(|v| v.dom == dom)
-            .count()
-            .max(1) as u32;
+        let vcpus = self.vcpus.iter().filter(|v| v.dom == dom).count().max(1) as u32;
         if cap_pct > 100 * vcpus {
             return Err(HvError::BadParameter {
                 what: "cap_pct",
@@ -176,8 +185,25 @@ impl Hypervisor {
             });
         }
         self.accrue_all(now);
+        let old_cap = self.dom(dom)?.cap_pct;
         self.dom_mut(dom)?.cap_pct = cap_pct;
         self.reschedule(now);
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                now,
+                subsystem::HV_SCHED,
+                "set_cap",
+                Scope::Domain(dom.raw()),
+                vec![("cap_pct", cap_pct.into()), ("old_cap_pct", old_cap.into())],
+            );
+            self.tracer.counter(
+                now,
+                subsystem::HV_SCHED,
+                "cap_pct",
+                Scope::Domain(dom.raw()),
+                cap_pct as f64,
+            );
+        }
         Ok(())
     }
 
@@ -227,7 +253,20 @@ impl Hypervisor {
             tag,
             remaining: cpu_time,
         });
+        let dom = v.dom;
         self.reschedule(now);
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                now,
+                subsystem::HV_SCHED,
+                "job_start",
+                Scope::Domain(dom.raw()),
+                vec![
+                    ("cpu_time_ns", cpu_time.as_nanos().into()),
+                    ("tag", tag.into()),
+                ],
+            );
+        }
         Ok(())
     }
 
@@ -305,6 +344,23 @@ impl Hypervisor {
             // VCPU keeps burning CPU polling (matching BenchEx servers).
             v.mode = VcpuMode::Polling;
             let dom = v.dom;
+            if self.tracer.enabled() {
+                let burned = self.vcpus[vid.index()].accrued_ns;
+                self.tracer.instant(
+                    t,
+                    subsystem::HV_SCHED,
+                    "job_done",
+                    Scope::Domain(dom.raw()),
+                    vec![("tag", tag.into())],
+                );
+                self.tracer.counter(
+                    t,
+                    subsystem::HV_SCHED,
+                    "credit_burn_ns",
+                    Scope::Domain(dom.raw()),
+                    burned,
+                );
+            }
             out.push((
                 t,
                 HvEvent::JobDone {
@@ -389,7 +445,7 @@ impl Hypervisor {
     }
 
     /// Recomputes fluid service rates after any runnable-set or knob change.
-    fn reschedule(&mut self, _now: SimTime) {
+    fn reschedule(&mut self, now: SimTime) {
         if !matches!(self.model, SchedModel::Fluid) {
             return;
         }
@@ -414,7 +470,19 @@ impl Hypervisor {
                 .collect();
             let rates = fair_shares(&reqs);
             for (&i, &r) in idx.iter().zip(rates.iter()) {
+                let changed = self.vcpus[i].rate != r;
                 self.vcpus[i].rate = r;
+                // A rate drop while runnable is the fluid model's analogue
+                // of a preemption: the scheduler took capacity away.
+                if changed && self.tracer.enabled() {
+                    self.tracer.counter(
+                        now,
+                        subsystem::HV_SCHED,
+                        "cpu_rate",
+                        Scope::Domain(self.vcpus[i].dom.raw()),
+                        r,
+                    );
+                }
             }
             // Non-runnable VCPUs have no rate.
             for v in self.vcpus.iter_mut() {
@@ -450,7 +518,17 @@ mod tests {
             .unwrap();
         assert_eq!(hv.next_time(), Some(ms(5)));
         let ev = hv.advance(ms(5));
-        assert_eq!(ev, vec![(ms(5), HvEvent::JobDone { dom, vcpu: v, tag: 42 })]);
+        assert_eq!(
+            ev,
+            vec![(
+                ms(5),
+                HvEvent::JobDone {
+                    dom,
+                    vcpu: v,
+                    tag: 42
+                }
+            )]
+        );
         assert_eq!(hv.mode(v).unwrap(), VcpuMode::Polling);
     }
 
@@ -642,9 +720,20 @@ mod tests {
             .unwrap();
         let ev = hv.advance(ms(2));
         assert_eq!(ev.len(), 1);
-        hv.start_job(v, SimDuration::from_millis(3), 2, ms(2)).unwrap();
+        hv.start_job(v, SimDuration::from_millis(3), 2, ms(2))
+            .unwrap();
         let ev = hv.advance(ms(5));
-        assert_eq!(ev, vec![(ms(5), HvEvent::JobDone { dom, vcpu: v, tag: 2 })]);
+        assert_eq!(
+            ev,
+            vec![(
+                ms(5),
+                HvEvent::JobDone {
+                    dom,
+                    vcpu: v,
+                    tag: 2
+                }
+            )]
+        );
         // Total CPU: 2 + 3 ms of busy work.
         assert_eq!(
             hv.cpu_time_used(dom, ms(5)).unwrap(),

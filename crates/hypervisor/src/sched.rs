@@ -18,8 +18,7 @@ use resex_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Which service model the hypervisor uses.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize, Default)]
 pub enum SchedModel {
     /// Continuous fair-share progress (default).
     #[default]
@@ -30,7 +29,6 @@ pub enum SchedModel {
         period: SimDuration,
     },
 }
-
 
 /// Input to the share computation: one runnable VCPU.
 #[derive(Clone, Copy, Debug)]
@@ -108,12 +106,7 @@ pub fn slice_progress(from: SimTime, to: SimTime, c: f64, period: SimDuration) -
 
 /// Earliest time at which a slice-scheduled VCPU that starts needing
 /// `cpu_need` of CPU at `start` will have received it.
-pub fn slice_finish(
-    start: SimTime,
-    cpu_need: SimDuration,
-    c: f64,
-    period: SimDuration,
-) -> SimTime {
+pub fn slice_finish(start: SimTime, cpu_need: SimDuration, c: f64, period: SimDuration) -> SimTime {
     assert!(c > 0.0, "slice_finish with a zero rate never completes");
     if cpu_need.is_zero() {
         return start;

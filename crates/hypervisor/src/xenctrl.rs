@@ -97,13 +97,15 @@ mod tests {
     #[test]
     fn privileged_cap_path() {
         let (mut hv, dom0, domu) = setup();
-        hv.privileged_set_cap(dom0, domu, 25, SimTime::ZERO).unwrap();
+        hv.privileged_set_cap(dom0, domu, 25, SimTime::ZERO)
+            .unwrap();
         assert_eq!(hv.cap(domu).unwrap(), 25);
         assert!(matches!(
             hv.privileged_set_cap(domu, domu, 50, SimTime::ZERO),
             Err(HvError::NotPrivileged(_))
         ));
-        hv.privileged_set_weight(dom0, domu, 512, SimTime::ZERO).unwrap();
+        hv.privileged_set_weight(dom0, domu, 512, SimTime::ZERO)
+            .unwrap();
         assert_eq!(hv.weight(domu).unwrap(), 512);
     }
 }

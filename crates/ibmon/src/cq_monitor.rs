@@ -185,8 +185,7 @@ mod tests {
             .alloc_bytes((capacity as usize * CQE_SIZE) as u64)
             .unwrap();
         let cq = CompletionQueue::new(CqNum::new(0), mem.clone(), gpa, capacity).unwrap();
-        let mapping =
-            ForeignMapping::map(&mem, gpa, capacity as usize * CQE_SIZE).unwrap();
+        let mapping = ForeignMapping::map(&mem, gpa, capacity as usize * CQE_SIZE).unwrap();
         let mon = CqMonitor::new(mapping, capacity, 1024).unwrap();
         (mem, cq, mon)
     }

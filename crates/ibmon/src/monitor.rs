@@ -12,8 +12,8 @@ use resex_hypervisor::{DomainId, Hypervisor};
 use resex_simcore::stats::Ewma;
 use resex_simcore::time::{SimDuration, SimTime};
 use resex_simcore::WindowedRate;
-use resex_simmem::MemError;
 use resex_simmem::Gpa;
+use resex_simmem::MemError;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -157,7 +157,7 @@ impl IbMon {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use resex_fabric::{CompletionQueue, Cqe, CqNum, Opcode, QpNum, WcStatus, CQE_SIZE};
+    use resex_fabric::{CompletionQueue, CqNum, Cqe, Opcode, QpNum, WcStatus, CQE_SIZE};
     use resex_hypervisor::SchedModel;
 
     fn t(n: u64) -> SimTime {
@@ -289,7 +289,7 @@ mod tests {
 #[cfg(test)]
 mod multi_ring_tests {
     use super::*;
-    use resex_fabric::{CompletionQueue, Cqe, CqNum, Opcode, QpNum, WcStatus, CQE_SIZE};
+    use resex_fabric::{CompletionQueue, CqNum, Cqe, Opcode, QpNum, WcStatus, CQE_SIZE};
     use resex_hypervisor::SchedModel;
 
     /// A VM with two monitored rings (e.g. two QPs' send CQs): samples

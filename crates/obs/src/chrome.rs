@@ -1,0 +1,182 @@
+//! Chrome trace-event JSON export.
+//!
+//! Produces the "JSON array format" understood by Perfetto and
+//! `chrome://tracing`: one "process" per VM (pid = VM index + 1, pid 0 is
+//! the global/host scope) and one "thread" per subsystem (tid = index in
+//! [`crate::subsystem::ALL`]). Timestamps are microseconds with
+//! nanosecond precision rendered as a fixed `"{us}.{ns:03}"` string, so
+//! exports are byte-deterministic.
+
+use crate::trace::{ArgValue, EntityMap, EventKind, Scope, TraceEvent};
+use serde_json::{Map, Value};
+
+/// pid for events with no owning VM (the link, the manager, dom0).
+const GLOBAL_PID: u64 = 0;
+
+fn pid_of(entities: &EntityMap, scope: Scope) -> u64 {
+    match entities.vm_of(scope) {
+        Some(vm) => vm as u64 + 1,
+        None => GLOBAL_PID,
+    }
+}
+
+fn tid_of(subsystem: &str) -> u64 {
+    crate::subsystem::ALL
+        .iter()
+        .position(|s| *s == subsystem)
+        .unwrap_or(crate::subsystem::ALL.len()) as u64
+}
+
+/// Nanoseconds rendered as a decimal-microsecond trace timestamp.
+fn ts_string(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn arg_to_value(arg: &ArgValue) -> Value {
+    match arg {
+        ArgValue::U64(v) => Value::U64(*v),
+        ArgValue::I64(v) => Value::I64(*v),
+        ArgValue::F64(v) => Value::F64(*v),
+        ArgValue::Bool(v) => Value::Bool(*v),
+        ArgValue::Str(v) => Value::String(v.clone()),
+    }
+}
+
+fn meta_event(name: &str, pid: u64, tid: Option<u64>, label: &str) -> Value {
+    let mut ev = Map::new();
+    ev.insert("ph".into(), Value::String("M".into()));
+    ev.insert("name".into(), Value::String(name.into()));
+    ev.insert("ts".into(), Value::String(ts_string(0)));
+    ev.insert("pid".into(), Value::U64(pid));
+    // tid is semantically meaningless for process_name but strict
+    // consumers expect every record to carry one.
+    ev.insert("tid".into(), Value::U64(tid.unwrap_or(0)));
+    let mut args = Map::new();
+    args.insert("name".into(), Value::String(label.into()));
+    ev.insert("args".into(), Value::Object(args));
+    Value::Object(ev)
+}
+
+/// Renders trace events as a Chrome trace-event JSON array string.
+///
+/// Metadata (`process_name` / `thread_name`) events come first, ordered
+/// by pid then tid; data events follow in emission order. The result is
+/// loadable directly in [Perfetto](https://ui.perfetto.dev) or
+/// `chrome://tracing`.
+pub fn export_chrome_trace(events: &[TraceEvent], entities: &EntityMap) -> String {
+    let mut out: Vec<Value> = Vec::new();
+
+    // Which (pid, tid) pairs actually carry events, so we only name
+    // processes/threads that exist in the trace.
+    let mut pids = std::collections::BTreeSet::new();
+    let mut pid_tids = std::collections::BTreeSet::new();
+    for ev in events {
+        let pid = pid_of(entities, ev.scope);
+        pids.insert(pid);
+        pid_tids.insert((pid, tid_of(ev.subsystem), ev.subsystem));
+    }
+
+    for pid in &pids {
+        let label = if *pid == GLOBAL_PID {
+            "host".to_string()
+        } else {
+            let vm = (*pid - 1) as u32;
+            entities
+                .vm_labels
+                .get(&vm)
+                .cloned()
+                .unwrap_or_else(|| format!("vm{vm}"))
+        };
+        out.push(meta_event("process_name", *pid, None, &label));
+    }
+    for (pid, tid, subsystem) in &pid_tids {
+        out.push(meta_event("thread_name", *pid, Some(*tid), subsystem));
+    }
+
+    for ev in events {
+        let mut obj = Map::new();
+        let (ph, dur) = match ev.kind {
+            EventKind::Instant => ("i", None),
+            EventKind::Complete(d) => ("X", Some(d)),
+            EventKind::Counter(_) => ("C", None),
+        };
+        obj.insert("ph".into(), Value::String(ph.into()));
+        obj.insert("name".into(), Value::String(ev.name.into()));
+        obj.insert("cat".into(), Value::String(ev.subsystem.into()));
+        obj.insert("ts".into(), Value::String(ts_string(ev.ts.as_nanos())));
+        if let Some(d) = dur {
+            obj.insert("dur".into(), Value::String(ts_string(d.as_nanos())));
+        }
+        obj.insert("pid".into(), Value::U64(pid_of(entities, ev.scope)));
+        obj.insert("tid".into(), Value::U64(tid_of(ev.subsystem)));
+        if ph == "i" {
+            // Instant scope: thread-local keeps the marker on its row.
+            obj.insert("s".into(), Value::String("t".into()));
+        }
+        let mut args = Map::new();
+        if let EventKind::Counter(v) = ev.kind {
+            args.insert("value".into(), Value::F64(v));
+        }
+        for (k, v) in &ev.args {
+            args.insert((*k).into(), arg_to_value(v));
+        }
+        if !args.is_empty() {
+            obj.insert("args".into(), Value::Object(args));
+        }
+        out.push(Value::Object(obj));
+    }
+
+    serde_json::to_string(&Value::Array(out)).expect("trace export cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subsystem;
+    use crate::trace::Tracer;
+    use resex_simcore::time::{SimDuration, SimTime};
+
+    #[test]
+    fn exports_metadata_and_events() {
+        let tracer = Tracer::memory();
+        tracer.set_vm_label(0, "victim");
+        tracer.map_qp_to_vm(7, 0);
+        tracer.instant(
+            SimTime::from_micros(3),
+            subsystem::FABRIC_LINK,
+            "throttle",
+            Scope::Qp(7),
+            vec![("bytes", 4096u64.into())],
+        );
+        tracer.complete(
+            SimTime::from_micros(5),
+            SimDuration::from_nanos(1500),
+            subsystem::HV_SCHED,
+            "slice",
+            Scope::Vm(0),
+            vec![],
+        );
+        let (events, entities) = tracer.take_events();
+        let json = export_chrome_trace(&events, &entities);
+        let parsed: Value = serde_json::from_str(&json).unwrap();
+        let arr = parsed.as_array().unwrap();
+        // 1 process_name + 2 thread_name + 2 data events.
+        assert_eq!(arr.len(), 5);
+        assert_eq!(arr[0]["name"].as_str(), Some("process_name"));
+        assert_eq!(arr[0]["args"]["name"].as_str(), Some("victim"));
+        let throttle = &arr[3];
+        assert_eq!(throttle["ph"].as_str(), Some("i"));
+        assert_eq!(throttle["ts"].as_str(), Some("3.000"));
+        assert_eq!(throttle["pid"].as_u64(), Some(1));
+        let slice = &arr[4];
+        assert_eq!(slice["ph"].as_str(), Some("X"));
+        assert_eq!(slice["dur"].as_str(), Some("1.500"));
+    }
+
+    #[test]
+    fn ts_string_keeps_nanosecond_precision() {
+        assert_eq!(ts_string(0), "0.000");
+        assert_eq!(ts_string(999), "0.999");
+        assert_eq!(ts_string(1_234_567), "1234.567");
+    }
+}

@@ -1,0 +1,181 @@
+//! A small metrics registry over `resex-simcore`'s statistics types.
+//!
+//! Keys are `(subsystem, entity, name)` triples stored in ordered maps, so
+//! snapshots iterate deterministically. Counters are monotonic u64s,
+//! gauges are last-write f64s, distributions pair an [`OnlineStats`] with
+//! a log-linear [`Histogram`], and rates ride on [`WindowedRate`].
+
+use resex_simcore::stats::{Histogram, OnlineStats};
+use resex_simcore::time::SimTime;
+use resex_simcore::WindowedRate;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// A metric key: subsystem, entity label (e.g. `vm0`, `global`), name.
+pub type MetricKey = (String, String, String);
+
+fn key(subsystem: &str, entity: &str, name: &str) -> MetricKey {
+    (subsystem.to_string(), entity.to_string(), name.to_string())
+}
+
+/// What kind of metric a sample came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Last-value gauge.
+    Gauge,
+    /// Distribution (mean/min/max plus quantiles).
+    Distribution,
+    /// Trailing-window rate, per second.
+    Rate,
+}
+
+/// One exported metric value at snapshot time.
+#[derive(Clone, Debug, Serialize)]
+pub struct MetricSample {
+    /// Subsystem the metric belongs to.
+    pub subsystem: String,
+    /// Entity label (`vm3`, `qp7`, `global`, ...).
+    pub entity: String,
+    /// Metric name.
+    pub name: String,
+    /// Metric kind.
+    pub kind: MetricKind,
+    /// Scalar value: counter total, gauge value, distribution mean, or
+    /// rate per second.
+    pub value: f64,
+    /// Sample count (distributions only).
+    pub count: u64,
+    /// p50 (distributions only, else 0).
+    pub p50: u64,
+    /// p99 (distributions only, else 0).
+    pub p99: u64,
+    /// Maximum (distributions only, else 0).
+    pub max: u64,
+}
+
+/// The registry. One instance per observed run.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    dists: BTreeMap<MetricKey, (OnlineStats, Histogram)>,
+    rates: BTreeMap<MetricKey, WindowedRate>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds to a monotonic counter.
+    pub fn counter_add(&mut self, subsystem: &str, entity: &str, name: &str, delta: u64) {
+        *self
+            .counters
+            .entry(key(subsystem, entity, name))
+            .or_insert(0) += delta;
+    }
+
+    /// Reads a counter (0 if never written).
+    pub fn counter_value(&self, subsystem: &str, entity: &str, name: &str) -> u64 {
+        self.counters
+            .get(&key(subsystem, entity, name))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sets a gauge to its latest value.
+    pub fn gauge_set(&mut self, subsystem: &str, entity: &str, name: &str, value: f64) {
+        self.gauges.insert(key(subsystem, entity, name), value);
+    }
+
+    /// Records a value into a distribution (stats + histogram).
+    pub fn dist_record(&mut self, subsystem: &str, entity: &str, name: &str, value: u64) {
+        let (stats, hist) = self
+            .dists
+            .entry(key(subsystem, entity, name))
+            .or_insert_with(|| (OnlineStats::new(), Histogram::new(32)));
+        stats.push(value as f64);
+        hist.record(value);
+    }
+
+    /// Records an occurrence count into a trailing-window rate.
+    pub fn rate_record(
+        &mut self,
+        subsystem: &str,
+        entity: &str,
+        name: &str,
+        now: SimTime,
+        count: u64,
+    ) {
+        self.rates
+            .entry(key(subsystem, entity, name))
+            .or_insert_with(|| {
+                WindowedRate::new(resex_simcore::time::SimDuration::from_millis(100))
+            })
+            .record(now, count);
+    }
+
+    /// Snapshots every metric in deterministic key order.
+    ///
+    /// Takes `&mut self` because [`WindowedRate::rate_per_sec`] evicts
+    /// expired window entries.
+    pub fn snapshot(&mut self, now: SimTime) -> Vec<MetricSample> {
+        let mut out = Vec::new();
+        for ((s, e, n), v) in &self.counters {
+            out.push(MetricSample {
+                subsystem: s.clone(),
+                entity: e.clone(),
+                name: n.clone(),
+                kind: MetricKind::Counter,
+                value: *v as f64,
+                count: 0,
+                p50: 0,
+                p99: 0,
+                max: 0,
+            });
+        }
+        for ((s, e, n), v) in &self.gauges {
+            out.push(MetricSample {
+                subsystem: s.clone(),
+                entity: e.clone(),
+                name: n.clone(),
+                kind: MetricKind::Gauge,
+                value: *v,
+                count: 0,
+                p50: 0,
+                p99: 0,
+                max: 0,
+            });
+        }
+        for ((s, e, n), (stats, hist)) in &self.dists {
+            out.push(MetricSample {
+                subsystem: s.clone(),
+                entity: e.clone(),
+                name: n.clone(),
+                kind: MetricKind::Distribution,
+                value: if stats.count() > 0 { stats.mean() } else { 0.0 },
+                count: stats.count(),
+                p50: hist.quantile(0.5),
+                p99: hist.quantile(0.99),
+                max: hist.max(),
+            });
+        }
+        for ((s, e, n), rate) in &mut self.rates {
+            out.push(MetricSample {
+                subsystem: s.clone(),
+                entity: e.clone(),
+                name: n.clone(),
+                kind: MetricKind::Rate,
+                value: rate.rate_per_sec(now),
+                count: 0,
+                p50: 0,
+                p99: 0,
+                max: 0,
+            });
+        }
+        out
+    }
+}

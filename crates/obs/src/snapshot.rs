@@ -1,0 +1,102 @@
+//! Per-interval, per-VM metric snapshots and their JSONL rendering.
+//!
+//! One [`IntervalSnapshot`] row is produced per VM per ResEx charging
+//! interval, lining up the whole causal chain in a single record: what
+//! the fabric actually moved (`egress_bytes`, `mtus_fabric`), what IBMon
+//! *estimated* it moved (`mtus_ibmon`, `est_buffer_size`), what the
+//! manager charged and decided (`io_charged`, `reso_balance`, `action`),
+//! and what the scheduler actuated (`cap_pct`, `cpu_percent`).
+
+use serde::Serialize;
+
+/// One JSONL row: the state of one VM at the close of one charging
+/// interval.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct IntervalSnapshot {
+    /// Simulated time of the interval close, nanoseconds.
+    pub t_ns: u64,
+    /// Charging-interval ordinal (0-based).
+    pub interval: u64,
+    /// VM index.
+    pub vm: u32,
+    /// VM display name.
+    pub vm_name: String,
+    /// Remaining Reso balance after this interval's charges.
+    pub reso_balance: f64,
+    /// `reso_balance` as a fraction of the epoch allowance.
+    pub remaining_fraction: f64,
+    /// Congestion price multiplier applied this interval.
+    pub congestion_price: f64,
+    /// CPU cap actuated on the VM's domain, percent (0 = uncapped).
+    pub cap_pct: u32,
+    /// Bytes the fabric egress link moved for this VM this interval.
+    pub egress_bytes: u64,
+    /// Fabric send-queue depth (bytes) at snapshot time.
+    pub queue_depth: u64,
+    /// MTUs actually transferred (fabric ground truth), lifetime.
+    pub mtus_fabric: u64,
+    /// MTUs IBMon estimates were transferred, lifetime.
+    pub mtus_ibmon: u64,
+    /// IBMon's completion-queue buffer-size estimate (an EWMA, so
+    /// fractional).
+    pub est_buffer_size: f64,
+    /// CPU utilisation charged to the VM this interval, percent.
+    pub cpu_percent: f64,
+    /// I/O Resos charged this interval.
+    pub io_charged: f64,
+    /// CPU Resos charged this interval.
+    pub cpu_charged: f64,
+    /// Manager policy name in force.
+    pub policy: String,
+    /// Manager action taken on this VM this interval (e.g. `set_cap:35`,
+    /// `none`).
+    pub action: String,
+}
+
+/// Renders snapshots as JSON Lines: one compact JSON object per row,
+/// `\n`-terminated, in input order. Field order is the struct order, so
+/// output is byte-deterministic.
+pub fn to_jsonl(rows: &[IntervalSnapshot]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&serde_json::to_string(row).expect("snapshot export cannot fail"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let rows = vec![
+            IntervalSnapshot {
+                t_ns: 1_000_000,
+                interval: 0,
+                vm: 0,
+                vm_name: "vm0".into(),
+                reso_balance: 900.5,
+                remaining_fraction: 0.9,
+                ..Default::default()
+            },
+            IntervalSnapshot {
+                t_ns: 2_000_000,
+                interval: 1,
+                vm: 0,
+                vm_name: "vm0".into(),
+                ..Default::default()
+            },
+        ];
+        let jsonl = to_jsonl(&rows);
+        let lines: Vec<&str> = jsonl.trim_end().split('\n').collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v.get("t_ns").is_some());
+            assert!(v.get("reso_balance").is_some());
+        }
+        assert!(lines[0].contains("\"reso_balance\":900.5"));
+    }
+}

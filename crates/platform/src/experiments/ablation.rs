@@ -121,7 +121,10 @@ impl AblationResult {
     /// Prints the table.
     pub fn print(&self) {
         println!("Ablations — sensitivity of the IOShares result to simulator choices");
-        println!("\n  {:<14} {:>10} {:>10} {:>8}", "knob", "value", "mean µs", "std µs");
+        println!(
+            "\n  {:<14} {:>10} {:>10} {:>8}",
+            "knob", "value", "mean µs", "std µs"
+        );
         let mut last_knob = String::new();
         for r in &self.rows {
             if r.knob != last_knob {

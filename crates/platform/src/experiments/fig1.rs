@@ -53,12 +53,23 @@ pub fn run(scale: &Scale) -> Fig1Result {
 
     // The paper bins 150–400 µs.
     let (lo, hi, nbins) = (150_000u64, 400_000u64, 25usize);
-    let normal_bins = base.vm("64KB").unwrap().histogram.linear_bins(lo, hi, nbins);
-    let intf_bins = intf.vm("64KB").unwrap().histogram.linear_bins(lo, hi, nbins);
+    let normal_bins = base
+        .vm("64KB")
+        .unwrap()
+        .histogram
+        .linear_bins(lo, hi, nbins);
+    let intf_bins = intf
+        .vm("64KB")
+        .unwrap()
+        .histogram
+        .linear_bins(lo, hi, nbins);
     let jit_bins = jit.vm("64KB").unwrap().histogram.linear_bins(lo, hi, nbins);
 
     Fig1Result {
-        bin_edges_us: normal_bins.iter().map(|&(e, _)| e as f64 / 1000.0).collect(),
+        bin_edges_us: normal_bins
+            .iter()
+            .map(|&(e, _)| e as f64 / 1000.0)
+            .collect(),
         normal: normal_bins.into_iter().map(|(_, c)| c).collect(),
         interfered: intf_bins.into_iter().map(|(_, c)| c).collect(),
         interfered_jittered: jit_bins.into_iter().map(|(_, c)| c).collect(),

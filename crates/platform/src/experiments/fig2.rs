@@ -37,7 +37,10 @@ pub struct Fig2Result {
 
 fn scenario(n_servers: u32, loaded: bool, scale: &Scale) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::base_case(64 * 1024);
-    cfg.label = format!("fig2-{n_servers}srv-{}", if loaded { "load" } else { "noload" });
+    cfg.label = format!(
+        "fig2-{n_servers}srv-{}",
+        if loaded { "load" } else { "noload" }
+    );
     cfg.vms = (0..n_servers)
         .map(|i| VmSpec::server(format!("64KB-{i}"), 64 * 1024))
         .collect();

@@ -28,7 +28,11 @@ pub struct Fig5Result {
 /// Runs base, interfered, and FreeMarket timeline.
 pub fn run(scale: &Scale) -> Fig5Result {
     let mk = |mut cfg: ScenarioConfig, timeline: bool| {
-        cfg.duration = if timeline { scale.timeline } else { scale.duration };
+        cfg.duration = if timeline {
+            scale.timeline
+        } else {
+            scale.duration
+        };
         cfg.warmup = scale.warmup;
         cfg
     };

@@ -37,10 +37,7 @@ pub fn run(scale: &Scale) -> Fig6Result {
     let w = SimDuration::from_millis(10);
     let vm64 = run.vm("64KB").unwrap();
     let vm2m = run.vm("2MB").unwrap();
-    let min_fraction_2mb = vm2m
-        .reso_trace
-        .values()
-        .fold(f64::INFINITY, f64::min);
+    let min_fraction_2mb = vm2m.reso_trace.values().fold(f64::INFINITY, f64::min);
     let min_cap_2mb = vm2m.cap_trace.values().fold(f64::INFINITY, f64::min);
     Fig6Result {
         resos_64kb: Series::from_trace("Resos 64KB VM", &vm64.reso_trace, w),

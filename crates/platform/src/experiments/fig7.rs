@@ -31,7 +31,11 @@ pub struct Fig7Result {
 /// Runs base, interfered, and the IOShares timeline.
 pub fn run(scale: &Scale) -> Fig7Result {
     let mk = |mut cfg: ScenarioConfig, timeline: bool| {
-        cfg.duration = if timeline { scale.timeline } else { scale.duration };
+        cfg.duration = if timeline {
+            scale.timeline
+        } else {
+            scale.duration
+        };
         cfg.warmup = scale.warmup;
         cfg
     };
@@ -57,9 +61,8 @@ pub fn run(scale: &Scale) -> Fig7Result {
         base_us,
         interfered_us,
         ioshares_us,
-        interference_removed: ((interfered_us - ioshares_us)
-            / (interfered_us - base_us).max(1e-9))
-        .clamp(0.0, 1.0),
+        interference_removed: ((interfered_us - ioshares_us) / (interfered_us - base_us).max(1e-9))
+            .clamp(0.0, 1.0),
         latency_series: Series::from_trace(
             "IOShares latency 64KB VM",
             &ios.vm("64KB").unwrap().latency_trace,
@@ -92,7 +95,14 @@ impl Fig7Result {
             "  2MB VM cap:         {}",
             crate::experiments::sparkline(&self.cap_series.points, 60)
         );
-        let final_cap = self.cap_series.points.last().map(|&(_, c)| c).unwrap_or(100.0);
-        println!("\n  2MB VM converges to cap ≈ {final_cap:.0}% (paper: near the buffer-ratio value)");
+        let final_cap = self
+            .cap_series
+            .points
+            .last()
+            .map(|&(_, c)| c)
+            .unwrap_or(100.0);
+        println!(
+            "\n  2MB VM converges to cap ≈ {final_cap:.0}% (paper: near the buffer-ratio value)"
+        );
     }
 }

@@ -105,7 +105,10 @@ impl Fig8Result {
     /// Prints the figure.
     pub fn print(&self) {
         println!("Figure 8 — non-interference cases (reporting 64KB VM)");
-        println!("\n  {:<22} {:>10} {:>8}", "configuration", "mean µs", "std µs");
+        println!(
+            "\n  {:<22} {:>10} {:>8}",
+            "configuration", "mean µs", "std µs"
+        );
         for r in &self.rows {
             println!("  {:<22} {:>10.1} {:>8.1}", r.config, r.total_us, r.std_us);
         }

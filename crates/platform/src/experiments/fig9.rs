@@ -35,13 +35,7 @@ pub struct Fig9Result {
 
 /// Runs the policy comparison across buffer sizes (in parallel).
 pub fn run(scale: &Scale) -> Fig9Result {
-    let buffers: Vec<u32> = vec![
-        64 * 1024,
-        128 * 1024,
-        256 * 1024,
-        512 * 1024,
-        1024 * 1024,
-    ];
+    let buffers: Vec<u32> = vec![64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024];
     let mut base_cfg = ScenarioConfig::base_case(64 * 1024);
     base_cfg.duration = scale.duration;
     base_cfg.warmup = scale.warmup;

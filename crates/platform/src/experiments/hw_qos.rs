@@ -59,9 +59,15 @@ pub fn run(scale: &Scale) -> HwQosResult {
     let base_us = mean_std(&run_scenario(base), "64KB").0;
 
     let cases: Vec<(String, ScenarioConfig)> = vec![
-        ("unmanaged".into(), shorten(ScenarioConfig::interfered(2 * 1024 * 1024))),
+        (
+            "unmanaged".into(),
+            shorten(ScenarioConfig::interfered(2 * 1024 * 1024)),
+        ),
         ("resex-ioshares".into(), {
-            shorten(ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::IoShares))
+            shorten(ScenarioConfig::managed(
+                2 * 1024 * 1024,
+                PolicyKind::IoShares,
+            ))
         }),
         ("hw-priority".into(), {
             let mut cfg = shorten(ScenarioConfig::interfered(2 * 1024 * 1024));

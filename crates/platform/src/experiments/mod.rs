@@ -127,7 +127,10 @@ pub fn sparkline(points: &[(f64, f64)], width: usize) -> String {
     }
     const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let lo = points.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min);
-    let hi = points.iter().map(|&(_, y)| y).fold(f64::NEG_INFINITY, f64::max);
+    let hi = points
+        .iter()
+        .map(|&(_, y)| y)
+        .fold(f64::NEG_INFINITY, f64::max);
     let span = (hi - lo).max(1e-9);
     let step = (points.len().max(1) as f64 / width as f64).max(1.0);
     let mut out = String::new();

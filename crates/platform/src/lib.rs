@@ -15,5 +15,7 @@ pub mod scenario;
 pub mod world;
 
 pub use metrics::{RunMetrics, SummaryRow, VmMetrics};
-pub use scenario::{fmt_size, PolicyKind, QosSpec, ScenarioConfig, VmSpec, BASE_LATENCY_US};
-pub use world::{run_scenario, World};
+pub use scenario::{
+    fmt_size, ObsOptions, PolicyKind, QosSpec, ScenarioConfig, VmSpec, BASE_LATENCY_US,
+};
+pub use world::{run_scenario, run_scenario_observed, ObservedRun, World};

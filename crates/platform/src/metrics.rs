@@ -129,9 +129,7 @@ pub fn record_latency(metrics: &mut VmMetrics, r: &LatencyRecord, after_warmup: 
         metrics.records.push(*r);
         metrics.histogram.record(r.total().as_nanos());
     }
-    metrics
-        .latency_trace
-        .push(r.at, r.total().as_micros_f64());
+    metrics.latency_trace.push(r.at, r.total().as_micros_f64());
 }
 
 #[cfg(test)]

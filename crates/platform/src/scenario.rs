@@ -113,6 +113,27 @@ impl VmSpec {
     }
 }
 
+/// Observability switches. Both default to off, which costs ~nothing (a
+/// disabled tracer is one branch per would-be event). Turning either on
+/// does not perturb simulated time: the same seed produces the same
+/// results — and the same bytes of trace/metrics output — either way.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsOptions {
+    /// Record structured trace events (exported as Chrome trace JSON).
+    #[serde(default)]
+    pub trace: bool,
+    /// Record per-interval per-VM metric snapshots (exported as JSONL).
+    #[serde(default)]
+    pub metrics: bool,
+}
+
+impl ObsOptions {
+    /// True if any recording is requested.
+    pub fn any(self) -> bool {
+        self.trace || self.metrics
+    }
+}
+
 /// A full experiment description (JSON-serializable; see the `simulate`
 /// binary in `resex-bench` for file-driven runs).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -137,6 +158,9 @@ pub struct ScenarioConfig {
     pub warmup: SimDuration,
     /// Master seed.
     pub seed: u64,
+    /// Observability switches (absent in older scenario files = off).
+    #[serde(default)]
+    pub obs: ObsOptions,
 }
 
 /// The paper's canonical 64 KiB baseline latency, used as the default SLA.
@@ -156,6 +180,7 @@ impl ScenarioConfig {
             duration: SimDuration::from_secs(5),
             warmup: SimDuration::from_millis(200),
             seed: 42,
+            obs: ObsOptions::default(),
         }
     }
 
@@ -164,10 +189,9 @@ impl ScenarioConfig {
     pub fn interfered(intf_buffer: u32) -> Self {
         let mut cfg = ScenarioConfig::base_case(64 * 1024);
         cfg.label = format!("interfered-{}", fmt_size(intf_buffer));
-        cfg.vms[0] = cfg.vms[0]
-            .clone()
-            .with_sla(BASE_LATENCY_US, 2.0);
-        cfg.vms.push(VmSpec::server(fmt_size(intf_buffer), intf_buffer));
+        cfg.vms[0] = cfg.vms[0].clone().with_sla(BASE_LATENCY_US, 2.0);
+        cfg.vms
+            .push(VmSpec::server(fmt_size(intf_buffer), intf_buffer));
         cfg
     }
 
@@ -234,10 +258,14 @@ mod tests {
     #[test]
     fn canonical_scenarios_validate() {
         assert!(ScenarioConfig::base_case(64 * 1024).validate().is_ok());
-        assert!(ScenarioConfig::interfered(2 * 1024 * 1024).validate().is_ok());
-        assert!(ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::IoShares)
+        assert!(ScenarioConfig::interfered(2 * 1024 * 1024)
             .validate()
             .is_ok());
+        assert!(
+            ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::IoShares)
+                .validate()
+                .is_ok()
+        );
     }
 
     #[test]

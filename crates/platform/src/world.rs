@@ -35,6 +35,10 @@ use resex_fabric::{
 };
 use resex_hypervisor::{DomainId, HvEvent, Hypervisor, VcpuId, XenStat};
 use resex_ibmon::{IbMon, IbMonConfig};
+use resex_obs::{
+    export_chrome_trace, subsystem, to_jsonl, IntervalSnapshot, MetricSample, MetricsRegistry,
+    Scope, Tracer,
+};
 use resex_simcore::event::{EventKey, EventQueue};
 use resex_simcore::rng::SimRng;
 use resex_simcore::time::{SimDuration, SimTime};
@@ -102,6 +106,23 @@ pub struct World {
     events: u64,
     srv_qp_to_vm: HashMap<QpNum, usize>,
     cli_qp_to_client: HashMap<QpNum, usize>,
+    tracer: Tracer,
+    registry: MetricsRegistry,
+    snapshots: Vec<IntervalSnapshot>,
+    interval_count: u64,
+}
+
+/// What an observed run produced alongside its [`RunMetrics`].
+#[derive(Clone, Debug, Default)]
+pub struct ObservedRun {
+    /// Chrome trace-event JSON (present iff `obs.trace` was set).
+    pub trace_json: Option<String>,
+    /// Per-interval per-VM snapshots as JSON Lines (present iff
+    /// `obs.metrics` was set).
+    pub metrics_jsonl: Option<String>,
+    /// Final registry snapshot: every counter/gauge/distribution/rate in
+    /// deterministic key order (empty unless `obs.metrics` was set).
+    pub summary: Vec<MetricSample>,
 }
 
 impl World {
@@ -113,11 +134,18 @@ impl World {
     /// conditions.
     pub fn build(cfg: ScenarioConfig) -> World {
         cfg.validate().expect("valid scenario");
+        let tracer = if cfg.obs.any() {
+            Tracer::memory()
+        } else {
+            Tracer::disabled()
+        };
         let mut fabric = Fabric::new(cfg.fabric.clone()).expect("valid fabric config");
+        fabric.set_tracer(tracer.clone());
         let node_srv = fabric.add_node();
         let node_cli = fabric.add_node();
 
         let mut hv = Hypervisor::new(cfg.sched);
+        hv.set_tracer(tracer.clone());
         let dom0 = hv.create_domain("dom0", 64 << 20, true);
         // dom0 gets its own PCPU (it runs ResEx/IBMon, not simulated work).
         hv.add_pcpu();
@@ -151,9 +179,18 @@ impl World {
             let qp = fabric
                 .create_qp(node_srv, pd, send_cq, recv_cq, 512, 512, uar)
                 .expect("qp");
-            let resp_base = mem.alloc_bytes(spec.buffer_size.max(4096) as u64).expect("mem");
+            let resp_base = mem
+                .alloc_bytes(spec.buffer_size.max(4096) as u64)
+                .expect("mem");
             let resp_mr = fabric
-                .register_mr(node_srv, pd, &mem, resp_base, spec.buffer_size.max(4096), Access::FULL)
+                .register_mr(
+                    node_srv,
+                    pd,
+                    &mem,
+                    resp_base,
+                    spec.buffer_size.max(4096),
+                    Access::FULL,
+                )
                 .expect("mr");
             let req_base = mem
                 .alloc_bytes(RECV_SLOTS as u64 * SLOT_BYTES)
@@ -196,7 +233,9 @@ impl World {
                 )
                 .expect("mr");
 
-            fabric.connect(node_srv, qp, node_cli, cqp).expect("connect");
+            fabric
+                .connect(node_srv, qp, node_cli, cqp)
+                .expect("connect");
 
             // Install hardware QoS on the server VM's egress flow.
             if let Some(q) = spec.qos {
@@ -247,6 +286,13 @@ impl World {
 
             let mut server_cfg = cfg.server;
             server_cfg.buffer_size = spec.buffer_size;
+            // Entity registration so exporters group this VM's QPs and
+            // domain under one trace "process".
+            tracer.set_vm_label(i as u32, spec.name.clone());
+            tracer.map_qp_to_vm(qp.raw(), i as u32);
+            tracer.map_qp_to_vm(cqp.raw(), i as u32);
+            tracer.map_domain_to_vm(dom.raw(), i as u32);
+
             vms.push(VmRuntime {
                 dom,
                 vcpu,
@@ -288,12 +334,11 @@ impl World {
             policy => {
                 let boxed: Box<dyn PricingPolicy> = match policy {
                     PolicyKind::FreeMarket => Box::new(FreeMarket::new()),
-                    PolicyKind::IoShares => Box::new(IoShares::new(
-                        cfg.vms
-                            .iter()
-                            .enumerate()
-                            .filter_map(|(i, s)| s.sla.map(|sla| (VmId::new(i as u32), sla))),
-                    )),
+                    PolicyKind::IoShares => {
+                        Box::new(IoShares::new(cfg.vms.iter().enumerate().filter_map(
+                            |(i, s)| s.sla.map(|sla| (VmId::new(i as u32), sla)),
+                        )))
+                    }
                     PolicyKind::StaticReserve(caps) => Box::new(StaticReserve::new(
                         caps.iter().map(|&(i, c)| (VmId::new(i as u32), c)),
                     )),
@@ -301,12 +346,13 @@ impl World {
                         Box::new(BufferRatio::new(VmId::new(*reference as u32)))
                     }
                     PolicyKind::DemandPricing => Box::new(DemandPricing::new(
-                        cfg.fabric.mtus_per_second()
-                            * cfg.resex.epoch.as_nanos().max(1) / 1_000_000_000,
+                        cfg.fabric.mtus_per_second() * cfg.resex.epoch.as_nanos().max(1)
+                            / 1_000_000_000,
                     )),
                     PolicyKind::None => unreachable!(),
                 };
                 let mut m = ResExManager::new(cfg.resex, boxed).expect("valid resex config");
+                m.set_tracer(tracer.clone());
                 for (i, spec) in cfg.vms.iter().enumerate() {
                     m.register_vm(VmId::new(i as u32), spec.weight);
                 }
@@ -344,11 +390,23 @@ impl World {
             events: 0,
             srv_qp_to_vm,
             cli_qp_to_client,
+            tracer,
+            registry: MetricsRegistry::new(),
+            snapshots: Vec::new(),
+            interval_count: 0,
         }
     }
 
     /// Runs the scenario to completion and returns the collected metrics.
-    pub fn run(mut self) -> RunMetrics {
+    pub fn run(self) -> RunMetrics {
+        self.run_observed().0
+    }
+
+    /// Runs the scenario and additionally returns whatever observability
+    /// output the scenario's [`crate::ObsOptions`] requested. With both
+    /// switches off this is exactly [`World::run`] plus an empty
+    /// [`ObservedRun`].
+    pub fn run_observed(mut self) -> (RunMetrics, ObservedRun) {
         let duration = self.cfg.duration;
         let warmup = self.cfg.warmup;
         // Kick off clients.
@@ -431,7 +489,17 @@ impl World {
             m.ibmon_mtus = self.ibmon.lifetime_mtus(self.vms[i].dom);
             out.vms.push(m);
         }
-        out
+
+        let mut observed = ObservedRun::default();
+        if self.cfg.obs.trace {
+            let (events, entities) = self.tracer.take_events();
+            observed.trace_json = Some(export_chrome_trace(&events, &entities));
+        }
+        if self.cfg.obs.metrics {
+            observed.metrics_jsonl = Some(to_jsonl(&self.snapshots));
+            observed.summary = self.registry.snapshot(SimTime::ZERO + duration);
+        }
+        (out, observed)
     }
 
     // ------------------------------------------------------------------
@@ -443,7 +511,9 @@ impl World {
                 self.queue.cancel(key);
             }
             if let Some(t) = ft {
-                let key = self.queue.schedule_at(t.max(self.queue.now()), Ev::FabricSync);
+                let key = self
+                    .queue
+                    .schedule_at(t.max(self.queue.now()), Ev::FabricSync);
                 self.fabric_sync = Some((t, key));
             }
         }
@@ -512,7 +582,10 @@ impl World {
         let _ = self.fabric.poll_cq(self.node_srv, recv_cq, 64);
         let gpa = self.vms[vmi].req_base.add(slot * SLOT_BYTES);
         let mut wire = [0u8; REQUEST_WIRE_BYTES as usize];
-        self.vms[vmi].mem.read(gpa, &mut wire).expect("request bytes");
+        self.vms[vmi]
+            .mem
+            .read(gpa, &mut wire)
+            .expect("request bytes");
         let req = TransactionRequest::decode(&wire).expect("well-formed request");
         // Replenish the receive slot before handing the request over.
         let lkey = self.vms[vmi].req_lkey;
@@ -550,7 +623,12 @@ impl World {
             .post_recv(
                 self.node_cli,
                 qp,
-                RecvRequest { wr_id: 0, lkey, gpa, len },
+                RecvRequest {
+                    wr_id: 0,
+                    lkey,
+                    gpa,
+                    len,
+                },
             )
             .expect("replenish recv");
         // Correlate by immediate (request id); for small responses the
@@ -664,7 +742,8 @@ impl World {
                     .expect("request posts");
             }
             ClientAction::ArmTimer(at) => {
-                self.queue.schedule_at(at.max(t), Ev::ClientTimer { client: ci });
+                self.queue
+                    .schedule_at(at.max(t), Ev::ClientTimer { client: ci });
             }
             ClientAction::Idle => {}
         }
@@ -673,8 +752,15 @@ impl World {
     /// One ResEx charging interval: gather IBMon + XenStat + agent data,
     /// run the policy, actuate caps, record traces.
     fn on_resex_interval(&mut self, t: SimTime) {
-        let interval = self.manager.as_ref().expect("tick implies manager").config().interval;
+        let interval = self
+            .manager
+            .as_ref()
+            .expect("tick implies manager")
+            .config()
+            .interval;
+        let record_metrics = self.cfg.obs.metrics;
         let mut snapshots = Vec::with_capacity(self.vms.len());
+        let mut rows: Vec<IntervalSnapshot> = Vec::new();
         for i in 0..self.vms.len() {
             let dom = self.vms[i].dom;
             let usage = self.ibmon.sample_vm(dom, t).expect("introspection reads");
@@ -704,6 +790,64 @@ impl World {
                 },
             ));
             self.metrics[i].mtus_trace.push(t, usage.mtus as f64);
+
+            if self.tracer.enabled() {
+                // The platform is the one place that can see both IBMon's
+                // introspected estimate and the fabric's ground truth, so
+                // the comparison event is emitted here rather than inside
+                // the ibmon crate.
+                let qc = self
+                    .fabric
+                    .qp_counters(self.node_srv, self.vms[i].qp)
+                    .expect("qp exists");
+                let mtus_ibmon = self.ibmon.lifetime_mtus(dom);
+                self.tracer.instant(
+                    t,
+                    subsystem::IBMON,
+                    "sample",
+                    Scope::Vm(i as u32),
+                    vec![
+                        ("interval_mtus", usage.mtus.into()),
+                        ("lifetime_mtus", mtus_ibmon.into()),
+                        ("fabric_mtus", qc.mtus_sent.into()),
+                        ("est_buffer_size", usage.est_buffer_size.into()),
+                    ],
+                );
+                self.tracer.counter(
+                    t,
+                    subsystem::IBMON,
+                    "est_buffer_size",
+                    Scope::Vm(i as u32),
+                    usage.est_buffer_size,
+                );
+                if record_metrics {
+                    let name = self.cfg.vms[i].name.clone();
+                    self.registry.gauge_set(
+                        subsystem::FABRIC_LINK,
+                        &name,
+                        "egress_bytes_total",
+                        qc.bytes_sent as f64,
+                    );
+                    self.registry
+                        .dist_record(subsystem::IBMON, &name, "interval_mtus", usage.mtus);
+                    self.registry
+                        .rate_record(subsystem::IBMON, &name, "mtus", t, usage.mtus);
+                    self.registry
+                        .gauge_set(subsystem::HV_SCHED, &name, "cpu_percent", cpu.percent);
+                    rows.push(IntervalSnapshot {
+                        t_ns: t.as_nanos(),
+                        interval: self.interval_count,
+                        vm: i as u32,
+                        vm_name: name,
+                        egress_bytes: qc.bytes_sent,
+                        mtus_fabric: qc.mtus_sent,
+                        mtus_ibmon,
+                        est_buffer_size: usage.est_buffer_size,
+                        cpu_percent: cpu.percent,
+                        ..IntervalSnapshot::default()
+                    });
+                }
+            }
         }
         self.xenstat.end_round(t);
 
@@ -729,6 +873,57 @@ impl World {
             let cap = if cap == 0 { 100 } else { cap };
             self.metrics[i].cap_trace.push(t, cap as f64);
         }
+
+        if record_metrics {
+            let policy = self
+                .manager
+                .as_ref()
+                .map(|m| m.policy_name())
+                .unwrap_or("none");
+            for charge in &outcome.charges {
+                let i = charge.vm.index();
+                let row = &mut rows[i];
+                row.reso_balance = charge.remaining.as_f64();
+                row.remaining_fraction = charge.remaining_fraction;
+                row.congestion_price = charge.io_rate;
+                row.io_charged = charge.io.as_f64();
+                row.cpu_charged = charge.cpu.as_f64();
+                let name = self.cfg.vms[i].name.clone();
+                self.registry.gauge_set(
+                    subsystem::RESEX_MANAGER,
+                    &name,
+                    "reso_balance",
+                    charge.remaining.as_f64(),
+                );
+                self.registry.gauge_set(
+                    subsystem::RESEX_MANAGER,
+                    &name,
+                    "congestion_price",
+                    charge.io_rate,
+                );
+            }
+            for action in &outcome.actions {
+                let ManagerAction::SetCap { vm, cap_pct } = *action;
+                rows[vm.index()].action = format!("set_cap:{cap_pct}");
+                self.registry.counter_add(
+                    subsystem::RESEX_MANAGER,
+                    &self.cfg.vms[vm.index()].name,
+                    "cap_changes",
+                    1,
+                );
+            }
+            let queue_depth = self.fabric.egress_backlog(self.node_srv).unwrap_or(0);
+            for (i, row) in rows.iter_mut().enumerate() {
+                row.cap_pct = self.hv.cap(self.vms[i].dom).unwrap_or(0);
+                row.queue_depth = queue_depth;
+                row.policy = policy.to_string();
+                if row.action.is_empty() {
+                    row.action = "none".to_string();
+                }
+            }
+            self.snapshots.append(&mut rows);
+        }
+        self.interval_count += 1;
         self.queue.schedule_at(t + interval, Ev::ResExInterval);
     }
 }
@@ -749,4 +944,24 @@ impl World {
 /// ```
 pub fn run_scenario(cfg: ScenarioConfig) -> RunMetrics {
     World::build(cfg).run()
+}
+
+/// Builds and runs with observability output, honouring `cfg.obs`.
+///
+/// ```
+/// use resex_platform::{run_scenario_observed, ScenarioConfig};
+/// use resex_simcore::time::SimDuration;
+///
+/// let mut cfg = ScenarioConfig::managed(2 * 1024 * 1024, resex_platform::PolicyKind::FreeMarket);
+/// cfg.duration = SimDuration::from_millis(120);
+/// cfg.warmup = SimDuration::from_millis(20);
+/// cfg.obs.trace = true;
+/// cfg.obs.metrics = true;
+/// let (_run, observed) = run_scenario_observed(cfg);
+/// let trace = observed.trace_json.unwrap();
+/// assert!(trace.starts_with('['));
+/// assert!(observed.metrics_jsonl.unwrap().lines().count() > 10);
+/// ```
+pub fn run_scenario_observed(cfg: ScenarioConfig) -> (RunMetrics, ObservedRun) {
+    World::build(cfg).run_observed()
 }

@@ -76,7 +76,11 @@ fn ioshares_restores_near_base_latency() {
     // The paper: IOShares brings latency near the base case. Require at
     // least 50% of the interference removed.
     let removed = (i - s) / (i - b);
-    assert!(removed > 0.5, "interference removed: {:.0}%", removed * 100.0);
+    assert!(
+        removed > 0.5,
+        "interference removed: {:.0}%",
+        removed * 100.0
+    );
 }
 
 #[test]
@@ -95,7 +99,10 @@ fn freemarket_helps_but_less_than_ioshares() {
     let s = ios.rows().iter().find(|r| r.vm == "64KB").unwrap().mean_us;
     println!("interfered={i:.1} freemarket={f:.1} ioshares={s:.1}");
     assert!(f < i, "FreeMarket reduces interference somewhat");
-    assert!(s <= f, "IOShares at least matches FreeMarket (paper Fig. 9)");
+    assert!(
+        s <= f,
+        "IOShares at least matches FreeMarket (paper Fig. 9)"
+    );
 }
 
 #[test]
@@ -106,7 +113,12 @@ fn static_cap_by_buffer_ratio_restores_base() {
     cfg.vms[1] = cfg.vms[1].clone().with_cap(3); // 100/32 ≈ 3
     let capped = run_scenario(short(cfg));
     let b = base.rows()[0].mean_us;
-    let c = capped.rows().iter().find(|r| r.vm == "64KB").unwrap().mean_us;
+    let c = capped
+        .rows()
+        .iter()
+        .find(|r| r.vm == "64KB")
+        .unwrap()
+        .mean_us;
     let intf = run_scenario(short(ScenarioConfig::interfered(2 * 1024 * 1024)));
     let i = intf.rows().iter().find(|r| r.vm == "64KB").unwrap().mean_us;
     println!("base={b:.1} cap3={c:.1} uncapped-intf={i:.1}");
@@ -154,7 +166,12 @@ fn ibmon_estimates_track_ground_truth() {
             vm.ibmon_mtus,
             err * 100.0
         );
-        assert!(err < 0.05, "{}: estimator within 5%: {:.1}%", vm.name, err * 100.0);
+        assert!(
+            err < 0.05,
+            "{}: estimator within 5%: {:.1}%",
+            vm.name,
+            err * 100.0
+        );
     }
 }
 
@@ -196,10 +213,17 @@ fn multi_epoch_soak_invariants() {
             replenishes += 1;
             // The trace records the balance *after* the first interval's
             // charge, so "restored" means close to full, not exactly full.
-            assert!(w[1].1 > 0.7, "replenish restores the allocation: {}", w[1].1);
+            assert!(
+                w[1].1 > 0.7,
+                "replenish restores the allocation: {}",
+                w[1].1
+            );
         }
     }
-    assert!(replenishes >= 6, "one replenish per epoch, saw {replenishes}");
+    assert!(
+        replenishes >= 6,
+        "one replenish per epoch, saw {replenishes}"
+    );
 
     // 2. Caps stay inside [min, 100] forever.
     for &(_, c) in streamer.cap_trace.points() {
@@ -210,9 +234,13 @@ fn multi_epoch_soak_invariants() {
 
     // 4. IBMon stays within 1% of ground truth over the whole soak.
     for vm in &run.vms {
-        let err =
-            (vm.ibmon_mtus as f64 - vm.true_mtus as f64).abs() / vm.true_mtus.max(1) as f64;
-        assert!(err < 0.01, "{}: estimator drift {:.2}%", vm.name, err * 100.0);
+        let err = (vm.ibmon_mtus as f64 - vm.true_mtus as f64).abs() / vm.true_mtus.max(1) as f64;
+        assert!(
+            err < 0.01,
+            "{}: estimator drift {:.2}%",
+            vm.name,
+            err * 100.0
+        );
     }
 
     // 5. Latency stays controlled in every post-convergence 1 s window.

@@ -117,7 +117,12 @@ fn bufferratio_policy_end_to_end() {
     let cfg = ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::BufferRatio { reference: 0 });
     let managed = run_scenario(short(cfg));
     let intf = run_scenario(short(ScenarioConfig::interfered(2 * 1024 * 1024)));
-    let m = managed.rows().iter().find(|r| r.vm == "64KB").unwrap().mean_us;
+    let m = managed
+        .rows()
+        .iter()
+        .find(|r| r.vm == "64KB")
+        .unwrap()
+        .mean_us;
     let i = intf.rows().iter().find(|r| r.vm == "64KB").unwrap().mean_us;
     println!("bufferratio={m:.1} interfered={i:.1}");
     assert!(m < i - 10.0, "IBMon-driven caps reduce interference");
@@ -145,7 +150,8 @@ fn three_servers_fig2_shape_holds_with_manager() {
                 .with_sla(resex_platform::BASE_LATENCY_US, 2.0)
         })
         .collect();
-    cfg.vms.push(resex_platform::VmSpec::server("2MB", 2 * 1024 * 1024));
+    cfg.vms
+        .push(resex_platform::VmSpec::server("2MB", 2 * 1024 * 1024));
     let run = run_scenario(short(cfg));
     // Three mutually-interfering reporters plus a 3%-capped streamer floor
     // out around ~260 µs; the essential property is that *no* reporter is
@@ -197,10 +203,23 @@ fn reso_weights_shift_freemarket_throttling() {
     };
     let equal = run_with_weights(1, 1);
     let favored = run_with_weights(3, 1);
-    let e = equal.rows().iter().find(|r| r.vm == "64KB").unwrap().mean_us;
-    let f = favored.rows().iter().find(|r| r.vm == "64KB").unwrap().mean_us;
+    let e = equal
+        .rows()
+        .iter()
+        .find(|r| r.vm == "64KB")
+        .unwrap()
+        .mean_us;
+    let f = favored
+        .rows()
+        .iter()
+        .find(|r| r.vm == "64KB")
+        .unwrap()
+        .mean_us;
     println!("freemarket equal-weights={e:.1} reporter-favored={f:.1}");
-    assert!(f <= e + 1.0, "favoring the reporter can only help: {f:.1} vs {e:.1}");
+    assert!(
+        f <= e + 1.0,
+        "favoring the reporter can only help: {f:.1} vs {e:.1}"
+    );
     // The interferer's throttled time is visibly longer when the reporter
     // holds 3/4 of the I/O pool.
     let throttled = |run: &resex_platform::RunMetrics| {

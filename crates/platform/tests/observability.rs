@@ -1,0 +1,164 @@
+//! Observability guarantees: determinism, zero perturbation, coverage.
+//!
+//! The trace/metrics subsystem must be a pure *observer* of the
+//! simulation: recording may not change any simulated outcome, and the
+//! recorded bytes themselves must be a pure function of the scenario
+//! (same seed → byte-identical files).
+
+use resex_platform::{run_scenario, run_scenario_observed, PolicyKind, ScenarioConfig};
+use resex_simcore::time::SimDuration;
+
+/// A short managed contention run: two VMs, FreeMarket, caps actuating.
+fn observed_cfg() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::FreeMarket);
+    cfg.duration = SimDuration::from_millis(250);
+    cfg.warmup = SimDuration::from_millis(50);
+    // Short epoch and a small I/O allowance so the interferer exhausts
+    // its balance (and the market actuates caps) within the short run.
+    cfg.resex.epoch = SimDuration::from_millis(100);
+    cfg.resex.io_resos_per_epoch = 20_000;
+    cfg.resex.cpu_resos_per_epoch = 10_000;
+    cfg.obs.trace = true;
+    cfg.obs.metrics = true;
+    cfg
+}
+
+#[test]
+fn same_seed_produces_byte_identical_outputs() {
+    let (_, a) = run_scenario_observed(observed_cfg());
+    let (_, b) = run_scenario_observed(observed_cfg());
+    let trace_a = a.trace_json.expect("trace requested");
+    let trace_b = b.trace_json.expect("trace requested");
+    assert!(!trace_a.is_empty());
+    assert_eq!(trace_a, trace_b, "trace JSON must be byte-identical");
+    let metrics_a = a.metrics_jsonl.expect("metrics requested");
+    let metrics_b = b.metrics_jsonl.expect("metrics requested");
+    assert!(metrics_a.lines().count() > 10);
+    assert_eq!(metrics_a, metrics_b, "metrics JSONL must be byte-identical");
+}
+
+#[test]
+fn a_different_seed_produces_a_different_trace() {
+    let (_, a) = run_scenario_observed(observed_cfg());
+    let mut cfg = observed_cfg();
+    cfg.seed = 43;
+    let (_, b) = run_scenario_observed(cfg);
+    assert_ne!(a.trace_json, b.trace_json);
+}
+
+#[test]
+fn observation_does_not_perturb_the_run() {
+    // The overhead guard: with recording off the run must be *exactly*
+    // the baseline (a disabled tracer is one branch per would-be event),
+    // and turning recording on must not change any simulated outcome.
+    let mut base_cfg = observed_cfg();
+    base_cfg.obs.trace = false;
+    base_cfg.obs.metrics = false;
+    let baseline = run_scenario(base_cfg);
+    let (observed, out) = run_scenario_observed(observed_cfg());
+    assert!(out.trace_json.is_some());
+    assert_eq!(baseline.events_processed, observed.events_processed);
+    for (b, o) in baseline.rows().iter().zip(observed.rows().iter()) {
+        assert_eq!(b.vm, o.vm);
+        assert_eq!(b.requests, o.requests);
+        assert_eq!(b.mean_us.to_bits(), o.mean_us.to_bits());
+        assert_eq!(b.p99_us.to_bits(), o.p99_us.to_bits());
+    }
+}
+
+#[test]
+fn disabled_observability_returns_no_output() {
+    let mut cfg = observed_cfg();
+    cfg.obs.trace = false;
+    cfg.obs.metrics = false;
+    let (_, out) = run_scenario_observed(cfg);
+    assert!(out.trace_json.is_none());
+    assert!(out.metrics_jsonl.is_none());
+    assert!(out.summary.is_empty());
+}
+
+#[test]
+fn trace_covers_every_subsystem_and_vm() {
+    let (_, out) = run_scenario_observed(observed_cfg());
+    let trace = out.trace_json.unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&trace).expect("valid JSON");
+    let events = parsed.as_array().expect("array format");
+    for sub in resex_obs::subsystem::ALL {
+        assert!(
+            trace.contains(&format!("\"cat\":\"{sub}\"")),
+            "no events from {sub}"
+        );
+    }
+    // One named process per VM plus the host scope.
+    for label in ["host", "64KB", "2MB"] {
+        assert!(
+            events.iter().any(|e| {
+                e["name"].as_str() == Some("process_name")
+                    && e["args"]["name"].as_str() == Some(label)
+            }),
+            "missing process {label}"
+        );
+    }
+    // Every record carries the fields strict consumers require.
+    for e in events {
+        for field in ["ph", "ts", "pid", "tid", "name"] {
+            assert!(!e[field].is_null(), "record missing {field}: {e}");
+        }
+    }
+}
+
+#[test]
+fn metrics_rows_line_up_the_causal_chain() {
+    let (_, out) = run_scenario_observed(observed_cfg());
+    let jsonl = out.metrics_jsonl.unwrap();
+    let rows: Vec<serde_json::Value> = jsonl
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("valid JSON row"))
+        .collect();
+    assert!(rows.len() > 10);
+    // Two VMs per interval, in VM order.
+    assert_eq!(rows[0]["vm"].as_u64(), Some(0));
+    assert_eq!(rows[1]["vm"].as_u64(), Some(1));
+    assert_eq!(rows[0]["vm_name"].as_str(), Some("64KB"));
+    assert_eq!(rows[1]["vm_name"].as_str(), Some("2MB"));
+    for r in &rows {
+        for field in [
+            "t_ns",
+            "reso_balance",
+            "cap_pct",
+            "egress_bytes",
+            "mtus_fabric",
+            "mtus_ibmon",
+            "est_buffer_size",
+            "policy",
+            "action",
+        ] {
+            assert!(!r[field].is_null(), "row missing {field}: {r}");
+        }
+        assert_eq!(r["policy"].as_str(), Some("FreeMarket"));
+    }
+    // The interferer eventually trips the market: some row must show a
+    // cap actuation, and the fabric/IBMon MTU views must track each other.
+    assert!(rows.iter().any(|r| r["action"]
+        .as_str()
+        .is_some_and(|a| a.starts_with("set_cap:"))));
+    let last = rows.last().unwrap();
+    let fabric = last["mtus_fabric"].as_u64().unwrap() as f64;
+    let ibmon = last["mtus_ibmon"].as_u64().unwrap() as f64;
+    assert!(fabric > 0.0);
+    assert!(
+        (fabric - ibmon).abs() / fabric < 0.05,
+        "IBMon estimate drifted"
+    );
+    // Registry summary is present and deterministically ordered.
+    assert!(!out.summary.is_empty());
+    let keys: Vec<_> = out
+        .summary
+        .iter()
+        .map(|s| (s.subsystem.clone(), s.entity.clone(), s.name.clone()))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    // Samples are grouped by kind, each group key-ordered.
+    assert_eq!(keys.len(), sorted.len());
+}

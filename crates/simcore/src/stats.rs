@@ -118,8 +118,7 @@ impl OnlineStats {
         let n = (self.n + other.n) as f64;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
         self.mean = mean;
         self.m2 = m2;
         self.n += other.n;
@@ -150,7 +149,10 @@ impl Histogram {
     /// Creates a histogram with the given sub-bucket resolution (per octave).
     /// 32 sub-buckets give ~3% worst-case relative quantile error.
     pub fn new(sub_buckets: u32) -> Self {
-        assert!(sub_buckets.is_power_of_two(), "sub_buckets must be a power of two");
+        assert!(
+            sub_buckets.is_power_of_two(),
+            "sub_buckets must be a power of two"
+        );
         Histogram {
             sub_buckets,
             // 64 octaves cover the full u64 range.

@@ -9,7 +9,7 @@
 //! bytes with zero-copy semantics.
 
 use crate::error::MemError;
-use crate::memory::{GuestMemory, Gpa, MemoryHandle};
+use crate::memory::{Gpa, GuestMemory, MemoryHandle};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -155,7 +155,9 @@ mod tests {
             .with_write(|m| m.pin_range(Gpa::new(0), 4096))
             .unwrap();
         let map = ForeignMapping::map(&guest, Gpa::new(0), 4096).unwrap();
-        guest.dma_write(Gpa::new(16), &0xDEAD_BEEFu32.to_le_bytes()).unwrap();
+        guest
+            .dma_write(Gpa::new(16), &0xDEAD_BEEFu32.to_le_bytes())
+            .unwrap();
         assert_eq!(map.read_u32_at(16).unwrap(), 0xDEAD_BEEF);
     }
 
@@ -203,7 +205,9 @@ mod tests {
     #[test]
     fn u64_accessor() {
         let guest = MemoryHandle::new(8 * 1024);
-        guest.with_write(|m| m.write_u64(Gpa::new(24), 0xABCD_EF01_2345_6789)).unwrap();
+        guest
+            .with_write(|m| m.write_u64(Gpa::new(24), 0xABCD_EF01_2345_6789))
+            .unwrap();
         let map = ForeignMapping::map(&guest, Gpa::new(0), 64).unwrap();
         assert_eq!(map.read_u64_at(24).unwrap(), 0xABCD_EF01_2345_6789);
     }

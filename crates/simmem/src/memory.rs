@@ -404,7 +404,13 @@ mod tests {
         assert_eq!(a, Gpa::new(0));
         assert_eq!(b, Gpa::new(2 * PAGE_SIZE as u64));
         let err = m.alloc_pages(100).unwrap_err();
-        assert!(matches!(err, MemError::OutOfMemory { available_pages: 5, .. }));
+        assert!(matches!(
+            err,
+            MemError::OutOfMemory {
+                available_pages: 5,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -453,7 +459,8 @@ mod tests {
     fn dma_partial_pin_is_rejected() {
         let h = MemoryHandle::new(64 * 1024);
         // Pin only the first page, then DMA across into the second.
-        h.with_write(|m| m.pin_range(Gpa::new(0), PAGE_SIZE)).unwrap();
+        h.with_write(|m| m.pin_range(Gpa::new(0), PAGE_SIZE))
+            .unwrap();
         let err = h
             .dma_write(Gpa::new(PAGE_SIZE as u64 - 2), &[0u8; 8])
             .unwrap_err();

@@ -52,7 +52,11 @@ impl PricingPolicy for SquareTax {
                 let overdrawn = (ctx.accounts)(vm)
                     .map(|a| a.fraction_remaining() < 0.0)
                     .unwrap_or(false);
-                let target = if overdrawn { ctx.cfg.min_cap_pct.max(10) } else { 100 };
+                let target = if overdrawn {
+                    ctx.cfg.min_cap_pct.max(10)
+                } else {
+                    100
+                };
                 let prev = self.caps.insert(vm, target);
                 VmVerdict {
                     vm,
@@ -87,8 +91,22 @@ fn main() {
     for step in 1..=600u64 {
         t += interval;
         let snapshots = vec![
-            (quiet, VmSnapshot { mtus: 64, cpu_pct: 60.0, ..Default::default() }),
-            (noisy, VmSnapshot { mtus: 1800, cpu_pct: 95.0, ..Default::default() }),
+            (
+                quiet,
+                VmSnapshot {
+                    mtus: 64,
+                    cpu_pct: 60.0,
+                    ..Default::default()
+                },
+            ),
+            (
+                noisy,
+                VmSnapshot {
+                    mtus: 1800,
+                    cpu_pct: 95.0,
+                    ..Default::default()
+                },
+            ),
         ];
         let out = mgr.on_interval(t, &snapshots);
         actions_seen.extend(out.actions.iter().copied());

@@ -22,6 +22,7 @@ use resex_fabric::qp::{RecvRequest, WorkRequest};
 use resex_fabric::{Access, Fabric, Opcode};
 use resex_hypervisor::{Hypervisor, SchedModel};
 use resex_ibmon::{IbMon, IbMonConfig};
+use resex_obs::{export_chrome_trace, EventKind, Tracer};
 use resex_simcore::time::{SimDuration, SimTime};
 use resex_simmem::MemoryHandle;
 
@@ -34,14 +35,21 @@ fn main() {
     let gmem = hv.domain_memory(guest).unwrap();
 
     // -- the guest sets up its RDMA resources (bypassing the hypervisor) --
+    // A memory tracer records what the fabric does; at the end we export
+    // it as a Chrome trace (the full platform does the same via
+    // `ScenarioConfig::obs` / the simulate binary's --trace flag).
+    let tracer = Tracer::memory();
     let mut fabric = Fabric::with_defaults();
+    fabric.set_tracer(tracer.clone());
     let n0 = fabric.add_node();
     let n1 = fabric.add_node();
     let pd = fabric.create_pd(n0).unwrap();
     let uar = fabric.create_uar(n0, &gmem).unwrap();
     let send_cq = fabric.create_cq(n0, &gmem, 32).unwrap();
     let recv_cq = fabric.create_cq(n0, &gmem, 32).unwrap();
-    let qp = fabric.create_qp(n0, pd, send_cq, recv_cq, 64, 64, uar).unwrap();
+    let qp = fabric
+        .create_qp(n0, pd, send_cq, recv_cq, 64, 64, uar)
+        .unwrap();
     let buf = gmem.alloc_bytes(256 * 1024).unwrap();
     let mr = fabric
         .register_mr(n0, pd, &gmem, buf, 256 * 1024, Access::FULL)
@@ -61,7 +69,16 @@ fn main() {
     fabric.connect(n0, qp, n1, pqp).unwrap();
     for slot in 0..32u64 {
         fabric
-            .post_recv(n1, pqp, RecvRequest { wr_id: slot, lkey: pmr.lkey, gpa: pbuf, len: 256 * 1024 })
+            .post_recv(
+                n1,
+                pqp,
+                RecvRequest {
+                    wr_id: slot,
+                    lkey: pmr.lkey,
+                    gpa: pbuf,
+                    len: 256 * 1024,
+                },
+            )
             .unwrap();
     }
 
@@ -76,7 +93,10 @@ fn main() {
     // -- the guest sends; dom0 samples once per millisecond --------------
     let mut now = SimTime::ZERO;
     let mut wr_id = 0u64;
-    println!("{:>6} {:>8} {:>12} {:>10} {:>12} {:>8}", "t(ms)", "compl", "bytes", "MTUs", "est. buffer", "aliased");
+    println!(
+        "{:>6} {:>8} {:>12} {:>10} {:>12} {:>8}",
+        "t(ms)", "compl", "bytes", "MTUs", "est. buffer", "aliased"
+    );
     for interval in 1..=6u64 {
         // Sends per interval double each time; at 6 it outruns the ring.
         let sends = 1u64 << interval;
@@ -109,7 +129,16 @@ fn main() {
             let _ = fabric.poll_cq(n1, prcq, 64).unwrap();
             // Re-post the consumed receive.
             fabric
-                .post_recv(n1, pqp, RecvRequest { wr_id: 0, lkey: pmr.lkey, gpa: pbuf, len: 256 * 1024 })
+                .post_recv(
+                    n1,
+                    pqp,
+                    RecvRequest {
+                        wr_id: 0,
+                        lkey: pmr.lkey,
+                        gpa: pbuf,
+                        len: 256 * 1024,
+                    },
+                )
                 .unwrap();
         }
         now += SimDuration::from_millis(1);
@@ -137,4 +166,22 @@ fn main() {
         "(the guest never told anyone its buffer size; dom0 inferred ~64KB \
          from bytes/completion)"
     );
+
+    // -- every fabric action above was also traced ----------------------
+    tracer.set_vm_label(0, "guest");
+    tracer.map_qp_to_vm(qp.raw(), 0);
+    let (events, entities) = tracer.take_events();
+    let grants = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Complete(_)) && e.name == "grant")
+        .count();
+    let json = export_chrome_trace(&events, &entities);
+    println!(
+        "\ntracing: {} events recorded ({} link-arbiter grant spans); \
+         Chrome trace export is {} bytes —",
+        events.len(),
+        grants,
+        json.len()
+    );
+    println!("write it to a file and load it in ui.perfetto.dev or chrome://tracing.");
 }

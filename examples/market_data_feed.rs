@@ -46,9 +46,13 @@ fn run_feed(interferer: bool, prioritized: bool) -> OnlineStats {
     let puar = f.create_uar(n_pub, &pmem).unwrap();
     let pscq = f.create_cq(n_pub, &pmem, 1024).unwrap();
     let prcq = f.create_cq(n_pub, &pmem, 1024).unwrap();
-    let pqp = f.create_ud_qp(n_pub, ppd, pscq, prcq, 1024, 16, puar).unwrap();
+    let pqp = f
+        .create_ud_qp(n_pub, ppd, pscq, prcq, 1024, 16, puar)
+        .unwrap();
     let pbuf = pmem.alloc_bytes(4096).unwrap();
-    let pmr = f.register_mr(n_pub, ppd, &pmem, pbuf, 4096, Access::FULL).unwrap();
+    let pmr = f
+        .register_mr(n_pub, ppd, &pmem, pbuf, 4096, Access::FULL)
+        .unwrap();
 
     // Three subscriber hosts.
     let group = f.create_mcast_group();
@@ -62,13 +66,29 @@ fn run_feed(interferer: bool, prioritized: bool) -> OnlineStats {
         let rcq = f.create_cq(node, &mem, 1024).unwrap();
         let qp = f.create_ud_qp(node, pd, scq, rcq, 16, 1024, uar).unwrap();
         let gpa = mem.alloc_bytes(4096).unwrap();
-        let mr = f.register_mr(node, pd, &mem, gpa, 4096, Access::FULL).unwrap();
+        let mr = f
+            .register_mr(node, pd, &mem, gpa, 4096, Access::FULL)
+            .unwrap();
         f.join_mcast(group, node, qp).unwrap();
         for i in 0..(TICKS as u64 + 8) {
-            f.post_recv(node, qp, RecvRequest { wr_id: i, lkey: mr.lkey, gpa, len: 4096 })
-                .unwrap();
+            f.post_recv(
+                node,
+                qp,
+                RecvRequest {
+                    wr_id: i,
+                    lkey: mr.lkey,
+                    gpa,
+                    len: 4096,
+                },
+            )
+            .unwrap();
         }
-        subs.push(Sub { node, qp, lkey: mr.lkey, gpa });
+        subs.push(Sub {
+            node,
+            qp,
+            lkey: mr.lkey,
+            gpa,
+        });
     }
     let _keep = &subs; // recvs reference the subscriber state
 
@@ -83,7 +103,9 @@ fn run_feed(interferer: bool, prioritized: bool) -> OnlineStats {
         let srcq = f.create_cq(sink, &smem, 64).unwrap();
         let sqp = f.create_qp(sink, spd, sscq, srcq, 64, 64, suar).unwrap();
         let sbuf = smem.alloc_bytes(4 << 20).unwrap();
-        let smr = f.register_mr(sink, spd, &smem, sbuf, 4 << 20, Access::FULL).unwrap();
+        let smr = f
+            .register_mr(sink, spd, &smem, sbuf, 4 << 20, Access::FULL)
+            .unwrap();
 
         let bpd = f.create_pd(n_pub).unwrap();
         let buar = f.create_uar(n_pub, &pmem).unwrap();
@@ -106,7 +128,10 @@ fn run_feed(interferer: bool, prioritized: bool) -> OnlineStats {
                     lkey: bmr.lkey,
                     local_gpa: bbuf,
                     len: 2 << 20,
-                    remote: Some(RemoteTarget { rkey: smr.rkey, gpa: sbuf }),
+                    remote: Some(RemoteTarget {
+                        rkey: smr.rkey,
+                        gpa: sbuf,
+                    }),
                     imm: 0,
                     signaled: false,
                 },
@@ -116,10 +141,24 @@ fn run_feed(interferer: bool, prioritized: bool) -> OnlineStats {
         }
         if prioritized {
             // SL-style protection: the feed outranks the bulk stream.
-            f.set_qp_flow_params(n_pub, pqp, FlowParams { priority: 0, ..Default::default() })
-                .unwrap();
-            f.set_qp_flow_params(n_pub, bqp, FlowParams { priority: 1, ..Default::default() })
-                .unwrap();
+            f.set_qp_flow_params(
+                n_pub,
+                pqp,
+                FlowParams {
+                    priority: 0,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            f.set_qp_flow_params(
+                n_pub,
+                bqp,
+                FlowParams {
+                    priority: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         }
     }
 

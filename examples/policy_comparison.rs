@@ -39,7 +39,10 @@ fn main() {
 
     for buf in buffers {
         let unmanaged = mean_64kb(shorten(ScenarioConfig::interfered(buf)));
-        let freemarket = mean_64kb(shorten(ScenarioConfig::managed(buf, PolicyKind::FreeMarket)));
+        let freemarket = mean_64kb(shorten(ScenarioConfig::managed(
+            buf,
+            PolicyKind::FreeMarket,
+        )));
         let ioshares = mean_64kb(shorten(ScenarioConfig::managed(buf, PolicyKind::IoShares)));
         // Worst-case static reservation: pin the interferer to the
         // buffer-ratio cap permanently, interference or not.

@@ -32,7 +32,11 @@ fn main() {
         "\n{:<22} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "scenario", "mean µs", "std µs", "p99 µs", "wtime µs", "requests"
     );
-    for (label, run) in [("base (solo)", &base), ("interfered", &intf), ("ResEx IOShares", &ios)] {
+    for (label, run) in [
+        ("base (solo)", &base),
+        ("interfered", &intf),
+        ("ResEx IOShares", &ios),
+    ] {
         let row = run
             .rows()
             .into_iter()

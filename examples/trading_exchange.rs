@@ -30,10 +30,18 @@ fn main() {
     // Market-data fan-out: mixed transactions, mild bursts.
     let mut md = VmSpec::server("256KB", 256 * 1024);
     md.trace = TraceProfile {
-        mix: TaskMix { quote: 80, risk: 15, reprice: 0, implied: 5 },
+        mix: TaskMix {
+            quote: 80,
+            risk: 15,
+            reprice: 0,
+            implied: 5,
+        },
         base_batch: 8,
         reprice_steps: 0,
-        burstiness: Burstiness::Bursty { regime_len: 200, burst_factor: 2 },
+        burstiness: Burstiness::Bursty {
+            regime_len: 200,
+            burst_factor: 2,
+        },
     };
     cfg.vms.push(md);
 

@@ -5,7 +5,7 @@ use resex_core::{
     FreeMarket, IoShares, LatencyFeedback, ManagerAction, ResExConfig, ResExManager, SlaTarget,
     VmId, VmSnapshot,
 };
-use resex_fabric::{CompletionQueue, Cqe, CqNum, Opcode, QpNum, WcStatus, CQE_SIZE};
+use resex_fabric::{CompletionQueue, CqNum, Cqe, Opcode, QpNum, WcStatus, CQE_SIZE};
 use resex_ibmon::{CqMonitor, ScanSample};
 use resex_simcore::time::SimTime;
 use resex_simmem::{ForeignMapping, MemoryHandle};
@@ -18,7 +18,13 @@ const REPORTER: VmId = VmId::new(0);
 const STREAMER: VmId = VmId::new(1);
 
 fn ioshares_mgr() -> ResExManager {
-    let sla = vec![(REPORTER, SlaTarget { base_mean_us: 209.0, base_std_us: 2.0 })];
+    let sla = vec![(
+        REPORTER,
+        SlaTarget {
+            base_mean_us: 209.0,
+            base_std_us: 2.0,
+        },
+    )];
     let mut m = ResExManager::new(ResExConfig::default(), Box::new(IoShares::new(sla))).unwrap();
     m.register_vm(REPORTER, 1);
     m.register_vm(STREAMER, 1);
@@ -29,13 +35,21 @@ fn hurting(mtus: u64) -> VmSnapshot {
     VmSnapshot {
         mtus,
         cpu_pct: 50.0,
-        latency: Some(LatencyFeedback { mean_us: 320.0, std_us: 30.0, count: 10 }),
+        latency: Some(LatencyFeedback {
+            mean_us: 320.0,
+            std_us: 30.0,
+            count: 10,
+        }),
         est_buffer_bytes: 65536.0,
     }
 }
 
 fn silent(mtus: u64) -> VmSnapshot {
-    VmSnapshot { mtus, cpu_pct: 90.0, ..Default::default() }
+    VmSnapshot {
+        mtus,
+        cpu_pct: 90.0,
+        ..Default::default()
+    }
 }
 
 fn last_cap_of(out: &[ManagerAction], vm: VmId) -> Option<u32> {
@@ -68,14 +82,21 @@ fn ioshares_survives_monitor_outage() {
         t += 1;
         let out = m.on_interval(
             ms(t),
-            &[(REPORTER, VmSnapshot::default()), (STREAMER, VmSnapshot::default())],
+            &[
+                (REPORTER, VmSnapshot::default()),
+                (STREAMER, VmSnapshot::default()),
+            ],
         );
         outage_caps.extend(out.actions);
     }
     // Fail-open: with no evidence of interference the tax decays and the
     // cap is eventually restored (a blind controller must not keep
     // punishing).
-    assert_eq!(last_cap_of(&outage_caps, STREAMER), Some(100), "fail-open restore");
+    assert_eq!(
+        last_cap_of(&outage_caps, STREAMER),
+        Some(100),
+        "fail-open restore"
+    );
 
     // Phase 3: data returns, interference persists → re-capped.
     let mut recovery_caps = Vec::new();
@@ -107,7 +128,10 @@ fn silent_agent_keeps_last_verdict_but_charges_continue() {
         rep.latency = None;
         let out = m.on_interval(ms(t), &[(REPORTER, rep), (STREAMER, silent(2000))]);
         // Charges keep flowing for the streamer's traffic.
-        assert!(out.charges.iter().any(|c| c.vm == STREAMER && c.io.as_milli() > 0));
+        assert!(out
+            .charges
+            .iter()
+            .any(|c| c.vm == STREAMER && c.io.as_milli() > 0));
     }
     let spent_after = m.account(STREAMER).unwrap().total_remaining();
     assert!(spent_after < spent_before, "charging never paused");

@@ -92,7 +92,10 @@ fn introspection_chain_end_to_end() {
                         lkey: mr.lkey,
                         local_gpa: buf,
                         len: 256 * 1024,
-                        remote: Some(RemoteTarget { rkey: sink_mr.rkey, gpa: sink_buf }),
+                        remote: Some(RemoteTarget {
+                            rkey: sink_mr.rkey,
+                            gpa: sink_buf,
+                        }),
                         imm: 0,
                         signaled: true,
                     },
@@ -115,12 +118,15 @@ fn introspection_chain_end_to_end() {
         xenstat.end_round(now);
         let out = mgr.on_interval(
             now,
-            &[(vm, VmSnapshot {
-                mtus: usage.mtus,
-                cpu_pct: cpu.percent,
-                latency: None,
-                est_buffer_bytes: usage.est_buffer_size,
-            })],
+            &[(
+                vm,
+                VmSnapshot {
+                    mtus: usage.mtus,
+                    cpu_pct: cpu.percent,
+                    latency: None,
+                    est_buffer_bytes: usage.est_buffer_size,
+                },
+            )],
         );
         for act in out.actions {
             let ManagerAction::SetCap { cap_pct, .. } = act;
@@ -182,7 +188,8 @@ fn cap_actuation_slows_guest_compute() {
     hv.advance(ms(2));
 
     hv.privileged_set_cap(dom0, guest, 10, ms(2)).unwrap();
-    hv.start_job(vcpu, SimDuration::from_millis(2), 2, ms(2)).unwrap();
+    hv.start_job(vcpu, SimDuration::from_millis(2), 2, ms(2))
+        .unwrap();
     let capped_finish = hv.next_time().unwrap();
     assert_eq!(
         capped_finish,

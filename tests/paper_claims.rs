@@ -24,7 +24,13 @@ fn figure1_interference_spreads_the_distribution() {
     // "for certain requests the service time is smaller than [the bulk of
     // the interfered distribution] possibly due to no interference": some
     // interfered mass must sit at/below the normal level.
-    let normal_peak_bin = r.normal.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+    let normal_peak_bin = r
+        .normal
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .unwrap()
+        .0;
     let low_mass: u64 = r.interfered[..=normal_peak_bin].iter().sum();
     assert!(low_mass > 0, "some requests dodge the interference");
 }
@@ -86,14 +92,26 @@ fn figure4_latency_decreases_with_cap() {
         .collect();
     // Non-increasing (within 3 µs noise) along the sweep 100 → 3.
     for w in capped.windows(2) {
-        assert!(w[1] <= w[0] + 3.0, "latency rose along the cap sweep: {w:?}");
+        assert!(
+            w[1] <= w[0] + 3.0,
+            "latency rose along the cap sweep: {w:?}"
+        );
     }
     // Cap 3 must recover most of the interference relative to cap 100.
-    let base = r.rows.iter().find(|x| x.cap_pct.is_none()).unwrap().total_us;
+    let base = r
+        .rows
+        .iter()
+        .find(|x| x.cap_pct.is_none())
+        .unwrap()
+        .total_us;
     let at100 = capped[0];
     let at3 = *capped.last().unwrap();
     let recovered = (at100 - at3) / (at100 - base);
-    assert!(recovered > 0.5, "cap 3 recovered only {:.0}%", recovered * 100.0);
+    assert!(
+        recovered > 0.5,
+        "cap 3 recovered only {:.0}%",
+        recovered * 100.0
+    );
 }
 
 #[test]
@@ -148,13 +166,16 @@ fn headline_claim_30pct_interference_reduction() {
     // Interference reduction as a fraction of the interfered latency; the
     // paper's headline number is "as much as 30%", we require a healthy
     // double-digit effect.
-    assert!(best > 0.10, "best latency reduction only {:.0}%", best * 100.0);
+    assert!(
+        best > 0.10,
+        "best latency reduction only {:.0}%",
+        best * 100.0
+    );
     let best_removed = r
         .rows
         .iter()
         .map(|row| {
-            (row.interfered_us - row.ioshares_us)
-                / (row.interfered_us - row.base_us).max(1e-9)
+            (row.interfered_us - row.ioshares_us) / (row.interfered_us - row.base_us).max(1e-9)
         })
         .fold(f64::NEG_INFINITY, f64::max);
     assert!(

@@ -1,0 +1,243 @@
+//! Vendored offline stub of `proptest`: a deterministic mini
+//! property-testing framework with the same user-facing macro surface
+//! (`proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_assume!`,
+//! `prop_oneof!`, `any`, `Just`, `prop::collection::vec`,
+//! `prop::option::of`, ranges as strategies, `.prop_map`).
+//!
+//! Differences from upstream, deliberately: a fixed case count (256) from
+//! a fixed seed derived from the test name — fully deterministic across
+//! runs and machines — and no shrinking (failures report the exact inputs
+//! by Debug instead).
+
+use std::fmt;
+
+pub mod strategy;
+
+/// Deterministic PRNG handed to strategies (SplitMix64 stream).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform u64 in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift; bias is negligible at test scales.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Why a single generated case did not pass.
+pub enum TestCaseError {
+    /// `prop_assume!` filtered this case out; try another.
+    Reject,
+    /// A `prop_assert!`-style check failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Debug for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject => f.write_str("rejected by prop_assume"),
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Cases generated per property.
+pub const CASES: u32 = 256;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property: generates cases, stops at the first failure.
+/// Rejections (from `prop_assume!`) don't count toward the case total but
+/// are capped to avoid spinning on an unsatisfiable assumption.
+pub fn run_cases<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let seed0 = fnv1a(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut stream = 0u64;
+    while passed < CASES {
+        let mut rng = TestRng::new(seed0 ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        stream += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected < 16 * CASES,
+                    "property `{name}`: too many prop_assume rejections \
+                     ({rejected} rejects for {passed} passes)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` failed at case {passed} (stream {stream}): {msg}");
+            }
+        }
+    }
+}
+
+/// The usual glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::TestCaseError;
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::option::of`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Option strategies.
+    pub mod option {
+        pub use crate::strategy::option_of as of;
+    }
+}
+
+/// Defines deterministic property tests; same shape as upstream's macro.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::gen(&($strat), __rng);)*
+                (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::proptest!{$($rest)*}
+    };
+}
+
+/// Asserts within a property; failures abort only the current case set.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+                        stringify!($left),
+                        stringify!($right),
+                        __l,
+                        __r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+                }
+            }
+        }
+    };
+}
+
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} != {}` (both: `{:?}`)",
+                        stringify!($left),
+                        stringify!($right),
+                        __l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Filters the current case; rejected cases are regenerated.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

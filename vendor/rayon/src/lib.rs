@@ -1,0 +1,48 @@
+//! Vendored offline stub of `rayon`: the same API shape, executed
+//! sequentially. The workspace's experiments fan out over `rayon::join`
+//! and `into_par_iter()`; with no registry access we degrade to in-order
+//! execution, which preserves determinism and correctness (results are
+//! `collect`ed positionally either way).
+
+/// Runs both closures (sequentially here) and returns their results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// `rayon::prelude` — parallel-iterator conversion traits.
+pub mod prelude {
+    /// Conversion into a "parallel" iterator; sequentially backed here, so
+    /// the full std `Iterator` adapter surface is available downstream.
+    pub trait IntoParallelIterator {
+        /// The iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item;
+        /// Converts `self` into an iterator (sequential in this stub).
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Slice-side conversion: `par_iter()` over shared references.
+    pub trait ParallelSlice<T> {
+        /// Iterates the slice (sequentially in this stub).
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+}

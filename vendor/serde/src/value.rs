@@ -1,0 +1,377 @@
+//! The JSON-shaped data model shared by the vendored `serde` and
+//! `serde_json` stubs. `Map` preserves insertion order so serialized
+//! output is deterministic (a hard requirement for byte-identical traces).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// An ordered string-keyed map (JSON object). Lookup is linear, which is
+/// fine at the object sizes this workspace produces.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts or replaces a key, returning any previous value.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// True if the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl IntoIterator for Map {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl Extend<(String, Value)> for Map {
+    fn extend<I: IntoIterator<Item = (String, Value)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        m.extend(iter);
+        m
+    }
+}
+
+/// A JSON value. Numbers keep their original flavour (unsigned, signed,
+/// float) so integers round-trip exactly.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object (insertion-ordered).
+    Object(Map),
+}
+
+impl Value {
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Object member lookup; `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// True if this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// String content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean content, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric content widened to f64, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(n) => Some(n),
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    /// Unsigned content, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) => u64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Signed content, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(n) => Some(n),
+            Value::U64(n) => i64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if let Value::Null = self {
+            *self = Value::Object(Map::new());
+        }
+        match self {
+            Value::Object(m) => {
+                if !m.contains_key(key) {
+                    m.insert(key.to_string(), Value::Null);
+                }
+                m.get_mut(key).unwrap()
+            }
+            _ => panic!("cannot index non-object value with a string key"),
+        }
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::value::to_json_compact(self))
+    }
+}
+
+/// Writes a JSON string literal with the escapes serde_json emits.
+pub fn escape_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats a float the way serde_json does for the common cases: integral
+/// values keep a trailing `.0`, everything else uses Rust's shortest
+/// round-trip form; non-finite numbers become `null`.
+pub fn format_f64(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else {
+        out.push_str(&format!("{n:?}"));
+    }
+}
+
+/// Compact (no whitespace) JSON rendering. Deterministic: object order is
+/// insertion order, float formatting is fixed.
+pub fn to_json_compact(v: &Value) -> String {
+    let mut out = String::new();
+    write_compact(v, &mut out);
+    out
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(n) => format_f64(*n, out),
+        Value::String(s) => escape_json_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_json_string(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty (2-space indented) JSON rendering, matching serde_json's layout.
+pub fn to_json_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_pretty(v, 0, &mut out);
+    out
+}
+
+fn write_pretty(v: &Value, depth: usize, out: &mut String) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(depth + 1, out);
+                write_pretty(item, depth + 1, out);
+            }
+            out.push('\n');
+            push_indent(depth, out);
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(depth + 1, out);
+                escape_json_string(k, out);
+                out.push_str(": ");
+                write_pretty(val, depth + 1, out);
+            }
+            out.push('\n');
+            push_indent(depth, out);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}

@@ -1,0 +1,506 @@
+//! Vendored offline stub of `serde_derive`.
+//!
+//! Generates impls of the vendored `serde` stub's `Serialize`/`Deserialize`
+//! traits (`to_value`/`from_value` over a JSON-shaped `Value` tree). The
+//! build environment has no crates.io access, so this parses the item's
+//! `TokenStream` by hand instead of using `syn`/`quote`.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! * structs with named fields (plus `#[serde(default)]` per field)
+//! * tuple structs (1 field = newtype: serialized as the inner value)
+//! * unit structs
+//! * enums with unit / tuple / struct variants, externally tagged like
+//!   upstream serde (`"Variant"` or `{"Variant": payload}`)
+//!
+//! Generics are not supported (no derived type in this workspace is
+//! generic); encountering them is a compile-time panic so the gap is loud.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// True if an attribute's bracket-group tokens spell `serde(default)`.
+fn attr_is_serde_default(group_tokens: TokenStream) -> bool {
+    let mut it = group_tokens.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(tt, TokenTree::Ident(ref id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let mut is_enum = false;
+    // Skip attributes and visibility up to the `struct`/`enum` keyword.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                break;
+            }
+            Some(_) => {}
+            None => panic!("serde_derive stub: no struct/enum found"),
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    // Reject generics: nothing in this workspace derives on generic types,
+    // and silently mis-handling them would be worse than failing loudly.
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+    let shape = if is_enum {
+        let body = expect_brace(&mut iter, &name);
+        Shape::Enum(parse_variants(body))
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("serde_derive stub: unexpected struct body for `{name}`: {other:?}"),
+        }
+    };
+    Item { name, shape }
+}
+
+fn expect_brace(
+    iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+    name: &str,
+) -> TokenStream {
+    for tt in iter.by_ref() {
+        if let TokenTree::Group(g) = tt {
+            if g.delimiter() == Delimiter::Brace {
+                return g.stream();
+            }
+        }
+    }
+    panic!("serde_derive stub: missing body for `{name}`")
+}
+
+/// Parses `name: Type, ...` fields, skipping attributes and visibility.
+/// Commas inside `<...>` generic arguments do not split fields.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let mut default = false;
+        // Attributes.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.next() {
+                        default |= attr_is_serde_default(g.stream());
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = iter.peek() {
+            if id.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive stub: expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected `:` after `{name}`, got {other:?}"),
+        }
+        skip_type_until_comma(&mut iter);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Consumes a type (and an optional trailing comma), tracking `<`/`>`
+/// nesting so generic arguments don't end the field early.
+fn skip_type_until_comma(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = iter.peek() {
+        match tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && angle_depth == 0 {
+                    iter.next();
+                    return;
+                }
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' {
+                    angle_depth -= 1;
+                }
+                iter.next();
+            }
+            _ => {
+                iter.next();
+            }
+        }
+    }
+}
+
+/// Counts tuple-struct fields: non-empty comma-separated segments at the
+/// top nesting level.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut seg_has_tokens = false;
+    let mut angle_depth = 0i32;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(ref p) if p.as_char() == ',' && angle_depth == 0 => {
+                if seg_has_tokens {
+                    count += 1;
+                }
+                seg_has_tokens = false;
+            }
+            TokenTree::Punct(ref p) => {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    _ => {}
+                }
+                seg_has_tokens = true;
+            }
+            _ => seg_has_tokens = true,
+        }
+    }
+    if seg_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Attributes (`#[default]`, doc comments, ...).
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive stub: expected variant name, got {other:?}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to the next variant (covers `= discriminant`).
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(ref p) = tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn ser_named_fields(recv: &str, fields: &[Field], out: &mut String) {
+    out.push_str("let mut __m = serde::Map::new();\n");
+    for f in fields {
+        out.push_str(&format!(
+            "__m.insert(String::from(\"{n}\"), serde::Serialize::to_value(&{recv}{n}));\n",
+            n = f.name
+        ));
+    }
+    out.push_str("serde::Value::Object(__m)\n");
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.shape {
+        Shape::Named(fields) => ser_named_fields("self.", fields, &mut body),
+        Shape::Tuple(1) => body.push_str("serde::Serialize::to_value(&self.0)\n"),
+        Shape::Tuple(n) => {
+            body.push_str("serde::Value::Array(vec![");
+            for i in 0..*n {
+                body.push_str(&format!("serde::Serialize::to_value(&self.{i}),"));
+            }
+            body.push_str("])\n");
+        }
+        Shape::Unit => body.push_str("serde::Value::Null\n"),
+        Shape::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => body.push_str(&format!(
+                        "{name}::{vname} => serde::Value::String(String::from(\"{vname}\")),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Array(vec![{}])", items.join(","))
+                        };
+                        body.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let mut __m = serde::Map::new();\n\
+                             __m.insert(String::from(\"{vname}\"), {payload});\n\
+                             serde::Value::Object(__m)\n}}\n",
+                            binds = binds.join(","),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::new();
+                        inner.push_str("let mut __vm = serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__vm.insert(String::from(\"{n}\"), serde::Serialize::to_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n{inner}\
+                             let mut __m = serde::Map::new();\n\
+                             __m.insert(String::from(\"{vname}\"), serde::Value::Object(__vm));\n\
+                             serde::Value::Object(__m)\n}}\n",
+                            binds = binds.join(","),
+                        ));
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+/// Emits the named-field constructor body `f: <lookup>, ...` reading from
+/// an object map named `{map}`.
+fn de_named_fields(type_label: &str, map: &str, fields: &[Field], out: &mut String) {
+    for f in fields {
+        let n = &f.name;
+        let missing = if f.default {
+            "Default::default()".to_string()
+        } else {
+            format!("return Err(serde::Error::custom(\"{type_label}: missing field `{n}`\"))")
+        };
+        out.push_str(&format!(
+            "{n}: match {map}.get(\"{n}\") {{\n\
+             Some(__x) => serde::Deserialize::from_value(__x)?,\n\
+             None => {missing},\n}},\n"
+        ));
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.shape {
+        Shape::Named(fields) => {
+            body.push_str(&format!(
+                "let __m = __v.as_object().ok_or_else(|| \
+                 serde::Error::custom(\"{name}: expected object\"))?;\n\
+                 Ok({name} {{\n"
+            ));
+            de_named_fields(name, "__m", fields, &mut body);
+            body.push_str("})\n");
+        }
+        Shape::Tuple(1) => {
+            body.push_str(&format!(
+                "Ok({name}(serde::Deserialize::from_value(__v)?))\n"
+            ));
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            body.push_str(&format!(
+                "match __v {{\n\
+                 serde::Value::Array(__a) if __a.len() == {n} => Ok({name}({items})),\n\
+                 _ => Err(serde::Error::custom(\"{name}: expected array of length {n}\")),\n}}\n",
+                items = items.join(",")
+            ));
+        }
+        Shape::Unit => body.push_str(&format!("let _ = __v; Ok({name})\n")),
+        Shape::Enum(variants) => {
+            body.push_str("match __v {\n");
+            // Unit variants arrive as plain strings.
+            body.push_str("serde::Value::String(__s) => match __s.as_str() {\n");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    body.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}),\n",
+                        vname = v.name
+                    ));
+                }
+            }
+            body.push_str(&format!(
+                "__other => Err(serde::Error::custom(format!(\
+                 \"{name}: unknown variant `{{__other}}`\"))),\n}},\n"
+            ));
+            // Payload variants arrive as single-key objects.
+            body.push_str(
+                "serde::Value::Object(__m) if __m.len() == 1 => {\n\
+                 let (__k, __p) = __m.iter().next().unwrap();\n\
+                 match __k.as_str() {\n",
+            );
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(1) => body.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(serde::Deserialize::from_value(__p)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        body.push_str(&format!(
+                            "\"{vname}\" => match __p {{\n\
+                             serde::Value::Array(__a) if __a.len() == {n} => \
+                             Ok({name}::{vname}({items})),\n\
+                             _ => Err(serde::Error::custom(\
+                             \"{name}::{vname}: expected array of length {n}\")),\n}},\n",
+                            items = items.join(",")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inner = String::new();
+                        de_named_fields(
+                            &format!("{name}::{vname}"),
+                            "__pm",
+                            fields,
+                            &mut inner,
+                        );
+                        body.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __pm = __p.as_object().ok_or_else(|| \
+                             serde::Error::custom(\"{name}::{vname}: expected object\"))?;\n\
+                             Ok({name}::{vname} {{\n{inner}}})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "__other => Err(serde::Error::custom(format!(\
+                 \"{name}: unknown variant `{{__other}}`\"))),\n}}\n}},\n"
+            ));
+            body.push_str(&format!(
+                "_ => Err(serde::Error::custom(\"{name}: expected string or object\")),\n}}\n"
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n{body}}}\n}}\n"
+    )
+}

@@ -1,0 +1,317 @@
+//! Vendored offline stub of `serde_json`, paired with the vendored `serde`
+//! stub's JSON-shaped data model. Provides `Value`/`Map`, `to_string`,
+//! `to_string_pretty`, `to_writer`/`to_writer_pretty`, `from_str`,
+//! `from_slice`, and the `json!` macro — the exact surface this workspace
+//! uses. Output is deterministic: object order is insertion order and
+//! float formatting is fixed, so identical inputs yield identical bytes.
+
+use std::io;
+
+pub use serde::{Map, Value};
+
+/// Serialization/deserialization error (re-exported serde error plus IO).
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Result alias matching upstream.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes to compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(serde::value::to_json_compact(&value.to_value()))
+}
+
+/// Serializes to 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(serde::value::to_json_pretty(&value.to_value()))
+}
+
+/// Serializes compactly into a writer.
+pub fn to_writer<W: io::Write, T: serde::Serialize>(mut writer: W, value: &T) -> Result<()> {
+    writer.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Serializes pretty into a writer.
+pub fn to_writer_pretty<W: io::Write, T: serde::Serialize>(mut writer: W, value: &T) -> Result<()> {
+    writer.write_all(to_string_pretty(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let value = parse::parse(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parses JSON bytes (must be UTF-8) into any deserializable type.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(e.to_string()))?;
+    from_str(s)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T> {
+    Ok(T::from_value(&value)?)
+}
+
+/// Builds a [`Value`] from JSON-ish syntax. Supports the forms used in
+/// this workspace: `json!(expr)`, `json!([a, b, ...])`, and
+/// `json!({ "key": value, ... })` (keys may be string literals).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $( $item:tt ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+    ({ $( $key:tt : $val:tt ),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $( __m.insert(String::from($key), $crate::json!($val)); )*
+        $crate::Value::Object(__m)
+    }};
+    ($other:expr) => {
+        $crate::value_from(&$other)
+    };
+}
+
+/// `json!` support: converts a serializable expression to a [`Value`].
+pub fn value_from<T: serde::Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+mod parse {
+    use super::{Error, Map, Result, Value};
+
+    pub fn parse(s: &str) -> Result<Value> {
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        skip_ws(bytes, &mut pos);
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(Error::new(format!("trailing characters at byte {pos}")));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value> {
+        match b.get(*pos) {
+            None => Err(Error::new("unexpected end of input")),
+            Some(b'n') => lit(b, pos, "null", Value::Null),
+            Some(b't') => lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => lit(b, pos, "false", Value::Bool(false)),
+            Some(b'"') => parse_string(b, pos).map(Value::String),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error::new(format!("expected `,` or `]` at byte {pos}"))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut map = Map::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = parse_string(b, pos)?;
+                    skip_ws(b, pos);
+                    if b.get(*pos) != Some(&b':') {
+                        return Err(Error::new(format!("expected `:` at byte {pos}")));
+                    }
+                    *pos += 1;
+                    skip_ws(b, pos);
+                    let val = parse_value(b, pos)?;
+                    map.insert(key, val);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => return Err(Error::new(format!("expected `,` or `}}` at byte {pos}"))),
+                    }
+                }
+            }
+            Some(_) => parse_number(b, pos),
+        }
+    }
+
+    fn lit(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value> {
+        if b[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {pos}")))
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(Error::new(format!("expected string at byte {pos}")));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hi = parse_hex4(b, pos)?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if b.get(*pos + 1) == Some(&b'\\') && b.get(*pos + 2) == Some(&b'u')
+                                {
+                                    *pos += 2;
+                                    let lo = parse_hex4(b, pos)?;
+                                    let code = 0x10000
+                                        + ((hi - 0xD800) << 10)
+                                        + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(code)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| Error::new("invalid \\u escape"))?);
+                        }
+                        _ => return Err(Error::new(format!("bad escape at byte {pos}"))),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input was validated as str).
+                    let start = *pos;
+                    let mut end = start + 1;
+                    while end < b.len() && (b[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&b[start..end]).unwrap());
+                    *pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32> {
+        // `*pos` is at the 'u'; consume 4 hex digits after it.
+        let start = *pos + 1;
+        let end = start + 4;
+        if end > b.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&b[start..end]).map_err(|_| Error::new("bad \\u escape"))?;
+        let n = u32::from_str_radix(s, 16).map_err(|_| Error::new("bad \\u escape"))?;
+        *pos = end - 1;
+        Ok(n)
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value> {
+        let start = *pos;
+        if b.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&c) = b.get(*pos) {
+            match c {
+                b'0'..=b'9' => *pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    *pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&b[start..*pos]).unwrap();
+        if text.is_empty() || text == "-" {
+            return Err(Error::new(format!("invalid number at byte {start}")));
+        }
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(n) = stripped.parse::<i64>() {
+                    return Ok(Value::I64(-n));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
