@@ -12,10 +12,44 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> cargo build --release (tier-1)"
-cargo build --release --offline
+# --workspace everywhere: the repo root is itself a package (resex-repro),
+# so a bare `cargo build` would build only it — leaving the resex-bench
+# `repro` binary the gates below depend on stale (or missing on a fresh
+# clone), and skipping the member crates' test suites.
+echo "==> cargo build --release --workspace"
+cargo build --release --offline --workspace
 
-echo "==> cargo test -q (tier-1)"
-cargo test -q --offline
+echo "==> cargo test -q --workspace (superset of tier-1)"
+cargo test -q --offline --workspace
+
+REPRO=./target/release/repro
+# Pool width for the parallel legs: the host's cores, but at least 4 so
+# cross-thread stealing is exercised even on small CI hosts.
+PAR_THREADS="${RESEX_PAR_THREADS:-$(nproc)}"
+if [ "$PAR_THREADS" -lt 4 ]; then PAR_THREADS=4; fi
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "==> determinism gate: fig9 --quick JSON, RESEX_THREADS=1 vs $PAR_THREADS"
+RESEX_THREADS=1 "$REPRO" fig9 --quick --json "$TMP/fig9_seq.json" >/dev/null 2>&1
+RESEX_THREADS="$PAR_THREADS" "$REPRO" fig9 --quick --json "$TMP/fig9_par.json" >/dev/null 2>&1
+cmp "$TMP/fig9_seq.json" "$TMP/fig9_par.json"
+echo "    byte-identical"
+
+echo "==> sweep wall-clock: repro all --quick (per-target timings below)"
+t0=$(date +%s.%N)
+RESEX_THREADS=1 "$REPRO" all --quick >/dev/null
+t1=$(date +%s.%N)
+RESEX_THREADS="$PAR_THREADS" "$REPRO" all --quick >/dev/null
+t2=$(date +%s.%N)
+awk -v t0="$t0" -v t1="$t1" -v t2="$t2" -v par="$PAR_THREADS" -v cores="$(nproc)" '
+BEGIN {
+    seq = t1 - t0; parallel = t2 - t1;
+    printf "    sequential (RESEX_THREADS=1):   %6.2f s\n", seq;
+    printf "    parallel   (RESEX_THREADS=%d):   %6.2f s\n", par, parallel;
+    printf "    speedup: %.2fx on %d core(s)\n", seq / parallel, cores;
+    printf "{\n  \"bench\": \"repro all --quick\",\n  \"cores\": %d,\n  \"threads_parallel\": %d,\n  \"sequential_s\": %.3f,\n  \"parallel_s\": %.3f,\n  \"speedup\": %.3f\n}\n", cores, par, seq, parallel, seq / parallel > "BENCH_sweep.json";
+}'
+echo "    wrote BENCH_sweep.json"
 
 echo "==> OK"

@@ -12,7 +12,14 @@
 //! / `--metrics PATH` additionally run the representative managed
 //! scenario (64KB + 2MB under FreeMarket) with observability on and write
 //! a Perfetto-loadable trace / per-interval JSONL metrics.
+//!
+//! `all` computes the independent figure targets **concurrently** on the
+//! work-stealing pool (each figure also fans its own sweep points out),
+//! then prints every figure in the canonical order — so stdout and the
+//! JSON document are byte-identical whether the pool has 1 thread
+//! (`RESEX_THREADS=1`) or many. Per-target wall-clock goes to stderr.
 
+use rayon::prelude::*;
 use resex_platform::experiments::{
     ablation, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, hw_qos, scaling, Scale,
 };
@@ -23,7 +30,8 @@ use std::io::Write;
 fn usage() -> ! {
     eprintln!(
         "usage: repro <fig1|...|fig9|ablation|hw_qos|scaling|all> \
-         [--quick|--full] [--json PATH] [--trace PATH] [--metrics PATH]"
+         [--quick|--full] [--duration-ms N] [--warmup-ms N] \
+         [--json PATH] [--trace PATH] [--metrics PATH]"
     );
     std::process::exit(2);
 }
@@ -49,73 +57,76 @@ fn observed_representative(scale: &Scale, trace_path: Option<&str>, metrics_path
     }
 }
 
-fn run_target(target: &str, scale: &Scale) -> Value {
-    let t0 = std::time::Instant::now();
-    let value = match target {
-        "fig1" => {
-            let r = fig1::run(scale);
-            r.print();
-            json!({ "fig1": r })
+/// A computed figure: printing is deferred so `all` can compute targets
+/// concurrently and still print in canonical order.
+enum FigOutput {
+    Fig1(fig1::Fig1Result),
+    Fig2(fig2::Fig2Result),
+    Fig3(fig3::Fig3Result),
+    Fig4(fig4::Fig4Result),
+    Fig5(fig5::Fig5Result),
+    Fig6(fig6::Fig6Result),
+    Fig7(fig7::Fig7Result),
+    Fig8(fig8::Fig8Result),
+    Fig9(fig9::Fig9Result),
+    Ablation(ablation::AblationResult),
+    HwQos(hw_qos::HwQosResult),
+    Scaling(scaling::ScalingResult),
+}
+
+impl FigOutput {
+    fn print(&self) {
+        match self {
+            FigOutput::Fig1(r) => r.print(),
+            FigOutput::Fig2(r) => r.print(),
+            FigOutput::Fig3(r) => r.print(),
+            FigOutput::Fig4(r) => r.print(),
+            FigOutput::Fig5(r) => r.print(),
+            FigOutput::Fig6(r) => r.print(),
+            FigOutput::Fig7(r) => r.print(),
+            FigOutput::Fig8(r) => r.print(),
+            FigOutput::Fig9(r) => r.print(),
+            FigOutput::Ablation(r) => r.print(),
+            FigOutput::HwQos(r) => r.print(),
+            FigOutput::Scaling(r) => r.print(),
         }
-        "fig2" => {
-            let r = fig2::run(scale);
-            r.print();
-            json!({ "fig2": r })
+    }
+
+    fn json(&self, target: &str) -> Value {
+        match self {
+            FigOutput::Fig1(r) => json!({ target: r }),
+            FigOutput::Fig2(r) => json!({ target: r }),
+            FigOutput::Fig3(r) => json!({ target: r }),
+            FigOutput::Fig4(r) => json!({ target: r }),
+            FigOutput::Fig5(r) => json!({ target: r }),
+            FigOutput::Fig6(r) => json!({ target: r }),
+            FigOutput::Fig7(r) => json!({ target: r }),
+            FigOutput::Fig8(r) => json!({ target: r }),
+            FigOutput::Fig9(r) => json!({ target: r }),
+            FigOutput::Ablation(r) => json!({ target: r }),
+            FigOutput::HwQos(r) => json!({ target: r }),
+            FigOutput::Scaling(r) => json!({ target: r }),
         }
-        "fig3" => {
-            let r = fig3::run(scale);
-            r.print();
-            json!({ "fig3": r })
-        }
-        "fig4" => {
-            let r = fig4::run(scale);
-            r.print();
-            json!({ "fig4": r })
-        }
-        "fig5" => {
-            let r = fig5::run(scale);
-            r.print();
-            json!({ "fig5": r })
-        }
-        "fig6" => {
-            let r = fig6::run(scale);
-            r.print();
-            json!({ "fig6": r })
-        }
-        "fig7" => {
-            let r = fig7::run(scale);
-            r.print();
-            json!({ "fig7": r })
-        }
-        "fig8" => {
-            let r = fig8::run(scale);
-            r.print();
-            json!({ "fig8": r })
-        }
-        "fig9" => {
-            let r = fig9::run(scale);
-            r.print();
-            json!({ "fig9": r })
-        }
-        "ablation" => {
-            let r = ablation::run(scale);
-            r.print();
-            json!({ "ablation": r })
-        }
-        "hw_qos" => {
-            let r = hw_qos::run(scale);
-            r.print();
-            json!({ "hw_qos": r })
-        }
-        "scaling" => {
-            let r = scaling::run(scale);
-            r.print();
-            json!({ "scaling": r })
-        }
+    }
+}
+
+/// Runs one target's simulations without printing anything.
+fn compute_target(target: &str, scale: &Scale) -> FigOutput {
+    match target {
+        "fig1" => FigOutput::Fig1(fig1::run(scale)),
+        "fig2" => FigOutput::Fig2(fig2::run(scale)),
+        "fig3" => FigOutput::Fig3(fig3::run(scale)),
+        "fig4" => FigOutput::Fig4(fig4::run(scale)),
+        "fig5" => FigOutput::Fig5(fig5::run(scale)),
+        "fig6" => FigOutput::Fig6(fig6::run(scale)),
+        "fig7" => FigOutput::Fig7(fig7::run(scale)),
+        "fig8" => FigOutput::Fig8(fig8::run(scale)),
+        "fig9" => FigOutput::Fig9(fig9::run(scale)),
+        "ablation" => FigOutput::Ablation(ablation::run(scale)),
+        "hw_qos" => FigOutput::HwQos(hw_qos::run(scale)),
+        "scaling" => FigOutput::Scaling(scaling::run(scale)),
         _ => usage(),
-    };
-    eprintln!("[{target} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
-    value
+    }
 }
 
 fn main() {
@@ -133,6 +144,27 @@ fn main() {
         match args[i].as_str() {
             "--quick" => scale = Scale::quick(),
             "--full" => scale = Scale::full(),
+            // Span overrides on top of the selected scale; mainly for the
+            // determinism test suite, which wants the same sweep *shape*
+            // over a shorter simulated span.
+            "--duration-ms" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&ms| ms > 0)
+                    .unwrap_or_else(|| usage());
+                scale.duration = resex_simcore::time::SimDuration::from_millis(ms);
+                scale.timeline = resex_simcore::time::SimDuration::from_millis(2 * ms);
+            }
+            "--warmup-ms" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                scale.warmup = resex_simcore::time::SimDuration::from_millis(ms);
+            }
             "--json" => {
                 i += 1;
                 json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
@@ -161,13 +193,35 @@ fn main() {
         vec![target.as_str()]
     };
 
+    // Compute every target on the pool (each target also parallelizes its
+    // own sweep), then print in canonical order: output is byte-identical
+    // to a sequential run.
+    let t_all = std::time::Instant::now();
+    let computed: Vec<(&str, FigOutput, f64)> = targets
+        .into_par_iter()
+        .map(|t| {
+            let t0 = std::time::Instant::now();
+            let out = compute_target(t, &scale);
+            (t, out, t0.elapsed().as_secs_f64())
+        })
+        .collect();
+    let wall = t_all.elapsed().as_secs_f64();
+
     let mut doc = serde_json::Map::new();
-    for t in targets {
-        let v = run_target(t, &scale);
-        if let Value::Object(m) = v {
+    for (t, out, secs) in &computed {
+        out.print();
+        eprintln!("[{t} done in {secs:.1}s]\n");
+        if let Value::Object(m) = out.json(t) {
             doc.extend(m);
         }
         println!();
+    }
+    if computed.len() > 1 {
+        eprintln!(
+            "[{} targets in {wall:.1}s wall-clock on {} pool thread(s)]",
+            computed.len(),
+            rayon::current_num_threads()
+        );
     }
 
     if let Some(path) = json_path {

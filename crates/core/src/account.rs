@@ -60,8 +60,17 @@ impl ResoAccount {
 
     /// Remaining balance as a fraction of the allocation (≤ 0 when
     /// overdrawn). This drives FreeMarket's low-balance throttle.
+    ///
+    /// A zero allocation yields `1.0`: nothing was granted, so nothing is
+    /// depleted. (Returning 0 here made zero-allocation VMs look fully
+    /// depleted, and the low-balance throttle pinned them at the floor cap
+    /// forever.)
     pub fn fraction_remaining(&self) -> f64 {
-        self.total_remaining().fraction_of(self.total_alloc())
+        let total = self.total_alloc();
+        if total == Resos::ZERO {
+            return 1.0;
+        }
+        self.total_remaining().fraction_of(total)
     }
 
     /// Charges CPU usage; returns the amount charged.
@@ -145,6 +154,14 @@ mod tests {
         a.replenish(Some((Resos::from_whole(50_000), Resos::from_whole(100))));
         assert_eq!(a.cpu_alloc, Resos::from_whole(50_000));
         assert_eq!(a.io_remaining(), Resos::from_whole(100));
+    }
+
+    #[test]
+    fn zero_allocation_is_fully_funded_not_depleted() {
+        // Regression: this returned 0.0 ("fully depleted") and tripped the
+        // low-balance throttle for VMs that were never granted anything.
+        let a = ResoAccount::new(Resos::ZERO, Resos::ZERO);
+        assert_eq!(a.fraction_remaining(), 1.0);
     }
 
     #[test]

@@ -206,6 +206,34 @@ mod tests {
     }
 
     #[test]
+    fn zero_allocation_vm_is_never_throttled() {
+        // Regression: fraction_remaining() used to report 0.0 ("fully
+        // depleted") for a zero allocation, so FreeMarket walked the VM's
+        // cap down every interval and pinned it at the floor forever.
+        let mut fm = FreeMarket::new();
+        let cfg = ResExConfig::default();
+        let vms = ctx_vms();
+        let lookup = |_vm: VmId| Some(ResoAccount::new(Resos::ZERO, Resos::ZERO));
+        for interval in 0..30 {
+            let ctx = IntervalCtx {
+                now: SimTime::ZERO,
+                interval_in_epoch: interval,
+                intervals_per_epoch: 1000,
+                vms: &vms,
+                accounts: &lookup,
+                cfg: &cfg,
+            };
+            let v = fm.on_interval(&ctx);
+            assert_eq!(
+                v[0],
+                VmVerdict::neutral(VmId::new(0)),
+                "interval {interval}: nothing granted means nothing depleted"
+            );
+        }
+        assert_eq!(fm.cap_of(VmId::new(0)), 100);
+    }
+
+    #[test]
     fn unknown_account_is_neutral() {
         let mut fm = FreeMarket::new();
         let cfg = ResExConfig::default();

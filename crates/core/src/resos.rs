@@ -10,6 +10,12 @@
 //! against the VM — so a VM can never squeeze free I/O out of rounding.
 //! Balances may go negative: a VM can overdraw within one interval (usage
 //! is only observed after the fact); policies react on the next interval.
+//!
+//! All arithmetic **saturates** at the `i64` extremes instead of wrapping:
+//! a pathological epoch allocation (`from_whole(i64::MAX)`) or an absurd
+//! charge pegs at the representable maximum rather than flipping sign —
+//! wrapping would let a huge debit *mint* currency. This is property-tested
+//! in `tests/overflow.rs`.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -24,10 +30,11 @@ impl Resos {
     /// Zero Resos.
     pub const ZERO: Resos = Resos(0);
 
-    /// Constructs from whole Resos.
+    /// Constructs from whole Resos, saturating at the `i64` milli-Reso
+    /// extremes (no configuration can wrap an allocation negative).
     #[inline]
     pub const fn from_whole(n: i64) -> Self {
-        Resos(n * 1000)
+        Resos(n.saturating_mul(1000))
     }
 
     /// Constructs from milli-Resos.
@@ -55,14 +62,29 @@ impl Resos {
     }
 
     /// Charges `units` of a resource at `rate` Resos per unit, rounding up
-    /// (against the VM).
+    /// (against the VM). Charges beyond the `i64` milli-Reso range saturate
+    /// at `i64::MAX` — an overcharge, never a sign flip that would credit
+    /// the VM.
     ///
     /// # Panics
     /// If `rate` is negative or non-finite.
     pub fn charge(units: f64, rate: f64) -> Resos {
         assert!(rate >= 0.0 && rate.is_finite(), "invalid rate {rate}");
         assert!(units >= 0.0 && units.is_finite(), "invalid units {units}");
-        Resos((units * rate * 1000.0).ceil() as i64)
+        let milli = (units * rate * 1000.0).ceil();
+        // Any real configuration stays far below this; catch the ones that
+        // don't during development.
+        debug_assert!(
+            milli < i64::MAX as f64,
+            "charge({units}, {rate}) exceeds the milli-Reso range"
+        );
+        // `as` saturates float→int, but make the clamp explicit so the
+        // no-minting guarantee does not hinge on a cast subtlety.
+        if milli >= i64::MAX as f64 {
+            Resos(i64::MAX)
+        } else {
+            Resos(milli as i64)
+        }
     }
 
     /// Multiplies by a non-negative fraction, rounding down (allocations
@@ -91,14 +113,14 @@ impl Add for Resos {
     type Output = Resos;
     #[inline]
     fn add(self, rhs: Resos) -> Resos {
-        Resos(self.0 + rhs.0)
+        Resos(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for Resos {
     #[inline]
     fn add_assign(&mut self, rhs: Resos) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -106,14 +128,14 @@ impl Sub for Resos {
     type Output = Resos;
     #[inline]
     fn sub(self, rhs: Resos) -> Resos {
-        Resos(self.0 - rhs.0)
+        Resos(self.0.saturating_sub(rhs.0))
     }
 }
 
 impl SubAssign for Resos {
     #[inline]
     fn sub_assign(&mut self, rhs: Resos) {
-        self.0 -= rhs.0;
+        self.0 = self.0.saturating_sub(rhs.0);
     }
 }
 
@@ -121,7 +143,8 @@ impl Neg for Resos {
     type Output = Resos;
     #[inline]
     fn neg(self) -> Resos {
-        Resos(-self.0)
+        // i64::MIN has no positive counterpart; saturate rather than wrap.
+        Resos(self.0.checked_neg().unwrap_or(i64::MAX))
     }
 }
 
@@ -204,6 +227,24 @@ mod tests {
     #[should_panic]
     fn negative_rate_panics() {
         Resos::charge(1.0, -1.0);
+    }
+
+    #[test]
+    fn extremes_saturate_instead_of_wrapping() {
+        // Regression: these wrapped in release builds (and aborted in
+        // debug) before the arithmetic became saturating.
+        assert_eq!(Resos::from_whole(i64::MAX).as_milli(), i64::MAX);
+        assert_eq!(Resos::from_whole(i64::MIN).as_milli(), i64::MIN);
+        let top = Resos::from_milli(i64::MAX);
+        let bottom = Resos::from_milli(i64::MIN);
+        assert_eq!(top + top, top, "addition pegs at MAX");
+        assert_eq!(bottom - top, bottom, "subtraction pegs at MIN");
+        assert_eq!(-bottom, top, "negating MIN saturates");
+        let mut acc = top;
+        acc += top;
+        assert_eq!(acc, top);
+        acc -= bottom;
+        assert_eq!(acc, top);
     }
 
     #[test]

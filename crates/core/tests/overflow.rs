@@ -1,0 +1,58 @@
+//! Property tests: no configuration can mint currency via integer
+//! overflow. Reso arithmetic saturates at the `i64` milli-Reso extremes,
+//! so a huge allocation or charge can peg at the maximum — it can never
+//! wrap around and hand a VM a negative (i.e. freshly minted positive,
+//! after a debit) balance.
+
+use proptest::prelude::*;
+use resex_core::Resos;
+
+proptest! {
+    /// `from_whole` never flips sign, however large the epoch allocation.
+    #[test]
+    fn from_whole_preserves_sign(n in any::<i64>()) {
+        let r = Resos::from_whole(n);
+        prop_assert_eq!(r.as_milli() >= 0, n >= 0, "n={} -> {}", n, r.as_milli());
+    }
+
+    /// Adding to a balance never decreases it when the addend is
+    /// non-negative (wrapping addition violated this for large balances).
+    #[test]
+    fn add_is_monotone(a in any::<i64>(), b in 0i64..i64::MAX) {
+        let sum = Resos::from_milli(a) + Resos::from_milli(b);
+        prop_assert!(sum >= Resos::from_milli(a), "a={a} b={b} sum={:?}", sum);
+    }
+
+    /// Charging (subtracting a non-negative amount) never increases the
+    /// balance — the wrap that would "mint" currency is impossible.
+    #[test]
+    fn charges_never_mint(balance in any::<i64>(), debit in 0i64..i64::MAX) {
+        let after = Resos::from_milli(balance) - Resos::from_milli(debit);
+        prop_assert!(
+            after <= Resos::from_milli(balance),
+            "balance={balance} debit={debit} after={:?}",
+            after
+        );
+    }
+
+    /// `Resos::charge` output is always non-negative for valid inputs,
+    /// even when the product blows past the representable range.
+    #[test]
+    fn charge_output_is_non_negative(units in 0.0f64..1e18, rate in 0.0f64..1e6) {
+        // Stay below the debug assertion's threshold in debug builds; the
+        // saturation path itself is covered by the unit tests.
+        if cfg!(debug_assertions) && units * rate * 1000.0 >= i64::MAX as f64 {
+            return Ok(());
+        }
+        let c = Resos::charge(units, rate);
+        prop_assert!(c >= Resos::ZERO, "charge({units}, {rate}) = {:?}", c);
+    }
+
+    /// Round-trip identity where no saturation occurs: `(a + b) - b == a`.
+    #[test]
+    fn add_sub_round_trips_in_range(a in -1_000_000_000i64..1_000_000_000,
+                                    b in -1_000_000_000i64..1_000_000_000) {
+        let (ra, rb) = (Resos::from_milli(a), Resos::from_milli(b));
+        prop_assert_eq!((ra + rb) - rb, ra);
+    }
+}

@@ -29,6 +29,10 @@ pub struct Fig6Result {
 }
 
 /// Runs FreeMarket and extracts the account/cap traces.
+///
+/// This is the one single-scenario figure — there is no sweep to fan out
+/// on the pool; under `repro all` it instead runs concurrently with the
+/// other figure targets.
 pub fn run(scale: &Scale) -> Fig6Result {
     let mut cfg = ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::FreeMarket);
     cfg.duration = scale.timeline;

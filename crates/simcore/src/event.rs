@@ -11,7 +11,11 @@
 //!    `now` in release) so causality violations surface during development.
 //!
 //! Events can be cancelled by [`EventKey`] without heap surgery: cancellation
-//! marks the key dead and the entry is discarded lazily on pop.
+//! marks the key dead and the entry is discarded lazily on pop. The queue
+//! tracks which sequence numbers are still pending, so cancelling a key that
+//! already fired (or was already cancelled) is a reported no-op and the
+//! cancellation set stays bounded by the number of live entries — it cannot
+//! grow without limit over a long run.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
@@ -66,7 +70,12 @@ impl<E> Ord for Entry<E> {
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Seqs cancelled but still physically in the heap (lazily removed).
+    /// Always a subset of the heap's seqs, so it is bounded by `heap.len()`.
     cancelled: HashSet<u64>,
+    /// Seqs scheduled, not yet fired, not cancelled. The authoritative
+    /// answer to "is this key still pending?".
+    pending: HashSet<u64>,
     next_seq: u64,
     now: SimTime,
 }
@@ -77,6 +86,7 @@ impl<E> EventQueue<E> {
         Self {
             heap: BinaryHeap::new(),
             cancelled: HashSet::new(),
+            pending: HashSet::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -90,7 +100,13 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) scheduled events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.pending.len()
+    }
+
+    /// Number of cancelled entries still awaiting lazy removal from the
+    /// heap (diagnostics; bounded by the number of scheduled entries).
+    pub fn cancelled_backlog(&self) -> usize {
+        self.cancelled.len()
     }
 
     /// True if no live events remain.
@@ -112,6 +128,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, payload });
+        self.pending.insert(seq);
         EventKey(seq)
     }
 
@@ -122,15 +139,18 @@ impl<E> EventQueue<E> {
 
     /// Cancels a previously scheduled event. Returns true if the event was
     /// still pending (i.e. had not fired and was not already cancelled).
+    ///
+    /// Cancelling a key that already fired — or was already cancelled, or
+    /// was never issued — returns false and changes nothing: the pending
+    /// set knows exactly which seqs are still live, so stale keys cannot
+    /// leak into the cancellation set.
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if key.0 >= self.next_seq {
+        if !self.pending.remove(&key.0) {
             return false;
         }
-        // We cannot cheaply tell whether the seq already fired, so track
-        // cancellations and reconcile on pop. Inserting a fired seq is
-        // harmless: it can never be popped again, but it would leak; callers
-        // in this codebase only cancel pending timers they own.
-        self.cancelled.insert(key.0)
+        // Still in the heap: mark for lazy removal on pop/peek.
+        self.cancelled.insert(key.0);
+        true
     }
 
     /// The firing time of the next live event, if any.
@@ -145,6 +165,7 @@ impl<E> EventQueue<E> {
         let entry = self.heap.pop()?;
         debug_assert!(entry.at >= self.now, "event calendar went backwards");
         self.now = entry.at;
+        self.pending.remove(&entry.seq);
         Some((entry.at, entry.payload))
     }
 
@@ -245,6 +266,41 @@ mod tests {
     fn cancel_unknown_key_is_noop() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(!q.cancel(EventKey(99)));
+    }
+
+    #[test]
+    fn cancel_fired_key_reports_false() {
+        // Regression: cancelling an already-fired key used to return true
+        // and park the seq in the cancellation set forever.
+        let mut q = EventQueue::new();
+        let k = q.schedule_at(us(10), 1);
+        assert_eq!(q.pop(), Some((us(10), 1)));
+        assert!(!q.cancel(k), "a fired event is no longer pending");
+        assert_eq!(q.cancelled_backlog(), 0, "stale key must not leak");
+        // The queue stays fully functional afterwards.
+        let k2 = q.schedule_at(us(20), 2);
+        assert!(q.cancel(k2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancellation_set_stays_bounded_in_long_runs() {
+        // Cancel-after-fire in a loop: the backlog must not accumulate.
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            let k = q.schedule_after(SimDuration::from_micros(1), i);
+            q.pop();
+            assert!(!q.cancel(k));
+        }
+        assert_eq!(q.cancelled_backlog(), 0);
+        // Cancel-before-fire: entries are reclaimed as the heap drains.
+        let keys: Vec<_> = (0..100).map(|i| q.schedule_at(us(1_000_000), i)).collect();
+        for k in keys {
+            assert!(q.cancel(k));
+        }
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.cancelled_backlog(), 0, "drained heap reclaims the set");
     }
 
     #[test]

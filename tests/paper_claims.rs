@@ -3,6 +3,12 @@
 //!
 //! These run the same experiment harness as the `repro` binary, so a
 //! passing suite means `repro all` tells the paper's story.
+//!
+//! Each `figN::run` fans its sweep points out on the work-stealing pool
+//! (`vendor/rayon`), so this — the slowest tier-1 binary — scales with
+//! the host's cores. Results are byte-identical to sequential execution
+//! (see `tests/parallel_determinism.rs`); set `RESEX_THREADS=1` to force
+//! the sequential baseline when debugging a figure.
 
 use resex_platform::experiments::{fig1, fig2, fig3, fig4, fig8, fig9, Scale};
 

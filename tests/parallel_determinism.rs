@@ -1,0 +1,43 @@
+//! In-process determinism check at the library level: running the same
+//! figure sweep twice on the live work-stealing pool must serialize to
+//! exactly the same JSON. This complements `crates/bench/tests/determinism.rs`
+//! (which compares sequential vs parallel across processes) by catching
+//! ordering leaks without any subprocess indirection.
+
+use resex_platform::experiments::{fig9, Scale};
+use resex_simcore::time::SimDuration;
+use std::sync::OnceLock;
+
+/// Forces a 4-wide pool before its first use (unless the environment
+/// explicitly pinned a width).
+fn pool4() {
+    static INIT: OnceLock<()> = OnceLock::new();
+    INIT.get_or_init(|| {
+        if std::env::var("RESEX_THREADS").is_err() {
+            assert!(rayon::set_num_threads(4), "pool already started");
+        }
+    });
+}
+
+/// A shortened fig9 sweep: same shape as `Scale::quick`, small enough for
+/// debug-profile test runs.
+fn short() -> Scale {
+    Scale {
+        duration: SimDuration::from_millis(400),
+        timeline: SimDuration::from_millis(800),
+        warmup: SimDuration::from_millis(100),
+    }
+}
+
+#[test]
+fn fig9_sweep_is_reproducible_on_the_pool() {
+    pool4();
+    let scale = short();
+    let first = serde_json::to_string(&fig9::run(&scale)).expect("serialize");
+    let second = serde_json::to_string(&fig9::run(&scale)).expect("serialize");
+    assert!(!first.is_empty());
+    assert_eq!(
+        first, second,
+        "same sweep, same pool, different JSON — scheduling leaked into results"
+    );
+}

@@ -1,0 +1,121 @@
+//! Minimal parallel iterators: the `into_par_iter().map(f).collect()`
+//! shape the workspace's experiment sweeps use, executed on the
+//! work-stealing pool.
+//!
+//! The driver is [`par_map_vec`]: it materialises the input, then
+//! recursively halves the index range with [`crate::join`] until
+//! single-item leaves, writing each result into its own slot. Collection
+//! is therefore **positional** — output order equals input order no
+//! matter which worker computed which element — which is what makes
+//! parallel sweeps byte-identical to sequential ones.
+
+use crate::pool;
+
+/// A "parallel iterator" over an owned sequence of items.
+///
+/// Unlike the upstream crate this is not a lazy splitting producer: the
+/// items are buffered up front (sweep inputs are tiny — a handful of
+/// configurations — while each element's work is a whole simulation).
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub(crate) fn new(items: Vec<T>) -> Self {
+        ParIter { items }
+    }
+
+    /// Maps every element through `f`, in parallel at collection time.
+    ///
+    /// The `Fn(T) -> R` bound is stated here (not just at `collect`) so
+    /// closure parameter types infer exactly as they do with `Iterator`.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Number of elements the iterator will yield.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped parallel iterator; created by [`ParIter::map`].
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Runs the map on the pool and collects the results positionally.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromParallelIterator<R>,
+    {
+        C::from_par_vec(par_map_vec(self.items, &self.f))
+    }
+}
+
+/// Types a parallel iterator can collect into.
+pub trait FromParallelIterator<R> {
+    /// Builds the collection from results already in input order.
+    fn from_par_vec(results: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_par_vec(results: Vec<R>) -> Self {
+        results
+    }
+}
+
+/// Maps `items` through `f` on the pool, preserving input order exactly.
+pub(crate) fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if items.len() <= 1 || pool::current_num_threads() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let mut src: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut dst: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    map_split(&mut src, &mut dst, f);
+    dst.into_iter()
+        .map(|slot| slot.expect("parallel map left a hole"))
+        .collect()
+}
+
+/// Binary split: each half becomes a stealable job; leaves of one element
+/// run the closure and store into the slot that mirrors their position.
+fn map_split<T, R, F>(src: &mut [Option<T>], dst: &mut [Option<R>], f: &F)
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    debug_assert_eq!(src.len(), dst.len());
+    if src.len() <= 1 {
+        if let (Some(slot), Some(out)) = (src.first_mut(), dst.first_mut()) {
+            *out = Some(f(slot.take().expect("parallel map item taken twice")));
+        }
+        return;
+    }
+    let mid = src.len() / 2;
+    let (s_lo, s_hi) = src.split_at_mut(mid);
+    let (d_lo, d_hi) = dst.split_at_mut(mid);
+    crate::join(|| map_split(s_lo, d_lo, f), || map_split(s_hi, d_hi, f));
+}

@@ -1,48 +1,93 @@
-//! Vendored offline stub of `rayon`: the same API shape, executed
-//! sequentially. The workspace's experiments fan out over `rayon::join`
-//! and `into_par_iter()`; with no registry access we degrade to in-order
-//! execution, which preserves determinism and correctness (results are
-//! `collect`ed positionally either way).
+//! Vendored offline `rayon`: the same API surface the workspace already
+//! calls — [`join`], `prelude::IntoParallelIterator`, `prelude::ParallelSlice`,
+//! positional `collect` — backed by a **real work-stealing thread pool**
+//! (`std::thread` workers, one deque per worker, a shared injector; see
+//! [`pool`]). No registry access is needed: everything is `std`.
+//!
+//! # Execution model
+//!
+//! The global pool spins up lazily on first use with one worker per
+//! available core. [`join`] pushes its second closure as a stealable job
+//! and runs the first inline; while waiting it executes other pool work,
+//! so nested joins (the experiment sweeps nest two or three deep) keep
+//! every core busy. `into_par_iter().map(f).collect()` recursively splits
+//! the input range via `join` and writes each result into the slot
+//! matching its input position.
+//!
+//! # Determinism
+//!
+//! Results are **byte-identical to sequential execution**: `join` returns
+//! positionally, parallel maps collect positionally, and the workloads
+//! this workspace runs on the pool (whole discrete-event simulations) are
+//! self-contained — they share no mutable state. Scheduling order varies
+//! between runs; outputs do not. The tier-1 suite asserts this
+//! (`tests/pool.rs`, `crates/bench/tests/determinism.rs`).
+//!
+//! # `RESEX_THREADS`
+//!
+//! Set `RESEX_THREADS=N` to force the pool width; `RESEX_THREADS=1`
+//! disables the pool entirely (everything runs inline on the caller,
+//! the debugging baseline). Unset, the width is
+//! `std::thread::available_parallelism()`. In-process callers (tests)
+//! may use [`set_num_threads`] before the pool's first use.
 
-/// Runs both closures (sequentially here) and returns their results.
+pub mod iter;
+pub mod pool;
+
+pub use pool::{current_num_threads, set_num_threads};
+
+/// Runs both closures, potentially in parallel, and returns their results
+/// positionally: `(a's result, b's result)`, always.
+///
+/// `b` is made available for stealing while the caller runs `a`; if no
+/// other worker takes it, the caller runs it too. If either closure
+/// panics, the panic is re-raised on the caller's thread — after both
+/// closures have stopped touching the caller's stack frame.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    pool::join(a, b)
 }
 
 /// `rayon::prelude` — parallel-iterator conversion traits.
 pub mod prelude {
-    /// Conversion into a "parallel" iterator; sequentially backed here, so
-    /// the full std `Iterator` adapter surface is available downstream.
+    pub use crate::iter::{FromParallelIterator, ParIter, ParMap};
+
+    /// Conversion into a parallel iterator running on the global pool.
     pub trait IntoParallelIterator {
-        /// The iterator type produced.
-        type Iter: Iterator<Item = Self::Item>;
+        /// The parallel iterator type produced.
+        type Iter;
         /// The element type.
-        type Item;
-        /// Converts `self` into an iterator (sequential in this stub).
+        type Item: Send;
+        /// Converts `self` into a parallel iterator.
         fn into_par_iter(self) -> Self::Iter;
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
+    impl<I> IntoParallelIterator for I
+    where
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        type Iter = ParIter<I::Item>;
         type Item = I::Item;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+        fn into_par_iter(self) -> ParIter<I::Item> {
+            ParIter::new(self.into_iter().collect())
         }
     }
 
     /// Slice-side conversion: `par_iter()` over shared references.
-    pub trait ParallelSlice<T> {
-        /// Iterates the slice (sequentially in this stub).
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    pub trait ParallelSlice<T: Sync> {
+        /// Iterates the slice in parallel (by shared reference).
+        fn par_iter(&self) -> ParIter<&T>;
     }
 
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> ParIter<&T> {
+            ParIter::new(self.iter().collect())
         }
     }
 }

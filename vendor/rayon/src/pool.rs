@@ -1,0 +1,342 @@
+//! The work-stealing thread pool behind [`crate::join`] and the parallel
+//! iterators.
+//!
+//! Layout is the classic deque-per-worker design:
+//!
+//! - every worker owns a deque; it pushes and pops work at the **back**
+//!   (LIFO, cache-warm), and other workers steal from the **front**
+//!   (FIFO, oldest — and usually largest — subtree first);
+//! - threads that are not pool workers (e.g. `main` running a sweep)
+//!   submit into a shared **injector** queue and then *help*: while
+//!   waiting for their own job they execute whatever other work they can
+//!   find, so the caller is a full participant, never a blocked bystander.
+//!
+//! Everything is built on `std` (`Mutex<VecDeque>` deques, a `Condvar`
+//! for sleep/wake) — no registry access, no external crates. The jobs
+//! moved between threads are [`JobRef`]s: type-erased pointers into
+//! [`StackJob`]s that live on the stack of the `join` caller. The unsafe
+//! lifetime extension is sound because `join` never returns (and never
+//! unwinds) before both jobs have finished executing, so the pointed-to
+//! stack frame outlives every reference to it.
+//!
+//! Thread count resolution, in order: the `RESEX_THREADS` environment
+//! variable (clamped to `1..=256`; `1` disables the pool and makes every
+//! operation run inline on the caller), [`set_num_threads`] if it was
+//! called before first use, and finally `std::thread::available_parallelism`.
+//! The pool is created lazily on first use and lives for the process.
+//!
+//! **Determinism.** The pool introduces no observable nondeterminism:
+//! `join` always returns `(a-result, b-result)` positionally and the
+//! parallel iterators write results by index. Scheduling order varies
+//! run to run, but no output of this crate depends on it.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+/// Hard upper bound on pool size (a runaway `RESEX_THREADS` should not
+/// fork-bomb the host).
+const MAX_THREADS: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// A type-erased pointer to a job waiting to run. The pointee is a
+/// [`StackJob`] on some `join` caller's stack; see the module docs for the
+/// soundness argument.
+pub(crate) struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is only ever executed once, and the StackJob it points
+// to is kept alive by its owning `join` frame until `done` is observed.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Runs the job. Consumes the reference; a job executes exactly once.
+    unsafe fn execute(self) {
+        (self.exec)(self.data)
+    }
+}
+
+/// A job allocated on the caller's stack: the closure, a slot for its
+/// result (or panic payload), and a completion flag the owner spins on.
+pub(crate) struct StackJob<F, R> {
+    f: Cell<Option<F>>,
+    result: Cell<Option<thread::Result<R>>>,
+    done: AtomicBool,
+}
+
+// SAFETY: the Cells are only touched by the single thread that executes
+// the job (before `done` is released) or by the owner (after `done` is
+// acquired); the AtomicBool orders the two.
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(f: F) -> Self {
+        StackJob {
+            f: Cell::new(Some(f)),
+            result: Cell::new(None),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    /// Type-erases `self`. Caller must keep `self` alive (and pinned in
+    /// place) until [`Self::completed`] returns true.
+    unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            exec: Self::exec,
+        }
+    }
+
+    unsafe fn exec(data: *const ()) {
+        let this = &*(data as *const Self);
+        let f = this.f.take().expect("job executed twice");
+        // Capture panics so a crashing job cannot leave its owner waiting
+        // forever; the owner rethrows from `into_result`.
+        let result = panic::catch_unwind(AssertUnwindSafe(f));
+        this.result.set(Some(result));
+        this.done.store(true, Ordering::Release);
+    }
+
+    fn completed(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Takes the result after completion, re-raising the job's panic on
+    /// the owner's thread.
+    fn take_result(&self) -> R {
+        match self.result.take().expect("job result taken twice") {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+struct Shared {
+    /// Queue for work submitted by non-worker threads.
+    injector: Mutex<VecDeque<JobRef>>,
+    /// One deque per worker; owner pushes/pops at the back, thieves steal
+    /// from the front.
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    /// Number of queued-but-not-started jobs, used for the sleep decision.
+    pending: AtomicUsize,
+    /// Sleep gate: workers re-check `pending` under this lock before
+    /// waiting so a concurrent push can never be missed.
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+impl Shared {
+    /// Pops or steals one job. `worker` is the caller's deque index, if it
+    /// is a pool worker: its own deque is tried first (back, LIFO), then
+    /// the injector, then the other deques (front, FIFO).
+    fn find_job(&self, worker: Option<usize>) -> Option<JobRef> {
+        if let Some(me) = worker {
+            if let Some(job) = self.deques[me].lock().unwrap().pop_back() {
+                self.pending.fetch_sub(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            self.pending.fetch_sub(1, Ordering::Relaxed);
+            return Some(job);
+        }
+        let start = worker.map(|w| w + 1).unwrap_or(0);
+        for i in 0..self.deques.len() {
+            let victim = (start + i) % self.deques.len();
+            if Some(victim) == worker {
+                continue;
+            }
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                self.pending.fetch_sub(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Enqueues a job on the caller's own deque (workers) or the injector
+    /// (everyone else) and wakes a sleeper.
+    fn push(&self, job: JobRef, worker: Option<usize>) {
+        match worker {
+            Some(me) => self.deques[me].lock().unwrap().push_back(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        let _gate = self.sleep.lock().unwrap();
+        self.wake.notify_all();
+    }
+}
+
+struct Pool {
+    shared: &'static Shared,
+    threads: usize,
+}
+
+thread_local! {
+    /// This thread's deque index, if it is a pool worker.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn worker_main(shared: &'static Shared, index: usize) {
+    WORKER_INDEX.with(|w| w.set(Some(index)));
+    loop {
+        if let Some(job) = shared.find_job(Some(index)) {
+            // Job panics were already caught in StackJob::exec; nothing
+            // can unwind out of execute().
+            unsafe { job.execute() };
+            continue;
+        }
+        let gate = shared.sleep.lock().unwrap();
+        if shared.pending.load(Ordering::Relaxed) > 0 {
+            continue; // work appeared between the miss and the lock
+        }
+        // Timed wait: a missed wakeup (impossible by construction, but
+        // cheap to insure against) degrades to 10 ms of latency, not a
+        // hang. Workers live for the process; no shutdown path needed.
+        let _ = shared.wake.wait_timeout(gate, Duration::from_millis(10));
+    }
+}
+
+/// Requested override, honoured only if set before the pool spins up.
+static REQUESTED_THREADS: AtomicUsize = AtomicUsize::new(0);
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+/// Presets the pool size (like `RESEX_THREADS`, for in-process callers such
+/// as tests). Returns `false` if the pool already started, in which case
+/// the call has no effect. The environment variable, when set, wins.
+pub fn set_num_threads(n: usize) -> bool {
+    REQUESTED_THREADS.store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
+    POOL.get().is_none()
+}
+
+fn resolve_threads() -> usize {
+    if let Ok(v) = std::env::var("RESEX_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(MAX_THREADS);
+            }
+        }
+    }
+    match REQUESTED_THREADS.load(Ordering::Relaxed) {
+        0 => thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Builds the `Shared` state with `n` worker deques and leaks it to
+/// `'static` (the pool lives for the process; no shutdown path).
+fn leak_shared(n: usize) -> &'static Shared {
+    Box::leak(Box::new(Shared {
+        injector: Mutex::new(VecDeque::new()),
+        deques: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+        pending: AtomicUsize::new(0),
+        sleep: Mutex::new(()),
+        wake: Condvar::new(),
+    }))
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let threads = resolve_threads();
+        if threads <= 1 {
+            // Sequential mode: no workers; join/par_iter run inline.
+            return Pool {
+                shared: leak_shared(0),
+                threads,
+            };
+        }
+        let shared = leak_shared(threads);
+        for index in 0..threads {
+            thread::Builder::new()
+                .name(format!("resex-worker-{index}"))
+                .spawn(move || worker_main(shared, index))
+                .expect("spawn pool worker");
+        }
+        Pool { shared, threads }
+    })
+}
+
+/// Number of worker threads the pool runs (1 means fully sequential).
+pub fn current_num_threads() -> usize {
+    pool().threads
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Runs `a` and `b`, potentially in parallel, returning both results
+/// positionally. See [`crate::join`] for the public documentation.
+pub(crate) fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = pool();
+    if pool.threads <= 1 {
+        return (a(), b());
+    }
+    let shared = pool.shared;
+    let me = WORKER_INDEX.with(|w| w.get());
+    let job_b = StackJob::new(b);
+    // SAFETY: job_b stays on this frame and we do not leave the frame —
+    // not even by panic — until `completed()` is observed true.
+    unsafe { shared.push(job_b.as_job_ref(), me) };
+
+    let ra = match panic::catch_unwind(AssertUnwindSafe(a)) {
+        Ok(v) => v,
+        Err(payload) => {
+            // `a` failed, but `b` may be running on another thread with a
+            // pointer into this frame: help until it is done, then unwind.
+            wait_for(&job_b, shared, me);
+            panic::resume_unwind(payload);
+        }
+    };
+    wait_for(&job_b, shared, me);
+    (ra, job_b.take_result())
+}
+
+/// Waits for `job` to complete, executing other pool work in the meantime
+/// (the caller may well pop `job` itself if no thief got there first).
+fn wait_for<F, R>(job: &StackJob<F, R>, shared: &Shared, me: Option<usize>)
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    let mut misses = 0u32;
+    while !job.completed() {
+        if let Some(other) = shared.find_job(me) {
+            unsafe { other.execute() };
+            misses = 0;
+        } else if misses < 64 {
+            misses += 1;
+            thread::yield_now();
+        } else {
+            // Our job was stolen and is still running remotely; nothing
+            // else to do but wait for it without burning the CPU the
+            // thief needs.
+            thread::sleep(Duration::from_micros(50));
+        }
+    }
+}
