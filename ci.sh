@@ -36,6 +36,22 @@ RESEX_THREADS="$PAR_THREADS" "$REPRO" fig9 --quick --json "$TMP/fig9_par.json" >
 cmp "$TMP/fig9_seq.json" "$TMP/fig9_par.json"
 echo "    byte-identical"
 
+echo "==> fault-matrix smoke: fig9 --quick under 1% loss, 3 fault seeds"
+for seed in 1 2 3; do
+    "$REPRO" fig9 --quick --faults "loss=0.01,skip=0.02,capfail=0.02,seed=$seed" \
+        >/dev/null 2>&1
+    echo "    seed=$seed ok"
+done
+
+echo "==> faulted-run determinism gate: same fault seed, byte-identical JSON"
+FAULTS="loss=0.01,corrupt=0.002,skip=0.02,capfail=0.02,seed=7"
+RESEX_THREADS=1 "$REPRO" fig9 --quick --faults "$FAULTS" \
+    --json "$TMP/fig9_fault_a.json" >/dev/null 2>&1
+RESEX_THREADS=1 "$REPRO" fig9 --quick --faults "$FAULTS" \
+    --json "$TMP/fig9_fault_b.json" >/dev/null 2>&1
+cmp "$TMP/fig9_fault_a.json" "$TMP/fig9_fault_b.json"
+echo "    byte-identical"
+
 echo "==> sweep wall-clock: repro all --quick (per-target timings below)"
 t0=$(date +%s.%N)
 RESEX_THREADS=1 "$REPRO" all --quick >/dev/null

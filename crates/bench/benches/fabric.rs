@@ -26,6 +26,8 @@ fn job(seq: u64, qp: u32, len: u32) -> EgressJob {
         rkey: 0,
         imm: 0,
         payload: None,
+        attempt: 0,
+        rnr_attempt: 0,
     }
 }
 

@@ -15,6 +15,7 @@ fn bench_scale() -> Scale {
         duration: SimDuration::from_millis(400),
         timeline: SimDuration::from_millis(800),
         warmup: SimDuration::from_millis(50),
+        faults: resex_faults::FaultSpec::default(),
     }
 }
 

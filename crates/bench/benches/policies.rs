@@ -26,6 +26,7 @@ fn snapshots(n: u32) -> Vec<(VmId, VmSnapshot)> {
                         count: 5,
                     }),
                     est_buffer_bytes: 65536.0 * (1 + i) as f64,
+                    stale: false,
                 },
             )
         })

@@ -11,7 +11,9 @@
 //! additionally dumps the figure data as JSON for plotting. `--trace PATH`
 //! / `--metrics PATH` additionally run the representative managed
 //! scenario (64KB + 2MB under FreeMarket) with observability on and write
-//! a Perfetto-loadable trace / per-interval JSONL metrics.
+//! a Perfetto-loadable trace / per-interval JSONL metrics. `--faults SPEC`
+//! installs a deterministic fault schedule (see `resex_faults::FaultSpec`)
+//! on every scenario the target runs.
 //!
 //! `all` computes the independent figure targets **concurrently** on the
 //! work-stealing pool (each figure also fans its own sweep points out),
@@ -31,7 +33,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <fig1|...|fig9|ablation|hw_qos|scaling|all> \
          [--quick|--full] [--duration-ms N] [--warmup-ms N] \
-         [--json PATH] [--trace PATH] [--metrics PATH]"
+         [--json PATH] [--trace PATH] [--metrics PATH] [--faults SPEC]\n\
+         fault SPEC: comma list of seed=N loss=P corrupt=P delay=P \
+delay_us=N tear=P skip=P stale=P capfail=P"
     );
     std::process::exit(2);
 }
@@ -42,6 +46,7 @@ fn observed_representative(scale: &Scale, trace_path: Option<&str>, metrics_path
     let mut cfg = ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::FreeMarket);
     cfg.duration = scale.duration;
     cfg.warmup = scale.warmup;
+    scale.stamp_faults(&mut cfg);
     cfg.obs.trace = trace_path.is_some();
     cfg.obs.metrics = metrics_path.is_some();
     let label = cfg.label.clone();
@@ -176,6 +181,14 @@ fn main() {
             "--metrics" => {
                 i += 1;
                 metrics_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--faults" => {
+                i += 1;
+                let spec = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
+                scale.faults = resex_faults::FaultSpec::parse(spec).unwrap_or_else(|e| {
+                    eprintln!("bad --faults spec: {e}");
+                    usage()
+                });
             }
             t if target.is_none() => target = Some(t.to_string()),
             _ => usage(),

@@ -214,6 +214,7 @@ mod tests {
                         count: 10,
                     }),
                     est_buffer_bytes: 65536.0,
+                    stale: false,
                 },
             ),
             (
@@ -223,6 +224,7 @@ mod tests {
                     cpu_pct: 95.0,
                     latency: None,
                     est_buffer_bytes: 2_097_152.0,
+                    stale: false,
                 },
             ),
         ];
@@ -340,6 +342,7 @@ mod tests {
                         count: 10,
                     }),
                     est_buffer_bytes: 65536.0,
+                    stale: false,
                 },
             ),
             (
@@ -417,6 +420,7 @@ mod victim_tests {
                             count: 8,
                         }),
                         est_buffer_bytes: 65536.0,
+                        stale: false,
                     },
                 )
             })
@@ -481,6 +485,7 @@ mod victim_tests {
                 count: 10,
             }),
             est_buffer_bytes: 65536.0,
+            stale: false,
         };
         let vms = vec![
             (a, hurting(256)),

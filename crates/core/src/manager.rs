@@ -60,6 +60,13 @@ pub struct IntervalOutcome {
 struct VmState {
     weight: u32,
     account: ResoAccount,
+    /// Last fresh (non-stale) MTU count, the basis for degraded-telemetry
+    /// pricing.
+    last_mtus: u64,
+    /// Last fresh buffer-size estimate.
+    last_buffer: f64,
+    /// Consecutive stale intervals; drives the confidence decay.
+    stale_streak: u32,
 }
 
 /// The ResEx manager.
@@ -128,6 +135,9 @@ impl ResExManager {
             VmState {
                 weight,
                 account: ResoAccount::new(cpu, Resos::ZERO),
+                last_mtus: 0,
+                last_buffer: 0.0,
+                stale_streak: 0,
             },
         );
         // Give the newcomer its weighted slice right away (it will be
@@ -200,6 +210,38 @@ impl ResExManager {
             .copied()
             .collect();
         vms_sorted.sort_by_key(|&(vm, _)| vm);
+
+        // Degraded-telemetry fallback: a stale snapshot (IBMon skipped or
+        // partially lost the scan) is repriced from the last fresh rate,
+        // decayed once per consecutive stale interval so confidence in the
+        // stale figure fades instead of freezing.
+        for (vm, snap) in vms_sorted.iter_mut() {
+            let Some(st) = self.vms.get_mut(vm) else {
+                continue;
+            };
+            if snap.stale {
+                st.stale_streak += 1;
+                let decay = self.cfg.rate_decay.powi(st.stale_streak.min(64) as i32);
+                snap.mtus = (st.last_mtus as f64 * decay).round() as u64;
+                snap.est_buffer_bytes = st.last_buffer;
+                if self.tracer.enabled() {
+                    self.tracer.instant(
+                        now,
+                        subsystem::RESEX_MANAGER,
+                        "stale_fallback",
+                        Scope::Vm(vm.raw()),
+                        vec![
+                            ("streak", u64::from(st.stale_streak).into()),
+                            ("assumed_mtus", snap.mtus.into()),
+                        ],
+                    );
+                }
+            } else {
+                st.last_mtus = snap.mtus;
+                st.last_buffer = snap.est_buffer_bytes;
+                st.stale_streak = 0;
+            }
+        }
 
         let verdicts = {
             let vms = &self.vms;
@@ -327,6 +369,7 @@ mod tests {
             cpu_pct: cpu,
             latency: None,
             est_buffer_bytes: 0.0,
+            stale: false,
         }
     }
 
@@ -420,6 +463,40 @@ mod tests {
         let cb = out.charges.iter().find(|c| c.vm == B).unwrap();
         assert!(cb.io_rate > 10.0);
         assert!(cb.io > Resos::from_whole(2000), "more than base price");
+    }
+
+    #[test]
+    fn stale_snapshots_charge_a_decaying_last_known_rate() {
+        let mut m = mgr(Box::new(FreeMarket::new()));
+        // Establish a fresh rate of 1000 MTUs/interval.
+        m.on_interval(t(0), &[(A, snap(1000, 50.0))]);
+        // Telemetry goes dark: stale snapshots report zero MTUs, but the
+        // manager charges the decayed last-known rate instead.
+        let stale = VmSnapshot {
+            stale: true,
+            ..snap(0, 50.0)
+        };
+        let decay = ResExConfig::default().rate_decay;
+        let mut expected = Vec::new();
+        let mut charged = Vec::new();
+        for i in 1..=3u64 {
+            let out = m.on_interval(t(i), &[(A, stale)]);
+            let ca = out.charges.iter().find(|c| c.vm == A).unwrap();
+            charged.push(ca.io);
+            expected.push(Resos::from_whole(
+                (1000.0 * decay.powi(i as i32)).round() as i64
+            ));
+        }
+        assert_eq!(charged, expected);
+        // Fresh telemetry resets the streak and the basis.
+        m.on_interval(t(4), &[(A, snap(200, 50.0))]);
+        let out = m.on_interval(t(5), &[(A, stale)]);
+        let ca = out.charges.iter().find(|c| c.vm == A).unwrap();
+        assert_eq!(
+            ca.io,
+            Resos::from_whole((200.0 * decay).round() as i64),
+            "streak restarts from the new fresh rate"
+        );
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub struct VmSnapshot {
     pub latency: Option<LatencyFeedback>,
     /// IBMon's buffer-size estimate in bytes.
     pub est_buffer_bytes: f64,
+    /// True when the telemetry behind this snapshot is degraded (skipped
+    /// or partial IBMon scan): the manager substitutes a decayed
+    /// last-known rate before pricing rather than charging on zeros.
+    #[serde(default)]
+    pub stale: bool,
 }
 
 /// Everything a policy may consult during one interval.

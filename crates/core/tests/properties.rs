@@ -75,6 +75,7 @@ proptest! {
                 cpu_pct: 50.0,
                 latency: Some(LatencyFeedback { mean_us: latency, std_us: 5.0, count: 5 }),
                 est_buffer_bytes: 65536.0,
+                stale: false,
             };
             let snap_b = VmSnapshot { mtus: mtus_b, cpu_pct: 90.0, ..Default::default() };
             let out = mgr.on_interval(SimTime::from_millis(i as u64), &[(a, snap_a), (b, snap_b)]);
@@ -101,6 +102,7 @@ proptest! {
                 cpu_pct: 50.0,
                 latency: Some(LatencyFeedback { mean_us: latency, std_us: 5.0, count: 5 }),
                 est_buffer_bytes: 65536.0,
+                stale: false,
             }),
             // b is idle on the link.
             (b, VmSnapshot { mtus: 0, cpu_pct: 90.0, ..Default::default() }),

@@ -1,7 +1,7 @@
 //! Fabric timing and capacity parameters.
 
 use resex_simcore::time::SimDuration;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// Tunable parameters of the simulated fabric.
 ///
@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// 8b/10b encoding leaves 8 Gbps = 1 GiB/s of payload bandwidth, and a 1 KiB
 /// MTU ("We assume a default MTU size of 1024 bytes"), giving the paper's
 /// 1,048,576 MTUs per second of link capacity.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize)]
 pub struct FabricConfig {
     /// Payload bandwidth of each node's egress link, bytes per second.
     pub link_bandwidth: u64,
@@ -41,6 +41,56 @@ pub struct FabricConfig {
     pub hw_jitter: f64,
     /// Seed for the jitter stream (noise is still reproducible).
     pub jitter_seed: u64,
+    /// Transport timeout before a lost/corrupted RC message is
+    /// retransmitted (models the HCA's local-ACK timeout).
+    pub retransmit_timeout: SimDuration,
+    /// Transport retries before a lost RC message completes with
+    /// [`WcStatus::RetryExceeded`](crate::WcStatus::RetryExceeded) and the
+    /// QP enters `ERROR` (`ibv_qp_attr.retry_cnt`).
+    pub retry_count: u32,
+    /// Base RNR NAK backoff; attempt `n` waits `rnr_timer << (n-1)`.
+    pub rnr_timer: SimDuration,
+    /// RNR retries before the sender completes with `RnrRetryExceeded`
+    /// and the QP enters `ERROR` (`ibv_qp_attr.rnr_retry`).
+    pub rnr_retry_count: u32,
+}
+
+// Hand-written so configs serialized before these knobs existed (or written
+// by hand with a subset of fields) deserialize with the documented defaults:
+// the vendored serde derive only supports bare `#[serde(default)]`, which
+// would zero them.
+impl serde::Deserialize for FabricConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("FabricConfig: expected object"))?;
+        let mut cfg = FabricConfig::default();
+        fn field<T: serde::Deserialize>(
+            m: &serde::Map,
+            key: &str,
+            slot: &mut T,
+        ) -> Result<(), serde::Error> {
+            if let Some(x) = m.get(key) {
+                *slot = T::from_value(x)?;
+            }
+            Ok(())
+        }
+        field(m, "link_bandwidth", &mut cfg.link_bandwidth)?;
+        field(m, "mtu_bytes", &mut cfg.mtu_bytes)?;
+        field(m, "grant_mtus", &mut cfg.grant_mtus)?;
+        field(m, "switch_latency", &mut cfg.switch_latency)?;
+        field(m, "wire_latency", &mut cfg.wire_latency)?;
+        field(m, "wqe_overhead", &mut cfg.wqe_overhead)?;
+        field(m, "ack_latency", &mut cfg.ack_latency)?;
+        field(m, "payload_copy_threshold", &mut cfg.payload_copy_threshold)?;
+        field(m, "hw_jitter", &mut cfg.hw_jitter)?;
+        field(m, "jitter_seed", &mut cfg.jitter_seed)?;
+        field(m, "retransmit_timeout", &mut cfg.retransmit_timeout)?;
+        field(m, "retry_count", &mut cfg.retry_count)?;
+        field(m, "rnr_timer", &mut cfg.rnr_timer)?;
+        field(m, "rnr_retry_count", &mut cfg.rnr_retry_count)?;
+        Ok(cfg)
+    }
 }
 
 impl Default for FabricConfig {
@@ -57,6 +107,10 @@ impl Default for FabricConfig {
             payload_copy_threshold: 4096,
             hw_jitter: 0.0,
             jitter_seed: 0x1B_CAFE,
+            retransmit_timeout: SimDuration::from_micros(50),
+            retry_count: 7,
+            rnr_timer: SimDuration::from_micros(10),
+            rnr_retry_count: 7,
         }
     }
 }
@@ -105,6 +159,12 @@ impl FabricConfig {
                 "hw_jitter must be in [0, 1), got {}",
                 self.hw_jitter
             ));
+        }
+        if self.retransmit_timeout == SimDuration::ZERO {
+            return Err("retransmit_timeout must be positive".into());
+        }
+        if self.rnr_timer == SimDuration::ZERO {
+            return Err("rnr_timer must be positive".into());
         }
         Ok(())
     }
@@ -174,5 +234,33 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_ok());
+        let c = FabricConfig {
+            retransmit_timeout: SimDuration::ZERO,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = FabricConfig {
+            rnr_timer: SimDuration::ZERO,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn partial_configs_deserialize_with_defaults() {
+        // A config written before the retransmission knobs existed must come
+        // back with the documented defaults, not zeros.
+        let v: serde::Value = serde::Serialize::to_value(&42u64);
+        let mut m = serde::Map::new();
+        m.insert("jitter_seed".to_string(), v);
+        let cfg = <FabricConfig as serde::Deserialize>::from_value(&serde::Value::Object(m))
+            .expect("partial config");
+        assert_eq!(cfg.jitter_seed, 42);
+        assert_eq!(cfg.retry_count, FabricConfig::default().retry_count);
+        assert_eq!(
+            cfg.retransmit_timeout,
+            FabricConfig::default().retransmit_timeout
+        );
+        assert!(cfg.validate().is_ok());
     }
 }

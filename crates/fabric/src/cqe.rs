@@ -67,25 +67,69 @@ impl Cqe {
     }
 
     /// Decodes from the wire format, returning the entry and its owner bit.
-    /// Returns `None` if the opcode or status byte is invalid (e.g. an
-    /// uninitialized slot).
+    /// Returns `None` if the slice is short or the opcode or status byte is
+    /// invalid (e.g. an uninitialized slot).
     pub fn decode(b: &[u8; CQE_SIZE]) -> Option<(Cqe, u8)> {
-        let opcode = Opcode::from_u8(b[18])?;
-        let status = WcStatus::from_u8(b[19])?;
-        Some((
+        Cqe::try_decode(b).ok()
+    }
+
+    /// Fully fallible decode from a raw byte slice — the form IBMon uses
+    /// when scanning foreign rings, where a slot may be observed mid-DMA
+    /// (torn) and *why* a decode failed matters: a torn read must be
+    /// recorded as an unreliable scan, not trusted or silently skipped.
+    pub fn try_decode(b: &[u8]) -> Result<(Cqe, u8), CqeDecodeError> {
+        fn arr<const N: usize>(b: &[u8], at: usize) -> Result<[u8; N], CqeDecodeError> {
+            b.get(at..at + N)
+                .and_then(|s| s.try_into().ok())
+                .ok_or(CqeDecodeError::TooShort { got: b.len() })
+        }
+        if b.len() < CQE_SIZE {
+            return Err(CqeDecodeError::TooShort { got: b.len() });
+        }
+        let opcode = Opcode::from_u8(b[18]).ok_or(CqeDecodeError::BadOpcode(b[18]))?;
+        let status = WcStatus::from_u8(b[19]).ok_or(CqeDecodeError::BadStatus(b[19]))?;
+        Ok((
             Cqe {
-                wr_id: u64::from_le_bytes(b[0..8].try_into().unwrap()),
-                qp_num: QpNum::new(u32::from_le_bytes(b[8..12].try_into().unwrap())),
-                byte_len: u32::from_le_bytes(b[12..16].try_into().unwrap()),
-                wqe_counter: u16::from_le_bytes(b[16..18].try_into().unwrap()),
+                wr_id: u64::from_le_bytes(arr(b, 0)?),
+                qp_num: QpNum::new(u32::from_le_bytes(arr(b, 8)?)),
+                byte_len: u32::from_le_bytes(arr(b, 12)?),
+                wqe_counter: u16::from_le_bytes(arr(b, 16)?),
                 opcode,
                 status,
-                imm_data: u32::from_le_bytes(b[20..24].try_into().unwrap()),
+                imm_data: u32::from_le_bytes(arr(b, 20)?),
             },
             b[31] & 1,
         ))
     }
 }
+
+/// Why a raw CQE slot failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CqeDecodeError {
+    /// The slice holds fewer than [`CQE_SIZE`] bytes.
+    TooShort {
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The opcode byte does not name a [`Opcode`] variant.
+    BadOpcode(u8),
+    /// The status byte does not name a [`WcStatus`] variant.
+    BadStatus(u8),
+}
+
+impl std::fmt::Display for CqeDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CqeDecodeError::TooShort { got } => {
+                write!(f, "CQE slice too short: {got} of {CQE_SIZE} bytes")
+            }
+            CqeDecodeError::BadOpcode(v) => write!(f, "invalid CQE opcode byte {v:#04x}"),
+            CqeDecodeError::BadStatus(v) => write!(f, "invalid CQE status byte {v:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for CqeDecodeError {}
 
 /// HCA-side state of one completion queue. The ring's *contents* live in
 /// guest memory; this struct holds the producer/consumer cursors and the
@@ -258,6 +302,35 @@ mod tests {
     fn decode_rejects_garbage() {
         let raw = [0xFFu8; CQE_SIZE];
         assert!(Cqe::decode(&raw).is_none(), "uninitialized slot is invalid");
+    }
+
+    #[test]
+    fn try_decode_reports_why() {
+        let good = mk_cqe(1, 2).encode(0);
+        assert!(Cqe::try_decode(&good).is_ok());
+        assert_eq!(
+            Cqe::try_decode(&good[..CQE_SIZE - 1]),
+            Err(CqeDecodeError::TooShort { got: CQE_SIZE - 1 })
+        );
+        let mut bad_op = good;
+        bad_op[18] = 0xEE;
+        assert_eq!(
+            Cqe::try_decode(&bad_op),
+            Err(CqeDecodeError::BadOpcode(0xEE))
+        );
+        let mut bad_status = good;
+        bad_status[19] = 0xEE;
+        assert_eq!(
+            Cqe::try_decode(&bad_status),
+            Err(CqeDecodeError::BadStatus(0xEE))
+        );
+        for e in [
+            CqeDecodeError::TooShort { got: 3 },
+            CqeDecodeError::BadOpcode(9),
+            CqeDecodeError::BadStatus(9),
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
     }
 
     #[test]

@@ -24,9 +24,10 @@ use crate::cqe::{CompletionQueue, Cqe, CQE_SIZE};
 use crate::error::FabricError;
 use crate::link::{EgressJob, FlowParams, GrantDecision, GrantPlan, JobKind, LinkArbiter};
 use crate::mr::{MrHandle, Need, Tpt};
-use crate::qp::{QueuePair, RecvRequest, WorkRequest};
+use crate::qp::{QpState, QueuePair, RecvRequest, WorkRequest};
 use crate::types::{Access, CqNum, McGroupId, NodeId, Opcode, PdId, QpNum, QpType, WcStatus};
 use crate::uar::Uar;
+use resex_faults::{FabricFaults, FaultSchedule, FaultStats};
 use resex_obs::{subsystem, Scope, Tracer};
 use resex_simcore::event::EventQueue;
 use resex_simcore::ids::IdAllocator;
@@ -55,10 +56,21 @@ pub struct NodeCounters {
     pub grants: u64,
     /// Cumulative link-busy time (for utilization).
     pub busy: SimDuration,
-    /// Incoming messages dropped for lack of a posted receive.
+    /// Incoming messages dropped for lack of a posted receive (counted only
+    /// when the RNR retry budget is exhausted).
     pub rnr_drops: u64,
     /// Unreliable datagrams silently dropped (not-ready receiver).
     pub ud_drops: u64,
+    /// Messages lost on the wire (fault injection).
+    #[serde(default)]
+    pub wire_lost: u64,
+    /// Messages delivered corrupted and NAKed by the receiver (fault
+    /// injection; retransmitted like losses on RC).
+    #[serde(default)]
+    pub wire_corrupted: u64,
+    /// Messages re-serialized after a wire loss/corruption.
+    #[serde(default)]
+    pub retransmits: u64,
 }
 
 /// Externally visible fabric happenings, timestamped by [`Fabric::advance`].
@@ -133,6 +145,21 @@ enum Timer {
         opcode: Opcode,
         byte_len: u32,
     },
+    /// Re-enqueue a message after a wire loss or RNR NAK backoff.
+    Retransmit {
+        job: EgressJob,
+    },
+}
+
+/// Outcome of the per-message wire-fault draw.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WireFault {
+    /// The message vanished on the wire (no NAK reaches the sender until
+    /// its transport timeout).
+    Lost,
+    /// The message arrived but failed the receiver's ICRC check; on RC the
+    /// NAK triggers the same retransmission path as a loss.
+    Corrupted,
 }
 
 struct Node {
@@ -191,6 +218,12 @@ pub struct Fabric {
     jitter_rng: SimRng,
     mcast_groups: Vec<Vec<(NodeId, QpNum)>>,
     tracer: Tracer,
+    /// Wire/grant fault injectors; `None` (the default) draws nothing and
+    /// keeps fault-free runs byte-identical to pre-fault builds.
+    faults: Option<FabricFaults>,
+    /// Internal inconsistencies caught by the event loop instead of
+    /// panicking (timer references to destroyed state and the like).
+    internal_errors: Vec<(SimTime, FabricError)>,
 }
 
 impl Fabric {
@@ -207,6 +240,8 @@ impl Fabric {
             jitter_rng,
             mcast_groups: Vec::new(),
             tracer: Tracer::disabled(),
+            faults: None,
+            internal_errors: Vec::new(),
         })
     }
 
@@ -224,6 +259,31 @@ impl Fabric {
     /// unaffected; the fabric only *emits* through it.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Installs wire/grant fault injection. A schedule with no enabled
+    /// fault class is ignored, so passing a default schedule is exactly
+    /// equivalent to never calling this.
+    pub fn install_faults(&mut self, schedule: FaultSchedule) {
+        if schedule.enabled() {
+            self.faults = Some(FabricFaults::new(schedule));
+        }
+    }
+
+    /// Tally of faults injected into this fabric so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Internal inconsistencies caught (not panicked) by the event loop,
+    /// draining the log. Healthy runs return an empty vector.
+    pub fn take_internal_errors(&mut self) -> Vec<(SimTime, FabricError)> {
+        std::mem::take(&mut self.internal_errors)
+    }
+
+    /// Number of internal inconsistencies caught so far (non-draining).
+    pub fn internal_error_count(&self) -> usize {
+        self.internal_errors.len()
     }
 
     /// Adds a node (HCA + switch port) and returns its id.
@@ -531,8 +591,12 @@ impl Fabric {
                 None
             }
         };
-        n.qps.get_mut(&qp_num).unwrap().post_send(wr)?;
-        n.qps.get_mut(&qp_num).unwrap().sq.pop_back();
+        let qp = n
+            .qps
+            .get_mut(&qp_num)
+            .ok_or(FabricError::UnknownQp(node, qp_num))?;
+        qp.post_send(wr)?;
+        qp.sq.pop_back();
         if let Some(&uid) = n.qp_uar.get(&qp_num) {
             if let Some(uar) = n.uars.get_mut(&uid) {
                 uar.ring(qp_num)?;
@@ -555,6 +619,8 @@ impl Fabric {
             rkey: 0,
             imm: wr.imm,
             payload,
+            attempt: 0,
+            rnr_attempt: 0,
         };
         let n = self.node_mut(node)?;
         n.arbiter.enqueue(job);
@@ -611,7 +677,10 @@ impl Fabric {
             }
         };
         let (dst_node, dst_qp, kind, job_len) = {
-            let qp = n.qps.get_mut(&qp_num).unwrap();
+            let qp = n
+                .qps
+                .get_mut(&qp_num)
+                .ok_or(FabricError::UnknownQp(node, qp_num))?;
             qp.post_send(wr)?;
             let remote = qp.remote().ok_or(FabricError::BadQpState {
                 qp: qp_num,
@@ -668,6 +737,8 @@ impl Fabric {
             rkey: wr.remote.map(|r| r.rkey).unwrap_or(0),
             imm: wr.imm,
             payload,
+            attempt: 0,
+            rnr_attempt: 0,
         };
         let n = self.node_mut(node)?;
         n.arbiter.enqueue(job);
@@ -689,7 +760,10 @@ impl Fabric {
             .ok_or(FabricError::UnknownQp(node, qp_num))?;
         n.tpt
             .check(rr.lkey, rr.gpa, rr.len, Need::LocalWrite, Some(qp.pd))?;
-        n.qps.get_mut(&qp_num).unwrap().post_recv(rr)
+        n.qps
+            .get_mut(&qp_num)
+            .ok_or(FabricError::UnknownQp(node, qp_num))?
+            .post_recv(rr)
     }
 
     /// Polls up to `max` completions from a CQ.
@@ -771,8 +845,21 @@ impl Fabric {
     /// externally visible events that occurred, in time order.
     pub fn advance(&mut self, now: SimTime) -> Vec<(SimTime, FabricEvent)> {
         while self.agenda.peek_time().is_some_and(|t| t <= now) {
-            let (t, timer) = self.agenda.pop().expect("peeked");
-            self.handle(t, timer);
+            let Some((t, timer)) = self.agenda.pop() else {
+                break;
+            };
+            if let Err(e) = self.handle(t, timer) {
+                if self.tracer.enabled() {
+                    self.tracer.instant(
+                        t,
+                        subsystem::FABRIC_ENGINE,
+                        "internal_error",
+                        Scope::Global,
+                        vec![("error", format!("{e}").into())],
+                    );
+                }
+                self.internal_errors.push((t, e));
+            }
         }
         std::mem::take(&mut self.outputs)
     }
@@ -801,6 +888,20 @@ impl Fabric {
                     // Multiplicative timing noise, clamped to stay causal.
                     let f = 1.0 + self.cfg.hw_jitter * self.jitter_rng.standard_normal();
                     dur = dur.mul_f64(f.max(0.1));
+                }
+                if let Some(f) = self.faults.as_mut() {
+                    if let Some(extra) = f.grant_delay(now) {
+                        dur += extra;
+                        if self.tracer.enabled() {
+                            self.tracer.instant(
+                                now,
+                                subsystem::FAULTS,
+                                "grant_delay",
+                                Scope::Qp(plan.job.qp.raw()),
+                                vec![("extra_ns", extra.as_nanos().into())],
+                            );
+                        }
+                    }
                 }
                 n.counters.busy += dur;
                 if self.tracer.enabled() {
@@ -851,7 +952,7 @@ impl Fabric {
         }
     }
 
-    fn handle(&mut self, t: SimTime, timer: Timer) {
+    fn handle(&mut self, t: SimTime, timer: Timer) -> Result<(), FabricError> {
         match timer {
             Timer::GrantDone { node, plan } => self.on_grant_done(t, node, plan),
             Timer::LinkRetry { node } => {
@@ -861,10 +962,13 @@ impl Fabric {
                     }
                 }
                 self.kick_link(node, t);
+                Ok(())
             }
             Timer::Deliver { job, final_chunk } => {
                 if final_chunk {
-                    self.on_final_delivery(t, job);
+                    self.on_final_delivery(t, job)
+                } else {
+                    Ok(())
                 }
             }
             Timer::SenderComplete {
@@ -875,18 +979,26 @@ impl Fabric {
                 byte_len,
             } => {
                 self.write_send_cqe(t, node, qp, wr_id, opcode, WcStatus::Success, byte_len);
+                Ok(())
             }
+            Timer::Retransmit { job } => self.on_retransmit(t, job),
         }
     }
 
-    fn on_grant_done(&mut self, t: SimTime, node: NodeId, plan: GrantPlan) {
+    fn on_grant_done(
+        &mut self,
+        t: SimTime,
+        node: NodeId,
+        plan: GrantPlan,
+    ) -> Result<(), FabricError> {
         let one_way = self.cfg.one_way_latency();
         let chunk_ser = self.cfg.serialization_time(plan.bytes as u64);
         {
-            let n = self
-                .nodes
-                .get_mut(node.index())
-                .expect("grant on known node");
+            let n = self.nodes.get_mut(node.index()).ok_or_else(|| {
+                FabricError::InternalInconsistency(format!(
+                    "grant completed on unknown node {node}"
+                ))
+            })?;
             n.counters.bytes_sent += plan.bytes as u64;
             n.counters.mtus_sent += plan.mtus as u64;
             n.counters.grants += 1;
@@ -915,6 +1027,14 @@ impl Fabric {
             }
         }
         let arrival = t + one_way;
+        // Wire faults are drawn once per fully-serialized message, so a
+        // multi-grant transfer has one loss opportunity per attempt, not
+        // per chunk.
+        let wire_fault = if plan.job_finished {
+            self.draw_wire_fault(t, node, plan.job.qp)
+        } else {
+            None
+        };
         match plan.job.kind {
             JobKind::McastSend { group } => {
                 // UD completions are local: the datagram left the HCA.
@@ -929,6 +1049,13 @@ impl Fabric {
                             byte_len: plan.job.len,
                         },
                     );
+                }
+                // A wire fault on the sender's single egress serialization
+                // loses every replica; UD has no retransmission, so the
+                // datagram simply vanishes (the local completion stands).
+                if wire_fault.is_some() {
+                    self.kick_link(node, t);
+                    return Ok(());
                 }
                 // Switch replication: one egress serialization, one ingress
                 // arrival per member.
@@ -965,27 +1092,207 @@ impl Fabric {
                         },
                     );
                 }
-                let delivery = self.ingress_delivery(plan.job.dst_node, arrival, chunk_ser);
-                self.agenda.schedule_at(
-                    delivery,
-                    Timer::Deliver {
-                        final_chunk: plan.job_finished,
-                        job: plan.job,
-                    },
-                );
+                if wire_fault.is_none() {
+                    let delivery = self.ingress_delivery(plan.job.dst_node, arrival, chunk_ser);
+                    self.agenda.schedule_at(
+                        delivery,
+                        Timer::Deliver {
+                            final_chunk: plan.job_finished,
+                            job: plan.job,
+                        },
+                    );
+                }
             }
             _ => {
-                let delivery = self.ingress_delivery(plan.job.dst_node, arrival, chunk_ser);
-                self.agenda.schedule_at(
-                    delivery,
-                    Timer::Deliver {
-                        final_chunk: plan.job_finished,
-                        job: plan.job,
-                    },
-                );
+                // RC transports retransmit: a lost or corrupted message is
+                // re-serialized after the transport timeout, re-consuming
+                // egress bandwidth (the paper's "restored latency" under
+                // injected loss).
+                if wire_fault.is_some() {
+                    self.on_rc_wire_fault(t, plan.job);
+                } else {
+                    let delivery = self.ingress_delivery(plan.job.dst_node, arrival, chunk_ser);
+                    self.agenda.schedule_at(
+                        delivery,
+                        Timer::Deliver {
+                            final_chunk: plan.job_finished,
+                            job: plan.job,
+                        },
+                    );
+                }
             }
         }
         self.kick_link(node, t);
+        Ok(())
+    }
+
+    /// Draws the per-message wire-fault outcome (loss first, then
+    /// corruption), counting and tracing a hit against the sending node.
+    fn draw_wire_fault(&mut self, t: SimTime, node: NodeId, qp: QpNum) -> Option<WireFault> {
+        let f = self.faults.as_mut()?;
+        let fault = if f.lose_message(t) {
+            WireFault::Lost
+        } else if f.corrupt_message(t) {
+            WireFault::Corrupted
+        } else {
+            return None;
+        };
+        if let Some(n) = self.nodes.get_mut(node.index()) {
+            match fault {
+                WireFault::Lost => n.counters.wire_lost += 1,
+                WireFault::Corrupted => n.counters.wire_corrupted += 1,
+            }
+        }
+        if self.tracer.enabled() {
+            let name = match fault {
+                WireFault::Lost => "link_loss",
+                WireFault::Corrupted => "link_corrupt",
+            };
+            self.tracer
+                .instant(t, subsystem::FAULTS, name, Scope::Qp(qp.raw()), vec![]);
+        }
+        Some(fault)
+    }
+
+    /// A reliably-connected message was lost (or arrived corrupted and was
+    /// NAKed): schedule a retransmission, or exhaust the retry budget and
+    /// error the requester's QP.
+    fn on_rc_wire_fault(&mut self, t: SimTime, mut job: EgressJob) {
+        job.sent = 0;
+        job.attempt += 1;
+        if job.attempt > self.cfg.retry_count {
+            if self.tracer.enabled() {
+                self.tracer.instant(
+                    t,
+                    subsystem::FAULTS,
+                    "retry_exhausted",
+                    Scope::Qp(job.qp.raw()),
+                    vec![("attempts", job.attempt.into())],
+                );
+            }
+            // A lost read *response* times out at the initiator: the error
+            // completion and the ERROR transition belong to the requester's
+            // QP, not the responder's.
+            if let JobKind::ReadResponse {
+                initiator_wr,
+                initiator_qp,
+                ..
+            } = &job.kind
+            {
+                let (wr, qp) = (*initiator_wr, *initiator_qp);
+                self.write_send_cqe(
+                    t,
+                    job.dst_node,
+                    qp,
+                    wr,
+                    Opcode::RdmaRead,
+                    WcStatus::RetryExceeded,
+                    job.len,
+                );
+                let _ = self.set_qp_error(job.dst_node, qp, t);
+            } else {
+                self.complete_sender_err(t, &job, WcStatus::RetryExceeded);
+                let _ = self.set_qp_error(job.src_node, job.qp, t);
+            }
+            return;
+        }
+        if let Some(n) = self.nodes.get_mut(job.src_node.index()) {
+            n.counters.retransmits += 1;
+            if let Some(qp) = n.qps.get_mut(&job.qp) {
+                qp.counters.retransmits += 1;
+            }
+        }
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                t,
+                subsystem::FAULTS,
+                "retransmit",
+                Scope::Qp(job.qp.raw()),
+                vec![("attempt", job.attempt.into()), ("bytes", job.len.into())],
+            );
+        }
+        self.agenda
+            .schedule_at(t + self.cfg.retransmit_timeout, Timer::Retransmit { job });
+    }
+
+    /// A retransmission timer fired: re-enqueue the message on its source
+    /// link, unless its QP has since been destroyed or errored (in which
+    /// case the WQE was already flushed and the message dies silently).
+    fn on_retransmit(&mut self, t: SimTime, job: EgressJob) -> Result<(), FabricError> {
+        let node = job.src_node;
+        let Some(n) = self.nodes.get_mut(node.index()) else {
+            return Err(FabricError::InternalInconsistency(format!(
+                "retransmit timer fired for unknown node {node}"
+            )));
+        };
+        match n.qps.get(&job.qp) {
+            Some(qp) if qp.state() != QpState::Error => {}
+            _ => return Ok(()),
+        }
+        n.arbiter.enqueue(job);
+        self.kick_link(node, t);
+        Ok(())
+    }
+
+    /// Transitions a queue pair to `ERROR` (from any state), flushing its
+    /// queued egress work and posted receives with `WrFlushError` CQEs —
+    /// `ibv_modify_qp(..., IBV_QPS_ERR)` flush semantics. Idempotent.
+    /// Chunks already on the wire still arrive; subsequent posts are
+    /// rejected with `BadQpState`.
+    pub fn set_qp_error(
+        &mut self,
+        node: NodeId,
+        qp_num: QpNum,
+        now: SimTime,
+    ) -> Result<(), FabricError> {
+        let (purged, recvs) = {
+            let n = self.node_mut(node)?;
+            let qp = n
+                .qps
+                .get_mut(&qp_num)
+                .ok_or(FabricError::UnknownQp(node, qp_num))?;
+            qp.to_error();
+            let recvs: Vec<RecvRequest> = qp.rq.drain(..).collect();
+            let purged = n.arbiter.purge_qp(qp_num);
+            (purged, recvs)
+        };
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                now,
+                subsystem::FABRIC_ENGINE,
+                "qp_error_flush",
+                Scope::Qp(qp_num.raw()),
+                vec![
+                    ("flushed_sends", (purged.len() as u64).into()),
+                    ("flushed_recvs", (recvs.len() as u64).into()),
+                ],
+            );
+        }
+        let flushed = (purged.len() + recvs.len()) as u64;
+        for job in &purged {
+            self.complete_sender_err(now, job, WcStatus::WrFlushError);
+        }
+        let n = self.node_mut(node)?;
+        for rr in recvs {
+            let (recv_cq, counter) = match n.qps.get_mut(&qp_num) {
+                Some(qp) => (qp.recv_cq, qp.next_rq_counter()),
+                None => break,
+            };
+            let cqe = Cqe {
+                wr_id: rr.wr_id,
+                qp_num,
+                byte_len: 0,
+                wqe_counter: counter,
+                opcode: Opcode::Recv,
+                status: WcStatus::WrFlushError,
+                imm_data: 0,
+            };
+            Self::push_cqe(n, qp_num, recv_cq, cqe);
+        }
+        if let Some(qp) = n.qps.get_mut(&qp_num) {
+            qp.counters.flushed += flushed;
+        }
+        Ok(())
     }
 
     /// Ingress contention at the destination (incast): a chunk finishes
@@ -1009,7 +1316,7 @@ impl Fabric {
     }
 
     /// Receiver-side effects once a message has fully arrived.
-    fn on_final_delivery(&mut self, t: SimTime, job: EgressJob) {
+    fn on_final_delivery(&mut self, t: SimTime, job: EgressJob) -> Result<(), FabricError> {
         if self.tracer.enabled() {
             self.tracer.instant(
                 t,
@@ -1025,23 +1332,23 @@ impl Fabric {
         }
         match job.kind.clone() {
             JobKind::UdSend => self.deliver_ud(t, job),
-            JobKind::McastSend { .. } => {
-                unreachable!("multicast jobs fan out into UdSend deliveries")
-            }
+            JobKind::McastSend { .. } => Err(FabricError::InternalInconsistency(
+                "multicast job reached final delivery without fanning out".into(),
+            )),
             JobKind::Send => self.deliver_two_sided(t, job, None),
             JobKind::WriteImm => {
                 // Place the data first, then consume a receive.
                 if let Err(status) = self.place_rdma_write(&job) {
                     self.complete_sender_err(t, &job, status);
-                    return;
+                    return Ok(());
                 }
                 let imm = job.imm;
-                self.deliver_two_sided(t, job, Some(imm));
+                self.deliver_two_sided(t, job, Some(imm))
             }
             JobKind::Write => {
                 if let Err(status) = self.place_rdma_write(&job) {
                     self.complete_sender_err(t, &job, status);
-                    return;
+                    return Ok(());
                 }
                 self.outputs.push((
                     t,
@@ -1053,6 +1360,7 @@ impl Fabric {
                     },
                 ));
                 self.schedule_sender_success(t, &job, job.len);
+                Ok(())
             }
             JobKind::ReadRequest {
                 resp_len,
@@ -1072,11 +1380,11 @@ impl Fabric {
 
     /// Unreliable-datagram arrival: consume a receive WQE if present,
     /// otherwise drop silently (UD has no NAKs; the sender never learns).
-    fn deliver_ud(&mut self, t: SimTime, job: EgressJob) {
+    fn deliver_ud(&mut self, t: SimTime, job: EgressJob) -> Result<(), FabricError> {
         let dst = job.dst_node;
         let n = match self.nodes.get_mut(dst.index()) {
             Some(n) => n,
-            None => return,
+            None => return Ok(()),
         };
         let rr = match n.qps.get_mut(&job.dst_qp) {
             Some(qp) if qp.qp_type == QpType::Ud => qp.rq.pop_front(),
@@ -1086,7 +1394,7 @@ impl Fabric {
             Some(rr) => rr,
             None => {
                 n.counters.ud_drops += 1;
-                return;
+                return Ok(());
             }
         };
         if rr.len >= job.len {
@@ -1099,7 +1407,7 @@ impl Fabric {
         }
         let (recv_cq, counter) = match n.qps.get_mut(&job.dst_qp) {
             Some(qp) => (qp.recv_cq, qp.next_rq_counter()),
-            None => return,
+            None => return Ok(()),
         };
         let cqe = Cqe {
             wr_id: rr.wr_id,
@@ -1121,15 +1429,21 @@ impl Fabric {
                 imm: None,
             },
         ));
+        Ok(())
     }
 
     /// Send / WriteImm arrival: consume a receive WQE and write a CQE.
-    fn deliver_two_sided(&mut self, t: SimTime, job: EgressJob, imm: Option<u32>) {
+    fn deliver_two_sided(
+        &mut self,
+        t: SimTime,
+        job: EgressJob,
+        imm: Option<u32>,
+    ) -> Result<(), FabricError> {
         let dst = job.dst_node;
         let rr = {
             let n = match self.nodes.get_mut(dst.index()) {
                 Some(n) => n,
-                None => return,
+                None => return Ok(()),
             };
             match n.qps.get_mut(&job.dst_qp) {
                 Some(qp) => qp.rq.pop_front(),
@@ -1138,33 +1452,21 @@ impl Fabric {
         };
         let rr = match rr {
             Some(rr) => rr,
-            None => {
-                // Receiver not ready: drop and fail the sender.
-                let n = self.nodes.get_mut(dst.index()).expect("dst exists");
-                n.counters.rnr_drops += 1;
-                if let Some(qp) = n.qps.get_mut(&job.dst_qp) {
-                    qp.counters.rnr_drops += 1;
-                }
-                self.outputs.push((
-                    t,
-                    FabricEvent::RnrDrop {
-                        node: dst,
-                        qp: job.dst_qp,
-                    },
-                ));
-                self.complete_sender_err(t, &job, WcStatus::RnrRetryExceeded);
-                return;
-            }
+            None => return self.on_rnr_nak(t, job),
         };
         // For plain sends the payload lands in the receive buffer; WriteImm
         // data has already been placed at the remote address.
         if job.kind == JobKind::Send {
             if rr.len < job.len {
                 self.complete_sender_err(t, &job, WcStatus::RemoteAccessError);
-                return;
+                return Ok(());
             }
             if let Some(payload) = &job.payload {
-                let n = self.nodes.get_mut(dst.index()).expect("dst exists");
+                let n = self.nodes.get_mut(dst.index()).ok_or_else(|| {
+                    FabricError::InternalInconsistency(format!(
+                        "destination node {dst} vanished during delivery"
+                    ))
+                })?;
                 let pd = n.qps.get(&job.dst_qp).map(|q| q.pd);
                 if let Ok(mem) = n.tpt.check(rr.lkey, rr.gpa, job.len, Need::LocalWrite, pd) {
                     // Landing buffers are registered, hence pinned.
@@ -1172,10 +1474,14 @@ impl Fabric {
                 }
             }
         }
-        let n = self.nodes.get_mut(dst.index()).expect("dst exists");
+        let n = self.nodes.get_mut(dst.index()).ok_or_else(|| {
+            FabricError::InternalInconsistency(format!(
+                "destination node {dst} vanished during delivery"
+            ))
+        })?;
         let (recv_cq, counter) = match n.qps.get_mut(&job.dst_qp) {
             Some(qp) => (qp.recv_cq, qp.next_rq_counter()),
-            None => return,
+            None => return Ok(()),
         };
         let cqe = Cqe {
             wr_id: rr.wr_id,
@@ -1198,6 +1504,62 @@ impl Fabric {
             },
         ));
         self.schedule_sender_success(t, &job, job.len);
+        Ok(())
+    }
+
+    /// An arriving two-sided message found no posted receive: RNR NAK.
+    /// The sender backs off exponentially (`rnr_timer << (attempt-1)`) and
+    /// retransmits; once the budget is exhausted the message is dropped,
+    /// the sender completes with `RnrRetryExceeded`, and its QP errors —
+    /// real RC semantics replacing the old silent one-shot drop.
+    fn on_rnr_nak(&mut self, t: SimTime, mut job: EgressJob) -> Result<(), FabricError> {
+        let dst = job.dst_node;
+        if job.rnr_attempt < self.cfg.rnr_retry_count {
+            job.rnr_attempt += 1;
+            job.sent = 0;
+            let shift = (job.rnr_attempt - 1).min(16);
+            let wait = SimDuration::from_nanos(
+                self.cfg.rnr_timer.as_nanos().saturating_mul(1u64 << shift),
+            );
+            if let Some(n) = self.nodes.get_mut(job.src_node.index()) {
+                if let Some(qp) = n.qps.get_mut(&job.qp) {
+                    qp.counters.rnr_retries += 1;
+                }
+            }
+            if self.tracer.enabled() {
+                self.tracer.instant(
+                    t,
+                    subsystem::FABRIC_ENGINE,
+                    "rnr_backoff",
+                    Scope::Qp(job.qp.raw()),
+                    vec![
+                        ("attempt", job.rnr_attempt.into()),
+                        ("wait_ns", wait.as_nanos().into()),
+                    ],
+                );
+            }
+            self.agenda.schedule_at(t + wait, Timer::Retransmit { job });
+            return Ok(());
+        }
+        let n = self.nodes.get_mut(dst.index()).ok_or_else(|| {
+            FabricError::InternalInconsistency(format!(
+                "destination node {dst} vanished during RNR handling"
+            ))
+        })?;
+        n.counters.rnr_drops += 1;
+        if let Some(qp) = n.qps.get_mut(&job.dst_qp) {
+            qp.counters.rnr_drops += 1;
+        }
+        self.outputs.push((
+            t,
+            FabricEvent::RnrDrop {
+                node: dst,
+                qp: job.dst_qp,
+            },
+        ));
+        self.complete_sender_err(t, &job, WcStatus::RnrRetryExceeded);
+        let _ = self.set_qp_error(job.src_node, job.qp, t);
+        Ok(())
     }
 
     /// Validates the rkey and places RDMA-write payload at the destination.
@@ -1228,12 +1590,12 @@ impl Fabric {
         rkey: u32,
         local_gpa: Gpa,
         lkey: u32,
-    ) {
+    ) -> Result<(), FabricError> {
         let responder = job.dst_node;
         let payload = {
             let n = match self.nodes.get_mut(responder.index()) {
                 Some(n) => n,
-                None => return,
+                None => return Ok(()),
             };
             match n
                 .tpt
@@ -1253,7 +1615,7 @@ impl Fabric {
                 }
                 Err(_) => {
                     self.complete_sender_err(t, &job, WcStatus::RemoteAccessError);
-                    return;
+                    return Ok(());
                 }
             }
         };
@@ -1282,13 +1644,17 @@ impl Fabric {
             rkey,
             imm: 0,
             payload,
+            attempt: 0,
+            rnr_attempt: 0,
         };
-        let n = self
-            .nodes
-            .get_mut(responder.index())
-            .expect("responder exists");
+        let n = self.nodes.get_mut(responder.index()).ok_or_else(|| {
+            FabricError::InternalInconsistency(format!(
+                "responder node {responder} vanished while starting a read response"
+            ))
+        })?;
         n.arbiter.enqueue(resp);
         self.kick_link(responder, t);
+        Ok(())
     }
 
     /// Read-response data fully arrived back at the initiator.
@@ -1300,11 +1666,11 @@ impl Fabric {
         lkey: u32,
         initiator_wr: u64,
         initiator_qp: QpNum,
-    ) {
+    ) -> Result<(), FabricError> {
         let initiator = job.dst_node;
         let n = match self.nodes.get_mut(initiator.index()) {
             Some(n) => n,
-            None => return,
+            None => return Ok(()),
         };
         if let Some(payload) = &job.payload {
             let pd = n.qps.get(&initiator_qp).map(|q| q.pd);
@@ -1326,6 +1692,7 @@ impl Fabric {
                 job.len,
             );
         }
+        Ok(())
     }
 
     fn schedule_sender_success(&mut self, t: SimTime, job: &EgressJob, byte_len: u32) {

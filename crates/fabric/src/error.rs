@@ -39,6 +39,11 @@ pub enum FabricError {
     Mem(MemError),
     /// Bad configuration at construction time.
     Config(String),
+    /// The engine's internal bookkeeping referenced state that no longer
+    /// exists (e.g. a timer fired for a destroyed node). Carries enough
+    /// context to locate the inconsistency; surfaced instead of panicking
+    /// so fault-injected scenarios fail loudly but recoverably.
+    InternalInconsistency(String),
 }
 
 impl fmt::Display for FabricError {
@@ -59,6 +64,9 @@ impl fmt::Display for FabricError {
             FabricError::PdMismatch => write!(f, "protection-domain mismatch"),
             FabricError::Mem(e) => write!(f, "guest memory error: {e}"),
             FabricError::Config(msg) => write!(f, "invalid fabric configuration: {msg}"),
+            FabricError::InternalInconsistency(msg) => {
+                write!(f, "fabric internal inconsistency: {msg}")
+            }
         }
     }
 }
@@ -97,6 +105,7 @@ mod tests {
             },
             FabricError::SendQueueFull(QpNum::new(2)),
             FabricError::PdMismatch,
+            FabricError::InternalInconsistency("timer for missing node".into()),
         ];
         for c in cases {
             assert!(!format!("{c}").is_empty());

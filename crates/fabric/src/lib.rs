@@ -79,7 +79,7 @@ pub mod types;
 pub mod uar;
 
 pub use config::FabricConfig;
-pub use cqe::{CompletionQueue, Cqe, CQE_SIZE};
+pub use cqe::{CompletionQueue, Cqe, CqeDecodeError, CQE_SIZE};
 pub use engine::{Fabric, FabricEvent, NodeCounters, UarId};
 pub use error::FabricError;
 pub use link::{FlowParams, GrantDecision};

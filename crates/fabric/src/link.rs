@@ -104,6 +104,10 @@ pub struct EgressJob {
     pub imm: u32,
     /// Payload bytes captured at post time (small transfers only).
     pub payload: Option<Vec<u8>>,
+    /// Transport retransmissions so far (wire loss / corruption).
+    pub attempt: u32,
+    /// RNR NAK retries so far (receiver not ready on arrival).
+    pub rnr_attempt: u32,
 }
 
 /// A scheduling decision: serialize `bytes` of `job` next.
@@ -330,6 +334,22 @@ impl LinkArbiter {
     pub fn active_flows(&self) -> usize {
         self.flows.values().filter(|f| !f.queue.is_empty()).count()
     }
+
+    /// Removes and returns every queued job of `qp` (ERROR-state flush).
+    ///
+    /// Ring entries are left in place; `next_grant` already drops entries
+    /// whose flow queue is empty, so they age out lazily.
+    pub fn purge_qp(&mut self, qp: QpNum) -> Vec<EgressJob> {
+        let Some(flow) = self.flows.get_mut(&qp) else {
+            return Vec::new();
+        };
+        let purged: Vec<EgressJob> = flow.queue.drain(..).collect();
+        for job in &purged {
+            self.pending_bytes -= (job.len - job.sent) as u64;
+        }
+        flow.turns_used = 0;
+        purged
+    }
 }
 
 impl Default for LinkArbiter {
@@ -359,6 +379,8 @@ mod tests {
             rkey: 0,
             imm: 0,
             payload: None,
+            attempt: 0,
+            rnr_attempt: 0,
         }
     }
 
@@ -490,6 +512,30 @@ mod tests {
         assert_eq!(a.active_flows(), 2);
         grant(&mut a, t0()).unwrap();
         assert_eq!(a.active_flows(), 1);
+    }
+
+    #[test]
+    fn purge_qp_flushes_queue_and_accounting() {
+        let mut a = LinkArbiter::new();
+        a.enqueue(job(1, 0, 40 * 1024));
+        a.enqueue(job(2, 0, 1024));
+        a.enqueue(job(3, 1, 2048));
+        // Partially serve the first job so purge must account `sent`.
+        let g = grant(&mut a, t0()).unwrap();
+        assert!(!g.job_finished);
+        let purged = a.purge_qp(QpNum::new(0));
+        assert_eq!(purged.len(), 2);
+        assert_eq!(purged[0].sent, GRANT);
+        assert_eq!(a.pending_bytes(), 2048, "only qp 1's job remains");
+        assert_eq!(a.active_flows(), 1);
+        // The stale ring entry for qp 0 is skipped; qp 1 is served next.
+        let g = grant(&mut a, t0()).unwrap();
+        assert_eq!(g.job.qp, QpNum::new(1));
+        assert!(grant(&mut a, t0()).is_none());
+        assert!(
+            a.purge_qp(QpNum::new(9)).is_empty(),
+            "unknown flow is a no-op"
+        );
     }
 
     // ----- QoS: priorities, weights, rate limits -------------------------

@@ -84,7 +84,18 @@ pub struct QpCounters {
     /// MTUs serialized onto the link.
     pub mtus_sent: u64,
     /// Incoming sends dropped because no receive was posted.
+    ///
+    /// Counted only when the RNR retry budget is exhausted; transient
+    /// receiver-not-ready conditions that a backoff retry absorbs show up
+    /// in [`rnr_retries`](Self::rnr_retries) instead.
     pub rnr_drops: u64,
+    /// Messages retransmitted after wire loss or corruption.
+    pub retransmits: u64,
+    /// RNR NAK backoff retries (receiver not ready, message re-sent).
+    pub rnr_retries: u64,
+    /// Work requests flushed with `WrFlushError` when the QP entered
+    /// `ERROR`.
+    pub flushed: u64,
 }
 
 /// One queue pair.

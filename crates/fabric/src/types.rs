@@ -88,6 +88,12 @@ pub enum WcStatus {
     InvalidQpState = 4,
     /// The completion queue overflowed and this entry was dropped.
     CqOverrun = 5,
+    /// Transport retransmission exhausted its retry budget (wire loss or
+    /// persistent corruption); the QP transitions to `ERROR`.
+    RetryExceeded = 6,
+    /// The work request was flushed from a QP that entered `ERROR` before
+    /// the request could execute.
+    WrFlushError = 7,
 }
 
 impl WcStatus {
@@ -100,6 +106,8 @@ impl WcStatus {
             3 => WcStatus::RnrRetryExceeded,
             4 => WcStatus::InvalidQpState,
             5 => WcStatus::CqOverrun,
+            6 => WcStatus::RetryExceeded,
+            7 => WcStatus::WrFlushError,
             _ => return None,
         })
     }
@@ -168,6 +176,8 @@ mod tests {
             WcStatus::RnrRetryExceeded,
             WcStatus::InvalidQpState,
             WcStatus::CqOverrun,
+            WcStatus::RetryExceeded,
+            WcStatus::WrFlushError,
         ] {
             assert_eq!(WcStatus::from_u8(st as u8), Some(st));
         }

@@ -1,0 +1,247 @@
+//! QP `ERROR`-state semantics and deterministic fault-driven failure
+//! paths: flush-with-error-CQE behaviour, post rejection, and retry
+//! saturation under injected wire loss.
+
+use resex_fabric::qp::{RecvRequest, WorkRequest};
+use resex_fabric::{
+    Access, CqNum, Fabric, FabricError, FabricEvent, NodeId, Opcode, PdId, QpNum, UarId, WcStatus,
+};
+use resex_faults::{FaultSchedule, FaultSpec};
+use resex_simcore::time::SimTime;
+use resex_simmem::{Gpa, MemoryHandle};
+
+#[allow(dead_code)] // fixture keeps every handle alive for the test body
+struct Endpoint {
+    node: NodeId,
+    mem: MemoryHandle,
+    pd: PdId,
+    uar: UarId,
+    send_cq: CqNum,
+    recv_cq: CqNum,
+    qp: QpNum,
+    buf_gpa: Gpa,
+    lkey: u32,
+    rkey: u32,
+}
+
+fn endpoint(f: &mut Fabric) -> Endpoint {
+    let node = f.add_node();
+    let mem = MemoryHandle::new(1024 * 1024);
+    let pd = f.create_pd(node).unwrap();
+    let uar = f.create_uar(node, &mem).unwrap();
+    let send_cq = f.create_cq(node, &mem, 64).unwrap();
+    let recv_cq = f.create_cq(node, &mem, 64).unwrap();
+    let qp = f
+        .create_qp(node, pd, send_cq, recv_cq, 64, 64, uar)
+        .unwrap();
+    let buf_gpa = mem.alloc_bytes(65536).unwrap();
+    let mr = f
+        .register_mr(node, pd, &mem, buf_gpa, 65536, Access::FULL)
+        .unwrap();
+    Endpoint {
+        node,
+        mem,
+        pd,
+        uar,
+        send_cq,
+        recv_cq,
+        qp,
+        buf_gpa,
+        lkey: mr.lkey,
+        rkey: mr.rkey,
+    }
+}
+
+fn pair(f: &mut Fabric) -> (Endpoint, Endpoint) {
+    let a = endpoint(f);
+    let b = endpoint(f);
+    f.connect(a.node, a.qp, b.node, b.qp).unwrap();
+    (a, b)
+}
+
+fn send_wr(id: u64, ep: &Endpoint, len: u32) -> WorkRequest {
+    WorkRequest {
+        wr_id: id,
+        opcode: Opcode::Send,
+        lkey: ep.lkey,
+        local_gpa: ep.buf_gpa,
+        len,
+        remote: None,
+        imm: 0,
+        signaled: true,
+    }
+}
+
+fn recv_wr(id: u64, ep: &Endpoint) -> RecvRequest {
+    RecvRequest {
+        wr_id: id,
+        lkey: ep.lkey,
+        gpa: ep.buf_gpa,
+        len: 65536,
+    }
+}
+
+fn drain(f: &mut Fabric) -> Vec<(SimTime, FabricEvent)> {
+    let mut out = Vec::new();
+    while let Some(t) = f.next_time() {
+        out.extend(f.advance(t));
+    }
+    out
+}
+
+/// `ibv_modify_qp(..., IBV_QPS_ERR)` flush semantics: queued sends and
+/// posted receives both complete with `WrFlushError` CQEs on their
+/// respective queues, and the flushed-WR counter records all of them.
+#[test]
+fn error_transition_flushes_pending_wqes_with_error_cqes() {
+    let mut f = Fabric::with_defaults();
+    let (a, b) = pair(&mut f);
+    // The first send goes into service at the doorbell; give it a landing
+    // spot so "chunks already on the wire still arrive" completes cleanly.
+    f.post_recv(b.node, b.qp, recv_wr(900, &b)).unwrap();
+    f.post_recv(a.node, a.qp, recv_wr(70, &a)).unwrap();
+    f.post_recv(a.node, a.qp, recv_wr(71, &a)).unwrap();
+    for id in 1..=3 {
+        f.post_send(a.node, a.qp, send_wr(id, &a, 4096), SimTime::ZERO)
+            .unwrap();
+    }
+
+    // Error the QP before the link has finished anything: send 1 is in
+    // service (not purgeable), sends 2 and 3 are still queued.
+    f.set_qp_error(a.node, a.qp, SimTime::ZERO).unwrap();
+
+    let sends = f.poll_cq(a.node, a.send_cq, 16).unwrap();
+    assert_eq!(sends.len(), 2, "both queued sends flushed");
+    for cqe in &sends {
+        assert_eq!(cqe.status, WcStatus::WrFlushError);
+        assert_eq!(cqe.qp_num, a.qp);
+        assert!(cqe.wr_id == 2 || cqe.wr_id == 3);
+    }
+    let recvs = f.poll_cq(a.node, a.recv_cq, 16).unwrap();
+    assert_eq!(recvs.len(), 2, "both posted receives flushed");
+    for cqe in &recvs {
+        assert_eq!(cqe.status, WcStatus::WrFlushError);
+        assert_eq!(cqe.opcode, Opcode::Recv);
+        assert_eq!(cqe.byte_len, 0);
+    }
+    assert_eq!(f.qp_counters(a.node, a.qp).unwrap().flushed, 4);
+
+    // The flush surfaces through the event stream too, and the in-flight
+    // message still completes (it was already past the point of no return).
+    let events = drain(&mut f);
+    let sent: Vec<(u64, WcStatus)> = events
+        .iter()
+        .filter_map(|(_, e)| match e {
+            FabricEvent::SendComplete { wr_id, status, .. } => Some((*wr_id, *status)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        sent,
+        vec![
+            (2, WcStatus::WrFlushError),
+            (3, WcStatus::WrFlushError),
+            (1, WcStatus::Success),
+        ],
+        "flushed sends error out; the in-service send completes"
+    );
+
+    // Idempotent: erroring again flushes nothing new.
+    f.set_qp_error(a.node, a.qp, SimTime::ZERO).unwrap();
+    assert_eq!(f.qp_counters(a.node, a.qp).unwrap().flushed, 4);
+}
+
+/// Once a QP is in `ERROR`, posting work is rejected with the typed
+/// `BadQpState` error rather than a panic or silent drop.
+#[test]
+fn posting_to_an_errored_qp_returns_bad_qp_state() {
+    let mut f = Fabric::with_defaults();
+    let (a, _b) = pair(&mut f);
+    f.set_qp_error(a.node, a.qp, SimTime::ZERO).unwrap();
+
+    let send = f.post_send(a.node, a.qp, send_wr(1, &a, 1024), SimTime::ZERO);
+    assert!(
+        matches!(send, Err(FabricError::BadQpState { qp, .. }) if qp == a.qp),
+        "post_send after ERROR: {send:?}"
+    );
+    let recv = f.post_recv(a.node, a.qp, recv_wr(9, &a));
+    assert!(
+        matches!(recv, Err(FabricError::BadQpState { qp, .. }) if qp == a.qp),
+        "post_recv after ERROR: {recv:?}"
+    );
+}
+
+/// Under total wire loss the RC retry budget saturates deterministically:
+/// `retry_count` retransmissions, then a `RetryExceeded` completion and an
+/// implicit transition to `ERROR` that rejects further posts.
+#[test]
+fn total_loss_saturates_the_retry_budget_then_errors_the_qp() {
+    let mut f = Fabric::with_defaults();
+    let retry_count = u64::from(f.config().retry_count);
+    f.install_faults(FaultSchedule::from(
+        FaultSpec::parse("loss=1.0,seed=7").unwrap(),
+    ));
+    let (a, b) = pair(&mut f);
+    f.post_recv(b.node, b.qp, recv_wr(900, &b)).unwrap();
+    f.post_send(a.node, a.qp, send_wr(1, &a, 8192), SimTime::ZERO)
+        .unwrap();
+
+    let events = drain(&mut f);
+    let statuses: Vec<WcStatus> = events
+        .iter()
+        .filter_map(|(_, e)| match e {
+            FabricEvent::SendComplete { status, .. } => Some(*status),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(statuses, vec![WcStatus::RetryExceeded]);
+    assert!(
+        !events
+            .iter()
+            .any(|(_, e)| matches!(e, FabricEvent::RecvComplete { .. })),
+        "nothing is ever delivered under total loss"
+    );
+
+    let qc = f.qp_counters(a.node, a.qp).unwrap();
+    assert_eq!(qc.retransmits, retry_count, "every retry was spent");
+    let nc = f.node_counters(a.node).unwrap();
+    assert_eq!(
+        nc.wire_lost,
+        retry_count + 1,
+        "original attempt plus each retry was lost"
+    );
+    assert_eq!(f.fault_stats().link_drops, retry_count + 1);
+
+    // The failed QP is now in ERROR.
+    let again = f.post_send(a.node, a.qp, send_wr(2, &a, 1024), SimTime::ZERO);
+    assert!(matches!(again, Err(FabricError::BadQpState { .. })));
+}
+
+/// The same fault seed replays the same failure, event for event.
+#[test]
+fn fault_driven_failures_replay_byte_identically() {
+    let run = || {
+        let mut f = Fabric::with_defaults();
+        f.install_faults(FaultSchedule::from(
+            FaultSpec::parse("loss=0.4,corrupt=0.1,seed=21").unwrap(),
+        ));
+        let (a, b) = pair(&mut f);
+        for i in 0..8 {
+            f.post_recv(b.node, b.qp, recv_wr(900 + i, &b)).unwrap();
+        }
+        for i in 0..8 {
+            f.post_send(a.node, a.qp, send_wr(i, &a, 4096), SimTime::ZERO)
+                .unwrap();
+        }
+        let events = drain(&mut f);
+        (format!("{events:?}"), f.fault_stats())
+    };
+    let (ev1, st1) = run();
+    let (ev2, st2) = run();
+    assert_eq!(ev1, ev2);
+    assert_eq!(st1, st2);
+    assert!(
+        st1.link_drops + st1.corruptions > 0,
+        "the schedule actually fired: {st1:?}"
+    );
+}

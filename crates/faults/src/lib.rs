@@ -1,0 +1,652 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # resex-faults — deterministic fault injection
+//!
+//! The paper's premise is that the hypervisor must stay in control *without*
+//! a reliable view of bypass I/O: the HCA retries and drops traffic on its
+//! own, IBMon's CQ-ring scans can alias, lag, or read half-written entries,
+//! and cap actuation can fail transiently. This crate is the single plane
+//! from which all of those degradations are injected — **deterministically**.
+//!
+//! Every fault class draws from its own [`SimRng`] stream forked from the
+//! schedule's seed, so:
+//!
+//! * the same `(seed, schedule)` always injects the same faults at the same
+//!   simulated instants (byte-reproducible runs, CI-diffable output);
+//! * enabling one class never shifts another class's draws;
+//! * a class whose rate is zero draws **nothing** — a disabled schedule is
+//!   indistinguishable from the fault plane not existing at all, which is
+//!   what keeps fault-free runs byte-identical to pre-fault builds.
+//!
+//! Consumers hold one injector each: [`FabricFaults`] (wire loss/corruption,
+//! per-grant delay spikes) lives in the fabric engine, [`IbmonFaults`] (scan
+//! skips, stale foreign mappings, CQE read tearing) in IBMon, and
+//! [`ControlFaults`] (cap-actuation failures) in the hypervisor. Each keeps
+//! its own [`FaultStats`] tally so runs can report exactly what was injected.
+
+use resex_simcore::rng::SimRng;
+use resex_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+fn default_seed() -> u64 {
+    0xFA17
+}
+
+fn default_grant_delay() -> SimDuration {
+    SimDuration::from_micros(20)
+}
+
+/// Base fault rates, all drawn per opportunity (per message, per grant, per
+/// scan, per actuation). All probabilities default to zero; a default spec
+/// injects nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct FaultSpec {
+    /// Seed of the fault plane's RNG tree (independent of the scenario seed
+    /// so fault patterns can be varied without perturbing the workload).
+    pub seed: u64,
+    /// Probability a fully-serialized message is lost on the wire.
+    pub link_loss: f64,
+    /// Probability a delivered message arrives corrupted (ICRC failure at
+    /// the receiver; retransmitted like a loss on RC transports).
+    pub link_corruption: f64,
+    /// Probability an egress grant suffers an extra delay spike
+    /// (PCIe/DMA stall, SMI, ...).
+    pub grant_delay_prob: f64,
+    /// Size of an injected grant delay spike.
+    pub grant_delay: SimDuration,
+    /// Probability an IBMon ring scan observes one torn (half-written) CQE.
+    pub cqe_tear: f64,
+    /// Probability IBMon skips a whole per-VM sample (monitor preempted,
+    /// scan budget exhausted).
+    pub scan_skip: f64,
+    /// Probability one ring's foreign mapping reads stale data this scan
+    /// (remapped page, racing balloon driver).
+    pub stale_mapping: f64,
+    /// Probability a privileged cap actuation fails transiently.
+    pub cap_fail: f64,
+}
+
+// Hand-written so that omitted fields fall back to the *spec* defaults
+// (seed = 0xFA17, grant_delay = 20µs) rather than zero: the vendored serde
+// derive only supports bare `#[serde(default)]`.
+impl Deserialize for FaultSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("FaultSpec: expected object"))?;
+        let mut spec = FaultSpec::default();
+        fn field<T: Deserialize>(
+            m: &serde::Map,
+            key: &str,
+            slot: &mut T,
+        ) -> Result<(), serde::Error> {
+            if let Some(x) = m.get(key) {
+                *slot = T::from_value(x)?;
+            }
+            Ok(())
+        }
+        field(m, "seed", &mut spec.seed)?;
+        field(m, "link_loss", &mut spec.link_loss)?;
+        field(m, "link_corruption", &mut spec.link_corruption)?;
+        field(m, "grant_delay_prob", &mut spec.grant_delay_prob)?;
+        field(m, "grant_delay", &mut spec.grant_delay)?;
+        field(m, "cqe_tear", &mut spec.cqe_tear)?;
+        field(m, "scan_skip", &mut spec.scan_skip)?;
+        field(m, "stale_mapping", &mut spec.stale_mapping)?;
+        field(m, "cap_fail", &mut spec.cap_fail)?;
+        Ok(spec)
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: default_seed(),
+            link_loss: 0.0,
+            link_corruption: 0.0,
+            grant_delay_prob: 0.0,
+            grant_delay: default_grant_delay(),
+            cqe_tear: 0.0,
+            scan_skip: 0.0,
+            stale_mapping: 0.0,
+            cap_fail: 0.0,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// True if any fault class can fire.
+    pub fn enabled(&self) -> bool {
+        self.link_loss > 0.0
+            || self.link_corruption > 0.0
+            || self.grant_delay_prob > 0.0
+            || self.cqe_tear > 0.0
+            || self.scan_skip > 0.0
+            || self.stale_mapping > 0.0
+            || self.cap_fail > 0.0
+    }
+
+    /// Validates that every rate is a probability.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("loss", self.link_loss),
+            ("corrupt", self.link_corruption),
+            ("delay", self.grant_delay_prob),
+            ("tear", self.cqe_tear),
+            ("skip", self.scan_skip),
+            ("stale", self.stale_mapping),
+            ("capfail", self.cap_fail),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("fault rate {name}={p} is not a probability"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a compact `key=value` spec, e.g.
+    /// `loss=0.01,seed=7,delay=0.005,delay_us=50,tear=0.02,capfail=0.1`.
+    ///
+    /// Keys: `seed`, `loss`, `corrupt`, `delay` (probability), `delay_us`
+    /// (spike size), `tear`, `skip`, `stale`, `capfail`.
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        let mut spec = FaultSpec::default();
+        for part in s.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec item '{part}' is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+                value
+                    .parse()
+                    .map_err(|_| format!("fault spec value '{value}' for '{key}' does not parse"))
+            }
+            match key {
+                "seed" => spec.seed = num(key, value)?,
+                "loss" => spec.link_loss = num(key, value)?,
+                "corrupt" => spec.link_corruption = num(key, value)?,
+                "delay" => spec.grant_delay_prob = num(key, value)?,
+                "delay_us" => spec.grant_delay = SimDuration::from_micros(num(key, value)?),
+                "tear" => spec.cqe_tear = num(key, value)?,
+                "skip" => spec.scan_skip = num(key, value)?,
+                "stale" => spec.stale_mapping = num(key, value)?,
+                "capfail" => spec.cap_fail = num(key, value)?,
+                _ => return Err(format!("unknown fault spec key '{key}'")),
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// One typed fault-rate override, applied while its window is active.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Overrides [`FaultSpec::link_loss`].
+    LinkLoss(f64),
+    /// Overrides [`FaultSpec::link_corruption`].
+    LinkCorruption(f64),
+    /// Overrides the grant-delay probability and spike size.
+    GrantDelay {
+        /// Per-grant spike probability.
+        prob: f64,
+        /// Spike duration.
+        extra: SimDuration,
+    },
+    /// Overrides [`FaultSpec::cqe_tear`].
+    CqeTear(f64),
+    /// Overrides [`FaultSpec::scan_skip`].
+    ScanSkip(f64),
+    /// Overrides [`FaultSpec::stale_mapping`].
+    StaleMapping(f64),
+    /// Overrides [`FaultSpec::cap_fail`].
+    CapFail(f64),
+}
+
+/// A typed fault event: `kind`'s rate applies during `[start, end)`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+    /// The override active inside the window.
+    pub kind: FaultKind,
+}
+
+/// A full fault schedule: base rates plus typed time-windowed overrides.
+/// Later windows win when several cover the same instant.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// Base rates, active whenever no window overrides them.
+    #[serde(default)]
+    pub spec: FaultSpec,
+    /// Time-windowed overrides.
+    #[serde(default)]
+    pub windows: Vec<FaultWindow>,
+}
+
+impl From<FaultSpec> for FaultSchedule {
+    fn from(spec: FaultSpec) -> Self {
+        FaultSchedule {
+            spec,
+            windows: Vec::new(),
+        }
+    }
+}
+
+impl FaultSchedule {
+    /// True if any fault can ever fire (base rates or any window).
+    pub fn enabled(&self) -> bool {
+        self.spec.enabled()
+            || self.windows.iter().any(|w| {
+                matches!(
+                    w.kind,
+                    FaultKind::LinkLoss(p)
+                    | FaultKind::LinkCorruption(p)
+                    | FaultKind::CqeTear(p)
+                    | FaultKind::ScanSkip(p)
+                    | FaultKind::StaleMapping(p)
+                    | FaultKind::CapFail(p) if p > 0.0
+                ) || matches!(w.kind, FaultKind::GrantDelay { prob, .. } if prob > 0.0)
+            })
+    }
+
+    /// The effective rates at simulated time `t`.
+    pub fn resolved(&self, t: SimTime) -> FaultSpec {
+        let mut spec = self.spec;
+        for w in &self.windows {
+            if w.start <= t && t < w.end {
+                match w.kind {
+                    FaultKind::LinkLoss(p) => spec.link_loss = p,
+                    FaultKind::LinkCorruption(p) => spec.link_corruption = p,
+                    FaultKind::GrantDelay { prob, extra } => {
+                        spec.grant_delay_prob = prob;
+                        spec.grant_delay = extra;
+                    }
+                    FaultKind::CqeTear(p) => spec.cqe_tear = p,
+                    FaultKind::ScanSkip(p) => spec.scan_skip = p,
+                    FaultKind::StaleMapping(p) => spec.stale_mapping = p,
+                    FaultKind::CapFail(p) => spec.cap_fail = p,
+                }
+            }
+        }
+        spec
+    }
+}
+
+/// Counters of everything an injector actually fired, for run reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Messages lost on the wire.
+    pub link_drops: u64,
+    /// Messages delivered corrupted (discarded at the receiver).
+    pub corruptions: u64,
+    /// Grant delay spikes injected.
+    pub delay_spikes: u64,
+    /// Torn CQE reads injected into IBMon scans.
+    pub torn_reads: u64,
+    /// Whole per-VM samples skipped.
+    pub scan_skips: u64,
+    /// Per-ring stale-mapping scans injected.
+    pub stale_scans: u64,
+    /// Cap actuations failed.
+    pub cap_failures: u64,
+}
+
+/// Stream-domain constants: each consumer seeds its RNG tree from
+/// `seed ^ DOMAIN` so the three injectors are mutually independent even
+/// though they share one schedule seed.
+const DOMAIN_FABRIC: u64 = 0x00FA_B51C;
+const DOMAIN_IBMON: u64 = 0x001B_3013;
+const DOMAIN_CONTROL: u64 = 0x00CA_9F01;
+
+/// Wire-fault injector owned by the fabric engine.
+#[derive(Clone, Debug)]
+pub struct FabricFaults {
+    sched: FaultSchedule,
+    loss_rng: SimRng,
+    corrupt_rng: SimRng,
+    delay_rng: SimRng,
+    /// Injection tally.
+    pub stats: FaultStats,
+}
+
+impl FabricFaults {
+    /// Builds the injector; fork order (loss, corrupt, delay) is part of
+    /// the reproducibility contract.
+    pub fn new(sched: FaultSchedule) -> Self {
+        let mut master = SimRng::seed_from_u64(sched.spec.seed ^ DOMAIN_FABRIC);
+        let loss_rng = master.fork();
+        let corrupt_rng = master.fork();
+        let delay_rng = master.fork();
+        FabricFaults {
+            sched,
+            loss_rng,
+            corrupt_rng,
+            delay_rng,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Draws whether a fully-serialized message is lost on the wire.
+    /// Zero-rate instants draw nothing.
+    pub fn lose_message(&mut self, now: SimTime) -> bool {
+        let p = self.sched.resolved(now).link_loss;
+        if p <= 0.0 {
+            return false;
+        }
+        let hit = self.loss_rng.chance(p);
+        if hit {
+            self.stats.link_drops += 1;
+        }
+        hit
+    }
+
+    /// Draws whether a delivered message arrives corrupted.
+    pub fn corrupt_message(&mut self, now: SimTime) -> bool {
+        let p = self.sched.resolved(now).link_corruption;
+        if p <= 0.0 {
+            return false;
+        }
+        let hit = self.corrupt_rng.chance(p);
+        if hit {
+            self.stats.corruptions += 1;
+        }
+        hit
+    }
+
+    /// Draws an extra per-grant delay spike, if one fires.
+    pub fn grant_delay(&mut self, now: SimTime) -> Option<SimDuration> {
+        let spec = self.sched.resolved(now);
+        if spec.grant_delay_prob <= 0.0 {
+            return None;
+        }
+        if self.delay_rng.chance(spec.grant_delay_prob) {
+            self.stats.delay_spikes += 1;
+            Some(spec.grant_delay)
+        } else {
+            None
+        }
+    }
+}
+
+/// Telemetry-degradation injector owned by IBMon.
+#[derive(Clone, Debug)]
+pub struct IbmonFaults {
+    sched: FaultSchedule,
+    skip_rng: SimRng,
+    stale_rng: SimRng,
+    tear_rng: SimRng,
+    /// Injection tally.
+    pub stats: FaultStats,
+}
+
+impl IbmonFaults {
+    /// Builds the injector; fork order (skip, stale, tear) is part of the
+    /// reproducibility contract.
+    pub fn new(sched: FaultSchedule) -> Self {
+        let mut master = SimRng::seed_from_u64(sched.spec.seed ^ DOMAIN_IBMON);
+        let skip_rng = master.fork();
+        let stale_rng = master.fork();
+        let tear_rng = master.fork();
+        IbmonFaults {
+            sched,
+            skip_rng,
+            stale_rng,
+            tear_rng,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Draws whether a whole per-VM sample is skipped this interval.
+    pub fn skip_scan(&mut self, now: SimTime) -> bool {
+        let p = self.sched.resolved(now).scan_skip;
+        if p <= 0.0 {
+            return false;
+        }
+        let hit = self.skip_rng.chance(p);
+        if hit {
+            self.stats.scan_skips += 1;
+        }
+        hit
+    }
+
+    /// Draws whether one ring's foreign mapping reads stale this scan.
+    pub fn stale_mapping(&mut self, now: SimTime) -> bool {
+        let p = self.sched.resolved(now).stale_mapping;
+        if p <= 0.0 {
+            return false;
+        }
+        let hit = self.stale_rng.chance(p);
+        if hit {
+            self.stats.stale_scans += 1;
+        }
+        hit
+    }
+
+    /// Draws the slot index of a torn CQE read for a scan over `slots`
+    /// ring slots, if a tear fires.
+    pub fn torn_slot(&mut self, now: SimTime, slots: u32) -> Option<u32> {
+        let p = self.sched.resolved(now).cqe_tear;
+        if p <= 0.0 || slots == 0 {
+            return None;
+        }
+        if self.tear_rng.chance(p) {
+            self.stats.torn_reads += 1;
+            Some(self.tear_rng.next_below(slots as u64) as u32)
+        } else {
+            None
+        }
+    }
+}
+
+/// Actuation-failure injector owned by the hypervisor.
+#[derive(Clone, Debug)]
+pub struct ControlFaults {
+    sched: FaultSchedule,
+    cap_rng: SimRng,
+    /// Injection tally.
+    pub stats: FaultStats,
+}
+
+impl ControlFaults {
+    /// Builds the injector.
+    pub fn new(sched: FaultSchedule) -> Self {
+        let mut master = SimRng::seed_from_u64(sched.spec.seed ^ DOMAIN_CONTROL);
+        let cap_rng = master.fork();
+        ControlFaults {
+            sched,
+            cap_rng,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Draws whether a privileged cap actuation fails transiently.
+    pub fn cap_fails(&mut self, now: SimTime) -> bool {
+        let p = self.sched.resolved(now).cap_fail;
+        if p <= 0.0 {
+            return false;
+        }
+        let hit = self.cap_rng.chance(p);
+        if hit {
+            self.stats.cap_failures += 1;
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_disabled_and_valid() {
+        let spec = FaultSpec::default();
+        assert!(!spec.enabled());
+        assert!(spec.validate().is_ok());
+        assert!(!FaultSchedule::default().enabled());
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let spec =
+            FaultSpec::parse("loss=0.01, seed=7,delay=0.005,delay_us=50,tear=0.02,capfail=0.1")
+                .unwrap();
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.link_loss, 0.01);
+        assert_eq!(spec.grant_delay_prob, 0.005);
+        assert_eq!(spec.grant_delay, SimDuration::from_micros(50));
+        assert_eq!(spec.cqe_tear, 0.02);
+        assert_eq!(spec.cap_fail, 0.1);
+        assert!(spec.enabled());
+        assert_eq!(FaultSpec::parse("").unwrap(), FaultSpec::default());
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(FaultSpec::parse("loss").is_err(), "missing value");
+        assert!(FaultSpec::parse("loss=nope").is_err(), "bad number");
+        assert!(FaultSpec::parse("bogus=1").is_err(), "unknown key");
+        assert!(FaultSpec::parse("loss=1.5").is_err(), "not a probability");
+    }
+
+    #[test]
+    fn schedule_windows_override_and_expire() {
+        let sched = FaultSchedule {
+            spec: FaultSpec {
+                link_loss: 0.01,
+                ..Default::default()
+            },
+            windows: vec![
+                FaultWindow {
+                    start: SimTime::from_millis(10),
+                    end: SimTime::from_millis(20),
+                    kind: FaultKind::LinkLoss(0.5),
+                },
+                FaultWindow {
+                    start: SimTime::from_millis(15),
+                    end: SimTime::from_millis(20),
+                    kind: FaultKind::CapFail(1.0),
+                },
+            ],
+        };
+        assert_eq!(sched.resolved(SimTime::from_millis(5)).link_loss, 0.01);
+        assert_eq!(sched.resolved(SimTime::from_millis(10)).link_loss, 0.5);
+        let at17 = sched.resolved(SimTime::from_millis(17));
+        assert_eq!(at17.link_loss, 0.5);
+        assert_eq!(at17.cap_fail, 1.0);
+        assert_eq!(sched.resolved(SimTime::from_millis(20)).link_loss, 0.01);
+    }
+
+    #[test]
+    fn windows_alone_enable_a_schedule() {
+        let sched = FaultSchedule {
+            spec: FaultSpec::default(),
+            windows: vec![FaultWindow {
+                start: SimTime::ZERO,
+                end: SimTime::from_secs(1),
+                kind: FaultKind::ScanSkip(0.3),
+            }],
+        };
+        assert!(sched.enabled());
+        let zeroed = FaultSchedule {
+            windows: vec![FaultWindow {
+                start: SimTime::ZERO,
+                end: SimTime::from_secs(1),
+                kind: FaultKind::ScanSkip(0.0),
+            }],
+            ..Default::default()
+        };
+        assert!(!zeroed.enabled());
+    }
+
+    #[test]
+    fn injectors_are_deterministic_per_seed() {
+        let sched = FaultSchedule::from(FaultSpec {
+            link_loss: 0.3,
+            link_corruption: 0.1,
+            ..Default::default()
+        });
+        let mut a = FabricFaults::new(sched.clone());
+        let mut b = FabricFaults::new(sched.clone());
+        let t = SimTime::from_micros(1);
+        for _ in 0..1000 {
+            assert_eq!(a.lose_message(t), b.lose_message(t));
+            assert_eq!(a.corrupt_message(t), b.corrupt_message(t));
+        }
+        assert_eq!(a.stats, b.stats);
+        assert!(a.stats.link_drops > 0, "30% loss fires within 1000 draws");
+
+        let mut c = FabricFaults::new(FaultSchedule::from(FaultSpec {
+            seed: 999,
+            link_loss: 0.3,
+            ..Default::default()
+        }));
+        let diverged = (0..1000).any(|_| a.lose_message(t) != c.lose_message(t));
+        assert!(diverged, "different seeds give different fault patterns");
+    }
+
+    #[test]
+    fn zero_rate_draws_nothing() {
+        // A zero-rate class must not consume RNG state: interleaving
+        // zero-rate calls cannot shift the live stream.
+        let sched = FaultSchedule::from(FaultSpec {
+            link_loss: 0.5,
+            ..Default::default()
+        });
+        let mut a = FabricFaults::new(sched.clone());
+        let mut b = FabricFaults::new(sched);
+        let t = SimTime::ZERO;
+        let seq_a: Vec<bool> = (0..100).map(|_| a.lose_message(t)).collect();
+        let seq_b: Vec<bool> = (0..100)
+            .map(|_| {
+                assert!(!b.corrupt_message(t), "zero-rate class never fires");
+                b.lose_message(t)
+            })
+            .collect();
+        assert_eq!(seq_a, seq_b);
+        assert_eq!(b.stats.corruptions, 0);
+    }
+
+    #[test]
+    fn ibmon_and_control_streams_fire_at_their_rates() {
+        let sched = FaultSchedule::from(FaultSpec {
+            scan_skip: 0.5,
+            stale_mapping: 0.5,
+            cqe_tear: 0.5,
+            cap_fail: 0.5,
+            ..Default::default()
+        });
+        let mut ib = IbmonFaults::new(sched.clone());
+        let mut ctl = ControlFaults::new(sched);
+        let t = SimTime::ZERO;
+        for _ in 0..200 {
+            ib.skip_scan(t);
+            ib.stale_mapping(t);
+            if let Some(slot) = ib.torn_slot(t, 16) {
+                assert!(slot < 16);
+            }
+            ctl.cap_fails(t);
+        }
+        for n in [
+            ib.stats.scan_skips,
+            ib.stats.stale_scans,
+            ib.stats.torn_reads,
+            ctl.stats.cap_failures,
+        ] {
+            assert!((50..=150).contains(&n), "rate 0.5 over 200 draws: {n}");
+        }
+    }
+
+    #[test]
+    fn schedule_deserializes_from_empty_object() {
+        let sched: FaultSchedule = serde_json::from_str("{}").unwrap();
+        assert_eq!(sched, FaultSchedule::default());
+        assert!(!sched.enabled());
+        // And a spec with only one key set keeps the other defaults.
+        let spec: FaultSpec = serde_json::from_str(r#"{"link_loss": 0.25}"#).unwrap();
+        assert_eq!(spec.link_loss, 0.25);
+        assert_eq!(spec.seed, default_seed());
+    }
+}

@@ -28,6 +28,9 @@ pub enum HvError {
     VcpuBusy(VcpuId),
     /// An underlying guest-memory failure.
     Mem(resex_simmem::MemError),
+    /// A privileged actuation (e.g. `SetVMCap`) failed transiently —
+    /// injected by the fault plane; callers should retry next interval.
+    ActuationFailed(DomainId),
 }
 
 impl fmt::Display for HvError {
@@ -48,6 +51,9 @@ impl fmt::Display for HvError {
             ),
             HvError::VcpuBusy(v) => write!(f, "{v} is already running a job"),
             HvError::Mem(e) => write!(f, "guest memory error: {e}"),
+            HvError::ActuationFailed(d) => {
+                write!(f, "transient actuation failure targeting {d}")
+            }
         }
     }
 }

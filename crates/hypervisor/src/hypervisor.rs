@@ -15,6 +15,7 @@ use crate::domain::{Domain, DomainId};
 use crate::error::HvError;
 use crate::sched::{fair_shares, fluid_finish, slice_finish, slice_progress, SchedModel, ShareReq};
 use crate::vcpu::{Job, PcpuId, Vcpu, VcpuId, VcpuMode};
+use resex_faults::{ControlFaults, FaultSchedule, FaultStats};
 use resex_obs::{subsystem, Scope, Tracer};
 use resex_simcore::time::{SimDuration, SimTime};
 use resex_simmem::MemoryHandle;
@@ -56,6 +57,9 @@ pub struct Hypervisor {
     vcpus: Vec<Vcpu>,
     n_pcpus: u32,
     tracer: Tracer,
+    /// Actuation fault injector; `None` (the default) draws nothing and
+    /// keeps fault-free runs byte-identical to pre-fault builds.
+    faults: Option<ControlFaults>,
 }
 
 impl Hypervisor {
@@ -67,7 +71,26 @@ impl Hypervisor {
             vcpus: Vec::new(),
             n_pcpus: 0,
             tracer: Tracer::disabled(),
+            faults: None,
         }
+    }
+
+    /// Arms deterministic actuation faults (transient `SetVMCap`
+    /// failures). A schedule with all rates zero is ignored.
+    pub fn install_faults(&mut self, schedule: FaultSchedule) {
+        if schedule.enabled() {
+            self.faults = Some(ControlFaults::new(schedule));
+        }
+    }
+
+    /// Tally of actuation faults injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Draws whether the next privileged actuation fails transiently.
+    pub(crate) fn actuation_fails(&mut self, now: SimTime) -> bool {
+        self.faults.as_mut().is_some_and(|f| f.cap_fails(now))
     }
 
     /// Installs an observability tracer. Scheduling is unaffected; the

@@ -43,6 +43,9 @@ impl Hypervisor {
         if !self.is_privileged(caller)? {
             return Err(HvError::NotPrivileged(caller));
         }
+        if self.actuation_fails(now) {
+            return Err(HvError::ActuationFailed(target));
+        }
         self.set_cap(target, cap_pct, now)
     }
 
@@ -107,5 +110,34 @@ mod tests {
         hv.privileged_set_weight(dom0, domu, 512, SimTime::ZERO)
             .unwrap();
         assert_eq!(hv.weight(domu).unwrap(), 512);
+    }
+
+    #[test]
+    fn injected_actuation_failure_is_typed_and_leaves_the_cap_alone() {
+        use resex_faults::{FaultSchedule, FaultSpec};
+        let (mut hv, dom0, domu) = setup();
+        hv.privileged_set_cap(dom0, domu, 40, SimTime::ZERO)
+            .unwrap();
+        hv.install_faults(FaultSchedule::from(FaultSpec {
+            cap_fail: 1.0,
+            ..FaultSpec::default()
+        }));
+        let err = hv
+            .privileged_set_cap(dom0, domu, 10, SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, HvError::ActuationFailed(d) if d == domu));
+        assert_eq!(hv.cap(domu).unwrap(), 40, "failed actuation is a no-op");
+        assert_eq!(hv.fault_stats().cap_failures, 1);
+    }
+
+    #[test]
+    fn zero_rate_schedule_never_fails_actuations() {
+        use resex_faults::FaultSchedule;
+        let (mut hv, dom0, domu) = setup();
+        hv.install_faults(FaultSchedule::default());
+        for i in 0..50u64 {
+            hv.privileged_set_cap(dom0, domu, 25, SimTime::from_millis(i))
+                .unwrap();
+        }
     }
 }

@@ -35,6 +35,12 @@ pub struct ScanSample {
     /// ring wrapped more than once between polls and per-slot data is
     /// undersampled.
     pub aliased: bool,
+    /// Slots whose bytes failed to decode as a CQE without being in the
+    /// uninitialized pattern — a torn read racing the HCA's DMA write. The
+    /// slot is skipped (its cached signature is kept) so the next scan
+    /// observes the settled value.
+    #[serde(default)]
+    pub torn: u32,
 }
 
 /// Signature of a ring slot, for change detection.
@@ -100,21 +106,52 @@ impl CqMonitor {
         self.lifetime_bytes
     }
 
+    /// Ring capacity in CQE slots.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
     /// Scans the ring and reports activity since the previous scan.
     ///
     /// The first scan primes the signature cache and reports zero (the
     /// monitor cannot know how old pre-existing entries are).
-    pub fn scan(&mut self, _now: SimTime) -> Result<ScanSample, MemError> {
-        let snapshot = self.mapping.snapshot()?;
+    pub fn scan(&mut self, now: SimTime) -> Result<ScanSample, MemError> {
+        self.scan_faulted(now, None)
+    }
+
+    /// [`CqMonitor::scan`] with an injected torn read: the bytes of
+    /// `tear_slot` in the *snapshot copy* are garbled before decoding, as
+    /// if dom0's read raced the HCA's DMA write. Guest memory is untouched.
+    pub fn scan_faulted(
+        &mut self,
+        _now: SimTime,
+        tear_slot: Option<u32>,
+    ) -> Result<ScanSample, MemError> {
+        let mut snapshot = self.mapping.snapshot()?;
+        if let Some(slot) = tear_slot {
+            if slot < self.capacity {
+                // A status byte no WcStatus maps to: decoding must fail.
+                snapshot[slot as usize * CQE_SIZE + 19] = 0xEE;
+            }
+        }
         let mut changed = 0u32;
         let mut changed_bytes = 0u64;
         let mut changed_mtus = 0u64;
+        let mut torn = 0u32;
         let mut freshest: Option<u16> = self.latest_counter;
         for slot in 0..self.capacity as usize {
             let raw: &[u8; CQE_SIZE] = snapshot[slot * CQE_SIZE..(slot + 1) * CQE_SIZE]
                 .try_into()
                 .expect("slot slice is CQE_SIZE");
-            let decoded = Cqe::decode(raw);
+            let decoded = match Cqe::try_decode(raw) {
+                Ok(pair) => Some(pair),
+                // The uninitialized fill pattern is not torn — just empty.
+                Err(_) if raw.iter().all(|&b| b == 0xFF) => None,
+                Err(_) => {
+                    torn += 1;
+                    continue;
+                }
+            };
             let sig = decoded.map(|(c, owner)| (c.wr_id, c.wqe_counter, owner));
             if sig != self.sigs[slot] {
                 self.sigs[slot] = sig;
@@ -138,7 +175,10 @@ impl CqMonitor {
         if !self.primed {
             self.primed = true;
             self.latest_counter = freshest;
-            return Ok(ScanSample::default());
+            return Ok(ScanSample {
+                torn,
+                ..ScanSample::default()
+            });
         }
         let counter_delta = match (self.latest_counter, freshest) {
             (Some(old), Some(new)) => wrapping_ahead(old, new) as u64,
@@ -149,7 +189,9 @@ impl CqMonitor {
         // The counter is authoritative for *how many*; slot contents tell
         // us *how big*. When aliased, scale the per-slot averages up.
         let completions = counter_delta.max(changed as u64);
-        let aliased = counter_delta > changed as u64;
+        // A torn slot hides activity just like a multi-wrap alias does, so
+        // it marks the sample the same way.
+        let aliased = counter_delta > changed as u64 || torn > 0;
         let (bytes, mtus) = if changed == 0 {
             (0, 0)
         } else if aliased {
@@ -169,6 +211,7 @@ impl CqMonitor {
             mtus,
             slots_changed: changed,
             aliased,
+            torn,
         })
     }
 }
@@ -297,6 +340,36 @@ mod tests {
         }
         let s = mon.scan(t(1)).unwrap();
         assert_eq!(s.completions, 4);
+    }
+
+    #[test]
+    fn torn_read_is_skipped_and_recovered_next_scan() {
+        let (_m, mut cq, mut mon) = setup(8);
+        push(&mut cq, 1, 0, 1024);
+        mon.scan(t(0)).unwrap();
+        // New CQE lands in slot 1; the scan's copy of that slot is garbled.
+        push(&mut cq, 2, 1, 2048);
+        let s = mon.scan_faulted(t(1), Some(1)).unwrap();
+        assert_eq!(s.torn, 1);
+        assert_eq!(s.completions, 0, "the torn slot is not counted");
+        assert!(s.aliased, "a torn scan is flagged as undersampled");
+        // The cached signature was not poisoned: the next clean scan sees
+        // the settled value and recovers the completion.
+        let s = mon.scan(t(2)).unwrap();
+        assert_eq!(s.torn, 0);
+        assert_eq!(s.completions, 1);
+        assert_eq!(s.bytes, 2048);
+    }
+
+    #[test]
+    fn tearing_an_empty_slot_still_counts_as_torn() {
+        let (_m, _cq, mut mon) = setup(8);
+        mon.scan(t(0)).unwrap();
+        // Slot 7 is uninitialized (all 0xFF); garbling one byte makes it
+        // non-empty garbage, which reads as torn, not as a completion.
+        let s = mon.scan_faulted(t(1), Some(7)).unwrap();
+        assert_eq!(s.torn, 1);
+        assert_eq!(s.completions, 0);
     }
 
     #[test]

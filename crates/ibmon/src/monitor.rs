@@ -8,6 +8,7 @@
 //! loop consumes (`GetMTUs` in the paper's pseudo-code).
 
 use crate::cq_monitor::{CqMonitor, ScanSample};
+use resex_faults::{FaultSchedule, FaultStats, IbmonFaults};
 use resex_hypervisor::{DomainId, Hypervisor};
 use resex_simcore::stats::Ewma;
 use resex_simcore::time::{SimDuration, SimTime};
@@ -33,6 +34,12 @@ pub struct VmUsage {
     pub mtu_rate: f64,
     /// True if any underlying ring scan detected aliasing this interval.
     pub aliased: bool,
+    /// True when this sample is degraded: the whole scan was skipped (the
+    /// fields repeat the last fresh sample) or at least one ring read
+    /// through a stale foreign mapping. Consumers should fall back to
+    /// last-known rates instead of trusting the counts.
+    #[serde(default)]
+    pub stale: bool,
 }
 
 /// IBMon configuration.
@@ -61,12 +68,18 @@ struct VmMonitor {
     mtu_window: WindowedRate,
     buffer_est: Ewma,
     lifetime_mtus: u64,
+    /// Last fully fresh sample, replayed (flagged stale) when a scan is
+    /// skipped by fault injection.
+    last: VmUsage,
 }
 
 /// The dom0 monitoring service.
 pub struct IbMon {
     cfg: IbMonConfig,
     vms: HashMap<DomainId, VmMonitor>,
+    /// Telemetry fault injectors; `None` (the default) draws nothing and
+    /// keeps fault-free runs byte-identical to pre-fault builds.
+    faults: Option<IbmonFaults>,
 }
 
 impl IbMon {
@@ -75,7 +88,21 @@ impl IbMon {
         IbMon {
             cfg,
             vms: HashMap::new(),
+            faults: None,
         }
+    }
+
+    /// Arms deterministic telemetry faults (scan skips, stale mappings,
+    /// torn CQE reads). A schedule with all rates zero is ignored.
+    pub fn install_faults(&mut self, schedule: FaultSchedule) {
+        if schedule.enabled() {
+            self.faults = Some(IbmonFaults::new(schedule));
+        }
+    }
+
+    /// Tally of telemetry faults injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
     /// Registers a VM's CQ ring for monitoring, mapping it through the
@@ -104,6 +131,7 @@ impl IbMon {
                 mtu_window: WindowedRate::new(self.cfg.rate_window),
                 buffer_est: Ewma::new(self.cfg.buffer_ewma_alpha),
                 lifetime_mtus: 0,
+                last: VmUsage::default(),
             })
             .cqs
             .push(mon);
@@ -123,14 +151,39 @@ impl IbMon {
             Some(vm) => vm,
             None => return Ok(VmUsage::default()),
         };
+        if let Some(f) = self.faults.as_mut() {
+            if f.skip_scan(now) {
+                // Whole sample lost: replay the last fresh numbers, flagged
+                // so consumers discount them.
+                return Ok(VmUsage {
+                    stale: true,
+                    ..vm.last
+                });
+            }
+        }
         let mut agg = ScanSample::default();
+        let mut degraded = false;
         for cq in &mut vm.cqs {
-            let s = cq.scan(now)?;
+            let tear = match self.faults.as_mut() {
+                Some(f) => {
+                    if f.stale_mapping(now) {
+                        // The foreign mapping re-read old page contents:
+                        // this ring contributes nothing this interval and
+                        // the aggregate is marked stale.
+                        degraded = true;
+                        continue;
+                    }
+                    f.torn_slot(now, cq.capacity())
+                }
+                None => None,
+            };
+            let s = cq.scan_faulted(now, tear)?;
             agg.completions += s.completions;
             agg.bytes += s.bytes;
             agg.mtus += s.mtus;
             agg.slots_changed += s.slots_changed;
             agg.aliased |= s.aliased;
+            agg.torn += s.torn;
         }
         vm.lifetime_mtus += agg.mtus;
         vm.mtu_window.record(now, agg.mtus);
@@ -138,14 +191,19 @@ impl IbMon {
             vm.buffer_est
                 .push(agg.bytes as f64 / agg.completions as f64);
         }
-        Ok(VmUsage {
+        let usage = VmUsage {
             mtus: agg.mtus,
             bytes: agg.bytes,
             completions: agg.completions,
             est_buffer_size: vm.buffer_est.value_or(0.0),
             mtu_rate: vm.mtu_window.rate_per_sec(now),
             aliased: agg.aliased,
-        })
+            stale: degraded,
+        };
+        if !degraded {
+            vm.last = usage;
+        }
+        Ok(usage)
     }
 
     /// Lifetime MTU count attributed to a VM.
@@ -255,6 +313,57 @@ mod tests {
             "est={}",
             last.est_buffer_size
         );
+    }
+
+    #[test]
+    fn skipped_scan_replays_last_sample_as_stale() {
+        use resex_faults::{FaultSchedule, FaultSpec};
+        let (hv, dom0, vm, mut cq, gpa) = setup();
+        let mut ibmon = IbMon::new(IbMonConfig::default());
+        ibmon.watch_cq(&hv, dom0, vm, gpa, 64).unwrap();
+        ibmon.install_faults(FaultSchedule::from(FaultSpec {
+            scan_skip: 1.0,
+            ..FaultSpec::default()
+        }));
+        let u = ibmon.sample_vm(vm, t(0)).unwrap();
+        assert!(u.stale);
+        push(&mut cq, 0, 65536);
+        let u = ibmon.sample_vm(vm, t(1)).unwrap();
+        assert!(u.stale);
+        assert_eq!(u.completions, 0, "activity invisible while scans skip");
+        assert_eq!(ibmon.fault_stats().scan_skips, 2);
+    }
+
+    #[test]
+    fn stale_mapping_blanks_the_ring_and_flags_the_sample() {
+        use resex_faults::{FaultSchedule, FaultSpec};
+        let (hv, dom0, vm, mut cq, gpa) = setup();
+        let mut ibmon = IbMon::new(IbMonConfig::default());
+        ibmon.watch_cq(&hv, dom0, vm, gpa, 64).unwrap();
+        ibmon.install_faults(FaultSchedule::from(FaultSpec {
+            stale_mapping: 1.0,
+            ..FaultSpec::default()
+        }));
+        push(&mut cq, 0, 65536);
+        let u = ibmon.sample_vm(vm, t(0)).unwrap();
+        assert!(u.stale);
+        assert_eq!(u.mtus, 0, "stale mapping re-reads old page contents");
+        assert!(ibmon.fault_stats().stale_scans >= 1);
+    }
+
+    #[test]
+    fn zero_rate_schedule_is_inert() {
+        use resex_faults::FaultSchedule;
+        let (hv, dom0, vm, mut cq, gpa) = setup();
+        let mut ibmon = IbMon::new(IbMonConfig::default());
+        ibmon.watch_cq(&hv, dom0, vm, gpa, 64).unwrap();
+        ibmon.install_faults(FaultSchedule::default());
+        ibmon.sample_vm(vm, t(0)).unwrap();
+        push(&mut cq, 0, 65536);
+        let u = ibmon.sample_vm(vm, t(1)).unwrap();
+        assert!(!u.stale);
+        assert_eq!(u.completions, 1);
+        assert_eq!(ibmon.fault_stats(), resex_faults::FaultStats::default());
     }
 
     #[test]

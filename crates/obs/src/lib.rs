@@ -47,6 +47,15 @@ pub mod subsystem {
     pub const RESEX_MANAGER: &str = "resex.manager";
     /// IBMon: CQ-ring introspection estimates.
     pub const IBMON: &str = "ibmon";
+    /// Fault injection: every injected fault and the recovery it triggered.
+    pub const FAULTS: &str = "faults";
     /// All subsystems in their fixed thread order for the Chrome export.
-    pub const ALL: [&str; 5] = [FABRIC_LINK, FABRIC_ENGINE, HV_SCHED, RESEX_MANAGER, IBMON];
+    pub const ALL: [&str; 6] = [
+        FABRIC_LINK,
+        FABRIC_ENGINE,
+        HV_SCHED,
+        RESEX_MANAGER,
+        IBMON,
+        FAULTS,
+    ];
 }

@@ -47,6 +47,7 @@ fn managed(scale: &Scale) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::IoShares);
     cfg.duration = scale.duration;
     cfg.warmup = scale.warmup;
+    scale.stamp_faults(&mut cfg);
     cfg
 }
 
@@ -97,6 +98,7 @@ pub fn run(scale: &Scale) -> AblationResult {
         let mut cfg = ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::FreeMarket);
         cfg.duration = scale.duration;
         cfg.warmup = scale.warmup;
+        scale.stamp_faults(&mut cfg);
         cfg.resex.depletion = mode;
         cases.push(("depletion".into(), name.into(), cfg));
     }

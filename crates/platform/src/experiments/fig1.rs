@@ -37,14 +37,17 @@ pub fn run(scale: &Scale) -> Fig1Result {
     let mut base = ScenarioConfig::base_case(64 * 1024);
     base.duration = scale.duration;
     base.warmup = scale.warmup;
+    scale.stamp_faults(&mut base);
     let mut intf = ScenarioConfig::interfered(2 * 1024 * 1024);
     intf.duration = scale.duration;
     intf.warmup = scale.warmup;
+    scale.stamp_faults(&mut intf);
     let mut jit = ScenarioConfig::interfered(2 * 1024 * 1024);
     jit.label = "interfered-jittered".into();
     jit.fabric.hw_jitter = 0.03;
     jit.duration = scale.duration;
     jit.warmup = scale.warmup;
+    scale.stamp_faults(&mut jit);
 
     let ((base, intf), jit) = rayon::join(
         || rayon::join(|| run_scenario(base), || run_scenario(intf)),

@@ -59,6 +59,7 @@ pub fn run(scale: &Scale) -> Fig3Result {
             cfg.vms[1] = cfg.vms[1].clone().with_cap(cap);
             cfg.duration = scale.duration;
             cfg.warmup = scale.warmup;
+            scale.stamp_faults(&mut cfg);
             let run = run_scenario(cfg);
             let (p, c, w, t) = components(&run, "64KB");
             Fig3Row {

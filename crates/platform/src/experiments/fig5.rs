@@ -34,6 +34,7 @@ pub fn run(scale: &Scale) -> Fig5Result {
             scale.duration
         };
         cfg.warmup = scale.warmup;
+        scale.stamp_faults(&mut cfg);
         cfg
     };
     let ((base, intf), fm) = rayon::join(

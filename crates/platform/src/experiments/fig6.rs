@@ -37,6 +37,7 @@ pub fn run(scale: &Scale) -> Fig6Result {
     let mut cfg = ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::FreeMarket);
     cfg.duration = scale.timeline;
     cfg.warmup = scale.warmup;
+    scale.stamp_faults(&mut cfg);
     let run = run_scenario(cfg);
     let w = SimDuration::from_millis(10);
     let vm64 = run.vm("64KB").unwrap();

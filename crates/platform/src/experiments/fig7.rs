@@ -37,6 +37,7 @@ pub fn run(scale: &Scale) -> Fig7Result {
             scale.duration
         };
         cfg.warmup = scale.warmup;
+        scale.stamp_faults(&mut cfg);
         cfg
     };
     let ((base, intf), ios) = rayon::join(

@@ -49,6 +49,7 @@ fn twin_64kb(policy: PolicyKind, scale: &Scale, label: &str) -> ScenarioConfig {
     cfg.policy = policy;
     cfg.duration = scale.duration;
     cfg.warmup = scale.warmup;
+    scale.stamp_faults(&mut cfg);
     cfg
 }
 
@@ -59,6 +60,7 @@ fn no_intf(policy: PolicyKind, scale: &Scale, label: &str) -> ScenarioConfig {
     cfg.policy = policy;
     cfg.duration = scale.duration;
     cfg.warmup = scale.warmup;
+    scale.stamp_faults(&mut cfg);
     cfg
 }
 
@@ -67,6 +69,7 @@ pub fn run(scale: &Scale) -> Fig8Result {
     let mut base = ScenarioConfig::base_case(64 * 1024);
     base.duration = scale.duration;
     base.warmup = scale.warmup;
+    scale.stamp_faults(&mut base);
     let cases: Vec<(String, ScenarioConfig)> = vec![
         ("Base-64KB".into(), base),
         (

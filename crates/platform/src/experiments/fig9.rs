@@ -39,6 +39,7 @@ pub fn run(scale: &Scale) -> Fig9Result {
     let mut base_cfg = ScenarioConfig::base_case(64 * 1024);
     base_cfg.duration = scale.duration;
     base_cfg.warmup = scale.warmup;
+    scale.stamp_faults(&mut base_cfg);
     let base = run_scenario(base_cfg);
     let base_us = mean_std(&base, "64KB").0;
 
@@ -52,6 +53,7 @@ pub fn run(scale: &Scale) -> Fig9Result {
                 };
                 cfg.duration = scale.duration;
                 cfg.warmup = scale.warmup;
+                scale.stamp_faults(&mut cfg);
                 cfg
             };
             let (intf, (fm, ios)) = rayon::join(

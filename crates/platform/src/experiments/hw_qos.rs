@@ -51,11 +51,13 @@ pub fn run(scale: &Scale) -> HwQosResult {
     let shorten = |mut cfg: ScenarioConfig| {
         cfg.duration = scale.duration;
         cfg.warmup = scale.warmup;
+        scale.stamp_faults(&mut cfg);
         cfg
     };
     let mut base = ScenarioConfig::base_case(64 * 1024);
     base.duration = scale.duration;
     base.warmup = scale.warmup;
+    scale.stamp_faults(&mut base);
     let base_us = mean_std(&run_scenario(base), "64KB").0;
 
     let cases: Vec<(String, ScenarioConfig)> = vec![

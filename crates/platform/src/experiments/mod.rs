@@ -34,6 +34,8 @@ pub mod hw_qos;
 pub mod scaling;
 
 use crate::metrics::RunMetrics;
+use crate::scenario::ScenarioConfig;
+use resex_faults::{FaultSchedule, FaultSpec};
 use resex_simcore::time::SimDuration;
 use serde::Serialize;
 
@@ -48,6 +50,9 @@ pub struct Scale {
     pub timeline: SimDuration,
     /// Warmup excluded from summaries.
     pub warmup: SimDuration,
+    /// Fault rates applied to every scenario of the experiment (all-zero =
+    /// no fault plane installed; the default).
+    pub faults: FaultSpec,
 }
 
 impl Scale {
@@ -57,6 +62,7 @@ impl Scale {
             duration: SimDuration::from_secs(2),
             timeline: SimDuration::from_secs(4),
             warmup: SimDuration::from_millis(200),
+            faults: FaultSpec::default(),
         }
     }
 
@@ -66,6 +72,16 @@ impl Scale {
             duration: SimDuration::from_secs(6),
             timeline: SimDuration::from_secs(20),
             warmup: SimDuration::from_millis(500),
+            faults: FaultSpec::default(),
+        }
+    }
+
+    /// Stamps this scale's fault rates onto a scenario. Called by every
+    /// experiment module on each scenario it builds, so a `--faults` spec
+    /// reaches all runs of a figure uniformly.
+    pub fn stamp_faults(&self, cfg: &mut ScenarioConfig) {
+        if self.faults.enabled() {
+            cfg.faults = FaultSchedule::from(self.faults);
         }
     }
 }

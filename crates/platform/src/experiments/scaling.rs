@@ -46,6 +46,7 @@ fn scenario(n: u32, policy: PolicyKind, scale: &Scale) -> ScenarioConfig {
     cfg.vms.push(VmSpec::server("2MB", 2 * 1024 * 1024));
     cfg.duration = scale.duration;
     cfg.warmup = scale.warmup;
+    scale.stamp_faults(&mut cfg);
     cfg
 }
 

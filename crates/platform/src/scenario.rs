@@ -10,6 +10,7 @@
 use resex_benchex::{ClientMode, ServerConfig, TraceProfile};
 use resex_core::{ResExConfig, SlaTarget};
 use resex_fabric::FabricConfig;
+use resex_faults::FaultSchedule;
 use resex_hypervisor::SchedModel;
 use resex_simcore::time::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -161,6 +162,11 @@ pub struct ScenarioConfig {
     /// Observability switches (absent in older scenario files = off).
     #[serde(default)]
     pub obs: ObsOptions,
+    /// Deterministic fault schedule (absent in older scenario files = no
+    /// faults; an all-zero schedule is never installed, so such runs stay
+    /// byte-identical to fault-unaware builds).
+    #[serde(default)]
+    pub faults: FaultSchedule,
 }
 
 /// The paper's canonical 64 KiB baseline latency, used as the default SLA.
@@ -181,6 +187,7 @@ impl ScenarioConfig {
             warmup: SimDuration::from_millis(200),
             seed: 42,
             obs: ObsOptions::default(),
+            faults: FaultSchedule::default(),
         }
     }
 

@@ -33,7 +33,7 @@ use resex_fabric::{
     Access, CqNum, Fabric, FabricEvent, FlowParams, MrHandle, NodeId, Opcode, QpNum, TokenBucket,
     WcStatus,
 };
-use resex_hypervisor::{DomainId, HvEvent, Hypervisor, VcpuId, XenStat};
+use resex_hypervisor::{DomainId, HvError, HvEvent, Hypervisor, VcpuId, XenStat};
 use resex_ibmon::{IbMon, IbMonConfig};
 use resex_obs::{
     export_chrome_trace, subsystem, to_jsonl, IntervalSnapshot, MetricSample, MetricsRegistry,
@@ -110,6 +110,9 @@ pub struct World {
     registry: MetricsRegistry,
     snapshots: Vec<IntervalSnapshot>,
     interval_count: u64,
+    /// True when the scenario armed the fault plane; gates the strict
+    /// invariants (no RNR drops, no error CQEs) that hold in clean runs.
+    faults_on: bool,
 }
 
 /// What an observed run produced alongside its [`RunMetrics`].
@@ -146,6 +149,14 @@ impl World {
 
         let mut hv = Hypervisor::new(cfg.sched);
         hv.set_tracer(tracer.clone());
+        let faults_on = cfg.faults.enabled();
+        if faults_on {
+            // One schedule, three injectors: each consumer forks its own
+            // RNG streams under a distinct domain constant, so draws stay
+            // independent and deterministic.
+            fabric.install_faults(cfg.faults.clone());
+            hv.install_faults(cfg.faults.clone());
+        }
         let dom0 = hv.create_domain("dom0", 64 << 20, true);
         // dom0 gets its own PCPU (it runs ResEx/IBMon, not simulated work).
         hv.add_pcpu();
@@ -364,6 +375,9 @@ impl World {
             mtu: cfg.fabric.mtu_bytes,
             ..IbMonConfig::default()
         });
+        if faults_on {
+            ibmon.install_faults(cfg.faults.clone());
+        }
         for vm in &vms {
             let (ring, cap) = fabric.cq_ring_info(node_srv, vm.send_cq).expect("cq info");
             ibmon
@@ -394,6 +408,7 @@ impl World {
             registry: MetricsRegistry::new(),
             snapshots: Vec::new(),
             interval_count: 0,
+            faults_on,
         }
     }
 
@@ -466,6 +481,16 @@ impl World {
             }
             self.rearm();
         }
+
+        // The panic-free fabric error paths report anything they caught
+        // instead of crashing mid-run; in a correct build (faulted or not)
+        // there is nothing to report.
+        let internal_errors = self.fabric.take_internal_errors();
+        debug_assert!(
+            internal_errors.is_empty(),
+            "fabric event loop caught inconsistencies: {internal_errors:?}"
+        );
+        drop(internal_errors);
 
         let mut out = RunMetrics {
             label: self.cfg.label.clone(),
@@ -551,22 +576,63 @@ impl World {
                 status,
                 ..
             } => {
-                if node == self.node_srv
-                    && opcode == Opcode::RdmaWriteImm
-                    && status == WcStatus::Success
-                {
+                if !status.is_ok() {
+                    // Only the fault plane can produce error completions
+                    // (retry exhaustion, RNR exhaustion, ERROR-state
+                    // flushes); a clean run hitting this is a bug.
+                    debug_assert!(
+                        self.faults_on,
+                        "unexpected completion error at {t}: {status:?}"
+                    );
+                    self.on_send_error(node, qp, status, t);
+                    return;
+                }
+                if node == self.node_srv && opcode == Opcode::RdmaWriteImm {
                     self.on_server_send_complete(qp, t, warmup);
                 }
-                debug_assert!(
-                    status.is_ok(),
-                    "unexpected completion error at {t}: {status:?}"
-                );
             }
             FabricEvent::RdmaWriteDelivered { .. } => {}
             FabricEvent::RnrDrop { node, qp } => {
-                // Should never happen with RECV_SLOTS pre-posted.
-                panic!("receiver not ready at {t} on {node:?}/{qp:?}");
+                // Never happens with RECV_SLOTS pre-posted — unless the
+                // fault plane exhausted the RNR retry budget.
+                if !self.faults_on {
+                    panic!("receiver not ready at {t} on {node:?}/{qp:?}");
+                }
+                if self.tracer.enabled() {
+                    self.tracer.instant(
+                        t,
+                        subsystem::FAULTS,
+                        "rnr_drop",
+                        Scope::Qp(qp.raw()),
+                        vec![("node", u64::from(node.raw()).into())],
+                    );
+                }
             }
+        }
+    }
+
+    /// A work request completed with an error under fault injection. The
+    /// guest's poll loop drains the CQE so the ring keeps moving; the
+    /// transaction it carried is abandoned (closed-loop clients simply
+    /// stop counting that exchange — the paper's tooling would observe it
+    /// as a timeout).
+    fn on_send_error(&mut self, node: NodeId, qp: QpNum, status: WcStatus, t: SimTime) {
+        if node == self.node_srv {
+            if let Some(&vmi) = self.srv_qp_to_vm.get(&qp) {
+                let send_cq = self.vms[vmi].send_cq;
+                let _ = self.fabric.poll_cq(self.node_srv, send_cq, 64);
+            }
+        }
+        // Client-side sends are unsignaled; error CQEs still drain on the
+        // next poll of that CQ. Nothing else to unwind.
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                t,
+                subsystem::FAULTS,
+                "send_error",
+                Scope::Qp(qp.raw()),
+                vec![("status", format!("{status:?}").into())],
+            );
         }
     }
 
@@ -764,6 +830,15 @@ impl World {
         for i in 0..self.vms.len() {
             let dom = self.vms[i].dom;
             let usage = self.ibmon.sample_vm(dom, t).expect("introspection reads");
+            if usage.stale && self.tracer.enabled() {
+                self.tracer.instant(
+                    t,
+                    subsystem::FAULTS,
+                    "stale_telemetry",
+                    Scope::Vm(i as u32),
+                    vec![("mtus_reported", usage.mtus.into())],
+                );
+            }
             let cpu = self
                 .xenstat
                 .sample(&mut self.hv, dom, t)
@@ -787,6 +862,7 @@ impl World {
                     cpu_pct: cpu.percent,
                     latency,
                     est_buffer_bytes: usage.est_buffer_size,
+                    stale: usage.stale,
                 },
             ));
             self.metrics[i].mtus_trace.push(t, usage.mtus as f64);
@@ -859,9 +935,24 @@ impl World {
         for action in &outcome.actions {
             let ManagerAction::SetCap { vm, cap_pct } = *action;
             let dom = self.vms[vm.index()].dom;
-            self.hv
-                .privileged_set_cap(self.dom0, dom, cap_pct, t)
-                .expect("dom0 sets caps");
+            match self.hv.privileged_set_cap(self.dom0, dom, cap_pct, t) {
+                Ok(()) => {}
+                Err(HvError::ActuationFailed(_)) => {
+                    // Transient injected failure: the cap stays where it
+                    // was; the policy re-decides next interval, so no
+                    // retry bookkeeping is needed.
+                    if self.tracer.enabled() {
+                        self.tracer.instant(
+                            t,
+                            subsystem::FAULTS,
+                            "cap_actuation_failed",
+                            Scope::Vm(vm.raw()),
+                            vec![("cap_pct", cap_pct.into())],
+                        );
+                    }
+                }
+                Err(e) => panic!("dom0 sets caps: {e}"),
+            }
         }
         for charge in &outcome.charges {
             self.metrics[charge.vm.index()]

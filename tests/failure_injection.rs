@@ -41,6 +41,7 @@ fn hurting(mtus: u64) -> VmSnapshot {
             count: 10,
         }),
         est_buffer_bytes: 65536.0,
+        stale: false,
     }
 }
 

@@ -125,6 +125,7 @@ fn introspection_chain_end_to_end() {
                     cpu_pct: cpu.percent,
                     latency: None,
                     est_buffer_bytes: usage.est_buffer_size,
+                    stale: usage.stale,
                 },
             )],
         );

@@ -26,6 +26,7 @@ fn short() -> Scale {
         duration: SimDuration::from_millis(400),
         timeline: SimDuration::from_millis(800),
         warmup: SimDuration::from_millis(100),
+        faults: resex_faults::FaultSpec::default(),
     }
 }
 
