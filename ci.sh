@@ -52,6 +52,25 @@ RESEX_THREADS=1 "$REPRO" fig9 --quick --faults "$FAULTS" \
 cmp "$TMP/fig9_fault_a.json" "$TMP/fig9_fault_b.json"
 echo "    byte-identical"
 
+echo "==> recovery soak gate: fig9 --quick under 1% loss + periodic link flaps"
+# The self-healing layer's acceptance bar: the flapping sweep completes,
+# permanently loses nothing (lost=0 on the printed recovery line, which
+# only appears when reconnect-with-replay actually happened), and is
+# byte-identical across two runs.
+SOAK="loss=0.01,flap_ms=50,flap_down_us=2000,seed=7"
+RESEX_THREADS=1 "$REPRO" fig9 --quick --faults "$SOAK" \
+    --json "$TMP/fig9_soak_a.json" > "$TMP/fig9_soak_a.txt" 2>&1
+RESEX_THREADS=1 "$REPRO" fig9 --quick --faults "$SOAK" \
+    --json "$TMP/fig9_soak_b.json" > /dev/null 2>&1
+cmp "$TMP/fig9_soak_a.json" "$TMP/fig9_soak_b.json"
+grep -q "recovery: " "$TMP/fig9_soak_a.txt" || {
+    echo "    FAIL: no recovery line — flaps never broke a QP"; exit 1; }
+grep "recovery: " "$TMP/fig9_soak_a.txt" | grep -q " lost=0 " || {
+    echo "    FAIL: requests permanently lost:"; \
+    grep "recovery: " "$TMP/fig9_soak_a.txt"; exit 1; }
+sed -n 's/^  recovery:/    survived flaps:/p' "$TMP/fig9_soak_a.txt"
+echo "    byte-identical across runs, lost=0"
+
 echo "==> sweep wall-clock: repro all --quick (per-target timings below)"
 t0=$(date +%s.%N)
 RESEX_THREADS=1 "$REPRO" all --quick >/dev/null

@@ -35,7 +35,7 @@ fn usage() -> ! {
          [--quick|--full] [--duration-ms N] [--warmup-ms N] \
          [--json PATH] [--trace PATH] [--metrics PATH] [--faults SPEC]\n\
          fault SPEC: comma list of seed=N loss=P corrupt=P delay=P \
-delay_us=N tear=P skip=P stale=P capfail=P"
+delay_us=N tear=P skip=P stale=P capfail=P flap_ms=N flap_down_us=N"
     );
     std::process::exit(2);
 }

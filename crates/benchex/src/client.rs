@@ -45,6 +45,30 @@ pub enum ClientAction {
     Idle,
 }
 
+/// How long the platform waits for a response before handing the request
+/// back to [`Client::on_request_timeout`]. Far above any healthy RTT
+/// (hundreds of microseconds) but short enough to re-issue several times
+/// within one link flap.
+pub const REQUEST_TIMEOUT: SimDuration = SimDuration::from_millis(10);
+
+/// Re-issue budget per request before it is declared permanently lost.
+/// With [`REQUEST_TIMEOUT`] this gives a request 160 ms of end-to-end
+/// patience — enough to ride out any outage the recovery layer is
+/// specified to survive.
+pub const REQUEST_RETRY_LIMIT: u32 = 16;
+
+/// Outcome of a request timeout, decided by [`Client::on_request_timeout`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum RetryDecision {
+    /// Re-issue this request. Same id and task — the server's transactions
+    /// are idempotent, and a late response to an earlier attempt is simply
+    /// accepted (the platform drops duplicates).
+    Retry(TransactionRequest),
+    /// Retry budget exhausted: the request is permanently lost; execute
+    /// the follow-up action so the workload loop keeps running.
+    GiveUp(ClientAction),
+}
+
 /// Relative half-width of the think-time jitter window. Real clients
 /// never reissue with cycle-exact timing; a ±5 % wobble decorrelates the
 /// request phase from collocated VMs' burst cycles without measurably
@@ -62,6 +86,8 @@ pub struct Client {
     sent: u64,
     received: u64,
     outstanding: u64,
+    retries: u64,
+    lost: u64,
     /// Round-trip latencies in nanoseconds.
     pub rtt: Histogram,
 }
@@ -79,6 +105,8 @@ impl Client {
             sent: 0,
             received: 0,
             outstanding: 0,
+            retries: 0,
+            lost: 0,
             rtt: Histogram::with_default_resolution(),
         }
     }
@@ -96,6 +124,17 @@ impl Client {
     /// Requests in flight.
     pub fn outstanding(&self) -> u64 {
         self.outstanding
+    }
+
+    /// Requests re-issued after a timeout.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Requests permanently lost (retry budget exhausted). The recovery
+    /// layer's target is zero.
+    pub fn lost(&self) -> u64 {
+        self.lost
     }
 
     fn make_request(&mut self, now: SimTime) -> TransactionRequest {
@@ -139,6 +178,34 @@ impl Client {
                 }
             }
             ClientMode::OpenLoop { .. } => ClientAction::Idle,
+        }
+    }
+
+    /// No response for `req` within [`REQUEST_TIMEOUT`] (this was attempt
+    /// number `attempts`): decide between an idempotent re-issue and
+    /// giving the request up for lost. The re-issued request keeps its
+    /// original `sent_at`, so the recorded round-trip honestly includes
+    /// the outage the retry rode out. Draws no RNG — retries cannot
+    /// perturb the think-time jitter stream.
+    pub fn on_request_timeout(
+        &mut self,
+        req: TransactionRequest,
+        attempts: u32,
+        now: SimTime,
+    ) -> RetryDecision {
+        if attempts < REQUEST_RETRY_LIMIT {
+            self.retries += 1;
+            RetryDecision::Retry(req)
+        } else {
+            self.lost += 1;
+            self.outstanding = self.outstanding.saturating_sub(1);
+            // Keep a closed loop closed: abandoning the request must not
+            // also abandon the workload.
+            let follow = match self.mode {
+                ClientMode::ClosedLoop { .. } => ClientAction::Send(self.make_request(now)),
+                ClientMode::OpenLoop { .. } => ClientAction::Idle,
+            };
+            RetryDecision::GiveUp(follow)
         }
     }
 

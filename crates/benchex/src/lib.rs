@@ -22,7 +22,9 @@ pub mod server;
 pub mod trace;
 
 pub use agent::{AgentConfig, LatencyReport, ReportingAgent};
-pub use client::{Client, ClientAction, ClientMode};
+pub use client::{
+    Client, ClientAction, ClientMode, RetryDecision, REQUEST_RETRY_LIMIT, REQUEST_TIMEOUT,
+};
 pub use latency::{LatencyRecord, LatencySummary, LatencyWindow};
 pub use request::{TransactionRequest, TransactionResponse, REQUEST_WIRE_BYTES};
 pub use server::{Server, ServerAction, ServerConfig};

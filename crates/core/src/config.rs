@@ -57,6 +57,18 @@ pub struct ResExConfig {
     /// How budget-style policies (FreeMarket, DemandPricing) throttle a VM
     /// whose balance runs low.
     pub depletion: DepletionMode,
+    /// Watchdog: consecutive stale IBMon intervals after which the manager
+    /// stops trusting the decayed last-known rate and fails safe — cap to
+    /// `min_cap_pct`, basis zeroed, streak reset — instead of decaying
+    /// prices forever. 0 disables the stale watchdog (also the value
+    /// configs serialized before this knob existed deserialize to).
+    #[serde(default)]
+    pub watchdog_stale_intervals: u32,
+    /// Watchdog: consecutive failed cap actuations on one domain after
+    /// which the platform escalates to the slow-but-reliable privileged
+    /// reset path. 0 disables the actuation watchdog.
+    #[serde(default)]
+    pub watchdog_actuation_failures: u32,
 }
 
 impl Default for ResExConfig {
@@ -73,6 +85,12 @@ impl Default for ResExConfig {
             sla_threshold_pct: 10.0,
             rate_decay: 0.85,
             depletion: DepletionMode::Gradual,
+            // Past ~8 dark intervals the decayed estimate is mostly noise
+            // (0.85^8 ≈ 0.27 of the last fresh rate); long enough that the
+            // ordinary one-to-three-interval stale blips the fault plane
+            // injects never trip it.
+            watchdog_stale_intervals: 8,
+            watchdog_actuation_failures: 5,
         }
     }
 }

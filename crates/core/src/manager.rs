@@ -55,6 +55,9 @@ pub struct IntervalOutcome {
     pub charges: Vec<VmCharge>,
     /// True if this interval opened a new epoch (accounts replenished).
     pub epoch_started: bool,
+    /// VMs whose stale-telemetry watchdog tripped this interval (their
+    /// fail-safe floor cap is appended to `actions`).
+    pub watchdog_trips: Vec<VmId>,
 }
 
 struct VmState {
@@ -221,6 +224,34 @@ impl ResExManager {
             };
             if snap.stale {
                 st.stale_streak += 1;
+                let k = self.cfg.watchdog_stale_intervals;
+                if k > 0 && st.stale_streak >= k {
+                    // Watchdog: telemetry has been dark long enough that
+                    // the decayed estimate is mostly noise. Fail safe
+                    // instead of decaying prices forever: charge nothing
+                    // (the floor cap bounds what the VM can consume
+                    // unobserved), zero the basis, and re-probe from
+                    // scratch when fresh telemetry returns.
+                    snap.mtus = 0;
+                    snap.est_buffer_bytes = 0.0;
+                    st.last_mtus = 0;
+                    st.last_buffer = 0.0;
+                    st.stale_streak = 0;
+                    outcome.watchdog_trips.push(*vm);
+                    if self.tracer.enabled() {
+                        self.tracer.instant(
+                            now,
+                            subsystem::RECOVERY,
+                            "watchdog_stale_trip",
+                            Scope::Vm(vm.raw()),
+                            vec![
+                                ("streak", u64::from(k).into()),
+                                ("floor_cap_pct", u64::from(self.cfg.min_cap_pct).into()),
+                            ],
+                        );
+                    }
+                    continue;
+                }
                 let decay = self.cfg.rate_decay.powi(st.stale_streak.min(64) as i32);
                 snap.mtus = (st.last_mtus as f64 * decay).round() as u64;
                 snap.est_buffer_bytes = st.last_buffer;
@@ -336,6 +367,14 @@ impl ResExManager {
                     cap_pct: cap,
                 });
             }
+        }
+        // Watchdog floor caps go last so a policy verdict for the same VM
+        // (priced off the zeroed snapshot) cannot override the fail-safe.
+        for &vm in &outcome.watchdog_trips {
+            outcome.actions.push(ManagerAction::SetCap {
+                vm,
+                cap_pct: self.cfg.min_cap_pct,
+            });
         }
         self.interval_index += 1;
         outcome
@@ -497,6 +536,46 @@ mod tests {
             Resos::from_whole((200.0 * decay).round() as i64),
             "streak restarts from the new fresh rate"
         );
+    }
+
+    #[test]
+    fn stale_watchdog_trips_to_the_floor_and_reprobes() {
+        let cfg = ResExConfig::default();
+        let k = u64::from(cfg.watchdog_stale_intervals);
+        assert!(k > 3, "watchdog must outlast ordinary stale blips");
+        let mut m = mgr(Box::new(FreeMarket::new()));
+        m.on_interval(t(0), &[(A, snap(1000, 50.0))]);
+        let stale = VmSnapshot {
+            stale: true,
+            ..snap(0, 50.0)
+        };
+        let mut tripped = None;
+        for i in 1..=k {
+            let out = m.on_interval(t(i), &[(A, stale)]);
+            if !out.watchdog_trips.is_empty() {
+                tripped = Some((i, out));
+                break;
+            }
+        }
+        let (i, out) = tripped.expect("K consecutive stale intervals trip the watchdog");
+        assert_eq!(i, k, "trips exactly at the threshold");
+        assert_eq!(out.watchdog_trips, vec![A]);
+        assert!(
+            out.actions.contains(&ManagerAction::SetCap {
+                vm: A,
+                cap_pct: cfg.min_cap_pct,
+            }),
+            "fail-safe floor cap: {:?}",
+            out.actions
+        );
+        let ca = out.charges.iter().find(|c| c.vm == A).unwrap();
+        assert_eq!(ca.io, Resos::ZERO, "tripped interval charges no I/O");
+        // The basis was zeroed: further dark intervals decay from nothing
+        // instead of the stale 1000-MTU figure, and the streak restarts.
+        let out = m.on_interval(t(k + 1), &[(A, stale)]);
+        assert!(out.watchdog_trips.is_empty());
+        let ca = out.charges.iter().find(|c| c.vm == A).unwrap();
+        assert_eq!(ca.io, Resos::ZERO, "re-probing from a zero basis");
     }
 
     #[test]

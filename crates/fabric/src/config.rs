@@ -53,6 +53,13 @@ pub struct FabricConfig {
     /// RNR retries before the sender completes with `RnrRetryExceeded`
     /// and the QP enters `ERROR` (`ibv_qp_attr.rnr_retry`).
     pub rnr_retry_count: u32,
+    /// Base delay before the connection manager's first reconnect attempt
+    /// after a QP drops into `ERROR`; attempt `n` waits
+    /// `reconnect_backoff << min(n, reconnect_max_shift)`.
+    pub reconnect_backoff: SimDuration,
+    /// Cap on the reconnect backoff exponent (bounds both the shift and
+    /// the worst-case wait between attempts).
+    pub reconnect_max_shift: u32,
 }
 
 // Hand-written so configs serialized before these knobs existed (or written
@@ -89,6 +96,8 @@ impl serde::Deserialize for FabricConfig {
         field(m, "retry_count", &mut cfg.retry_count)?;
         field(m, "rnr_timer", &mut cfg.rnr_timer)?;
         field(m, "rnr_retry_count", &mut cfg.rnr_retry_count)?;
+        field(m, "reconnect_backoff", &mut cfg.reconnect_backoff)?;
+        field(m, "reconnect_max_shift", &mut cfg.reconnect_max_shift)?;
         Ok(cfg)
     }
 }
@@ -111,6 +120,8 @@ impl Default for FabricConfig {
             retry_count: 7,
             rnr_timer: SimDuration::from_micros(10),
             rnr_retry_count: 7,
+            reconnect_backoff: SimDuration::from_micros(100),
+            reconnect_max_shift: 8,
         }
     }
 }
@@ -165,6 +176,15 @@ impl FabricConfig {
         }
         if self.rnr_timer == SimDuration::ZERO {
             return Err("rnr_timer must be positive".into());
+        }
+        if self.reconnect_backoff == SimDuration::ZERO {
+            return Err("reconnect_backoff must be positive".into());
+        }
+        if self.reconnect_max_shift >= 63 {
+            return Err(format!(
+                "reconnect_max_shift must be below 63, got {}",
+                self.reconnect_max_shift
+            ));
         }
         Ok(())
     }
@@ -260,6 +280,14 @@ mod tests {
         assert_eq!(
             cfg.retransmit_timeout,
             FabricConfig::default().retransmit_timeout
+        );
+        assert_eq!(
+            cfg.reconnect_backoff,
+            FabricConfig::default().reconnect_backoff
+        );
+        assert_eq!(
+            cfg.reconnect_max_shift,
+            FabricConfig::default().reconnect_max_shift
         );
         assert!(cfg.validate().is_ok());
     }

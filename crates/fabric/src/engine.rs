@@ -45,6 +45,13 @@ resex_simcore::define_id!(
 /// Wire size of the request packet that initiates an RDMA read.
 const READ_REQUEST_BYTES: u32 = 16;
 
+/// Cap on every exponential-backoff shift (RNR NAK waits and connection-
+/// manager reconnect waits): `base << shift` is computed in `u64`, so the
+/// exponent must stay far away from 64, and a bounded shift also keeps the
+/// worst-case wait finite no matter how many consecutive NAKs or failed
+/// reconnect probes pile up.
+pub const MAX_BACKOFF_SHIFT: u32 = 16;
+
 /// Per-node (per-HCA) aggregate counters.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct NodeCounters {
@@ -124,6 +131,16 @@ pub enum FabricEvent {
         /// Destination queue pair.
         qp: QpNum,
     },
+    /// The connection manager cycled an errored QP back to `RTS` and
+    /// replayed its journaled send WQEs.
+    QpReconnected {
+        /// Node owning the recovered QP.
+        node: NodeId,
+        /// The recovered queue pair.
+        qp: QpNum,
+        /// Journaled send WQEs replayed onto the link.
+        replayed: u64,
+    },
 }
 
 enum Timer {
@@ -149,6 +166,26 @@ enum Timer {
     Retransmit {
         job: EgressJob,
     },
+    /// Connection-manager reconnect attempt for a broken QP.
+    Reconnect {
+        node: NodeId,
+        qp: QpNum,
+    },
+}
+
+/// Connection-manager bookkeeping for one broken QP: everything needed to
+/// bring the connection back and resume where it left off.
+struct CmEntry {
+    /// Unacked send WQEs captured when the QP broke (the failing message
+    /// first, then the arbiter backlog in queue order), replayed after the
+    /// reconnect.
+    journal: Vec<EgressJob>,
+    /// Posted receives captured at break time, re-posted on reconnect.
+    recvs: Vec<RecvRequest>,
+    /// Reconnect attempts so far (drives the exponential backoff).
+    attempt: u32,
+    /// When the QP dropped into `ERROR`, for downtime metrics.
+    broken_at: SimTime,
 }
 
 /// Outcome of the per-message wire-fault draw.
@@ -221,6 +258,14 @@ pub struct Fabric {
     /// Wire/grant fault injectors; `None` (the default) draws nothing and
     /// keeps fault-free runs byte-identical to pre-fault builds.
     faults: Option<FabricFaults>,
+    /// Connection manager armed? Off (the default) preserves the legacy
+    /// flush-and-stay-broken semantics; on, errored QPs are journaled and
+    /// reconnected. See [`Fabric::enable_recovery`].
+    recovery: bool,
+    /// Per-broken-QP connection-manager state, keyed by `(node, qp)`.
+    /// Never iterated (only keyed access), so the map's order cannot leak
+    /// into simulation order.
+    cm: HashMap<(NodeId, QpNum), CmEntry>,
     /// Internal inconsistencies caught by the event loop instead of
     /// panicking (timer references to destroyed state and the like).
     internal_errors: Vec<(SimTime, FabricError)>,
@@ -241,6 +286,8 @@ impl Fabric {
             mcast_groups: Vec::new(),
             tracer: Tracer::disabled(),
             faults: None,
+            recovery: false,
+            cm: HashMap::new(),
             internal_errors: Vec::new(),
         })
     }
@@ -273,6 +320,33 @@ impl Fabric {
     /// Tally of faults injected into this fabric so far.
     pub fn fault_stats(&self) -> FaultStats {
         self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Arms the connection manager. With recovery on, a QP that exhausts
+    /// its transport or RNR retry budget no longer flushes `WrFlushError`
+    /// completions and stays broken: its unacked send WQEs and posted
+    /// receives are journaled, the QP transitions `Connected → Broken →
+    /// Reconnecting` on an exponential-backoff timer
+    /// (`reconnect_backoff << min(attempt, reconnect_max_shift)`), and
+    /// once the link is back up the CM cycles RESET→INIT→RTR→RTS and
+    /// replays the journal — so no completion is ever surfaced for a
+    /// journaled WQE. An *injected* ERROR via [`Fabric::set_qp_error`]
+    /// still flushes (the CQEs are already drained by then) but is also
+    /// scheduled for reconnect. Recovery only changes behaviour on paths
+    /// that faults create, so arming it on a fault-free run costs nothing
+    /// and keeps outputs byte-identical.
+    pub fn enable_recovery(&mut self) {
+        self.recovery = true;
+    }
+
+    /// True if [`Fabric::enable_recovery`] was called.
+    pub fn recovery_enabled(&self) -> bool {
+        self.recovery
+    }
+
+    /// Number of QPs currently broken and awaiting reconnection.
+    pub fn broken_qp_count(&self) -> usize {
+        self.cm.len()
     }
 
     /// Internal inconsistencies caught (not panicked) by the event loop,
@@ -982,6 +1056,7 @@ impl Fabric {
                 Ok(())
             }
             Timer::Retransmit { job } => self.on_retransmit(t, job),
+            Timer::Reconnect { node, qp } => self.on_reconnect(t, node, qp),
         }
     }
 
@@ -1126,14 +1201,21 @@ impl Fabric {
         Ok(())
     }
 
-    /// Draws the per-message wire-fault outcome (loss first, then
-    /// corruption), counting and tracing a hit against the sending node.
+    /// Draws the per-message wire-fault outcome (the flap state first —
+    /// pure clock arithmetic, so it never perturbs the RNG streams — then
+    /// loss, then corruption), counting and tracing a hit against the
+    /// sending node.
     fn draw_wire_fault(&mut self, t: SimTime, node: NodeId, qp: QpNum) -> Option<WireFault> {
         let f = self.faults.as_mut()?;
-        let fault = if f.lose_message(t) {
-            WireFault::Lost
+        let (fault, name) = if f.link_down(t) {
+            // A downed link behaves like 100% loss: the RC retransmission
+            // machinery (and, with recovery armed, the connection manager)
+            // rides the outage out.
+            (WireFault::Lost, "link_down")
+        } else if f.lose_message(t) {
+            (WireFault::Lost, "link_loss")
         } else if f.corrupt_message(t) {
-            WireFault::Corrupted
+            (WireFault::Corrupted, "link_corrupt")
         } else {
             return None;
         };
@@ -1144,10 +1226,6 @@ impl Fabric {
             }
         }
         if self.tracer.enabled() {
-            let name = match fault {
-                WireFault::Lost => "link_loss",
-                WireFault::Corrupted => "link_corrupt",
-            };
             self.tracer
                 .instant(t, subsystem::FAULTS, name, Scope::Qp(qp.raw()), vec![]);
         }
@@ -1169,6 +1247,15 @@ impl Fabric {
                     Scope::Qp(job.qp.raw()),
                     vec![("attempts", job.attempt.into())],
                 );
+            }
+            if self.recovery {
+                // Connection manager armed: no error completion, no flush.
+                // The message (and the QP's backlog) is journaled and the
+                // QP cycles through reconnection; for a lost read response
+                // the replay restarts the response stream, so the initiator
+                // eventually sees its success CQE instead of RetryExceeded.
+                self.fail_qp_with_journal(t, job);
+                return;
             }
             // A lost read *response* times out at the initiator: the error
             // completion and the ERROR transition belong to the requester's
@@ -1216,8 +1303,9 @@ impl Fabric {
     }
 
     /// A retransmission timer fired: re-enqueue the message on its source
-    /// link, unless its QP has since been destroyed or errored (in which
-    /// case the WQE was already flushed and the message dies silently).
+    /// link, unless its QP has since been destroyed (the message dies
+    /// silently) or errored — flushed and dead without recovery, journaled
+    /// into the QP's connection-manager entry with it.
     fn on_retransmit(&mut self, t: SimTime, job: EgressJob) -> Result<(), FabricError> {
         let node = job.src_node;
         let Some(n) = self.nodes.get_mut(node.index()) else {
@@ -1227,6 +1315,18 @@ impl Fabric {
         };
         match n.qps.get(&job.qp) {
             Some(qp) if qp.state() != QpState::Error => {}
+            Some(_) if self.recovery => {
+                // The QP broke while this message's retransmit timer was in
+                // flight. It is still unacked, so it belongs in the journal.
+                if let Some(entry) = self.cm.get_mut(&(node, job.qp)) {
+                    let mut job = job;
+                    job.sent = 0;
+                    job.attempt = 0;
+                    job.rnr_attempt = 0;
+                    entry.journal.push(job);
+                }
+                return Ok(());
+            }
             _ => return Ok(()),
         }
         n.arbiter.enqueue(job);
@@ -1292,6 +1392,184 @@ impl Fabric {
         if let Some(qp) = n.qps.get_mut(&qp_num) {
             qp.counters.flushed += flushed;
         }
+        // An injected ERROR still flushes (callers rely on draining the
+        // WrFlushError CQEs), but with recovery armed the CM brings the
+        // connection itself back — with nothing to replay.
+        if self.recovery && !self.cm.contains_key(&(node, qp_num)) {
+            self.break_qp(now, node, qp_num, Vec::new(), Vec::new());
+        }
+        Ok(())
+    }
+
+    /// Recovery-path QP failure: where the legacy path flushes
+    /// `WrFlushError` CQEs and leaves the QP broken, the connection
+    /// manager journals the failing message (reset to a fresh transmission
+    /// cycle) together with the QP's queued egress backlog and posted
+    /// receives, transitions the QP to `ERROR` *without* surfacing any
+    /// completion, and schedules a reconnect. If the QP is already under
+    /// the CM (broken while this message's timer was in flight), the
+    /// message just joins the journal.
+    fn fail_qp_with_journal(&mut self, t: SimTime, mut job: EgressJob) {
+        job.sent = 0;
+        job.attempt = 0;
+        job.rnr_attempt = 0;
+        let key = (job.src_node, job.qp);
+        if let Some(entry) = self.cm.get_mut(&key) {
+            entry.journal.push(job);
+            return;
+        }
+        let (node, qp_num) = key;
+        let (journal, recvs) = {
+            let Ok(n) = self.node_mut(node) else { return };
+            let Some(qp) = n.qps.get_mut(&qp_num) else {
+                return;
+            };
+            qp.to_error();
+            let recvs: Vec<RecvRequest> = qp.rq.drain(..).collect();
+            // The failing message was dequeued first, so it replays first;
+            // the purged backlog follows in queue order.
+            let mut journal = vec![job];
+            journal.extend(n.arbiter.purge_qp(qp_num));
+            (journal, recvs)
+        };
+        self.break_qp(t, node, qp_num, journal, recvs);
+    }
+
+    /// Registers a broken QP with the connection manager and arms its
+    /// first reconnect timer.
+    fn break_qp(
+        &mut self,
+        t: SimTime,
+        node: NodeId,
+        qp_num: QpNum,
+        journal: Vec<EgressJob>,
+        recvs: Vec<RecvRequest>,
+    ) {
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                t,
+                subsystem::RECOVERY,
+                "qp_broken",
+                Scope::Qp(qp_num.raw()),
+                vec![
+                    ("journaled_sends", (journal.len() as u64).into()),
+                    ("journaled_recvs", (recvs.len() as u64).into()),
+                ],
+            );
+        }
+        self.cm.insert(
+            (node, qp_num),
+            CmEntry {
+                journal,
+                recvs,
+                attempt: 0,
+                broken_at: t,
+            },
+        );
+        self.schedule_reconnect(t, node, qp_num, 0);
+    }
+
+    /// Exponential reconnect backoff: attempt `n` waits
+    /// `reconnect_backoff << min(n, reconnect_max_shift)`, with the shift
+    /// additionally capped at [`MAX_BACKOFF_SHIFT`].
+    fn reconnect_wait(&self, attempt: u32) -> SimDuration {
+        let shift = attempt
+            .min(self.cfg.reconnect_max_shift)
+            .min(MAX_BACKOFF_SHIFT);
+        SimDuration::from_nanos(
+            self.cfg
+                .reconnect_backoff
+                .as_nanos()
+                .saturating_mul(1u64 << shift),
+        )
+    }
+
+    fn schedule_reconnect(&mut self, t: SimTime, node: NodeId, qp: QpNum, attempt: u32) {
+        self.agenda.schedule_at(
+            t + self.reconnect_wait(attempt),
+            Timer::Reconnect { node, qp },
+        );
+    }
+
+    /// A reconnect timer fired. If the flapping link is still down the QP
+    /// stays in `Reconnecting` and backs off again; otherwise the CM cycles
+    /// it RESET→INIT→RTR→RTS toward its learned peer, re-posts the
+    /// journaled receives, and replays the journaled sends in order.
+    fn on_reconnect(&mut self, t: SimTime, node: NodeId, qp_num: QpNum) -> Result<(), FabricError> {
+        let key = (node, qp_num);
+        if !self.cm.contains_key(&key) {
+            return Ok(()); // stale timer: already recovered or abandoned
+        }
+        if self.faults.as_ref().is_some_and(|f| f.link_is_down(t)) {
+            let entry = self.cm.get_mut(&key).expect("presence checked above");
+            entry.attempt = entry.attempt.saturating_add(1);
+            let attempt = entry.attempt;
+            if self.tracer.enabled() {
+                self.tracer.instant(
+                    t,
+                    subsystem::RECOVERY,
+                    "reconnect_deferred",
+                    Scope::Qp(qp_num.raw()),
+                    vec![("attempt", attempt.into())],
+                );
+            }
+            self.schedule_reconnect(t, node, qp_num, attempt);
+            return Ok(());
+        }
+        let entry = self.cm.remove(&key).expect("presence checked above");
+        let replayed = entry.journal.len() as u64;
+        {
+            let n = self.node_mut(node)?;
+            let Some(qp) = n.qps.get_mut(&qp_num) else {
+                // QP destroyed while broken: the journal dies with it.
+                return Ok(());
+            };
+            if qp.state() != QpState::Error {
+                return Ok(()); // recycled out-of-band; nothing to do
+            }
+            let Some(remote) = qp.remote() else {
+                // Never connected; a reconnect has no peer to walk back to.
+                return Ok(());
+            };
+            qp.reset()?;
+            qp.to_init()?;
+            qp.to_rtr(remote)?;
+            qp.to_rts()?;
+            qp.counters.reconnects += 1;
+            qp.counters.replayed += replayed;
+            // Re-posting directly (not via post_recv) keeps the posted-recv
+            // counters at their original values: these buffers were already
+            // posted once and never completed.
+            for rr in entry.recvs {
+                qp.rq.push_back(rr);
+            }
+            for job in entry.journal {
+                n.arbiter.enqueue(job);
+            }
+        }
+        if self.tracer.enabled() {
+            let downtime = t.saturating_duration_since(entry.broken_at);
+            self.tracer.instant(
+                t,
+                subsystem::RECOVERY,
+                "reconnect",
+                Scope::Qp(qp_num.raw()),
+                vec![
+                    ("attempt", entry.attempt.into()),
+                    ("replayed", replayed.into()),
+                    ("downtime_ns", downtime.as_nanos().into()),
+                ],
+            );
+        }
+        self.outputs.push((
+            t,
+            FabricEvent::QpReconnected {
+                node,
+                qp: qp_num,
+                replayed,
+            },
+        ));
+        self.kick_link(node, t);
         Ok(())
     }
 
@@ -1517,7 +1795,7 @@ impl Fabric {
         if job.rnr_attempt < self.cfg.rnr_retry_count {
             job.rnr_attempt += 1;
             job.sent = 0;
-            let shift = (job.rnr_attempt - 1).min(16);
+            let shift = (job.rnr_attempt - 1).min(MAX_BACKOFF_SHIFT);
             let wait = SimDuration::from_nanos(
                 self.cfg.rnr_timer.as_nanos().saturating_mul(1u64 << shift),
             );
@@ -1539,6 +1817,15 @@ impl Fabric {
                 );
             }
             self.agenda.schedule_at(t + wait, Timer::Retransmit { job });
+            return Ok(());
+        }
+        if self.recovery {
+            // The receiver gave up on this delivery attempt, but nothing is
+            // dropped (so no RnrDrop event, no drop counters): the CM keeps
+            // the message, journaling it on the sender and reconnecting, by
+            // which time the platform has had a chance to replenish the
+            // starved receive queue.
+            self.fail_qp_with_journal(t, job);
             return Ok(());
         }
         let n = self.nodes.get_mut(dst.index()).ok_or_else(|| {

@@ -80,7 +80,7 @@ pub mod uar;
 
 pub use config::FabricConfig;
 pub use cqe::{CompletionQueue, Cqe, CqeDecodeError, CQE_SIZE};
-pub use engine::{Fabric, FabricEvent, NodeCounters, UarId};
+pub use engine::{Fabric, FabricEvent, NodeCounters, UarId, MAX_BACKOFF_SHIFT};
 pub use error::FabricError;
 pub use link::{FlowParams, GrantDecision};
 pub use mr::{MrHandle, Need, Tpt};

@@ -96,6 +96,11 @@ pub struct QpCounters {
     /// Work requests flushed with `WrFlushError` when the QP entered
     /// `ERROR`.
     pub flushed: u64,
+    /// Times the connection manager cycled this QP back to `RTS` after an
+    /// `ERROR`.
+    pub reconnects: u64,
+    /// Journaled send WQEs replayed onto the link after a reconnect.
+    pub replayed: u64,
 }
 
 /// One queue pair.
@@ -200,6 +205,17 @@ impl QueuePair {
     /// Any state → `ERROR`.
     pub fn to_error(&mut self) {
         self.state = QpState::Error;
+    }
+
+    /// `ERROR → RESET` (`ibv_modify_qp` back to RESET): drops any queued
+    /// work but keeps the learned peer and lifetime counters, so the
+    /// connection manager can re-walk `INIT → RTR → RTS` and resume on the
+    /// same connection.
+    pub fn reset(&mut self) -> Result<(), FabricError> {
+        self.transition(QpState::Error, QpState::Reset)?;
+        self.sq.clear();
+        self.rq.clear();
+        Ok(())
     }
 
     fn transition(&mut self, from: QpState, to: QpState) -> Result<(), FabricError> {
@@ -385,6 +401,24 @@ mod tests {
         q.to_error();
         assert!(q.post_recv(rr(1)).is_err());
         assert!(q.post_send(wr(1)).is_err());
+    }
+
+    #[test]
+    fn reset_recycles_an_errored_qp_keeping_the_peer() {
+        let mut q = qp();
+        q.to_init().unwrap();
+        q.to_rtr((NodeId::new(1), QpNum::new(9))).unwrap();
+        q.to_rts().unwrap();
+        q.post_send(wr(1)).unwrap();
+        q.to_error();
+        assert!(q.reset().is_ok());
+        assert_eq!(q.state(), QpState::Reset);
+        assert_eq!(q.sq_depth(), 0, "queued work dropped by the reset");
+        assert_eq!(q.remote(), Some((NodeId::new(1), QpNum::new(9))));
+        assert_eq!(q.counters.posted_sends, 1, "lifetime counters survive");
+        // Only ERROR may be reset; a live QP refuses.
+        q.to_init().unwrap();
+        assert!(q.reset().is_err());
     }
 
     #[test]

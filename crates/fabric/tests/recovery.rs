@@ -1,0 +1,269 @@
+//! Connection-manager semantics: journal-and-replay instead of
+//! flush-and-die, link-flap survival, reconnect of injected errors, and
+//! the RNR backoff shift cap.
+
+use resex_fabric::qp::{RecvRequest, WorkRequest};
+use resex_fabric::{
+    Access, CqNum, Fabric, FabricConfig, FabricEvent, NodeId, Opcode, PdId, QpNum, UarId, WcStatus,
+};
+use resex_faults::{FaultSchedule, FaultSpec};
+use resex_simcore::time::SimTime;
+use resex_simmem::{Gpa, MemoryHandle};
+
+#[allow(dead_code)] // fixture keeps every handle alive for the test body
+struct Endpoint {
+    node: NodeId,
+    mem: MemoryHandle,
+    pd: PdId,
+    uar: UarId,
+    send_cq: CqNum,
+    recv_cq: CqNum,
+    qp: QpNum,
+    buf_gpa: Gpa,
+    lkey: u32,
+    rkey: u32,
+}
+
+fn endpoint(f: &mut Fabric) -> Endpoint {
+    let node = f.add_node();
+    let mem = MemoryHandle::new(1024 * 1024);
+    let pd = f.create_pd(node).unwrap();
+    let uar = f.create_uar(node, &mem).unwrap();
+    let send_cq = f.create_cq(node, &mem, 256).unwrap();
+    let recv_cq = f.create_cq(node, &mem, 256).unwrap();
+    let qp = f
+        .create_qp(node, pd, send_cq, recv_cq, 256, 256, uar)
+        .unwrap();
+    let buf_gpa = mem.alloc_bytes(65536).unwrap();
+    let mr = f
+        .register_mr(node, pd, &mem, buf_gpa, 65536, Access::FULL)
+        .unwrap();
+    Endpoint {
+        node,
+        mem,
+        pd,
+        uar,
+        send_cq,
+        recv_cq,
+        qp,
+        buf_gpa,
+        lkey: mr.lkey,
+        rkey: mr.rkey,
+    }
+}
+
+fn pair(f: &mut Fabric) -> (Endpoint, Endpoint) {
+    let a = endpoint(f);
+    let b = endpoint(f);
+    f.connect(a.node, a.qp, b.node, b.qp).unwrap();
+    (a, b)
+}
+
+fn send_wr(id: u64, ep: &Endpoint, len: u32) -> WorkRequest {
+    WorkRequest {
+        wr_id: id,
+        opcode: Opcode::Send,
+        lkey: ep.lkey,
+        local_gpa: ep.buf_gpa,
+        len,
+        remote: None,
+        imm: 0,
+        signaled: true,
+    }
+}
+
+fn recv_wr(id: u64, ep: &Endpoint) -> RecvRequest {
+    RecvRequest {
+        wr_id: id,
+        lkey: ep.lkey,
+        gpa: ep.buf_gpa,
+        len: 65536,
+    }
+}
+
+fn drain(f: &mut Fabric) -> Vec<(SimTime, FabricEvent)> {
+    let mut out = Vec::new();
+    while let Some(t) = f.next_time() {
+        out.extend(f.advance(t));
+    }
+    out
+}
+
+/// A link flap long enough to exhaust the transport retry budget breaks
+/// the QP — and with recovery armed, the connection manager rides the
+/// outage out: the journaled sends replay after the reconnect and every
+/// one of them completes successfully. No `WrFlushError`, no
+/// `RetryExceeded`, nothing lost.
+#[test]
+fn flap_outage_reconnects_and_replays_every_send() {
+    // Period 1 ms, down for the first 500 µs of each period. The default
+    // retry budget (7 retries, 50 µs apart) exhausts around t = 400 µs,
+    // well inside the outage; the first reconnect probe after the link
+    // comes back succeeds.
+    let mut f = Fabric::with_defaults();
+    f.install_faults(FaultSchedule::from(
+        FaultSpec::parse("flap_ms=1,flap_down_us=500,seed=11").unwrap(),
+    ));
+    f.enable_recovery();
+    let (a, b) = pair(&mut f);
+    for i in 0..4 {
+        f.post_recv(b.node, b.qp, recv_wr(900 + i, &b)).unwrap();
+    }
+    for i in 0..4 {
+        f.post_send(a.node, a.qp, send_wr(i, &a, 4096), SimTime::ZERO)
+            .unwrap();
+    }
+
+    let events = drain(&mut f);
+    let mut reconnects = 0u64;
+    let mut replayed = 0u64;
+    let mut delivered = Vec::new();
+    for (_, e) in &events {
+        match e {
+            FabricEvent::QpReconnected { replayed: r, .. } => {
+                reconnects += 1;
+                replayed += r;
+            }
+            FabricEvent::RecvComplete { wr_id, .. } => delivered.push(*wr_id),
+            FabricEvent::SendComplete { status, .. } => {
+                assert_eq!(*status, WcStatus::Success, "no send may fail: {events:?}");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(reconnects, 1, "one outage, one reconnect: {events:?}");
+    assert!(replayed >= 1, "the failing send was journaled and replayed");
+    assert_eq!(delivered, vec![900, 901, 902, 903], "nothing lost");
+
+    let qc = f.qp_counters(a.node, a.qp).unwrap();
+    assert_eq!(qc.reconnects, 1);
+    assert_eq!(qc.replayed, replayed);
+    assert_eq!(qc.flushed, 0, "recovery never flushes");
+    assert!(f.fault_stats().flap_drops >= 1, "the outage really dropped");
+    assert_eq!(f.broken_qp_count(), 0, "nothing left broken");
+}
+
+/// RNR retry exhaustion under recovery starves *without* dropping: the
+/// message is journaled, the QP reconnects, and once the receiver has
+/// posted a buffer the replay lands it. The legacy path's `RnrDrop`
+/// event and `RnrRetryExceeded` completion never appear.
+#[test]
+fn rnr_exhaustion_journals_the_message_for_replay() {
+    let mut f = Fabric::with_defaults();
+    f.enable_recovery();
+    let (a, b) = pair(&mut f);
+    // No receive posted at b: the send NAKs until the budget exhausts.
+    f.post_send(a.node, a.qp, send_wr(1, &a, 2048), SimTime::ZERO)
+        .unwrap();
+
+    let mut early = Vec::new();
+    while f.broken_qp_count() == 0 {
+        let t = f.next_time().expect("exhaustion must break the QP");
+        early.extend(f.advance(t));
+    }
+    assert!(
+        !early
+            .iter()
+            .any(|(_, e)| matches!(e, FabricEvent::RnrDrop { .. })),
+        "recovery suppresses the drop: {early:?}"
+    );
+
+    // The receiver comes back to life before the reconnect fires.
+    f.post_recv(b.node, b.qp, recv_wr(77, &b)).unwrap();
+    let events = drain(&mut f);
+    assert!(
+        events
+            .iter()
+            .any(|(_, e)| matches!(e, FabricEvent::QpReconnected { replayed: 1, .. })),
+        "reconnect replays the journaled send: {events:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|(_, e)| matches!(e, FabricEvent::RecvComplete { wr_id: 77, .. })),
+        "the replay finally lands: {events:?}"
+    );
+    let qc = f.qp_counters(a.node, a.qp).unwrap();
+    assert_eq!((qc.reconnects, qc.replayed, qc.rnr_drops), (1, 1, 0));
+}
+
+/// An *injected* ERROR (`set_qp_error`, the control-fault teardown path)
+/// keeps its documented flush semantics even with recovery armed — but
+/// the CM still cycles the connection back, so later posts succeed again
+/// instead of `BadQpState` forever.
+#[test]
+fn injected_error_still_flushes_but_reconnects() {
+    let mut f = Fabric::with_defaults();
+    f.enable_recovery();
+    let (a, b) = pair(&mut f);
+    f.post_recv(a.node, a.qp, recv_wr(50, &a)).unwrap();
+    f.set_qp_error(a.node, a.qp, SimTime::ZERO).unwrap();
+
+    let flushed = f.poll_cq(a.node, a.recv_cq, 16).unwrap();
+    assert_eq!(flushed.len(), 1);
+    assert_eq!(flushed[0].status, WcStatus::WrFlushError);
+
+    let events = drain(&mut f);
+    assert!(
+        events
+            .iter()
+            .any(|(_, e)| matches!(e, FabricEvent::QpReconnected { replayed: 0, .. })),
+        "empty-journal reconnect: {events:?}"
+    );
+
+    // Back in business on the same connection.
+    let reconnected_at = events
+        .iter()
+        .find(|(_, e)| matches!(e, FabricEvent::QpReconnected { .. }))
+        .map(|(t, _)| *t)
+        .unwrap();
+    f.post_recv(b.node, b.qp, recv_wr(60, &b)).unwrap();
+    f.post_send(a.node, a.qp, send_wr(2, &a, 1024), reconnected_at)
+        .unwrap();
+    let events = drain(&mut f);
+    assert!(
+        events.iter().any(|(_, e)| matches!(
+            e,
+            FabricEvent::SendComplete {
+                wr_id: 2,
+                status: WcStatus::Success,
+                ..
+            }
+        )),
+        "post-reconnect traffic flows: {events:?}"
+    );
+}
+
+/// The RNR backoff shift is explicitly capped: a QP driven past 32 (here
+/// 80) consecutive RNR NAKs keeps waiting `rnr_timer << MAX_BACKOFF_SHIFT`
+/// instead of left-shifting into overflow. Fully deterministic — two runs
+/// are event-for-event identical.
+#[test]
+fn rnr_backoff_shift_saturates_past_32_consecutive_naks() {
+    let run = || {
+        let cfg = FabricConfig {
+            // Far beyond any sane ibv_qp_attr.rnr_retry, to push the shift
+            // well past 64 if it were uncapped.
+            rnr_retry_count: 80,
+            ..FabricConfig::default()
+        };
+        let mut f = Fabric::new(cfg).unwrap();
+        let (a, _b) = pair(&mut f);
+        // Never post a receive: every attempt NAKs.
+        f.post_send(a.node, a.qp, send_wr(1, &a, 1024), SimTime::ZERO)
+            .unwrap();
+        let events = drain(&mut f);
+        let statuses: Vec<WcStatus> = events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                FabricEvent::SendComplete { status, .. } => Some(*status),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(statuses, vec![WcStatus::RnrRetryExceeded]);
+        let qc = f.qp_counters(a.node, a.qp).unwrap();
+        assert_eq!(qc.rnr_retries, 80, "every NAK retried");
+        format!("{events:?}")
+    };
+    assert_eq!(run(), run());
+}

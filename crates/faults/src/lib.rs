@@ -27,6 +27,7 @@
 use resex_simcore::rng::SimRng;
 use resex_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 fn default_seed() -> u64 {
     0xFA17
@@ -35,6 +36,67 @@ fn default_seed() -> u64 {
 fn default_grant_delay() -> SimDuration {
     SimDuration::from_micros(20)
 }
+
+/// A malformed fault spec: what was wrong and, via [`std::fmt::Display`],
+/// a one-line usage hint so `repro --faults` can print something actionable
+/// instead of unwinding.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultSpecError {
+    /// A comma-separated item had no `=` in it.
+    NotKeyValue(String),
+    /// The value did not parse as a number.
+    BadNumber {
+        /// The key whose value was malformed.
+        key: String,
+        /// The raw value text.
+        value: String,
+    },
+    /// The key is not one this parser knows.
+    UnknownKey(String),
+    /// A rate is outside `[0, 1]`.
+    BadRate {
+        /// Short rate name as used in the spec syntax.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The flap outage is longer than the flap period.
+    BadFlap {
+        /// Flap period.
+        period: SimDuration,
+        /// Outage length per period.
+        down: SimDuration,
+    },
+}
+
+/// The one-line syntax reminder appended to every parse error.
+pub const FAULT_SPEC_USAGE: &str = "expected comma list of key=value; keys: seed=N loss=P \
+corrupt=P delay=P delay_us=N tear=P skip=P stale=P capfail=P flap_ms=N flap_down_us=N \
+(P in [0,1]); e.g. loss=0.01,flap_ms=50,flap_down_us=2000,seed=7";
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSpecError::NotKeyValue(item) => {
+                write!(f, "fault spec item '{item}' is not key=value")?
+            }
+            FaultSpecError::BadNumber { key, value } => {
+                write!(f, "fault spec value '{value}' for '{key}' does not parse")?
+            }
+            FaultSpecError::UnknownKey(key) => write!(f, "unknown fault spec key '{key}'")?,
+            FaultSpecError::BadRate { name, value } => {
+                write!(f, "fault rate {name}={value} is not a probability")?
+            }
+            FaultSpecError::BadFlap { period, down } => write!(
+                f,
+                "flap outage ({down:?}) must not exceed the flap period ({period:?})"
+            )?,
+        }
+        write!(f, "; {FAULT_SPEC_USAGE}")
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
 
 /// Base fault rates, all drawn per opportunity (per message, per grant, per
 /// scan, per actuation). All probabilities default to zero; a default spec
@@ -64,6 +126,13 @@ pub struct FaultSpec {
     pub stale_mapping: f64,
     /// Probability a privileged cap actuation fails transiently.
     pub cap_fail: f64,
+    /// Link-flap period: every `flap_period` of simulated time the link
+    /// goes down for `flap_down`. Zero disables flapping. The outage is
+    /// pure arithmetic on the clock — it consumes no RNG, so enabling it
+    /// never shifts any other fault class's draws.
+    pub flap_period: SimDuration,
+    /// How long the link stays down at the start of each flap period.
+    pub flap_down: SimDuration,
 }
 
 // Hand-written so that omitted fields fall back to the *spec* defaults
@@ -94,6 +163,8 @@ impl Deserialize for FaultSpec {
         field(m, "scan_skip", &mut spec.scan_skip)?;
         field(m, "stale_mapping", &mut spec.stale_mapping)?;
         field(m, "cap_fail", &mut spec.cap_fail)?;
+        field(m, "flap_period", &mut spec.flap_period)?;
+        field(m, "flap_down", &mut spec.flap_down)?;
         Ok(spec)
     }
 }
@@ -110,6 +181,8 @@ impl Default for FaultSpec {
             scan_skip: 0.0,
             stale_mapping: 0.0,
             cap_fail: 0.0,
+            flap_period: SimDuration::ZERO,
+            flap_down: SimDuration::ZERO,
         }
     }
 }
@@ -124,10 +197,25 @@ impl FaultSpec {
             || self.scan_skip > 0.0
             || self.stale_mapping > 0.0
             || self.cap_fail > 0.0
+            || self.flap_enabled()
     }
 
-    /// Validates that every rate is a probability.
-    pub fn validate(&self) -> Result<(), String> {
+    /// True if the spec describes a live link flap.
+    pub fn flap_enabled(&self) -> bool {
+        !self.flap_period.is_zero() && !self.flap_down.is_zero()
+    }
+
+    /// True if the flapping link is down at instant `t`: each flap period
+    /// starts with `flap_down` of outage. Deterministic clock arithmetic,
+    /// no RNG.
+    pub fn link_down_at(&self, t: SimTime) -> bool {
+        self.flap_enabled()
+            && (t.as_nanos() % self.flap_period.as_nanos()) < self.flap_down.as_nanos()
+    }
+
+    /// Validates that every rate is a probability and the flap shape is
+    /// self-consistent.
+    pub fn validate(&self) -> Result<(), FaultSpecError> {
         for (name, p) in [
             ("loss", self.link_loss),
             ("corrupt", self.link_corruption),
@@ -138,8 +226,14 @@ impl FaultSpec {
             ("capfail", self.cap_fail),
         ] {
             if !(0.0..=1.0).contains(&p) {
-                return Err(format!("fault rate {name}={p} is not a probability"));
+                return Err(FaultSpecError::BadRate { name, value: p });
             }
+        }
+        if self.flap_down > self.flap_period {
+            return Err(FaultSpecError::BadFlap {
+                period: self.flap_period,
+                down: self.flap_down,
+            });
         }
         Ok(())
     }
@@ -148,18 +242,20 @@ impl FaultSpec {
     /// `loss=0.01,seed=7,delay=0.005,delay_us=50,tear=0.02,capfail=0.1`.
     ///
     /// Keys: `seed`, `loss`, `corrupt`, `delay` (probability), `delay_us`
-    /// (spike size), `tear`, `skip`, `stale`, `capfail`.
-    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+    /// (spike size), `tear`, `skip`, `stale`, `capfail`, `flap_ms` (flap
+    /// period), `flap_down_us` (outage length per period).
+    pub fn parse(s: &str) -> Result<FaultSpec, FaultSpecError> {
         let mut spec = FaultSpec::default();
         for part in s.split(',').filter(|p| !p.trim().is_empty()) {
             let (key, value) = part
                 .split_once('=')
-                .ok_or_else(|| format!("fault spec item '{part}' is not key=value"))?;
+                .ok_or_else(|| FaultSpecError::NotKeyValue(part.to_string()))?;
             let (key, value) = (key.trim(), value.trim());
-            fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
-                value
-                    .parse()
-                    .map_err(|_| format!("fault spec value '{value}' for '{key}' does not parse"))
+            fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, FaultSpecError> {
+                value.parse().map_err(|_| FaultSpecError::BadNumber {
+                    key: key.to_string(),
+                    value: value.to_string(),
+                })
             }
             match key {
                 "seed" => spec.seed = num(key, value)?,
@@ -171,7 +267,9 @@ impl FaultSpec {
                 "skip" => spec.scan_skip = num(key, value)?,
                 "stale" => spec.stale_mapping = num(key, value)?,
                 "capfail" => spec.cap_fail = num(key, value)?,
-                _ => return Err(format!("unknown fault spec key '{key}'")),
+                "flap_ms" => spec.flap_period = SimDuration::from_millis(num(key, value)?),
+                "flap_down_us" => spec.flap_down = SimDuration::from_micros(num(key, value)?),
+                _ => return Err(FaultSpecError::UnknownKey(key.to_string())),
             }
         }
         spec.validate()?;
@@ -201,6 +299,14 @@ pub enum FaultKind {
     StaleMapping(f64),
     /// Overrides [`FaultSpec::cap_fail`].
     CapFail(f64),
+    /// Overrides the link-flap shape ([`FaultSpec::flap_period`] /
+    /// [`FaultSpec::flap_down`]).
+    LinkDown {
+        /// Flap period.
+        period: SimDuration,
+        /// Outage length at the start of each period.
+        down: SimDuration,
+    },
 }
 
 /// A typed fault event: `kind`'s rate applies during `[start, end)`.
@@ -249,7 +355,15 @@ impl FaultSchedule {
                     | FaultKind::StaleMapping(p)
                     | FaultKind::CapFail(p) if p > 0.0
                 ) || matches!(w.kind, FaultKind::GrantDelay { prob, .. } if prob > 0.0)
+                    || matches!(w.kind, FaultKind::LinkDown { period, down }
+                        if !period.is_zero() && !down.is_zero())
             })
+    }
+
+    /// True if the (possibly window-overridden) flap has the link down at
+    /// instant `t`.
+    pub fn link_down_at(&self, t: SimTime) -> bool {
+        self.resolved(t).link_down_at(t)
     }
 
     /// The effective rates at simulated time `t`.
@@ -268,6 +382,10 @@ impl FaultSchedule {
                     FaultKind::ScanSkip(p) => spec.scan_skip = p,
                     FaultKind::StaleMapping(p) => spec.stale_mapping = p,
                     FaultKind::CapFail(p) => spec.cap_fail = p,
+                    FaultKind::LinkDown { period, down } => {
+                        spec.flap_period = period;
+                        spec.flap_down = down;
+                    }
                 }
             }
         }
@@ -292,6 +410,8 @@ pub struct FaultStats {
     pub stale_scans: u64,
     /// Cap actuations failed.
     pub cap_failures: u64,
+    /// Messages dropped because the flapping link was down.
+    pub flap_drops: u64,
 }
 
 /// Stream-domain constants: each consumer seeds its RNG tree from
@@ -327,6 +447,24 @@ impl FabricFaults {
             delay_rng,
             stats: FaultStats::default(),
         }
+    }
+
+    /// True if the flapping link is down right now. Pure clock arithmetic:
+    /// consumes no RNG, so checking it never perturbs the loss/corrupt/
+    /// delay streams. Counts each dropped message in the stats tally.
+    pub fn link_down(&mut self, now: SimTime) -> bool {
+        let hit = self.sched.link_down_at(now);
+        if hit {
+            self.stats.flap_drops += 1;
+        }
+        hit
+    }
+
+    /// Non-counting probe of the flap state, for the connection manager's
+    /// reconnect deferral: a deferred reconnect attempt is not a dropped
+    /// message, so it must not inflate `flap_drops`.
+    pub fn link_is_down(&self, now: SimTime) -> bool {
+        self.sched.link_down_at(now)
     }
 
     /// Draws whether a fully-serialized message is lost on the wire.
@@ -637,6 +775,81 @@ mod tests {
         ] {
             assert!((50..=150).contains(&n), "rate 0.5 over 200 draws: {n}");
         }
+    }
+
+    #[test]
+    fn flap_is_deterministic_clock_arithmetic() {
+        let spec = FaultSpec::parse("flap_ms=10,flap_down_us=2000").unwrap();
+        assert!(spec.enabled());
+        assert!(spec.flap_enabled());
+        assert!(spec.link_down_at(SimTime::ZERO));
+        assert!(spec.link_down_at(SimTime::from_micros(1999)));
+        assert!(!spec.link_down_at(SimTime::from_micros(2000)));
+        assert!(!spec.link_down_at(SimTime::from_millis(9)));
+        assert!(spec.link_down_at(SimTime::from_millis(10)));
+        assert!(matches!(
+            FaultSpec::parse("flap_ms=1,flap_down_us=2000"),
+            Err(FaultSpecError::BadFlap { .. })
+        ));
+        // The injector's check consumes no RNG: the loss stream is
+        // unaffected by interleaved link_down() probes.
+        let sched =
+            FaultSchedule::from(FaultSpec::parse("loss=0.5,flap_ms=10,flap_down_us=2000").unwrap());
+        let mut a = FabricFaults::new(sched.clone());
+        let mut b = FabricFaults::new(sched);
+        let t = SimTime::from_micros(1);
+        let seq_a: Vec<bool> = (0..100).map(|_| a.lose_message(t)).collect();
+        let seq_b: Vec<bool> = (0..100)
+            .map(|_| {
+                assert!(b.link_down(t));
+                b.lose_message(t)
+            })
+            .collect();
+        assert_eq!(seq_a, seq_b);
+        assert_eq!(b.stats.flap_drops, 100);
+    }
+
+    #[test]
+    fn windowed_link_down_overrides_the_base_flap() {
+        let sched = FaultSchedule {
+            spec: FaultSpec::default(),
+            windows: vec![FaultWindow {
+                start: SimTime::from_millis(10),
+                end: SimTime::from_millis(30),
+                kind: FaultKind::LinkDown {
+                    period: SimDuration::from_millis(5),
+                    down: SimDuration::from_millis(1),
+                },
+            }],
+        };
+        assert!(sched.enabled(), "a windowed flap enables the schedule");
+        assert!(!sched.link_down_at(SimTime::from_millis(5)));
+        assert!(sched.link_down_at(SimTime::from_millis(10)));
+        assert!(!sched.link_down_at(SimTime::from_millis(12)));
+        assert!(!sched.link_down_at(SimTime::from_millis(30)));
+    }
+
+    #[test]
+    fn parse_errors_are_typed_with_usage_hint() {
+        assert!(matches!(
+            FaultSpec::parse("loss"),
+            Err(FaultSpecError::NotKeyValue(_))
+        ));
+        assert!(matches!(
+            FaultSpec::parse("loss=nope"),
+            Err(FaultSpecError::BadNumber { .. })
+        ));
+        assert!(matches!(
+            FaultSpec::parse("bogus=1"),
+            Err(FaultSpecError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            FaultSpec::parse("loss=1.5"),
+            Err(FaultSpecError::BadRate { name: "loss", .. })
+        ));
+        let msg = FaultSpec::parse("bogus=1").unwrap_err().to_string();
+        assert!(msg.contains("flap_ms"), "usage hint lists the keys: {msg}");
+        assert!(msg.contains("e.g."), "usage hint shows an example: {msg}");
     }
 
     #[test]

@@ -49,6 +49,26 @@ impl Hypervisor {
         self.set_cap(target, cap_pct, now)
     }
 
+    /// Privileged cap-setting through the slow-but-reliable reset path —
+    /// the escalation the manager watchdog takes after repeated
+    /// [`HvError::ActuationFailed`]s on the fast path. Models tearing the
+    /// stuck scheduler channel down and re-issuing the hypercall
+    /// synchronously, which cannot hit the transient actuation fault
+    /// (and draws nothing from the fault stream, so a clean run that
+    /// never calls it is byte-identical to one that couldn't).
+    pub fn privileged_force_cap(
+        &mut self,
+        caller: DomainId,
+        target: DomainId,
+        cap_pct: u32,
+        now: SimTime,
+    ) -> Result<(), HvError> {
+        if !self.is_privileged(caller)? {
+            return Err(HvError::NotPrivileged(caller));
+        }
+        self.set_cap(target, cap_pct, now)
+    }
+
     /// Privileged weight-setting.
     pub fn privileged_set_weight(
         &mut self,
@@ -128,6 +148,27 @@ mod tests {
         assert!(matches!(err, HvError::ActuationFailed(d) if d == domu));
         assert_eq!(hv.cap(domu).unwrap(), 40, "failed actuation is a no-op");
         assert_eq!(hv.fault_stats().cap_failures, 1);
+    }
+
+    #[test]
+    fn force_cap_bypasses_injected_actuation_faults_but_not_privilege() {
+        use resex_faults::{FaultSchedule, FaultSpec};
+        let (mut hv, dom0, domu) = setup();
+        hv.install_faults(FaultSchedule::from(FaultSpec {
+            cap_fail: 1.0,
+            ..FaultSpec::default()
+        }));
+        assert!(matches!(
+            hv.privileged_set_cap(dom0, domu, 10, SimTime::ZERO),
+            Err(HvError::ActuationFailed(_))
+        ));
+        hv.privileged_force_cap(dom0, domu, 10, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(hv.cap(domu).unwrap(), 10, "force path lands the cap");
+        assert!(matches!(
+            hv.privileged_force_cap(domu, domu, 50, SimTime::ZERO),
+            Err(HvError::NotPrivileged(_))
+        ));
     }
 
     #[test]

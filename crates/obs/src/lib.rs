@@ -49,13 +49,16 @@ pub mod subsystem {
     pub const IBMON: &str = "ibmon";
     /// Fault injection: every injected fault and the recovery it triggered.
     pub const FAULTS: &str = "faults";
+    /// Self-healing: QP reconnection, WQE replay, request retry, watchdog.
+    pub const RECOVERY: &str = "recovery";
     /// All subsystems in their fixed thread order for the Chrome export.
-    pub const ALL: [&str; 6] = [
+    pub const ALL: [&str; 7] = [
         FABRIC_LINK,
         FABRIC_ENGINE,
         HV_SCHED,
         RESEX_MANAGER,
         IBMON,
         FAULTS,
+        RECOVERY,
     ];
 }

@@ -6,6 +6,7 @@
 //! latency since it does not have access to that information."
 
 use crate::experiments::{mean_std, Scale};
+use crate::metrics::RecoveryTotals;
 use crate::scenario::{fmt_size, PolicyKind, ScenarioConfig};
 use crate::world::run_scenario;
 use rayon::prelude::*;
@@ -27,10 +28,27 @@ pub struct Fig9Row {
 }
 
 /// The full figure.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig9Result {
     /// One row per interferer buffer size.
     pub rows: Vec<Fig9Row>,
+    /// What the self-healing layer did across every run of the figure.
+    /// All-zero in clean runs.
+    pub recovery: RecoveryTotals,
+}
+
+// Hand-written so clean runs serialize exactly as before this field
+// existed: `recovery` appears only when something actually recovered,
+// keeping faults-off JSON byte-identical across versions.
+impl Serialize for Fig9Result {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("rows".to_string(), self.rows.to_value());
+        if self.recovery != RecoveryTotals::default() {
+            m.insert("recovery".to_string(), self.recovery.to_value());
+        }
+        serde::Value::Object(m)
+    }
 }
 
 /// Runs the policy comparison across buffer sizes (in parallel).
@@ -42,8 +60,9 @@ pub fn run(scale: &Scale) -> Fig9Result {
     scale.stamp_faults(&mut base_cfg);
     let base = run_scenario(base_cfg);
     let base_us = mean_std(&base, "64KB").0;
+    let mut recovery = base.recovery_totals();
 
-    let rows = buffers
+    let rows_and_totals: Vec<(Fig9Row, RecoveryTotals)> = buffers
         .into_par_iter()
         .map(|buf| {
             let mk = |policy: PolicyKind| {
@@ -65,16 +84,25 @@ pub fn run(scale: &Scale) -> Fig9Result {
                     )
                 },
             );
-            Fig9Row {
+            let mut totals = intf.recovery_totals();
+            totals.merge(fm.recovery_totals());
+            totals.merge(ios.recovery_totals());
+            let row = Fig9Row {
                 buffer: fmt_size(buf),
                 base_us,
                 interfered_us: mean_std(&intf, "64KB").0,
                 freemarket_us: mean_std(&fm, "64KB").0,
                 ioshares_us: mean_std(&ios, "64KB").0,
-            }
+            };
+            (row, totals)
         })
         .collect();
-    Fig9Result { rows }
+    let mut rows = Vec::with_capacity(rows_and_totals.len());
+    for (row, totals) in rows_and_totals {
+        rows.push(row);
+        recovery.merge(totals);
+    }
+    Fig9Result { rows, recovery }
 }
 
 impl Fig9Result {
@@ -101,5 +129,12 @@ impl Fig9Result {
             ios_wins,
             self.rows.len()
         );
+        if self.recovery != RecoveryTotals::default() {
+            let r = &self.recovery;
+            println!(
+                "  recovery: reconnects={} replayed={} retries={} lost={} watchdog_trips={}",
+                r.reconnects, r.replayed, r.retries, r.lost_requests, r.watchdog_trips
+            );
+        }
     }
 }

@@ -29,6 +29,17 @@ pub struct VmMetrics {
     pub true_mtus: u64,
     /// IBMon lifetime MTU estimate.
     pub ibmon_mtus: u64,
+    /// Client requests re-issued after a timeout.
+    pub retries: u64,
+    /// Client requests permanently lost (retry budget exhausted). The
+    /// recovery layer's target is zero.
+    pub lost_requests: u64,
+    /// QP reconnect cycles (server- plus client-side QP).
+    pub reconnects: u64,
+    /// Journaled sends replayed across reconnects.
+    pub replayed: u64,
+    /// Manager watchdog trips (stale fail-safes plus forced actuations).
+    pub watchdog_trips: u64,
 }
 
 impl VmMetrics {
@@ -45,6 +56,11 @@ impl VmMetrics {
             served: 0,
             true_mtus: 0,
             ibmon_mtus: 0,
+            retries: 0,
+            lost_requests: 0,
+            reconnects: 0,
+            replayed: 0,
+            watchdog_trips: 0,
         }
     }
 
@@ -81,6 +97,19 @@ impl RunMetrics {
         self.vms.iter().find(|v| v.name == name)
     }
 
+    /// Run-wide recovery tallies, summed over VMs.
+    pub fn recovery_totals(&self) -> RecoveryTotals {
+        let mut t = RecoveryTotals::default();
+        for v in &self.vms {
+            t.retries += v.retries;
+            t.lost_requests += v.lost_requests;
+            t.reconnects += v.reconnects;
+            t.replayed += v.replayed;
+            t.watchdog_trips += v.watchdog_trips;
+        }
+        t
+    }
+
     /// Compact per-VM summary rows suitable for printing.
     pub fn rows(&self) -> Vec<SummaryRow> {
         self.vms
@@ -99,6 +128,33 @@ impl RunMetrics {
                 }
             })
             .collect()
+    }
+}
+
+/// Run-wide recovery tallies — what the self-healing layer did during a
+/// faulted run. All-zero (and printed nowhere) in clean runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct RecoveryTotals {
+    /// Client requests re-issued after a timeout.
+    pub retries: u64,
+    /// Client requests permanently lost. Target: zero.
+    pub lost_requests: u64,
+    /// QP reconnect cycles.
+    pub reconnects: u64,
+    /// Journaled sends replayed across reconnects.
+    pub replayed: u64,
+    /// Manager watchdog trips.
+    pub watchdog_trips: u64,
+}
+
+impl RecoveryTotals {
+    /// Accumulates another tally into this one.
+    pub fn merge(&mut self, other: RecoveryTotals) {
+        self.retries += other.retries;
+        self.lost_requests += other.lost_requests;
+        self.reconnects += other.reconnects;
+        self.replayed += other.replayed;
+        self.watchdog_trips += other.watchdog_trips;
     }
 }
 

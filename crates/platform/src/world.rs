@@ -21,8 +21,9 @@
 use crate::metrics::{record_latency, RunMetrics, VmMetrics};
 use crate::scenario::{PolicyKind, ScenarioConfig};
 use resex_benchex::{
-    AgentConfig, Client, ClientAction, LatencyReport, ReportingAgent, Server, ServerAction,
-    TraceGen, TransactionRequest, TransactionResponse, REQUEST_WIRE_BYTES,
+    AgentConfig, Client, ClientAction, LatencyReport, ReportingAgent, RetryDecision, Server,
+    ServerAction, TraceGen, TransactionRequest, TransactionResponse, REQUEST_TIMEOUT,
+    REQUEST_WIRE_BYTES,
 };
 use resex_core::{
     BufferRatio, DemandPricing, FreeMarket, IoShares, LatencyFeedback, ManagerAction,
@@ -55,8 +56,20 @@ enum Ev {
     FabricSync,
     HvSync,
     ClientTimer { client: usize },
+    RequestTimeout { client: usize, req_id: u64 },
     ResExInterval,
     End,
+}
+
+/// A request in flight, with everything needed to re-issue it.
+struct Pending {
+    req: TransactionRequest,
+    /// How many times this request has been posted (1 = first attempt).
+    attempts: u32,
+    /// Calendar entry of the response deadline; `None` in clean runs,
+    /// which never time out (and whose calendars must stay byte-identical
+    /// to fault-unaware builds).
+    timeout: Option<EventKey>,
 }
 
 struct VmRuntime {
@@ -83,7 +96,7 @@ struct ClientRuntime {
     mem: MemoryHandle,
     req_mr: MrHandle,
     resp_mr: MrHandle,
-    outstanding: HashMap<u64, SimTime>,
+    outstanding: HashMap<u64, Pending>,
 }
 
 /// The running testbed.
@@ -113,6 +126,18 @@ pub struct World {
     /// True when the scenario armed the fault plane; gates the strict
     /// invariants (no RNR drops, no error CQEs) that hold in clean runs.
     faults_on: bool,
+    /// Receive replenishes rejected while a QP was mid-reconnect, parked
+    /// for re-posting when the connection manager brings it back. Losing
+    /// the slot instead would shrink the receive ring for good and walk
+    /// the QP into RNR livelock.
+    deferred_recvs: Vec<(NodeId, QpNum, RecvRequest)>,
+    /// Server response actions whose post was rejected mid-reconnect;
+    /// re-applied on `QpReconnected` (the server stays in its
+    /// awaiting-completion state either way).
+    deferred_responses: Vec<(usize, ServerAction)>,
+    /// Consecutive failed cap actuations per VM, for the watchdog's
+    /// escalation to the forced (slow, reliable) actuation path.
+    actuation_streak: Vec<u32>,
 }
 
 /// What an observed run produced alongside its [`RunMetrics`].
@@ -156,6 +181,11 @@ impl World {
             // independent and deterministic.
             fabric.install_faults(cfg.faults.clone());
             hv.install_faults(cfg.faults.clone());
+            // The self-healing layer rides along with the fault plane:
+            // clean runs keep the legacy flush-and-panic invariants (and
+            // their byte-identical calendars); faulted runs journal,
+            // reconnect and replay instead of dropping work.
+            fabric.enable_recovery();
         }
         let dom0 = hv.create_domain("dom0", 64 << 20, true);
         // dom0 gets its own PCPU (it runs ResEx/IBMon, not simulated work).
@@ -385,6 +415,7 @@ impl World {
                 .expect("dom0 may introspect");
         }
 
+        let actuation_streak = vec![0u32; vms.len()];
         World {
             cfg,
             fabric,
@@ -409,6 +440,9 @@ impl World {
             snapshots: Vec::new(),
             interval_count: 0,
             faults_on,
+            deferred_recvs: Vec::new(),
+            deferred_responses: Vec::new(),
+            actuation_streak,
         }
     }
 
@@ -477,6 +511,9 @@ impl World {
                         self.apply_client_action(client, act, t);
                     }
                 }
+                Ev::RequestTimeout { client, req_id } => {
+                    self.on_request_timeout(client, req_id, t);
+                }
                 Ev::ResExInterval => self.on_resex_interval(t),
             }
             self.rearm();
@@ -512,6 +549,18 @@ impl World {
                 .map(|c| c.mtus_sent)
                 .unwrap_or(0);
             m.ibmon_mtus = self.ibmon.lifetime_mtus(self.vms[i].dom);
+            m.retries = self.clients[i].client.retries();
+            m.lost_requests = self.clients[i].client.lost();
+            // Both directions of this VM's exchange can break and heal.
+            for (node, qp) in [
+                (self.node_srv, self.vms[i].qp),
+                (self.node_cli, self.clients[i].qp),
+            ] {
+                if let Ok(c) = self.fabric.qp_counters(node, qp) {
+                    m.reconnects += c.reconnects;
+                    m.replayed += c.replayed;
+                }
+            }
             out.vms.push(m);
         }
 
@@ -592,6 +641,21 @@ impl World {
                 }
             }
             FabricEvent::RdmaWriteDelivered { .. } => {}
+            FabricEvent::QpReconnected { node, qp, replayed } => {
+                if self.tracer.enabled() {
+                    self.tracer.instant(
+                        t,
+                        subsystem::RECOVERY,
+                        "qp_reconnected",
+                        Scope::Qp(qp.raw()),
+                        vec![
+                            ("node", u64::from(node.raw()).into()),
+                            ("replayed", replayed.into()),
+                        ],
+                    );
+                }
+                self.flush_deferred(node, qp, t);
+            }
             FabricEvent::RnrDrop { node, qp } => {
                 // Never happens with RECV_SLOTS pre-posted — unless the
                 // fault plane exhausted the RNR retry budget.
@@ -636,6 +700,53 @@ impl World {
         }
     }
 
+    /// Posts a receive, or — in a faulted run, where the QP may be
+    /// mid-reconnect and refusing posts — parks it for re-posting when
+    /// the connection manager brings the QP back.
+    fn post_recv_or_defer(&mut self, node: NodeId, qp: QpNum, rr: RecvRequest, t: SimTime) {
+        match self.fabric.post_recv(node, qp, rr) {
+            Ok(()) => {}
+            Err(e) if self.faults_on => {
+                if self.tracer.enabled() {
+                    self.tracer.instant(
+                        t,
+                        subsystem::RECOVERY,
+                        "recv_deferred",
+                        Scope::Qp(qp.raw()),
+                        vec![("error", format!("{e:?}").into())],
+                    );
+                }
+                self.deferred_recvs.push((node, qp, rr));
+            }
+            Err(e) => panic!("replenish recv: {e:?}"),
+        }
+    }
+
+    /// A QP came back: re-post its parked receives and re-issue any
+    /// responses whose post was rejected while it was down.
+    fn flush_deferred(&mut self, node: NodeId, qp: QpNum, t: SimTime) {
+        let parked = std::mem::take(&mut self.deferred_recvs);
+        for (n, q, rr) in parked {
+            if (n, q) == (node, qp) {
+                self.post_recv_or_defer(n, q, rr, t);
+            } else {
+                self.deferred_recvs.push((n, q, rr));
+            }
+        }
+        if node == self.node_srv {
+            if let Some(&vmi) = self.srv_qp_to_vm.get(&qp) {
+                let parked = std::mem::take(&mut self.deferred_responses);
+                for (i, act) in parked {
+                    if i == vmi {
+                        self.apply_server_action(i, act, t);
+                    } else {
+                        self.deferred_responses.push((i, act));
+                    }
+                }
+            }
+        }
+    }
+
     /// A transaction arrived at a server VM.
     fn on_server_request(&mut self, qp: QpNum, slot: u64, t: SimTime) {
         let vmi = match self.srv_qp_to_vm.get(&qp) {
@@ -655,18 +766,17 @@ impl World {
         let req = TransactionRequest::decode(&wire).expect("well-formed request");
         // Replenish the receive slot before handing the request over.
         let lkey = self.vms[vmi].req_lkey;
-        self.fabric
-            .post_recv(
-                self.node_srv,
-                qp,
-                RecvRequest {
-                    wr_id: slot,
-                    lkey,
-                    gpa,
-                    len: SLOT_BYTES as u32,
-                },
-            )
-            .expect("replenish recv");
+        self.post_recv_or_defer(
+            self.node_srv,
+            qp,
+            RecvRequest {
+                wr_id: slot,
+                lkey,
+                gpa,
+                len: SLOT_BYTES as u32,
+            },
+            t,
+        );
         let act = self.vms[vmi].server.on_request(req, t);
         self.apply_server_action(vmi, act, t);
     }
@@ -685,18 +795,17 @@ impl World {
             let c = &self.clients[ci];
             (c.resp_mr.lkey, c.resp_mr.gpa, c.resp_mr.len)
         };
-        self.fabric
-            .post_recv(
-                self.node_cli,
-                qp,
-                RecvRequest {
-                    wr_id: 0,
-                    lkey,
-                    gpa,
-                    len,
-                },
-            )
-            .expect("replenish recv");
+        self.post_recv_or_defer(
+            self.node_cli,
+            qp,
+            RecvRequest {
+                wr_id: 0,
+                lkey,
+                gpa,
+                len,
+            },
+            t,
+        );
         // Correlate by immediate (request id); for small responses the
         // header is also in memory — check it when present.
         let req_id = imm.expect("responses carry the request id") as u64;
@@ -708,12 +817,56 @@ impl World {
                 }
             }
         }
-        let sent_at = match self.clients[ci].outstanding.remove(&req_id) {
-            Some(s) => s,
+        let pending = match self.clients[ci].outstanding.remove(&req_id) {
+            Some(p) => p,
             None => return, // duplicate/late; nothing to do
         };
-        let act = self.clients[ci].client.on_response(sent_at, t);
+        if let Some(key) = pending.timeout {
+            self.queue.cancel(key);
+        }
+        let act = self.clients[ci].client.on_response(pending.req.sent_at, t);
         self.apply_client_action(ci, act, t);
+    }
+
+    /// A request's response deadline passed. Stale firings — the response
+    /// arrived and retired the entry before the calendar pop — are a
+    /// no-op.
+    fn on_request_timeout(&mut self, ci: usize, req_id: u64, t: SimTime) {
+        let pending = match self.clients[ci].outstanding.remove(&req_id) {
+            Some(p) => p,
+            None => return,
+        };
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                t,
+                subsystem::RECOVERY,
+                "request_timeout",
+                Scope::Vm(ci as u32),
+                vec![
+                    ("request_id", req_id.into()),
+                    ("attempts", u64::from(pending.attempts).into()),
+                ],
+            );
+        }
+        let attempts = pending.attempts;
+        match self.clients[ci]
+            .client
+            .on_request_timeout(pending.req, attempts, t)
+        {
+            RetryDecision::Retry(req) => self.post_request(ci, req, attempts + 1, t),
+            RetryDecision::GiveUp(follow) => {
+                if self.tracer.enabled() {
+                    self.tracer.instant(
+                        t,
+                        subsystem::RECOVERY,
+                        "request_lost",
+                        Scope::Vm(ci as u32),
+                        vec![("request_id", req_id.into())],
+                    );
+                }
+                self.apply_client_action(ci, follow, t);
+            }
+        }
     }
 
     /// A server VM's response send completed.
@@ -774,9 +927,25 @@ impl World {
                     signaled: true,
                 };
                 let qp = vm.qp;
-                self.fabric
-                    .post_send(self.node_srv, qp, wr, t)
-                    .expect("response posts");
+                match self.fabric.post_send(self.node_srv, qp, wr, t) {
+                    Ok(()) => {}
+                    Err(e) if self.faults_on => {
+                        // QP mid-reconnect: park the whole action and
+                        // re-issue it on QpReconnected. The server keeps
+                        // awaiting its send completion either way.
+                        if self.tracer.enabled() {
+                            self.tracer.instant(
+                                t,
+                                subsystem::RECOVERY,
+                                "response_deferred",
+                                Scope::Qp(qp.raw()),
+                                vec![("error", format!("{e:?}").into())],
+                            );
+                        }
+                        self.deferred_responses.push((vmi, act));
+                    }
+                    Err(e) => panic!("response posts: {e:?}"),
+                }
             }
             ServerAction::Idle => {
                 // Nothing queued: the server spins on its CQ. The VCPU is
@@ -787,26 +956,7 @@ impl World {
 
     fn apply_client_action(&mut self, ci: usize, act: ClientAction, t: SimTime) {
         match act {
-            ClientAction::Send(req) => {
-                let wire = req.encode();
-                let c = &mut self.clients[ci];
-                c.mem.write(c.req_mr.gpa, &wire).expect("request bytes");
-                c.outstanding.insert(req.id & 0xFFFF_FFFF, req.sent_at);
-                let wr = WorkRequest {
-                    wr_id: req.id,
-                    opcode: Opcode::Send,
-                    lkey: c.req_mr.lkey,
-                    local_gpa: c.req_mr.gpa,
-                    len: REQUEST_WIRE_BYTES,
-                    remote: None,
-                    imm: 0,
-                    signaled: false,
-                };
-                let qp = c.qp;
-                self.fabric
-                    .post_send(self.node_cli, qp, wr, t)
-                    .expect("request posts");
-            }
+            ClientAction::Send(req) => self.post_request(ci, req, 1, t),
             ClientAction::ArmTimer(at) => {
                 self.queue
                     .schedule_at(at.max(t), Ev::ClientTimer { client: ci });
@@ -815,15 +965,79 @@ impl World {
         }
     }
 
+    /// Posts (or re-posts, for `attempts > 1`) a client request: writes
+    /// the wire bytes, tracks it as outstanding, arms the response
+    /// deadline (faulted runs only — clean runs never time out, and the
+    /// extra calendar entries would break their byte-identity contract),
+    /// and rings the doorbell. A post rejected mid-reconnect is not
+    /// fatal: the request stays outstanding and its timeout re-issues it.
+    fn post_request(&mut self, ci: usize, req: TransactionRequest, attempts: u32, t: SimTime) {
+        let key = req.id & 0xFFFF_FFFF;
+        let timeout = if self.faults_on {
+            Some(self.queue.schedule_at(
+                t + REQUEST_TIMEOUT,
+                Ev::RequestTimeout {
+                    client: ci,
+                    req_id: key,
+                },
+            ))
+        } else {
+            None
+        };
+        let wire = req.encode();
+        let qp;
+        let wr;
+        {
+            let c = &mut self.clients[ci];
+            c.mem.write(c.req_mr.gpa, &wire).expect("request bytes");
+            wr = WorkRequest {
+                wr_id: req.id,
+                opcode: Opcode::Send,
+                lkey: c.req_mr.lkey,
+                local_gpa: c.req_mr.gpa,
+                len: REQUEST_WIRE_BYTES,
+                remote: None,
+                imm: 0,
+                signaled: false,
+            };
+            qp = c.qp;
+            c.outstanding.insert(
+                key,
+                Pending {
+                    req,
+                    attempts,
+                    timeout,
+                },
+            );
+        }
+        match self.fabric.post_send(self.node_cli, qp, wr, t) {
+            Ok(()) => {}
+            Err(e) if self.faults_on => {
+                if self.tracer.enabled() {
+                    self.tracer.instant(
+                        t,
+                        subsystem::RECOVERY,
+                        "post_rejected",
+                        Scope::Qp(qp.raw()),
+                        vec![("error", format!("{e:?}").into())],
+                    );
+                }
+            }
+            Err(e) => panic!("request posts: {e:?}"),
+        }
+    }
+
     /// One ResEx charging interval: gather IBMon + XenStat + agent data,
     /// run the policy, actuate caps, record traces.
     fn on_resex_interval(&mut self, t: SimTime) {
-        let interval = self
-            .manager
-            .as_ref()
-            .expect("tick implies manager")
-            .config()
-            .interval;
+        let (interval, force_after) = {
+            let cfg = self
+                .manager
+                .as_ref()
+                .expect("tick implies manager")
+                .config();
+            (cfg.interval, cfg.watchdog_actuation_failures)
+        };
         let record_metrics = self.cfg.obs.metrics;
         let mut snapshots = Vec::with_capacity(self.vms.len());
         let mut rows: Vec<IntervalSnapshot> = Vec::new();
@@ -936,11 +1150,13 @@ impl World {
             let ManagerAction::SetCap { vm, cap_pct } = *action;
             let dom = self.vms[vm.index()].dom;
             match self.hv.privileged_set_cap(self.dom0, dom, cap_pct, t) {
-                Ok(()) => {}
+                Ok(()) => self.actuation_streak[vm.index()] = 0,
                 Err(HvError::ActuationFailed(_)) => {
                     // Transient injected failure: the cap stays where it
-                    // was; the policy re-decides next interval, so no
-                    // retry bookkeeping is needed.
+                    // was and the policy re-decides next interval — until
+                    // the failures run long enough that the watchdog
+                    // escalates to the forced actuation path.
+                    self.actuation_streak[vm.index()] += 1;
                     if self.tracer.enabled() {
                         self.tracer.instant(
                             t,
@@ -950,9 +1166,31 @@ impl World {
                             vec![("cap_pct", cap_pct.into())],
                         );
                     }
+                    if force_after > 0 && self.actuation_streak[vm.index()] >= force_after {
+                        self.actuation_streak[vm.index()] = 0;
+                        self.hv
+                            .privileged_force_cap(self.dom0, dom, cap_pct, t)
+                            .expect("dom0 forces caps");
+                        self.metrics[vm.index()].watchdog_trips += 1;
+                        if self.tracer.enabled() {
+                            self.tracer.instant(
+                                t,
+                                subsystem::RECOVERY,
+                                "watchdog_force_cap",
+                                Scope::Vm(vm.raw()),
+                                vec![
+                                    ("cap_pct", cap_pct.into()),
+                                    ("failures", u64::from(force_after).into()),
+                                ],
+                            );
+                        }
+                    }
                 }
                 Err(e) => panic!("dom0 sets caps: {e}"),
             }
+        }
+        for vm in &outcome.watchdog_trips {
+            self.metrics[vm.index()].watchdog_trips += 1;
         }
         for charge in &outcome.charges {
             self.metrics[charge.vm.index()]

@@ -42,3 +42,27 @@ fn fig9_sweep_is_reproducible_on_the_pool() {
         "same sweep, same pool, different JSON — scheduling leaked into results"
     );
 }
+
+/// The recovery layer must not leak scheduling either: a flapping-link
+/// sweep — reconnects, replays, retries and all — serializes to the same
+/// bytes run after run on the work-stealing pool. (Sequential-vs-parallel
+/// across processes is covered by `crates/bench/tests/determinism.rs` and
+/// the `ci.sh` soak gate; this catches in-process ordering leaks, which
+/// is where recovery state like the CM journal would first show.)
+#[test]
+fn flapping_fig9_sweep_is_reproducible_on_the_pool() {
+    pool4();
+    let mut scale = short();
+    scale.faults = resex_faults::FaultSpec::parse("loss=0.01,flap_ms=50,flap_down_us=2000,seed=7")
+        .expect("valid spec");
+    let first = serde_json::to_string(&fig9::run(&scale)).expect("serialize");
+    let second = serde_json::to_string(&fig9::run(&scale)).expect("serialize");
+    assert!(
+        first.contains("recovery"),
+        "a flapping run must report recovery totals: {first}"
+    );
+    assert_eq!(
+        first, second,
+        "same flapping sweep, same pool, different JSON — recovery state leaked scheduling"
+    );
+}

@@ -1,0 +1,76 @@
+//! Recovery-layer claims: a flapping link is survived end to end with
+//! nothing permanently lost, and the manager watchdog unsticks a jammed
+//! actuation path instead of decaying forever.
+
+use resex_faults::{FaultSchedule, FaultSpec};
+use resex_platform::{run_scenario, PolicyKind, ScenarioConfig};
+use resex_simcore::time::SimDuration;
+
+/// The canonical managed contention case at a short span (the same shape
+/// `tests/fault_claims.rs` uses).
+fn managed_cfg() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::IoShares);
+    cfg.duration = SimDuration::from_millis(600);
+    cfg.warmup = SimDuration::from_millis(100);
+    cfg
+}
+
+/// Six 30 ms outages plus 1 % background loss over 600 ms: every outage
+/// exhausts the transport retry budget (7 × 50 µs) and breaks QPs, and is
+/// long enough that requests caught in it blow their 10 ms deadline. The
+/// connection manager reconnects, journaled sends replay, timed-out
+/// requests re-issue — and nothing is permanently lost.
+#[test]
+fn a_flapping_link_is_survived_without_losing_requests() {
+    let mut cfg = managed_cfg();
+    cfg.faults = FaultSchedule::from(
+        FaultSpec::parse("loss=0.01,flap_ms=100,flap_down_us=30000,seed=7").unwrap(),
+    );
+    let run = run_scenario(cfg);
+    let t = run.recovery_totals();
+    assert_eq!(t.lost_requests, 0, "the recovery layer's target: {t:?}");
+    assert!(
+        t.reconnects >= 1,
+        "a 2 ms outage must break and heal at least one QP: {t:?}"
+    );
+    assert!(
+        t.replayed >= 1,
+        "journaled sends replay through the reconnect: {t:?}"
+    );
+    assert!(
+        t.retries >= 1,
+        "requests caught in the outage re-issue after their deadline: {t:?}"
+    );
+    // The workload kept flowing through every outage. (The 2MB streamer
+    // moves ~2048 MTUs per response, so its absolute count is low even
+    // healthy; what matters is that neither loop wedged.)
+    for vm in &run.vms {
+        assert!(
+            vm.served > 20,
+            "{} stalled at {} served requests",
+            vm.name,
+            vm.served
+        );
+    }
+}
+
+/// With every fast-path cap actuation failing, the actuation watchdog
+/// escalates to the forced (reliable) path after M consecutive failures —
+/// so caps still land instead of drifting unactuated forever.
+#[test]
+fn the_watchdog_unsticks_a_jammed_actuation_path() {
+    // FreeMarket walks the depleted interferer's cap down one decrement
+    // per interval — a dense stream of actuations for the fault plane to
+    // jam. IoShares at this span issues too few to build a streak.
+    let mut cfg = ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::FreeMarket);
+    cfg.duration = SimDuration::from_millis(1200);
+    cfg.warmup = SimDuration::from_millis(100);
+    cfg.faults = FaultSchedule::from(FaultSpec::parse("capfail=1.0,seed=5").unwrap());
+    let run = run_scenario(cfg);
+    let t = run.recovery_totals();
+    assert!(
+        t.watchdog_trips >= 1,
+        "a fully jammed actuation path must trip the watchdog: {t:?}"
+    );
+    assert_eq!(t.lost_requests, 0, "control-plane faults lose no requests");
+}
