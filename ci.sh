@@ -36,6 +36,18 @@ RESEX_THREADS="$PAR_THREADS" "$REPRO" fig9 --quick --json "$TMP/fig9_par.json" >
 cmp "$TMP/fig9_seq.json" "$TMP/fig9_par.json"
 echo "    byte-identical"
 
+echo "==> zero-perturbation gate: profiled fig9 JSON byte-identical to unprofiled"
+# The DES self-profiler must be a pure observer: running fig9 under
+# `repro profile` may not change a byte of the figure data.
+RESEX_THREADS=1 "$REPRO" profile fig9 --quick --json "$TMP/fig9_prof.json" \
+    --profile-json "$TMP/fig9_report.json" >/dev/null 2>&1
+cmp "$TMP/fig9_seq.json" "$TMP/fig9_prof.json"
+grep -q '"schema": "resex-profile-v1"' "$TMP/fig9_report.json" || {
+    echo "    FAIL: profile report missing schema"; exit 1; }
+grep -q '"name": "FabricSync"' "$TMP/fig9_report.json" || {
+    echo "    FAIL: profile report event-type table is empty"; exit 1; }
+echo "    byte-identical; profile report parsed with a populated event-type table"
+
 echo "==> fault-matrix smoke: fig9 --quick under 1% loss, 3 fault seeds"
 for seed in 1 2 3; do
     "$REPRO" fig9 --quick --faults "loss=0.01,skip=0.02,capfail=0.02,seed=$seed" \
@@ -77,14 +89,30 @@ RESEX_THREADS=1 "$REPRO" all --quick >/dev/null
 t1=$(date +%s.%N)
 RESEX_THREADS="$PAR_THREADS" "$REPRO" all --quick >/dev/null
 t2=$(date +%s.%N)
-awk -v t0="$t0" -v t1="$t1" -v t2="$t2" -v par="$PAR_THREADS" -v cores="$(nproc)" '
+GIT_REV="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+awk -v t0="$t0" -v t1="$t1" -v t2="$t2" -v par="$PAR_THREADS" -v cores="$(nproc)" \
+    -v rev="$GIT_REV" '
 BEGIN {
     seq = t1 - t0; parallel = t2 - t1;
     printf "    sequential (RESEX_THREADS=1):   %6.2f s\n", seq;
     printf "    parallel   (RESEX_THREADS=%d):   %6.2f s\n", par, parallel;
     printf "    speedup: %.2fx on %d core(s)\n", seq / parallel, cores;
-    printf "{\n  \"bench\": \"repro all --quick\",\n  \"cores\": %d,\n  \"threads_parallel\": %d,\n  \"sequential_s\": %.3f,\n  \"parallel_s\": %.3f,\n  \"speedup\": %.3f\n}\n", cores, par, seq, parallel, seq / parallel > "BENCH_sweep.json";
+    printf "{\n  \"bench\": \"repro all --quick\",\n  \"git_rev\": \"%s\",\n  \"flags\": \"all --quick\",\n  \"cores\": %d,\n  \"threads_parallel\": %d,\n  \"sequential_s\": %.3f,\n  \"parallel_s\": %.3f,\n  \"speedup\": %.3f\n}\n", rev, cores, par, seq, parallel, seq / parallel > "BENCH_sweep.json";
 }'
 echo "    wrote BENCH_sweep.json"
+
+echo "==> perf profile: repro profile all --quick -> BENCH_profile.json"
+# The committed perf artifact: merged self-profile of the whole sweep
+# (top event types by self-time, allocs/event, events/sec, per-target
+# wall-clock) stamped with git revision + thread count.
+RESEX_THREADS="$PAR_THREADS" "$REPRO" profile all --quick \
+    --profile-json BENCH_profile.json >/dev/null 2>&1
+grep -q '"schema": "resex-profile-v1"' BENCH_profile.json || {
+    echo "    FAIL: BENCH_profile.json missing schema"; exit 1; }
+grep -q '"git_rev"' BENCH_profile.json || {
+    echo "    FAIL: BENCH_profile.json missing provenance"; exit 1; }
+grep -q '"name": "FabricSync"' BENCH_profile.json || {
+    echo "    FAIL: BENCH_profile.json event-type table is empty"; exit 1; }
+echo "    wrote BENCH_profile.json"
 
 echo "==> OK"

@@ -20,8 +20,18 @@
 //! then prints every figure in the canonical order — so stdout and the
 //! JSON document are byte-identical whether the pool has 1 thread
 //! (`RESEX_THREADS=1`) or many. Per-target wall-clock goes to stderr.
+//!
+//! `repro profile [target]` (target defaults to `all`) runs the same
+//! simulations under the DES self-profiler and prints a perf report
+//! instead of the figures: per-event-type self-time, allocations/event,
+//! events/sec, calendar shape. `--profile-json PATH` writes the
+//! machine-readable `ProfileReport`; `--flame PATH` writes a
+//! collapsed-stack file for flamegraph tooling. Profiling never perturbs
+//! the simulation: `--json` output from a profiled run is byte-identical
+//! to an unprofiled one (CI enforces this).
 
 use rayon::prelude::*;
+use resex_bench::report::{build_report, merged_profile, Provenance};
 use resex_platform::experiments::{
     ablation, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, hw_qos, scaling, Scale,
 };
@@ -29,11 +39,19 @@ use resex_platform::{run_scenario_observed, PolicyKind, ScenarioConfig};
 use serde_json::{json, Value};
 use std::io::Write;
 
+/// Count heap allocations per thread so the profiler can attribute them
+/// to event types. Pure delegation to the system allocator plus two
+/// thread-local counter bumps; installed here (a binary decision) rather
+/// than by any library.
+#[global_allocator]
+static ALLOC: resex_obs::alloc::CountingAlloc = resex_obs::alloc::CountingAlloc;
+
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|...|fig9|ablation|hw_qos|scaling|all> \
+        "usage: repro [profile] <fig1|...|fig9|ablation|hw_qos|scaling|all> \
          [--quick|--full] [--duration-ms N] [--warmup-ms N] \
-         [--json PATH] [--trace PATH] [--metrics PATH] [--faults SPEC]\n\
+         [--json PATH] [--trace PATH] [--metrics PATH] [--faults SPEC] \
+         [--profile-json PATH] [--flame PATH]\n\
          fault SPEC: comma list of seed=N loss=P corrupt=P delay=P \
 delay_us=N tear=P skip=P stale=P capfail=P flap_ms=N flap_down_us=N"
     );
@@ -140,15 +158,25 @@ fn main() {
         usage();
     }
     let mut target = None;
+    let mut profile_mode = false;
+    let mut mode = "quick";
     let mut scale = Scale::quick();
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut profile_json_path: Option<String> = None;
+    let mut flame_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => scale = Scale::quick(),
-            "--full" => scale = Scale::full(),
+            "--quick" => {
+                scale = Scale::quick();
+                mode = "quick";
+            }
+            "--full" => {
+                scale = Scale::full();
+                mode = "full";
+            }
             // Span overrides on top of the selected scale; mainly for the
             // determinism test suite, which wants the same sweep *shape*
             // over a shorter simulated span.
@@ -182,6 +210,14 @@ fn main() {
                 i += 1;
                 metrics_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--profile-json" => {
+                i += 1;
+                profile_json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--flame" => {
+                i += 1;
+                flame_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "--faults" => {
                 i += 1;
                 let spec = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
@@ -190,12 +226,20 @@ fn main() {
                     usage()
                 });
             }
+            "profile" if !profile_mode && target.is_none() => profile_mode = true,
             t if target.is_none() => target = Some(t.to_string()),
             _ => usage(),
         }
         i += 1;
     }
-    let target = target.unwrap_or_else(|| usage());
+    // `repro profile` with no explicit target profiles the whole suite.
+    let target = target.unwrap_or_else(|| {
+        if profile_mode {
+            "all".to_string()
+        } else {
+            usage()
+        }
+    });
 
     let targets: Vec<&str> = if target == "all" {
         vec![
@@ -205,6 +249,15 @@ fn main() {
     } else {
         vec![target.as_str()]
     };
+
+    // Arm the global profiler *before* any world is built so every
+    // simulation the targets run submits its per-thread profile. The
+    // simulations themselves are untouched: profiling reads host
+    // monotonic clocks outside the DES clock, so the figure data (and
+    // any --json output) stays byte-identical to an unprofiled run.
+    if profile_mode {
+        resex_obs::profiler::set_global_enabled(true);
+    }
 
     // Compute every target on the pool (each target also parallelizes its
     // own sweep), then print in canonical order: output is byte-identical
@@ -219,15 +272,24 @@ fn main() {
         })
         .collect();
     let wall = t_all.elapsed().as_secs_f64();
+    if profile_mode {
+        resex_obs::profiler::set_global_enabled(false);
+    }
 
     let mut doc = serde_json::Map::new();
     for (t, out, secs) in &computed {
-        out.print();
+        // Profile mode prints the perf report instead of the figures; the
+        // figure data still lands in --json, byte-identical.
+        if !profile_mode {
+            out.print();
+        }
         eprintln!("[{t} done in {secs:.1}s]\n");
         if let Value::Object(m) = out.json(t) {
             doc.extend(m);
         }
-        println!();
+        if !profile_mode {
+            println!();
+        }
     }
     if computed.len() > 1 {
         eprintln!(
@@ -242,6 +304,34 @@ fn main() {
         serde_json::to_writer_pretty(&mut f, &Value::Object(doc)).expect("write json");
         writeln!(f).ok();
         eprintln!("wrote {path}");
+    }
+
+    if profile_mode {
+        let per_thread = resex_obs::profiler::drain();
+        let timings: Vec<(String, f64)> = computed
+            .iter()
+            .map(|(t, _, secs)| (t.to_string(), *secs))
+            .collect();
+        let report = build_report(
+            &target,
+            mode,
+            Provenance::capture(args.clone()),
+            &per_thread,
+            wall,
+            &timings,
+        );
+        report.print();
+        if let Some(path) = profile_json_path {
+            let mut f = std::fs::File::create(&path).expect("create profile json output");
+            serde_json::to_writer_pretty(&mut f, &report).expect("write profile json");
+            writeln!(f).ok();
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = flame_path {
+            std::fs::write(&path, merged_profile(&per_thread).collapsed())
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
     }
 
     if trace_path.is_some() || metrics_path.is_some() {

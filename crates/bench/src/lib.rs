@@ -6,4 +6,8 @@
 //!   whole-figure wall-clock (`figures`), and fidelity/cost ablations
 //!   (`ablation`).
 //! * `src/bin/repro.rs`: regenerates every figure of the paper —
-//!   `cargo run -p resex-bench --release --bin repro -- all`.
+//!   `cargo run -p resex-bench --release --bin repro -- all` — and, as
+//!   `repro profile [target]`, runs the same figures under the DES
+//!   self-profiler and emits the [`report::ProfileReport`] perf artifact.
+
+pub mod report;

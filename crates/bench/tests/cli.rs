@@ -43,6 +43,105 @@ fn repro_runs_one_figure_and_emits_json() {
 }
 
 #[test]
+fn repro_profile_emits_report_and_does_not_perturb_figures() {
+    let tmp = std::env::temp_dir();
+    let plain_json = tmp.join("resex_profile_plain.json");
+    let prof_json = tmp.join("resex_profile_observed.json");
+    let report_json = tmp.join("resex_profile_report.json");
+    let flame = tmp.join("resex_profile_flame.txt");
+    let span = ["--quick", "--duration-ms", "60", "--warmup-ms", "10"];
+
+    // Baseline: unprofiled fig9 figure data.
+    let out = repro()
+        .args(["fig9"])
+        .args(span)
+        .arg("--json")
+        .arg(&plain_json)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Same run under the profiler, plus report + flame artifacts.
+    let out = repro()
+        .args(["profile", "fig9"])
+        .args(span)
+        .arg("--json")
+        .arg(&prof_json)
+        .arg("--profile-json")
+        .arg(&report_json)
+        .arg("--flame")
+        .arg(&flame)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Zero-perturbation: profiling must not change the simulation.
+    assert_eq!(
+        std::fs::read(&plain_json).unwrap(),
+        std::fs::read(&prof_json).unwrap(),
+        "profiled fig JSON must be byte-identical to unprofiled"
+    );
+
+    // Profile mode prints the perf report instead of the figure.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("profile: fig9 (quick)"), "stdout: {stdout}");
+    assert!(stdout.contains("events/s"), "stdout: {stdout}");
+    assert!(!stdout.contains("Figure 9"), "figures suppressed: {stdout}");
+
+    // The machine-readable report parses and is populated.
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report_json).unwrap()).unwrap();
+    assert_eq!(report["schema"].as_str(), Some("resex-profile-v1"));
+    assert_eq!(report["target"].as_str(), Some("fig9"));
+    assert!(!report["provenance"]["git_rev"].as_str().unwrap().is_empty());
+    assert!(report["provenance"]["threads"].as_u64().unwrap() >= 1);
+    let event_types = report["event_types"].as_array().unwrap();
+    assert!(!event_types.is_empty(), "event-type table populated");
+    let names: Vec<&str> = event_types
+        .iter()
+        .map(|e| e["name"].as_str().unwrap())
+        .collect();
+    assert!(names.contains(&"FabricSync"), "names: {names:?}");
+    assert!(report["totals"]["events"].as_u64().unwrap() > 0);
+    assert!(report["totals"]["allocs"].as_u64().unwrap() > 0);
+    assert_eq!(report["targets"][0]["target"].as_str(), Some("fig9"));
+
+    // The flamegraph export is collapsed-stack formatted: `chain value`.
+    let folded = std::fs::read_to_string(&flame).unwrap();
+    assert!(!folded.is_empty());
+    for line in folded.lines() {
+        let (chain, value) = line.rsplit_once(' ').expect("chain <self_ns>");
+        assert!(!chain.is_empty());
+        value.parse::<u64>().expect("numeric self-time");
+    }
+    assert!(folded.lines().any(|l| l.starts_with("FabricSync;")));
+
+    for p in [&plain_json, &prof_json, &report_json, &flame] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn repro_profile_defaults_to_all_targets() {
+    // `repro profile` with no target is valid (defaults to `all`); just
+    // check argument parsing, not a full run: an invalid extra flag after
+    // `profile` must still be rejected.
+    let out = repro().args(["profile", "--bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "stderr: {err}");
+    assert!(err.contains("profile"), "usage mentions profile: {err}");
+}
+
+#[test]
 fn simulate_template_roundtrips_through_a_run() {
     let out = simulate().arg("--template").output().unwrap();
     assert!(out.status.success());

@@ -1,0 +1,371 @@
+//! HDR-style latency histograms with a byte-stable binary encoding.
+//!
+//! [`HdrHistogram`] is a thin layer over `resex-simcore`'s log-linear
+//! [`Histogram`] — the bucket math (and therefore every quantile and
+//! `linear_bins` answer) is *bit-identical* to the simcore type, which is
+//! what lets the platform swap its unbounded per-request `Vec` for this
+//! fixed-memory structure without changing a single figure byte. On top
+//! of the simcore core it adds:
+//!
+//! * the percentile set the SLO story needs (p50/p90/p99/p99.9),
+//! * a byte-stable binary [`HdrHistogram::encode`]/[`HdrHistogram::decode`]
+//!   pair (sparse buckets, little-endian, floats as raw bits) so encoded
+//!   histograms can be diffed, merged offline, and shipped in artifacts,
+//! * [`HdrHistogram::bucket_bounds`], the contract tests use to assert
+//!   "within one bucket of the exact quantile".
+//!
+//! Memory is bounded by construction: `64 × sub_buckets` counters cover
+//! the whole `u64` range, so a million-request run costs the same bytes
+//! as a thousand-request run.
+
+use resex_simcore::stats::{Histogram, OnlineStats};
+use std::fmt;
+
+/// Magic prefix of the binary encoding (version 1).
+const MAGIC: &[u8; 4] = b"RXH1";
+
+/// A mergeable, fixed-memory latency histogram (values in nanoseconds by
+/// convention, though the type is unit-agnostic).
+#[derive(Clone, Debug)]
+pub struct HdrHistogram {
+    inner: Histogram,
+}
+
+/// The percentile set reported per VM.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyPercentiles {
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+/// Why a byte slice failed to decode as a histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The magic prefix is missing or names an unknown version.
+    BadMagic,
+    /// The input ended before the declared content.
+    Truncated,
+    /// A field is structurally invalid (bad resolution, index range).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "bad magic (not an RXH1 histogram)"),
+            CodecError::Truncated => write!(f, "truncated histogram encoding"),
+            CodecError::Invalid(what) => write!(f, "invalid histogram encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl HdrHistogram {
+    /// Creates a histogram with the given sub-bucket resolution (per
+    /// octave, power of two). 32 sub-buckets ≈ 3% worst-case quantile
+    /// error.
+    pub fn new(sub_buckets: u32) -> Self {
+        HdrHistogram {
+            inner: Histogram::new(sub_buckets),
+        }
+    }
+
+    /// The default resolution (32 sub-buckets) — identical bucket edges
+    /// to `Histogram::with_default_resolution`.
+    pub fn with_default_resolution() -> Self {
+        HdrHistogram {
+            inner: Histogram::with_default_resolution(),
+        }
+    }
+
+    /// Records a value.
+    pub fn record(&mut self, v: u64) {
+        self.inner.record(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.inner.count()
+    }
+
+    /// Mean of recorded values (exact, from the running stats).
+    pub fn mean(&self) -> f64 {
+        self.inner.mean()
+    }
+
+    /// Population standard deviation of recorded values (exact).
+    pub fn std_dev(&self) -> f64 {
+        self.inner.std_dev()
+    }
+
+    /// Smallest recorded value (exact).
+    pub fn min(&self) -> u64 {
+        self.inner.min()
+    }
+
+    /// Largest recorded value (exact).
+    pub fn max(&self) -> u64 {
+        self.inner.max()
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, accurate to the bucket width.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.inner.quantile(q)
+    }
+
+    /// p50/p90/p99/p99.9 in one call.
+    pub fn percentiles(&self) -> LatencyPercentiles {
+        LatencyPercentiles {
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+        }
+    }
+
+    /// The half-open bucket interval `[low, high)` containing `v`. The
+    /// histogram's quantile answer for data containing `v` at that rank is
+    /// exactly `low`, so exact-vs-histogram comparisons can assert
+    /// containment instead of an arbitrary epsilon.
+    pub fn bucket_bounds(&self, v: u64) -> (u64, u64) {
+        self.inner.bucket_bounds(v)
+    }
+
+    /// Iterates non-empty buckets as `(bucket_low, count)` pairs.
+    pub fn iter_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.inner.iter_buckets()
+    }
+
+    /// Bins recorded values onto a fixed linear grid — byte-identical to
+    /// `Histogram::linear_bins` on the same data.
+    pub fn linear_bins(&self, lo: u64, hi: u64, n: usize) -> Vec<(u64, u64)> {
+        self.inner.linear_bins(lo, hi, n)
+    }
+
+    /// Merges another histogram with the same resolution.
+    ///
+    /// # Panics
+    /// If resolutions differ.
+    pub fn merge(&mut self, other: &HdrHistogram) {
+        self.inner.merge(&other.inner);
+    }
+
+    /// Resets all counts.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Encodes the histogram to a byte-stable binary form: identical
+    /// histogram state always produces identical bytes (little-endian
+    /// integers, floats as raw IEEE-754 bits, buckets sparse and in index
+    /// order). Layout:
+    ///
+    /// ```text
+    /// "RXH1" | u32 sub_buckets | u64 underflow
+    ///        | u64 n | f64 mean | f64 m2 | f64 min | f64 max   (raw bits)
+    ///        | u32 n_buckets | n_buckets × (u32 index, u64 count)
+    /// ```
+    pub fn encode(&self) -> Vec<u8> {
+        let buckets: Vec<(usize, u64)> = self.inner.iter_indexed().collect();
+        let mut out = Vec::with_capacity(4 + 4 + 8 + 5 * 8 + 4 + buckets.len() * 12);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.inner.sub_buckets().to_le_bytes());
+        out.extend_from_slice(&self.inner.underflow().to_le_bytes());
+        let s = self.inner.stats();
+        out.extend_from_slice(&s.count().to_le_bytes());
+        for f in [s.mean(), s.m2(), s.min(), s.max()] {
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&(buckets.len() as u32).to_le_bytes());
+        for (idx, count) in buckets {
+            out.extend_from_slice(&(idx as u32).to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes an [`HdrHistogram::encode`] byte string. Round-trips
+    /// bit-exactly: `decode(encode(h))` has the same counts, quantiles,
+    /// and running stats (to the last bit) as `h`.
+    pub fn decode(bytes: &[u8]) -> Result<HdrHistogram, CodecError> {
+        let mut r = Reader { bytes, at: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let sub_buckets = r.u32()?;
+        if !sub_buckets.is_power_of_two() {
+            return Err(CodecError::Invalid("sub_buckets not a power of two"));
+        }
+        let underflow = r.u64()?;
+        let n = r.u64()?;
+        let mean = f64::from_bits(r.u64()?);
+        let m2 = f64::from_bits(r.u64()?);
+        let min = f64::from_bits(r.u64()?);
+        let max = f64::from_bits(r.u64()?);
+        let n_buckets = r.u32()? as usize;
+        let max_idx = (64 * sub_buckets) as usize;
+        let mut buckets = Vec::with_capacity(n_buckets);
+        for _ in 0..n_buckets {
+            let idx = r.u32()? as usize;
+            if idx >= max_idx {
+                return Err(CodecError::Invalid("bucket index out of range"));
+            }
+            buckets.push((idx, r.u64()?));
+        }
+        let stats = OnlineStats::from_parts(n, mean, m2, min, max);
+        Ok(HdrHistogram {
+            inner: Histogram::from_parts(sub_buckets, buckets, underflow, stats),
+        })
+    }
+}
+
+impl Default for HdrHistogram {
+    fn default() -> Self {
+        HdrHistogram::with_default_resolution()
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.at.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HdrHistogram {
+        let mut h = HdrHistogram::with_default_resolution();
+        for v in [0u64, 1, 200, 209_000, 209_500, 350_000, 5_000_000] {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_exactly() {
+        let h = sample();
+        let bytes = h.encode();
+        let d = HdrHistogram::decode(&bytes).expect("decodes");
+        assert_eq!(d.count(), h.count());
+        assert_eq!(d.min(), h.min());
+        assert_eq!(d.max(), h.max());
+        assert_eq!(d.mean().to_bits(), h.mean().to_bits());
+        assert_eq!(d.std_dev().to_bits(), h.std_dev().to_bits());
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(d.quantile(q), h.quantile(q), "q={q}");
+        }
+        // Byte-stability: re-encoding the decoded histogram reproduces the
+        // original bytes exactly.
+        assert_eq!(d.encode(), bytes);
+    }
+
+    #[test]
+    fn empty_histogram_round_trips() {
+        let h = HdrHistogram::new(64);
+        let d = HdrHistogram::decode(&h.encode()).expect("decodes");
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.quantile(0.99), 0);
+        assert_eq!(d.encode(), h.encode());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(
+            HdrHistogram::decode(b"nope").unwrap_err(),
+            CodecError::BadMagic
+        );
+        let mut bytes = sample().encode();
+        bytes.truncate(bytes.len() - 3);
+        assert_eq!(
+            HdrHistogram::decode(&bytes).unwrap_err(),
+            CodecError::Truncated
+        );
+        // Corrupt the resolution field.
+        let mut bytes = sample().encode();
+        bytes[4..8].copy_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(
+            HdrHistogram::decode(&bytes).unwrap_err(),
+            CodecError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = HdrHistogram::with_default_resolution();
+        let mut b = HdrHistogram::with_default_resolution();
+        for v in 1..500u64 {
+            a.record(v * 7);
+        }
+        for v in 1..300u64 {
+            b.record(v * 13);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.count(), ba.count());
+        assert_eq!(ab.encode(), ba.encode(), "merge must commute byte-exactly");
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bucket_accurate() {
+        let mut h = HdrHistogram::with_default_resolution();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p = h.percentiles();
+        assert!(p.p50 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.p999);
+        // Exact p99 of 1..=10_000 is 9_900; the histogram answer must be
+        // the low edge of the bucket containing it.
+        let (lo, hi) = h.bucket_bounds(9_900);
+        assert!(lo <= 9_900 && 9_900 < hi);
+        assert_eq!(p.p99, lo);
+    }
+
+    #[test]
+    fn matches_simcore_histogram_bit_for_bit() {
+        // The load-bearing property: the obs-layer histogram and the
+        // simcore histogram must agree on every derived number, or
+        // swapping the platform's percentile path would change figures.
+        let mut a = HdrHistogram::with_default_resolution();
+        let mut b = resex_simcore::stats::Histogram::with_default_resolution();
+        for v in [150_000u64, 208_900, 209_000, 209_100, 399_999, 1_000_000] {
+            a.record(v);
+            b.record(v);
+        }
+        assert_eq!(a.quantile(0.99), b.quantile(0.99));
+        assert_eq!(
+            a.linear_bins(150_000, 400_000, 25),
+            b.linear_bins(150_000, 400_000, 25)
+        );
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+    }
+}

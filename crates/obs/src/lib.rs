@@ -18,18 +18,33 @@
 //!   (one "process" per VM, one "thread" per subsystem), and
 //!   [`snapshot::to_jsonl`] renders per-interval per-VM metric rows as
 //!   JSON Lines.
+//! * [`Profiler`] — a self-profiler for the simulator itself: wall-clock
+//!   cost per event-type chain, calendar sizes, and (when the binary
+//!   installs [`alloc::CountingAlloc`]) allocation counts, with a
+//!   collapsed-stack exporter for flamegraph tooling. Wall-clock reads
+//!   live outside the DES clock, so profiled runs stay byte-identical.
+//! * [`HdrHistogram`] — fixed-memory log-bucketed latency histogram with
+//!   a byte-stable binary encoding; [`SloMonitor`] counts per-interval
+//!   SLO violations against a configured latency threshold.
 //!
 //! Everything here is deterministic: event order is emission order, maps
 //! are ordered, and float formatting is fixed — the same seed produces
 //! byte-identical exports.
 
+pub mod alloc;
 pub mod chrome;
+pub mod hist;
 pub mod metrics;
+pub mod profiler;
+pub mod slo;
 pub mod snapshot;
 pub mod trace;
 
 pub use chrome::export_chrome_trace;
+pub use hist::{CodecError, HdrHistogram, LatencyPercentiles};
 pub use metrics::{MetricKind, MetricSample, MetricsRegistry};
+pub use profiler::{CalendarStats, FrameStats, Profile, Profiler};
+pub use slo::SloMonitor;
 pub use snapshot::{to_jsonl, IntervalSnapshot};
 pub use trace::{ArgValue, EventKind, MemorySink, Scope, TraceEvent, TraceSink, Tracer};
 

@@ -118,6 +118,39 @@ impl MetricsRegistry {
             .record(now, count);
     }
 
+    /// Merges another registry into this one.
+    ///
+    /// Counters add, distributions and rates merge their underlying
+    /// statistics (commutatively — the result is independent of merge
+    /// order), and gauges are last-write-wins: `other`'s value replaces
+    /// ours wherever both registries wrote the same key, matching
+    /// [`MetricsRegistry::gauge_set`] semantics where the merged-in
+    /// registry is the later writer.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, (stats, hist)) in &other.dists {
+            let (s, h) = self
+                .dists
+                .entry(k.clone())
+                .or_insert_with(|| (OnlineStats::new(), Histogram::new(32)));
+            s.merge(stats);
+            h.merge(hist);
+        }
+        for (k, rate) in &other.rates {
+            match self.rates.get_mut(k) {
+                Some(mine) => mine.merge(rate),
+                None => {
+                    self.rates.insert(k.clone(), rate.clone());
+                }
+            }
+        }
+    }
+
     /// Snapshots every metric in deterministic key order.
     ///
     /// Takes `&mut self` because [`WindowedRate::rate_per_sec`] evicts
@@ -177,5 +210,125 @@ impl MetricsRegistry {
             });
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("fabric.link", "vm0", "grants", 10);
+        r.counter_add("hv.sched", "dom1", "reschedules", 3);
+        r.gauge_set("resex.manager", "vm0", "cap_pct", 55.0);
+        for v in [100u64, 200, 300, 4_000] {
+            r.dist_record("ibmon", "vm0", "latency_ns", v);
+        }
+        r.rate_record("fabric.link", "vm0", "msgs", ms(10), 7);
+        r.rate_record("fabric.link", "vm0", "msgs", ms(20), 5);
+        r
+    }
+
+    #[test]
+    fn dist_record_feeds_stats_and_histogram() {
+        let mut r = MetricsRegistry::new();
+        for v in [100u64, 200, 300] {
+            r.dist_record("ibmon", "vm0", "lat", v);
+        }
+        let snap = r.snapshot(ms(0));
+        let d = snap
+            .iter()
+            .find(|s| s.kind == MetricKind::Distribution)
+            .expect("distribution sample");
+        assert_eq!(d.count, 3);
+        assert_eq!(d.value, 200.0);
+        assert_eq!(d.max, 300);
+        assert!(d.p50 <= d.p99 && d.p99 <= d.max);
+    }
+
+    #[test]
+    fn rate_record_windows_and_reports_per_second() {
+        let mut r = MetricsRegistry::new();
+        // 100 ms window: 7+5 events within it at t=20ms.
+        r.rate_record("fabric.link", "vm0", "msgs", ms(10), 7);
+        r.rate_record("fabric.link", "vm0", "msgs", ms(20), 5);
+        let snap = r.snapshot(ms(20));
+        let rate = snap
+            .iter()
+            .find(|s| s.kind == MetricKind::Rate)
+            .expect("rate sample");
+        assert!((rate.value - 120.0).abs() < 1e-9, "12 events / 0.1 s");
+    }
+
+    #[test]
+    fn snapshot_order_is_stable_across_runs() {
+        let keys = |r: &mut MetricsRegistry| {
+            r.snapshot(ms(30))
+                .into_iter()
+                .map(|s| (s.subsystem, s.entity, s.name))
+                .collect::<Vec<_>>()
+        };
+        let a = keys(&mut sample_registry());
+        let b = keys(&mut sample_registry());
+        assert_eq!(a, b);
+        // Kind-major, then key order within a kind.
+        assert_eq!(a[0].0, "fabric.link");
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn merge_is_independent_of_order() {
+        let mk_other = || {
+            let mut r = MetricsRegistry::new();
+            r.counter_add("fabric.link", "vm0", "grants", 4); // overlaps
+            r.counter_add("faults", "global", "injected", 1); // disjoint
+            for v in [500u64, 600] {
+                r.dist_record("ibmon", "vm0", "latency_ns", v); // overlaps
+            }
+            r.rate_record("fabric.link", "vm0", "msgs", ms(15), 2); // overlaps
+            r.gauge_set("hv.sched", "dom1", "credits", 9.0); // disjoint
+            r
+        };
+        let mut ab = sample_registry();
+        ab.merge(&mk_other());
+        let mut ba = mk_other();
+        ba.merge(&sample_registry());
+        // Gauges written by both sides are last-write-wins, so restrict
+        // the equality check to everything except that one overlapping
+        // case — here the gauge keys are disjoint, so full snapshots must
+        // agree exactly.
+        let sa = ab.snapshot(ms(30));
+        let sb = ba.snapshot(ms(30));
+        assert_eq!(sa.len(), sb.len());
+        for (x, y) in sa.iter().zip(&sb) {
+            assert_eq!(
+                (&x.subsystem, &x.entity, &x.name),
+                (&y.subsystem, &y.entity, &y.name)
+            );
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.value.to_bits(), y.value.to_bits(), "{:?}", x.name);
+            assert_eq!(
+                (x.count, x.p50, x.p99, x.max),
+                (y.count, y.p50, y.p99, y.max)
+            );
+        }
+        assert_eq!(ab.counter_value("fabric.link", "vm0", "grants"), 14);
+        assert_eq!(ab.counter_value("faults", "global", "injected"), 1);
+    }
+
+    #[test]
+    fn merge_gauge_overlap_takes_the_merged_in_value() {
+        let mut a = MetricsRegistry::new();
+        a.gauge_set("resex.manager", "vm0", "cap_pct", 40.0);
+        let mut b = MetricsRegistry::new();
+        b.gauge_set("resex.manager", "vm0", "cap_pct", 70.0);
+        a.merge(&b);
+        let snap = a.snapshot(ms(0));
+        assert_eq!(snap[0].value, 70.0);
     }
 }

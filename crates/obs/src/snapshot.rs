@@ -51,6 +51,11 @@ pub struct IntervalSnapshot {
     /// Manager action taken on this VM this interval (e.g. `set_cap:35`,
     /// `none`).
     pub action: String,
+    /// Requests checked against the VM's SLO this interval (0 when the VM
+    /// has no SLO threshold configured).
+    pub slo_checked: u64,
+    /// Of those, requests that exceeded the SLO latency threshold.
+    pub slo_violations: u64,
 }
 
 /// Renders snapshots as JSON Lines: one compact JSON object per row,

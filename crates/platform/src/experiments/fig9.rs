@@ -5,7 +5,7 @@
 //! 64 KiB – 1 MiB; FreeMarket is work-conserving but "does not limit the
 //! latency since it does not have access to that information."
 
-use crate::experiments::{mean_std, Scale};
+use crate::experiments::{mean_std, p99_us, slo_violation_pct, Scale};
 use crate::metrics::RecoveryTotals;
 use crate::scenario::{fmt_size, PolicyKind, ScenarioConfig};
 use crate::world::run_scenario;
@@ -25,6 +25,18 @@ pub struct Fig9Row {
     pub freemarket_us: f64,
     /// IOShares latency, µs.
     pub ioshares_us: f64,
+    /// Base (solo) p99 latency, µs.
+    pub base_p99_us: f64,
+    /// Unmanaged interfered p99 latency, µs.
+    pub interfered_p99_us: f64,
+    /// FreeMarket p99 latency, µs.
+    pub freemarket_p99_us: f64,
+    /// IOShares p99 latency, µs.
+    pub ioshares_p99_us: f64,
+    /// FreeMarket SLO-violation percentage (threshold 2× base SLA mean).
+    pub freemarket_slo_pct: f64,
+    /// IOShares SLO-violation percentage (same threshold).
+    pub ioshares_slo_pct: f64,
 }
 
 /// The full figure.
@@ -60,6 +72,7 @@ pub fn run(scale: &Scale) -> Fig9Result {
     scale.stamp_faults(&mut base_cfg);
     let base = run_scenario(base_cfg);
     let base_us = mean_std(&base, "64KB").0;
+    let base_p99 = p99_us(&base, "64KB");
     let mut recovery = base.recovery_totals();
 
     let rows_and_totals: Vec<(Fig9Row, RecoveryTotals)> = buffers
@@ -93,6 +106,12 @@ pub fn run(scale: &Scale) -> Fig9Result {
                 interfered_us: mean_std(&intf, "64KB").0,
                 freemarket_us: mean_std(&fm, "64KB").0,
                 ioshares_us: mean_std(&ios, "64KB").0,
+                base_p99_us: base_p99,
+                interfered_p99_us: p99_us(&intf, "64KB"),
+                freemarket_p99_us: p99_us(&fm, "64KB"),
+                ioshares_p99_us: p99_us(&ios, "64KB"),
+                freemarket_slo_pct: slo_violation_pct(&fm, "64KB"),
+                ioshares_slo_pct: slo_violation_pct(&ios, "64KB"),
             };
             (row, totals)
         })
@@ -117,6 +136,22 @@ impl Fig9Result {
             println!(
                 "  {:>8} {:>10.1} {:>12.1} {:>12.1} {:>12.1}",
                 r.buffer, r.base_us, r.interfered_us, r.freemarket_us, r.ioshares_us
+            );
+        }
+        println!(
+            "\n  {:>8} {:>10} {:>12} {:>12} {:>12}  (p99 µs / SLO-viol %)",
+            "buffer", "base p99", "unmanaged", "FreeMarket", "IOShares"
+        );
+        for r in &self.rows {
+            println!(
+                "  {:>8} {:>10.1} {:>12.1} {:>6.1}/{:<5.1} {:>6.1}/{:<5.1}",
+                r.buffer,
+                r.base_p99_us,
+                r.interfered_p99_us,
+                r.freemarket_p99_us,
+                r.freemarket_slo_pct,
+                r.ioshares_p99_us,
+                r.ioshares_slo_pct
             );
         }
         let ios_wins = self

@@ -109,6 +109,28 @@ pub fn mean_std(run: &RunMetrics, vm: &str) -> (f64, f64) {
     (s.total.mean(), s.total.population_std_dev())
 }
 
+/// 99th-percentile latency of a named VM, µs (0 if the VM is absent).
+pub fn p99_us(run: &RunMetrics, vm: &str) -> f64 {
+    run.vm(vm)
+        .map(|v| v.histogram.quantile(0.99) as f64 / 1000.0)
+        .unwrap_or(0.0)
+}
+
+/// SLO-violation percentage of a named VM over the whole run (0 when the
+/// VM has no SLO monitor or checked nothing).
+pub fn slo_violation_pct(run: &RunMetrics, vm: &str) -> f64 {
+    run.vm(vm)
+        .and_then(|v| v.slo_stats())
+        .map(|(checked, violations)| {
+            if checked == 0 {
+                0.0
+            } else {
+                100.0 * violations as f64 / checked as f64
+            }
+        })
+        .unwrap_or(0.0)
+}
+
 /// A labelled `(x, y)` series for JSON output.
 #[derive(Clone, Debug, Serialize)]
 pub struct Series {

@@ -1,7 +1,14 @@
 //! Experiment output: everything a figure needs.
+//!
+//! Memory is bounded by construction: latency percentiles come from a
+//! fixed-size [`HdrHistogram`] and the component means from an
+//! incrementally-updated [`LatencySummary`], so a million-request run
+//! costs the same bytes as a thousand-request run. The raw per-request
+//! [`LatencyRecord`] stream is opt-in (`keep_records`) for tests and
+//! tools that need exact-sort ground truth.
 
 use resex_benchex::{LatencyRecord, LatencySummary};
-use resex_simcore::stats::Histogram;
+use resex_obs::{HdrHistogram, SloMonitor};
 use resex_simcore::time::SimDuration;
 use resex_simcore::TimeSeries;
 use serde::Serialize;
@@ -11,10 +18,23 @@ use serde::Serialize;
 pub struct VmMetrics {
     /// VM name (e.g. "64KB", "2MB").
     pub name: String,
-    /// Every post-warmup latency record, in completion order.
+    /// Post-warmup latency records in completion order — **only** kept
+    /// when [`VmMetrics::keep_records`] is set; empty otherwise. Summary
+    /// statistics never depend on this Vec.
     pub records: Vec<LatencyRecord>,
+    /// When true, post-warmup records are retained in `records`
+    /// (unbounded memory — for exact-percentile tests and offline tools).
+    pub keep_records: bool,
+    /// Incremental component summary (total/ptime/ctime/wtime), post-warmup.
+    pub summary: LatencySummary,
     /// Latency histogram (total service time, ns), post-warmup.
-    pub histogram: Histogram,
+    pub histogram: HdrHistogram,
+    /// SLO-violation monitor, present when the VM's spec sets a latency
+    /// threshold. Pure observation — never feeds back into scheduling.
+    pub slo: Option<SloMonitor>,
+    /// Per-interval SLO violation fraction (violations/checked in the
+    /// interval), recorded every charging interval while `slo` is active.
+    pub slo_trace: TimeSeries,
     /// CPU cap over time (sampled every charging interval).
     pub cap_trace: TimeSeries,
     /// Remaining Reso fraction over time (ResEx runs only).
@@ -48,7 +68,11 @@ impl VmMetrics {
         VmMetrics {
             name: name.into(),
             records: Vec::new(),
-            histogram: Histogram::with_default_resolution(),
+            keep_records: false,
+            summary: LatencySummary::new(),
+            histogram: HdrHistogram::with_default_resolution(),
+            slo: None,
+            slo_trace: TimeSeries::new(),
             cap_trace: TimeSeries::new(),
             reso_trace: TimeSeries::new(),
             mtus_trace: TimeSeries::new(),
@@ -64,13 +88,20 @@ impl VmMetrics {
         }
     }
 
-    /// Summary over all post-warmup records.
+    /// Attaches an SLO monitor with the given latency threshold (ns).
+    pub fn enable_slo(&mut self, threshold_ns: u64) {
+        self.slo = Some(SloMonitor::new(threshold_ns));
+    }
+
+    /// Whole-run `(checked, violations)` SLO totals, if monitoring.
+    pub fn slo_stats(&self) -> Option<(u64, u64)> {
+        self.slo.as_ref().map(|m| m.totals())
+    }
+
+    /// Summary over all post-warmup records. Computed incrementally, so
+    /// it is valid whether or not raw records were kept.
     pub fn summary(&self) -> LatencySummary {
-        let mut s = LatencySummary::new();
-        for r in &self.records {
-            s.push(r);
-        }
-        s
+        self.summary.clone()
     }
 }
 
@@ -116,6 +147,7 @@ impl RunMetrics {
             .iter()
             .map(|v| {
                 let s = v.summary();
+                let pct = v.histogram.percentiles();
                 SummaryRow {
                     vm: v.name.clone(),
                     requests: s.count(),
@@ -125,6 +157,9 @@ impl RunMetrics {
                     ptime_us: s.ptime.mean(),
                     ctime_us: s.ctime.mean(),
                     wtime_us: s.wtime.mean(),
+                    p50_us: pct.p50 as f64 / 1000.0,
+                    p90_us: pct.p90 as f64 / 1000.0,
+                    p999_us: pct.p999 as f64 / 1000.0,
                 }
             })
             .collect()
@@ -177,13 +212,25 @@ pub struct SummaryRow {
     pub ctime_us: f64,
     /// Mean I/O wait, µs.
     pub wtime_us: f64,
+    /// Median latency, µs.
+    pub p50_us: f64,
+    /// 90th percentile latency, µs.
+    pub p90_us: f64,
+    /// 99.9th percentile latency, µs.
+    pub p999_us: f64,
 }
 
 /// Helper: record a latency sample into the per-interval timeline.
 pub fn record_latency(metrics: &mut VmMetrics, r: &LatencyRecord, after_warmup: bool) {
     if after_warmup {
-        metrics.records.push(*r);
+        if metrics.keep_records {
+            metrics.records.push(*r);
+        }
+        metrics.summary.push(r);
         metrics.histogram.record(r.total().as_nanos());
+        if let Some(slo) = &mut metrics.slo {
+            slo.observe(r.total().as_nanos());
+        }
     }
     metrics.latency_trace.push(r.at, r.total().as_micros_f64());
 }
@@ -208,10 +255,20 @@ mod tests {
         let mut m = VmMetrics::new("64KB");
         record_latency(&mut m, &rec(10, 200), false);
         record_latency(&mut m, &rec(20, 300), true);
-        assert_eq!(m.records.len(), 1);
+        assert!(m.records.is_empty(), "raw records are opt-in");
         assert_eq!(m.latency_trace.len(), 2);
         assert_eq!(m.summary().total.mean(), 300.0);
         assert_eq!(m.histogram.count(), 1);
+    }
+
+    #[test]
+    fn keep_records_retains_the_raw_stream() {
+        let mut m = VmMetrics::new("64KB");
+        m.keep_records = true;
+        record_latency(&mut m, &rec(10, 200), false);
+        record_latency(&mut m, &rec(20, 300), true);
+        assert_eq!(m.records.len(), 1, "warmup still gates records");
+        assert_eq!(m.summary().count(), 1);
     }
 
     #[test]
@@ -227,6 +284,19 @@ mod tests {
         assert_eq!(rows[0].mean_us, 200.0);
         assert_eq!(rows[0].ctime_us, 100.0);
         assert_eq!(rows[0].ptime_us, 50.0);
+        assert!(rows[0].p50_us <= rows[0].p90_us);
+        assert!(rows[0].p90_us <= rows[0].p99_us);
+        assert!(rows[0].p99_us <= rows[0].p999_us);
+    }
+
+    #[test]
+    fn slo_monitor_counts_post_warmup_only() {
+        let mut m = VmMetrics::new("vm");
+        m.enable_slo(SimDuration::from_micros(250).as_nanos());
+        record_latency(&mut m, &rec(1, 400), false); // warmup: not checked
+        record_latency(&mut m, &rec(2, 200), true); // compliant
+        record_latency(&mut m, &rec(3, 400), true); // violation
+        assert_eq!(m.slo_stats(), Some((2, 1)));
     }
 
     #[test]

@@ -67,6 +67,11 @@ pub struct VmSpec {
     pub weight: u32,
     /// Hardware QoS for this VM's egress flow (None = default best-effort).
     pub qos: Option<QosSpec>,
+    /// SLO latency threshold in µs for violation tracking (absent in
+    /// older scenario files = derive from `sla` when present, else none).
+    /// Pure observation — never feeds back into scheduling.
+    #[serde(default)]
+    pub slo_us: Option<f64>,
 }
 
 impl VmSpec {
@@ -83,6 +88,7 @@ impl VmSpec {
             sla: None,
             weight: 1,
             qos: None,
+            slo_us: None,
         }
     }
 
@@ -112,6 +118,12 @@ impl VmSpec {
         self.qos = Some(qos);
         self
     }
+
+    /// Sets an explicit SLO latency threshold (µs) for violation tracking.
+    pub fn with_slo(mut self, threshold_us: f64) -> Self {
+        self.slo_us = Some(threshold_us);
+        self
+    }
 }
 
 /// Observability switches. Both default to off, which costs ~nothing (a
@@ -126,6 +138,15 @@ pub struct ObsOptions {
     /// Record per-interval per-VM metric snapshots (exported as JSONL).
     #[serde(default)]
     pub metrics: bool,
+    /// Profile the event loop itself (wall-clock self-time per event
+    /// type, calendar sizes, allocation counts). Also forced on for every
+    /// run while `resex_obs::profiler::global_enabled()` is set.
+    #[serde(default)]
+    pub profile: bool,
+    /// Retain raw post-warmup latency records per VM (unbounded memory;
+    /// for exact-percentile tests and offline tools).
+    #[serde(default)]
+    pub keep_records: bool,
 }
 
 impl ObsOptions {

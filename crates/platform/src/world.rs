@@ -37,8 +37,8 @@ use resex_fabric::{
 use resex_hypervisor::{DomainId, HvError, HvEvent, Hypervisor, VcpuId, XenStat};
 use resex_ibmon::{IbMon, IbMonConfig};
 use resex_obs::{
-    export_chrome_trace, subsystem, to_jsonl, IntervalSnapshot, MetricSample, MetricsRegistry,
-    Scope, Tracer,
+    export_chrome_trace, profiler, subsystem, to_jsonl, IntervalSnapshot, MetricSample,
+    MetricsRegistry, Profile, Profiler, Scope, Tracer,
 };
 use resex_simcore::event::{EventKey, EventQueue};
 use resex_simcore::rng::SimRng;
@@ -138,6 +138,10 @@ pub struct World {
     /// Consecutive failed cap actuations per VM, for the watchdog's
     /// escalation to the forced (slow, reliable) actuation path.
     actuation_streak: Vec<u32>,
+    /// Self-profiler for the event loop (wall-clock cost per event type).
+    /// All its clock reads are host-monotonic, outside the DES clock, so
+    /// enabling it never perturbs simulated behaviour.
+    profiler: Profiler,
 }
 
 /// What an observed run produced alongside its [`RunMetrics`].
@@ -151,6 +155,8 @@ pub struct ObservedRun {
     /// Final registry snapshot: every counter/gauge/distribution/rate in
     /// deterministic key order (empty unless `obs.metrics` was set).
     pub summary: Vec<MetricSample>,
+    /// Event-loop self-profile (present iff `obs.profile` was set).
+    pub profile: Option<Profile>,
 }
 
 impl World {
@@ -366,7 +372,19 @@ impl World {
                 outstanding: HashMap::new(),
             });
             cli_qp_to_client.insert(cqp, i);
-            metrics.push(VmMetrics::new(spec.name.clone()));
+            let mut vm_metrics = VmMetrics::new(spec.name.clone());
+            vm_metrics.keep_records = cfg.obs.keep_records;
+            // SLO threshold: explicit `slo_us` wins; otherwise reporting
+            // VMs (those with an SLA) default to 2× their SLA baseline.
+            // Pure observation — the monitor never feeds back into
+            // scheduling, so arming it cannot change a run.
+            let slo_us = spec
+                .slo_us
+                .or_else(|| spec.sla.map(|s| 2.0 * s.base_mean_us));
+            if let Some(us) = slo_us {
+                vm_metrics.enable_slo((us * 1_000.0) as u64);
+            }
+            metrics.push(vm_metrics);
         }
 
         // --- ResEx + IBMon in dom0 ---
@@ -416,6 +434,9 @@ impl World {
         }
 
         let actuation_streak = vec![0u32; vms.len()];
+        // Profiling is on when the scenario asks for it or when the
+        // process-global switch (set by `repro profile`) is armed.
+        let self_profiler = Profiler::new(cfg.obs.profile || profiler::global_enabled());
         World {
             cfg,
             fabric,
@@ -443,6 +464,7 @@ impl World {
             deferred_recvs: Vec::new(),
             deferred_responses: Vec::new(),
             actuation_streak,
+            profiler: self_profiler,
         }
     }
 
@@ -482,27 +504,62 @@ impl World {
         self.queue.schedule_at(SimTime::ZERO + duration, Ev::End);
         self.rearm();
 
+        // Hoisted so the hot loop pays one branch per event when off —
+        // the same pattern the tracer uses.
+        let profiling = self.profiler.is_enabled();
         while let Some((t, ev)) = self.queue.pop() {
             self.events += 1;
+            if profiling {
+                self.profiler.observe(ev_name(&ev), self.queue.len());
+            }
             match ev {
-                Ev::End => break,
+                Ev::End => {
+                    if profiling {
+                        self.profiler.exit();
+                    }
+                    break;
+                }
                 Ev::FabricSync => {
                     if self.fabric_sync.map(|(ft, _)| ft) == Some(t) {
                         self.fabric_sync = None;
                     }
+                    if profiling {
+                        self.profiler.enter("fabric.advance");
+                    }
                     let evs = self.fabric.advance(t);
+                    if profiling {
+                        self.profiler.exit();
+                    }
                     for (et, fe) in evs {
+                        if profiling {
+                            self.profiler.enter(fabric_ev_name(&fe));
+                        }
                         self.on_fabric_event(et, fe, warmup);
+                        if profiling {
+                            self.profiler.exit();
+                        }
                     }
                 }
                 Ev::HvSync => {
                     if self.hv_sync.map(|(ht, _)| ht) == Some(t) {
                         self.hv_sync = None;
                     }
+                    if profiling {
+                        self.profiler.enter("hv.advance");
+                    }
                     let evs = self.hv.advance(t);
+                    if profiling {
+                        self.profiler.exit();
+                    }
                     for (et, he) in evs {
                         let HvEvent::JobDone { dom, .. } = he;
+                        if profiling {
+                            self.profiler.enter("JobDone");
+                        }
                         self.on_compute_done(dom, et);
+                        if profiling {
+                            self.profiler.exit();
+                        }
                     }
                 }
                 Ev::ClientTimer { client } => {
@@ -515,6 +572,9 @@ impl World {
                     self.on_request_timeout(client, req_id, t);
                 }
                 Ev::ResExInterval => self.on_resex_interval(t),
+            }
+            if profiling {
+                self.profiler.exit();
             }
             self.rearm();
         }
@@ -572,6 +632,14 @@ impl World {
         if self.cfg.obs.metrics {
             observed.metrics_jsonl = Some(to_jsonl(&self.snapshots));
             observed.summary = self.registry.snapshot(SimTime::ZERO + duration);
+        }
+        if let Some(profile) = self.profiler.finish() {
+            if profiler::global_enabled() {
+                profiler::submit(profile.clone());
+            }
+            if self.cfg.obs.profile {
+                observed.profile = Some(profile);
+            }
         }
         (out, observed)
     }
@@ -1039,8 +1107,12 @@ impl World {
             (cfg.interval, cfg.watchdog_actuation_failures)
         };
         let record_metrics = self.cfg.obs.metrics;
+        let profiling = self.profiler.is_enabled();
         let mut snapshots = Vec::with_capacity(self.vms.len());
         let mut rows: Vec<IntervalSnapshot> = Vec::new();
+        if profiling {
+            self.profiler.enter("telemetry");
+        }
         for i in 0..self.vms.len() {
             let dom = self.vms[i].dom;
             let usage = self.ibmon.sample_vm(dom, t).expect("introspection reads");
@@ -1140,12 +1212,20 @@ impl World {
             }
         }
         self.xenstat.end_round(t);
+        if profiling {
+            self.profiler.exit();
+            self.profiler.enter("policy");
+        }
 
         let outcome = self
             .manager
             .as_mut()
             .expect("manager present")
             .on_interval(t, &snapshots);
+        if profiling {
+            self.profiler.exit();
+            self.profiler.enter("actuate");
+        }
         for action in &outcome.actions {
             let ManagerAction::SetCap { vm, cap_pct } = *action;
             let dom = self.vms[vm.index()].dom;
@@ -1202,6 +1282,28 @@ impl World {
             let cap = if cap == 0 { 100 } else { cap };
             self.metrics[i].cap_trace.push(t, cap as f64);
         }
+        // Close each monitored VM's SLO interval. `rows` has one entry
+        // per VM whenever `record_metrics` is set (the telemetry loop
+        // above fills it unconditionally in that mode).
+        for (i, m) in self.metrics.iter_mut().enumerate() {
+            if let Some(slo) = &mut m.slo {
+                let (checked, violations) = slo.end_interval();
+                let frac = if checked == 0 {
+                    0.0
+                } else {
+                    violations as f64 / checked as f64
+                };
+                m.slo_trace.push(t, frac);
+                if record_metrics {
+                    rows[i].slo_checked = checked;
+                    rows[i].slo_violations = violations;
+                }
+            }
+        }
+        if profiling {
+            self.profiler.exit();
+            self.profiler.enter("snapshot");
+        }
 
         if record_metrics {
             let policy = self
@@ -1252,8 +1354,34 @@ impl World {
             }
             self.snapshots.append(&mut rows);
         }
+        if profiling {
+            self.profiler.exit();
+        }
         self.interval_count += 1;
         self.queue.schedule_at(t + interval, Ev::ResExInterval);
+    }
+}
+
+/// Stable event-type labels for the self-profiler.
+fn ev_name(ev: &Ev) -> &'static str {
+    match ev {
+        Ev::FabricSync => "FabricSync",
+        Ev::HvSync => "HvSync",
+        Ev::ClientTimer { .. } => "ClientTimer",
+        Ev::RequestTimeout { .. } => "RequestTimeout",
+        Ev::ResExInterval => "ResExInterval",
+        Ev::End => "End",
+    }
+}
+
+/// Stable fabric-event labels for the self-profiler.
+fn fabric_ev_name(ev: &FabricEvent) -> &'static str {
+    match ev {
+        FabricEvent::RecvComplete { .. } => "RecvComplete",
+        FabricEvent::SendComplete { .. } => "SendComplete",
+        FabricEvent::RdmaWriteDelivered { .. } => "RdmaWriteDelivered",
+        FabricEvent::QpReconnected { .. } => "QpReconnected",
+        FabricEvent::RnrDrop { .. } => "RnrDrop",
     }
 }
 

@@ -67,6 +67,103 @@ fn observation_does_not_perturb_the_run() {
 }
 
 #[test]
+fn profiling_does_not_perturb_the_run() {
+    // The self-profiler only reads host monotonic clocks and allocation
+    // counters — never the DES clock — so a profiled run must reproduce
+    // the unprofiled run bit for bit: same events, same rows, same
+    // recorded trace/metrics bytes.
+    let (base_run, base_out) = run_scenario_observed(observed_cfg());
+    assert!(base_out.profile.is_none(), "profile is opt-in");
+    let mut cfg = observed_cfg();
+    cfg.obs.profile = true;
+    let (prof_run, prof_out) = run_scenario_observed(cfg);
+    let profile = prof_out.profile.expect("profile requested");
+
+    assert_eq!(base_run.events_processed, prof_run.events_processed);
+    assert_eq!(base_out.trace_json, prof_out.trace_json);
+    assert_eq!(base_out.metrics_jsonl, prof_out.metrics_jsonl);
+    for (b, p) in base_run.rows().iter().zip(prof_run.rows().iter()) {
+        assert_eq!(b.vm, p.vm);
+        assert_eq!(b.requests, p.requests);
+        assert_eq!(b.mean_us.to_bits(), p.mean_us.to_bits());
+        assert_eq!(b.p99_us.to_bits(), p.p99_us.to_bits());
+    }
+
+    // And the profile itself is populated and self-consistent: one
+    // observation per dispatched event, frames for the event types and
+    // the ResEx phase breakdown.
+    assert_eq!(profile.events, prof_run.events_processed);
+    assert!(!profile.frames.is_empty());
+    assert!(profile.event_types().count() >= 3, "several event types");
+    for chain in ["FabricSync", "HvSync", "ResExInterval;policy"] {
+        assert!(
+            profile.frames.contains_key(chain),
+            "missing frame {chain}: {:?}",
+            profile.frames.keys().collect::<Vec<_>>()
+        );
+    }
+    assert!(profile.calendar.samples == profile.events);
+}
+
+#[test]
+fn hdr_p99_matches_exact_sort_within_one_bucket() {
+    // Fig1's interfered workload produces a broad latency distribution;
+    // the histogram's p99 must land in the same bucket as the exact-sort
+    // p99 over the raw (opt-in) record stream.
+    let mut cfg = ScenarioConfig::interfered(2 * 1024 * 1024);
+    cfg.duration = SimDuration::from_millis(400);
+    cfg.warmup = SimDuration::from_millis(50);
+    cfg.obs.keep_records = true;
+    let run = run_scenario(cfg);
+    let vm = run.vm("64KB").expect("reporter VM");
+    let mut exact: Vec<u64> = vm.records.iter().map(|r| r.total().as_nanos()).collect();
+    assert!(exact.len() > 100, "enough post-warmup samples");
+    assert_eq!(exact.len() as u64, vm.histogram.count());
+    exact.sort_unstable();
+    let rank = ((0.99 * exact.len() as f64).ceil() as usize).max(1);
+    let exact_p99 = exact[rank - 1];
+    let (lo, hi) = vm.histogram.bucket_bounds(exact_p99);
+    assert!(exact_p99 >= lo && exact_p99 < hi);
+    assert_eq!(
+        vm.histogram.quantile(0.99),
+        lo,
+        "histogram p99 must be the lower bound of the bucket holding the exact p99 \
+         (exact={exact_p99}, bucket=[{lo},{hi}))"
+    );
+}
+
+#[test]
+fn slo_counts_match_exact_records() {
+    // The interfered reporter carries an SLA, so the world auto-derives
+    // an SLO threshold for it; the monitor's totals must agree with an
+    // exact count over the raw record stream.
+    let mut cfg = observed_cfg();
+    cfg.obs.keep_records = true;
+    let run = run_scenario(cfg);
+    let vm = run.vm("64KB").expect("reporter VM");
+    let (checked, violations) = vm
+        .slo_stats()
+        .expect("SLA-carrying VM auto-derives an SLO monitor");
+    let threshold = vm.slo.as_ref().unwrap().threshold_ns();
+    assert_eq!(checked, vm.records.len() as u64);
+    let exact = vm
+        .records
+        .iter()
+        .filter(|r| r.total().as_nanos() > threshold)
+        .count() as u64;
+    assert_eq!(violations, exact);
+    // Per-interval violation fractions were recorded and are fractions.
+    assert!(vm.slo_trace.len() > 1);
+    assert!(vm
+        .slo_trace
+        .points()
+        .iter()
+        .all(|&(_, f)| (0.0..=1.0).contains(&f)));
+    // The interferer has no SLA and therefore no monitor.
+    assert!(run.vm("2MB").unwrap().slo.is_none());
+}
+
+#[test]
 fn disabled_observability_returns_no_output() {
     let mut cfg = observed_cfg();
     cfg.obs.trace = false;

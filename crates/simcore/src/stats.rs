@@ -106,6 +106,26 @@ impl OnlineStats {
         self.max
     }
 
+    /// Raw second central moment (Welford's `M2`). Exposed so external
+    /// codecs can round-trip the accumulator bit-exactly.
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Reconstructs an accumulator from its raw parts — the inverse of
+    /// reading `count`/`mean`/`m2`/`min`/`max`. Used by byte-stable
+    /// histogram encodings; feeding back unmodified parts reproduces the
+    /// original state bit-exactly.
+    pub fn from_parts(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        OnlineStats {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.n == 0 {
@@ -166,6 +186,67 @@ impl Histogram {
     /// Creates a histogram with the default resolution (32 sub-buckets).
     pub fn with_default_resolution() -> Self {
         Histogram::new(32)
+    }
+
+    /// Sub-bucket resolution (per octave) this histogram was built with.
+    pub fn sub_buckets(&self) -> u32 {
+        self.sub_buckets
+    }
+
+    /// Number of recorded zero values (kept separately for codecs).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// The exact running statistics over every recorded value.
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+
+    /// Iterates non-empty buckets as `(bucket_index, count)` pairs, in
+    /// index (= value) order. The index form — unlike
+    /// [`Histogram::iter_buckets`] — is lossless, so a codec can rebuild
+    /// the exact bucket array via [`Histogram::from_parts`].
+    pub fn iter_indexed(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// The half-open bucket interval `[low, high)` that contains `v`.
+    /// Every value recorded as `v` is counted in this bucket, and
+    /// [`Histogram::quantile`] answers with some bucket's `low` — so an
+    /// exact quantile and the histogram's answer for the same data always
+    /// land within one bucket of each other.
+    pub fn bucket_bounds(&self, v: u64) -> (u64, u64) {
+        let idx = self.bucket_index(v);
+        (self.bucket_low(idx), self.bucket_low(idx + 1))
+    }
+
+    /// Rebuilds a histogram from the parts exposed by
+    /// [`Histogram::iter_indexed`] / [`Histogram::underflow`] /
+    /// [`Histogram::stats`]. Total count is recomputed from the buckets.
+    ///
+    /// # Panics
+    /// If `sub_buckets` is not a power of two or a bucket index is out of
+    /// range for that resolution.
+    pub fn from_parts(
+        sub_buckets: u32,
+        buckets: impl IntoIterator<Item = (usize, u64)>,
+        underflow: u64,
+        stats: OnlineStats,
+    ) -> Self {
+        let mut h = Histogram::new(sub_buckets);
+        for (idx, count) in buckets {
+            assert!(idx < h.counts.len(), "bucket index {idx} out of range");
+            h.counts[idx] += count;
+            h.total += count;
+        }
+        h.underflow = underflow;
+        h.stats = stats;
+        h
     }
 
     fn bucket_index(&self, v: u64) -> usize {
@@ -484,6 +565,52 @@ mod tests {
         assert_eq!(total, 6);
         // 150 and 155 land in the second bin [150, 200).
         assert_eq!(bins[1].1, 2);
+    }
+
+    #[test]
+    fn stats_from_parts_round_trips_bit_exactly() {
+        let mut s = OnlineStats::new();
+        for x in [3.0, 1.0, 4.0, 1.0, 5.0] {
+            s.push(x);
+        }
+        let r = OnlineStats::from_parts(s.count(), s.mean(), s.m2(), s.min(), s.max());
+        assert_eq!(r.count(), s.count());
+        assert_eq!(r.mean().to_bits(), s.mean().to_bits());
+        assert_eq!(r.m2().to_bits(), s.m2().to_bits());
+        assert_eq!(r.min().to_bits(), s.min().to_bits());
+        assert_eq!(r.max().to_bits(), s.max().to_bits());
+        // Empty accumulators round-trip too (±inf extremes included).
+        let e = OnlineStats::new();
+        let r = OnlineStats::from_parts(e.count(), 0.0, 0.0, e.min(), e.max());
+        assert_eq!(r.min(), f64::INFINITY);
+        assert_eq!(r.max(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn histogram_from_parts_round_trips() {
+        let mut h = Histogram::new(32);
+        for v in [0u64, 1, 31, 32, 209_000, 1_000_000, u64::MAX / 3] {
+            h.record(v);
+        }
+        let r = Histogram::from_parts(h.sub_buckets(), h.iter_indexed(), h.underflow(), *h.stats());
+        assert_eq!(r.count(), h.count());
+        assert_eq!(r.underflow(), h.underflow());
+        assert_eq!(r.quantile(0.5), h.quantile(0.5));
+        assert_eq!(r.quantile(0.99), h.quantile(0.99));
+        assert_eq!(
+            r.iter_indexed().collect::<Vec<_>>(),
+            h.iter_indexed().collect::<Vec<_>>()
+        );
+        assert_eq!(r.mean().to_bits(), h.mean().to_bits());
+    }
+
+    #[test]
+    fn bucket_bounds_contain_the_value() {
+        let h = Histogram::new(32);
+        for v in [0u64, 5, 31, 32, 100, 209_000, u64::MAX / 2] {
+            let (lo, hi) = h.bucket_bounds(v);
+            assert!(lo <= v && v < hi, "v={v} outside [{lo}, {hi})");
+        }
     }
 
     #[test]

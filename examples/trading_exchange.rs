@@ -24,8 +24,11 @@ fn main() {
     cfg.duration = SimDuration::from_secs(4);
     cfg.warmup = SimDuration::from_millis(250);
 
-    // The matching engine: tight SLA, steady quote flow.
-    cfg.vms = vec![VmSpec::server("64KB", 64 * 1024).with_sla(BASE_LATENCY_US, 2.0)];
+    // The matching engine: tight SLA, steady quote flow, and an SLO
+    // threshold 10% above the uncontended baseline for violation tracking.
+    cfg.vms = vec![VmSpec::server("64KB", 64 * 1024)
+        .with_sla(BASE_LATENCY_US, 2.0)
+        .with_slo(BASE_LATENCY_US * 1.1)];
 
     // Market-data fan-out: mixed transactions, mild bursts.
     let mut md = VmSpec::server("256KB", 256 * 1024);
@@ -78,15 +81,19 @@ fn main() {
 
     let sla = BASE_LATENCY_US * 1.1;
     let engine = run.vm("64KB").expect("matching engine");
-    let violations = engine
-        .records
-        .iter()
-        .filter(|r| r.total().as_micros_f64() > sla)
-        .count();
+    let (checked, violations) = engine.slo_stats().expect("SLO monitor armed");
+    let pct = engine.histogram.percentiles();
     println!(
         "\nmatching-engine SLA ({sla:.0} µs): {} of {} requests over ({:.2}%)",
         violations,
-        engine.records.len(),
-        100.0 * violations as f64 / engine.records.len().max(1) as f64
+        checked,
+        100.0 * violations as f64 / checked.max(1) as f64
+    );
+    println!(
+        "latency percentiles: p50={:.0}µs p90={:.0}µs p99={:.0}µs p99.9={:.0}µs",
+        pct.p50 as f64 / 1000.0,
+        pct.p90 as f64 / 1000.0,
+        pct.p99 as f64 / 1000.0,
+        pct.p999 as f64 / 1000.0
     );
 }
