@@ -101,6 +101,21 @@ BEGIN {
 }'
 echo "    wrote BENCH_sweep.json"
 
+echo "==> parallel-speedup gate: pooled sweep must not run slower than sequential"
+# On one core the pool resolves to sequential (see vendor/rayon), so the
+# two legs time the same binary twice — only noise separates them. On a
+# real multi-core host a speedup below 1.0x means the pool actively hurt,
+# which is the bug this gate exists to catch.
+SPEEDUP=$(grep -o '"speedup": [0-9.]*' BENCH_sweep.json | awk '{print $2}')
+CORES=$(nproc)
+if [ "$CORES" -gt 1 ]; then
+    awk -v s="$SPEEDUP" 'BEGIN { exit !(s < 1.0) }' && {
+        echo "    FAIL: parallel sweep slower than sequential (speedup ${SPEEDUP}x on $CORES cores)"; exit 1; }
+    echo "    speedup ${SPEEDUP}x on $CORES cores: ok"
+else
+    echo "    single core: gate not applicable (speedup ${SPEEDUP}x is noise)"
+fi
+
 echo "==> perf profile: repro profile all --quick -> BENCH_profile.json"
 # The committed perf artifact: merged self-profile of the whole sweep
 # (top event types by self-time, allocs/event, events/sec, per-target
@@ -114,5 +129,33 @@ grep -q '"git_rev"' BENCH_profile.json || {
 grep -q '"name": "FabricSync"' BENCH_profile.json || {
     echo "    FAIL: BENCH_profile.json event-type table is empty"; exit 1; }
 echo "    wrote BENCH_profile.json"
+
+echo "==> perf-regression gate: fresh events/sec vs committed BENCH_profile.json"
+# Compares the fresh profile's merged events/sec against the last
+# committed artifact. Shared CI boxes are noisy and thread counts may
+# legitimately differ between commits, so the tolerance is deliberately
+# loose (default: fail below 50% of the committed rate; override with
+# RESEX_PERF_TOL=0.xx). It exists to catch order-of-magnitude
+# regressions, not single-digit drift.
+PERF_TOL="${RESEX_PERF_TOL:-0.5}"
+COMMITTED_EPS=$(git show HEAD:BENCH_profile.json 2>/dev/null     | grep -o '"events_per_sec": [0-9.]*' | awk '{print $2}' || true)
+FRESH_EPS=$(grep -o '"events_per_sec": [0-9.]*' BENCH_profile.json | awk '{print $2}')
+if [ -n "$COMMITTED_EPS" ] && [ -n "$FRESH_EPS" ]; then
+    awk -v f="$FRESH_EPS" -v c="$COMMITTED_EPS" -v tol="$PERF_TOL"         'BEGIN { exit !(f < c * tol) }' && {
+        echo "    FAIL: events/sec regressed: $FRESH_EPS < $PERF_TOL * committed $COMMITTED_EPS"; exit 1; }
+    echo "    events/sec $FRESH_EPS vs committed $COMMITTED_EPS (tolerance ${PERF_TOL}x): ok"
+else
+    echo "    no committed BENCH_profile.json at HEAD: gate skipped"
+fi
+
+echo "==> bench-artifact stamping: both BENCH files must carry the same revision"
+# The two artifacts are only comparable when regenerated together; a
+# mixed pair (one stale, one fresh) silently invalidates the speedup and
+# events/sec numbers recorded above.
+SWEEP_REV=$(grep -o '"git_rev": "[a-z0-9]*"' BENCH_sweep.json | head -1 | cut -d'"' -f4)
+PROF_REV=$(grep -o '"git_rev": "[a-z0-9]*"' BENCH_profile.json | head -1 | cut -d'"' -f4)
+[ "$SWEEP_REV" = "$PROF_REV" ] || {
+    echo "    FAIL: BENCH_sweep.json ($SWEEP_REV) and BENCH_profile.json ($PROF_REV) were stamped at different commits"; exit 1; }
+echo "    both stamped at $SWEEP_REV"
 
 echo "==> OK"

@@ -211,16 +211,22 @@ impl Client {
 
     /// A previously armed timer fired.
     pub fn on_timer(&mut self, now: SimTime) -> Vec<ClientAction> {
+        let mut out = Vec::new();
+        self.on_timer_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Self::on_timer`]: pushes actions into a
+    /// caller-owned scratch buffer instead of returning a fresh `Vec`.
+    pub fn on_timer_into(&mut self, now: SimTime, out: &mut Vec<ClientAction>) {
         match self.mode {
             ClientMode::ClosedLoop { .. } => {
                 // Think-time expiry: send the next request.
-                vec![ClientAction::Send(self.make_request(now))]
+                out.push(ClientAction::Send(self.make_request(now)));
             }
             ClientMode::OpenLoop { interval } => {
-                vec![
-                    ClientAction::Send(self.make_request(now)),
-                    ClientAction::ArmTimer(now + interval),
-                ]
+                out.push(ClientAction::Send(self.make_request(now)));
+                out.push(ClientAction::ArmTimer(now + interval));
             }
         }
     }

@@ -8,7 +8,7 @@
 //! knob ("we refer to an application running within a VM by its configured
 //! buffer size").
 
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{Buf, BufMut};
 use resex_finance::{PricingTask, TaskKind};
 use resex_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -51,7 +51,7 @@ pub struct TransactionResponse {
     pub service_ns: u64,
 }
 
-fn encode_task(task: &PricingTask, buf: &mut BytesMut) {
+fn encode_task(task: &PricingTask, buf: &mut impl BufMut) {
     let (kind, param) = match task.kind {
         TaskKind::Quote => (0u8, 0u32),
         TaskKind::Risk => (1, 0),
@@ -86,17 +86,23 @@ fn decode_task(buf: &mut impl Buf) -> Option<PricingTask> {
 }
 
 impl TransactionRequest {
-    /// Serializes to the wire format.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut buf = BytesMut::with_capacity(REQUEST_WIRE_BYTES as usize);
+    /// Serializes to the wire format without touching the heap — the hot
+    /// path stamps requests onto the stack and DMA-writes from there.
+    pub fn encode_wire(&self) -> [u8; REQUEST_WIRE_BYTES as usize] {
+        let mut wire = [0u8; REQUEST_WIRE_BYTES as usize];
+        let mut buf = &mut wire[..];
         buf.put_u32_le(REQUEST_MAGIC);
         buf.put_u64_le(self.id);
         buf.put_u32_le(self.client_id);
         buf.put_u64_le(self.sent_at.as_nanos());
         encode_task(&self.task, &mut buf);
-        debug_assert_eq!(buf.len(), REQUEST_WIRE_BYTES as usize - 3); // + 3 reserved
-        buf.put_bytes(0, REQUEST_WIRE_BYTES as usize - buf.len());
-        buf.to_vec()
+        debug_assert_eq!(buf.len(), 3); // trailing reserved bytes stay zero
+        wire
+    }
+
+    /// Serializes to the wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        self.encode_wire().to_vec()
     }
 
     /// Parses the wire format; `None` if malformed.
@@ -122,15 +128,23 @@ impl TransactionRequest {
 }
 
 impl TransactionResponse {
-    /// Serializes the header (caller pads to the buffer size).
-    pub fn encode(&self) -> Vec<u8> {
-        let mut buf = BytesMut::with_capacity(RESPONSE_HEADER_BYTES as usize);
+    /// Serializes the header onto the stack (caller pads to the buffer
+    /// size) — allocation-free for the per-response hot path.
+    pub fn encode_wire(&self) -> [u8; RESPONSE_HEADER_BYTES as usize] {
+        let mut wire = [0u8; RESPONSE_HEADER_BYTES as usize];
+        let mut buf = &mut wire[..];
         buf.put_u32_le(RESPONSE_MAGIC);
         buf.put_u64_le(self.id);
         buf.put_u64_le(self.sent_at.as_nanos());
         buf.put_f64_le(self.value_sum);
         buf.put_u64_le(self.service_ns);
-        buf.to_vec()
+        debug_assert!(buf.is_empty());
+        wire
+    }
+
+    /// Serializes the header (caller pads to the buffer size).
+    pub fn encode(&self) -> Vec<u8> {
+        self.encode_wire().to_vec()
     }
 
     /// Parses the header from the start of a (padded) response buffer.

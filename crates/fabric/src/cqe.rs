@@ -244,7 +244,7 @@ impl CompletionQueue {
         let mut raw = [0u8; CQE_SIZE];
         self.mem.read(gpa, &mut raw)?;
         let (cqe, owner) =
-            Cqe::decode(&raw).ok_or(FabricError::Config("corrupt CQE in ring".into()))?;
+            Cqe::decode(&raw).ok_or_else(|| FabricError::Config("corrupt CQE in ring".into()))?;
         debug_assert_eq!(owner, expected_owner, "ownership parity mismatch");
         self.consumed += 1;
         Ok(Some(cqe))

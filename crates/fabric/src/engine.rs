@@ -29,7 +29,7 @@ use crate::types::{Access, CqNum, McGroupId, NodeId, Opcode, PdId, QpNum, QpType
 use crate::uar::Uar;
 use resex_faults::{FabricFaults, FaultSchedule, FaultStats};
 use resex_obs::{subsystem, Scope, Tracer};
-use resex_simcore::event::EventQueue;
+use resex_simcore::event::{EventKey, EventQueue};
 use resex_simcore::ids::IdAllocator;
 use resex_simcore::rng::SimRng;
 use resex_simcore::time::{SimDuration, SimTime};
@@ -153,7 +153,6 @@ enum Timer {
     },
     Deliver {
         job: EgressJob,
-        final_chunk: bool,
     },
     SenderComplete {
         node: NodeId,
@@ -171,6 +170,37 @@ enum Timer {
         node: NodeId,
         qp: QpNum,
     },
+    /// End of a batched multi-grant transfer: every serialization step
+    /// since the batch opened is replayed at its historical time.
+    BatchDone {
+        node: NodeId,
+    },
+}
+
+/// An in-flight batched transfer on one egress link: chunk 0 has been
+/// granted (its plan is held here, its completion effects not yet applied)
+/// and the remaining serialization steps of the same job are represented by
+/// a single `BatchDone` event at the batch's end instead of one `GrantDone`
+/// per chunk. Any interim operation that could observe or perturb link
+/// state settles the batch first (`settle_node`), so observable state never
+/// diverges from the chunk-at-a-time path.
+struct LinkBatch {
+    /// Grant plan of the batch's first chunk (effects still pending).
+    plan0: GrantPlan,
+    /// When the first chunk started serializing.
+    start: SimTime,
+    /// Serialization time of the first chunk (incl. WQE overhead if any).
+    dur0: SimDuration,
+    /// Serialization time of a full-size (grant_bytes) chunk.
+    ser: SimDuration,
+    /// When the final chunk finishes (the `BatchDone` time).
+    fire_end: SimTime,
+    /// The chunk boundary before `fire_end` — the moment the
+    /// chunk-at-a-time execution would have scheduled the final
+    /// completion event (its "arming" time for ordering purposes).
+    prev_end: SimTime,
+    /// The pending `BatchDone` event, cancelled when settling early.
+    timer: EventKey,
 }
 
 /// Connection-manager bookkeeping for one broken QP: everything needed to
@@ -212,6 +242,8 @@ struct Node {
     uar_alloc: IdAllocator<UarId>,
     arbiter: LinkArbiter,
     link_busy: bool,
+    /// Pending batched transfer on this node's egress link, if any.
+    batch: Option<LinkBatch>,
     /// Pending rate-limit retry, if one is scheduled.
     next_retry: Option<SimTime>,
     /// Virtual-clock cursor of the node's *ingress* port: the instant the
@@ -238,6 +270,7 @@ impl Node {
             uar_alloc: IdAllocator::new(),
             arbiter: LinkArbiter::new(),
             link_busy: false,
+            batch: None,
             next_retry: None,
             ingress_free: SimTime::ZERO,
             counters: NodeCounters::default(),
@@ -269,7 +302,15 @@ pub struct Fabric {
     /// Internal inconsistencies caught by the event loop instead of
     /// panicking (timer references to destroyed state and the like).
     internal_errors: Vec<(SimTime, FabricError)>,
+    /// Recycled payload buffers for the copy-under-threshold path: posting
+    /// a small message pops a buffer here instead of allocating, and the
+    /// receive side pushes it back once the bytes have landed.
+    payload_pool: Vec<Vec<u8>>,
 }
+
+/// Upper bound on pooled payload buffers (each at most
+/// `payload_copy_threshold` bytes of capacity).
+const PAYLOAD_POOL_CAP: usize = 64;
 
 impl Fabric {
     /// Creates a fabric with the given configuration.
@@ -289,7 +330,26 @@ impl Fabric {
             recovery: false,
             cm: HashMap::new(),
             internal_errors: Vec::new(),
+            payload_pool: Vec::new(),
         })
+    }
+
+    /// Pops a pooled payload buffer resized (zero-filled) to `len` bytes.
+    fn pool_buf(&mut self, len: usize) -> Vec<u8> {
+        let mut buf = self.payload_pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Returns a consumed payload buffer to the pool (capacity kept).
+    fn recycle_payload(&mut self, buf: Option<Vec<u8>>) {
+        if let Some(mut b) = buf {
+            if self.payload_pool.len() < PAYLOAD_POOL_CAP {
+                b.clear();
+                self.payload_pool.push(b);
+            }
+        }
     }
 
     /// Creates a fabric with default (paper-testbed) parameters.
@@ -459,7 +519,7 @@ impl Fabric {
         let u = n
             .uars
             .get_mut(&uar)
-            .ok_or(FabricError::Config("unknown UAR".into()))?;
+            .ok_or_else(|| FabricError::Config("unknown UAR".into()))?;
         u.assign(num)?;
         n.qp_uar.insert(num, uar);
         n.qps.insert(
@@ -527,7 +587,7 @@ impl Fabric {
         let u = n
             .uars
             .get_mut(&uar)
-            .ok_or(FabricError::Config("unknown UAR".into()))?;
+            .ok_or_else(|| FabricError::Config("unknown UAR".into()))?;
         u.assign(num)?;
         n.qp_uar.insert(num, uar);
         n.qps.insert(
@@ -563,7 +623,7 @@ impl Fabric {
         let members = self
             .mcast_groups
             .get_mut(group.index())
-            .ok_or(FabricError::Config("unknown multicast group".into()))?;
+            .ok_or_else(|| FabricError::Config("unknown multicast group".into()))?;
         if !members.contains(&(node, qp)) {
             members.push((node, qp));
         }
@@ -628,6 +688,7 @@ impl Fabric {
         dst: (NodeId, QpNum),
         now: SimTime,
     ) -> Result<(), FabricError> {
+        self.settle_node(node, now, false);
         if wr.opcode != Opcode::Send {
             return Err(FabricError::BadQpState {
                 qp: qp_num,
@@ -642,6 +703,13 @@ impl Fabric {
         }
         let threshold = self.cfg.payload_copy_threshold;
         let seq = self.job_seq;
+        // Pooled buffer taken before the node borrow; an error path below
+        // simply drops it (rare, and the pool refills on the next recycle).
+        let pooled = if wr.len <= threshold {
+            Some(self.pool_buf(wr.len as usize))
+        } else {
+            None
+        };
         let n = self.node_mut(node)?;
         let payload = {
             let qp = n
@@ -657,8 +725,7 @@ impl Fabric {
             let mem = n
                 .tpt
                 .check(wr.lkey, wr.local_gpa, wr.len, Need::LocalRead, Some(qp.pd))?;
-            if wr.len <= threshold {
-                let mut buf = vec![0u8; wr.len as usize];
+            if let Some(mut buf) = pooled {
                 mem.read(wr.local_gpa, &mut buf)?;
                 Some(buf)
             } else {
@@ -715,8 +782,21 @@ impl Fabric {
         wr: WorkRequest,
         now: SimTime,
     ) -> Result<(), FabricError> {
+        self.settle_node(node, now, false);
         let threshold = self.cfg.payload_copy_threshold;
         let seq = self.job_seq;
+        let copy = wr.len <= threshold
+            && matches!(
+                wr.opcode,
+                Opcode::Send | Opcode::RdmaWrite | Opcode::RdmaWriteImm
+            );
+        // Pooled buffer taken before the node borrow; an error path below
+        // simply drops it (rare, and the pool refills on the next recycle).
+        let pooled = if copy {
+            Some(self.pool_buf(wr.len as usize))
+        } else {
+            None
+        };
         let n = self.node_mut(node)?;
         // Local key validation + optional payload capture.
         let payload = {
@@ -737,13 +817,7 @@ impl Fabric {
             let mem = n
                 .tpt
                 .check(wr.lkey, wr.local_gpa, wr.len, need, Some(qp.pd))?;
-            let copy = wr.len <= threshold
-                && matches!(
-                    wr.opcode,
-                    Opcode::Send | Opcode::RdmaWrite | Opcode::RdmaWriteImm
-                );
-            if copy {
-                let mut buf = vec![0u8; wr.len as usize];
+            if let Some(mut buf) = pooled {
                 mem.read(wr.local_gpa, &mut buf)?;
                 Some(buf)
             } else {
@@ -852,6 +926,23 @@ impl Fabric {
         c.poll_batch(max)
     }
 
+    /// Drains and discards up to `max` completions from a CQ, returning how
+    /// many were consumed. Allocation-free flavour of [`Fabric::poll_cq`]
+    /// for callers that only need the ring emptied; every per-entry side
+    /// effect (ring cursor, guest-visible bytes) still happens.
+    pub fn drain_cq(&mut self, node: NodeId, cq: CqNum, max: usize) -> Result<usize, FabricError> {
+        let n = self.node_mut(node)?;
+        let c = n.cqs.get_mut(&cq).ok_or(FabricError::UnknownCq(node, cq))?;
+        let mut drained = 0;
+        while drained < max {
+            match c.poll()? {
+                Some(_) => drained += 1,
+                None => break,
+            }
+        }
+        Ok(drained)
+    }
+
     // ----- introspection & accounting -----------------------------------
 
     /// Location and capacity of a CQ's ring, for IBMon mapping.
@@ -900,6 +991,11 @@ impl Fabric {
         qp: QpNum,
         params: FlowParams,
     ) -> Result<(), FabricError> {
+        // No caller passes a timestamp here (QoS is installed at setup
+        // time); the fabric's own clock is the right "as of now" for the
+        // defensive settle.
+        let now = self.agenda.now();
+        self.settle_node(node, now, false);
         let n = self.node_mut(node)?;
         if !n.qps.contains_key(&qp) {
             return Err(FabricError::UnknownQp(node, qp));
@@ -917,7 +1013,21 @@ impl Fabric {
 
     /// Processes all internal events due at or before `now`; returns the
     /// externally visible events that occurred, in time order.
+    ///
+    /// Convenience wrapper over [`Fabric::advance_into`] that allocates a
+    /// fresh vector per call; hot loops should hold a scratch buffer and
+    /// call `advance_into` instead.
     pub fn advance(&mut self, now: SimTime) -> Vec<(SimTime, FabricEvent)> {
+        let mut out = Vec::new();
+        self.advance_into(now, &mut out);
+        out
+    }
+
+    /// Processes all internal events due at or before `now`, appending the
+    /// externally visible events (in time order) to the caller-owned `out`
+    /// buffer. The fabric's internal output staging keeps its capacity, so
+    /// a steady-state advance performs no heap allocation.
+    pub fn advance_into(&mut self, now: SimTime, out: &mut Vec<(SimTime, FabricEvent)>) {
         while self.agenda.peek_time().is_some_and(|t| t <= now) {
             let Some((t, timer)) = self.agenda.pop() else {
                 break;
@@ -935,10 +1045,17 @@ impl Fabric {
                 self.internal_errors.push((t, e));
             }
         }
-        std::mem::take(&mut self.outputs)
+        out.append(&mut self.outputs);
     }
 
     fn kick_link(&mut self, node: NodeId, now: SimTime) {
+        self.kick_link_inner(node, now, true);
+    }
+
+    /// Starts the next grant on `node`'s egress link. `allow_batch` is
+    /// false only when called from `settle_node`, whose caller is about to
+    /// mutate link state and must not find a freshly-opened batch.
+    fn kick_link_inner(&mut self, node: NodeId, now: SimTime, allow_batch: bool) {
         let (grant_bytes, mtu, overhead) = (
             self.cfg.grant_mtus * self.cfg.mtu_bytes,
             self.cfg.mtu_bytes,
@@ -993,8 +1110,49 @@ impl Fabric {
                         ],
                     );
                 }
-                self.agenda
-                    .schedule_at(now + dur, Timer::GrantDone { node, plan });
+                // Batched fast path: a multi-grant transfer on an otherwise
+                // idle, unlimited, fault- and jitter-free link serializes
+                // its chunks back-to-back with no other event able to run
+                // between them, so the per-chunk `GrantDone` events are
+                // collapsed into a single `BatchDone` at the transfer's
+                // end. `settle_node` replays the chunks at their historical
+                // times if anything touches the link before then.
+                let batchable = allow_batch
+                    && !plan.job_finished
+                    && self.cfg.hw_jitter == 0.0
+                    && self.faults.is_none()
+                    && !self.tracer.enabled()
+                    && self.nodes.len() == 2
+                    && !matches!(plan.job.kind, JobKind::McastSend { .. } | JobKind::UdSend)
+                    && {
+                        let n = &self.nodes[node.index()];
+                        n.next_retry.is_none()
+                            && n.arbiter.sole_unlimited_flow() == Some(plan.job.qp)
+                    };
+                if batchable {
+                    let mut end = now + dur;
+                    let mut prev = now;
+                    let mut left = plan.job.len - plan.job.sent;
+                    while left > 0 {
+                        let bytes = left.min(grant_bytes);
+                        prev = end;
+                        end += self.cfg.serialization_time(bytes as u64);
+                        left -= bytes;
+                    }
+                    let timer = self.agenda.schedule_at(end, Timer::BatchDone { node });
+                    self.nodes[node.index()].batch = Some(LinkBatch {
+                        plan0: plan,
+                        start: now,
+                        dur0: dur,
+                        ser: self.cfg.serialization_time(grant_bytes as u64),
+                        fire_end: end,
+                        prev_end: prev,
+                        timer,
+                    });
+                } else {
+                    self.agenda
+                        .schedule_at(now + dur, Timer::GrantDone { node, plan });
+                }
             }
             GrantDecision::Throttled { until } => {
                 // Arm (or tighten) a retry when every pending flow is
@@ -1026,6 +1184,167 @@ impl Fabric {
         }
     }
 
+    /// Applies the sender- and ingress-side effects of one completed
+    /// serialization chunk at its historical completion time `end` —
+    /// exactly what `on_grant_done` does for a fault-free, untraced chunk.
+    fn apply_batched_chunk(&mut self, node: NodeId, plan: GrantPlan, end: SimTime) {
+        let one_way = self.cfg.one_way_latency();
+        let chunk_ser = self.cfg.serialization_time(plan.bytes as u64);
+        if let Some(n) = self.nodes.get_mut(node.index()) {
+            n.counters.bytes_sent += plan.bytes as u64;
+            n.counters.mtus_sent += plan.mtus as u64;
+            n.counters.grants += 1;
+            if let Some(qp) = n.qps.get_mut(&plan.job.qp) {
+                qp.counters.bytes_sent += plan.bytes as u64;
+                qp.counters.mtus_sent += plan.mtus as u64;
+            }
+        }
+        let arrival = end + one_way;
+        let delivery = self.ingress_delivery(plan.job.dst_node, arrival, chunk_ser);
+        if plan.job_finished {
+            self.agenda
+                .schedule_at(delivery, Timer::Deliver { job: plan.job });
+        }
+    }
+
+    /// Brings a node with a pending batched transfer back to the exact
+    /// state the chunk-at-a-time path would have at `upto`: chunks whose
+    /// serialization finished by then are applied at their historical
+    /// times, and a chunk still on the wire becomes an ordinary
+    /// `GrantDone` event. A no-op when no batch is pending. Called from
+    /// the `BatchDone` timer itself and from every operation that could
+    /// observe or mutate link state mid-batch.
+    fn settle_node(&mut self, node: NodeId, upto: SimTime, inclusive: bool) {
+        let Some(batch) = self
+            .nodes
+            .get_mut(node.index())
+            .and_then(|n| n.batch.take())
+        else {
+            return;
+        };
+        self.agenda.cancel(batch.timer);
+        let (grant_bytes, mtu) = (self.cfg.grant_mtus * self.cfg.mtu_bytes, self.cfg.mtu_bytes);
+        // A chunk ending exactly at `upto` is NOT applied here: in the
+        // chunk-at-a-time execution its `GrantDone` would be processed
+        // after the already-queued event that triggered this settle, so it
+        // must become a real event again to keep same-instant ordering.
+        let mut end = batch.start + batch.dur0;
+        if end > upto || (end == upto && !inclusive) {
+            // Chunk 0 is still serializing: fall back to a plain grant.
+            self.agenda.schedule_at(
+                end,
+                Timer::GrantDone {
+                    node,
+                    plan: batch.plan0,
+                },
+            );
+            return;
+        }
+        let seq = batch.plan0.job.seq;
+        let mut left = batch.plan0.job.len - batch.plan0.job.sent;
+        self.apply_batched_chunk(node, batch.plan0, end);
+        while left > 0 {
+            let start = end;
+            let bytes = left.min(grant_bytes);
+            left -= bytes;
+            let dur = self.cfg.serialization_time(bytes as u64);
+            let plan = match self.nodes[node.index()]
+                .arbiter
+                .next_grant(grant_bytes, mtu, start)
+            {
+                GrantDecision::Grant(p) => p,
+                _ => {
+                    // Unreachable for a batched (sole, unlimited) flow;
+                    // record the inconsistency instead of dropping the tail.
+                    self.internal_errors.push((
+                        start,
+                        FabricError::InternalInconsistency(
+                            "batched link replay found no grant to serve".into(),
+                        ),
+                    ));
+                    return;
+                }
+            };
+            debug_assert_eq!(plan.job.seq, seq, "batched replay switched jobs");
+            debug_assert_eq!(plan.bytes, bytes, "batched replay chunk size drifted");
+            debug_assert_eq!(plan.job_finished, left == 0);
+            if let Some(n) = self.nodes.get_mut(node.index()) {
+                n.counters.busy += dur;
+            }
+            end = start + dur;
+            if end > upto || (end == upto && !inclusive) {
+                // This chunk is on the wire right now: hand it back to the
+                // ordinary grant-completion path.
+                self.agenda
+                    .schedule_at(end, Timer::GrantDone { node, plan });
+                return;
+            }
+            self.apply_batched_chunk(node, plan, end);
+        }
+        // The whole batch completed by `upto`: free the link and look for
+        // the next job, exactly as the final grant's completion would. The
+        // kick must not open a fresh batch — our caller may be about to
+        // mutate link state.
+        if let Some(n) = self.nodes.get_mut(node.index()) {
+            n.link_busy = false;
+        }
+        self.kick_link_inner(node, end, false);
+    }
+
+    /// Settles every link's pending batch up to `now`. Public so the
+    /// platform can flush lazily-batched serialization effects before
+    /// reading fabric counters mid-run or at end of run.
+    pub fn settle_links(&mut self, now: SimTime) {
+        for i in 0..self.nodes.len() {
+            self.settle_node(NodeId::new(i as u32), now, false);
+        }
+    }
+
+    /// If a pending batch's final chunk completes exactly at `t`, returns
+    /// the previous chunk boundary — the moment the chunk-at-a-time
+    /// execution would have armed that completion. The event loop uses it
+    /// to restore same-instant ordering against events armed earlier.
+    pub fn batch_fire_arming(&self, t: SimTime) -> Option<SimTime> {
+        self.nodes.iter().find_map(|n| {
+            n.batch
+                .as_ref()
+                .filter(|b| b.fire_end == t)
+                .map(|b| b.prev_end)
+        })
+    }
+
+    /// Applies a batched chunk whose serialization ends exactly at `t`
+    /// when the chunk-at-a-time execution would have processed that
+    /// completion *before* an external event armed at `armed_at`: the
+    /// per-chunk completion would have been armed at the previous chunk
+    /// boundary, so it wins whenever that boundary is no later than
+    /// `armed_at` (the event loop re-arms the fabric before anything
+    /// else at the same instant, so ties also go to the fabric).
+    pub fn presync_boundary(&mut self, t: SimTime, armed_at: SimTime) {
+        for i in 0..self.nodes.len() {
+            let Some(b) = self.nodes[i].batch.as_ref() else {
+                continue;
+            };
+            let e0 = b.start + b.dur0;
+            let prev = if t == b.fire_end {
+                b.prev_end
+            } else if t == e0 {
+                b.start
+            } else if t > e0 && t < b.fire_end {
+                let since = (t - e0).as_nanos();
+                if !since.is_multiple_of(b.ser.as_nanos()) {
+                    continue;
+                }
+                t - b.ser
+            } else {
+                continue;
+            };
+            if prev <= armed_at {
+                self.settle_node(NodeId::new(i as u32), t, true);
+            }
+        }
+    }
+
     fn handle(&mut self, t: SimTime, timer: Timer) -> Result<(), FabricError> {
         match timer {
             Timer::GrantDone { node, plan } => self.on_grant_done(t, node, plan),
@@ -1038,13 +1357,7 @@ impl Fabric {
                 self.kick_link(node, t);
                 Ok(())
             }
-            Timer::Deliver { job, final_chunk } => {
-                if final_chunk {
-                    self.on_final_delivery(t, job)
-                } else {
-                    Ok(())
-                }
-            }
+            Timer::Deliver { job } => self.on_final_delivery(t, job),
             Timer::SenderComplete {
                 node,
                 qp,
@@ -1057,6 +1370,10 @@ impl Fabric {
             }
             Timer::Retransmit { job } => self.on_retransmit(t, job),
             Timer::Reconnect { node, qp } => self.on_reconnect(t, node, qp),
+            Timer::BatchDone { node } => {
+                self.settle_node(node, t, false);
+                Ok(())
+            }
         }
     }
 
@@ -1140,18 +1457,18 @@ impl Fabric {
                     .cloned()
                     .unwrap_or_default();
                 for (dst_node, dst_qp) in members {
-                    let mut member_job = plan.job.clone();
-                    member_job.kind = JobKind::UdSend;
-                    member_job.dst_node = dst_node;
-                    member_job.dst_qp = dst_qp;
+                    // The ingress cursor advances for every chunk; only the
+                    // final one produces receiver-side effects, so only it
+                    // gets a timer.
                     let delivery = self.ingress_delivery(dst_node, arrival, chunk_ser);
-                    self.agenda.schedule_at(
-                        delivery,
-                        Timer::Deliver {
-                            final_chunk: plan.job_finished,
-                            job: member_job,
-                        },
-                    );
+                    if plan.job_finished {
+                        let mut member_job = plan.job.clone();
+                        member_job.kind = JobKind::UdSend;
+                        member_job.dst_node = dst_node;
+                        member_job.dst_qp = dst_qp;
+                        self.agenda
+                            .schedule_at(delivery, Timer::Deliver { job: member_job });
+                    }
                 }
             }
             JobKind::UdSend => {
@@ -1169,13 +1486,10 @@ impl Fabric {
                 }
                 if wire_fault.is_none() {
                     let delivery = self.ingress_delivery(plan.job.dst_node, arrival, chunk_ser);
-                    self.agenda.schedule_at(
-                        delivery,
-                        Timer::Deliver {
-                            final_chunk: plan.job_finished,
-                            job: plan.job,
-                        },
-                    );
+                    if plan.job_finished {
+                        self.agenda
+                            .schedule_at(delivery, Timer::Deliver { job: plan.job });
+                    }
                 }
             }
             _ => {
@@ -1186,14 +1500,14 @@ impl Fabric {
                 if wire_fault.is_some() {
                     self.on_rc_wire_fault(t, plan.job);
                 } else {
+                    // Every chunk advances the destination's ingress cursor;
+                    // only the message's final chunk triggers receiver-side
+                    // effects, so intermediate chunks get no timer at all.
                     let delivery = self.ingress_delivery(plan.job.dst_node, arrival, chunk_ser);
-                    self.agenda.schedule_at(
-                        delivery,
-                        Timer::Deliver {
-                            final_chunk: plan.job_finished,
-                            job: plan.job,
-                        },
-                    );
+                    if plan.job_finished {
+                        self.agenda
+                            .schedule_at(delivery, Timer::Deliver { job: plan.job });
+                    }
                 }
             }
         }
@@ -1307,6 +1621,7 @@ impl Fabric {
     /// silently) or errored — flushed and dead without recovery, journaled
     /// into the QP's connection-manager entry with it.
     fn on_retransmit(&mut self, t: SimTime, job: EgressJob) -> Result<(), FabricError> {
+        self.settle_node(job.src_node, t, false);
         let node = job.src_node;
         let Some(n) = self.nodes.get_mut(node.index()) else {
             return Err(FabricError::InternalInconsistency(format!(
@@ -1345,6 +1660,7 @@ impl Fabric {
         qp_num: QpNum,
         now: SimTime,
     ) -> Result<(), FabricError> {
+        self.settle_node(node, now, false);
         let (purged, recvs) = {
             let n = self.node_mut(node)?;
             let qp = n
@@ -1410,6 +1726,7 @@ impl Fabric {
     /// the CM (broken while this message's timer was in flight), the
     /// message just joins the journal.
     fn fail_qp_with_journal(&mut self, t: SimTime, mut job: EgressJob) {
+        self.settle_node(job.src_node, t, false);
         job.sent = 0;
         job.attempt = 0;
         job.rnr_attempt = 0;
@@ -1496,6 +1813,7 @@ impl Fabric {
     /// it RESET→INIT→RTR→RTS toward its learned peer, re-posts the
     /// journaled receives, and replays the journaled sends in order.
     fn on_reconnect(&mut self, t: SimTime, node: NodeId, qp_num: QpNum) -> Result<(), FabricError> {
+        self.settle_node(node, t, false);
         let key = (node, qp_num);
         if !self.cm.contains_key(&key) {
             return Ok(()); // stale timer: already recovered or abandoned
@@ -1594,7 +1912,7 @@ impl Fabric {
     }
 
     /// Receiver-side effects once a message has fully arrived.
-    fn on_final_delivery(&mut self, t: SimTime, job: EgressJob) -> Result<(), FabricError> {
+    fn on_final_delivery(&mut self, t: SimTime, mut job: EgressJob) -> Result<(), FabricError> {
         if self.tracer.enabled() {
             self.tracer.instant(
                 t,
@@ -1626,6 +1944,7 @@ impl Fabric {
             JobKind::Write => {
                 if let Err(status) = self.place_rdma_write(&job) {
                     self.complete_sender_err(t, &job, status);
+                    self.recycle_payload(job.payload.take());
                     return Ok(());
                 }
                 self.outputs.push((
@@ -1638,6 +1957,7 @@ impl Fabric {
                     },
                 ));
                 self.schedule_sender_success(t, &job, job.len);
+                self.recycle_payload(job.payload.take());
                 Ok(())
             }
             JobKind::ReadRequest {
@@ -1658,11 +1978,11 @@ impl Fabric {
 
     /// Unreliable-datagram arrival: consume a receive WQE if present,
     /// otherwise drop silently (UD has no NAKs; the sender never learns).
-    fn deliver_ud(&mut self, t: SimTime, job: EgressJob) -> Result<(), FabricError> {
+    fn deliver_ud(&mut self, t: SimTime, mut job: EgressJob) -> Result<(), FabricError> {
         let dst = job.dst_node;
-        let n = match self.nodes.get_mut(dst.index()) {
-            Some(n) => n,
-            None => return Ok(()),
+        let payload = job.payload.take();
+        let Some(n) = self.nodes.get_mut(dst.index()) else {
+            return Ok(());
         };
         let rr = match n.qps.get_mut(&job.dst_qp) {
             Some(qp) if qp.qp_type == QpType::Ud => qp.rq.pop_front(),
@@ -1672,11 +1992,12 @@ impl Fabric {
             Some(rr) => rr,
             None => {
                 n.counters.ud_drops += 1;
+                self.recycle_payload(payload);
                 return Ok(());
             }
         };
         if rr.len >= job.len {
-            if let Some(payload) = &job.payload {
+            if let Some(payload) = &payload {
                 let pd = n.qps.get(&job.dst_qp).map(|q| q.pd);
                 if let Ok(mem) = n.tpt.check(rr.lkey, rr.gpa, job.len, Need::LocalWrite, pd) {
                     let _ = mem.dma_write(rr.gpa, payload);
@@ -1685,7 +2006,10 @@ impl Fabric {
         }
         let (recv_cq, counter) = match n.qps.get_mut(&job.dst_qp) {
             Some(qp) => (qp.recv_cq, qp.next_rq_counter()),
-            None => return Ok(()),
+            None => {
+                self.recycle_payload(payload);
+                return Ok(());
+            }
         };
         let cqe = Cqe {
             wr_id: rr.wr_id,
@@ -1707,6 +2031,7 @@ impl Fabric {
                 imm: None,
             },
         ));
+        self.recycle_payload(payload);
         Ok(())
     }
 
@@ -1714,7 +2039,7 @@ impl Fabric {
     fn deliver_two_sided(
         &mut self,
         t: SimTime,
-        job: EgressJob,
+        mut job: EgressJob,
         imm: Option<u32>,
     ) -> Result<(), FabricError> {
         let dst = job.dst_node;
@@ -1730,16 +2055,19 @@ impl Fabric {
         };
         let rr = match rr {
             Some(rr) => rr,
+            // The RNR path may retransmit, so the job keeps its payload.
             None => return self.on_rnr_nak(t, job),
         };
+        let payload = job.payload.take();
         // For plain sends the payload lands in the receive buffer; WriteImm
         // data has already been placed at the remote address.
         if job.kind == JobKind::Send {
             if rr.len < job.len {
                 self.complete_sender_err(t, &job, WcStatus::RemoteAccessError);
+                self.recycle_payload(payload);
                 return Ok(());
             }
-            if let Some(payload) = &job.payload {
+            if let Some(payload) = &payload {
                 let n = self.nodes.get_mut(dst.index()).ok_or_else(|| {
                     FabricError::InternalInconsistency(format!(
                         "destination node {dst} vanished during delivery"
@@ -1782,6 +2110,7 @@ impl Fabric {
             },
         ));
         self.schedule_sender_success(t, &job, job.len);
+        self.recycle_payload(payload);
         Ok(())
     }
 
@@ -1878,6 +2207,7 @@ impl Fabric {
         local_gpa: Gpa,
         lkey: u32,
     ) -> Result<(), FabricError> {
+        self.settle_node(job.dst_node, t, false);
         let responder = job.dst_node;
         let payload = {
             let n = match self.nodes.get_mut(responder.index()) {
@@ -1890,10 +2220,12 @@ impl Fabric {
             {
                 Ok(mem) => {
                     if resp_len <= self.cfg.payload_copy_threshold {
-                        let mut buf = vec![0u8; resp_len as usize];
+                        let mem = mem.clone();
+                        let mut buf = self.pool_buf(resp_len as usize);
                         if mem.read(remote_gpa, &mut buf).is_ok() {
                             Some(buf)
                         } else {
+                            self.recycle_payload(Some(buf));
                             None
                         }
                     } else {
@@ -1948,18 +2280,19 @@ impl Fabric {
     fn finish_read(
         &mut self,
         t: SimTime,
-        job: EgressJob,
+        mut job: EgressJob,
         local_gpa: Gpa,
         lkey: u32,
         initiator_wr: u64,
         initiator_qp: QpNum,
     ) -> Result<(), FabricError> {
         let initiator = job.dst_node;
+        let payload = job.payload.take();
         let n = match self.nodes.get_mut(initiator.index()) {
             Some(n) => n,
             None => return Ok(()),
         };
-        if let Some(payload) = &job.payload {
+        if let Some(payload) = &payload {
             let pd = n.qps.get(&initiator_qp).map(|q| q.pd);
             if let Ok(mem) =
                 n.tpt
@@ -1968,6 +2301,7 @@ impl Fabric {
                 let _ = mem.dma_write(local_gpa, payload);
             }
         }
+        self.recycle_payload(payload);
         if job.signaled {
             self.write_send_cqe(
                 t,

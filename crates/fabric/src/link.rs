@@ -236,8 +236,24 @@ impl LinkArbiter {
     /// size); `mtu` is the MTU size for packet accounting.
     pub fn next_grant(&mut self, grant_bytes_max: u32, mtu: u32, now: SimTime) -> GrantDecision {
         let mut earliest: Option<SimTime> = None;
-        let levels: Vec<u8> = self.rings.keys().copied().collect();
-        for level in levels {
+        // Allocation-free walk of the priority levels in ascending order.
+        // Levels are never removed from `rings`, so re-querying the map
+        // after mutating a ring is stable — no snapshot needed.
+        let mut cursor: Option<u8> = None;
+        loop {
+            let level = match cursor {
+                None => self.rings.keys().next().copied(),
+                Some(prev) => self
+                    .rings
+                    .range((std::ops::Bound::Excluded(prev), std::ops::Bound::Unbounded))
+                    .next()
+                    .map(|(&k, _)| k),
+            };
+            let level = match level {
+                Some(l) => l,
+                None => break,
+            };
+            cursor = Some(level);
             let ring_len = self.rings.get(&level).map_or(0, |r| r.len());
             for _ in 0..ring_len {
                 let qp = match self.rings.get_mut(&level).and_then(|r| r.pop_front()) {
@@ -333,6 +349,24 @@ impl LinkArbiter {
     /// Number of queue pairs with queued work.
     pub fn active_flows(&self) -> usize {
         self.flows.values().filter(|f| !f.queue.is_empty()).count()
+    }
+
+    /// The single queue pair with queued work, when exactly one flow is
+    /// active and it carries no rate limit. The batched serialization fast
+    /// path keys on this: with one unlimited flow every future grant is
+    /// fully determined, so the per-chunk events can be replayed lazily.
+    pub fn sole_unlimited_flow(&self) -> Option<QpNum> {
+        let mut found: Option<QpNum> = None;
+        for (&qp, f) in &self.flows {
+            if f.queue.is_empty() {
+                continue;
+            }
+            if found.is_some() || f.params.rate_limit.is_some() {
+                return None;
+            }
+            found = Some(qp);
+        }
+        found
     }
 
     /// Removes and returns every queued job of `qp` (ERROR-state flush).

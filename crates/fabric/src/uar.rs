@@ -68,9 +68,9 @@ impl Uar {
     /// Rings the doorbell: increments the QP's counter in guest memory and
     /// returns the new value.
     pub fn ring(&mut self, qp: QpNum) -> Result<u32, FabricError> {
-        let gpa = self.slot_gpa(qp).ok_or(FabricError::Config(
-            "doorbell for unassigned queue pair".into(),
-        ))?;
+        let gpa = self
+            .slot_gpa(qp)
+            .ok_or_else(|| FabricError::Config("doorbell for unassigned queue pair".into()))?;
         let v = self.mem.with_write(|m| -> Result<u32, FabricError> {
             let v = m.read_u32(gpa)?.wrapping_add(1);
             m.write_u32(gpa, v)?;
@@ -81,9 +81,9 @@ impl Uar {
 
     /// Reads a QP's doorbell counter (introspection path).
     pub fn read(&self, qp: QpNum) -> Result<u32, FabricError> {
-        let gpa = self.slot_gpa(qp).ok_or(FabricError::Config(
-            "doorbell for unassigned queue pair".into(),
-        ))?;
+        let gpa = self
+            .slot_gpa(qp)
+            .ok_or_else(|| FabricError::Config("doorbell for unassigned queue pair".into()))?;
         Ok(self.mem.with_read(|m| m.read_u32(gpa))?)
     }
 }

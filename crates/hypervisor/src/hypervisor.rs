@@ -13,7 +13,9 @@
 
 use crate::domain::{Domain, DomainId};
 use crate::error::HvError;
-use crate::sched::{fair_shares, fluid_finish, slice_finish, slice_progress, SchedModel, ShareReq};
+use crate::sched::{
+    fair_shares_into, fluid_finish, slice_finish, slice_progress, SchedModel, ShareReq,
+};
 use crate::vcpu::{Job, PcpuId, Vcpu, VcpuId, VcpuMode};
 use resex_faults::{ControlFaults, FaultSchedule, FaultStats};
 use resex_obs::{subsystem, Scope, Tracer};
@@ -60,6 +62,13 @@ pub struct Hypervisor {
     /// Actuation fault injector; `None` (the default) draws nothing and
     /// keeps fault-free runs byte-identical to pre-fault builds.
     faults: Option<ControlFaults>,
+    /// Reusable scratch for [`Hypervisor::reschedule`] (runnable VCPU
+    /// indices, share requests, computed rates, water-filling open set) —
+    /// rescheduling runs on every job start and must not allocate.
+    sched_idx: Vec<usize>,
+    sched_reqs: Vec<ShareReq>,
+    sched_rates: Vec<f64>,
+    sched_open: Vec<usize>,
 }
 
 impl Hypervisor {
@@ -72,6 +81,10 @@ impl Hypervisor {
             n_pcpus: 0,
             tracer: Tracer::disabled(),
             faults: None,
+            sched_idx: Vec::new(),
+            sched_reqs: Vec::new(),
+            sched_rates: Vec::new(),
+            sched_open: Vec::new(),
         }
     }
 
@@ -349,6 +362,13 @@ impl Hypervisor {
     /// Processes completions due at or before `now`.
     pub fn advance(&mut self, now: SimTime) -> Vec<(SimTime, HvEvent)> {
         let mut out = Vec::new();
+        self.advance_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Self::advance`]: pushes completions into
+    /// a caller-owned scratch buffer instead of returning a fresh `Vec`.
+    pub fn advance_into(&mut self, now: SimTime, out: &mut Vec<(SimTime, HvEvent)>) {
         loop {
             let next = self
                 .vcpus
@@ -395,7 +415,6 @@ impl Hypervisor {
             // Busy → Polling does not change the runnable set, so rates
             // stand; nothing to reschedule.
         }
-        out
     }
 
     // ----- internals --------------------------------------------------------
@@ -472,26 +491,32 @@ impl Hypervisor {
         if !matches!(self.model, SchedModel::Fluid) {
             return;
         }
+        // Scratch buffers are taken out of `self` for the borrow checker's
+        // benefit and restored at the end; steady-state this loop does not
+        // allocate.
+        let mut idx = std::mem::take(&mut self.sched_idx);
+        let mut reqs = std::mem::take(&mut self.sched_reqs);
+        let mut rates = std::mem::take(&mut self.sched_rates);
+        let mut open = std::mem::take(&mut self.sched_open);
         for p in 0..self.n_pcpus {
             let pcpu = PcpuId::new(p);
-            let idx: Vec<usize> = self
-                .vcpus
-                .iter()
-                .enumerate()
-                .filter(|(_, v)| v.pcpu == pcpu && v.runnable())
-                .map(|(i, _)| i)
-                .collect();
-            let reqs: Vec<ShareReq> = idx
-                .iter()
-                .map(|&i| {
-                    let v = &self.vcpus[i];
-                    ShareReq {
-                        weight: self.domains[v.dom.index()].weight,
-                        cap: self.cap_fraction(v),
-                    }
-                })
-                .collect();
-            let rates = fair_shares(&reqs);
+            idx.clear();
+            idx.extend(
+                self.vcpus
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.pcpu == pcpu && v.runnable())
+                    .map(|(i, _)| i),
+            );
+            reqs.clear();
+            reqs.extend(idx.iter().map(|&i| {
+                let v = &self.vcpus[i];
+                ShareReq {
+                    weight: self.domains[v.dom.index()].weight,
+                    cap: self.cap_fraction(v),
+                }
+            }));
+            fair_shares_into(&reqs, &mut rates, &mut open);
             for (&i, &r) in idx.iter().zip(rates.iter()) {
                 let changed = self.vcpus[i].rate != r;
                 self.vcpus[i].rate = r;
@@ -514,6 +539,10 @@ impl Hypervisor {
                 }
             }
         }
+        self.sched_idx = idx;
+        self.sched_reqs = reqs;
+        self.sched_rates = rates;
+        self.sched_open = open;
     }
 }
 

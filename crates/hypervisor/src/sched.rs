@@ -45,12 +45,25 @@ pub struct ShareReq {
 /// to at most 1 and never exceed a VCPU's cap. Capacity freed by capped
 /// VCPUs is redistributed to the others in proportion to weight.
 pub fn fair_shares(reqs: &[ShareReq]) -> Vec<f64> {
+    let mut rates = Vec::new();
+    let mut open = Vec::new();
+    fair_shares_into(reqs, &mut rates, &mut open);
+    rates
+}
+
+/// Allocation-free variant of [`fair_shares`]: writes the rates into
+/// `rates` (cleared first) using `open` as index scratch. The hot
+/// reschedule path calls this once per job start, so it must not allocate
+/// once the scratch buffers have warmed up.
+pub fn fair_shares_into(reqs: &[ShareReq], rates: &mut Vec<f64>, open: &mut Vec<usize>) {
     let n = reqs.len();
-    let mut rates = vec![0.0f64; n];
+    rates.clear();
+    rates.resize(n, 0.0);
     if n == 0 {
-        return rates;
+        return;
     }
-    let mut open: Vec<usize> = (0..n).collect();
+    open.clear();
+    open.extend(0..n);
     let mut capacity = 1.0f64;
     // Every iteration either fixes at least one capped VCPU or terminates,
     // so this loop runs at most n+1 times.
@@ -59,31 +72,36 @@ pub fn fair_shares(reqs: &[ShareReq]) -> Vec<f64> {
         if total_weight == 0.0 || capacity <= 0.0 {
             break;
         }
-        let mut clamped = Vec::new();
-        for &i in &open {
-            let share = capacity * reqs[i].weight as f64 / total_weight;
-            let cap = reqs[i].cap.unwrap_or(1.0).min(1.0);
-            if share >= cap {
-                clamped.push(i);
-            }
-        }
-        if clamped.is_empty() {
-            for &i in &open {
+        // Clamp membership is decided against the capacity at the top of
+        // the iteration; the predicate is re-evaluated (not stored) so no
+        // clamped-set buffer is needed.
+        let round_capacity = capacity;
+        let clamped = |i: usize| {
+            let share = round_capacity * reqs[i].weight as f64 / total_weight;
+            share >= reqs[i].cap.unwrap_or(1.0).min(1.0)
+        };
+        if !open.iter().any(|&i| clamped(i)) {
+            for &i in open.iter() {
                 rates[i] = capacity * reqs[i].weight as f64 / total_weight;
             }
             break;
         }
-        for &i in &clamped {
-            let cap = reqs[i].cap.unwrap_or(1.0).min(1.0);
-            rates[i] = cap;
-            capacity -= cap;
-        }
-        open.retain(|i| !clamped.contains(i));
+        // `retain` visits indices in order, so the sequential capacity
+        // subtraction matches the original clamped-list walk bit-for-bit.
+        open.retain(|&i| {
+            if clamped(i) {
+                let cap = reqs[i].cap.unwrap_or(1.0).min(1.0);
+                rates[i] = cap;
+                capacity -= cap;
+                false
+            } else {
+                true
+            }
+        });
         if open.is_empty() {
             break;
         }
     }
-    rates
 }
 
 /// CPU time accumulated by a slice-scheduled VCPU from time 0 to `t`, given

@@ -114,8 +114,8 @@ pub struct World {
     dom0: DomainId,
     node_srv: NodeId,
     node_cli: NodeId,
-    fabric_sync: Option<(SimTime, EventKey)>,
-    hv_sync: Option<(SimTime, EventKey)>,
+    fabric_sync: Option<(SimTime, EventKey, SimTime)>,
+    hv_sync: Option<(SimTime, EventKey, SimTime)>,
     events: u64,
     srv_qp_to_vm: HashMap<QpNum, usize>,
     cli_qp_to_client: HashMap<QpNum, usize>,
@@ -142,6 +142,13 @@ pub struct World {
     /// All its clock reads are host-monotonic, outside the DES clock, so
     /// enabling it never perturbs simulated behaviour.
     profiler: Profiler,
+    /// Reusable scratch for fabric events drained each `FabricSync` — the
+    /// hot loop must not allocate a fresh vector per sync.
+    fab_events: Vec<(SimTime, FabricEvent)>,
+    /// Reusable scratch for hypervisor events drained each `HvSync`.
+    hv_events: Vec<(SimTime, HvEvent)>,
+    /// Reusable scratch for client timer actions.
+    client_actions: Vec<ClientAction>,
 }
 
 /// What an observed run produced alongside its [`RunMetrics`].
@@ -465,6 +472,9 @@ impl World {
             deferred_responses: Vec::new(),
             actuation_streak,
             profiler: self_profiler,
+            fab_events: Vec::new(),
+            hv_events: Vec::new(),
+            client_actions: Vec::new(),
         }
     }
 
@@ -520,17 +530,40 @@ impl World {
                     break;
                 }
                 Ev::FabricSync => {
-                    if self.fabric_sync.map(|(ft, _)| ft) == Some(t) {
-                        self.fabric_sync = None;
+                    let armed_at = match self.fabric_sync {
+                        Some((ft, _, a)) if ft == t => {
+                            self.fabric_sync = None;
+                            a
+                        }
+                        _ => t,
+                    };
+                    // A `BatchDone` wake-up was armed when the batch was
+                    // created, but the chunk-at-a-time execution would have
+                    // armed the final completion only at the previous chunk
+                    // boundary. If this sync jumped ahead of same-instant
+                    // events armed in between, re-arm it behind them (the
+                    // fresh key is armed "now", so it cannot defer twice).
+                    if let Some(v) = self.fabric.batch_fire_arming(t) {
+                        if armed_at < v {
+                            let key = self.queue.schedule_at(t, Ev::FabricSync);
+                            self.fabric_sync = Some((t, key, t));
+                            if profiling {
+                                self.profiler.exit();
+                            }
+                            continue;
+                        }
                     }
                     if profiling {
                         self.profiler.enter("fabric.advance");
                     }
-                    let evs = self.fabric.advance(t);
+                    // The scratch is moved out for the drain so the event
+                    // handlers can borrow `self`; its capacity survives.
+                    let mut evs = std::mem::take(&mut self.fab_events);
+                    self.fabric.advance_into(t, &mut evs);
                     if profiling {
                         self.profiler.exit();
                     }
-                    for (et, fe) in evs {
+                    for (et, fe) in evs.drain(..) {
                         if profiling {
                             self.profiler.enter(fabric_ev_name(&fe));
                         }
@@ -539,19 +572,30 @@ impl World {
                             self.profiler.exit();
                         }
                     }
+                    self.fab_events = evs;
                 }
                 Ev::HvSync => {
-                    if self.hv_sync.map(|(ht, _)| ht) == Some(t) {
-                        self.hv_sync = None;
-                    }
+                    let armed_at = match self.hv_sync {
+                        Some((ht, _, a)) if ht == t => {
+                            self.hv_sync = None;
+                            a
+                        }
+                        _ => t,
+                    };
+                    // A batched chunk boundary landing exactly here must be
+                    // applied first when its per-chunk completion would have
+                    // been armed no later than this sync (rearm always arms
+                    // the fabric before the hypervisor at the same instant).
+                    self.fabric.presync_boundary(t, armed_at);
                     if profiling {
                         self.profiler.enter("hv.advance");
                     }
-                    let evs = self.hv.advance(t);
+                    let mut evs = std::mem::take(&mut self.hv_events);
+                    self.hv.advance_into(t, &mut evs);
                     if profiling {
                         self.profiler.exit();
                     }
-                    for (et, he) in evs {
+                    for (et, he) in evs.drain(..) {
                         let HvEvent::JobDone { dom, .. } = he;
                         if profiling {
                             self.profiler.enter("JobDone");
@@ -561,12 +605,15 @@ impl World {
                             self.profiler.exit();
                         }
                     }
+                    self.hv_events = evs;
                 }
                 Ev::ClientTimer { client } => {
-                    let acts = self.clients[client].client.on_timer(t);
-                    for act in acts {
+                    let mut acts = std::mem::take(&mut self.client_actions);
+                    self.clients[client].client.on_timer_into(t, &mut acts);
+                    for act in acts.drain(..) {
                         self.apply_client_action(client, act, t);
                     }
+                    self.client_actions = acts;
                 }
                 Ev::RequestTimeout { client, req_id } => {
                     self.on_request_timeout(client, req_id, t);
@@ -579,15 +626,22 @@ impl World {
             self.rearm();
         }
 
+        // Flush any lazily-batched serialization effects so the fabric
+        // counters read below reflect everything that completed by run end.
+        self.fabric.settle_links(SimTime::ZERO + duration);
+
         // The panic-free fabric error paths report anything they caught
         // instead of crashing mid-run; in a correct build (faulted or not)
-        // there is nothing to report.
+        // there is nothing to report. This check is release-active: a run
+        // that corrupted fabric state must never report clean numbers.
         let internal_errors = self.fabric.take_internal_errors();
-        debug_assert!(
+        assert!(
             internal_errors.is_empty(),
-            "fabric event loop caught inconsistencies: {internal_errors:?}"
+            "fabric event loop caught {} internal inconsistencies; \
+             refusing to report metrics from a corrupted run: {:?}",
+            internal_errors.len(),
+            internal_errors
         );
-        drop(internal_errors);
 
         let mut out = RunMetrics {
             label: self.cfg.label.clone(),
@@ -647,26 +701,30 @@ impl World {
     // ------------------------------------------------------------------
 
     fn rearm(&mut self) {
-        let ft = self.fabric.next_time();
-        if self.fabric_sync.map(|(t, _)| t) != ft {
-            if let Some((_, key)) = self.fabric_sync.take() {
+        // Both guards key on the *scheduled* (clamped) time: a past-due
+        // `next_time` is scheduled at `now`, and the pop-side guard
+        // compares against exactly what was scheduled. Keying on the raw
+        // time left a stale entry alive when `next_time` moved backwards,
+        // which could double-fire an advance.
+        let now = self.queue.now();
+        let ft = self.fabric.next_time().map(|t| t.max(now));
+        if self.fabric_sync.map(|(t, _, _)| t) != ft {
+            if let Some((_, key, _)) = self.fabric_sync.take() {
                 self.queue.cancel(key);
             }
-            if let Some(t) = ft {
-                let key = self
-                    .queue
-                    .schedule_at(t.max(self.queue.now()), Ev::FabricSync);
-                self.fabric_sync = Some((t, key));
+            if let Some(at) = ft {
+                let key = self.queue.schedule_at(at, Ev::FabricSync);
+                self.fabric_sync = Some((at, key, now));
             }
         }
-        let ht = self.hv.next_time();
-        if self.hv_sync.map(|(t, _)| t) != ht {
-            if let Some((_, key)) = self.hv_sync.take() {
+        let ht = self.hv.next_time().map(|t| t.max(now));
+        if self.hv_sync.map(|(t, _, _)| t) != ht {
+            if let Some((_, key, _)) = self.hv_sync.take() {
                 self.queue.cancel(key);
             }
-            if let Some(t) = ht {
-                let key = self.queue.schedule_at(t.max(self.queue.now()), Ev::HvSync);
-                self.hv_sync = Some((t, key));
+            if let Some(at) = ht {
+                let key = self.queue.schedule_at(at, Ev::HvSync);
+                self.hv_sync = Some((at, key, now));
             }
         }
     }
@@ -752,7 +810,7 @@ impl World {
         if node == self.node_srv {
             if let Some(&vmi) = self.srv_qp_to_vm.get(&qp) {
                 let send_cq = self.vms[vmi].send_cq;
-                let _ = self.fabric.poll_cq(self.node_srv, send_cq, 64);
+                let _ = self.fabric.drain_cq(self.node_srv, send_cq, 64);
             }
         }
         // Client-side sends are unsignaled; error CQEs still drain on the
@@ -824,7 +882,7 @@ impl World {
         // The guest's poll loop consumes the completion (frees the ring
         // slot for the HCA; IBMon still sees the written bytes).
         let recv_cq = self.vms[vmi].recv_cq;
-        let _ = self.fabric.poll_cq(self.node_srv, recv_cq, 64);
+        let _ = self.fabric.drain_cq(self.node_srv, recv_cq, 64);
         let gpa = self.vms[vmi].req_base.add(slot * SLOT_BYTES);
         let mut wire = [0u8; REQUEST_WIRE_BYTES as usize];
         self.vms[vmi]
@@ -857,7 +915,7 @@ impl World {
         };
         // The client's poll loop consumes the completion.
         let recv_cq = self.clients[ci].recv_cq;
-        let _ = self.fabric.poll_cq(self.node_cli, recv_cq, 64);
+        let _ = self.fabric.drain_cq(self.node_cli, recv_cq, 64);
         // Replenish the consumed receive.
         let (lkey, gpa, len) = {
             let c = &self.clients[ci];
@@ -944,7 +1002,7 @@ impl World {
             None => return,
         };
         let send_cq = self.vms[vmi].send_cq;
-        let _ = self.fabric.poll_cq(self.node_srv, send_cq, 64);
+        let _ = self.fabric.drain_cq(self.node_srv, send_cq, 64);
         let (record, act) = self.vms[vmi].server.on_send_complete_with_record(t);
         let after_warmup = t.duration_since(SimTime::ZERO) >= warmup;
         record_latency(&mut self.metrics[vmi], &record, after_warmup);
@@ -981,7 +1039,7 @@ impl World {
                     value_sum: vm.server.value_checksum,
                     service_ns: 0,
                 };
-                let hdr = resp.encode();
+                let hdr = resp.encode_wire();
                 vm.mem.write(vm.resp_mr.gpa, &hdr).expect("resp header");
                 let (rkey, rgpa) = vm.client_resp;
                 let wr = WorkRequest {
@@ -1052,7 +1110,7 @@ impl World {
         } else {
             None
         };
-        let wire = req.encode();
+        let wire = req.encode_wire();
         let qp;
         let wr;
         {
@@ -1098,6 +1156,10 @@ impl World {
     /// One ResEx charging interval: gather IBMon + XenStat + agent data,
     /// run the policy, actuate caps, record traces.
     fn on_resex_interval(&mut self, t: SimTime) {
+        // The interval handler reads fabric ground truth (QP counters,
+        // egress backlog); settle any pending link batch first so those
+        // reads match the chunk-at-a-time execution exactly.
+        self.fabric.settle_links(t);
         let (interval, force_after) = {
             let cfg = self
                 .manager
@@ -1421,4 +1483,79 @@ pub fn run_scenario(cfg: ScenarioConfig) -> RunMetrics {
 /// ```
 pub fn run_scenario_observed(cfg: ScenarioConfig) -> (RunMetrics, ObservedRun) {
     World::build(cfg).run_observed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(n)
+    }
+
+    /// Posts a minimal valid send on one of the two links at `t`,
+    /// planting a fabric agenda entry near `t` without running the
+    /// world's event loop.
+    fn plant_fabric_work(w: &mut World, server_side: bool, t: SimTime) {
+        let (node, qp, lkey, gpa) = if server_side {
+            let vm = &w.vms[0];
+            (w.node_srv, vm.qp, vm.resp_mr.lkey, vm.resp_mr.gpa)
+        } else {
+            let c = &w.clients[0];
+            (w.node_cli, c.qp, c.req_mr.lkey, c.req_mr.gpa)
+        };
+        let wr = WorkRequest {
+            wr_id: 1,
+            opcode: Opcode::Send,
+            lkey,
+            local_gpa: gpa,
+            len: 8,
+            remote: None,
+            imm: 0,
+            signaled: false,
+        };
+        w.fabric.post_send(node, qp, wr, t).expect("test post");
+    }
+
+    #[test]
+    fn rearm_is_stable_when_next_time_runs_backwards() {
+        // The loop never runs here; duration is irrelevant.
+        let mut w = World::build(ScenarioConfig::base_case(64 * 1024));
+
+        // Fabric work at 5 ms, then advance the queue clock past it so
+        // the fabric's wake-up is past-due relative to the world clock.
+        plant_fabric_work(&mut w, false, ms(5));
+        w.queue.schedule_at(ms(6), Ev::End);
+        while let Some((t, _)) = w.queue.pop() {
+            if t >= ms(6) {
+                break;
+            }
+        }
+        let raw = w.fabric.next_time().expect("pending fabric work");
+        assert!(raw < w.queue.now(), "setup: wake-up must be past-due");
+
+        w.rearm();
+        let (t1, k1, _) = w.fabric_sync.expect("fabric sync armed");
+        assert_eq!(t1, w.queue.now(), "past-due wake-up clamps to now");
+        let len1 = w.queue.len();
+        let cancelled1 = w.queue.cancelled_backlog();
+
+        // Drive the *raw* next_time backwards with earlier work on the
+        // other link. The clamped time is unchanged, so rearm must leave
+        // the armed entry alone. (The regression keyed the guard on the
+        // raw time: the mismatch cancelled and re-scheduled the wake-up,
+        // which double-fired the advance.)
+        plant_fabric_work(&mut w, true, ms(3));
+        let raw2 = w.fabric.next_time().expect("pending fabric work");
+        assert!(raw2 < raw, "setup: next_time must move backwards");
+        w.rearm();
+        let (t2, k2, _) = w.fabric_sync.expect("fabric sync still armed");
+        assert_eq!((t2, k2), (t1, k1), "same scheduled wake-up, not a re-arm");
+        assert_eq!(w.queue.len(), len1, "no duplicate FabricSync scheduled");
+        assert_eq!(
+            w.queue.cancelled_backlog(),
+            cancelled1,
+            "no cancel churn on a backwards next_time"
+        );
+    }
 }

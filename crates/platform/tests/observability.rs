@@ -57,7 +57,17 @@ fn observation_does_not_perturb_the_run() {
     let baseline = run_scenario(base_cfg);
     let (observed, out) = run_scenario_observed(observed_cfg());
     assert!(out.trace_json.is_some());
-    assert_eq!(baseline.events_processed, observed.events_processed);
+    // Tracing needs one event per serialization chunk (each emits a grant
+    // trace record), so it disables the fabric's batched fast path and
+    // processes *more* events than the untraced baseline. That is an
+    // engine-internal difference; every simulated outcome must still
+    // match exactly.
+    assert!(
+        observed.events_processed >= baseline.events_processed,
+        "tracing must not skip work: {} < {}",
+        observed.events_processed,
+        baseline.events_processed
+    );
     for (b, o) in baseline.rows().iter().zip(observed.rows().iter()) {
         assert_eq!(b.vm, o.vm);
         assert_eq!(b.requests, o.requests);

@@ -10,49 +10,54 @@
 //!    `now`; scheduling in the past is rejected (panic in debug, clamped to
 //!    `now` in release) so causality violations surface during development.
 //!
-//! Events can be cancelled by [`EventKey`] without heap surgery: cancellation
-//! marks the key dead and the entry is discarded lazily on pop. The queue
-//! tracks which sequence numbers are still pending, so cancelling a key that
-//! already fired (or was already cancelled) is a reported no-op and the
-//! cancellation set stays bounded by the number of live entries — it cannot
-//! grow without limit over a long run.
+//! # Storage
+//!
+//! Entries live in a slab (`Vec` of slots with an intrusive free list); the
+//! heap is an *indexed* binary heap of slot ids, and every slot knows its
+//! heap position. This buys two things the earlier `BinaryHeap`+`HashSet`
+//! design could not offer:
+//!
+//! - **True O(log n) cancellation** — [`EventQueue::cancel`] removes the
+//!   entry from the heap immediately (swap with the last leaf, sift). No
+//!   tombstones accumulate, so the rearm churn of the platform event loop
+//!   (cancel + reschedule around every event) leaves no garbage behind.
+//! - **Zero steady-state allocation** — cancelled and fired slots return to
+//!   the free list and are reused by the next `schedule_*` call. Once the
+//!   calendar reaches its high-water mark, scheduling allocates nothing.
+//!
+//! Stale keys are harmless: each slot carries the sequence number of its
+//! current occupant, and a key whose sequence does not match is rejected.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
 
 /// Handle to a scheduled event, usable for cancellation.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct EventKey(u64);
-
-struct Entry<E> {
-    at: SimTime,
+pub struct EventKey {
+    slot: u32,
     seq: u64,
-    payload: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+impl EventKey {
+    /// A key that never matches a live entry (for tests and sentinel
+    /// initialisation; cancelling it is a reported no-op).
+    pub const DEAD: EventKey = EventKey {
+        slot: u32::MAX,
+        seq: u64::MAX,
+    };
 }
 
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first. seq breaks ties FIFO.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+struct Slot<E> {
+    at: SimTime,
+    /// Sequence number of the current occupant; breaks ties FIFO and
+    /// invalidates stale keys after the slot is reused.
+    seq: u64,
+    /// Position of this slot's id inside `heap` (meaningful only while
+    /// occupied).
+    pos: u32,
+    /// `Some` while scheduled; `None` marks a free slot (then `pos` is the
+    /// next free slot id, forming an intrusive free list).
+    payload: Option<E>,
 }
 
 /// A deterministic discrete-event calendar.
@@ -69,24 +74,25 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.now(), SimTime::from_micros(2));
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    /// Seqs cancelled but still physically in the heap (lazily removed).
-    /// Always a subset of the heap's seqs, so it is bounded by `heap.len()`.
-    cancelled: HashSet<u64>,
-    /// Seqs scheduled, not yet fired, not cancelled. The authoritative
-    /// answer to "is this key still pending?".
-    pending: HashSet<u64>,
+    slots: Vec<Slot<E>>,
+    /// Head of the intrusive free list threaded through `Slot::pos`, or
+    /// `NO_SLOT` when every slot is occupied.
+    free_head: u32,
+    /// Binary min-heap of occupied slot ids, ordered by `(at, seq)`.
+    heap: Vec<u32>,
     next_seq: u64,
     now: SimTime,
 }
+
+const NO_SLOT: u32 = u32::MAX;
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
         Self {
-            heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            pending: HashSet::new(),
+            slots: Vec::new(),
+            free_head: NO_SLOT,
+            heap: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -98,20 +104,21 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Number of live (non-cancelled) scheduled events.
+    /// Number of scheduled events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.heap.len()
     }
 
-    /// Number of cancelled entries still awaiting lazy removal from the
-    /// heap (diagnostics; bounded by the number of scheduled entries).
+    /// Cancelled entries awaiting lazy removal. Always zero: cancellation
+    /// removes entries from the heap immediately. Kept for diagnostics
+    /// parity with the tombstoning design this slab store replaced.
     pub fn cancelled_backlog(&self) -> usize {
-        self.cancelled.len()
+        0
     }
 
-    /// True if no live events remain.
+    /// True if no events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.heap.is_empty()
     }
 
     /// Schedules `payload` to fire at absolute time `at`.
@@ -127,9 +134,30 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, payload });
-        self.pending.insert(seq);
-        EventKey(seq)
+        let slot = if self.free_head != NO_SLOT {
+            let slot = self.free_head;
+            let s = &mut self.slots[slot as usize];
+            self.free_head = s.pos;
+            s.at = at;
+            s.seq = seq;
+            s.payload = Some(payload);
+            slot
+        } else {
+            let slot = self.slots.len() as u32;
+            assert!(slot != NO_SLOT, "event calendar slot space exhausted");
+            self.slots.push(Slot {
+                at,
+                seq,
+                pos: 0,
+                payload: Some(payload),
+            });
+            slot
+        };
+        let pos = self.heap.len() as u32;
+        self.slots[slot as usize].pos = pos;
+        self.heap.push(slot);
+        self.sift_up(pos as usize);
+        EventKey { slot, seq }
     }
 
     /// Schedules `payload` to fire `delay` after now.
@@ -141,42 +169,117 @@ impl<E> EventQueue<E> {
     /// still pending (i.e. had not fired and was not already cancelled).
     ///
     /// Cancelling a key that already fired — or was already cancelled, or
-    /// was never issued — returns false and changes nothing: the pending
-    /// set knows exactly which seqs are still live, so stale keys cannot
-    /// leak into the cancellation set.
+    /// was never issued — returns false and changes nothing: the slot's
+    /// sequence number identifies its current occupant, so stale keys
+    /// cannot touch a reused slot.
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if !self.pending.remove(&key.0) {
+        let Some(s) = self.slots.get(key.slot as usize) else {
+            return false;
+        };
+        if s.payload.is_none() || s.seq != key.seq {
             return false;
         }
-        // Still in the heap: mark for lazy removal on pop/peek.
-        self.cancelled.insert(key.0);
+        let pos = s.pos as usize;
+        self.remove_at(pos);
+        self.release(key.slot);
         true
     }
 
-    /// The firing time of the next live event, if any.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.skim_cancelled();
-        self.heap.peek().map(|e| e.at)
+    /// The firing time of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|&slot| self.slots[slot as usize].at)
     }
 
-    /// Pops the next live event, advancing `now` to its firing time.
+    /// Pops the next event, advancing `now` to its firing time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.skim_cancelled();
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.at >= self.now, "event calendar went backwards");
-        self.now = entry.at;
-        self.pending.remove(&entry.seq);
-        Some((entry.at, entry.payload))
+        let &slot = self.heap.first()?;
+        self.remove_at(0);
+        let s = &mut self.slots[slot as usize];
+        let at = s.at;
+        debug_assert!(at >= self.now, "event calendar went backwards");
+        self.now = at;
+        let payload = s.payload.take().expect("heap entry has a payload");
+        self.release_freed(slot);
+        Some((at, payload))
     }
 
-    /// Drops cancelled entries sitting at the top of the heap.
-    fn skim_cancelled(&mut self) {
-        while let Some(top) = self.heap.peek() {
-            if self.cancelled.remove(&top.seq) {
-                self.heap.pop();
-            } else {
+    /// Pushes `slot` onto the free list; the payload must already be gone.
+    fn release_freed(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        debug_assert!(s.payload.is_none());
+        s.pos = self.free_head;
+        self.free_head = slot;
+    }
+
+    /// Drops the payload of `slot` and pushes it onto the free list.
+    fn release(&mut self, slot: u32) {
+        self.slots[slot as usize].payload = None;
+        self.release_freed(slot);
+    }
+
+    /// `(at, seq)` ordering key of the slot at heap position `pos`.
+    #[inline]
+    fn rank(&self, pos: usize) -> (SimTime, u64) {
+        let s = &self.slots[self.heap[pos] as usize];
+        (s.at, s.seq)
+    }
+
+    #[inline]
+    fn less(&self, a: usize, b: usize) -> bool {
+        self.rank(a).cmp(&self.rank(b)) == Ordering::Less
+    }
+
+    /// Swaps the heap entries at positions `a` and `b`, fixing back-links.
+    #[inline]
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.slots[self.heap[a] as usize].pos = a as u32;
+        self.slots[self.heap[b] as usize].pos = b as u32;
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if !self.less(pos, parent) {
                 break;
             }
+            self.swap(pos, parent);
+            pos = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        loop {
+            let left = 2 * pos + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let smallest = if right < self.heap.len() && self.less(right, left) {
+                right
+            } else {
+                left
+            };
+            if !self.less(smallest, pos) {
+                break;
+            }
+            self.swap(pos, smallest);
+            pos = smallest;
+        }
+    }
+
+    /// Removes the heap entry at position `pos` (the slot stays allocated;
+    /// callers free or reuse it).
+    fn remove_at(&mut self, pos: usize) {
+        let last = self.heap.len() - 1;
+        if pos != last {
+            self.swap(pos, last);
+        }
+        self.heap.pop();
+        if pos < self.heap.len() {
+            // The transplanted leaf may need to move either direction.
+            self.sift_down(pos);
+            self.sift_up(pos);
         }
     }
 }
@@ -265,7 +368,8 @@ mod tests {
     #[test]
     fn cancel_unknown_key_is_noop() {
         let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventKey(99)));
+        assert!(!q.cancel(EventKey::DEAD));
+        assert!(!q.cancel(EventKey { slot: 99, seq: 0 }));
     }
 
     #[test]
@@ -284,6 +388,19 @@ mod tests {
     }
 
     #[test]
+    fn stale_key_cannot_cancel_a_reused_slot() {
+        // Fire an event, then schedule another (which reuses the slot):
+        // the old key must not be able to cancel the new occupant.
+        let mut q = EventQueue::new();
+        let k_old = q.schedule_at(us(10), 1);
+        q.pop();
+        let k_new = q.schedule_at(us(20), 2);
+        assert!(!q.cancel(k_old), "stale key rejected");
+        assert_eq!(q.len(), 1, "new occupant untouched");
+        assert!(q.cancel(k_new));
+    }
+
+    #[test]
     fn cancellation_set_stays_bounded_in_long_runs() {
         // Cancel-after-fire in a loop: the backlog must not accumulate.
         let mut q = EventQueue::new();
@@ -293,14 +410,55 @@ mod tests {
             assert!(!q.cancel(k));
         }
         assert_eq!(q.cancelled_backlog(), 0);
-        // Cancel-before-fire: entries are reclaimed as the heap drains.
+        // Cancel-before-fire: entries are reclaimed immediately.
         let keys: Vec<_> = (0..100).map(|i| q.schedule_at(us(1_000_000), i)).collect();
         for k in keys {
             assert!(q.cancel(k));
         }
         assert_eq!(q.len(), 0);
         assert_eq!(q.pop(), None);
-        assert_eq!(q.cancelled_backlog(), 0, "drained heap reclaims the set");
+        assert_eq!(q.cancelled_backlog(), 0, "cancellation leaves no garbage");
+    }
+
+    #[test]
+    fn slab_reuses_slots_without_growing() {
+        // Steady-state churn (the platform's rearm pattern: cancel +
+        // reschedule around every pop) must not grow the slab.
+        let mut q = EventQueue::new();
+        let mut sync = q.schedule_at(us(1), 0u64);
+        for i in 1..1_000u64 {
+            q.schedule_at(us(i), i);
+            q.pop();
+            // Cancel outcome is irrelevant; only the slab bound matters.
+            let _ = q.cancel(sync);
+            sync = q.schedule_at(us(i + 1), 0u64);
+        }
+        assert!(
+            q.slots.len() <= 8,
+            "slab grew to {} slots under bounded churn",
+            q.slots.len()
+        );
+    }
+
+    #[test]
+    fn interleaved_cancel_preserves_order() {
+        // Cancel entries from the middle of the heap and check the
+        // survivors still pop in exact (time, FIFO) order.
+        let mut q = EventQueue::new();
+        let keys: Vec<_> = (0..50u64).map(|i| q.schedule_at(us(i % 7), i)).collect();
+        for (i, k) in keys.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(q.cancel(*k));
+            }
+        }
+        let mut expect: Vec<(u64, u64)> = (0..50u64)
+            .filter(|i| i % 3 != 0)
+            .map(|i| (i % 7, i))
+            .collect();
+        expect.sort();
+        let got: Vec<(u64, u64)> =
+            std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_nanos() / 1000, e))).collect();
+        assert_eq!(got, expect);
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! Allocation budget for the hot path.
+//!
+//! The batched fabric hot path is supposed to be allocation-free in
+//! steady state: payload buffers come from the pool, event drains reuse
+//! caller-owned scratch, and the calendar recycles its slots. This test
+//! installs the counting allocator and holds the whole simulation to a
+//! hard budget of **0.5 allocations per event** — an order of magnitude
+//! above steady-state reality (the committed profile measures ~0.05), so
+//! it only trips when someone reintroduces a per-event allocation, not
+//! on setup-cost noise. It must pass in debug builds: the budget counts
+//! allocator calls, not cycles.
+
+use resex_platform::{run_scenario, PolicyKind, ScenarioConfig};
+use resex_simcore::time::SimDuration;
+
+#[global_allocator]
+static ALLOC: resex_obs::alloc::CountingAlloc = resex_obs::alloc::CountingAlloc;
+
+/// A small fig9-style managed contention scenario: two VMs, FreeMarket,
+/// caps actuating — the same workload shape the figure sweeps, shrunk to
+/// a fraction of a simulated second.
+fn budget_cfg() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::managed(1024 * 1024, PolicyKind::FreeMarket);
+    cfg.duration = SimDuration::from_millis(400);
+    cfg.warmup = SimDuration::from_millis(50);
+    cfg
+}
+
+#[test]
+fn hot_path_stays_under_half_an_allocation_per_event() {
+    // First run warms every lazy structure (pool buffers, scratch
+    // capacity, interned names) so the measured run sees steady state
+    // plus one world construction — which the budget must still absorb.
+    run_scenario(budget_cfg());
+
+    let (before, _) = resex_obs::alloc::thread_counters();
+    let run = run_scenario(budget_cfg());
+    let (after, _) = resex_obs::alloc::thread_counters();
+
+    let allocs = after.wrapping_sub(before);
+    let events = run.events_processed;
+    assert!(events > 10_000, "scenario too small to measure: {events}");
+    let per_event = allocs as f64 / events as f64;
+    assert!(
+        per_event < 0.5,
+        "hot path regressed to {per_event:.3} allocs/event \
+         ({allocs} allocations over {events} events)"
+    );
+}

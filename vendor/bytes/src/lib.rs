@@ -74,10 +74,11 @@ pub trait BufMut {
     /// Appends raw bytes.
     fn put_slice(&mut self, src: &[u8]);
 
-    /// Appends one byte.
     /// Appends `cnt` copies of `val`.
     fn put_bytes(&mut self, val: u8, cnt: usize) {
-        self.put_slice(&vec![val; cnt]);
+        for _ in 0..cnt {
+            self.put_u8(val);
+        }
     }
 
     fn put_u8(&mut self, v: u8) {
@@ -108,6 +109,21 @@ pub trait BufMut {
 impl BufMut for Vec<u8> {
     fn put_slice(&mut self, src: &[u8]) {
         self.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.resize(self.len() + cnt, val);
+    }
+}
+
+/// Write cursor over a fixed-size buffer: each write fills the front and
+/// advances the slice, exactly like the real `bytes` crate. Panics when the
+/// buffer runs out of room, matching upstream semantics.
+impl BufMut for &mut [u8] {
+    fn put_slice(&mut self, src: &[u8]) {
+        let (head, tail) = std::mem::take(self).split_at_mut(src.len());
+        head.copy_from_slice(src);
+        *self = tail;
     }
 }
 

@@ -29,7 +29,9 @@
 //! disables the pool entirely (everything runs inline on the caller,
 //! the debugging baseline). Unset, the width is
 //! `std::thread::available_parallelism()`. In-process callers (tests)
-//! may use [`set_num_threads`] before the pool's first use.
+//! may use [`set_num_threads`] before the pool's first use. On a
+//! single-core host every request resolves to 1: parallelism that can't
+//! actually run concurrently only adds preemption and lock contention.
 
 pub mod iter;
 pub mod pool;

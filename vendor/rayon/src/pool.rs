@@ -227,6 +227,18 @@ pub fn set_num_threads(n: usize) -> bool {
 }
 
 fn resolve_threads() -> usize {
+    // On a single-core host a wider pool cannot run anything in parallel;
+    // the workers just preempt each other (and the deque locks become
+    // contended), so a requested width > 1 turns a no-op into a slowdown.
+    // Fall back to fully-sequential inline execution no matter what was
+    // asked for. Multi-core hosts still honour explicit oversubscription
+    // (stealing tests rely on it).
+    let hw = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if hw <= 1 {
+        return 1;
+    }
     if let Ok(v) = std::env::var("RESEX_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n >= 1 {
@@ -235,9 +247,7 @@ fn resolve_threads() -> usize {
         }
     }
     match REQUESTED_THREADS.load(Ordering::Relaxed) {
-        0 => thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        0 => hw,
         n => n,
     }
 }
