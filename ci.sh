@@ -83,6 +83,28 @@ grep "recovery: " "$TMP/fig9_soak_a.txt" | grep -q " lost=0 " || {
 sed -n 's/^  recovery:/    survived flaps:/p' "$TMP/fig9_soak_a.txt"
 echo "    byte-identical across runs, lost=0"
 
+echo "==> adversary-off byte-identity gate: fig9 --quick vs committed baseline"
+# The antagonist plane's zero-cost contract: with no --adversary flag the
+# binary must produce byte-for-byte the JSON committed before the plane
+# existed. If this fails after an *intentional* fig9 format change,
+# regenerate with:
+#   RESEX_THREADS=1 ./target/release/repro fig9 --quick --json tests/baselines/fig9_quick.json
+cmp tests/baselines/fig9_quick.json "$TMP/fig9_seq.json"
+echo "    byte-identical to tests/baselines/fig9_quick.json"
+
+echo "==> adversary smoke gate: each attacker class completes and replays byte-identically"
+for class in burst freeride poison collude; do
+    SPEC="class=$class,seed=5"
+    RESEX_THREADS=1 "$REPRO" fig9 --quick --adversary "$SPEC" \
+        --json "$TMP/fig9_adv_a.json" > "$TMP/fig9_adv_a.txt" 2>&1
+    RESEX_THREADS=1 "$REPRO" fig9 --quick --adversary "$SPEC" \
+        --json "$TMP/fig9_adv_b.json" >/dev/null 2>&1
+    cmp "$TMP/fig9_adv_a.json" "$TMP/fig9_adv_b.json"
+    grep -q '"adversary"' "$TMP/fig9_adv_a.json" || {
+        echo "    FAIL: $class: attacked run reported no adversary totals"; exit 1; }
+    echo "    class=$class ok (complete, totals reported, replay byte-identical)"
+done
+
 echo "==> sweep wall-clock: repro all --quick (per-target timings below)"
 t0=$(date +%s.%N)
 RESEX_THREADS=1 "$REPRO" all --quick >/dev/null

@@ -1,0 +1,789 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # resex-adversary — deterministic antagonist tenants
+//!
+//! Every tenant the simulator modelled before this plane existed was
+//! *honest*: it paid the posted Reso prices and let IBMon watch its rings.
+//! ResEx's whole premise, though, is that a market disciplines bypass-I/O
+//! interference — and markets attract gamers. This crate is the antagonist
+//! plane beside `resex-faults`: scenario-selectable attacker behaviours a
+//! VM can run against the economy, each **seeded-deterministic** so attacks
+//! replay byte-identically and CI can diff their damage.
+//!
+//! Four attacker classes, mirroring known scheduler-gaming results:
+//!
+//! * [`AttackClass::Burst`] — cap-evading burst timing phase-locked to the
+//!   ResEx charging interval: traffic is compressed into the tail of each
+//!   interval so queueing damage lands in the *next* sample, where the
+//!   attacker's own MTU count looks modest.
+//! * [`AttackClass::FreeRide`] — Resos free-riding: spend the allocation to
+//!   zero early, then coast on `fraction_remaining` floors, the epoch-tail
+//!   throttle exemption, and overdraft forgiveness at replenish.
+//! * [`AttackClass::Poison`] — telemetry poisoning: traffic shaped so
+//!   IBMon's ring-scan estimator under-reports the attacker's bypass usage
+//!   (a burst of large transfers wrapped off the CQ ring by a tail of
+//!   minimal ones, biasing the per-slot size average the aliasing path
+//!   scales up).
+//! * [`AttackClass::Collude`] — coordinated multi-VM collusion: attackers
+//!   alternate bursts round-robin across charging intervals so each stays
+//!   individually under the single-culprit pricing radar.
+//!
+//! Like the fault plane, a disabled spec draws **nothing** and installs
+//! nothing: adversary-off runs stay byte-identical to builds without this
+//! crate. Per-attacker randomness (client jitter seeds) forks from the
+//! spec's own seed via the same domain-XOR pattern `resex-faults` uses, so
+//! attack patterns can be varied without perturbing the workload streams.
+
+use resex_simcore::rng::SimRng;
+use resex_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+fn default_seed() -> u64 {
+    0xAD5A17
+}
+
+/// Which antagonist behaviour the attacker VMs run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackClass {
+    /// No attack: the plane is inert and never installed.
+    #[default]
+    Off,
+    /// Cap-evading bursts phase-locked to the charging interval.
+    Burst,
+    /// Spend-to-zero Resos free-riding.
+    FreeRide,
+    /// CQ-ring-scan telemetry poisoning.
+    Poison,
+    /// Round-robin multi-VM burst collusion.
+    Collude,
+}
+
+impl AttackClass {
+    /// Short spec-syntax name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackClass::Off => "off",
+            AttackClass::Burst => "burst",
+            AttackClass::FreeRide => "freeride",
+            AttackClass::Poison => "poison",
+            AttackClass::Collude => "collude",
+        }
+    }
+}
+
+/// A malformed adversary spec: what was wrong and, via
+/// [`std::fmt::Display`], a one-line usage hint so `repro --adversary` can
+/// print something actionable instead of unwinding.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdversarySpecError {
+    /// A comma-separated item had no `=` in it.
+    NotKeyValue(String),
+    /// The value did not parse as a number.
+    BadNumber {
+        /// The key whose value was malformed.
+        key: String,
+        /// The raw value text.
+        value: String,
+    },
+    /// The key is not one this parser knows.
+    UnknownKey(String),
+    /// The attack class name is not one of the four (or `off`).
+    UnknownClass(String),
+    /// A rate-like knob is outside its valid range.
+    BadRate {
+        /// Short knob name as used in the spec syntax.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An enabled spec names no attacker VMs.
+    NoAttackers,
+    /// The same VM appears twice in the attacker list.
+    DuplicateAttacker(u32),
+    /// An attacker VM is also the designated victim.
+    AttackerIsVictim(u32),
+    /// A VM index is outside the scenario's VM set (checked at wiring
+    /// time, when the VM count is known).
+    UnknownVm {
+        /// The out-of-range VM index.
+        vm: u32,
+        /// How many VMs the scenario actually has.
+        n_vms: usize,
+    },
+}
+
+/// The one-line syntax reminder appended to every parse error.
+pub const ADVERSARY_SPEC_USAGE: &str = "expected comma list of key=value; keys: \
+class=burst|freeride|poison|collude attackers=I[+J+...] victim=I intensity=F duty=F seed=N \
+(intensity in [0,1], duty in (0,1]); e.g. class=burst,attackers=1,intensity=0.8,seed=7";
+
+impl fmt::Display for AdversarySpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdversarySpecError::NotKeyValue(item) => {
+                write!(f, "adversary spec item '{item}' is not key=value")?
+            }
+            AdversarySpecError::BadNumber { key, value } => write!(
+                f,
+                "adversary spec value '{value}' for '{key}' does not parse"
+            )?,
+            AdversarySpecError::UnknownKey(key) => write!(f, "unknown adversary spec key '{key}'")?,
+            AdversarySpecError::UnknownClass(name) => write!(f, "unknown attack class '{name}'")?,
+            AdversarySpecError::BadRate { name, value } => {
+                write!(f, "adversary knob {name}={value} is out of range")?
+            }
+            AdversarySpecError::NoAttackers => write!(
+                f,
+                "an enabled adversary spec needs at least one attacker VM"
+            )?,
+            AdversarySpecError::DuplicateAttacker(vm) => {
+                write!(f, "attacker VM {vm} is listed twice")?
+            }
+            AdversarySpecError::AttackerIsVictim(vm) => {
+                write!(f, "VM {vm} cannot be both attacker and victim")?
+            }
+            AdversarySpecError::UnknownVm { vm, n_vms } => {
+                write!(f, "VM {vm} does not exist (scenario has {n_vms} VMs)")?
+            }
+        }
+        write!(f, "; {ADVERSARY_SPEC_USAGE}")
+    }
+}
+
+impl std::error::Error for AdversarySpecError {}
+
+/// The antagonist configuration: which VMs attack whom, how, and how hard.
+/// A default spec ([`AttackClass::Off`]) is inert.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct AdversarySpec {
+    /// Seed of the adversary plane's RNG tree (independent of the scenario
+    /// seed so attack patterns can be varied without perturbing the honest
+    /// workload).
+    pub seed: u64,
+    /// The behaviour the attacker VMs run.
+    pub class: AttackClass,
+    /// Scenario VM indices that attack. Collusion alternates bursts across
+    /// them in listed order.
+    pub attackers: Vec<u32>,
+    /// The latency-sensitive VM whose damage is measured.
+    pub victim: u32,
+    /// Attack aggressiveness in `[0, 1]`: scales the traffic amplification
+    /// above an honest interferer's load.
+    pub intensity: f64,
+    /// Burst duty cycle in `(0, 1]`: the fraction of each charging interval
+    /// (its tail) inside which a phase-locked attacker sends.
+    pub duty: f64,
+}
+
+impl Default for AdversarySpec {
+    fn default() -> Self {
+        AdversarySpec {
+            seed: default_seed(),
+            class: AttackClass::Off,
+            attackers: vec![1],
+            victim: 0,
+            intensity: 1.0,
+            duty: 0.25,
+        }
+    }
+}
+
+// Hand-written so that omitted fields fall back to the *spec* defaults
+// (seed, attackers = [1], intensity = 1.0, duty = 0.25) rather than zero:
+// the vendored serde derive only supports bare `#[serde(default)]`.
+impl Deserialize for AdversarySpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("AdversarySpec: expected object"))?;
+        let mut spec = AdversarySpec::default();
+        fn field<T: Deserialize>(
+            m: &serde::Map,
+            key: &str,
+            slot: &mut T,
+        ) -> Result<(), serde::Error> {
+            if let Some(x) = m.get(key) {
+                *slot = T::from_value(x)?;
+            }
+            Ok(())
+        }
+        field(m, "seed", &mut spec.seed)?;
+        field(m, "class", &mut spec.class)?;
+        field(m, "attackers", &mut spec.attackers)?;
+        field(m, "victim", &mut spec.victim)?;
+        field(m, "intensity", &mut spec.intensity)?;
+        field(m, "duty", &mut spec.duty)?;
+        Ok(spec)
+    }
+}
+
+impl AdversarySpec {
+    /// True if the plane does anything at all. A disabled spec is never
+    /// installed, which is what keeps adversary-off runs byte-identical to
+    /// pre-adversary builds.
+    pub fn enabled(&self) -> bool {
+        self.class != AttackClass::Off && self.intensity > 0.0
+    }
+
+    /// Validates everything checkable without knowing the scenario's VM
+    /// count (rates in range, attacker list well-formed, attacker ≠
+    /// victim). A disabled spec is always valid.
+    pub fn validate(&self) -> Result<(), AdversarySpecError> {
+        if !(0.0..=1.0).contains(&self.intensity) {
+            return Err(AdversarySpecError::BadRate {
+                name: "intensity",
+                value: self.intensity,
+            });
+        }
+        if !(self.duty > 0.0 && self.duty <= 1.0) {
+            return Err(AdversarySpecError::BadRate {
+                name: "duty",
+                value: self.duty,
+            });
+        }
+        if self.class == AttackClass::Off {
+            return Ok(());
+        }
+        if self.attackers.is_empty() {
+            return Err(AdversarySpecError::NoAttackers);
+        }
+        for (i, &vm) in self.attackers.iter().enumerate() {
+            if self.attackers[..i].contains(&vm) {
+                return Err(AdversarySpecError::DuplicateAttacker(vm));
+            }
+            if vm == self.victim {
+                return Err(AdversarySpecError::AttackerIsVictim(vm));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the spec against a concrete scenario: every attacker and
+    /// the victim must be existing VM indices.
+    pub fn validate_for(&self, n_vms: usize) -> Result<(), AdversarySpecError> {
+        self.validate()?;
+        if !self.enabled() {
+            return Ok(());
+        }
+        for &vm in self.attackers.iter().chain(std::iter::once(&self.victim)) {
+            if vm as usize >= n_vms {
+                return Err(AdversarySpecError::UnknownVm { vm, n_vms });
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a compact `key=value` spec, e.g.
+    /// `class=collude,attackers=1+2,victim=0,intensity=0.8,duty=0.2,seed=7`.
+    ///
+    /// Keys: `class` (`burst`, `freeride`, `poison`, `collude`, `off`),
+    /// `attackers` (`+`-separated VM indices), `victim`, `intensity`,
+    /// `duty`, `seed`.
+    pub fn parse(s: &str) -> Result<AdversarySpec, AdversarySpecError> {
+        let mut spec = AdversarySpec::default();
+        for part in s.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| AdversarySpecError::NotKeyValue(part.to_string()))?;
+            let (key, value) = (key.trim(), value.trim());
+            fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, AdversarySpecError> {
+                value.parse().map_err(|_| AdversarySpecError::BadNumber {
+                    key: key.to_string(),
+                    value: value.to_string(),
+                })
+            }
+            match key {
+                "seed" => spec.seed = num(key, value)?,
+                "class" => {
+                    spec.class = match value {
+                        "off" => AttackClass::Off,
+                        "burst" => AttackClass::Burst,
+                        "freeride" => AttackClass::FreeRide,
+                        "poison" => AttackClass::Poison,
+                        "collude" => AttackClass::Collude,
+                        other => return Err(AdversarySpecError::UnknownClass(other.to_string())),
+                    }
+                }
+                "attackers" => {
+                    spec.attackers = value
+                        .split('+')
+                        .map(|v| num(key, v.trim()))
+                        .collect::<Result<Vec<u32>, _>>()?;
+                }
+                "victim" => spec.victim = num(key, value)?,
+                "intensity" => spec.intensity = num(key, value)?,
+                "duty" => spec.duty = num(key, value)?,
+                _ => return Err(AdversarySpecError::UnknownKey(key.to_string())),
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// Counters of everything the antagonist plane actually did, for run
+/// reports and the `adversary` observability subsystem.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdversaryStats {
+    /// Timer arms moved into a later burst window (sends the attacker
+    /// deliberately held back to stay phase-locked).
+    pub deferred_sends: u64,
+    /// Distinct burst windows an attacker fired in.
+    pub bursts: u64,
+}
+
+/// How an attacker VM's client traffic is reshaped. The platform maps this
+/// onto its client/trace machinery; the plane only decides the shape.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AttackTraffic {
+    /// Closed-loop flood at `amplification`× an honest interferer's batch:
+    /// the free-rider's spend-to-zero engine.
+    Flood {
+        /// Batch multiplier over the honest interferer load (≥ 1).
+        amplification: f64,
+    },
+    /// Open-loop phase-locked bursts released only inside the tail duty
+    /// window of each charging interval (or of each attacker's rotation
+    /// slot under collusion): `ceil(amplification)` honest-size sends
+    /// back-to-back per window, so the damage is queueing depth on the
+    /// shared egress, phase-locked to the charging cadence.
+    Burst {
+        /// Send period (the charging interval, times the colluding group
+        /// size when bursts rotate).
+        period: SimDuration,
+        /// Burst depth: sends per duty window (≥ 1, rounded up).
+        amplification: f64,
+    },
+    /// Ring-scan poisoning: per period, `big` large transfers followed by
+    /// `repaint` minimal ones that wrap the large CQEs off the monitored
+    /// ring before the next scan.
+    Poison {
+        /// Interval between poison cycles (the charging interval).
+        period: SimDuration,
+        /// Large transfers per cycle.
+        big: u32,
+        /// Minimal repaint transfers per cycle.
+        repaint: u32,
+    },
+}
+
+/// Stream-domain constant: the plane seeds its RNG tree from
+/// `seed ^ DOMAIN_ADVERSARY`, the same isolation pattern the fault
+/// injectors use, so adversary draws are independent of every fault stream
+/// even when both planes share a seed value.
+const DOMAIN_ADVERSARY: u64 = 0x00AD_5A17;
+
+/// Maximum traffic amplification at `intensity = 1.0`.
+const MAX_AMPLIFICATION: f64 = 8.0;
+
+/// Large transfers per poison cycle. One: consecutive large completions
+/// arrive at compute speed, slowly enough that each gets its own exact
+/// ring scan — only a large transfer *immediately chased off the ring* by
+/// minimal ones evades the scanner.
+const POISON_BIG_PER_CYCLE: u32 = 1;
+
+/// The live antagonist plane: owns the spec, the per-attacker RNG forks,
+/// and the action tally. One instance per run, installed only when the
+/// spec is enabled.
+#[derive(Clone, Debug)]
+pub struct Antagonist {
+    spec: AdversarySpec,
+    interval: SimDuration,
+    /// Per-attacker client jitter seeds, forked from the plane's master in
+    /// attacker-list order (the fork order is part of the reproducibility
+    /// contract).
+    client_seeds: Vec<(u32, u64)>,
+    /// Last burst window each attacker fired in, for the `bursts` tally.
+    last_window: Vec<(u32, u64)>,
+    /// Action tally.
+    pub stats: AdversaryStats,
+}
+
+impl Antagonist {
+    /// Builds the plane for a run whose manager charges every
+    /// `charging_interval`.
+    ///
+    /// # Panics
+    /// If the spec is disabled or invalid — callers gate on
+    /// [`AdversarySpec::enabled`] and validate first, exactly like the
+    /// fault plane's installers.
+    pub fn new(spec: AdversarySpec, charging_interval: SimDuration) -> Self {
+        assert!(spec.enabled(), "antagonist built from a disabled spec");
+        assert!(!charging_interval.is_zero(), "zero charging interval");
+        spec.validate().expect("antagonist built from invalid spec");
+        let mut master = SimRng::seed_from_u64(spec.seed ^ DOMAIN_ADVERSARY);
+        let client_seeds = spec
+            .attackers
+            .iter()
+            .map(|&vm| (vm, master.fork().next_u64()))
+            .collect();
+        let last_window = spec.attackers.iter().map(|&vm| (vm, u64::MAX)).collect();
+        Antagonist {
+            spec,
+            interval: charging_interval,
+            client_seeds,
+            last_window,
+            stats: AdversaryStats::default(),
+        }
+    }
+
+    /// The spec this plane runs.
+    pub fn spec(&self) -> &AdversarySpec {
+        &self.spec
+    }
+
+    /// True if scenario VM `vm` is one of the attackers.
+    pub fn is_attacker(&self, vm: u32) -> bool {
+        self.spec.attackers.contains(&vm)
+    }
+
+    /// The designated victim VM.
+    pub fn victim(&self) -> u32 {
+        self.spec.victim
+    }
+
+    /// The deterministic client jitter seed for attacker `vm` (forked from
+    /// the plane's seed, not the scenario's).
+    pub fn client_seed(&self, vm: u32) -> Option<u64> {
+        self.client_seeds
+            .iter()
+            .find(|&&(v, _)| v == vm)
+            .map(|&(_, s)| s)
+    }
+
+    /// Traffic amplification at the spec's intensity.
+    fn amplification(&self) -> f64 {
+        1.0 + (MAX_AMPLIFICATION - 1.0) * self.spec.intensity
+    }
+
+    /// How attacker `vm`'s client traffic is reshaped, or `None` for
+    /// honest VMs.
+    pub fn traffic(&self, vm: u32) -> Option<AttackTraffic> {
+        if !self.is_attacker(vm) {
+            return None;
+        }
+        Some(match self.spec.class {
+            AttackClass::Off => unreachable!("disabled plane is never built"),
+            AttackClass::FreeRide => AttackTraffic::Flood {
+                amplification: self.amplification(),
+            },
+            AttackClass::Burst => AttackTraffic::Burst {
+                period: self.interval,
+                amplification: self.amplification(),
+            },
+            AttackClass::Collude => AttackTraffic::Burst {
+                period: self.interval.mul_f64(self.spec.attackers.len() as f64),
+                amplification: self.amplification(),
+            },
+            AttackClass::Poison => {
+                // Intensity scales how many minimal transfers chase each
+                // burst of large ones — deeper repaint, stronger aliasing
+                // bias in the ring-scan average.
+                let repaint = (16.0 + 112.0 * self.spec.intensity).round() as u32;
+                AttackTraffic::Poison {
+                    period: self.interval,
+                    big: POISON_BIG_PER_CYCLE,
+                    repaint,
+                }
+            }
+        })
+    }
+
+    /// Index of `vm` in the attacker rotation, if it attacks.
+    fn rotation_index(&self, vm: u32) -> Option<u64> {
+        self.spec
+            .attackers
+            .iter()
+            .position(|&v| v == vm)
+            .map(|i| i as u64)
+    }
+
+    /// Phase-locks a send instant: returns the earliest time ≥ `t` at
+    /// which attacker `vm` is allowed to send, which is `t` itself inside
+    /// an eligible burst window and the start of the next eligible window
+    /// otherwise. Honest VMs and non-phase-locked classes pass through
+    /// unchanged. Pure clock arithmetic — no RNG — so gating can never
+    /// perturb any seeded stream.
+    pub fn gate_send(&mut self, vm: u32, t: SimTime) -> SimTime {
+        let (stride, offset) = match self.spec.class {
+            AttackClass::Burst => (1u64, 0u64),
+            AttackClass::Collude => match self.rotation_index(vm) {
+                Some(j) => (self.spec.attackers.len() as u64, j),
+                None => return t,
+            },
+            _ => return t,
+        };
+        if !self.is_attacker(vm) {
+            return t;
+        }
+        let interval = self.interval.as_nanos();
+        // The open window is the tail `duty` fraction of each eligible
+        // charging interval: damage from the burst queues into the *next*
+        // interval, where the attacker's own sampled MTU count looks tame.
+        let width = ((interval as f64 * self.spec.duty) as u64).clamp(1, interval);
+        let k0 = t.as_nanos() / interval;
+        for k in k0.. {
+            if k % stride != offset {
+                continue;
+            }
+            let open = k * interval + (interval - width);
+            let close = (k + 1) * interval;
+            if t.as_nanos() >= close {
+                continue;
+            }
+            let fire = t.as_nanos().max(open);
+            if fire > t.as_nanos() {
+                self.stats.deferred_sends += 1;
+            }
+            if let Some(slot) = self
+                .last_window
+                .iter_mut()
+                .find(|(v, _)| *v == vm)
+                .map(|(_, w)| w)
+            {
+                if *slot != k {
+                    *slot = k;
+                    self.stats.bursts += 1;
+                }
+            }
+            return SimTime::from_nanos(fire);
+        }
+        unreachable!("an eligible window always exists ahead of t")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+
+    fn burst_spec() -> AdversarySpec {
+        AdversarySpec {
+            class: AttackClass::Burst,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn default_spec_is_disabled_and_valid() {
+        let spec = AdversarySpec::default();
+        assert!(!spec.enabled());
+        assert!(spec.validate().is_ok());
+        assert!(
+            spec.validate_for(1).is_ok(),
+            "disabled spec fits any VM set"
+        );
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let spec = AdversarySpec::parse(
+            "class=collude, attackers=1+2 ,victim=0,intensity=0.5,duty=0.2,seed=9",
+        )
+        .unwrap();
+        assert_eq!(spec.class, AttackClass::Collude);
+        assert_eq!(spec.attackers, vec![1, 2]);
+        assert_eq!(spec.victim, 0);
+        assert_eq!(spec.intensity, 0.5);
+        assert_eq!(spec.duty, 0.2);
+        assert_eq!(spec.seed, 9);
+        assert!(spec.enabled());
+        assert_eq!(AdversarySpec::parse("").unwrap(), AdversarySpec::default());
+    }
+
+    #[test]
+    fn parse_errors_are_typed_with_usage_hint() {
+        assert!(matches!(
+            AdversarySpec::parse("class"),
+            Err(AdversarySpecError::NotKeyValue(_))
+        ));
+        assert!(matches!(
+            AdversarySpec::parse("intensity=nope"),
+            Err(AdversarySpecError::BadNumber { .. })
+        ));
+        assert!(matches!(
+            AdversarySpec::parse("bogus=1"),
+            Err(AdversarySpecError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            AdversarySpec::parse("class=ransom"),
+            Err(AdversarySpecError::UnknownClass(_))
+        ));
+        assert!(matches!(
+            AdversarySpec::parse("class=burst,intensity=1.5"),
+            Err(AdversarySpecError::BadRate {
+                name: "intensity",
+                ..
+            })
+        ));
+        assert!(matches!(
+            AdversarySpec::parse("class=burst,duty=0"),
+            Err(AdversarySpecError::BadRate { name: "duty", .. })
+        ));
+        let msg = AdversarySpec::parse("bogus=1").unwrap_err().to_string();
+        assert!(
+            msg.contains("attackers"),
+            "usage hint lists the keys: {msg}"
+        );
+        assert!(msg.contains("e.g."), "usage hint shows an example: {msg}");
+    }
+
+    #[test]
+    fn validation_catches_attacker_set_errors() {
+        assert!(matches!(
+            AdversarySpec::parse("class=burst,attackers=0"),
+            Err(AdversarySpecError::AttackerIsVictim(0))
+        ));
+        assert!(matches!(
+            AdversarySpec::parse("class=collude,attackers=1+1"),
+            Err(AdversarySpecError::DuplicateAttacker(1))
+        ));
+        let mut spec = burst_spec();
+        spec.attackers.clear();
+        assert_eq!(spec.validate(), Err(AdversarySpecError::NoAttackers));
+        // Unknown VM ids are a wiring-time check: attackers=5 parses, but
+        // does not validate against a 2-VM scenario.
+        let spec = AdversarySpec::parse("class=burst,attackers=5").unwrap();
+        assert!(matches!(
+            spec.validate_for(2),
+            Err(AdversarySpecError::UnknownVm { vm: 5, n_vms: 2 })
+        ));
+        assert!(spec.validate_for(6).is_ok());
+    }
+
+    #[test]
+    fn spec_deserializes_from_empty_object() {
+        let spec: AdversarySpec = serde_json::from_str("{}").unwrap();
+        assert_eq!(spec, AdversarySpec::default());
+        assert!(!spec.enabled());
+        // And a spec with only one key set keeps the other defaults.
+        let spec: AdversarySpec = serde_json::from_str(r#"{"class": "Burst"}"#).unwrap();
+        assert_eq!(spec.class, AttackClass::Burst);
+        assert_eq!(spec.seed, default_seed());
+        assert_eq!(spec.attackers, vec![1]);
+    }
+
+    #[test]
+    fn client_seeds_are_deterministic_and_per_attacker() {
+        let spec = AdversarySpec::parse("class=collude,attackers=1+2,seed=3").unwrap();
+        let a = Antagonist::new(spec.clone(), SimDuration::from_millis(1));
+        let b = Antagonist::new(spec, SimDuration::from_millis(1));
+        assert_eq!(a.client_seed(1), b.client_seed(1));
+        assert_ne!(a.client_seed(1), a.client_seed(2), "independent forks");
+        assert_eq!(a.client_seed(0), None, "honest VMs draw nothing");
+        let other = Antagonist::new(
+            AdversarySpec::parse("class=collude,attackers=1+2,seed=4").unwrap(),
+            SimDuration::from_millis(1),
+        );
+        assert_ne!(a.client_seed(1), other.client_seed(1));
+    }
+
+    #[test]
+    fn burst_gate_snaps_into_the_tail_window() {
+        let mut ant = Antagonist::new(burst_spec(), SimDuration::from_millis(1));
+        // duty = 0.25: window is the last 250 µs of each 1 ms interval.
+        let t = SimTime::from_micros(100);
+        let fired = ant.gate_send(1, t);
+        assert_eq!(fired, SimTime::from_micros(750), "held to the tail");
+        // Inside the window: passes through unchanged.
+        let t = SimTime::from_micros(800);
+        assert_eq!(ant.gate_send(1, t), t);
+        assert_eq!(ant.stats.deferred_sends, 1);
+        assert_eq!(ant.stats.bursts, 1, "both fires share one window");
+        // Honest VMs and the victim are never gated.
+        let t = SimTime::from_micros(42);
+        assert_eq!(ant.gate_send(0, t), t);
+    }
+
+    #[test]
+    fn collusion_rotates_windows_round_robin() {
+        let spec = AdversarySpec::parse("class=collude,attackers=1+2,duty=0.5").unwrap();
+        let mut ant = Antagonist::new(spec, SimDuration::from_millis(1));
+        // Attacker 1 owns even intervals, attacker 2 odd ones.
+        assert_eq!(ant.gate_send(1, ms(0)), SimTime::from_micros(500));
+        assert_eq!(ant.gate_send(2, ms(0)), SimTime::from_micros(1500));
+        // From inside attacker 2's interval, attacker 1 waits for the next
+        // even one.
+        assert_eq!(
+            ant.gate_send(1, SimTime::from_micros(1600)),
+            SimTime::from_micros(2500)
+        );
+        assert_eq!(ant.stats.deferred_sends, 3);
+        assert_eq!(ant.stats.bursts, 3);
+    }
+
+    #[test]
+    fn traffic_shapes_follow_the_class() {
+        let interval = SimDuration::from_millis(1);
+        let flood = Antagonist::new(
+            AdversarySpec::parse("class=freeride,intensity=1").unwrap(),
+            interval,
+        );
+        assert_eq!(
+            flood.traffic(1),
+            Some(AttackTraffic::Flood {
+                amplification: MAX_AMPLIFICATION
+            })
+        );
+        assert_eq!(flood.traffic(0), None);
+
+        let half = Antagonist::new(
+            AdversarySpec::parse("class=burst,intensity=0.5").unwrap(),
+            interval,
+        );
+        match half.traffic(1) {
+            Some(AttackTraffic::Burst {
+                period,
+                amplification,
+            }) => {
+                assert_eq!(period, interval);
+                assert!((amplification - 4.5).abs() < 1e-12);
+            }
+            other => panic!("expected burst, got {other:?}"),
+        }
+
+        let collude = Antagonist::new(
+            AdversarySpec::parse("class=collude,attackers=1+2+3").unwrap(),
+            interval,
+        );
+        match collude.traffic(2) {
+            Some(AttackTraffic::Burst { period, .. }) => {
+                assert_eq!(
+                    period,
+                    SimDuration::from_millis(3),
+                    "rotation stretches the period"
+                );
+            }
+            other => panic!("expected burst, got {other:?}"),
+        }
+
+        let poison = Antagonist::new(
+            AdversarySpec::parse("class=poison,intensity=1").unwrap(),
+            interval,
+        );
+        match poison.traffic(1) {
+            Some(AttackTraffic::Poison { big, repaint, .. }) => {
+                assert_eq!(big, POISON_BIG_PER_CYCLE);
+                assert_eq!(repaint, 128);
+            }
+            other => panic!("expected poison, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gating_is_pure_clock_arithmetic() {
+        // Two planes, one gated heavily in between: client seeds (the only
+        // RNG product) stay identical — gating consumes no RNG.
+        let spec = burst_spec();
+        let mut a = Antagonist::new(spec.clone(), SimDuration::from_millis(1));
+        let b = Antagonist::new(spec, SimDuration::from_millis(1));
+        for i in 0..100u64 {
+            a.gate_send(1, SimTime::from_micros(i * 37));
+        }
+        assert_eq!(a.client_seed(1), b.client_seed(1));
+    }
+}

@@ -16,6 +16,7 @@ fn bench_scale() -> Scale {
         timeline: SimDuration::from_millis(800),
         warmup: SimDuration::from_millis(50),
         faults: resex_faults::FaultSpec::default(),
+        adversary: resex_adversary::AdversarySpec::default(),
     }
 }
 

@@ -13,7 +13,9 @@
 //! scenario (64KB + 2MB under FreeMarket) with observability on and write
 //! a Perfetto-loadable trace / per-interval JSONL metrics. `--faults SPEC`
 //! installs a deterministic fault schedule (see `resex_faults::FaultSpec`)
-//! on every scenario the target runs.
+//! on every scenario the target runs. `--adversary SPEC` arms the
+//! antagonist plane (see `resex_adversary::AdversarySpec`) on every
+//! multi-VM scenario the target runs.
 //!
 //! `all` computes the independent figure targets **concurrently** on the
 //! work-stealing pool (each figure also fans its own sweep points out),
@@ -51,9 +53,11 @@ fn usage() -> ! {
         "usage: repro [profile] <fig1|...|fig9|ablation|hw_qos|scaling|all> \
          [--quick|--full] [--duration-ms N] [--warmup-ms N] \
          [--json PATH] [--trace PATH] [--metrics PATH] [--faults SPEC] \
-         [--profile-json PATH] [--flame PATH]\n\
+         [--adversary SPEC] [--profile-json PATH] [--flame PATH]\n\
          fault SPEC: comma list of seed=N loss=P corrupt=P delay=P \
-delay_us=N tear=P skip=P stale=P capfail=P flap_ms=N flap_down_us=N"
+delay_us=N tear=P skip=P stale=P capfail=P flap_ms=N flap_down_us=N\n\
+         adversary SPEC: comma list of class=<burst|freeride|poison|collude> \
+seed=N attackers=I+J+.. victim=I intensity=F duty=F"
     );
     std::process::exit(2);
 }
@@ -65,6 +69,7 @@ fn observed_representative(scale: &Scale, trace_path: Option<&str>, metrics_path
     cfg.duration = scale.duration;
     cfg.warmup = scale.warmup;
     scale.stamp_faults(&mut cfg);
+    scale.stamp_adversary(&mut cfg);
     cfg.obs.trace = trace_path.is_some();
     cfg.obs.metrics = metrics_path.is_some();
     let label = cfg.label.clone();
@@ -223,6 +228,14 @@ fn main() {
                 let spec = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
                 scale.faults = resex_faults::FaultSpec::parse(spec).unwrap_or_else(|e| {
                     eprintln!("bad --faults spec: {e}");
+                    usage()
+                });
+            }
+            "--adversary" => {
+                i += 1;
+                let spec = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
+                scale.adversary = resex_adversary::AdversarySpec::parse(spec).unwrap_or_else(|e| {
+                    eprintln!("bad --adversary spec: {e}");
                     usage()
                 });
             }

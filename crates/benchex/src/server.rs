@@ -40,7 +40,20 @@ pub struct ServerConfig {
     pub execute_tasks: bool,
     /// Capacity of the latency window the reporting agent reads.
     pub latency_window: usize,
+    /// Scale each response to its transaction's batch size instead of
+    /// always padding to `buffer_size` (`len = n_options ×`
+    /// [`RESPONSE_BYTES_PER_OPTION`], capped at `buffer_size`). Off for
+    /// every honest VM — the paper's fixed-cost workload pads every
+    /// response — and switched on only for telemetry-poisoning antagonists,
+    /// whose guest deliberately mixes huge and minimal responses to bias
+    /// ring-scan monitoring.
+    #[serde(default)]
+    pub variable_responses: bool,
 }
+
+/// Response bytes per batched option when
+/// [`ServerConfig::variable_responses`] is on.
+pub const RESPONSE_BYTES_PER_OPTION: u32 = 2048;
 
 impl Default for ServerConfig {
     fn default() -> Self {
@@ -53,6 +66,7 @@ impl Default for ServerConfig {
             poll_overhead: SimDuration::from_micros(2),
             execute_tasks: true,
             latency_window: 4096,
+            variable_responses: false,
         }
     }
 }
@@ -168,8 +182,15 @@ impl Server {
             self.value_checksum += svc.req.task.execute().value_sum;
         }
         self.state = State::Sending;
+        let len = if self.cfg.variable_responses {
+            (svc.req.task.n_options)
+                .saturating_mul(RESPONSE_BYTES_PER_OPTION)
+                .min(self.cfg.buffer_size)
+        } else {
+            self.cfg.buffer_size
+        };
         ServerAction::PostResponse {
-            len: self.cfg.buffer_size,
+            len,
             client_id: svc.req.client_id,
             request_id: svc.req.id,
         }
@@ -334,6 +355,48 @@ mod tests {
             SimDuration::from_micros(2),
             "just the poll cost"
         );
+    }
+
+    #[test]
+    fn variable_responses_scale_with_the_batch() {
+        let cfg = ServerConfig {
+            variable_responses: true,
+            ..ServerConfig::default()
+        };
+        let mut s = Server::new(cfg);
+        // Batch-1 task: a minimal response, not the padded buffer.
+        let tiny = TransactionRequest {
+            task: PricingTask {
+                kind: TaskKind::Quote,
+                n_options: 1,
+                seed: 0,
+            },
+            ..req(1)
+        };
+        s.on_request(tiny, us(0));
+        match s.on_compute_done(us(20)) {
+            ServerAction::PostResponse { len, .. } => {
+                assert_eq!(len, RESPONSE_BYTES_PER_OPTION);
+            }
+            other => panic!("expected response, got {other:?}"),
+        }
+        s.on_send_complete(us(30));
+        // Huge batch: capped at the configured buffer size.
+        let big = TransactionRequest {
+            task: PricingTask {
+                kind: TaskKind::Quote,
+                n_options: 10_000,
+                seed: 0,
+            },
+            ..req(2)
+        };
+        s.on_request(big, us(40));
+        match s.on_compute_done(us(50)) {
+            ServerAction::PostResponse { len, .. } => {
+                assert_eq!(len, 64 * 1024, "capped at buffer_size");
+            }
+            other => panic!("expected response, got {other:?}"),
+        }
     }
 
     #[test]

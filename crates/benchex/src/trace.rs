@@ -49,6 +49,19 @@ pub enum Burstiness {
         /// Batch-size multiplier during bursts.
         burst_factor: u32,
     },
+    /// Adversarial telemetry-poisoning shape: each cycle emits a few huge
+    /// batches and then chases them with a long run of minimal ones. Timed
+    /// against a ring-scan monitor, the tiny completions wrap the large
+    /// CQEs off the ring between scans, so the per-slot size average the
+    /// scanner extrapolates from is biased far low.
+    Cycle {
+        /// Huge transactions at the head of each cycle.
+        big_len: u32,
+        /// Batch-size multiplier for the huge transactions.
+        big_factor: u32,
+        /// Minimal (batch-1) transactions chasing them.
+        tiny_len: u32,
+    },
 }
 
 /// Trace configuration.
@@ -90,6 +103,29 @@ impl TraceProfile {
             base_batch: batch,
             reprice_steps: 0,
             burstiness: Burstiness::Steady,
+        }
+    }
+
+    /// An attacker's amplified quote flood: `uniform_quotes` with the batch
+    /// scaled by `amplification` (≥ 1; rounded, floored at 1). Burst- and
+    /// free-ride-class adversaries push this much more traffic than the
+    /// honest interferer they masquerade as.
+    pub fn amplified_quotes(batch: u32, amplification: f64) -> Self {
+        let amp = amplification.max(1.0);
+        TraceProfile::uniform_quotes(((batch as f64 * amp).round() as u32).max(1))
+    }
+
+    /// A telemetry-poisoning trace: cycles of `big` huge quote batches
+    /// (each `big_factor` × the base) chased by `repaint` minimal ones —
+    /// see [`Burstiness::Cycle`].
+    pub fn poison_cycle(batch: u32, big: u32, big_factor: u32, repaint: u32) -> Self {
+        TraceProfile {
+            burstiness: Burstiness::Cycle {
+                big_len: big.max(1),
+                big_factor: big_factor.max(1),
+                tiny_len: repaint.max(1),
+            },
+            ..TraceProfile::uniform_quotes(batch)
         }
     }
 }
@@ -177,15 +213,24 @@ impl TraceGen {
         } else {
             TaskKind::ImpliedVol
         };
-        let batch_mult = match self.profile.burstiness {
-            Burstiness::Steady => 1,
+        let n_options = match self.profile.burstiness {
+            Burstiness::Steady => self.profile.base_batch.max(1),
             Burstiness::Bursty {
                 regime_len,
                 burst_factor,
             } => {
                 let regime = (self.emitted / regime_len.max(1) as u64) % 2;
-                if regime == 1 {
-                    burst_factor.max(1)
+                let mult = if regime == 1 { burst_factor.max(1) } else { 1 };
+                (self.profile.base_batch * mult).max(1)
+            }
+            Burstiness::Cycle {
+                big_len,
+                big_factor,
+                tiny_len,
+            } => {
+                let cycle = (big_len.max(1) + tiny_len.max(1)) as u64;
+                if self.emitted % cycle < big_len.max(1) as u64 {
+                    (self.profile.base_batch * big_factor.max(1)).max(1)
                 } else {
                     1
                 }
@@ -195,7 +240,7 @@ impl TraceGen {
         self.emitted += 1;
         PricingTask {
             kind,
-            n_options: (self.profile.base_batch * batch_mult).max(1),
+            n_options,
             seed,
         }
     }
@@ -253,6 +298,24 @@ mod tests {
         assert!(sizes[..10].iter().all(|&s| s == 8), "calm regime");
         assert!(sizes[10..20].iter().all(|&s| s == 32), "burst regime");
         assert!(sizes[20..30].iter().all(|&s| s == 8), "calm again");
+    }
+
+    #[test]
+    fn poison_cycle_repaints_after_big_batches() {
+        let mut g = TraceGen::new(TraceProfile::poison_cycle(8, 2, 16, 5), 9);
+        let sizes: Vec<u32> = (0..14).map(|_| g.next_task().n_options).collect();
+        assert_eq!(&sizes[..2], &[128, 128], "big head");
+        assert!(sizes[2..7].iter().all(|&s| s == 1), "tiny repaint tail");
+        assert_eq!(&sizes[7..9], &[128, 128], "cycle repeats");
+        assert!(sizes[9..14].iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn amplified_quotes_scales_the_batch() {
+        let p = TraceProfile::amplified_quotes(8, 4.5);
+        assert_eq!(p.base_batch, 36);
+        // Sub-unit amplification never shrinks the honest batch.
+        assert_eq!(TraceProfile::amplified_quotes(8, 0.5).base_batch, 8);
     }
 
     #[test]

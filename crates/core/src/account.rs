@@ -90,13 +90,32 @@ impl ResoAccount {
     /// Epoch boundary: discard leftovers, refill to the allocation.
     /// Optionally installs new allocations (weighted redistribution can
     /// change a VM's share between epochs).
+    ///
+    /// Overdrafts are forgiven (the paper resets to the allocation) — a
+    /// property a spend-to-zero free-rider exploits. Use
+    /// [`ResoAccount::replenish_with`] with `carry_debt` to close it.
     pub fn replenish(&mut self, new_alloc: Option<(Resos, Resos)>) {
+        self.replenish_with(new_alloc, false);
+    }
+
+    /// Epoch boundary with an explicit overdraft policy. With `carry_debt`
+    /// the new balance is `alloc + min(remaining, 0)`: savings are still
+    /// discarded, but debt run up by overspending carries into the next
+    /// epoch, so a free-rider who spent to zero (or past it) starts the
+    /// next epoch already down and cannot regain full priority within one
+    /// charging interval of the boundary.
+    pub fn replenish_with(&mut self, new_alloc: Option<(Resos, Resos)>, carry_debt: bool) {
         if let Some((cpu, io)) = new_alloc {
             self.cpu_alloc = cpu;
             self.io_alloc = io;
         }
-        self.cpu_remaining = self.cpu_alloc;
-        self.io_remaining = self.io_alloc;
+        if carry_debt {
+            self.cpu_remaining = self.cpu_alloc + self.cpu_remaining.min(Resos::ZERO);
+            self.io_remaining = self.io_alloc + self.io_remaining.min(Resos::ZERO);
+        } else {
+            self.cpu_remaining = self.cpu_alloc;
+            self.io_remaining = self.io_alloc;
+        }
         self.epochs += 1;
     }
 }
@@ -162,6 +181,31 @@ mod tests {
         // low-balance throttle for VMs that were never granted anything.
         let a = ResoAccount::new(Resos::ZERO, Resos::ZERO);
         assert_eq!(a.fraction_remaining(), 1.0);
+    }
+
+    #[test]
+    fn debt_carryover_keeps_overdrafts_but_discards_savings() {
+        let mut a = ResoAccount::new(Resos::from_whole(100), Resos::from_whole(100));
+        // Overspend I/O by 40, leave 30 CPU unspent.
+        a.charge_io(Resos::from_whole(140));
+        a.charge_cpu(Resos::from_whole(70));
+        a.replenish_with(None, true);
+        assert_eq!(a.io_remaining(), Resos::from_whole(60), "debt carried");
+        assert_eq!(a.cpu_remaining(), a.cpu_alloc, "savings still discarded");
+        // A free-rider deep in debt stays below the 10% low-balance line
+        // right through the epoch boundary.
+        let mut fr = ResoAccount::new(Resos::from_whole(100), Resos::from_whole(100));
+        fr.charge_io(Resos::from_whole(300));
+        assert!(fr.fraction_remaining() < 0.1);
+        fr.replenish_with(None, true);
+        assert!(
+            fr.fraction_remaining() < 0.1,
+            "spend-to-zero cannot regain full priority at the boundary: {}",
+            fr.fraction_remaining()
+        );
+        // Legacy replenish still forgives.
+        fr.replenish(None);
+        assert!((fr.fraction_remaining() - 1.0).abs() < 1e-12);
     }
 
     #[test]

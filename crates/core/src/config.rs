@@ -69,6 +69,40 @@ pub struct ResExConfig {
     /// reset path. 0 disables the actuation watchdog.
     #[serde(default)]
     pub watchdog_actuation_failures: u32,
+    /// Hardening vs phase-locked bursts: fraction of the charging interval
+    /// by which the platform jitters each interval's sampling instant
+    /// (uniform in `±frac/2`, drawn from a dedicated seeded stream). An
+    /// attacker who times bursts to the interval tail can no longer predict
+    /// when the next sample lands. 0 (the default, and what older configs
+    /// deserialize to) keeps the legacy fixed-phase cadence byte-identical.
+    #[serde(default)]
+    pub interval_jitter_frac: f64,
+    /// Hardening vs telemetry poisoning: cross-check IBMon's ring-scan MTU
+    /// estimate against the fabric's per-QP completion counters each
+    /// interval and substitute the counter-derived value when the scan
+    /// under-reports by more than 2× (ring-wrap aliasing bias). Off by
+    /// default for byte-identity with pre-hardening runs.
+    #[serde(default)]
+    pub ibmon_crosscheck: bool,
+    /// Hardening vs collusion: IOShares tracks per-VM activity EWMAs and
+    /// co-indicts every non-SLA VM whose smoothed activity is within half
+    /// of the top interferer's, so a group that alternates bursts cannot
+    /// rotate blame and buy more than its aggregate share. Off by default.
+    #[serde(default)]
+    pub group_clamp: bool,
+    /// Hardening vs free-riding: epoch replenishment carries overdrafts
+    /// forward (`remaining = alloc + min(remaining, 0)`) instead of
+    /// forgiving them, so spend-to-zero does not reset to full priority at
+    /// the next epoch. Off by default (the paper forgives overdrafts).
+    #[serde(default)]
+    pub debt_carryover: bool,
+    /// Hardening vs free-riding: FreeMarket throttles any fully-depleted
+    /// (≤ 0 remaining) VM regardless of how much of the epoch is left, and
+    /// epoch restores skip VMs still in debt — closing the epoch-tail
+    /// throttle-free window the spend-to-zero attacker coasts through.
+    /// Off by default.
+    #[serde(default)]
+    pub hard_floor: bool,
 }
 
 impl Default for ResExConfig {
@@ -91,6 +125,11 @@ impl Default for ResExConfig {
             // injects never trip it.
             watchdog_stale_intervals: 8,
             watchdog_actuation_failures: 5,
+            interval_jitter_frac: 0.0,
+            ibmon_crosscheck: false,
+            group_clamp: false,
+            debt_carryover: false,
+            hard_floor: false,
         }
     }
 }
@@ -99,6 +138,20 @@ impl ResExConfig {
     /// Charging intervals per epoch.
     pub fn intervals_per_epoch(&self) -> u64 {
         (self.epoch.as_nanos() / self.interval.as_nanos()).max(1)
+    }
+
+    /// The paper's defaults with every adversary-hardening measure switched
+    /// on: phase-jittered sampling, IBMon/fabric cross-checking, colluding
+    /// group clamping, overdraft carryover, and the hard depletion floor.
+    pub fn hardened() -> Self {
+        ResExConfig {
+            interval_jitter_frac: 0.3,
+            ibmon_crosscheck: true,
+            group_clamp: true,
+            debt_carryover: true,
+            hard_floor: true,
+            ..Default::default()
+        }
     }
 
     /// Validates internal consistency.
@@ -117,6 +170,9 @@ impl ResExConfig {
         }
         if self.min_cap_pct == 0 || self.min_cap_pct > 100 {
             return Err("min_cap_pct must be in 1..=100".into());
+        }
+        if !(0.0..1.0).contains(&self.interval_jitter_frac) {
+            return Err("interval_jitter_frac must be in [0,1)".into());
         }
         Ok(())
     }
@@ -152,5 +208,23 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+        let c = ResExConfig {
+            interval_jitter_frac: 1.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err(), "full-interval jitter is rejected");
+    }
+
+    #[test]
+    fn hardened_preset_enables_every_measure_and_validates() {
+        let c = ResExConfig::hardened();
+        assert!(c.interval_jitter_frac > 0.0);
+        assert!(c.ibmon_crosscheck && c.group_clamp && c.debt_carryover && c.hard_floor);
+        assert!(c.validate().is_ok());
+        // The hardening knobs default off so pre-hardening configs (and
+        // byte-identity baselines) are unaffected.
+        let d = ResExConfig::default();
+        assert_eq!(d.interval_jitter_frac, 0.0);
+        assert!(!d.ibmon_crosscheck && !d.group_clamp && !d.debt_carryover && !d.hard_floor);
     }
 }

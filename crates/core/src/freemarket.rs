@@ -11,7 +11,7 @@
 
 use crate::config::DepletionMode;
 use crate::pricing::{IntervalCtx, PricingPolicy, VmId, VmVerdict};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Computes the throttled cap for a low-balance VM under the configured
 /// depletion mode. `fraction` is the remaining balance fraction (may be
@@ -39,8 +39,10 @@ pub(crate) fn depleted_cap(
 pub struct FreeMarket {
     /// Current cap per VM (100 = uncapped-equivalent starting point).
     caps: HashMap<VmId, u32>,
-    /// VMs whose caps must be restored to 100 (fresh epoch).
-    restore: HashSet<VmId>,
+    /// VMs whose caps must be restored to 100 (fresh epoch), with the cap
+    /// they were throttled to before the boundary — under the hard floor a
+    /// still-depleted VM keeps that throttle instead of the restore.
+    restore: HashMap<VmId, u32>,
 }
 
 impl FreeMarket {
@@ -48,7 +50,7 @@ impl FreeMarket {
     pub fn new() -> Self {
         FreeMarket {
             caps: HashMap::new(),
-            restore: HashSet::new(),
+            restore: HashMap::new(),
         }
     }
 
@@ -73,18 +75,32 @@ impl PricingPolicy for FreeMarket {
         let mut out = Vec::with_capacity(ctx.vms.len());
         for &(vm, _snap) in ctx.vms {
             let mut verdict = VmVerdict::neutral(vm);
-            // A fresh epoch releases last epoch's throttle (the account has
-            // been replenished); actuate the restoration.
-            if self.restore.remove(&vm) {
-                verdict.cap_pct = Some(100);
-            }
             let account = (ctx.accounts)(vm);
+            // A fresh epoch releases last epoch's throttle (the account has
+            // been replenished); actuate the restoration. Under the hard
+            // floor a VM that replenished straight back into debt (carried
+            // overdraft) keeps its pre-epoch throttle instead.
+            if let Some(prev) = self.restore.remove(&vm) {
+                let still_depleted = ctx.cfg.hard_floor
+                    && account.is_some_and(|a| a.total_remaining() <= crate::resos::Resos::ZERO);
+                if still_depleted {
+                    self.caps.insert(vm, prev);
+                } else {
+                    verdict.cap_pct = Some(100);
+                }
+            }
             let current = *self.caps.entry(vm).or_insert(100);
             if let Some(acct) = account {
                 let low = acct.fraction_remaining() < ctx.cfg.low_balance_fraction;
                 let epoch_left =
                     ctx.epoch_remaining_fraction() > ctx.cfg.min_epoch_remaining_fraction;
-                if low && epoch_left {
+                // The epoch-tail exemption ("running out near the end is
+                // fine") is the window a spend-to-zero free-rider coasts
+                // through: the hard floor keeps throttling fully-depleted
+                // VMs no matter how little of the epoch remains.
+                let exhausted =
+                    ctx.cfg.hard_floor && acct.total_remaining() <= crate::resos::Resos::ZERO;
+                if low && (epoch_left || exhausted) {
                     // "The CPU is decremented by 10% from its earlier
                     // allocated value" — or an alternative depletion mode
                     // from the configuration.
@@ -112,7 +128,7 @@ impl PricingPolicy for FreeMarket {
         // actuated at the next interval (caps only change via verdicts).
         for (vm, cap) in self.caps.iter_mut() {
             if *cap != 100 {
-                self.restore.insert(*vm);
+                self.restore.insert(*vm, *cap);
             }
             *cap = 100;
         }
@@ -203,6 +219,83 @@ mod tests {
         assert_eq!(fm.cap_of(VmId::new(0)), 90);
         fm.on_epoch(1);
         assert_eq!(fm.cap_of(VmId::new(0)), 100);
+    }
+
+    fn run_hard_floor_interval(
+        fm: &mut FreeMarket,
+        overdraft: i64,
+        interval: u64,
+    ) -> Vec<VmVerdict> {
+        let cfg = ResExConfig {
+            hard_floor: true,
+            ..Default::default()
+        };
+        let vms = ctx_vms();
+        let lookup = move |_vm: VmId| {
+            let mut a = ResoAccount::new(Resos::from_whole(100), Resos::from_whole(0));
+            a.charge_cpu(Resos::from_whole(100 + overdraft));
+            Some(a)
+        };
+        let ctx = IntervalCtx {
+            now: SimTime::ZERO,
+            interval_in_epoch: interval,
+            intervals_per_epoch: 1000,
+            vms: &vms,
+            accounts: &lookup,
+            cfg: &cfg,
+        };
+        fm.on_interval(&ctx)
+    }
+
+    #[test]
+    fn hard_floor_throttles_through_the_epoch_tail() {
+        // Legacy loophole: interval 950 of 1000 leaves < 10% of the epoch,
+        // so a spend-to-zero VM coasts unthrottled (no_throttle_near_epoch_end
+        // above documents it). The hard floor closes it for exhausted VMs.
+        let mut fm = FreeMarket::new();
+        let v = run_hard_floor_interval(&mut fm, 50, 950);
+        assert_eq!(v[0].cap_pct, Some(90), "depleted VMs throttle even late");
+        // A merely-low (but positive) balance keeps the paper's exemption.
+        let cfg = ResExConfig {
+            hard_floor: true,
+            ..Default::default()
+        };
+        let vms = ctx_vms();
+        let lookup = |_vm: VmId| {
+            let mut a = ResoAccount::new(Resos::from_whole(100), Resos::from_whole(0));
+            a.charge_cpu(Resos::from_whole(95));
+            Some(a)
+        };
+        let ctx = IntervalCtx {
+            now: SimTime::ZERO,
+            interval_in_epoch: 950,
+            intervals_per_epoch: 1000,
+            vms: &vms,
+            accounts: &lookup,
+            cfg: &cfg,
+        };
+        let mut fm = FreeMarket::new();
+        let v = fm.on_interval(&ctx);
+        assert_eq!(v[0].cap_pct, None, "5% left near the end is still fine");
+    }
+
+    #[test]
+    fn hard_floor_denies_restore_to_indebted_vms() {
+        let mut fm = FreeMarket::new();
+        // Walk down to 80 before the boundary.
+        run_hard_floor_interval(&mut fm, 50, 100);
+        run_hard_floor_interval(&mut fm, 50, 101);
+        assert_eq!(fm.cap_of(VmId::new(0)), 80);
+        fm.on_epoch(1);
+        // Replenished straight back into debt (carried overdraft): the
+        // restore is withheld and the walk-down continues from 80.
+        let v = run_hard_floor_interval(&mut fm, 50, 0);
+        assert_ne!(v[0].cap_pct, Some(100), "no restore while in debt");
+        assert_eq!(fm.cap_of(VmId::new(0)), 70);
+        // Once the debt clears, the next epoch restores as usual.
+        fm.on_epoch(2);
+        let v = run_interval(&mut fm, 0.8, 0);
+        assert_eq!(v[0].cap_pct, Some(100));
     }
 
     #[test]

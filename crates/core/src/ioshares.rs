@@ -45,10 +45,28 @@ pub struct IoShares {
     rates: HashMap<VmId, f64>,
     /// Last actuated cap per VM, to avoid redundant SetCap actions.
     caps: HashMap<VmId, u32>,
+    /// Smoothed per-VM MTU activity (group-clamp hardening only): an EWMA
+    /// that remembers a burster's traffic through the intervals it sits
+    /// out, so a colluding group alternating bursts cannot rotate blame.
+    activity: HashMap<VmId, f64>,
 }
 
 /// Floor applied to the baseline std before computing percent increases.
 const STD_FLOOR_US: f64 = 2.0;
+
+/// EWMA smoothing factor for the group-clamp activity tracker. At the
+/// default 1 ms interval a 0.2 step remembers a burst for over a dozen
+/// intervals — longer than any per-interval blame rotation a colluding
+/// group can sustain.
+const ACTIVITY_ALPHA: f64 = 0.2;
+
+/// Group membership: a VM joins the co-active peer group when its smoothed
+/// activity is at least this fraction of the top interferer's. With
+/// `ACTIVITY_ALPHA = 0.2`, a member of a rotating group of up to four
+/// stays above this between its own bursts (the idle decay per skipped
+/// interval is ×0.8, so three skipped intervals leave ~0.5 of the fresh
+/// peak).
+const GROUP_MEMBER_FRAC: f64 = 0.35;
 
 impl IoShares {
     /// Creates the policy with the given per-VM SLAs. VMs without an SLA
@@ -59,6 +77,7 @@ impl IoShares {
             slas: slas.into_iter().collect(),
             rates: HashMap::new(),
             caps: HashMap::new(),
+            activity: HashMap::new(),
         }
     }
 
@@ -110,6 +129,34 @@ impl IoShares {
             .max_by_key(|&(id, mtus)| (mtus, std::cmp::Reverse(id)))
             .filter(|&(_, mtus)| mtus > 0)
     }
+
+    /// Group-clamp variant of `GetIOIntfVMId`: instead of the single VM
+    /// with the most *instantaneous* MTUs, the peer group is every non-SLA
+    /// VM whose smoothed activity is within [`GROUP_MEMBER_FRAC`] of the
+    /// top interferer's.
+    /// A colluding group that alternates bursts keeps every member's EWMA
+    /// elevated, so all members are repriced together — and, in pass 2,
+    /// each member's purchasable cap is divided by the group size, so the
+    /// group's aggregate cannot exceed one attacker's share at that rate.
+    /// (SLA holders never appear, so reporters are excluded by
+    /// construction.)
+    fn find_group(&self, ctx: &IntervalCtx<'_>) -> Vec<(VmId, f64)> {
+        let candidates: Vec<(VmId, f64)> = ctx
+            .vms
+            .iter()
+            .filter(|(id, _)| !self.slas.contains_key(id))
+            .map(|(id, _)| (*id, self.activity.get(id).copied().unwrap_or(0.0)))
+            .filter(|&(_, a)| a > 0.0)
+            .collect();
+        let top = candidates.iter().map(|&(_, a)| a).fold(0.0f64, f64::max);
+        if top <= 0.0 {
+            return Vec::new();
+        }
+        candidates
+            .into_iter()
+            .filter(|&(_, a)| a >= top * GROUP_MEMBER_FRAC)
+            .collect()
+    }
 }
 
 impl PricingPolicy for IoShares {
@@ -119,7 +166,16 @@ impl PricingPolicy for IoShares {
 
     fn on_interval(&mut self, ctx: &IntervalCtx<'_>) -> Vec<VmVerdict> {
         let total_mtus = ctx.total_mtus();
-        // Pass 1: every reporting VM may indict one interferer.
+        // Group-clamp hardening: fold this interval's traffic into the
+        // smoothed per-VM activity before assigning blame.
+        if ctx.cfg.group_clamp {
+            for &(vm, snap) in ctx.vms {
+                let e = self.activity.entry(vm).or_insert(0.0);
+                *e = ACTIVITY_ALPHA * snap.mtus as f64 + (1.0 - ACTIVITY_ALPHA) * *e;
+            }
+        }
+        // Pass 1: every reporting VM may indict one interferer (or, under
+        // the group clamp, the whole smoothed-activity peer group).
         let mut indicted: HashMap<VmId, f64> = HashMap::new();
         let mut worst_intf_pct = 0.0f64;
         for &(vm, _snap) in ctx.vms {
@@ -128,7 +184,22 @@ impl PricingPolicy for IoShares {
             if intf_pct <= ctx.cfg.sla_threshold_pct {
                 continue;
             }
-            if let Some((culprit, culprit_mtus)) = self.find_interferer(vm, ctx) {
+            if ctx.cfg.group_clamp {
+                let total_activity: f64 = ctx
+                    .vms
+                    .iter()
+                    .map(|(id, _)| self.activity.get(id).copied().unwrap_or(0.0))
+                    .sum();
+                if total_activity <= 0.0 {
+                    continue;
+                }
+                for (culprit, act) in self.find_group(ctx) {
+                    let io_share = act / total_activity;
+                    let increase = io_share * intf_pct;
+                    let e = indicted.entry(culprit).or_insert(0.0);
+                    *e = e.max(increase);
+                }
+            } else if let Some((culprit, culprit_mtus)) = self.find_interferer(vm, ctx) {
                 if total_mtus == 0 {
                     continue;
                 }
@@ -141,6 +212,21 @@ impl PricingPolicy for IoShares {
         // Hysteresis: only forgive when every reporter is comfortably
         // (below half the threshold) inside its SLA.
         let may_decay = worst_intf_pct < ctx.cfg.sla_threshold_pct / 2.0;
+        // Group clamp: a co-active peer group of n ≥ 2 is capped as a
+        // group — each repriced member's purchasable cap is divided by n,
+        // so n colluders at rate r buy ~100/r in aggregate, the same as
+        // one attacker pushing their combined traffic, not n×. VMs at the
+        // base rate are untouched (honest co-active tenants keep 100).
+        let clamp_group: Vec<VmId> = if ctx.cfg.group_clamp {
+            let group = self.find_group(ctx);
+            if group.len() >= 2 {
+                group.into_iter().map(|(id, _)| id).collect()
+            } else {
+                Vec::new()
+            }
+        } else {
+            Vec::new()
+        };
         // Pass 2: apply rate changes (growth for indicted VMs, decay for
         // the rest) and derive caps + this interval's charging rates.
         let mut out = Vec::with_capacity(ctx.vms.len());
@@ -161,7 +247,11 @@ impl PricingPolicy for IoShares {
             let target_cap = if rate <= 1.0 {
                 100
             } else {
-                ((100.0 / rate).round() as u32).clamp(ctx.cfg.min_cap_pct, 100)
+                let mut divisor = rate;
+                if clamp_group.contains(&vm) {
+                    divisor *= clamp_group.len() as f64;
+                }
+                ((100.0 / divisor).round() as u32).clamp(ctx.cfg.min_cap_pct, 100)
             };
             let prev_cap = self.caps.insert(vm, target_cap);
             out.push(VmVerdict {
@@ -377,6 +467,188 @@ mod tests {
         let mut ids: Vec<u32> = v.iter().map(|x| x.vm.raw()).collect();
         ids.sort();
         assert_eq!(ids, vec![0, 1]);
+    }
+}
+
+#[cfg(test)]
+mod collusion_tests {
+    use super::*;
+    use crate::config::ResExConfig;
+    use crate::pricing::{IntervalCtx, LatencyFeedback, VmSnapshot};
+    use resex_simcore::time::SimTime;
+
+    const REPORTER: VmId = VmId::new(0);
+    const A1: VmId = VmId::new(1);
+    const A2: VmId = VmId::new(2);
+
+    fn policy() -> IoShares {
+        IoShares::new(vec![(
+            REPORTER,
+            SlaTarget {
+                base_mean_us: 209.0,
+                base_std_us: 2.0,
+            },
+        )])
+    }
+
+    /// One alternating-burst interval: on even intervals A1 sends, on odd
+    /// intervals A2 does; the reporter is 12% over SLA throughout (mild —
+    /// enough to indict, low enough that caps don't slam straight to the
+    /// floor and mask the group arithmetic).
+    fn colluding_interval(p: &mut IoShares, cfg: &ResExConfig, k: u64) -> Vec<VmVerdict> {
+        let (m1, m2) = if k.is_multiple_of(2) {
+            (2048, 0)
+        } else {
+            (0, 2048)
+        };
+        let vms = vec![
+            (
+                REPORTER,
+                VmSnapshot {
+                    mtus: 64,
+                    cpu_pct: 50.0,
+                    latency: Some(LatencyFeedback {
+                        mean_us: 209.0 * 1.12,
+                        std_us: 10.0,
+                        count: 10,
+                    }),
+                    est_buffer_bytes: 65536.0,
+                    stale: false,
+                },
+            ),
+            (
+                A1,
+                VmSnapshot {
+                    mtus: m1,
+                    cpu_pct: 95.0,
+                    ..Default::default()
+                },
+            ),
+            (
+                A2,
+                VmSnapshot {
+                    mtus: m2,
+                    cpu_pct: 95.0,
+                    ..Default::default()
+                },
+            ),
+        ];
+        let lookup = |_vm: VmId| None;
+        let ctx = IntervalCtx {
+            now: SimTime::ZERO,
+            interval_in_epoch: k % 1000,
+            intervals_per_epoch: 1000,
+            vms: &vms,
+            accounts: &lookup,
+            cfg,
+        };
+        p.on_interval(&ctx)
+    }
+
+    fn cap(p: &IoShares, vm: VmId) -> u32 {
+        p.caps.get(&vm).copied().unwrap_or(100)
+    }
+
+    #[test]
+    fn group_clamp_coindicts_alternating_bursters() {
+        let legacy = ResExConfig::default();
+        let clamped = ResExConfig {
+            group_clamp: true,
+            ..Default::default()
+        };
+        let mut unhardened = policy();
+        let mut hardened = policy();
+        // Three intervals: past the transient, before the min-cap floor
+        // flattens both trajectories into the same saturated aggregate.
+        for k in 0..3 {
+            colluding_interval(&mut unhardened, &legacy, k);
+            colluding_interval(&mut hardened, &clamped, k);
+        }
+        // Under the clamp, *both* colluders are repriced — including the
+        // one idling this interval — so neither coasts at a high cap while
+        // its partner takes the blame.
+        assert!(
+            hardened.rate_of(A1) > 1.0 && hardened.rate_of(A2) > 1.0,
+            "rates: {} {}",
+            hardened.rate_of(A1),
+            hardened.rate_of(A2)
+        );
+        let agg_hardened = cap(&hardened, A1) + cap(&hardened, A2);
+        let agg_unhardened = cap(&unhardened, A1) + cap(&unhardened, A2);
+        assert!(
+            agg_hardened < agg_unhardened,
+            "colluding group buys less in aggregate when clamped: \
+             hardened {agg_hardened} vs legacy {agg_unhardened}"
+        );
+        // The clamped group's aggregate cannot exceed what a single
+        // attacker at the group's *slowest-growing* rate would buy alone —
+        // the per-member division by group size is exactly the aggregate
+        // bound — modulo rounding and the floor.
+        let floor = ResExConfig::default().min_cap_pct;
+        let min_rate = hardened.rate_of(A1).min(hardened.rate_of(A2));
+        let single_share = (100.0 / min_rate).round() as u32;
+        assert!(
+            agg_hardened <= single_share.max(2 * floor) + 1,
+            "aggregate {agg_hardened} vs one attacker's share {single_share}"
+        );
+    }
+
+    #[test]
+    fn group_clamp_leaves_honest_neighbours_alone() {
+        // An idle bystander (EWMA stays 0) is never swept into the group.
+        let clamped = ResExConfig {
+            group_clamp: true,
+            ..Default::default()
+        };
+        let mut p = policy();
+        let bystander = VmId::new(7);
+        for k in 0..20 {
+            let vms = vec![
+                (
+                    REPORTER,
+                    VmSnapshot {
+                        mtus: 64,
+                        cpu_pct: 50.0,
+                        latency: Some(LatencyFeedback {
+                            mean_us: 209.0 * 1.6,
+                            std_us: 25.0,
+                            count: 10,
+                        }),
+                        est_buffer_bytes: 65536.0,
+                        stale: false,
+                    },
+                ),
+                (
+                    A1,
+                    VmSnapshot {
+                        mtus: 2048,
+                        cpu_pct: 95.0,
+                        ..Default::default()
+                    },
+                ),
+                (
+                    bystander,
+                    VmSnapshot {
+                        mtus: 0,
+                        cpu_pct: 10.0,
+                        ..Default::default()
+                    },
+                ),
+            ];
+            let lookup = |_vm: VmId| None;
+            let ctx = IntervalCtx {
+                now: SimTime::ZERO,
+                interval_in_epoch: k,
+                intervals_per_epoch: 1000,
+                vms: &vms,
+                accounts: &lookup,
+                cfg: &clamped,
+            };
+            p.on_interval(&ctx);
+        }
+        assert!(p.rate_of(A1) > 1.0);
+        assert_eq!(p.rate_of(bystander), 1.0);
+        assert_eq!(cap(&p, bystander), 100);
     }
 }
 

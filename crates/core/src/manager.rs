@@ -188,9 +188,10 @@ impl ResExManager {
             let shares: Vec<(VmId, Resos)> =
                 self.vms.keys().map(|&vm| (vm, self.io_share(vm))).collect();
             let cpu = Resos::from_whole(self.cfg.cpu_resos_per_epoch);
+            let carry_debt = self.cfg.debt_carryover;
             for (vm, share) in shares {
                 if let Some(st) = self.vms.get_mut(&vm) {
-                    st.account.replenish(Some((cpu, share)));
+                    st.account.replenish_with(Some((cpu, share)), carry_debt);
                 }
             }
             self.policy.on_epoch(self.interval_index / ipe);
@@ -576,6 +577,36 @@ mod tests {
         assert!(out.watchdog_trips.is_empty());
         let ca = out.charges.iter().find(|c| c.vm == A).unwrap();
         assert_eq!(ca.io, Resos::ZERO, "re-probing from a zero basis");
+    }
+
+    #[test]
+    fn debt_carryover_survives_the_epoch_boundary() {
+        let cfg = ResExConfig {
+            debt_carryover: true,
+            ..Default::default()
+        };
+        let mut m = ResExManager::new(cfg, Box::new(FreeMarket::new())).unwrap();
+        m.register_vm(A, 1);
+        // Spend far past the allocation before the boundary.
+        for i in 0..1000u64 {
+            m.on_interval(t(i), &[(A, snap(3000, 100.0))]);
+        }
+        let debt = m.account(A).unwrap().total_remaining();
+        assert!(
+            debt.is_negative(),
+            "overdrawn before the boundary: {debt:?}"
+        );
+        // Interval 1000 opens the next epoch: the overdraft is carried, so
+        // the free-rider does not come back at full priority.
+        let out = m.on_interval(t(1000), &[(A, snap(0, 0.0))]);
+        assert!(out.epoch_started);
+        let frac = m.account(A).unwrap().fraction_remaining();
+        assert!(
+            frac < 1.0 - 0.05,
+            "carried debt keeps the account below full: {frac}"
+        );
+        // The legacy default still forgives (epoch_replenishes_and_notifies
+        // above covers it).
     }
 
     #[test]

@@ -21,4 +21,7 @@ pub mod cq_monitor;
 pub mod monitor;
 
 pub use cq_monitor::{CqMonitor, ScanSample};
-pub use monitor::{IbMon, IbMonConfig, VmUsage};
+pub use monitor::{
+    crosscheck_mtus, CrosscheckOutcome, IbMon, IbMonConfig, VmUsage, CROSSCHECK_MIN_MTUS,
+    CROSSCHECK_MIN_SCAN_FRACTION,
+};

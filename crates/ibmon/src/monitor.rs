@@ -212,6 +212,44 @@ impl IbMon {
     }
 }
 
+/// Result of cross-checking a ring-scan MTU estimate against a trusted
+/// per-QP completion counter (see [`crosscheck_mtus`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrosscheckOutcome {
+    /// The MTU figure to charge from: the scan estimate normally, the
+    /// counter-derived delta when poisoning was detected.
+    pub corrected_mtus: u64,
+    /// True if the scan estimate was rejected as poisoned.
+    pub poisoned: bool,
+}
+
+/// Minimum counter-derived MTU delta before a shortfall counts as
+/// poisoning: tiny-traffic intervals disagree for benign reasons (scan
+/// phase, primed rings) and are never worth correcting.
+pub const CROSSCHECK_MIN_MTUS: u64 = 16;
+
+/// The ring scan must account for at least this fraction of the
+/// counter-derived MTUs; below it, the estimate is treated as poisoned.
+/// Aliased-scan extrapolation is routinely off by tens of percent under
+/// honest load — a shortfall past 2× only occurs when the surviving slots
+/// systematically misrepresent the wrapped traffic.
+pub const CROSSCHECK_MIN_SCAN_FRACTION: f64 = 0.5;
+
+/// Hardening vs telemetry poisoning: validate a per-interval ring-scan MTU
+/// estimate (`scan_mtus`) against the MTU delta derived from the fabric's
+/// per-QP completion counters (`counter_mtus`), which an attacker cannot
+/// influence by repainting ring slots. Returns the figure the manager
+/// should charge from. Pure and deterministic — callers decide what to do
+/// with the detection flag (trace it, count it).
+pub fn crosscheck_mtus(scan_mtus: u64, counter_mtus: u64) -> CrosscheckOutcome {
+    let poisoned = counter_mtus >= CROSSCHECK_MIN_MTUS
+        && (scan_mtus as f64) < counter_mtus as f64 * CROSSCHECK_MIN_SCAN_FRACTION;
+    CrosscheckOutcome {
+        corrected_mtus: if poisoned { counter_mtus } else { scan_mtus },
+        poisoned,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,5 +482,25 @@ mod multi_ring_tests {
         assert_eq!(u.completions, 5);
         assert_eq!(u.bytes, 3 * 65536 + 2 * 131072);
         assert_eq!(u.mtus, 3 * 64 + 2 * 128);
+    }
+    #[test]
+    fn crosscheck_accepts_honest_estimates_and_rejects_poisoned_ones() {
+        // Honest: scan and counters agree (or the scan is merely noisy).
+        assert_eq!(
+            crosscheck_mtus(1000, 1000),
+            CrosscheckOutcome {
+                corrected_mtus: 1000,
+                poisoned: false
+            }
+        );
+        assert!(!crosscheck_mtus(700, 1000).poisoned);
+        // Poisoned: the scan accounts for under half the counter delta.
+        let c = crosscheck_mtus(100, 1000);
+        assert!(c.poisoned);
+        assert_eq!(c.corrected_mtus, 1000, "charge from the counters");
+        // Tiny intervals never trip the detector.
+        assert!(!crosscheck_mtus(0, CROSSCHECK_MIN_MTUS - 1).poisoned);
+        // A scan that *over*-reports is left alone (aliasing scale-up).
+        assert!(!crosscheck_mtus(1500, 1000).poisoned);
     }
 }

@@ -66,8 +66,12 @@ pub mod subsystem {
     pub const FAULTS: &str = "faults";
     /// Self-healing: QP reconnection, WQE replay, request retry, watchdog.
     pub const RECOVERY: &str = "recovery";
+    /// Antagonist plane: attacker actions (deferred bursts, poison cycles)
+    /// and the hardening countermeasures they trip (cross-check
+    /// corrections, group clamps, jittered sampling).
+    pub const ADVERSARY: &str = "adversary";
     /// All subsystems in their fixed thread order for the Chrome export.
-    pub const ALL: [&str; 7] = [
+    pub const ALL: [&str; 8] = [
         FABRIC_LINK,
         FABRIC_ENGINE,
         HV_SCHED,
@@ -75,5 +79,6 @@ pub mod subsystem {
         IBMON,
         FAULTS,
         RECOVERY,
+        ADVERSARY,
     ];
 }

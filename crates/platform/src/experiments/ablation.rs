@@ -48,6 +48,7 @@ fn managed(scale: &Scale) -> ScenarioConfig {
     cfg.duration = scale.duration;
     cfg.warmup = scale.warmup;
     scale.stamp_faults(&mut cfg);
+    scale.stamp_adversary(&mut cfg);
     cfg
 }
 
@@ -99,6 +100,7 @@ pub fn run(scale: &Scale) -> AblationResult {
         cfg.duration = scale.duration;
         cfg.warmup = scale.warmup;
         scale.stamp_faults(&mut cfg);
+        scale.stamp_adversary(&mut cfg);
         cfg.resex.depletion = mode;
         cases.push(("depletion".into(), name.into(), cfg));
     }

@@ -38,16 +38,19 @@ pub fn run(scale: &Scale) -> Fig1Result {
     base.duration = scale.duration;
     base.warmup = scale.warmup;
     scale.stamp_faults(&mut base);
+    scale.stamp_adversary(&mut base);
     let mut intf = ScenarioConfig::interfered(2 * 1024 * 1024);
     intf.duration = scale.duration;
     intf.warmup = scale.warmup;
     scale.stamp_faults(&mut intf);
+    scale.stamp_adversary(&mut intf);
     let mut jit = ScenarioConfig::interfered(2 * 1024 * 1024);
     jit.label = "interfered-jittered".into();
     jit.fabric.hw_jitter = 0.03;
     jit.duration = scale.duration;
     jit.warmup = scale.warmup;
     scale.stamp_faults(&mut jit);
+    scale.stamp_adversary(&mut jit);
 
     let ((base, intf), jit) = rayon::join(
         || rayon::join(|| run_scenario(base), || run_scenario(intf)),

@@ -50,6 +50,7 @@ fn scenario(n_servers: u32, loaded: bool, scale: &Scale) -> ScenarioConfig {
     cfg.duration = scale.duration;
     cfg.warmup = scale.warmup;
     scale.stamp_faults(&mut cfg);
+    scale.stamp_adversary(&mut cfg);
     cfg
 }
 

@@ -60,6 +60,7 @@ pub fn run(scale: &Scale) -> Fig3Result {
             cfg.duration = scale.duration;
             cfg.warmup = scale.warmup;
             scale.stamp_faults(&mut cfg);
+            scale.stamp_adversary(&mut cfg);
             let run = run_scenario(cfg);
             let (p, c, w, t) = components(&run, "64KB");
             Fig3Row {

@@ -54,6 +54,7 @@ pub fn run(scale: &Scale) -> Fig4Result {
             cfg.duration = scale.duration;
             cfg.warmup = scale.warmup;
             scale.stamp_faults(&mut cfg);
+            scale.stamp_adversary(&mut cfg);
             let run = run_scenario(cfg);
             let (p, c, w, t) = components(&run, "64KB");
             Fig4Row {

@@ -35,6 +35,7 @@ pub fn run(scale: &Scale) -> Fig5Result {
         };
         cfg.warmup = scale.warmup;
         scale.stamp_faults(&mut cfg);
+        scale.stamp_adversary(&mut cfg);
         cfg
     };
     let ((base, intf), fm) = rayon::join(

@@ -38,6 +38,7 @@ pub fn run(scale: &Scale) -> Fig6Result {
     cfg.duration = scale.timeline;
     cfg.warmup = scale.warmup;
     scale.stamp_faults(&mut cfg);
+    scale.stamp_adversary(&mut cfg);
     let run = run_scenario(cfg);
     let w = SimDuration::from_millis(10);
     let vm64 = run.vm("64KB").unwrap();

@@ -38,6 +38,7 @@ pub fn run(scale: &Scale) -> Fig7Result {
         };
         cfg.warmup = scale.warmup;
         scale.stamp_faults(&mut cfg);
+        scale.stamp_adversary(&mut cfg);
         cfg
     };
     let ((base, intf), ios) = rayon::join(

@@ -50,6 +50,7 @@ fn twin_64kb(policy: PolicyKind, scale: &Scale, label: &str) -> ScenarioConfig {
     cfg.duration = scale.duration;
     cfg.warmup = scale.warmup;
     scale.stamp_faults(&mut cfg);
+    scale.stamp_adversary(&mut cfg);
     cfg
 }
 
@@ -61,6 +62,7 @@ fn no_intf(policy: PolicyKind, scale: &Scale, label: &str) -> ScenarioConfig {
     cfg.duration = scale.duration;
     cfg.warmup = scale.warmup;
     scale.stamp_faults(&mut cfg);
+    scale.stamp_adversary(&mut cfg);
     cfg
 }
 
@@ -70,6 +72,7 @@ pub fn run(scale: &Scale) -> Fig8Result {
     base.duration = scale.duration;
     base.warmup = scale.warmup;
     scale.stamp_faults(&mut base);
+    scale.stamp_adversary(&mut base);
     let cases: Vec<(String, ScenarioConfig)> = vec![
         ("Base-64KB".into(), base),
         (

@@ -6,7 +6,7 @@
 //! latency since it does not have access to that information."
 
 use crate::experiments::{mean_std, p99_us, slo_violation_pct, Scale};
-use crate::metrics::RecoveryTotals;
+use crate::metrics::{AdversaryTotals, RecoveryTotals};
 use crate::scenario::{fmt_size, PolicyKind, ScenarioConfig};
 use crate::world::run_scenario;
 use rayon::prelude::*;
@@ -47,17 +47,23 @@ pub struct Fig9Result {
     /// What the self-healing layer did across every run of the figure.
     /// All-zero in clean runs.
     pub recovery: RecoveryTotals,
+    /// What the antagonist plane did across every run of the figure.
+    /// All-zero in adversary-off runs.
+    pub adversary: AdversaryTotals,
 }
 
-// Hand-written so clean runs serialize exactly as before this field
-// existed: `recovery` appears only when something actually recovered,
-// keeping faults-off JSON byte-identical across versions.
+// Hand-written so clean runs serialize exactly as before these fields
+// existed: `recovery`/`adversary` appear only when something actually
+// happened, keeping clean-run JSON byte-identical across versions.
 impl Serialize for Fig9Result {
     fn to_value(&self) -> serde::Value {
         let mut m = serde::Map::new();
         m.insert("rows".to_string(), self.rows.to_value());
         if self.recovery != RecoveryTotals::default() {
             m.insert("recovery".to_string(), self.recovery.to_value());
+        }
+        if self.adversary != AdversaryTotals::default() {
+            m.insert("adversary".to_string(), self.adversary.to_value());
         }
         serde::Value::Object(m)
     }
@@ -70,12 +76,14 @@ pub fn run(scale: &Scale) -> Fig9Result {
     base_cfg.duration = scale.duration;
     base_cfg.warmup = scale.warmup;
     scale.stamp_faults(&mut base_cfg);
+    scale.stamp_adversary(&mut base_cfg);
     let base = run_scenario(base_cfg);
     let base_us = mean_std(&base, "64KB").0;
     let base_p99 = p99_us(&base, "64KB");
     let mut recovery = base.recovery_totals();
+    let mut adversary = base.adversary;
 
-    let rows_and_totals: Vec<(Fig9Row, RecoveryTotals)> = buffers
+    let rows_and_totals: Vec<(Fig9Row, RecoveryTotals, AdversaryTotals)> = buffers
         .into_par_iter()
         .map(|buf| {
             let mk = |policy: PolicyKind| {
@@ -86,6 +94,7 @@ pub fn run(scale: &Scale) -> Fig9Result {
                 cfg.duration = scale.duration;
                 cfg.warmup = scale.warmup;
                 scale.stamp_faults(&mut cfg);
+                scale.stamp_adversary(&mut cfg);
                 cfg
             };
             let (intf, (fm, ios)) = rayon::join(
@@ -100,6 +109,9 @@ pub fn run(scale: &Scale) -> Fig9Result {
             let mut totals = intf.recovery_totals();
             totals.merge(fm.recovery_totals());
             totals.merge(ios.recovery_totals());
+            let mut adv = intf.adversary;
+            adv.merge(fm.adversary);
+            adv.merge(ios.adversary);
             let row = Fig9Row {
                 buffer: fmt_size(buf),
                 base_us,
@@ -113,15 +125,20 @@ pub fn run(scale: &Scale) -> Fig9Result {
                 freemarket_slo_pct: slo_violation_pct(&fm, "64KB"),
                 ioshares_slo_pct: slo_violation_pct(&ios, "64KB"),
             };
-            (row, totals)
+            (row, totals, adv)
         })
         .collect();
     let mut rows = Vec::with_capacity(rows_and_totals.len());
-    for (row, totals) in rows_and_totals {
+    for (row, totals, adv) in rows_and_totals {
         rows.push(row);
         recovery.merge(totals);
+        adversary.merge(adv);
     }
-    Fig9Result { rows, recovery }
+    Fig9Result {
+        rows,
+        recovery,
+        adversary,
+    }
 }
 
 impl Fig9Result {
@@ -169,6 +186,13 @@ impl Fig9Result {
             println!(
                 "  recovery: reconnects={} replayed={} retries={} lost={} watchdog_trips={}",
                 r.reconnects, r.replayed, r.retries, r.lost_requests, r.watchdog_trips
+            );
+        }
+        if self.adversary != AdversaryTotals::default() {
+            let a = &self.adversary;
+            println!(
+                "  adversary: bursts={} deferred={} corrections={} spend attacker/honest={:.0}/{:.0}",
+                a.bursts, a.deferred_sends, a.poison_corrections, a.attacker_spent, a.honest_spent
             );
         }
     }

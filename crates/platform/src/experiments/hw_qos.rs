@@ -52,12 +52,14 @@ pub fn run(scale: &Scale) -> HwQosResult {
         cfg.duration = scale.duration;
         cfg.warmup = scale.warmup;
         scale.stamp_faults(&mut cfg);
+        scale.stamp_adversary(&mut cfg);
         cfg
     };
     let mut base = ScenarioConfig::base_case(64 * 1024);
     base.duration = scale.duration;
     base.warmup = scale.warmup;
     scale.stamp_faults(&mut base);
+    scale.stamp_adversary(&mut base);
     let base_us = mean_std(&run_scenario(base), "64KB").0;
 
     let cases: Vec<(String, ScenarioConfig)> = vec![

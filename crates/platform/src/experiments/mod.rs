@@ -35,6 +35,7 @@ pub mod scaling;
 
 use crate::metrics::RunMetrics;
 use crate::scenario::ScenarioConfig;
+use resex_adversary::AdversarySpec;
 use resex_faults::{FaultSchedule, FaultSpec};
 use resex_simcore::time::SimDuration;
 use serde::Serialize;
@@ -42,7 +43,7 @@ use serde::Serialize;
 /// How long to simulate. The paper's runs span 100 s of wall time (10⁵
 /// 1 ms iterations); the default reproduces the same dynamics over shorter
 /// spans to keep the full suite snappy.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Scale {
     /// Duration of steady-state comparison runs.
     pub duration: SimDuration,
@@ -53,6 +54,9 @@ pub struct Scale {
     /// Fault rates applied to every scenario of the experiment (all-zero =
     /// no fault plane installed; the default).
     pub faults: FaultSpec,
+    /// Antagonist plane applied to every scenario of the experiment
+    /// (class `off` = no plane installed; the default).
+    pub adversary: AdversarySpec,
 }
 
 impl Scale {
@@ -63,6 +67,7 @@ impl Scale {
             timeline: SimDuration::from_secs(4),
             warmup: SimDuration::from_millis(200),
             faults: FaultSpec::default(),
+            adversary: AdversarySpec::default(),
         }
     }
 
@@ -73,6 +78,7 @@ impl Scale {
             timeline: SimDuration::from_secs(20),
             warmup: SimDuration::from_millis(500),
             faults: FaultSpec::default(),
+            adversary: AdversarySpec::default(),
         }
     }
 
@@ -82,6 +88,16 @@ impl Scale {
     pub fn stamp_faults(&self, cfg: &mut ScenarioConfig) {
         if self.faults.enabled() {
             cfg.faults = FaultSchedule::from(self.faults);
+        }
+    }
+
+    /// Stamps this scale's adversary spec onto a scenario, mirroring
+    /// [`Scale::stamp_faults`]. Scenarios the spec cannot apply to (e.g.
+    /// the single-VM base case, which serves as the attacker-free
+    /// reference) are silently left clean.
+    pub fn stamp_adversary(&self, cfg: &mut ScenarioConfig) {
+        if self.adversary.enabled() && self.adversary.validate_for(cfg.vms.len()).is_ok() {
+            cfg.adversary = self.adversary.clone();
         }
     }
 }

@@ -47,6 +47,7 @@ fn scenario(n: u32, policy: PolicyKind, scale: &Scale) -> ScenarioConfig {
     cfg.duration = scale.duration;
     cfg.warmup = scale.warmup;
     scale.stamp_faults(&mut cfg);
+    scale.stamp_adversary(&mut cfg);
     cfg
 }
 

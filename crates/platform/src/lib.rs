@@ -14,7 +14,7 @@ pub mod metrics;
 pub mod scenario;
 pub mod world;
 
-pub use metrics::{RecoveryTotals, RunMetrics, SummaryRow, VmMetrics};
+pub use metrics::{AdversaryTotals, RecoveryTotals, RunMetrics, SummaryRow, VmMetrics};
 pub use scenario::{
     fmt_size, ObsOptions, PolicyKind, QosSpec, ScenarioConfig, VmSpec, BASE_LATENCY_US,
 };

@@ -60,6 +60,16 @@ pub struct VmMetrics {
     pub replayed: u64,
     /// Manager watchdog trips (stale fail-safes plus forced actuations).
     pub watchdog_trips: u64,
+    /// True when the scenario's adversary spec marked this VM an attacker.
+    pub attacker: bool,
+    /// Lifetime Resos this VM was charged (ResEx runs only; 0 otherwise).
+    /// Attacker-vs-honest spend is the economic-damage axis: a successful
+    /// evasion attack shows up as interference *without* matching spend.
+    pub reso_spent: f64,
+    /// Charging intervals in which the IBMon cross-check rejected this
+    /// VM's ring-scan estimate and substituted the counter-derived count
+    /// (hardened runs only).
+    pub poison_corrections: u64,
 }
 
 impl VmMetrics {
@@ -85,6 +95,9 @@ impl VmMetrics {
             reconnects: 0,
             replayed: 0,
             watchdog_trips: 0,
+            attacker: false,
+            reso_spent: 0.0,
+            poison_corrections: 0,
         }
     }
 
@@ -120,6 +133,9 @@ pub struct RunMetrics {
     pub vms: Vec<VmMetrics>,
     /// Total events processed by the platform loop (sanity/throughput).
     pub events_processed: u64,
+    /// What the antagonist plane did (and what the hardening caught).
+    /// All-zero in adversary-free runs.
+    pub adversary: AdversaryTotals,
 }
 
 impl RunMetrics {
@@ -190,6 +206,35 @@ impl RecoveryTotals {
         self.reconnects += other.reconnects;
         self.replayed += other.replayed;
         self.watchdog_trips += other.watchdog_trips;
+    }
+}
+
+/// Run-wide adversary tallies — what the antagonist plane did during a
+/// run and what the hardened policies caught. All-zero (and printed
+/// nowhere) in adversary-free runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct AdversaryTotals {
+    /// Attacker sends deferred into a burst window by the gate.
+    pub deferred_sends: u64,
+    /// Distinct burst windows the attackers fired in.
+    pub bursts: u64,
+    /// Charging intervals where the IBMon cross-check substituted the
+    /// counter-derived MTU count for a poisoned ring-scan estimate.
+    pub poison_corrections: u64,
+    /// Lifetime Resos charged to attacker VMs.
+    pub attacker_spent: f64,
+    /// Lifetime Resos charged to honest VMs.
+    pub honest_spent: f64,
+}
+
+impl AdversaryTotals {
+    /// Accumulates another tally into this one.
+    pub fn merge(&mut self, other: AdversaryTotals) {
+        self.deferred_sends += other.deferred_sends;
+        self.bursts += other.bursts;
+        self.poison_corrections += other.poison_corrections;
+        self.attacker_spent += other.attacker_spent;
+        self.honest_spent += other.honest_spent;
     }
 }
 

@@ -7,6 +7,7 @@
 //! two physical machines — servers (and dom0 with ResEx/IBMon) on one,
 //! clients on the other.
 
+use resex_adversary::AdversarySpec;
 use resex_benchex::{ClientMode, ServerConfig, TraceProfile};
 use resex_core::{ResExConfig, SlaTarget};
 use resex_fabric::FabricConfig;
@@ -188,6 +189,11 @@ pub struct ScenarioConfig {
     /// byte-identical to fault-unaware builds).
     #[serde(default)]
     pub faults: FaultSchedule,
+    /// Antagonist-tenant spec (absent in older scenario files = no
+    /// adversaries; a disabled spec is never installed, so such runs stay
+    /// byte-identical to adversary-unaware builds).
+    #[serde(default)]
+    pub adversary: AdversarySpec,
 }
 
 /// The paper's canonical 64 KiB baseline latency, used as the default SLA.
@@ -209,6 +215,7 @@ impl ScenarioConfig {
             seed: 42,
             obs: ObsOptions::default(),
             faults: FaultSchedule::default(),
+            adversary: AdversarySpec::default(),
         }
     }
 
@@ -231,6 +238,30 @@ impl ScenarioConfig {
         cfg
     }
 
+    /// A reporting VM plus `n_attackers` identically-sized interferers —
+    /// the canonical setup for the adversarial-tenant experiments (the
+    /// attackers masquerade as honest interferers; [`AdversarySpec`]
+    /// decides which of them actually attack, and how). VM 0 is the
+    /// reporter; VMs `1..=n_attackers` are the interferer slots.
+    pub fn adversarial(intf_buffer: u32, n_attackers: usize, policy: PolicyKind) -> Self {
+        assert!(n_attackers >= 1, "at least one interferer slot");
+        let mut cfg = ScenarioConfig::interfered(intf_buffer);
+        for k in 1..n_attackers {
+            cfg.vms.push(VmSpec::server(
+                format!("{}#{}", fmt_size(intf_buffer), k + 1),
+                intf_buffer,
+            ));
+        }
+        cfg.label = format!(
+            "adversarial-{}x{}-{}",
+            n_attackers,
+            fmt_size(intf_buffer),
+            policy_tag(&policy)
+        );
+        cfg.policy = policy;
+        cfg
+    }
+
     /// Validates the scenario.
     pub fn validate(&self) -> Result<(), String> {
         if self.vms.is_empty() {
@@ -238,6 +269,9 @@ impl ScenarioConfig {
         }
         self.fabric.validate()?;
         self.resex.validate()?;
+        self.adversary
+            .validate_for(self.vms.len())
+            .map_err(|e| e.to_string())?;
         if self.warmup.as_nanos() >= self.duration.as_nanos() {
             return Err("warmup must be shorter than the run".into());
         }
@@ -310,6 +344,31 @@ mod tests {
         let mut cfg = ScenarioConfig::interfered(131072);
         cfg.policy = PolicyKind::BufferRatio { reference: 9 };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn adversarial_builder_adds_interferer_slots() {
+        let cfg = ScenarioConfig::adversarial(2 * 1024 * 1024, 3, PolicyKind::IoShares);
+        assert_eq!(cfg.vms.len(), 4);
+        assert!(cfg.vms[0].sla.is_some(), "VM 0 stays the reporter");
+        assert_eq!(cfg.vms[1].name, "2MB");
+        assert_eq!(cfg.vms[2].name, "2MB#2");
+        assert_eq!(cfg.vms[3].name, "2MB#3");
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_out_of_range_attackers() {
+        let mut cfg = ScenarioConfig::interfered(2 * 1024 * 1024);
+        cfg.adversary =
+            resex_adversary::AdversarySpec::parse("class=collude,attackers=1+2").unwrap();
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("does not exist"), "typed wiring error: {err}");
+        // A matching 3-VM scenario accepts the same spec.
+        let mut cfg = ScenarioConfig::adversarial(2 * 1024 * 1024, 2, PolicyKind::None);
+        cfg.adversary =
+            resex_adversary::AdversarySpec::parse("class=collude,attackers=1+2").unwrap();
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -18,12 +18,13 @@
 //! VM's configured buffer size — so all response traffic of all VMs shares
 //! machine S's egress link, which is where interference lives.
 
-use crate::metrics::{record_latency, RunMetrics, VmMetrics};
+use crate::metrics::{record_latency, AdversaryTotals, RunMetrics, VmMetrics};
 use crate::scenario::{PolicyKind, ScenarioConfig};
+use resex_adversary::{Antagonist, AttackTraffic};
 use resex_benchex::{
-    AgentConfig, Client, ClientAction, LatencyReport, ReportingAgent, RetryDecision, Server,
-    ServerAction, TraceGen, TransactionRequest, TransactionResponse, REQUEST_TIMEOUT,
-    REQUEST_WIRE_BYTES,
+    AgentConfig, Client, ClientAction, ClientMode, LatencyReport, ReportingAgent, RetryDecision,
+    Server, ServerAction, TraceGen, TraceProfile, TransactionRequest, TransactionResponse,
+    REQUEST_TIMEOUT, REQUEST_WIRE_BYTES,
 };
 use resex_core::{
     BufferRatio, DemandPricing, FreeMarket, IoShares, LatencyFeedback, ManagerAction,
@@ -50,6 +51,19 @@ use std::collections::HashMap;
 const RECV_SLOTS: u32 = 64;
 /// Spacing of request landing slots in server memory.
 const SLOT_BYTES: u64 = 4096;
+/// Send-CQ ring capacity for telemetry-poisoning attacker VMs. Honest
+/// VMs get deep (1024-slot) rings that never wrap between IBMon scans,
+/// so their ring-scan estimates stay exact; the poison attack only
+/// works when the attacker's own large CQEs can be chased off a shallow
+/// ring by minimal repaint completions before the next scan.
+const POISON_CQ_SLOTS: u32 = 16;
+/// Batch multiplier for a poison attacker's large transfers (the
+/// repaint transfers are batch 1, the smallest CQE the scanner can see).
+const POISON_BIG_FACTOR: u32 = 64;
+/// Stream-domain constant for the manager's charging-interval jitter
+/// RNG, forked from the scenario seed so jitter draws can never perturb
+/// any other seeded stream.
+const DOMAIN_JITTER: u64 = 0x001F_7E50;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Ev {
@@ -138,6 +152,18 @@ pub struct World {
     /// Consecutive failed cap actuations per VM, for the watchdog's
     /// escalation to the forced (slow, reliable) actuation path.
     actuation_streak: Vec<u32>,
+    /// The antagonist plane, when the scenario arms one. `None` means no
+    /// attacker state exists at all — adversary-off runs stay
+    /// byte-identical to builds that predate the plane.
+    antagonist: Option<Antagonist>,
+    /// Jitter RNG for randomized charging-interval sampling
+    /// (`resex.interval_jitter_frac > 0`); `None` keeps the legacy fixed
+    /// cadence and draws nothing.
+    jitter_rng: Option<SimRng>,
+    /// Previous interval's fabric ground-truth MTU counter per VM — the
+    /// IBMon cross-check diffs it to get an attacker-uninfluenceable
+    /// per-interval completion count.
+    prev_true_mtus: Vec<u64>,
     /// Self-profiler for the event loop (wall-clock cost per event type).
     /// All its clock reads are host-monotonic, outside the DES clock, so
     /// enabling it never perturbs simulated behaviour.
@@ -205,6 +231,15 @@ impl World {
         hv.add_pcpu();
 
         let mut rng = SimRng::seed_from_u64(cfg.seed);
+        // The antagonist plane is only *built* when armed — adversary-off
+        // runs construct no attacker state and stay byte-identical to
+        // builds that predate it. Its RNG tree forks from the spec's own
+        // seed, never the scenario's.
+        let antagonist = if cfg.adversary.enabled() {
+            Some(Antagonist::new(cfg.adversary.clone(), cfg.resex.interval))
+        } else {
+            None
+        };
         let mut vms = Vec::new();
         let mut clients = Vec::new();
         let mut metrics = Vec::new();
@@ -228,7 +263,13 @@ impl World {
             let mem = hv.domain_memory(dom).expect("domain exists");
             let pd = fabric.create_pd(node_srv).expect("pd");
             let uar = fabric.create_uar(node_srv, &mem).expect("uar");
-            let send_cq = fabric.create_cq(node_srv, &mem, 1024).expect("cq");
+            // A poisoning attacker configures its own guest with a
+            // shallow send CQ: ring-scan evasion requires its large CQEs
+            // to be overwritten between scans, which a deep ring prevents.
+            let attack = antagonist.as_ref().and_then(|a| a.traffic(i as u32));
+            let poisoning = matches!(attack, Some(AttackTraffic::Poison { .. }));
+            let send_cq_slots = if poisoning { POISON_CQ_SLOTS } else { 1024 };
+            let send_cq = fabric.create_cq(node_srv, &mem, send_cq_slots).expect("cq");
             let recv_cq = fabric.create_cq(node_srv, &mem, 1024).expect("cq");
             let qp = fabric
                 .create_qp(node_srv, pd, send_cq, recv_cq, 512, 512, uar)
@@ -340,6 +381,10 @@ impl World {
 
             let mut server_cfg = cfg.server;
             server_cfg.buffer_size = spec.buffer_size;
+            // The poison attacker also makes its own server return
+            // batch-proportional responses, so its CQE sizes span the
+            // range the biased ring-scan average needs.
+            server_cfg.variable_responses = poisoning;
             // Entity registration so exporters group this VM's QPs and
             // domain under one trace "process".
             tracer.set_vm_label(i as u32, spec.name.clone());
@@ -364,13 +409,30 @@ impl World {
             });
             srv_qp_to_vm.insert(qp, i);
 
+            // Every VM draws its two seeds from the scenario RNG in
+            // declaration order whether or not it attacks, so arming the
+            // plane on VM k perturbs no other VM's streams; an attacker's
+            // replacement client then draws from the plane's own tree.
+            let trace_seed = rng.next_u64();
+            let client_seed = rng.next_u64();
+            let mut client = Client::new(
+                i as u32,
+                spec.client_mode,
+                TraceGen::new(spec.trace, trace_seed),
+                client_seed,
+            );
+            if let (Some(ant), Some(traffic)) = (&antagonist, attack) {
+                let seed = ant.client_seed(i as u32).expect("attackers have seeds");
+                let (mode, profile) = attack_client(
+                    spec.trace.base_batch,
+                    traffic,
+                    cfg.resex.interval,
+                    ant.spec().duty,
+                );
+                client = Client::new(i as u32, mode, TraceGen::new(profile, seed), seed);
+            }
             clients.push(ClientRuntime {
-                client: Client::new(
-                    i as u32,
-                    spec.client_mode,
-                    TraceGen::new(spec.trace, rng.next_u64()),
-                    rng.next_u64(),
-                ),
+                client,
                 qp: cqp,
                 recv_cq: c_recv_cq,
                 mem: cmem,
@@ -440,6 +502,15 @@ impl World {
                 .expect("dom0 may introspect");
         }
 
+        // Randomized charging-interval sampling (anti-phase-lock
+        // hardening): a dedicated RNG stream domain, armed only when the
+        // knob is on — legacy runs draw nothing.
+        let jitter_rng = if manager.is_some() && cfg.resex.interval_jitter_frac > 0.0 {
+            Some(SimRng::seed_from_u64(cfg.seed ^ DOMAIN_JITTER))
+        } else {
+            None
+        };
+        let prev_true_mtus = vec![0u64; vms.len()];
         let actuation_streak = vec![0u32; vms.len()];
         // Profiling is on when the scenario asks for it or when the
         // process-global switch (set by `repro profile`) is armed.
@@ -471,6 +542,9 @@ impl World {
             deferred_recvs: Vec::new(),
             deferred_responses: Vec::new(),
             actuation_streak,
+            antagonist,
+            jitter_rng,
+            prev_true_mtus,
             profiler: self_profiler,
             fab_events: Vec::new(),
             hv_events: Vec::new(),
@@ -490,6 +564,24 @@ impl World {
     pub fn run_observed(mut self) -> (RunMetrics, ObservedRun) {
         let duration = self.cfg.duration;
         let warmup = self.cfg.warmup;
+        // Announce any armed attackers to the trace before their traffic
+        // starts, so a trace consumer can attribute what follows.
+        if self.tracer.enabled() {
+            if let Some(ant) = &self.antagonist {
+                for &vm in &ant.spec().attackers {
+                    self.tracer.instant(
+                        SimTime::ZERO,
+                        subsystem::ADVERSARY,
+                        "attacker_armed",
+                        Scope::Vm(vm),
+                        vec![
+                            ("class", ant.spec().class.name().to_string().into()),
+                            ("victim", u64::from(ant.victim()).into()),
+                        ],
+                    );
+                }
+            }
+        }
         // Kick off clients.
         for i in 0..self.clients.len() {
             let act = self.clients[i].client.start(SimTime::ZERO);
@@ -654,6 +746,7 @@ impl World {
             warmup,
             vms: Vec::new(),
             events_processed: self.events,
+            adversary: AdversaryTotals::default(),
         };
         for (i, mut m) in self.metrics.into_iter().enumerate() {
             m.served = self.vms[i].server.served();
@@ -675,7 +768,29 @@ impl World {
                     m.replayed += c.replayed;
                 }
             }
+            // Economic-damage axis: what this VM was actually charged.
+            m.reso_spent = self
+                .manager
+                .as_ref()
+                .and_then(|mgr| mgr.account(VmId::new(i as u32)))
+                .map(|a| a.lifetime_charged.as_f64())
+                .unwrap_or(0.0);
+            if let Some(ant) = &self.antagonist {
+                m.attacker = ant.is_attacker(i as u32);
+            }
             out.vms.push(m);
+        }
+        if let Some(ant) = &self.antagonist {
+            out.adversary.deferred_sends = ant.stats.deferred_sends;
+            out.adversary.bursts = ant.stats.bursts;
+            for m in &out.vms {
+                out.adversary.poison_corrections += m.poison_corrections;
+                if m.attacker {
+                    out.adversary.attacker_spent += m.reso_spent;
+                } else {
+                    out.adversary.honest_spent += m.reso_spent;
+                }
+            }
         }
 
         let mut observed = ObservedRun::default();
@@ -1084,8 +1199,14 @@ impl World {
         match act {
             ClientAction::Send(req) => self.post_request(ci, req, 1, t),
             ClientAction::ArmTimer(at) => {
-                self.queue
-                    .schedule_at(at.max(t), Ev::ClientTimer { client: ci });
+                let mut at = at.max(t);
+                if let Some(ant) = &mut self.antagonist {
+                    // Phase-locked attackers defer timer fires into their
+                    // charging-interval duty windows; honest VMs (and
+                    // non-phase-locked classes) pass through unchanged.
+                    at = ant.gate_send(ci as u32, at);
+                }
+                self.queue.schedule_at(at, Ev::ClientTimer { client: ci });
             }
             ClientAction::Idle => {}
         }
@@ -1177,7 +1298,37 @@ impl World {
         }
         for i in 0..self.vms.len() {
             let dom = self.vms[i].dom;
-            let usage = self.ibmon.sample_vm(dom, t).expect("introspection reads");
+            let mut usage = self.ibmon.sample_vm(dom, t).expect("introspection reads");
+            if self.cfg.resex.ibmon_crosscheck {
+                // Hardening: diff the fabric's QP counter over the
+                // interval — a ground truth no guest traffic shape can
+                // influence — and reject ring-scan estimates that fall
+                // implausibly short (the signature of a poisoned ring).
+                let true_mtus = self
+                    .fabric
+                    .qp_counters(self.node_srv, self.vms[i].qp)
+                    .map(|c| c.mtus_sent)
+                    .unwrap_or(self.prev_true_mtus[i]);
+                let counter_mtus = true_mtus.saturating_sub(self.prev_true_mtus[i]);
+                self.prev_true_mtus[i] = true_mtus;
+                let outcome = resex_ibmon::crosscheck_mtus(usage.mtus, counter_mtus);
+                if outcome.poisoned {
+                    self.metrics[i].poison_corrections += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.instant(
+                            t,
+                            subsystem::ADVERSARY,
+                            "crosscheck_correction",
+                            Scope::Vm(i as u32),
+                            vec![
+                                ("scan_mtus", usage.mtus.into()),
+                                ("counter_mtus", counter_mtus.into()),
+                            ],
+                        );
+                    }
+                    usage.mtus = outcome.corrected_mtus;
+                }
+            }
             if usage.stale && self.tracer.enabled() {
                 self.tracer.instant(
                     t,
@@ -1420,7 +1571,72 @@ impl World {
             self.profiler.exit();
         }
         self.interval_count += 1;
-        self.queue.schedule_at(t + interval, Ev::ResExInterval);
+        // Hardening: a jittered manager samples each next interval in
+        // [1 - frac/2, 1 + frac/2]× the nominal cadence, so an attacker
+        // cannot phase-lock bursts to the charging boundary. Legacy
+        // (frac = 0) runs take the `None` arm and draw nothing.
+        let next = match &mut self.jitter_rng {
+            Some(rng) => {
+                let frac = self.cfg.resex.interval_jitter_frac;
+                interval.mul_f64(1.0 + frac * (rng.next_f64() - 0.5))
+            }
+            None => interval,
+        };
+        self.queue.schedule_at(t + next, Ev::ResExInterval);
+    }
+}
+
+/// Maps an attacker's traffic shape onto the client mode and trace
+/// profile that realize it on the wire. `charging` is the manager's
+/// charging interval and `duty` the burst-window fraction; both classes
+/// of phase-locked attacker pace their open loop so roughly
+/// `ceil(amplification)` sends land inside each eligible duty window
+/// (the [`Antagonist::gate_send`] gate defers everything else).
+fn attack_client(
+    honest_batch: u32,
+    traffic: AttackTraffic,
+    charging: SimDuration,
+    duty: f64,
+) -> (ClientMode, TraceProfile) {
+    match traffic {
+        AttackTraffic::Flood { amplification } => (
+            // The free-rider's spend-to-zero engine: close the loop as
+            // fast as responses return, amplified batches throughout.
+            ClientMode::ClosedLoop {
+                think: SimDuration::ZERO,
+            },
+            TraceProfile::amplified_quotes(honest_batch, amplification),
+        ),
+        AttackTraffic::Burst { amplification, .. } => {
+            // Amplification buys burst *depth*, not batch size: an honest
+            // batch keeps the attacker's server fast, so k back-to-back
+            // sends per window produce k full-size responses queued on
+            // the shared egress — the damage is phase-locked queueing,
+            // not compute.
+            let k = (amplification.ceil() as u64).max(1);
+            (
+                ClientMode::OpenLoop {
+                    interval: charging.mul_f64(duty).div_u64(k),
+                },
+                TraceProfile::uniform_quotes(honest_batch.max(1)),
+            )
+        }
+        AttackTraffic::Poison {
+            period,
+            big,
+            repaint,
+        } => {
+            // One full big+repaint cycle per charging interval: the
+            // repaint tail must finish wrapping the large CQEs off the
+            // ring before the next IBMon scan.
+            let cycle = u64::from((big + repaint).max(1));
+            (
+                ClientMode::OpenLoop {
+                    interval: period.div_u64(cycle),
+                },
+                TraceProfile::poison_cycle(honest_batch, big, POISON_BIG_FACTOR, repaint),
+            )
+        }
     }
 }
 

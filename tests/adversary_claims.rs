@@ -1,0 +1,245 @@
+//! Acceptance claims for the antagonist plane: economic damage bounds
+//! under each attacker class, the hardened-policy guarantees, and the
+//! byte-identity contract for adversary-off runs.
+//!
+//! Scenario shape: the paper's 64KB reporting VM (carrying the SLA)
+//! against three identical interferer slots that the adversary spec
+//! turns into attackers. "Attacker-free" references run the *same*
+//! topology with honest interferers, so inflation isolates what the
+//! attack — not the contention — costs the compliant VM. Each claim
+//! runs in the buffer regime where its damage axis physically
+//! manifests: latency claims below link saturation, economic claims
+//! where per-response spend is high enough to drain allocations.
+
+use resex_adversary::AdversarySpec;
+use resex_core::ResExConfig;
+use resex_platform::experiments::{p99_us, slo_violation_pct};
+use resex_platform::{run_scenario, PolicyKind, RunMetrics, ScenarioConfig};
+use resex_simcore::time::SimDuration;
+
+/// Buffer size for the latency claims. Mid-range on purpose: three honest
+/// interferers at this size contend without saturating the egress link,
+/// so attack-induced inflation is visible on top of the honest baseline
+/// (at 1 MiB the link saturates and every policy pins at the same p99).
+const BUF_LATENCY: u32 = 256 * 1024;
+/// Buffer size for the economic claims. Large on purpose: 1 MiB responses
+/// spend 1024 I/O Resos each, so a free-rider drains its epoch allocation
+/// fast enough for the depletion machinery to engage within a short run,
+/// and the poisoner's big transfers dominate the ring long enough to bias
+/// the scan. (At 256 KiB the attacker never depletes and the scan bias is
+/// too weak to assert on.)
+const BUF_ECON: u32 = 1024 * 1024;
+/// Attacker slots in the adversarial topology.
+const N_ATTACKERS: usize = 3;
+/// The compliant VM whose latency the claims bound.
+const REPORTER: &str = "64KB";
+
+fn scenario(
+    buf: u32,
+    policy: PolicyKind,
+    adversary: Option<&str>,
+    hardened: bool,
+) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::adversarial(buf, N_ATTACKERS, policy);
+    cfg.duration = SimDuration::from_secs(2);
+    cfg.warmup = SimDuration::from_millis(200);
+    if hardened {
+        cfg.resex = ResExConfig::hardened();
+    }
+    if let Some(spec) = adversary {
+        cfg.adversary = AdversarySpec::parse(spec).expect("valid adversary spec");
+    }
+    cfg
+}
+
+fn spec(class: &str) -> String {
+    format!("class={class},attackers=1+2+3,intensity=1,duty=0.25,seed=77")
+}
+
+/// Deterministic digest of everything a run reports.
+fn fingerprint(run: &RunMetrics) -> String {
+    format!("{:?} events={}", run.rows(), run.events_processed)
+}
+
+/// The tentpole claim: for every attacker class, hardened IOShares keeps
+/// the compliant VM's p99 within 2× its attacker-free value (plus a
+/// bounded SLO-violation delta), while the un-hardened FreeMarket run of
+/// the same attack demonstrably fails that bound.
+#[test]
+fn hardened_ioshares_bounds_attack_damage_where_freemarket_does_not() {
+    let ios_free = run_scenario(scenario(BUF_LATENCY, PolicyKind::IoShares, None, true));
+    let fm_free = run_scenario(scenario(BUF_LATENCY, PolicyKind::FreeMarket, None, false));
+    let ios_free_p99 = p99_us(&ios_free, REPORTER);
+    let fm_free_p99 = p99_us(&fm_free, REPORTER);
+    let ios_free_slo = slo_violation_pct(&ios_free, REPORTER);
+    println!(
+        "attacker-free: IOShares(hardened) p99={ios_free_p99:.1}µs slo={ios_free_slo:.1}% \
+         FreeMarket p99={fm_free_p99:.1}µs"
+    );
+
+    let mut fm_exceeded = 0usize;
+    for class in ["burst", "freeride", "poison", "collude"] {
+        let s = spec(class);
+        let ios_atk = run_scenario(scenario(BUF_LATENCY, PolicyKind::IoShares, Some(&s), true));
+        let fm_atk = run_scenario(scenario(
+            BUF_LATENCY,
+            PolicyKind::FreeMarket,
+            Some(&s),
+            false,
+        ));
+        let ios_p99 = p99_us(&ios_atk, REPORTER);
+        let fm_p99 = p99_us(&fm_atk, REPORTER);
+        let ios_slo = slo_violation_pct(&ios_atk, REPORTER);
+        let fm_slo = slo_violation_pct(&fm_atk, REPORTER);
+        println!(
+            "{class:>8}: hardened IOShares p99={ios_p99:.1}µs ({:.2}x) slo={ios_slo:.1}% | \
+             FreeMarket p99={fm_p99:.1}µs ({:.2}x) slo={fm_slo:.1}%",
+            ios_p99 / ios_free_p99,
+            fm_p99 / fm_free_p99,
+        );
+        assert!(
+            ios_p99 <= 2.0 * ios_free_p99,
+            "{class}: hardened IOShares p99 {ios_p99:.1}µs exceeds 2x attacker-free \
+             {ios_free_p99:.1}µs"
+        );
+        assert!(
+            ios_slo <= ios_free_slo + 25.0,
+            "{class}: hardened IOShares SLO violations {ios_slo:.1}% exceed attacker-free \
+             {ios_free_slo:.1}% + 25pt"
+        );
+        if fm_p99 > 2.0 * fm_free_p99 || fm_p99 > 1.15 * ios_p99 {
+            fm_exceeded += 1;
+        }
+    }
+    assert!(
+        fm_exceeded >= 3,
+        "un-hardened FreeMarket should demonstrably exceed the hardened bound under the \
+         latency-damaging classes (got {fm_exceeded}/4)"
+    );
+}
+
+/// Economic claim, free-rider: spending to zero must not buy sustained
+/// interference under the hardened ledger. The hardened attacker ends
+/// with (weakly) less service than under the forgiving legacy ledger.
+#[test]
+fn freeride_spend_to_zero_is_contained_by_debt_carryover() {
+    let s = spec("freeride");
+    let legacy = run_scenario(scenario(BUF_ECON, PolicyKind::FreeMarket, Some(&s), false));
+    let hard = run_scenario(scenario(BUF_ECON, PolicyKind::FreeMarket, Some(&s), true));
+    let served = |run: &RunMetrics, i: usize| run.vms[i].served;
+    let legacy_attacker: u64 = (1..=N_ATTACKERS).map(|i| served(&legacy, i)).sum();
+    let hard_attacker: u64 = (1..=N_ATTACKERS).map(|i| served(&hard, i)).sum();
+    println!(
+        "freeride attacker requests served: legacy={legacy_attacker} hardened={hard_attacker}"
+    );
+    assert!(
+        (hard_attacker as f64) < 0.95 * legacy_attacker as f64,
+        "hard floor + debt carryover should cost the free-rider throughput \
+         (legacy={legacy_attacker}, hardened={hard_attacker})"
+    );
+    // The reporter gets (weakly) more service under the hardened ledger.
+    assert!(
+        served(&hard, 0) as f64 >= 0.95 * served(&legacy, 0) as f64,
+        "hardening must not starve the compliant VM"
+    );
+}
+
+/// Economic claim, telemetry poisoning: the shaped traffic makes the
+/// legacy ring-scan estimator under-report the attacker's true MTU usage,
+/// and the hardened counter cross-check both detects and repairs it.
+#[test]
+fn poison_underbills_legacy_ibmon_and_crosscheck_recovers_the_charges() {
+    let s = spec("poison");
+    let legacy = run_scenario(scenario(BUF_ECON, PolicyKind::FreeMarket, Some(&s), false));
+    let hard = run_scenario(scenario(BUF_ECON, PolicyKind::FreeMarket, Some(&s), true));
+
+    // Legacy: the scanner is fooled on every attacker.
+    for i in 1..=N_ATTACKERS {
+        let vm = &legacy.vms[i];
+        let ratio = vm.ibmon_mtus as f64 / vm.true_mtus.max(1) as f64;
+        println!(
+            "poison attacker {i}: ibmon={} true={} ratio={ratio:.2}",
+            vm.ibmon_mtus, vm.true_mtus
+        );
+        assert!(vm.attacker, "attacker flag set");
+        assert!(
+            ratio < 0.65,
+            "attacker {i}: ring scans should under-report true usage (ratio {ratio:.2})"
+        );
+    }
+    // Honest VMs are estimated accurately even in the attacked run.
+    let rep = &legacy.vms[0];
+    let rep_ratio = rep.ibmon_mtus as f64 / rep.true_mtus.max(1) as f64;
+    assert!(
+        rep_ratio > 0.9,
+        "reporter estimate should stay accurate (ratio {rep_ratio:.2})"
+    );
+
+    // Hardened: the cross-check fires and the attackers' bills go up.
+    println!(
+        "poison corrections={} spend legacy={:.0} hardened={:.0}",
+        hard.adversary.poison_corrections,
+        legacy.adversary.attacker_spent,
+        hard.adversary.attacker_spent
+    );
+    assert!(
+        hard.adversary.poison_corrections > 0,
+        "hardened runs must detect the poisoned ring"
+    );
+    assert!(
+        hard.adversary.attacker_spent > 1.1 * legacy.adversary.attacker_spent,
+        "cross-check should recover evaded charges (legacy {:.0}, hardened {:.0})",
+        legacy.adversary.attacker_spent,
+        hard.adversary.attacker_spent
+    );
+}
+
+/// Determinism: the same attacked scenario at the same seed replays to
+/// the same bytes — including the jittered manager cadence, whose RNG is
+/// seeded, and the plane's own forked client streams.
+#[test]
+fn fixed_seed_attacks_replay_byte_identically() {
+    for class in ["burst", "freeride", "poison", "collude"] {
+        let s = spec(class);
+        let a = run_scenario(scenario(BUF_LATENCY, PolicyKind::IoShares, Some(&s), true));
+        let b = run_scenario(scenario(BUF_LATENCY, PolicyKind::IoShares, Some(&s), true));
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "{class}: fixed-seed replay diverged"
+        );
+    }
+}
+
+/// Byte-identity contract: a disabled adversary spec (class off, or zero
+/// intensity) installs nothing — the run is indistinguishable from one
+/// on a build that predates the plane, and `Scale::stamp_adversary`
+/// leaves inapplicable scenarios untouched.
+#[test]
+fn adversary_off_runs_are_byte_identical_to_clean_baselines() {
+    let clean = run_scenario(scenario(BUF_LATENCY, PolicyKind::IoShares, None, false));
+    let defaulted = run_scenario(scenario(
+        BUF_LATENCY,
+        PolicyKind::IoShares,
+        Some("class=off"),
+        false,
+    ));
+    let zero_intensity = run_scenario(scenario(
+        BUF_LATENCY,
+        PolicyKind::IoShares,
+        Some("class=burst,intensity=0"),
+        false,
+    ));
+    assert_eq!(fingerprint(&clean), fingerprint(&defaulted));
+    assert_eq!(fingerprint(&clean), fingerprint(&zero_intensity));
+    assert_eq!(clean.adversary, resex_platform::AdversaryTotals::default());
+
+    // A spec that cannot apply to a scenario (single-VM base case: VM 1
+    // does not exist) is silently skipped by the experiment stamp.
+    use resex_platform::experiments::Scale;
+    let mut scale = Scale::quick();
+    scale.adversary = AdversarySpec::parse("class=burst").unwrap();
+    let mut base = ScenarioConfig::base_case(64 * 1024);
+    scale.stamp_adversary(&mut base);
+    assert!(!base.adversary.enabled(), "base case stays attacker-free");
+}

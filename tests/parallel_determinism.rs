@@ -27,6 +27,7 @@ fn short() -> Scale {
         timeline: SimDuration::from_millis(800),
         warmup: SimDuration::from_millis(100),
         faults: resex_faults::FaultSpec::default(),
+        adversary: resex_adversary::AdversarySpec::default(),
     }
 }
 
