@@ -83,11 +83,11 @@ grep "recovery: " "$TMP/fig9_soak_a.txt" | grep -q " lost=0 " || {
 sed -n 's/^  recovery:/    survived flaps:/p' "$TMP/fig9_soak_a.txt"
 echo "    byte-identical across runs, lost=0"
 
-echo "==> adversary-off byte-identity gate: fig9 --quick vs committed baseline"
-# The antagonist plane's zero-cost contract: with no --adversary flag the
-# binary must produce byte-for-byte the JSON committed before the plane
-# existed. If this fails after an *intentional* fig9 format change,
-# regenerate with:
+echo "==> adversary-off/crash-off byte-identity gate: fig9 --quick vs committed baseline"
+# The antagonist plane's zero-cost contract — and the crash plane's: with
+# no --adversary flag and no crash rates armed the binary must produce
+# byte-for-byte the JSON committed before either plane existed. If this
+# fails after an *intentional* fig9 format change, regenerate with:
 #   RESEX_THREADS=1 ./target/release/repro fig9 --quick --json tests/baselines/fig9_quick.json
 cmp tests/baselines/fig9_quick.json "$TMP/fig9_seq.json"
 echo "    byte-identical to tests/baselines/fig9_quick.json"
@@ -104,6 +104,42 @@ for class in burst freeride poison collude; do
         echo "    FAIL: $class: attacked run reported no adversary totals"; exit 1; }
     echo "    class=$class ok (complete, totals reported, replay byte-identical)"
 done
+
+echo "==> crash soak gate: fig9 --quick under a manager/host/VM crash mix"
+# The crash plane's acceptance bar: a sweep peppered with outages in
+# every failure domain completes, permanently loses nothing, conserves
+# Resos (journal_divergence=0 on the printed crashes line), and replays
+# byte-identically.
+CRASH="mgr_crash=0.01,mgr_down_ms=20,host_crash=0.002,host_down_ms=10,vm_crash=0.01,vm_down_ms=5,seed=7"
+RESEX_THREADS=1 "$REPRO" fig9 --quick --faults "$CRASH" \
+    --json "$TMP/fig9_crash_a.json" > "$TMP/fig9_crash_a.txt" 2>&1
+RESEX_THREADS=1 "$REPRO" fig9 --quick --faults "$CRASH" \
+    --json "$TMP/fig9_crash_b.json" > /dev/null 2>&1
+cmp "$TMP/fig9_crash_a.json" "$TMP/fig9_crash_b.json"
+grep -q "crashes: " "$TMP/fig9_crash_a.txt" || {
+    echo "    FAIL: no crashes line — the crash mix never fired"; exit 1; }
+grep "crashes: " "$TMP/fig9_crash_a.txt" | grep -q "journal_divergence=0" || {
+    echo "    FAIL: Resos not conserved across outages:"; \
+    grep "crashes: " "$TMP/fig9_crash_a.txt"; exit 1; }
+if grep -q "recovery: " "$TMP/fig9_crash_a.txt"; then
+    grep "recovery: " "$TMP/fig9_crash_a.txt" | grep -q " lost=0 " || {
+        echo "    FAIL: requests permanently lost:"; \
+        grep "recovery: " "$TMP/fig9_crash_a.txt"; exit 1; }
+fi
+sed -n 's/^  crashes:/    survived crashes:/p' "$TMP/fig9_crash_a.txt"
+echo "    byte-identical across runs, journal_divergence=0, lost=0"
+
+echo "==> chaos explorer gate: fixed seed/budget must find zero invariant violations"
+# The explorer generates random fault-schedule compositions and checks
+# the global invariant registry over each run; any violation is shrunk
+# to a minimal reproducer and fails the gate (nonzero exit). Raise the
+# budget for longer soaks with RESEX_CHAOS_BUDGET=N.
+CHAOS_BUDGET="${RESEX_CHAOS_BUDGET:-25}"
+"$REPRO" chaos --budget "$CHAOS_BUDGET" --seed 5 > "$TMP/chaos.txt" 2>&1 || {
+    echo "    FAIL: chaos explorer found violations:"; cat "$TMP/chaos.txt"; exit 1; }
+grep -q "violations=0" "$TMP/chaos.txt" || {
+    echo "    FAIL: unexpected chaos report:"; cat "$TMP/chaos.txt"; exit 1; }
+sed -n 's/^chaos:/    /p' "$TMP/chaos.txt"
 
 echo "==> sweep wall-clock: repro all --quick (per-target timings below)"
 t0=$(date +%s.%N)

@@ -17,6 +17,12 @@
 //! antagonist plane (see `resex_adversary::AdversarySpec`) on every
 //! multi-VM scenario the target runs.
 //!
+//! `repro chaos [--budget N] [--seed S]` runs the seeded random
+//! fault-schedule explorer instead of a figure: every generated schedule
+//! is checked against the global invariant registry and any violation is
+//! shrunk to a minimal replayable `--faults` reproducer. Exit status is
+//! nonzero when a violation survives — CI runs this with a fixed seed.
+//!
 //! `all` computes the independent figure targets **concurrently** on the
 //! work-stealing pool (each figure also fans its own sweep points out),
 //! then prints every figure in the canonical order — so stdout and the
@@ -54,8 +60,10 @@ fn usage() -> ! {
          [--quick|--full] [--duration-ms N] [--warmup-ms N] \
          [--json PATH] [--trace PATH] [--metrics PATH] [--faults SPEC] \
          [--adversary SPEC] [--profile-json PATH] [--flame PATH]\n\
+       repro chaos [--budget N] [--seed S] [--duration-ms N] [--warmup-ms N]\n\
          fault SPEC: comma list of seed=N loss=P corrupt=P delay=P \
-delay_us=N tear=P skip=P stale=P capfail=P flap_ms=N flap_down_us=N\n\
+delay_us=N tear=P skip=P stale=P capfail=P flap_ms=N flap_down_us=N \
+mgr_crash=P mgr_down_ms=N host_crash=P host_down_ms=N vm_crash=P vm_down_ms=N\n\
          adversary SPEC: comma list of class=<burst|freeride|poison|collude> \
 seed=N attackers=I+J+.. victim=I intensity=F duty=F"
     );
@@ -164,6 +172,8 @@ fn main() {
     }
     let mut target = None;
     let mut profile_mode = false;
+    let mut chaos_mode = false;
+    let mut chaos_cfg = resex_chaos::ChaosConfig::default();
     let mut mode = "quick";
     let mut scale = Scale::quick();
     let mut json_path: Option<String> = None;
@@ -171,6 +181,8 @@ fn main() {
     let mut metrics_path: Option<String> = None;
     let mut profile_json_path: Option<String> = None;
     let mut flame_path: Option<String> = None;
+    let mut faults_spec: Option<String> = None;
+    let mut adversary_spec: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -194,6 +206,7 @@ fn main() {
                     .unwrap_or_else(|| usage());
                 scale.duration = resex_simcore::time::SimDuration::from_millis(ms);
                 scale.timeline = resex_simcore::time::SimDuration::from_millis(2 * ms);
+                chaos_cfg.duration = resex_simcore::time::SimDuration::from_millis(ms);
             }
             "--warmup-ms" => {
                 i += 1;
@@ -202,6 +215,7 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
                 scale.warmup = resex_simcore::time::SimDuration::from_millis(ms);
+                chaos_cfg.warmup = resex_simcore::time::SimDuration::from_millis(ms);
             }
             "--json" => {
                 i += 1;
@@ -223,28 +237,65 @@ fn main() {
                 i += 1;
                 flame_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            // Raw spec strings are collected here and validated *jointly*
+            // after the loop: a composed command line with two bad specs
+            // reports both problems at once instead of the first only.
             "--faults" => {
                 i += 1;
-                let spec = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
-                scale.faults = resex_faults::FaultSpec::parse(spec).unwrap_or_else(|e| {
-                    eprintln!("bad --faults spec: {e}");
-                    usage()
-                });
+                faults_spec = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--adversary" => {
                 i += 1;
-                let spec = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
-                scale.adversary = resex_adversary::AdversarySpec::parse(spec).unwrap_or_else(|e| {
-                    eprintln!("bad --adversary spec: {e}");
-                    usage()
-                });
+                adversary_spec = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
-            "profile" if !profile_mode && target.is_none() => profile_mode = true,
+            "--budget" => {
+                i += 1;
+                chaos_cfg.budget = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                chaos_cfg.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "profile" if !profile_mode && !chaos_mode && target.is_none() => profile_mode = true,
+            "chaos" if !profile_mode && !chaos_mode && target.is_none() => chaos_mode = true,
             t if target.is_none() => target = Some(t.to_string()),
             _ => usage(),
         }
         i += 1;
     }
+    match resex_platform::parse_spec_combo(faults_spec.as_deref(), adversary_spec.as_deref()) {
+        Ok((f, a)) => {
+            scale.faults = f;
+            scale.adversary = a;
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            usage()
+        }
+    }
+
+    // `repro chaos` runs the schedule explorer instead of a figure
+    // target: deterministic for a given seed and budget, exit status 1
+    // when any invariant violation survives shrinking.
+    if chaos_mode {
+        if target.is_some() {
+            usage();
+        }
+        let report = resex_chaos::explore(&chaos_cfg);
+        report.print();
+        if !report.violations.is_empty() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     // `repro profile` with no explicit target profiles the whole suite.
     let target = target.unwrap_or_else(|| {
         if profile_mode {

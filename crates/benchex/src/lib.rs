@@ -23,7 +23,8 @@ pub mod trace;
 
 pub use agent::{AgentConfig, LatencyReport, ReportingAgent};
 pub use client::{
-    Client, ClientAction, ClientMode, RetryDecision, REQUEST_RETRY_LIMIT, REQUEST_TIMEOUT,
+    Client, ClientAction, ClientMode, ClientTuning, RetryDecision, REQUEST_RETRY_LIMIT,
+    REQUEST_TIMEOUT,
 };
 pub use latency::{LatencyRecord, LatencySummary, LatencyWindow};
 pub use request::{TransactionRequest, TransactionResponse, REQUEST_WIRE_BYTES};

@@ -230,6 +230,26 @@ impl Server {
         (record, self.dequeue_next(now))
     }
 
+    /// The VM died: every queued and in-service request vanishes with the
+    /// guest's memory. The server restarts in `Polling` as if freshly
+    /// booted (the platform gates any stray compute/send completions for
+    /// the dead incarnation, so the FCFS state machine never sees them).
+    /// Served counts, the latency window, and the checksum survive —
+    /// they model dom0-side accounting, not guest state.
+    pub fn crash(&mut self, now: SimTime) {
+        self.queue.clear();
+        self.in_service = None;
+        self.state = State::Polling;
+        self.ready_since = now;
+    }
+
+    /// True while a response send is posted and awaiting its completion.
+    /// The platform uses this to discard stray completions for sends that
+    /// were posted before a crash wiped the guest.
+    pub fn awaiting_send(&self) -> bool {
+        self.state == State::Sending
+    }
+
     /// Pops the next queued request into service, if any.
     fn dequeue_next(&mut self, now: SimTime) -> ServerAction {
         let (req, _arrival) = match self.queue.pop_front() {
@@ -433,5 +453,29 @@ mod tests {
     fn compute_done_while_polling_is_a_bug() {
         let mut s = Server::new(ServerConfig::default());
         s.on_compute_done(us(1));
+    }
+
+    #[test]
+    fn crash_drops_all_in_flight_work_and_restarts_polling() {
+        let mut s = Server::new(ServerConfig::default());
+        s.on_request(req(1), us(0));
+        s.on_request(req(2), us(1));
+        assert_eq!(s.backlog(), 1);
+        s.crash(us(50));
+        assert_eq!(s.backlog(), 0, "queued requests die with the guest");
+        // A fresh request after the restart runs the normal lifecycle.
+        assert!(matches!(
+            s.on_request(req(3), us(60)),
+            ServerAction::StartCompute { .. }
+        ));
+        s.on_compute_done(us(160));
+        s.on_send_complete(us(220));
+        assert_eq!(s.served(), 1, "only the post-restart request completed");
+        let rec = s.window.since(SimTime::ZERO).next().unwrap();
+        assert_eq!(
+            rec.ptime,
+            SimDuration::from_micros(12),
+            "ptime counts from the restart instant (50→60) plus the poll"
+        );
     }
 }

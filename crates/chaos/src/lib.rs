@@ -1,0 +1,663 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # resex-chaos — deterministic chaos exploration over the ResEx testbed
+//!
+//! A seeded random schedule explorer: compose fault classes (loss, link
+//! flap, stale telemetry, actuation failure, manager/host/VM crashes)
+//! into schedules, run each scenario in-process, and check a registry of
+//! **global invariants** over the outcome — Resos conservation modulo
+//! the journaled burn, caps within `[min_cap, 100]`, calendar
+//! monotonicity, no lost-request leaks, no internal panics, watchdogs
+//! quiescent when nothing should trip them.
+//!
+//! On a violation the schedule is **shrunk** — entries removed, rates
+//! halved, crash windows shortened — to a minimal reproducer that still
+//! violates the same invariant, then emitted as a replayable `--faults`
+//! spec plus seed. Everything is deterministic: the same explorer seed
+//! and budget produce the same report, and a reproducer replays the same
+//! violation on any machine.
+
+use resex_faults::{FaultSchedule, FaultSpec};
+use resex_platform::{PolicyKind, RunMetrics, ScenarioConfig};
+use resex_simcore::rng::SimRng;
+use resex_simcore::time::SimDuration;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Explorer shape: how many schedules to try and how long each runs.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Explorer seed: drives schedule generation and each scenario's
+    /// fault-plane seed. Same seed + budget → same report.
+    pub seed: u64,
+    /// Number of schedules to generate and run.
+    pub budget: u32,
+    /// Simulated span of each scenario.
+    pub duration: SimDuration,
+    /// Warmup excluded from each scenario's summaries.
+    pub warmup: SimDuration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC4A05,
+            budget: 25,
+            duration: SimDuration::from_millis(200),
+            warmup: SimDuration::from_millis(40),
+        }
+    }
+}
+
+/// One composable ingredient of a chaos schedule. Rates are chosen so a
+/// single entry is survivable within a scenario's client retry budget;
+/// the explorer's job is to find *compositions* that are not.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChaosEntry {
+    /// Wire loss probability per message.
+    Loss(f64),
+    /// Periodic link flap: period (ms) and outage per period (µs).
+    Flap {
+        /// Flap period, milliseconds.
+        period_ms: u64,
+        /// Outage at the start of each period, microseconds.
+        down_us: u64,
+    },
+    /// Stale IBMon ring-mapping probability per scan.
+    Stale(f64),
+    /// Transient cap-actuation failure probability.
+    CapFail(f64),
+    /// Manager crash: per-interval probability and restart delay (ms).
+    MgrCrash {
+        /// Per-interval crash probability.
+        rate: f64,
+        /// Restart delay, milliseconds.
+        down_ms: u64,
+    },
+    /// Host crash: per-interval probability and restart delay (ms).
+    HostCrash {
+        /// Per-interval crash probability.
+        rate: f64,
+        /// Restart delay, milliseconds.
+        down_ms: u64,
+    },
+    /// Single-VM crash: per-interval probability and restart delay (ms).
+    VmCrash {
+        /// Per-interval crash probability.
+        rate: f64,
+        /// Restart delay, milliseconds.
+        down_ms: u64,
+    },
+}
+
+impl ChaosEntry {
+    /// Writes this entry's fault class into a flat spec.
+    fn apply(&self, spec: &mut FaultSpec) {
+        match *self {
+            ChaosEntry::Loss(p) => spec.link_loss = p,
+            ChaosEntry::Flap { period_ms, down_us } => {
+                spec.flap_period = SimDuration::from_millis(period_ms);
+                spec.flap_down = SimDuration::from_micros(down_us);
+            }
+            ChaosEntry::Stale(p) => spec.stale_mapping = p,
+            ChaosEntry::CapFail(p) => spec.cap_fail = p,
+            ChaosEntry::MgrCrash { rate, down_ms } => {
+                spec.mgr_crash = rate;
+                spec.mgr_down = SimDuration::from_millis(down_ms);
+            }
+            ChaosEntry::HostCrash { rate, down_ms } => {
+                spec.host_crash = rate;
+                spec.host_down = SimDuration::from_millis(down_ms);
+            }
+            ChaosEntry::VmCrash { rate, down_ms } => {
+                spec.vm_crash = rate;
+                spec.vm_down = SimDuration::from_millis(down_ms);
+            }
+        }
+    }
+
+    /// Strictly-weaker variants to try while shrinking, in preference
+    /// order. Rates halve (dropped below 0.002), outages halve (floored
+    /// at 1 ms / 100 µs) — every variant is smaller by a measure that
+    /// bounds the shrink loop.
+    fn weaker(&self) -> Vec<ChaosEntry> {
+        fn half_rate(p: f64) -> Option<f64> {
+            (p > 0.002).then_some(p / 2.0)
+        }
+        match *self {
+            ChaosEntry::Loss(p) => half_rate(p).map(ChaosEntry::Loss).into_iter().collect(),
+            ChaosEntry::Flap { period_ms, down_us } => (down_us > 200)
+                .then_some(ChaosEntry::Flap {
+                    period_ms,
+                    down_us: down_us / 2,
+                })
+                .into_iter()
+                .collect(),
+            ChaosEntry::Stale(p) => half_rate(p).map(ChaosEntry::Stale).into_iter().collect(),
+            ChaosEntry::CapFail(p) => half_rate(p).map(ChaosEntry::CapFail).into_iter().collect(),
+            ChaosEntry::MgrCrash { rate, down_ms } => {
+                let mut v = Vec::new();
+                if down_ms > 1 {
+                    v.push(ChaosEntry::MgrCrash {
+                        rate,
+                        down_ms: down_ms / 2,
+                    });
+                }
+                if let Some(r) = half_rate(rate) {
+                    v.push(ChaosEntry::MgrCrash { rate: r, down_ms });
+                }
+                v
+            }
+            ChaosEntry::HostCrash { rate, down_ms } => {
+                let mut v = Vec::new();
+                if down_ms > 1 {
+                    v.push(ChaosEntry::HostCrash {
+                        rate,
+                        down_ms: down_ms / 2,
+                    });
+                }
+                if let Some(r) = half_rate(rate) {
+                    v.push(ChaosEntry::HostCrash { rate: r, down_ms });
+                }
+                v
+            }
+            ChaosEntry::VmCrash { rate, down_ms } => {
+                let mut v = Vec::new();
+                if down_ms > 1 {
+                    v.push(ChaosEntry::VmCrash {
+                        rate,
+                        down_ms: down_ms / 2,
+                    });
+                }
+                if let Some(r) = half_rate(rate) {
+                    v.push(ChaosEntry::VmCrash { rate: r, down_ms });
+                }
+                v
+            }
+        }
+    }
+
+    /// Menu index used to dedup by fault class within one schedule.
+    fn class(&self) -> u32 {
+        match self {
+            ChaosEntry::Loss(_) => 0,
+            ChaosEntry::Flap { .. } => 1,
+            ChaosEntry::Stale(_) => 2,
+            ChaosEntry::CapFail(_) => 3,
+            ChaosEntry::MgrCrash { .. } => 4,
+            ChaosEntry::HostCrash { .. } => 5,
+            ChaosEntry::VmCrash { .. } => 6,
+        }
+    }
+}
+
+/// The generation menu: one representative of every fault class, at
+/// rates survivable alone (all down-times well under the client retry
+/// budget) so only *compositions* or genuine bugs violate invariants.
+const MENU: [ChaosEntry; 7] = [
+    ChaosEntry::Loss(0.01),
+    ChaosEntry::Flap {
+        period_ms: 50,
+        down_us: 1000,
+    },
+    ChaosEntry::Stale(0.1),
+    ChaosEntry::CapFail(0.1),
+    ChaosEntry::MgrCrash {
+        rate: 0.01,
+        down_ms: 10,
+    },
+    ChaosEntry::HostCrash {
+        rate: 0.01,
+        down_ms: 10,
+    },
+    ChaosEntry::VmCrash {
+        rate: 0.02,
+        down_ms: 5,
+    },
+];
+
+/// Renders a schedule into the flat `--faults` spec it replays as.
+pub fn spec_for(entries: &[ChaosEntry], fault_seed: u64) -> FaultSpec {
+    let mut spec = FaultSpec {
+        seed: fault_seed,
+        ..FaultSpec::default()
+    };
+    for e in entries {
+        e.apply(&mut spec);
+    }
+    spec
+}
+
+/// Everything one chaos scenario produced, as seen by invariants.
+pub struct ChaosOutcome {
+    /// The flat fault spec the scenario ran under.
+    pub spec: FaultSpec,
+    /// Run metrics — `None` when the run panicked.
+    pub metrics: Option<RunMetrics>,
+    /// Panic payload when the run died instead of completing.
+    pub panic: Option<String>,
+    /// The scenario's configured cap floor (percent).
+    pub min_cap_pct: u32,
+}
+
+/// A named global property every chaos scenario must uphold. `check`
+/// returns `None` when the invariant holds and a human-readable detail
+/// string when it is violated.
+pub struct Invariant {
+    /// Stable name, used in reports and reproducers.
+    pub name: &'static str,
+    /// The predicate.
+    pub check: fn(&ChaosOutcome) -> Option<String>,
+}
+
+fn inv_no_internal_panic(o: &ChaosOutcome) -> Option<String> {
+    o.panic.as_ref().map(|p| format!("run panicked: {p}"))
+}
+
+fn inv_no_lost_requests(o: &ChaosOutcome) -> Option<String> {
+    let m = o.metrics.as_ref()?;
+    let lost = m.recovery_totals().lost_requests;
+    (lost > 0).then(|| format!("{lost} requests exhausted their retry budget"))
+}
+
+fn inv_caps_within_bounds(o: &ChaosOutcome) -> Option<String> {
+    let m = o.metrics.as_ref()?;
+    let lo = o.min_cap_pct as f64;
+    for vm in &m.vms {
+        for v in vm.cap_trace.values() {
+            if !(lo..=100.0).contains(&v) {
+                return Some(format!("{}: cap {v}% outside [{lo}, 100]", vm.name));
+            }
+        }
+    }
+    None
+}
+
+fn inv_trace_monotone(o: &ChaosOutcome) -> Option<String> {
+    let m = o.metrics.as_ref()?;
+    for vm in &m.vms {
+        for (label, series) in [
+            ("cap", &vm.cap_trace),
+            ("reso", &vm.reso_trace),
+            ("mtus", &vm.mtus_trace),
+            ("latency", &vm.latency_trace),
+            ("slo", &vm.slo_trace),
+        ] {
+            for w in series.points().windows(2) {
+                if w[1].0 < w[0].0 {
+                    return Some(format!(
+                        "{}: {label} trace time went backwards ({:?} after {:?})",
+                        vm.name, w[1].0, w[0].0
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn inv_resos_conserved(o: &ChaosOutcome) -> Option<String> {
+    let m = o.metrics.as_ref()?;
+    let div = m.crashes.journal_divergence;
+    (div > 0).then(|| format!("{div} accounts diverged from a fresh journal replay"))
+}
+
+fn inv_watchdog_quiescent(o: &ChaosOutcome) -> Option<String> {
+    let m = o.metrics.as_ref()?;
+    // Only fault classes that starve telemetry or fail actuations may
+    // trip watchdogs; a schedule without any must leave them silent.
+    let may_trip = o.spec.stale_mapping > 0.0
+        || o.spec.cap_fail > 0.0
+        || o.spec.scan_skip > 0.0
+        || o.spec.flap_enabled()
+        || o.spec.crash_enabled();
+    if may_trip {
+        return None;
+    }
+    let trips = m.recovery_totals().watchdog_trips;
+    (trips > 0).then(|| format!("{trips} watchdog trips with no telemetry/actuation faults armed"))
+}
+
+/// The default registry: every global property the testbed promises.
+pub fn default_invariants() -> Vec<Invariant> {
+    vec![
+        Invariant {
+            name: "no_internal_panic",
+            check: inv_no_internal_panic,
+        },
+        Invariant {
+            name: "no_lost_requests",
+            check: inv_no_lost_requests,
+        },
+        Invariant {
+            name: "caps_within_bounds",
+            check: inv_caps_within_bounds,
+        },
+        Invariant {
+            name: "trace_monotone",
+            check: inv_trace_monotone,
+        },
+        Invariant {
+            name: "resos_conserved",
+            check: inv_resos_conserved,
+        },
+        Invariant {
+            name: "watchdog_quiescent",
+            check: inv_watchdog_quiescent,
+        },
+    ]
+}
+
+/// One invariant violation found during exploration (pre-shrink).
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Scenario index within the budget.
+    pub scenario: u32,
+    /// The fault-plane seed the scenario ran with.
+    pub fault_seed: u64,
+    /// The generated schedule.
+    pub entries: Vec<ChaosEntry>,
+    /// Which invariant failed.
+    pub invariant: &'static str,
+    /// Human-readable violation detail.
+    pub detail: String,
+}
+
+/// The shrunk, replayable form of a violation.
+#[derive(Clone, Debug)]
+pub struct MinimalRepro {
+    /// Replayable flat spec: `repro fig9 --faults "<spec>"`.
+    pub spec: String,
+    /// Entries surviving the shrink.
+    pub entries: Vec<ChaosEntry>,
+    /// The invariant the reproducer still violates.
+    pub invariant: &'static str,
+    /// True when a fresh replay of the shrunk spec reproduced the same
+    /// invariant violation (it always should — the runs are
+    /// deterministic — so `false` is itself a bug report).
+    pub replayed: bool,
+}
+
+/// Everything one exploration produced.
+#[derive(Debug, Default)]
+pub struct ChaosReport {
+    /// Explorer seed.
+    pub seed: u64,
+    /// Scenarios attempted.
+    pub scenarios: u32,
+    /// Violations with their minimal reproducers, in discovery order.
+    pub violations: Vec<(Violation, MinimalRepro)>,
+}
+
+impl ChaosReport {
+    /// Prints the deterministic report consumed by CI.
+    pub fn print(&self) {
+        println!(
+            "chaos: seed={} budget={} scenarios={} violations={}",
+            self.seed,
+            self.scenarios,
+            self.scenarios,
+            self.violations.len()
+        );
+        for (v, r) in &self.violations {
+            println!(
+                "  scenario {}: {} — {}\n    minimal ({} entries, replay {}): --faults \"{}\"",
+                v.scenario,
+                v.invariant,
+                v.detail,
+                r.entries.len(),
+                if r.replayed { "ok" } else { "FAILED" },
+                r.spec
+            );
+        }
+    }
+}
+
+/// Builds the standard chaos scenario: the paper's canonical managed
+/// contention case under IOShares, with the schedule installed.
+fn chaos_scenario(cfg: &ChaosConfig, spec: FaultSpec) -> ScenarioConfig {
+    let mut sc = ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::IoShares);
+    sc.duration = cfg.duration;
+    sc.warmup = cfg.warmup;
+    sc.faults = FaultSchedule::from(spec);
+    sc
+}
+
+/// Runs one schedule to an outcome, catching panics so a crashed run is
+/// itself an invariant violation rather than the end of exploration.
+pub fn run_entries(cfg: &ChaosConfig, entries: &[ChaosEntry], fault_seed: u64) -> ChaosOutcome {
+    let spec = spec_for(entries, fault_seed);
+    let sc = chaos_scenario(cfg, spec);
+    let min_cap_pct = sc.resex.min_cap_pct;
+    // The DES is single-threaded and owns all its state, so unwind
+    // safety reduces to "the World is discarded after a panic" — it is.
+    let result = catch_unwind(AssertUnwindSafe(|| resex_platform::run_scenario(sc)));
+    match result {
+        Ok(metrics) => ChaosOutcome {
+            spec,
+            metrics: Some(metrics),
+            panic: None,
+            min_cap_pct,
+        },
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            ChaosOutcome {
+                spec,
+                metrics: None,
+                panic: Some(msg),
+                min_cap_pct,
+            }
+        }
+    }
+}
+
+/// Shrinks a violating schedule to a local minimum that still violates
+/// `inv`: greedily drop entries, then weaken survivors (halve rates,
+/// shorten outages), repeating until no transformation preserves the
+/// violation. Deterministic — replays reuse the original fault seed.
+pub fn shrink(
+    cfg: &ChaosConfig,
+    mut entries: Vec<ChaosEntry>,
+    fault_seed: u64,
+    inv: &Invariant,
+) -> Vec<ChaosEntry> {
+    let violates = |es: &[ChaosEntry]| (inv.check)(&run_entries(cfg, es, fault_seed)).is_some();
+    // Every adopted candidate strictly shrinks (fewer entries, or a
+    // halved rate/outage with a floor), so the loop terminates; the
+    // pass cap is a belt-and-braces bound, not the usual exit.
+    for _pass in 0..16 {
+        let mut progress = false;
+        let mut i = 0;
+        while i < entries.len() {
+            let mut cand = entries.clone();
+            cand.remove(i);
+            if violates(&cand) {
+                entries = cand;
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+        for i in 0..entries.len() {
+            for w in entries[i].weaker() {
+                let mut cand = entries.clone();
+                cand[i] = w;
+                if violates(&cand) {
+                    entries[i] = w;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+    entries
+}
+
+/// Explores `cfg.budget` random schedules against the default invariant
+/// registry.
+pub fn explore(cfg: &ChaosConfig) -> ChaosReport {
+    explore_with(cfg, &default_invariants())
+}
+
+/// Explores `cfg.budget` random schedules against a caller-supplied
+/// invariant registry, shrinking every violation to a minimal
+/// reproducer and verifying the reproducer replays.
+pub fn explore_with(cfg: &ChaosConfig, invariants: &[Invariant]) -> ChaosReport {
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
+    let mut report = ChaosReport {
+        seed: cfg.seed,
+        ..ChaosReport::default()
+    };
+    for scenario in 0..cfg.budget {
+        // Draw the schedule up front so RNG consumption never depends
+        // on run outcomes: same seed + budget → same schedule stream.
+        let fault_seed = rng.next_u64();
+        let n = 1 + rng.next_below(3) as usize;
+        let mut entries: Vec<ChaosEntry> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let pick = MENU[rng.next_below(MENU.len() as u64) as usize];
+            if !entries.iter().any(|e| e.class() == pick.class()) {
+                entries.push(pick);
+            }
+        }
+        let outcome = run_entries(cfg, &entries, fault_seed);
+        report.scenarios += 1;
+        // First violated invariant wins: later ones are usually noise
+        // from the same root cause, and the shrunk reproducer pins the
+        // schedule either way.
+        let Some((inv, detail)) = invariants
+            .iter()
+            .find_map(|inv| (inv.check)(&outcome).map(|d| (inv, d)))
+        else {
+            continue;
+        };
+        let violation = Violation {
+            scenario,
+            fault_seed,
+            entries: entries.clone(),
+            invariant: inv.name,
+            detail,
+        };
+        let minimal = shrink(cfg, entries, fault_seed, inv);
+        let spec = spec_for(&minimal, fault_seed).to_spec_string();
+        let replayed = (inv.check)(&run_entries(cfg, &minimal, fault_seed)).is_some();
+        report.violations.push((
+            violation,
+            MinimalRepro {
+                spec,
+                entries: minimal,
+                invariant: inv.name,
+                replayed,
+            },
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ChaosConfig {
+        ChaosConfig {
+            seed: 11,
+            budget: 4,
+            duration: SimDuration::from_millis(120),
+            warmup: SimDuration::from_millis(30),
+        }
+    }
+
+    #[test]
+    fn spec_roundtrips_through_the_flat_grammar() {
+        let entries = [
+            ChaosEntry::Loss(0.01),
+            ChaosEntry::MgrCrash {
+                rate: 0.01,
+                down_ms: 10,
+            },
+        ];
+        let spec = spec_for(&entries, 7);
+        let replayed = FaultSpec::parse(&spec.to_spec_string()).expect("reproducer parses");
+        assert_eq!(replayed, spec);
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let a = explore(&quick_cfg());
+        let b = explore(&quick_cfg());
+        assert_eq!(a.scenarios, b.scenarios);
+        assert_eq!(a.violations.len(), b.violations.len());
+        for ((va, ra), (vb, rb)) in a.violations.iter().zip(&b.violations) {
+            assert_eq!(va.invariant, vb.invariant);
+            assert_eq!(va.detail, vb.detail);
+            assert_eq!(ra.spec, rb.spec);
+        }
+    }
+
+    #[test]
+    fn default_invariants_hold_over_a_small_budget() {
+        let report = explore(&quick_cfg());
+        assert_eq!(report.scenarios, 4);
+        if let Some((v, r)) = report.violations.first() {
+            panic!(
+                "unexpected violation: scenario {} {} — {} (repro --faults \"{}\")",
+                v.scenario, v.invariant, v.detail, r.spec
+            );
+        }
+    }
+
+    #[test]
+    fn a_planted_violation_shrinks_to_a_minimal_replayable_reproducer() {
+        // A test-only invariant that "fails" whenever any VM crash
+        // happened: the noise entries (loss, stale telemetry) are
+        // irrelevant to it, so the shrinker must strip the schedule
+        // down to the crash entry alone — and weaken it as far as the
+        // violation allows.
+        fn planted(o: &ChaosOutcome) -> Option<String> {
+            let m = o.metrics.as_ref()?;
+            (m.crashes.vm_crashes > 0).then(|| format!("{} vm crashes", m.crashes.vm_crashes))
+        }
+        let inv = Invariant {
+            name: "planted_no_vm_crash",
+            check: planted,
+        };
+        let cfg = quick_cfg();
+        let entries = vec![
+            ChaosEntry::Loss(0.01),
+            ChaosEntry::Stale(0.1),
+            ChaosEntry::VmCrash {
+                rate: 1.0,
+                down_ms: 5,
+            },
+        ];
+        let fault_seed = 5;
+        assert!(
+            (inv.check)(&run_entries(&cfg, &entries, fault_seed)).is_some(),
+            "the planted schedule must violate the planted invariant"
+        );
+        let minimal = shrink(&cfg, entries, fault_seed, &inv);
+        assert_eq!(
+            minimal.len(),
+            1,
+            "noise entries must be shrunk away: {minimal:?}"
+        );
+        assert!(
+            matches!(minimal[0], ChaosEntry::VmCrash { .. }),
+            "the crash entry is the root cause: {minimal:?}"
+        );
+        // The reproducer replays deterministically from its flat spec.
+        let spec = spec_for(&minimal, fault_seed);
+        let reparsed = FaultSpec::parse(&spec.to_spec_string()).expect("valid reproducer");
+        assert_eq!(reparsed, spec);
+        assert!(
+            (inv.check)(&run_entries(&cfg, &minimal, fault_seed)).is_some(),
+            "the minimal schedule still violates the invariant"
+        );
+    }
+}

@@ -10,7 +10,7 @@ use crate::resos::Resos;
 use serde::{Deserialize, Serialize};
 
 /// One VM's currency account.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ResoAccount {
     /// CPU Resos granted per epoch.
     pub cpu_alloc: Resos,

@@ -216,6 +216,16 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_defaults_pin_the_historical_constants() {
+        // These were hardcoded (K=8 stale intervals, M=5 actuation
+        // failures) before they became config knobs; the defaults must
+        // keep existing runs byte-identical.
+        let c = ResExConfig::default();
+        assert_eq!(c.watchdog_stale_intervals, 8);
+        assert_eq!(c.watchdog_actuation_failures, 5);
+    }
+
+    #[test]
     fn hardened_preset_enables_every_measure_and_validates() {
         let c = ResExConfig::hardened();
         assert!(c.interval_jitter_frac > 0.0);

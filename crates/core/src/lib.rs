@@ -24,6 +24,7 @@ pub mod account;
 pub mod config;
 pub mod freemarket;
 pub mod ioshares;
+pub mod journal;
 pub mod manager;
 pub mod policy_ext;
 pub mod pricing;
@@ -33,6 +34,7 @@ pub use account::ResoAccount;
 pub use config::{DepletionMode, ResExConfig};
 pub use freemarket::FreeMarket;
 pub use ioshares::{IoShares, SlaTarget};
+pub use journal::{DecisionJournal, IntervalEntry, JournalRecord};
 pub use manager::{IntervalOutcome, ManagerAction, ResExManager, VmCharge};
 pub use policy_ext::{BufferRatio, DemandPricing, StaticReserve};
 pub use pricing::{IntervalCtx, LatencyFeedback, PricingPolicy, VmId, VmSnapshot, VmVerdict};

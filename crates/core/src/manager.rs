@@ -10,6 +10,7 @@
 
 use crate::account::ResoAccount;
 use crate::config::ResExConfig;
+use crate::journal::{DecisionJournal, IntervalEntry, JournalRecord};
 use crate::pricing::{IntervalCtx, PricingPolicy, VmId, VmSnapshot};
 use crate::resos::Resos;
 use resex_obs::{subsystem, Scope, Tracer};
@@ -96,6 +97,9 @@ pub struct ResExManager {
     vms: BTreeMap<VmId, VmState>,
     interval_index: u64,
     tracer: Tracer,
+    /// Write-ahead decision journal; `None` keeps the manager exactly as
+    /// cheap as a journal-unaware build (crash-free runs never arm it).
+    journal: Option<DecisionJournal>,
 }
 
 impl ResExManager {
@@ -108,6 +112,7 @@ impl ResExManager {
             vms: BTreeMap::new(),
             interval_index: 0,
             tracer: Tracer::disabled(),
+            journal: None,
         })
     }
 
@@ -127,10 +132,87 @@ impl ResExManager {
         self.policy.name()
     }
 
+    /// Arms the write-ahead decision journal. Call before any
+    /// [`ResExManager::register_vm`] so admissions are replayable.
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(DecisionJournal::new());
+        }
+    }
+
+    /// The decision journal, if armed.
+    pub fn journal(&self) -> Option<&DecisionJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Detaches the journal — the crash protocol: the journal is the part
+    /// of the manager that survives, so the world takes it before dropping
+    /// a crashed manager and hands it to [`ResExManager::recover`].
+    pub fn take_journal(&mut self) -> Option<DecisionJournal> {
+        self.journal.take()
+    }
+
+    /// The next interval index this manager will charge.
+    pub fn interval_index(&self) -> u64 {
+        self.interval_index
+    }
+
+    /// Rebuilds a manager from a decision journal after a crash. Replays
+    /// every admission and the last journaled account of each VM, then
+    /// runs a **catch-up settlement**: the intervals slept through charge
+    /// nothing (nothing was observed — that usage is the journaled burn a
+    /// crash forgives), but epoch boundaries still replenish on schedule,
+    /// so account balances land exactly where a live manager that observed
+    /// zero usage would have put them and Resos conservation holds across
+    /// the outage. The pricing policy restarts cold: its internal state is
+    /// deliberately not journaled — losing it is the modeled damage.
+    pub fn recover(
+        cfg: ResExConfig,
+        policy: Box<dyn PricingPolicy>,
+        journal: DecisionJournal,
+        target_interval_index: u64,
+    ) -> Result<Self, String> {
+        let mut m = ResExManager::new(cfg, policy)?;
+        for rec in journal.records() {
+            match rec {
+                JournalRecord::Register { vm, weight } => {
+                    m.admit(*vm, *weight);
+                }
+                JournalRecord::Interval { index, entries, .. } => {
+                    for e in entries {
+                        if let Some(st) = m.vms.get_mut(&e.vm) {
+                            st.account = e.account;
+                        }
+                    }
+                    m.interval_index = index + 1;
+                }
+            }
+        }
+        let ipe = m.cfg.intervals_per_epoch();
+        while m.interval_index < target_interval_index {
+            if m.interval_index % ipe == 0 && m.interval_index > 0 {
+                m.replenish_all();
+                m.policy.on_epoch(m.interval_index / ipe);
+            }
+            m.interval_index += 1;
+        }
+        m.journal = Some(journal);
+        Ok(m)
+    }
+
     /// Registers a VM with the given share weight. Existing VMs' I/O
     /// shares shrink at the *next* epoch; the new VM starts with its
     /// weighted share immediately.
     pub fn register_vm(&mut self, vm: VmId, weight: u32) {
+        self.admit(vm, weight);
+        if let Some(j) = self.journal.as_mut() {
+            j.append(JournalRecord::Register { vm, weight });
+        }
+    }
+
+    /// Inserts a freshly funded VM without touching the journal (shared by
+    /// registration and journal replay).
+    fn admit(&mut self, vm: VmId, weight: u32) {
         assert!(weight > 0, "weight must be positive");
         let cpu = Resos::from_whole(self.cfg.cpu_resos_per_epoch);
         self.vms.insert(
@@ -151,6 +233,40 @@ impl ResExManager {
         }
     }
 
+    /// Removes a VM (it crashed or was torn down); its telemetry basis and
+    /// account leave the books. The journal keeps its history, which is
+    /// what funds a later [`ResExManager::readmit_vm`].
+    pub fn deregister_vm(&mut self, vm: VmId) -> Option<ResoAccount> {
+        self.vms.remove(&vm).map(|st| st.account)
+    }
+
+    /// Re-admits a crashed VM through the normal lifecycle: a fresh
+    /// telemetry basis, but an account funded by its last journaled
+    /// balance (so a crash cannot mint or burn Resos). Falls back to a
+    /// plain registration when the journal never saw the VM settle.
+    pub fn readmit_vm(&mut self, vm: VmId, weight: u32) {
+        let journaled = self.journal.as_ref().and_then(|j| j.last_balance(vm));
+        match journaled {
+            Some(account) => {
+                assert!(weight > 0, "weight must be positive");
+                self.vms.insert(
+                    vm,
+                    VmState {
+                        weight,
+                        account,
+                        last_mtus: 0,
+                        last_buffer: 0.0,
+                        stale_streak: 0,
+                    },
+                );
+                if let Some(j) = self.journal.as_mut() {
+                    j.append(JournalRecord::Register { vm, weight });
+                }
+            }
+            None => self.register_vm(vm, weight),
+        }
+    }
+
     /// The set of registered VMs.
     pub fn registered(&self) -> Vec<VmId> {
         self.vms.keys().copied().collect()
@@ -159,6 +275,21 @@ impl ResExManager {
     /// A VM's account, if registered.
     pub fn account(&self, vm: VmId) -> Option<ResoAccount> {
         self.vms.get(&vm).map(|s| s.account)
+    }
+
+    /// Epoch-boundary refill for every account with freshly weighted
+    /// shares (shared by the live interval loop and crash recovery's
+    /// catch-up settlement).
+    fn replenish_all(&mut self) {
+        let shares: Vec<(VmId, Resos)> =
+            self.vms.keys().map(|&vm| (vm, self.io_share(vm))).collect();
+        let cpu = Resos::from_whole(self.cfg.cpu_resos_per_epoch);
+        let carry_debt = self.cfg.debt_carryover;
+        for (vm, share) in shares {
+            if let Some(st) = self.vms.get_mut(&vm) {
+                st.account.replenish_with(Some((cpu, share)), carry_debt);
+            }
+        }
     }
 
     /// This VM's weighted share of the epoch I/O pool.
@@ -185,15 +316,7 @@ impl ResExManager {
         // Epoch boundary (not on the very first interval): replenish with
         // freshly weighted shares, then tell the policy.
         if interval_in_epoch == 0 && self.interval_index > 0 {
-            let shares: Vec<(VmId, Resos)> =
-                self.vms.keys().map(|&vm| (vm, self.io_share(vm))).collect();
-            let cpu = Resos::from_whole(self.cfg.cpu_resos_per_epoch);
-            let carry_debt = self.cfg.debt_carryover;
-            for (vm, share) in shares {
-                if let Some(st) = self.vms.get_mut(&vm) {
-                    st.account.replenish_with(Some((cpu, share)), carry_debt);
-                }
-            }
+            self.replenish_all();
             self.policy.on_epoch(self.interval_index / ipe);
             outcome.epoch_started = true;
             if self.tracer.enabled() {
@@ -375,6 +498,28 @@ impl ResExManager {
             outcome.actions.push(ManagerAction::SetCap {
                 vm,
                 cap_pct: self.cfg.min_cap_pct,
+            });
+        }
+        // Write-ahead: the settled books for this interval go to the
+        // journal before the index advances, so a crash between intervals
+        // can always restart from the last settled state.
+        if let Some(j) = self.journal.as_mut() {
+            let entries: Vec<IntervalEntry> = self
+                .vms
+                .iter()
+                .map(|(&vm, st)| IntervalEntry {
+                    vm,
+                    account: st.account,
+                    cap_pct: outcome.actions.iter().rev().find_map(|a| match a {
+                        ManagerAction::SetCap { vm: v, cap_pct } if *v == vm => Some(*cap_pct),
+                        _ => None,
+                    }),
+                })
+                .collect();
+            j.append(JournalRecord::Interval {
+                index: self.interval_index,
+                epoch_started: outcome.epoch_started,
+                entries,
             });
         }
         self.interval_index += 1;
@@ -607,6 +752,89 @@ mod tests {
         );
         // The legacy default still forgives (epoch_replenishes_and_notifies
         // above covers it).
+    }
+
+    #[test]
+    fn journal_replay_restores_balances_exactly() {
+        let mut live =
+            ResExManager::new(ResExConfig::default(), Box::new(FreeMarket::new())).unwrap();
+        live.enable_journal();
+        live.register_vm(A, 2);
+        live.register_vm(B, 1);
+        for i in 0..300u64 {
+            live.on_interval(t(i), &[(A, snap(200, 40.0)), (B, snap(900, 80.0))]);
+        }
+        // Crash: the in-memory manager dies; only the journal survives.
+        let journal = live.take_journal().unwrap();
+        let live_a = live.account(A).unwrap();
+        let live_b = live.account(B).unwrap();
+        let rebuilt = ResExManager::recover(
+            ResExConfig::default(),
+            Box::new(FreeMarket::new()),
+            journal,
+            live.interval_index(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.interval_index(), 300);
+        assert_eq!(rebuilt.account(A).unwrap(), live_a, "A replays exactly");
+        assert_eq!(rebuilt.account(B).unwrap(), live_b, "B replays exactly");
+        assert_eq!(rebuilt.registered(), vec![A, B]);
+    }
+
+    #[test]
+    fn catch_up_settlement_applies_missed_epoch_replenishments() {
+        // Manager dies at interval 900, comes back at interval 1100: the
+        // epoch boundary at 1000 happened while it was down. Recovery must
+        // land the accounts exactly where a live manager that observed
+        // zero usage through the outage would have: replenished at 1000.
+        let cfg = ResExConfig::default();
+        let ipe = cfg.intervals_per_epoch();
+        assert_eq!(ipe, 1000, "test assumes the default epoch shape");
+        let mut live = ResExManager::new(cfg, Box::new(FreeMarket::new())).unwrap();
+        live.enable_journal();
+        live.register_vm(A, 1);
+        for i in 0..900u64 {
+            live.on_interval(t(i), &[(A, snap(500, 60.0))]);
+        }
+        assert!(live.account(A).unwrap().fraction_remaining() < 1.0);
+        let journal = live.take_journal().unwrap();
+        let rebuilt =
+            ResExManager::recover(cfg, Box::new(FreeMarket::new()), journal, 1100).unwrap();
+        assert_eq!(rebuilt.interval_index(), 1100);
+        let acct = rebuilt.account(A).unwrap();
+        assert_eq!(acct.epochs, 2, "registration refill + missed boundary");
+        assert_eq!(acct.io_remaining(), acct.io_alloc, "replenished at 1000");
+        assert_eq!(acct.cpu_remaining(), acct.cpu_alloc);
+        // Conservation: lifetime charges survive the crash; the outage
+        // itself charged nothing (the journaled burn a crash forgives).
+        assert_eq!(
+            acct.lifetime_charged,
+            live.account(A).unwrap().lifetime_charged
+        );
+    }
+
+    #[test]
+    fn readmitted_vm_is_funded_by_its_journaled_balance() {
+        let mut m = ResExManager::new(ResExConfig::default(), Box::new(FreeMarket::new())).unwrap();
+        m.enable_journal();
+        m.register_vm(A, 1);
+        m.register_vm(B, 1);
+        for i in 0..50u64 {
+            m.on_interval(t(i), &[(A, snap(800, 70.0))]);
+        }
+        let before = m.account(A).unwrap();
+        assert!(before.io_remaining() < before.io_alloc);
+        // A crashes: it leaves the books, then rejoins.
+        assert!(m.deregister_vm(A).is_some());
+        assert!(m.account(A).is_none());
+        m.readmit_vm(A, 1);
+        let after = m.account(A).unwrap();
+        assert_eq!(after, before, "re-admission cannot mint or burn Resos");
+        // A VM the journal never saw settle falls back to registration.
+        let c = VmId::new(7);
+        m.readmit_vm(c, 1);
+        let fresh = m.account(c).unwrap();
+        assert_eq!(fresh.io_remaining(), fresh.io_alloc);
     }
 
     #[test]

@@ -37,6 +37,21 @@ fn default_grant_delay() -> SimDuration {
     SimDuration::from_micros(20)
 }
 
+// Crash down-times default well under the benchex client's retry budget
+// (16 retries × 10 ms) so a single crash of any domain is survivable with
+// zero lost requests unless a schedule explicitly asks for longer outages.
+fn default_mgr_down() -> SimDuration {
+    SimDuration::from_millis(50)
+}
+
+fn default_host_down() -> SimDuration {
+    SimDuration::from_millis(30)
+}
+
+fn default_vm_down() -> SimDuration {
+    SimDuration::from_millis(20)
+}
+
 /// A malformed fault spec: what was wrong and, via [`std::fmt::Display`],
 /// a one-line usage hint so `repro --faults` can print something actionable
 /// instead of unwinding.
@@ -72,6 +87,7 @@ pub enum FaultSpecError {
 /// The one-line syntax reminder appended to every parse error.
 pub const FAULT_SPEC_USAGE: &str = "expected comma list of key=value; keys: seed=N loss=P \
 corrupt=P delay=P delay_us=N tear=P skip=P stale=P capfail=P flap_ms=N flap_down_us=N \
+mgr_crash=P mgr_down_ms=N host_crash=P host_down_ms=N vm_crash=P vm_down_ms=N \
 (P in [0,1]); e.g. loss=0.01,flap_ms=50,flap_down_us=2000,seed=7";
 
 impl fmt::Display for FaultSpecError {
@@ -133,6 +149,25 @@ pub struct FaultSpec {
     pub flap_period: SimDuration,
     /// How long the link stays down at the start of each flap period.
     pub flap_down: SimDuration,
+    /// Probability, drawn once per charging interval, that the ResEx
+    /// manager crashes: its in-memory pricing state is lost and it
+    /// restarts after `mgr_down`, rebuilding from the decision journal.
+    pub mgr_crash: f64,
+    /// Manager restart delay after a crash.
+    pub mgr_down: SimDuration,
+    /// Probability, drawn once per charging interval, that a host crashes:
+    /// every resident QP is torn (and later reconnected) and its vCPUs are
+    /// killed; VMs are re-admitted after `host_down`.
+    pub host_crash: f64,
+    /// Host restart delay after a crash.
+    pub host_down: SimDuration,
+    /// Probability, drawn once per charging interval, that a single VM
+    /// crashes: in-flight requests are dropped (clients see honest timeout
+    /// latency) and the VM rejoins after `vm_down` with a fresh account
+    /// funded by its journaled balance.
+    pub vm_crash: f64,
+    /// VM restart delay after a crash.
+    pub vm_down: SimDuration,
 }
 
 // Hand-written so that omitted fields fall back to the *spec* defaults
@@ -165,6 +200,12 @@ impl Deserialize for FaultSpec {
         field(m, "cap_fail", &mut spec.cap_fail)?;
         field(m, "flap_period", &mut spec.flap_period)?;
         field(m, "flap_down", &mut spec.flap_down)?;
+        field(m, "mgr_crash", &mut spec.mgr_crash)?;
+        field(m, "mgr_down", &mut spec.mgr_down)?;
+        field(m, "host_crash", &mut spec.host_crash)?;
+        field(m, "host_down", &mut spec.host_down)?;
+        field(m, "vm_crash", &mut spec.vm_crash)?;
+        field(m, "vm_down", &mut spec.vm_down)?;
         Ok(spec)
     }
 }
@@ -183,6 +224,12 @@ impl Default for FaultSpec {
             cap_fail: 0.0,
             flap_period: SimDuration::ZERO,
             flap_down: SimDuration::ZERO,
+            mgr_crash: 0.0,
+            mgr_down: default_mgr_down(),
+            host_crash: 0.0,
+            host_down: default_host_down(),
+            vm_crash: 0.0,
+            vm_down: default_vm_down(),
         }
     }
 }
@@ -198,11 +245,17 @@ impl FaultSpec {
             || self.stale_mapping > 0.0
             || self.cap_fail > 0.0
             || self.flap_enabled()
+            || self.crash_enabled()
     }
 
     /// True if the spec describes a live link flap.
     pub fn flap_enabled(&self) -> bool {
         !self.flap_period.is_zero() && !self.flap_down.is_zero()
+    }
+
+    /// True if any crash failure domain can fire.
+    pub fn crash_enabled(&self) -> bool {
+        self.mgr_crash > 0.0 || self.host_crash > 0.0 || self.vm_crash > 0.0
     }
 
     /// True if the flapping link is down at instant `t`: each flap period
@@ -224,6 +277,9 @@ impl FaultSpec {
             ("skip", self.scan_skip),
             ("stale", self.stale_mapping),
             ("capfail", self.cap_fail),
+            ("mgr_crash", self.mgr_crash),
+            ("host_crash", self.host_crash),
+            ("vm_crash", self.vm_crash),
         ] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(FaultSpecError::BadRate { name, value: p });
@@ -269,11 +325,72 @@ impl FaultSpec {
                 "capfail" => spec.cap_fail = num(key, value)?,
                 "flap_ms" => spec.flap_period = SimDuration::from_millis(num(key, value)?),
                 "flap_down_us" => spec.flap_down = SimDuration::from_micros(num(key, value)?),
+                "mgr_crash" => spec.mgr_crash = num(key, value)?,
+                "mgr_down_ms" => spec.mgr_down = SimDuration::from_millis(num(key, value)?),
+                "host_crash" => spec.host_crash = num(key, value)?,
+                "host_down_ms" => spec.host_down = SimDuration::from_millis(num(key, value)?),
+                "vm_crash" => spec.vm_crash = num(key, value)?,
+                "vm_down_ms" => spec.vm_down = SimDuration::from_millis(num(key, value)?),
                 _ => return Err(FaultSpecError::UnknownKey(key.to_string())),
             }
         }
         spec.validate()?;
         Ok(spec)
+    }
+
+    /// Renders the spec back into the compact `key=value` grammar accepted
+    /// by [`FaultSpec::parse`], emitting only non-default fields. This is
+    /// how the chaos explorer turns a shrunk schedule into a replayable
+    /// `--faults` reproducer: `parse(to_spec_string()) == self` for any
+    /// spec expressible in the flat grammar (millisecond/microsecond
+    /// granularity down-times).
+    pub fn to_spec_string(&self) -> String {
+        let d = FaultSpec::default();
+        let mut parts: Vec<String> = Vec::new();
+        if self.seed != d.seed {
+            parts.push(format!("seed={}", self.seed));
+        }
+        for (key, p, dp) in [
+            ("loss", self.link_loss, d.link_loss),
+            ("corrupt", self.link_corruption, d.link_corruption),
+            ("delay", self.grant_delay_prob, d.grant_delay_prob),
+            ("tear", self.cqe_tear, d.cqe_tear),
+            ("skip", self.scan_skip, d.scan_skip),
+            ("stale", self.stale_mapping, d.stale_mapping),
+            ("capfail", self.cap_fail, d.cap_fail),
+            ("mgr_crash", self.mgr_crash, d.mgr_crash),
+            ("host_crash", self.host_crash, d.host_crash),
+            ("vm_crash", self.vm_crash, d.vm_crash),
+        ] {
+            if p != dp {
+                parts.push(format!("{key}={p}"));
+            }
+        }
+        if self.grant_delay != d.grant_delay {
+            parts.push(format!("delay_us={}", self.grant_delay.as_nanos() / 1_000));
+        }
+        if self.flap_period != d.flap_period {
+            parts.push(format!(
+                "flap_ms={}",
+                self.flap_period.as_nanos() / 1_000_000
+            ));
+        }
+        if self.flap_down != d.flap_down {
+            parts.push(format!(
+                "flap_down_us={}",
+                self.flap_down.as_nanos() / 1_000
+            ));
+        }
+        for (key, dur, def) in [
+            ("mgr_down_ms", self.mgr_down, d.mgr_down),
+            ("host_down_ms", self.host_down, d.host_down),
+            ("vm_down_ms", self.vm_down, d.vm_down),
+        ] {
+            if dur != def {
+                parts.push(format!("{key}={}", dur.as_nanos() / 1_000_000));
+            }
+        }
+        parts.join(",")
     }
 }
 
@@ -307,6 +424,13 @@ pub enum FaultKind {
         /// Outage length at the start of each period.
         down: SimDuration,
     },
+    /// Overrides [`FaultSpec::mgr_crash`]. A one-interval window at rate
+    /// 1.0 schedules exactly one deterministic manager outage.
+    MgrCrash(f64),
+    /// Overrides [`FaultSpec::host_crash`].
+    HostCrash(f64),
+    /// Overrides [`FaultSpec::vm_crash`].
+    VmCrash(f64),
 }
 
 /// A typed fault event: `kind`'s rate applies during `[start, end)`.
@@ -353,10 +477,29 @@ impl FaultSchedule {
                     | FaultKind::CqeTear(p)
                     | FaultKind::ScanSkip(p)
                     | FaultKind::StaleMapping(p)
-                    | FaultKind::CapFail(p) if p > 0.0
+                    | FaultKind::CapFail(p)
+                    | FaultKind::MgrCrash(p)
+                    | FaultKind::HostCrash(p)
+                    | FaultKind::VmCrash(p) if p > 0.0
                 ) || matches!(w.kind, FaultKind::GrantDelay { prob, .. } if prob > 0.0)
                     || matches!(w.kind, FaultKind::LinkDown { period, down }
                         if !period.is_zero() && !down.is_zero())
+            })
+    }
+
+    /// True if any crash failure domain can ever fire (base rates or any
+    /// window). The world only arms crash orchestration state when this is
+    /// true, so crash-free calendars stay byte-identical to crash-unaware
+    /// builds.
+    pub fn crash_enabled(&self) -> bool {
+        self.spec.crash_enabled()
+            || self.windows.iter().any(|w| {
+                matches!(
+                    w.kind,
+                    FaultKind::MgrCrash(p)
+                    | FaultKind::HostCrash(p)
+                    | FaultKind::VmCrash(p) if p > 0.0
+                )
             })
     }
 
@@ -386,6 +529,9 @@ impl FaultSchedule {
                         spec.flap_period = period;
                         spec.flap_down = down;
                     }
+                    FaultKind::MgrCrash(p) => spec.mgr_crash = p,
+                    FaultKind::HostCrash(p) => spec.host_crash = p,
+                    FaultKind::VmCrash(p) => spec.vm_crash = p,
                 }
             }
         }
@@ -412,6 +558,12 @@ pub struct FaultStats {
     pub cap_failures: u64,
     /// Messages dropped because the flapping link was down.
     pub flap_drops: u64,
+    /// Manager crashes injected.
+    pub mgr_crashes: u64,
+    /// Host crashes injected.
+    pub host_crashes: u64,
+    /// VM crashes injected.
+    pub vm_crashes: u64,
 }
 
 /// Stream-domain constants: each consumer seeds its RNG tree from
@@ -420,6 +572,7 @@ pub struct FaultStats {
 const DOMAIN_FABRIC: u64 = 0x00FA_B51C;
 const DOMAIN_IBMON: u64 = 0x001B_3013;
 const DOMAIN_CONTROL: u64 = 0x00CA_9F01;
+const DOMAIN_CRASH: u64 = 0x00C4_A5E5;
 
 /// Wire-fault injector owned by the fabric engine.
 #[derive(Clone, Debug)]
@@ -611,6 +764,84 @@ impl ControlFaults {
             self.stats.cap_failures += 1;
         }
         hit
+    }
+}
+
+/// Crash-failure injector owned by the world's crash orchestrator. All
+/// three domains are drawn once per charging interval, each from its own
+/// stream, so enabling host crashes never shifts the manager-crash
+/// pattern.
+#[derive(Clone, Debug)]
+pub struct CrashFaults {
+    sched: FaultSchedule,
+    mgr_rng: SimRng,
+    host_rng: SimRng,
+    vm_rng: SimRng,
+    /// Injection tally.
+    pub stats: FaultStats,
+}
+
+impl CrashFaults {
+    /// Builds the injector; fork order (mgr, host, vm) is part of the
+    /// reproducibility contract.
+    pub fn new(sched: FaultSchedule) -> Self {
+        let mut master = SimRng::seed_from_u64(sched.spec.seed ^ DOMAIN_CRASH);
+        let mgr_rng = master.fork();
+        let host_rng = master.fork();
+        let vm_rng = master.fork();
+        CrashFaults {
+            sched,
+            mgr_rng,
+            host_rng,
+            vm_rng,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Draws whether the manager crashes this interval; returns the
+    /// restart delay when it does. Zero-rate instants draw nothing.
+    pub fn mgr_crashes(&mut self, now: SimTime) -> Option<SimDuration> {
+        let spec = self.sched.resolved(now);
+        if spec.mgr_crash <= 0.0 {
+            return None;
+        }
+        if self.mgr_rng.chance(spec.mgr_crash) {
+            self.stats.mgr_crashes += 1;
+            Some(spec.mgr_down)
+        } else {
+            None
+        }
+    }
+
+    /// Draws whether the host crashes this interval; returns the restart
+    /// delay when it does.
+    pub fn host_crashes(&mut self, now: SimTime) -> Option<SimDuration> {
+        let spec = self.sched.resolved(now);
+        if spec.host_crash <= 0.0 {
+            return None;
+        }
+        if self.host_rng.chance(spec.host_crash) {
+            self.stats.host_crashes += 1;
+            Some(spec.host_down)
+        } else {
+            None
+        }
+    }
+
+    /// Draws which of `n_vms` VMs (if any) crashes this interval; returns
+    /// the victim index and the restart delay. At most one VM crashes per
+    /// interval so re-admission windows cannot overlap on one domain.
+    pub fn vm_crashes(&mut self, now: SimTime, n_vms: u64) -> Option<(u64, SimDuration)> {
+        let spec = self.sched.resolved(now);
+        if spec.vm_crash <= 0.0 || n_vms == 0 {
+            return None;
+        }
+        if self.vm_rng.chance(spec.vm_crash) {
+            self.stats.vm_crashes += 1;
+            Some((self.vm_rng.next_below(n_vms), spec.vm_down))
+        } else {
+            None
+        }
     }
 }
 
@@ -850,6 +1081,98 @@ mod tests {
         let msg = FaultSpec::parse("bogus=1").unwrap_err().to_string();
         assert!(msg.contains("flap_ms"), "usage hint lists the keys: {msg}");
         assert!(msg.contains("e.g."), "usage hint shows an example: {msg}");
+    }
+
+    #[test]
+    fn crash_grammar_parses_and_validates() {
+        let spec = FaultSpec::parse(
+            "mgr_crash=0.1,mgr_down_ms=80,host_crash=0.05,vm_crash=1,vm_down_ms=5",
+        )
+        .unwrap();
+        assert_eq!(spec.mgr_crash, 0.1);
+        assert_eq!(spec.mgr_down, SimDuration::from_millis(80));
+        assert_eq!(spec.host_crash, 0.05);
+        assert_eq!(spec.host_down, default_host_down());
+        assert_eq!(spec.vm_crash, 1.0);
+        assert_eq!(spec.vm_down, SimDuration::from_millis(5));
+        assert!(spec.enabled());
+        assert!(spec.crash_enabled());
+        assert!(!FaultSpec::default().crash_enabled());
+        assert!(matches!(
+            FaultSpec::parse("mgr_crash=2"),
+            Err(FaultSpecError::BadRate {
+                name: "mgr_crash",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn spec_string_roundtrips_through_parse() {
+        assert_eq!(FaultSpec::default().to_spec_string(), "");
+        let spec = FaultSpec::parse(
+            "seed=9,loss=0.01,flap_ms=50,flap_down_us=2000,mgr_crash=0.25,mgr_down_ms=80,\
+             host_crash=0.5,vm_crash=0.125,vm_down_ms=5",
+        )
+        .unwrap();
+        let rendered = spec.to_spec_string();
+        assert_eq!(FaultSpec::parse(&rendered).unwrap(), spec, "{rendered}");
+    }
+
+    #[test]
+    fn crash_windows_enable_and_override() {
+        let sched = FaultSchedule {
+            spec: FaultSpec::default(),
+            windows: vec![FaultWindow {
+                start: SimTime::from_millis(100),
+                end: SimTime::from_millis(101),
+                kind: FaultKind::MgrCrash(1.0),
+            }],
+        };
+        assert!(sched.enabled());
+        assert!(sched.crash_enabled());
+        assert_eq!(sched.resolved(SimTime::from_millis(100)).mgr_crash, 1.0);
+        assert_eq!(sched.resolved(SimTime::from_millis(99)).mgr_crash, 0.0);
+        let zeroed = FaultSchedule {
+            windows: vec![FaultWindow {
+                start: SimTime::ZERO,
+                end: SimTime::from_secs(1),
+                kind: FaultKind::VmCrash(0.0),
+            }],
+            ..Default::default()
+        };
+        assert!(!zeroed.crash_enabled());
+    }
+
+    #[test]
+    fn crash_injector_is_seeded_and_zero_rate_draws_nothing() {
+        let sched = FaultSchedule::from(FaultSpec {
+            mgr_crash: 0.5,
+            ..Default::default()
+        });
+        let mut a = CrashFaults::new(sched.clone());
+        let mut b = CrashFaults::new(sched);
+        let t = SimTime::from_micros(1);
+        for _ in 0..200 {
+            // Zero-rate host/vm draws interleaved on `b` must not shift
+            // the manager stream.
+            assert!(b.host_crashes(t).is_none());
+            assert!(b.vm_crashes(t, 4).is_none());
+            assert_eq!(a.mgr_crashes(t), b.mgr_crashes(t));
+        }
+        assert_eq!(a.stats, b.stats);
+        assert!(a.stats.mgr_crashes > 0, "rate 0.5 fires within 200 draws");
+        assert_eq!(a.stats.host_crashes, 0);
+        assert_eq!(a.stats.vm_crashes, 0);
+
+        let mut v = CrashFaults::new(FaultSchedule::from(FaultSpec {
+            vm_crash: 1.0,
+            ..Default::default()
+        }));
+        let (victim, down) = v.vm_crashes(t, 4).expect("rate 1.0 always fires");
+        assert!(victim < 4);
+        assert_eq!(down, default_vm_down());
+        assert!(v.vm_crashes(t, 0).is_none(), "no VMs, no victim");
     }
 
     #[test]

@@ -70,8 +70,11 @@ pub mod subsystem {
     /// and the hardening countermeasures they trip (cross-check
     /// corrections, group clamps, jittered sampling).
     pub const ADVERSARY: &str = "adversary";
+    /// Crash failure domains and the chaos explorer: manager/host/VM
+    /// crashes, journal recovery, re-admissions.
+    pub const CHAOS: &str = "chaos";
     /// All subsystems in their fixed thread order for the Chrome export.
-    pub const ALL: [&str; 8] = [
+    pub const ALL: [&str; 9] = [
         FABRIC_LINK,
         FABRIC_ENGINE,
         HV_SCHED,
@@ -80,5 +83,6 @@ pub mod subsystem {
         FAULTS,
         RECOVERY,
         ADVERSARY,
+        CHAOS,
     ];
 }

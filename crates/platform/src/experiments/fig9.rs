@@ -6,7 +6,7 @@
 //! latency since it does not have access to that information."
 
 use crate::experiments::{mean_std, p99_us, slo_violation_pct, Scale};
-use crate::metrics::{AdversaryTotals, RecoveryTotals};
+use crate::metrics::{AdversaryTotals, CrashTotals, RecoveryTotals};
 use crate::scenario::{fmt_size, PolicyKind, ScenarioConfig};
 use crate::world::run_scenario;
 use rayon::prelude::*;
@@ -50,6 +50,9 @@ pub struct Fig9Result {
     /// What the antagonist plane did across every run of the figure.
     /// All-zero in adversary-off runs.
     pub adversary: AdversaryTotals,
+    /// What the crash plane did across every run of the figure.
+    /// All-zero in crash-free runs.
+    pub crashes: CrashTotals,
 }
 
 // Hand-written so clean runs serialize exactly as before these fields
@@ -64,6 +67,9 @@ impl Serialize for Fig9Result {
         }
         if self.adversary != AdversaryTotals::default() {
             m.insert("adversary".to_string(), self.adversary.to_value());
+        }
+        if self.crashes != CrashTotals::default() {
+            m.insert("crashes".to_string(), self.crashes.to_value());
         }
         serde::Value::Object(m)
     }
@@ -82,8 +88,9 @@ pub fn run(scale: &Scale) -> Fig9Result {
     let base_p99 = p99_us(&base, "64KB");
     let mut recovery = base.recovery_totals();
     let mut adversary = base.adversary;
+    let mut crashes = base.crashes;
 
-    let rows_and_totals: Vec<(Fig9Row, RecoveryTotals, AdversaryTotals)> = buffers
+    let rows_and_totals: Vec<(Fig9Row, RecoveryTotals, AdversaryTotals, CrashTotals)> = buffers
         .into_par_iter()
         .map(|buf| {
             let mk = |policy: PolicyKind| {
@@ -112,6 +119,9 @@ pub fn run(scale: &Scale) -> Fig9Result {
             let mut adv = intf.adversary;
             adv.merge(fm.adversary);
             adv.merge(ios.adversary);
+            let mut crash = intf.crashes;
+            crash.merge(fm.crashes);
+            crash.merge(ios.crashes);
             let row = Fig9Row {
                 buffer: fmt_size(buf),
                 base_us,
@@ -125,19 +135,21 @@ pub fn run(scale: &Scale) -> Fig9Result {
                 freemarket_slo_pct: slo_violation_pct(&fm, "64KB"),
                 ioshares_slo_pct: slo_violation_pct(&ios, "64KB"),
             };
-            (row, totals, adv)
+            (row, totals, adv, crash)
         })
         .collect();
     let mut rows = Vec::with_capacity(rows_and_totals.len());
-    for (row, totals, adv) in rows_and_totals {
+    for (row, totals, adv, crash) in rows_and_totals {
         rows.push(row);
         recovery.merge(totals);
         adversary.merge(adv);
+        crashes.merge(crash);
     }
     Fig9Result {
         rows,
         recovery,
         adversary,
+        crashes,
     }
 }
 
@@ -193,6 +205,18 @@ impl Fig9Result {
             println!(
                 "  adversary: bursts={} deferred={} corrections={} spend attacker/honest={:.0}/{:.0}",
                 a.bursts, a.deferred_sends, a.poison_corrections, a.attacker_spent, a.honest_spent
+            );
+        }
+        if self.crashes != CrashTotals::default() {
+            let c = &self.crashes;
+            println!(
+                "  crashes: mgr={} host={} vm={} readmitted={} dropped={} journal_divergence={}",
+                c.mgr_crashes,
+                c.host_crashes,
+                c.vm_crashes,
+                c.readmissions,
+                c.requests_dropped,
+                c.journal_divergence
             );
         }
     }

@@ -12,10 +12,14 @@
 pub mod experiments;
 pub mod metrics;
 pub mod scenario;
+pub mod spec;
 pub mod world;
 
-pub use metrics::{AdversaryTotals, RecoveryTotals, RunMetrics, SummaryRow, VmMetrics};
+pub use metrics::{
+    AdversaryTotals, CrashTotals, RecoveryTotals, RunMetrics, SummaryRow, VmMetrics,
+};
 pub use scenario::{
     fmt_size, ObsOptions, PolicyKind, QosSpec, ScenarioConfig, VmSpec, BASE_LATENCY_US,
 };
+pub use spec::{parse_spec_combo, SpecComboError};
 pub use world::{run_scenario, run_scenario_observed, ObservedRun, World};

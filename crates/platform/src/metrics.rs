@@ -136,6 +136,10 @@ pub struct RunMetrics {
     /// What the antagonist plane did (and what the hardening caught).
     /// All-zero in adversary-free runs.
     pub adversary: AdversaryTotals,
+    /// What the crash plane did: manager/host/VM crashes, re-admissions,
+    /// and the end-of-run journal conservation audit. All-zero in
+    /// crash-free runs.
+    pub crashes: CrashTotals,
 }
 
 impl RunMetrics {
@@ -235,6 +239,40 @@ impl AdversaryTotals {
         self.poison_corrections += other.poison_corrections;
         self.attacker_spent += other.attacker_spent;
         self.honest_spent += other.honest_spent;
+    }
+}
+
+/// Run-wide crash-domain tallies — what the crash fault classes did and
+/// how recovery settled. All-zero (and printed nowhere) in crash-free
+/// runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct CrashTotals {
+    /// Manager crashes (pricing state lost, journal taken).
+    pub mgr_crashes: u64,
+    /// Host crashes (every resident QP torn, all vCPUs killed).
+    pub host_crashes: u64,
+    /// Individual VM crashes.
+    pub vm_crashes: u64,
+    /// VM re-admissions through the normal lifecycle after a crash.
+    pub readmissions: u64,
+    /// In-flight requests dropped because they landed on a crashed VM
+    /// (the client sees an honest timeout and re-issues).
+    pub requests_dropped: u64,
+    /// End-of-run conservation audit: per-VM accounts where replaying the
+    /// decision journal from scratch did *not* land exactly on the live
+    /// books. Zero means Resos were conserved across every outage.
+    pub journal_divergence: u64,
+}
+
+impl CrashTotals {
+    /// Accumulates another tally into this one.
+    pub fn merge(&mut self, other: CrashTotals) {
+        self.mgr_crashes += other.mgr_crashes;
+        self.host_crashes += other.host_crashes;
+        self.vm_crashes += other.vm_crashes;
+        self.readmissions += other.readmissions;
+        self.requests_dropped += other.requests_dropped;
+        self.journal_divergence += other.journal_divergence;
     }
 }
 

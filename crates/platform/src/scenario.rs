@@ -8,7 +8,7 @@
 //! clients on the other.
 
 use resex_adversary::AdversarySpec;
-use resex_benchex::{ClientMode, ServerConfig, TraceProfile};
+use resex_benchex::{ClientMode, ClientTuning, ServerConfig, TraceProfile};
 use resex_core::{ResExConfig, SlaTarget};
 use resex_fabric::FabricConfig;
 use resex_faults::FaultSchedule;
@@ -194,6 +194,10 @@ pub struct ScenarioConfig {
     /// byte-identical to adversary-unaware builds).
     #[serde(default)]
     pub adversary: AdversarySpec,
+    /// Client recovery knobs (absent in older scenario files = the
+    /// historical constants: 10 ms request timeout, 16-retry budget).
+    #[serde(default)]
+    pub client_tuning: ClientTuning,
 }
 
 /// The paper's canonical 64 KiB baseline latency, used as the default SLA.
@@ -216,6 +220,7 @@ impl ScenarioConfig {
             obs: ObsOptions::default(),
             faults: FaultSchedule::default(),
             adversary: AdversarySpec::default(),
+            client_tuning: ClientTuning::default(),
         }
     }
 

@@ -1,0 +1,117 @@
+//! Joint validation of the fault and adversary spec grammars.
+//!
+//! `repro --faults SPEC --adversary SPEC` composes two independently
+//! parsed grammars. Parsing them one at a time reports the first bad
+//! spec and hides the second; [`parse_spec_combo`] validates the whole
+//! combination up front and returns one typed error that lists every
+//! problem, so a user fixing a composed command line sees all of it at
+//! once.
+
+use resex_adversary::{AdversarySpec, AdversarySpecError};
+use resex_faults::{FaultSpec, FaultSpecError};
+use std::fmt;
+
+/// What went wrong parsing a `--faults` / `--adversary` combination.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecComboError {
+    /// Only the fault spec was bad.
+    Faults(FaultSpecError),
+    /// Only the adversary spec was bad.
+    Adversary(AdversarySpecError),
+    /// Both specs were bad — both errors are reported together.
+    Both {
+        /// The fault-spec error.
+        faults: FaultSpecError,
+        /// The adversary-spec error.
+        adversary: AdversarySpecError,
+    },
+}
+
+impl fmt::Display for SpecComboError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecComboError::Faults(e) => write!(f, "bad --faults spec: {e}"),
+            SpecComboError::Adversary(e) => write!(f, "bad --adversary spec: {e}"),
+            SpecComboError::Both { faults, adversary } => write!(
+                f,
+                "bad --faults spec: {faults}; bad --adversary spec: {adversary}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecComboError {}
+
+/// Parses and validates a fault spec and an adversary spec together.
+/// `None` means the flag was not given and yields that grammar's default
+/// (inert) spec. Errors from both grammars are combined into one
+/// [`SpecComboError`] so nothing is hidden behind first-failure ordering.
+pub fn parse_spec_combo(
+    faults: Option<&str>,
+    adversary: Option<&str>,
+) -> Result<(FaultSpec, AdversarySpec), SpecComboError> {
+    let f = match faults {
+        Some(s) => FaultSpec::parse(s),
+        None => Ok(FaultSpec::default()),
+    };
+    let a = match adversary {
+        Some(s) => AdversarySpec::parse(s),
+        None => Ok(AdversarySpec::default()),
+    };
+    match (f, a) {
+        (Ok(f), Ok(a)) => Ok((f, a)),
+        (Err(fe), Ok(_)) => Err(SpecComboError::Faults(fe)),
+        (Ok(_), Err(ae)) => Err(SpecComboError::Adversary(ae)),
+        (Err(fe), Err(ae)) => Err(SpecComboError::Both {
+            faults: fe,
+            adversary: ae,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_flags_yield_inert_defaults() {
+        let (f, a) = parse_spec_combo(None, None).unwrap();
+        assert!(!f.enabled());
+        assert!(!a.enabled());
+    }
+
+    #[test]
+    fn a_valid_combination_parses_both_grammars() {
+        let (f, a) =
+            parse_spec_combo(Some("loss=0.01,seed=7"), Some("class=burst,intensity=0.5")).unwrap();
+        assert!(f.enabled());
+        assert!(a.enabled());
+    }
+
+    #[test]
+    fn both_bad_specs_are_reported_in_one_error() {
+        let err = parse_spec_combo(Some("loss=nope"), Some("class=bogus")).unwrap_err();
+        match &err {
+            SpecComboError::Both { .. } => {}
+            other => panic!("expected Both, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("--faults"), "lists the fault spec: {msg}");
+        assert!(
+            msg.contains("--adversary"),
+            "lists the adversary spec: {msg}"
+        );
+    }
+
+    #[test]
+    fn a_single_bad_spec_is_typed_by_grammar() {
+        assert!(matches!(
+            parse_spec_combo(Some("loss=2.0"), None),
+            Err(SpecComboError::Faults(_))
+        ));
+        assert!(matches!(
+            parse_spec_combo(None, Some("intensity=7")),
+            Err(SpecComboError::Adversary(_))
+        ));
+    }
+}

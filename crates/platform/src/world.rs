@@ -18,23 +18,24 @@
 //! VM's configured buffer size — so all response traffic of all VMs shares
 //! machine S's egress link, which is where interference lives.
 
-use crate::metrics::{record_latency, AdversaryTotals, RunMetrics, VmMetrics};
+use crate::metrics::{record_latency, AdversaryTotals, CrashTotals, RunMetrics, VmMetrics};
 use crate::scenario::{PolicyKind, ScenarioConfig};
 use resex_adversary::{Antagonist, AttackTraffic};
 use resex_benchex::{
     AgentConfig, Client, ClientAction, ClientMode, LatencyReport, ReportingAgent, RetryDecision,
     Server, ServerAction, TraceGen, TraceProfile, TransactionRequest, TransactionResponse,
-    REQUEST_TIMEOUT, REQUEST_WIRE_BYTES,
+    REQUEST_WIRE_BYTES,
 };
 use resex_core::{
-    BufferRatio, DemandPricing, FreeMarket, IoShares, LatencyFeedback, ManagerAction,
-    PricingPolicy, ResExManager, StaticReserve, VmId, VmSnapshot,
+    BufferRatio, DecisionJournal, DemandPricing, FreeMarket, IoShares, LatencyFeedback,
+    ManagerAction, PricingPolicy, ResExManager, StaticReserve, VmId, VmSnapshot,
 };
 use resex_fabric::qp::{RecvRequest, WorkRequest};
 use resex_fabric::{
     Access, CqNum, Fabric, FabricEvent, FlowParams, MrHandle, NodeId, Opcode, QpNum, TokenBucket,
     WcStatus,
 };
+use resex_faults::CrashFaults;
 use resex_hypervisor::{DomainId, HvError, HvEvent, Hypervisor, VcpuId, XenStat};
 use resex_ibmon::{IbMon, IbMonConfig};
 use resex_obs::{
@@ -64,6 +65,59 @@ const POISON_BIG_FACTOR: u32 = 64;
 /// RNG, forked from the scenario seed so jitter draws can never perturb
 /// any other seeded stream.
 const DOMAIN_JITTER: u64 = 0x001F_7E50;
+
+/// Builds the scenario's pricing policy, or `None` for unmanaged runs.
+/// Factored out of [`World::build`] so manager-crash recovery can rebuild
+/// the policy from scratch — a restarted manager's policy starts cold
+/// (losing its internal state is the damage a crash models).
+fn make_policy(cfg: &ScenarioConfig) -> Option<Box<dyn PricingPolicy>> {
+    match &cfg.policy {
+        PolicyKind::None => None,
+        PolicyKind::FreeMarket => Some(Box::new(FreeMarket::new())),
+        PolicyKind::IoShares => Some(Box::new(IoShares::new(
+            cfg.vms
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.sla.map(|sla| (VmId::new(i as u32), sla))),
+        ))),
+        PolicyKind::StaticReserve(caps) => Some(Box::new(StaticReserve::new(
+            caps.iter().map(|&(i, c)| (VmId::new(i as u32), c)),
+        ))),
+        PolicyKind::BufferRatio { reference } => {
+            Some(Box::new(BufferRatio::new(VmId::new(*reference as u32))))
+        }
+        PolicyKind::DemandPricing => Some(Box::new(DemandPricing::new(
+            cfg.fabric.mtus_per_second() * cfg.resex.epoch.as_nanos().max(1) / 1_000_000_000,
+        ))),
+    }
+}
+
+/// Crash-domain orchestration state. Exists only when the fault schedule
+/// can fire a crash (`FaultSchedule::crash_enabled`), so crash-free runs
+/// hold no crash state and stay byte-identical to pre-crash builds.
+struct CrashPlane {
+    /// Seeded crash draws (manager / host / VM streams, fixed fork order).
+    inj: CrashFaults,
+    /// While `Some`, dom0's pricing stack is down and charging intervals
+    /// take the skip path; the manager restarts at this deadline.
+    mgr_down_until: Option<SimTime>,
+    /// The decision journal taken from the crashed manager — the only
+    /// state that survives the crash.
+    saved_journal: Option<DecisionJournal>,
+    /// While `Some`, machine S is down (all VMs crashed together).
+    host_down_until: Option<SimTime>,
+    /// Per-VM restart deadline; `Some` means the VM process is gone.
+    vm_down_until: Vec<Option<SimTime>>,
+    /// VMs deregistered at crash time that still owe a re-admission
+    /// through the normal lifecycle.
+    readmit_pending: Vec<bool>,
+    /// Per-VM: the server-side receive ring was flushed by a host crash
+    /// (`set_qp_error` drains it; the reconnect replays nothing), so the
+    /// restart must re-post it. A plain VM crash leaves the ring armed.
+    ring_lost: Vec<bool>,
+    /// What happened, for `RunMetrics`.
+    totals: CrashTotals,
+}
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Ev {
@@ -160,6 +214,10 @@ pub struct World {
     /// (`resex.interval_jitter_frac > 0`); `None` keeps the legacy fixed
     /// cadence and draws nothing.
     jitter_rng: Option<SimRng>,
+    /// Crash-domain orchestration, armed only when the fault schedule can
+    /// fire a manager/host/VM crash. `None` means no crash state exists
+    /// at all.
+    crash: Option<CrashPlane>,
     /// Previous interval's fabric ground-truth MTU counter per VM — the
     /// IBMon cross-check diffs it to get an attacker-uninfluenceable
     /// per-interval completion count.
@@ -431,6 +489,7 @@ impl World {
                 );
                 client = Client::new(i as u32, mode, TraceGen::new(profile, seed), seed);
             }
+            client.set_retry_limit(cfg.client_tuning.request_retry_limit);
             clients.push(ClientRuntime {
                 client,
                 qp: cqp,
@@ -457,36 +516,21 @@ impl World {
         }
 
         // --- ResEx + IBMon in dom0 ---
-        let manager = match &cfg.policy {
-            PolicyKind::None => None,
-            policy => {
-                let boxed: Box<dyn PricingPolicy> = match policy {
-                    PolicyKind::FreeMarket => Box::new(FreeMarket::new()),
-                    PolicyKind::IoShares => {
-                        Box::new(IoShares::new(cfg.vms.iter().enumerate().filter_map(
-                            |(i, s)| s.sla.map(|sla| (VmId::new(i as u32), sla)),
-                        )))
-                    }
-                    PolicyKind::StaticReserve(caps) => Box::new(StaticReserve::new(
-                        caps.iter().map(|&(i, c)| (VmId::new(i as u32), c)),
-                    )),
-                    PolicyKind::BufferRatio { reference } => {
-                        Box::new(BufferRatio::new(VmId::new(*reference as u32)))
-                    }
-                    PolicyKind::DemandPricing => Box::new(DemandPricing::new(
-                        cfg.fabric.mtus_per_second() * cfg.resex.epoch.as_nanos().max(1)
-                            / 1_000_000_000,
-                    )),
-                    PolicyKind::None => unreachable!(),
-                };
-                let mut m = ResExManager::new(cfg.resex, boxed).expect("valid resex config");
-                m.set_tracer(tracer.clone());
-                for (i, spec) in cfg.vms.iter().enumerate() {
-                    m.register_vm(VmId::new(i as u32), spec.weight);
-                }
-                Some(m)
+        let crash_on = cfg.faults.crash_enabled();
+        let manager = make_policy(&cfg).map(|boxed| {
+            let mut m = ResExManager::new(cfg.resex, boxed).expect("valid resex config");
+            m.set_tracer(tracer.clone());
+            if crash_on {
+                // Write-ahead decision journal: armed before admission so
+                // every Register record is captured — a crashed manager
+                // rebuilds its books from nothing else.
+                m.enable_journal();
             }
-        };
+            for (i, spec) in cfg.vms.iter().enumerate() {
+                m.register_vm(VmId::new(i as u32), spec.weight);
+            }
+            m
+        });
 
         let mut ibmon = IbMon::new(IbMonConfig {
             mtu: cfg.fabric.mtu_bytes,
@@ -512,6 +556,20 @@ impl World {
         };
         let prev_true_mtus = vec![0u64; vms.len()];
         let actuation_streak = vec![0u32; vms.len()];
+        let crash = if crash_on {
+            Some(CrashPlane {
+                inj: CrashFaults::new(cfg.faults.clone()),
+                mgr_down_until: None,
+                saved_journal: None,
+                host_down_until: None,
+                vm_down_until: vec![None; vms.len()],
+                readmit_pending: vec![false; vms.len()],
+                ring_lost: vec![false; vms.len()],
+                totals: CrashTotals::default(),
+            })
+        } else {
+            None
+        };
         // Profiling is on when the scenario asks for it or when the
         // process-global switch (set by `repro profile`) is armed.
         let self_profiler = Profiler::new(cfg.obs.profile || profiler::global_enabled());
@@ -544,6 +602,7 @@ impl World {
             actuation_streak,
             antagonist,
             jitter_rng,
+            crash,
             prev_true_mtus,
             profiler: self_profiler,
             fab_events: Vec::new(),
@@ -735,6 +794,14 @@ impl World {
             internal_errors
         );
 
+        // A run that ends during a manager outage still settles: restart
+        // the manager from its journal so final accounts (and the policy
+        // name) are reportable, then audit Reso conservation by replaying
+        // the journal from scratch against the live books.
+        if self.crash.is_some() {
+            self.settle_crash_plane(SimTime::ZERO + duration);
+        }
+
         let mut out = RunMetrics {
             label: self.cfg.label.clone(),
             policy: self
@@ -747,6 +814,7 @@ impl World {
             vms: Vec::new(),
             events_processed: self.events,
             adversary: AdversaryTotals::default(),
+            crashes: self.crash.as_ref().map(|p| p.totals).unwrap_or_default(),
         };
         for (i, mut m) in self.metrics.into_iter().enumerate() {
             m.served = self.vms[i].server.served();
@@ -988,12 +1056,293 @@ impl World {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Crash failure domains
+    // ------------------------------------------------------------------
+
+    /// True when the crash plane has this VM's process down.
+    fn vm_is_down(&self, vmi: usize) -> bool {
+        self.crash
+            .as_ref()
+            .is_some_and(|p| p.vm_down_until[vmi].is_some())
+    }
+
+    /// One crash-plane step, run at the top of every charging interval:
+    /// recoveries whose down-time expired first (a restarted domain can be
+    /// crashed again by this tick's draws), then the seeded draws in fixed
+    /// manager → host → VM order.
+    fn crash_tick(&mut self, t: SimTime) {
+        let mut plane = self.crash.take().expect("caller checked the plane");
+
+        // --- recoveries ---
+        if plane.mgr_down_until.is_some_and(|until| t >= until) {
+            plane.mgr_down_until = None;
+            self.recover_manager(&mut plane, t);
+        }
+        if plane.host_down_until.is_some_and(|until| t >= until) {
+            plane.host_down_until = None;
+            for i in 0..self.vms.len() {
+                if plane.vm_down_until[i].is_some() {
+                    self.restart_vm(&mut plane, i, t);
+                }
+            }
+        }
+        if plane.host_down_until.is_none() {
+            for i in 0..self.vms.len() {
+                if plane.vm_down_until[i].is_some_and(|until| t >= until) {
+                    self.restart_vm(&mut plane, i, t);
+                }
+            }
+        }
+
+        // --- draws ---
+        if let Some(down) = plane.inj.mgr_crashes(t) {
+            if plane.mgr_down_until.is_none() && self.manager.is_some() {
+                plane.mgr_down_until = Some(t + down);
+                plane.totals.mgr_crashes += 1;
+                // The journal is the only state that survives the crash.
+                plane.saved_journal = self.manager.take().and_then(|mut m| m.take_journal());
+                if self.tracer.enabled() {
+                    self.tracer.instant(
+                        t,
+                        subsystem::CHAOS,
+                        "mgr_crash",
+                        Scope::Global,
+                        vec![("down_ns", down.as_nanos().into())],
+                    );
+                }
+            }
+        }
+        if let Some(down) = plane.inj.host_crashes(t) {
+            if plane.host_down_until.is_none() {
+                plane.host_down_until = Some(t + down);
+                plane.totals.host_crashes += 1;
+                if self.tracer.enabled() {
+                    self.tracer.instant(
+                        t,
+                        subsystem::CHAOS,
+                        "host_crash",
+                        Scope::Global,
+                        vec![("down_ns", down.as_nanos().into())],
+                    );
+                }
+                for i in 0..self.vms.len() {
+                    if plane.vm_down_until[i].is_none() {
+                        self.crash_vm(&mut plane, i, t + down, t);
+                    }
+                    // Machine S is gone: every resident QP tears. With
+                    // recovery armed the connection manager heals the
+                    // connection itself, but — unlike a link flap — with
+                    // nothing to replay: in-flight work died with the host.
+                    let qp = self.vms[i].qp;
+                    let _ = self.fabric.set_qp_error(self.node_srv, qp, t);
+                    plane.ring_lost[i] = true;
+                }
+            }
+        }
+        if let Some((victim, down)) = plane.inj.vm_crashes(t, self.vms.len() as u64) {
+            let i = victim as usize;
+            if plane.host_down_until.is_none() && plane.vm_down_until[i].is_none() {
+                plane.totals.vm_crashes += 1;
+                // The VM process dies but its QP survives (the HCA outlives
+                // the guest): in-flight requests land and are dropped by the
+                // gate below — clients see honest timeout latency.
+                self.crash_vm(&mut plane, i, t + down, t);
+            }
+        }
+
+        self.crash = Some(plane);
+    }
+
+    /// Kills one VM's process: server state, queued and in-service work
+    /// all vanish; its vCPU stops burning; the manager (if up) evicts its
+    /// account — the journal keeps the balance for re-admission.
+    fn crash_vm(&mut self, plane: &mut CrashPlane, vmi: usize, until: SimTime, t: SimTime) {
+        plane.vm_down_until[vmi] = Some(until);
+        plane.readmit_pending[vmi] = true;
+        self.vms[vmi].server.crash(t);
+        let vcpu = self.vms[vmi].vcpu;
+        self.hv.set_idle(vcpu, t).expect("vcpu exists");
+        if let Some(m) = self.manager.as_mut() {
+            m.deregister_vm(VmId::new(vmi as u32));
+        }
+        // Parked responses die with the guest that produced them.
+        self.deferred_responses.retain(|(i, _)| *i != vmi);
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                t,
+                subsystem::CHAOS,
+                "vm_crash",
+                Scope::Vm(vmi as u32),
+                vec![("down_ns", until.duration_since(t).as_nanos().into())],
+            );
+        }
+    }
+
+    /// Restarts a crashed VM: the vCPU polls again, the receive ring is
+    /// re-armed (a host crash flushed it and the reconnect replays
+    /// nothing), and the VM is re-admitted through the normal lifecycle —
+    /// funded by its journaled balance once the manager is up.
+    fn restart_vm(&mut self, plane: &mut CrashPlane, vmi: usize, t: SimTime) {
+        plane.vm_down_until[vmi] = None;
+        let vcpu = self.vms[vmi].vcpu;
+        self.hv.set_polling(vcpu, t).expect("vcpu exists");
+        // A host crash flushed the receive ring and the reconnect replays
+        // nothing — re-post the full ring. Posts rejected while the QP is
+        // still mid-reconnect park and flush on `QpReconnected`. A plain
+        // VM crash left the ring armed (the drop gate re-posted each
+        // consumed slot), so nothing to do there.
+        if plane.ring_lost[vmi] {
+            plane.ring_lost[vmi] = false;
+            let qp = self.vms[vmi].qp;
+            let (lkey, base) = (self.vms[vmi].req_lkey, self.vms[vmi].req_base);
+            for slot in 0..RECV_SLOTS {
+                self.post_recv_or_defer(
+                    self.node_srv,
+                    qp,
+                    RecvRequest {
+                        wr_id: slot as u64,
+                        lkey,
+                        gpa: base.add(slot as u64 * SLOT_BYTES),
+                        len: SLOT_BYTES as u32,
+                    },
+                    t,
+                );
+            }
+        }
+        if plane.readmit_pending[vmi] {
+            if let Some(m) = self.manager.as_mut() {
+                m.readmit_vm(VmId::new(vmi as u32), self.cfg.vms[vmi].weight);
+                plane.totals.readmissions += 1;
+                plane.readmit_pending[vmi] = false;
+            }
+            // Manager still down: its own recovery replays the journal,
+            // which re-seats every VM that is up by then.
+        }
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                t,
+                subsystem::CHAOS,
+                "vm_restart",
+                Scope::Vm(vmi as u32),
+                vec![],
+            );
+        }
+    }
+
+    /// Restarts the manager from the saved decision journal with a
+    /// catch-up settlement over the missed intervals; VMs that are still
+    /// down are evicted again (the journal re-seated them) and re-admit
+    /// on their own restart.
+    fn recover_manager(&mut self, plane: &mut CrashPlane, t: SimTime) {
+        let journal = plane
+            .saved_journal
+            .take()
+            .expect("a crashed manager saved its journal");
+        let policy = make_policy(&self.cfg).expect("a crashed manager implies a policy");
+        let mut m = ResExManager::recover(self.cfg.resex, policy, journal, self.interval_count)
+            .expect("own journal replays");
+        m.set_tracer(self.tracer.clone());
+        for i in 0..self.vms.len() {
+            if plane.vm_down_until[i].is_some() {
+                m.deregister_vm(VmId::new(i as u32));
+                plane.readmit_pending[i] = true;
+            } else {
+                // Up (or restarted during the outage): the journal replay
+                // already re-seated it with its journaled balance.
+                plane.readmit_pending[i] = false;
+            }
+        }
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                t,
+                subsystem::CHAOS,
+                "mgr_recovered",
+                Scope::Global,
+                vec![("interval", self.interval_count.into())],
+            );
+        }
+        self.manager = Some(m);
+    }
+
+    /// End-of-run settlement for crash runs: a manager still down restarts
+    /// from its journal so final accounts are reportable, then the books
+    /// are audited — replaying the journal from scratch must land exactly
+    /// on the live accounts (Resos conservation across every outage).
+    fn settle_crash_plane(&mut self, t: SimTime) {
+        let mut plane = self.crash.take().expect("caller checked the plane");
+        if plane.mgr_down_until.take().is_some() {
+            self.recover_manager(&mut plane, t);
+        }
+        if let Some(m) = &self.manager {
+            if let Some(journal) = m.journal() {
+                let replay = make_policy(&self.cfg).and_then(|policy| {
+                    ResExManager::recover(
+                        self.cfg.resex,
+                        policy,
+                        journal.clone(),
+                        m.interval_index(),
+                    )
+                    .ok()
+                });
+                match replay {
+                    Some(r) => {
+                        for i in 0..self.vms.len() {
+                            let vm = VmId::new(i as u32);
+                            if m.account(vm).is_some() && r.account(vm) != m.account(vm) {
+                                plane.totals.journal_divergence += 1;
+                            }
+                        }
+                    }
+                    None => plane.totals.journal_divergence += 1,
+                }
+            }
+        }
+        self.crash = Some(plane);
+    }
+
+    // ------------------------------------------------------------------
+
     /// A transaction arrived at a server VM.
     fn on_server_request(&mut self, qp: QpNum, slot: u64, t: SimTime) {
         let vmi = match self.srv_qp_to_vm.get(&qp) {
             Some(&i) => i,
             None => return,
         };
+        if self.vm_is_down(vmi) {
+            // The VM process is gone: its poll loop can't pick this up.
+            // Consume the completion, re-arm the slot, and drop the
+            // request — the client sees honest timeout latency and
+            // re-issues after the restart.
+            let recv_cq = self.vms[vmi].recv_cq;
+            let _ = self.fabric.drain_cq(self.node_srv, recv_cq, 64);
+            let lkey = self.vms[vmi].req_lkey;
+            let gpa = self.vms[vmi].req_base.add(slot * SLOT_BYTES);
+            self.post_recv_or_defer(
+                self.node_srv,
+                qp,
+                RecvRequest {
+                    wr_id: slot,
+                    lkey,
+                    gpa,
+                    len: SLOT_BYTES as u32,
+                },
+                t,
+            );
+            if let Some(p) = self.crash.as_mut() {
+                p.totals.requests_dropped += 1;
+            }
+            if self.tracer.enabled() {
+                self.tracer.instant(
+                    t,
+                    subsystem::CHAOS,
+                    "request_dropped",
+                    Scope::Vm(vmi as u32),
+                    vec![],
+                );
+            }
+            return;
+        }
         // The guest's poll loop consumes the completion (frees the ring
         // slot for the HCA; IBMon still sees the written bytes).
         let recv_cq = self.vms[vmi].recv_cq;
@@ -1116,6 +1465,14 @@ impl World {
             Some(&i) => i,
             None => return,
         };
+        if self.crash.is_some() && !self.vms[vmi].server.awaiting_send() {
+            // A completion for a send posted before this VM crashed: the
+            // guest that posted it is gone (or rebooted). Drain the CQE so
+            // the ring keeps moving and drop the record.
+            let send_cq = self.vms[vmi].send_cq;
+            let _ = self.fabric.drain_cq(self.node_srv, send_cq, 64);
+            return;
+        }
         let send_cq = self.vms[vmi].send_cq;
         let _ = self.fabric.drain_cq(self.node_srv, send_cq, 64);
         let (record, act) = self.vms[vmi].server.on_send_complete_with_record(t);
@@ -1129,6 +1486,11 @@ impl World {
             Some(i) => i,
             None => return,
         };
+        if self.vm_is_down(vmi) {
+            // The job's guest died at this same instant (the crash tick
+            // idled its vCPU, but this completion was already drained).
+            return;
+        }
         let act = self.vms[vmi].server.on_compute_done(t);
         self.apply_server_action(vmi, act, t);
     }
@@ -1222,7 +1584,7 @@ impl World {
         let key = req.id & 0xFFFF_FFFF;
         let timeout = if self.faults_on {
             Some(self.queue.schedule_at(
-                t + REQUEST_TIMEOUT,
+                t + self.cfg.client_tuning.request_timeout,
                 Ev::RequestTimeout {
                     client: ci,
                     req_id: key,
@@ -1277,6 +1639,31 @@ impl World {
     /// One ResEx charging interval: gather IBMon + XenStat + agent data,
     /// run the policy, actuate caps, record traces.
     fn on_resex_interval(&mut self, t: SimTime) {
+        if self.crash.is_some() {
+            self.crash_tick(t);
+            if self
+                .crash
+                .as_ref()
+                .is_some_and(|p| p.mgr_down_until.is_some())
+            {
+                // dom0's pricing stack is down: no telemetry, no pricing,
+                // no actuation this interval. Only the cadence survives —
+                // the next tick is scheduled exactly as a live manager
+                // would have (including the jitter draw), so the calendar
+                // stays aligned for the recovery's catch-up settlement.
+                self.interval_count += 1;
+                let interval = self.cfg.resex.interval;
+                let next = match &mut self.jitter_rng {
+                    Some(rng) => {
+                        let frac = self.cfg.resex.interval_jitter_frac;
+                        interval.mul_f64(1.0 + frac * (rng.next_f64() - 0.5))
+                    }
+                    None => interval,
+                };
+                self.queue.schedule_at(t + next, Ev::ResExInterval);
+                return;
+            }
+        }
         // The interval handler reads fabric ground truth (QP counters,
         // egress backlog); settle any pending link batch first so those
         // reads match the chunk-at-a-time execution exactly.

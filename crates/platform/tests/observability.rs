@@ -188,10 +188,12 @@ fn disabled_observability_returns_no_output() {
 fn trace_covers_every_subsystem_and_vm() {
     // Coverage of subsystem::FAULTS needs the fault plane installed; a
     // skip-heavy schedule guarantees stale-telemetry events in a short run.
-    // Likewise subsystem::ADVERSARY needs the antagonist plane armed.
+    // Likewise subsystem::ADVERSARY needs the antagonist plane armed and
+    // subsystem::CHAOS needs a crash class drawn within the run.
     let mut cfg = observed_cfg();
     cfg.faults = resex_faults::FaultSchedule::from(
-        resex_faults::FaultSpec::parse("skip=0.5,loss=0.01").expect("valid spec"),
+        resex_faults::FaultSpec::parse("skip=0.5,loss=0.01,vm_crash=1,vm_down_ms=5")
+            .expect("valid spec"),
     );
     cfg.adversary = resex_adversary::AdversarySpec::parse("class=burst").expect("valid spec");
     let (_, out) = run_scenario_observed(cfg);

@@ -1,0 +1,151 @@
+//! Crash failure-domain claims: manager, host, and VM crashes are
+//! survived end to end — nothing is permanently lost, Resos are
+//! conserved across every outage (the decision journal replays exactly
+//! onto the live books), and crash-free runs are byte-identical to
+//! crash-unaware ones.
+
+use resex_faults::{FaultKind, FaultSchedule, FaultSpec, FaultWindow};
+use resex_platform::{run_scenario, CrashTotals, PolicyKind, ScenarioConfig};
+use resex_simcore::time::{SimDuration, SimTime};
+
+/// The canonical managed contention case at a short span (the same shape
+/// `tests/fault_claims.rs` uses).
+fn managed_cfg() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::IoShares);
+    cfg.duration = SimDuration::from_millis(600);
+    cfg.warmup = SimDuration::from_millis(100);
+    cfg
+}
+
+/// A run's complete observable outcome, as a comparable string.
+fn fingerprint(cfg: ScenarioConfig) -> String {
+    let run = run_scenario(cfg);
+    format!("{:?} events={}", run.rows(), run.events_processed)
+}
+
+/// One deterministic mid-run manager outage: a one-interval window at
+/// rate 1.0 crashes dom0's pricing stack at exactly t = 300 ms; it
+/// restarts 50 ms later (the default down-time) and rebuilds from the
+/// decision journal. The workload never notices — requests keep
+/// flowing, nothing is lost, and the end-of-run conservation audit
+/// (replay the journal from scratch, compare against the live books)
+/// finds zero divergence.
+#[test]
+fn a_mid_run_manager_outage_conserves_resos_and_loses_nothing() {
+    let mut cfg = managed_cfg();
+    cfg.faults = FaultSchedule {
+        spec: FaultSpec::parse("seed=7").unwrap(),
+        windows: vec![FaultWindow {
+            start: SimTime::from_micros(300_000),
+            end: SimTime::from_micros(301_000),
+            kind: FaultKind::MgrCrash(1.0),
+        }],
+    };
+    let run = run_scenario(cfg);
+    assert_eq!(run.crashes.mgr_crashes, 1, "exactly one scheduled outage");
+    assert_eq!(
+        run.crashes.journal_divergence, 0,
+        "journal replay must land exactly on the live books: {:?}",
+        run.crashes
+    );
+    let t = run.recovery_totals();
+    assert_eq!(t.lost_requests, 0, "a manager outage loses no requests");
+    for vm in &run.vms {
+        assert!(
+            vm.served > 20,
+            "{} stalled at {} served requests across the outage",
+            vm.name,
+            vm.served
+        );
+    }
+}
+
+/// VM crashes drop in-flight requests (clients see honest timeout
+/// latency and re-issue) and the VM rejoins through the normal admission
+/// path with a fresh account funded by its journaled balance.
+#[test]
+fn crashed_vms_rejoin_with_their_journaled_balance() {
+    let mut cfg = managed_cfg();
+    cfg.faults =
+        FaultSchedule::from(FaultSpec::parse("vm_crash=0.01,vm_down_ms=5,seed=3").unwrap());
+    let run = run_scenario(cfg);
+    assert!(
+        run.crashes.vm_crashes >= 1,
+        "1% per interval over 600 intervals must crash at least once: {:?}",
+        run.crashes
+    );
+    assert!(
+        run.crashes.readmissions >= 1,
+        "every crashed VM is re-admitted: {:?}",
+        run.crashes
+    );
+    assert_eq!(
+        run.crashes.journal_divergence, 0,
+        "readmission funding comes from the journal, conserving Resos"
+    );
+    assert_eq!(
+        run.recovery_totals().lost_requests,
+        0,
+        "5 ms outages sit well inside the 160 ms client retry budget"
+    );
+}
+
+/// A host crash tears every resident QP; the connection manager heals
+/// them (with empty replay journals — crashes resurrect nothing) and
+/// the VMs are re-admitted once the host restarts.
+#[test]
+fn a_host_crash_tears_and_heals_every_resident_qp() {
+    let mut cfg = managed_cfg();
+    cfg.faults =
+        FaultSchedule::from(FaultSpec::parse("host_crash=0.005,host_down_ms=10,seed=4").unwrap());
+    let run = run_scenario(cfg);
+    assert!(
+        run.crashes.host_crashes >= 1,
+        "0.5% per interval over 600 intervals must crash at least once: {:?}",
+        run.crashes
+    );
+    let t = run.recovery_totals();
+    assert!(
+        t.reconnects >= 1,
+        "torn QPs must be reconnected: {t:?} {:?}",
+        run.crashes
+    );
+    assert_eq!(t.lost_requests, 0, "the recovery layer's target: {t:?}");
+    assert_eq!(run.crashes.journal_divergence, 0);
+}
+
+/// Crash classes at rate zero are *never armed*: such runs are
+/// byte-identical to a crash-unaware run of the same scenario, and
+/// report all-zero crash totals (the fig JSON key is omitted entirely).
+#[test]
+fn zero_rate_crash_spec_is_byte_identical_to_clean() {
+    let clean = fingerprint(managed_cfg());
+
+    // Non-default down-times and seed, but all crash rates zero: the
+    // crash plane must not be installed (and must not consume RNG).
+    let mut cfg = managed_cfg();
+    cfg.faults = FaultSchedule::from(
+        FaultSpec::parse("seed=77,mgr_down_ms=25,host_down_ms=15,vm_down_ms=9").unwrap(),
+    );
+    assert!(!cfg.faults.crash_enabled());
+    assert_eq!(fingerprint(cfg.clone()), clean);
+    assert_eq!(run_scenario(cfg).crashes, CrashTotals::default());
+}
+
+/// A fixed seed replays a crash-heavy composed schedule byte-for-byte.
+#[test]
+fn a_fixed_seed_replays_a_crashy_schedule_byte_identically() {
+    let crashy = || {
+        let mut cfg = managed_cfg();
+        cfg.faults = FaultSchedule::from(
+            FaultSpec::parse(
+                "loss=0.01,vm_crash=0.01,vm_down_ms=5,host_crash=0.002,host_down_ms=10,seed=13",
+            )
+            .unwrap(),
+        );
+        cfg
+    };
+    let a = fingerprint(crashy());
+    assert_eq!(a, fingerprint(crashy()), "same seed, same run");
+    assert_ne!(a, fingerprint(managed_cfg()), "crashes actually fired");
+}

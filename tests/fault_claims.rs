@@ -59,6 +59,28 @@ fn a_fixed_fault_seed_replays_byte_identically() {
     assert_ne!(a, fingerprint(managed_cfg()), "faults actually fired");
 }
 
+/// A composed command line — faults *and* adversary armed together —
+/// parses through the joint validator and replays deterministically:
+/// the two planes draw from independent seeded streams, so their
+/// composition is as reproducible as either alone.
+#[test]
+fn composed_fault_and_adversary_specs_replay_deterministically() {
+    let composed = || {
+        let (f, a) = resex_platform::parse_spec_combo(
+            Some("loss=0.01,vm_crash=0.01,vm_down_ms=5,seed=7"),
+            Some("class=burst,intensity=0.5,seed=9"),
+        )
+        .expect("both specs are valid");
+        let mut cfg = managed_cfg();
+        cfg.faults = FaultSchedule::from(f);
+        cfg.adversary = a;
+        cfg
+    };
+    let a = fingerprint(composed());
+    assert_eq!(a, fingerprint(composed()), "same seeds must replay the run");
+    assert_ne!(a, fingerprint(managed_cfg()), "both planes actually fired");
+}
+
 #[test]
 fn ioshares_still_beats_freemarket_at_one_percent_loss() {
     let mut scale = Scale::quick();
