@@ -1,8 +1,26 @@
 #!/usr/bin/env bash
 # Local CI: format, lint, build, and the tier-1 test suite — fully offline.
-# Usage: ./ci.sh
+#
+# Usage: ./ci.sh [--quick]
+#   --quick  fast tier: fmt/clippy/build/test plus the byte-identity gates
+#            (thread-count, profiler zero-perturbation, sharded-calendar,
+#            committed-baseline). Minutes, suitable for every push.
+#   (bare)   full tier: the quick tier plus fault/adversary/crash soaks,
+#            the chaos explorer, the sweep + rack scaling measurements and
+#            their BENCH_*.json artifacts, and the perf-regression gate.
+#
+# The BENCH_*.json artifacts are staged in a temp dir and only moved into
+# the repo root after every gate has passed, so a failing run can never
+# leave a half-regenerated (and silently stale) artifact pair behind.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+TIER=full
+case "${1:-}" in
+    --quick) TIER=quick ;;
+    "") ;;
+    *) echo "usage: ./ci.sh [--quick]" >&2; exit 2 ;;
+esac
 
 export CARGO_NET_OFFLINE=true
 
@@ -27,6 +45,7 @@ REPRO=./target/release/repro
 # cross-thread stealing is exercised even on small CI hosts.
 PAR_THREADS="${RESEX_PAR_THREADS:-$(nproc)}"
 if [ "$PAR_THREADS" -lt 4 ]; then PAR_THREADS=4; fi
+CORES=$(nproc)
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
@@ -34,6 +53,14 @@ echo "==> determinism gate: fig9 --quick JSON, RESEX_THREADS=1 vs $PAR_THREADS"
 RESEX_THREADS=1 "$REPRO" fig9 --quick --json "$TMP/fig9_seq.json" >/dev/null 2>&1
 RESEX_THREADS="$PAR_THREADS" "$REPRO" fig9 --quick --json "$TMP/fig9_par.json" >/dev/null 2>&1
 cmp "$TMP/fig9_seq.json" "$TMP/fig9_par.json"
+echo "    byte-identical"
+
+echo "==> sharded-determinism gate: RESEX_SHARDED=1 fig9 --quick vs monolithic calendar"
+# The sharded runner's hard contract: advancing the calendar in
+# conservative-lookahead windows (horizon = link one-way latency) must be
+# state-neutral — not a byte of figure data may move.
+RESEX_SHARDED=1 RESEX_THREADS=1 "$REPRO" fig9 --quick --json "$TMP/fig9_shard.json" >/dev/null 2>&1
+cmp "$TMP/fig9_seq.json" "$TMP/fig9_shard.json"
 echo "    byte-identical"
 
 echo "==> zero-perturbation gate: profiled fig9 JSON byte-identical to unprofiled"
@@ -47,6 +74,20 @@ grep -q '"schema": "resex-profile-v1"' "$TMP/fig9_report.json" || {
 grep -q '"name": "FabricSync"' "$TMP/fig9_report.json" || {
     echo "    FAIL: profile report event-type table is empty"; exit 1; }
 echo "    byte-identical; profile report parsed with a populated event-type table"
+
+echo "==> adversary-off/crash-off byte-identity gate: fig9 --quick vs committed baseline"
+# The antagonist plane's zero-cost contract — and the crash plane's: with
+# no --adversary flag and no crash rates armed the binary must produce
+# byte-for-byte the JSON committed before either plane existed. If this
+# fails after an *intentional* fig9 format change, regenerate with:
+#   RESEX_THREADS=1 ./target/release/repro fig9 --quick --json tests/baselines/fig9_quick.json
+cmp tests/baselines/fig9_quick.json "$TMP/fig9_seq.json"
+echo "    byte-identical to tests/baselines/fig9_quick.json"
+
+if [ "$TIER" = quick ]; then
+    echo "==> OK (quick tier; run bare ./ci.sh for soak/chaos/perf and BENCH artifacts)"
+    exit 0
+fi
 
 echo "==> fault-matrix smoke: fig9 --quick under 1% loss, 3 fault seeds"
 for seed in 1 2 3; do
@@ -82,15 +123,6 @@ grep "recovery: " "$TMP/fig9_soak_a.txt" | grep -q " lost=0 " || {
     grep "recovery: " "$TMP/fig9_soak_a.txt"; exit 1; }
 sed -n 's/^  recovery:/    survived flaps:/p' "$TMP/fig9_soak_a.txt"
 echo "    byte-identical across runs, lost=0"
-
-echo "==> adversary-off/crash-off byte-identity gate: fig9 --quick vs committed baseline"
-# The antagonist plane's zero-cost contract — and the crash plane's: with
-# no --adversary flag and no crash rates armed the binary must produce
-# byte-for-byte the JSON committed before either plane existed. If this
-# fails after an *intentional* fig9 format change, regenerate with:
-#   RESEX_THREADS=1 ./target/release/repro fig9 --quick --json tests/baselines/fig9_quick.json
-cmp tests/baselines/fig9_quick.json "$TMP/fig9_seq.json"
-echo "    byte-identical to tests/baselines/fig9_quick.json"
 
 echo "==> adversary smoke gate: each attacker class completes and replays byte-identically"
 for class in burst freeride poison collude; do
@@ -147,25 +179,41 @@ RESEX_THREADS=1 "$REPRO" all --quick >/dev/null
 t1=$(date +%s.%N)
 RESEX_THREADS="$PAR_THREADS" "$REPRO" all --quick >/dev/null
 t2=$(date +%s.%N)
+
+echo "==> rack scaling: repro rack --quick (128-host sharded rack), RESEX_THREADS=1 vs $PAR_THREADS"
+# The sharded calendar's reason to exist: one shard per host hands the
+# work-stealing pool genuinely parallel work. Both legs also re-check the
+# run's determinism (JSON must not depend on the pool width).
+r0=$(date +%s.%N)
+RESEX_THREADS=1 "$REPRO" rack --quick --json "$TMP/rack_seq.json" >/dev/null 2>&1
+r1=$(date +%s.%N)
+RESEX_THREADS="$PAR_THREADS" "$REPRO" rack --quick --json "$TMP/rack_par.json" >/dev/null 2>&1
+r2=$(date +%s.%N)
+cmp "$TMP/rack_seq.json" "$TMP/rack_par.json"
+RACK_HOSTS=$(grep -o '"hosts": [0-9]*' "$TMP/rack_seq.json" | head -1 | awk '{print $2}')
+
 GIT_REV="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
-awk -v t0="$t0" -v t1="$t1" -v t2="$t2" -v par="$PAR_THREADS" -v cores="$(nproc)" \
-    -v rev="$GIT_REV" '
+awk -v t0="$t0" -v t1="$t1" -v t2="$t2" -v r0="$r0" -v r1="$r1" -v r2="$r2" \
+    -v par="$PAR_THREADS" -v cores="$CORES" -v rev="$GIT_REV" -v hosts="$RACK_HOSTS" '
 BEGIN {
     seq = t1 - t0; parallel = t2 - t1;
-    printf "    sequential (RESEX_THREADS=1):   %6.2f s\n", seq;
-    printf "    parallel   (RESEX_THREADS=%d):   %6.2f s\n", par, parallel;
-    printf "    speedup: %.2fx on %d core(s)\n", seq / parallel, cores;
-    printf "{\n  \"bench\": \"repro all --quick\",\n  \"git_rev\": \"%s\",\n  \"flags\": \"all --quick\",\n  \"cores\": %d,\n  \"threads_parallel\": %d,\n  \"sequential_s\": %.3f,\n  \"parallel_s\": %.3f,\n  \"speedup\": %.3f\n}\n", rev, cores, par, seq, parallel, seq / parallel > "BENCH_sweep.json";
+    rseq = r1 - r0; rpar = r2 - r1;
+    printf "    sweep sequential (RESEX_THREADS=1):   %6.2f s\n", seq;
+    printf "    sweep parallel   (RESEX_THREADS=%d):   %6.2f s\n", par, parallel;
+    printf "    sweep speedup: %.2fx on %d core(s)\n", seq / parallel, cores;
+    printf "    rack  sequential (RESEX_THREADS=1):   %6.2f s  (%.1f hosts/s)\n", rseq, hosts / rseq;
+    printf "    rack  parallel   (RESEX_THREADS=%d):   %6.2f s  (%.1f hosts/s)\n", par, rpar, hosts / rpar;
+    printf "    rack  speedup: %.2fx on %d core(s)\n", rseq / rpar, cores;
+    printf "{\n  \"bench\": \"repro all --quick\",\n  \"git_rev\": \"%s\",\n  \"flags\": \"all --quick\",\n  \"cores\": %d,\n  \"threads_parallel\": %d,\n  \"sequential_s\": %.3f,\n  \"parallel_s\": %.3f,\n  \"speedup\": %.3f,\n  \"rack\": {\n    \"bench\": \"repro rack --quick\",\n    \"hosts\": %d,\n    \"sequential_s\": %.3f,\n    \"parallel_s\": %.3f,\n    \"hosts_per_s_sequential\": %.1f,\n    \"hosts_per_s_parallel\": %.1f,\n    \"speedup\": %.3f\n  }\n}\n", rev, cores, par, seq, parallel, seq / parallel, hosts, rseq, rpar, hosts / rseq, hosts / rpar, rseq / rpar > "'"$TMP"'/BENCH_sweep.json";
 }'
-echo "    wrote BENCH_sweep.json"
+echo "    staged BENCH_sweep.json (rack leg byte-identical across pool widths)"
 
 echo "==> parallel-speedup gate: pooled sweep must not run slower than sequential"
 # On one core the pool resolves to sequential (see vendor/rayon), so the
 # two legs time the same binary twice — only noise separates them. On a
 # real multi-core host a speedup below 1.0x means the pool actively hurt,
 # which is the bug this gate exists to catch.
-SPEEDUP=$(grep -o '"speedup": [0-9.]*' BENCH_sweep.json | awk '{print $2}')
-CORES=$(nproc)
+SPEEDUP=$(grep -o '"speedup": [0-9.]*' "$TMP/BENCH_sweep.json" | head -1 | awk '{print $2}')
 if [ "$CORES" -gt 1 ]; then
     awk -v s="$SPEEDUP" 'BEGIN { exit !(s < 1.0) }' && {
         echo "    FAIL: parallel sweep slower than sequential (speedup ${SPEEDUP}x on $CORES cores)"; exit 1; }
@@ -174,19 +222,37 @@ else
     echo "    single core: gate not applicable (speedup ${SPEEDUP}x is noise)"
 fi
 
+echo "==> rack scaling gate: the sharded rack must scale with the pool"
+# One shard per host means ~128 independent calendars per window: on a
+# multi-core host the pool must convert that into wall-clock. ≥4 cores
+# must reach 2x; 2–3 cores must at least not slow down; a single core
+# only records the numbers (the two legs time the same sequential code).
+RACK_SPEEDUP=$(grep -o '"speedup": [0-9.]*' "$TMP/BENCH_sweep.json" | tail -1 | awk '{print $2}')
+if [ "$CORES" -ge 4 ]; then
+    awk -v s="$RACK_SPEEDUP" 'BEGIN { exit !(s < 2.0) }' && {
+        echo "    FAIL: rack speedup ${RACK_SPEEDUP}x < 2.0x on $CORES cores"; exit 1; }
+    echo "    rack speedup ${RACK_SPEEDUP}x on $CORES cores: ok (>= 2.0x)"
+elif [ "$CORES" -gt 1 ]; then
+    awk -v s="$RACK_SPEEDUP" 'BEGIN { exit !(s < 1.0) }' && {
+        echo "    FAIL: rack slower with the pool (speedup ${RACK_SPEEDUP}x on $CORES cores)"; exit 1; }
+    echo "    rack speedup ${RACK_SPEEDUP}x on $CORES cores: ok (>= 1.0x)"
+else
+    echo "    single core: gate not applicable (rack speedup ${RACK_SPEEDUP}x recorded)"
+fi
+
 echo "==> perf profile: repro profile all --quick -> BENCH_profile.json"
 # The committed perf artifact: merged self-profile of the whole sweep
 # (top event types by self-time, allocs/event, events/sec, per-target
 # wall-clock) stamped with git revision + thread count.
 RESEX_THREADS="$PAR_THREADS" "$REPRO" profile all --quick \
-    --profile-json BENCH_profile.json >/dev/null 2>&1
-grep -q '"schema": "resex-profile-v1"' BENCH_profile.json || {
+    --profile-json "$TMP/BENCH_profile.json" >/dev/null 2>&1
+grep -q '"schema": "resex-profile-v1"' "$TMP/BENCH_profile.json" || {
     echo "    FAIL: BENCH_profile.json missing schema"; exit 1; }
-grep -q '"git_rev"' BENCH_profile.json || {
+grep -q '"git_rev"' "$TMP/BENCH_profile.json" || {
     echo "    FAIL: BENCH_profile.json missing provenance"; exit 1; }
-grep -q '"name": "FabricSync"' BENCH_profile.json || {
+grep -q '"name": "FabricSync"' "$TMP/BENCH_profile.json" || {
     echo "    FAIL: BENCH_profile.json event-type table is empty"; exit 1; }
-echo "    wrote BENCH_profile.json"
+echo "    staged BENCH_profile.json"
 
 echo "==> perf-regression gate: fresh events/sec vs committed BENCH_profile.json"
 # Compares the fresh profile's merged events/sec against the last
@@ -197,7 +263,7 @@ echo "==> perf-regression gate: fresh events/sec vs committed BENCH_profile.json
 # regressions, not single-digit drift.
 PERF_TOL="${RESEX_PERF_TOL:-0.5}"
 COMMITTED_EPS=$(git show HEAD:BENCH_profile.json 2>/dev/null     | grep -o '"events_per_sec": [0-9.]*' | awk '{print $2}' || true)
-FRESH_EPS=$(grep -o '"events_per_sec": [0-9.]*' BENCH_profile.json | awk '{print $2}')
+FRESH_EPS=$(grep -o '"events_per_sec": [0-9.]*' "$TMP/BENCH_profile.json" | awk '{print $2}')
 if [ -n "$COMMITTED_EPS" ] && [ -n "$FRESH_EPS" ]; then
     awk -v f="$FRESH_EPS" -v c="$COMMITTED_EPS" -v tol="$PERF_TOL"         'BEGIN { exit !(f < c * tol) }' && {
         echo "    FAIL: events/sec regressed: $FRESH_EPS < $PERF_TOL * committed $COMMITTED_EPS"; exit 1; }
@@ -210,10 +276,17 @@ echo "==> bench-artifact stamping: both BENCH files must carry the same revision
 # The two artifacts are only comparable when regenerated together; a
 # mixed pair (one stale, one fresh) silently invalidates the speedup and
 # events/sec numbers recorded above.
-SWEEP_REV=$(grep -o '"git_rev": "[a-z0-9]*"' BENCH_sweep.json | head -1 | cut -d'"' -f4)
-PROF_REV=$(grep -o '"git_rev": "[a-z0-9]*"' BENCH_profile.json | head -1 | cut -d'"' -f4)
+SWEEP_REV=$(grep -o '"git_rev": "[a-z0-9]*"' "$TMP/BENCH_sweep.json" | head -1 | cut -d'"' -f4)
+PROF_REV=$(grep -o '"git_rev": "[a-z0-9]*"' "$TMP/BENCH_profile.json" | head -1 | cut -d'"' -f4)
 [ "$SWEEP_REV" = "$PROF_REV" ] || {
     echo "    FAIL: BENCH_sweep.json ($SWEEP_REV) and BENCH_profile.json ($PROF_REV) were stamped at different commits"; exit 1; }
 echo "    both stamped at $SWEEP_REV"
+
+# Every gate passed: only now do the staged artifacts replace the
+# committed ones. A failure anywhere above leaves the repo's BENCH pair
+# untouched (and still mutually consistent).
+mv "$TMP/BENCH_sweep.json" BENCH_sweep.json
+mv "$TMP/BENCH_profile.json" BENCH_profile.json
+echo "==> BENCH_sweep.json + BENCH_profile.json updated"
 
 echo "==> OK"

@@ -17,6 +17,7 @@ fn bench_scale() -> Scale {
         warmup: SimDuration::from_millis(50),
         faults: resex_faults::FaultSpec::default(),
         adversary: resex_adversary::AdversarySpec::default(),
+        rack_hosts: 64,
     }
 }
 

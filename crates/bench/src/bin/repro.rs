@@ -6,8 +6,12 @@
 //! cargo run -p resex-bench --release --bin repro -- fig9 --json out.json
 //! ```
 //!
-//! Targets: `fig1` … `fig9`, `ablation`, `all`. `--quick` (default) runs
-//! CI-scale simulations; `--full` runs paper-shaped spans. `--json PATH`
+//! Targets: `fig1` … `fig9`, `ablation`, `hw_qos`, `scaling`, `rack`,
+//! `all`. `--quick` (default) runs CI-scale simulations; `--full` runs
+//! paper-shaped spans. `rack` runs the sharded rack-scale scenario
+//! (hundreds of per-host calendars under conservative lookahead over the
+//! two-tier ToR/spine topology); it is deliberately *not* part of `all`,
+//! which keeps the figure suite's output and BENCH baselines unchanged. `--json PATH`
 //! additionally dumps the figure data as JSON for plotting. `--trace PATH`
 //! / `--metrics PATH` additionally run the representative managed
 //! scenario (64KB + 2MB under FreeMarket) with observability on and write
@@ -41,7 +45,7 @@
 use rayon::prelude::*;
 use resex_bench::report::{build_report, merged_profile, Provenance};
 use resex_platform::experiments::{
-    ablation, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, hw_qos, scaling, Scale,
+    ablation, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, hw_qos, rack, scaling, Scale,
 };
 use resex_platform::{run_scenario_observed, PolicyKind, ScenarioConfig};
 use serde_json::{json, Value};
@@ -56,7 +60,7 @@ static ALLOC: resex_obs::alloc::CountingAlloc = resex_obs::alloc::CountingAlloc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [profile] <fig1|...|fig9|ablation|hw_qos|scaling|all> \
+        "usage: repro [profile] <fig1|...|fig9|ablation|hw_qos|scaling|rack|all> \
          [--quick|--full] [--duration-ms N] [--warmup-ms N] \
          [--json PATH] [--trace PATH] [--metrics PATH] [--faults SPEC] \
          [--adversary SPEC] [--profile-json PATH] [--flame PATH]\n\
@@ -108,6 +112,7 @@ enum FigOutput {
     Ablation(ablation::AblationResult),
     HwQos(hw_qos::HwQosResult),
     Scaling(scaling::ScalingResult),
+    Rack(rack::RackResult),
 }
 
 impl FigOutput {
@@ -125,6 +130,7 @@ impl FigOutput {
             FigOutput::Ablation(r) => r.print(),
             FigOutput::HwQos(r) => r.print(),
             FigOutput::Scaling(r) => r.print(),
+            FigOutput::Rack(r) => r.print(),
         }
     }
 
@@ -142,6 +148,7 @@ impl FigOutput {
             FigOutput::Ablation(r) => json!({ target: r }),
             FigOutput::HwQos(r) => json!({ target: r }),
             FigOutput::Scaling(r) => json!({ target: r }),
+            FigOutput::Rack(r) => json!({ target: r }),
         }
     }
 }
@@ -161,6 +168,7 @@ fn compute_target(target: &str, scale: &Scale) -> FigOutput {
         "ablation" => FigOutput::Ablation(ablation::run(scale)),
         "hw_qos" => FigOutput::HwQos(hw_qos::run(scale)),
         "scaling" => FigOutput::Scaling(scaling::run(scale)),
+        "rack" => FigOutput::Rack(rack::run(scale)),
         _ => usage(),
     }
 }

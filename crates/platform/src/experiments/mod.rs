@@ -19,6 +19,7 @@
 //! | [`ablation`] | (extensions) | design-choice sensitivity sweeps |
 //! | [`hw_qos`] | (extensions) | hardware QoS levers vs ResEx |
 //! | [`scaling`] | (extensions) | consolidation depth: N reporters + streamer |
+//! | [`rack`] | (extensions) | rack-scale sharded run over the two-tier topology |
 
 pub mod ablation;
 pub mod fig1;
@@ -31,6 +32,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod hw_qos;
+pub mod rack;
 pub mod scaling;
 
 use crate::metrics::RunMetrics;
@@ -57,6 +59,9 @@ pub struct Scale {
     /// Antagonist plane applied to every scenario of the experiment
     /// (class `off` = no plane installed; the default).
     pub adversary: AdversarySpec,
+    /// Hosts in the `rack` target's sharded rack (quick = 128, full =
+    /// 256; ignored by the single-pair figures).
+    pub rack_hosts: u32,
 }
 
 impl Scale {
@@ -68,6 +73,7 @@ impl Scale {
             warmup: SimDuration::from_millis(200),
             faults: FaultSpec::default(),
             adversary: AdversarySpec::default(),
+            rack_hosts: 128,
         }
     }
 
@@ -79,6 +85,7 @@ impl Scale {
             warmup: SimDuration::from_millis(500),
             faults: FaultSpec::default(),
             adversary: AdversarySpec::default(),
+            rack_hosts: 256,
         }
     }
 

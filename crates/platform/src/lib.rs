@@ -11,6 +11,7 @@
 
 pub mod experiments;
 pub mod metrics;
+pub mod rack;
 pub mod scenario;
 pub mod spec;
 pub mod world;
@@ -18,6 +19,7 @@ pub mod world;
 pub use metrics::{
     AdversaryTotals, CrashTotals, RecoveryTotals, RunMetrics, SummaryRow, VmMetrics,
 };
+pub use rack::{run_rack, RackConfig, RackRun};
 pub use scenario::{
     fmt_size, ObsOptions, PolicyKind, QosSpec, ScenarioConfig, VmSpec, BASE_LATENCY_US,
 };

@@ -10,7 +10,7 @@
 use resex_benchex::{LatencyRecord, LatencySummary};
 use resex_obs::{HdrHistogram, SloMonitor};
 use resex_simcore::time::SimDuration;
-use resex_simcore::TimeSeries;
+use resex_simcore::{ShardStats, TimeSeries};
 use serde::Serialize;
 
 /// Per-VM measurement streams collected during a run.
@@ -140,6 +140,10 @@ pub struct RunMetrics {
     /// and the end-of-run journal conservation audit. All-zero in
     /// crash-free runs.
     pub crashes: CrashTotals,
+    /// Per-shard calendar accounting, indexed by host shard: events
+    /// processed, sync windows joined, and barrier stalls. Empty for
+    /// monolithic (single-calendar) runs.
+    pub shards: Vec<ShardStats>,
 }
 
 impl RunMetrics {

@@ -10,7 +10,7 @@
 use resex_adversary::AdversarySpec;
 use resex_benchex::{ClientMode, ClientTuning, ServerConfig, TraceProfile};
 use resex_core::{ResExConfig, SlaTarget};
-use resex_fabric::FabricConfig;
+use resex_fabric::{FabricConfig, Topology};
 use resex_faults::FaultSchedule;
 use resex_hypervisor::SchedModel;
 use resex_simcore::time::SimDuration;
@@ -198,6 +198,12 @@ pub struct ScenarioConfig {
     /// historical constants: 10 ms request timeout, 16-retry budget).
     #[serde(default)]
     pub client_tuning: ClientTuning,
+    /// Where this scenario's host pair sits (absent in older scenario
+    /// files = the historical single-crossbar model, which changes
+    /// nothing). A rack placement replaces the crossbar's switch+wire
+    /// latency with the routed path's per-hop accumulation.
+    #[serde(default)]
+    pub topology: Topology,
 }
 
 /// The paper's canonical 64 KiB baseline latency, used as the default SLA.
@@ -221,6 +227,7 @@ impl ScenarioConfig {
             faults: FaultSchedule::default(),
             adversary: AdversarySpec::default(),
             client_tuning: ClientTuning::default(),
+            topology: Topology::Crossbar,
         }
     }
 
@@ -273,6 +280,7 @@ impl ScenarioConfig {
             return Err("at least one VM required".into());
         }
         self.fabric.validate()?;
+        self.topology.validate()?;
         self.resex.validate()?;
         self.adversary
             .validate_for(self.vms.len())

@@ -185,6 +185,9 @@ pub struct World {
     fabric_sync: Option<(SimTime, EventKey, SimTime)>,
     hv_sync: Option<(SimTime, EventKey, SimTime)>,
     events: u64,
+    /// True once the `End` event has fired; stepping becomes a no-op and
+    /// [`World::next_event_time`] reports idle.
+    done: bool,
     srv_qp_to_vm: HashMap<QpNum, usize>,
     cli_qp_to_client: HashMap<QpNum, usize>,
     tracer: Tracer,
@@ -257,8 +260,15 @@ impl World {
     /// On invalid configuration (validated eagerly) or on any setup-time
     /// verbs failure — setup errors are programming errors, not runtime
     /// conditions.
-    pub fn build(cfg: ScenarioConfig) -> World {
+    pub fn build(mut cfg: ScenarioConfig) -> World {
         cfg.validate().expect("valid scenario");
+        // A rack placement collapses to plain fabric latency for this
+        // pair's two-node world: the routed path's accumulated per-hop
+        // latency replaces the crossbar's switch+wire split.
+        if !cfg.topology.is_crossbar() {
+            cfg.fabric.switch_latency = cfg.topology.one_way_latency(&cfg.fabric);
+            cfg.fabric.wire_latency = SimDuration::ZERO;
+        }
         let tracer = if cfg.obs.any() {
             Tracer::memory()
         } else {
@@ -597,6 +607,7 @@ impl World {
             snapshots: Vec::new(),
             interval_count: 0,
             faults_on,
+            done: false,
             deferred_recvs: Vec::new(),
             deferred_responses: Vec::new(),
             actuation_streak,
@@ -620,9 +631,43 @@ impl World {
     /// output the scenario's [`crate::ObsOptions`] requested. With both
     /// switches off this is exactly [`World::run`] plus an empty
     /// [`ObservedRun`].
+    ///
+    /// `RESEX_SHARDED=1` routes the run through the windowed conservative
+    /// driver ([`World::run_observed_windowed`]) with the topology's
+    /// one-way latency as the lookahead — the switch CI flips to prove
+    /// windowed and monolithic execution stay byte-identical.
     pub fn run_observed(mut self) -> (RunMetrics, ObservedRun) {
+        if sharded_env() {
+            let quantum = self.cfg.topology.one_way_latency(&self.cfg.fabric);
+            return self.run_observed_windowed(quantum);
+        }
+        self.start();
+        let end = SimTime::ZERO + self.cfg.duration;
+        let ended = self.step_until(end);
+        debug_assert!(ended, "the End event is scheduled at the horizon");
+        self.finish()
+    }
+
+    /// Runs the scenario through the windowed conservative driver: repeat
+    /// "advance to the next event plus `quantum`" until `End` fires.
+    ///
+    /// Stopping a calendar at a horizon is state-neutral — resuming pops
+    /// the same events in the same order — so for *any* quantum this is
+    /// byte-identical to [`World::run_observed`]. It exists so the
+    /// sharded rack runner's per-host building block is exactly the
+    /// audited monolithic loop, windowed.
+    pub fn run_observed_windowed(mut self, quantum: SimDuration) -> (RunMetrics, ObservedRun) {
+        self.start();
+        while let Some(next) = self.next_event_time() {
+            self.step_until(next.saturating_add(quantum));
+        }
+        self.finish()
+    }
+
+    /// Arms the initial events (client start, server polling, manager
+    /// interval, `End`). Called exactly once before stepping.
+    pub(crate) fn start(&mut self) {
         let duration = self.cfg.duration;
-        let warmup = self.cfg.warmup;
         // Announce any armed attackers to the trace before their traffic
         // starts, so a trace consumer can attribute what follows.
         if self.tracer.enabled() {
@@ -664,11 +709,34 @@ impl World {
         }
         self.queue.schedule_at(SimTime::ZERO + duration, Ev::End);
         self.rearm();
+    }
 
+    /// Earliest pending event, or `None` once the run has ended — the
+    /// input to [`resex_simcore::conservative_horizon`] in sharded drives.
+    pub(crate) fn next_event_time(&self) -> Option<SimTime> {
+        if self.done {
+            None
+        } else {
+            self.queue.peek_time()
+        }
+    }
+
+    /// Processes every queued event with timestamp `≤ horizon`, in
+    /// exactly the order the monolithic loop would, and returns true once
+    /// the `End` event has fired. A horizon is state-neutral: resuming
+    /// with a later one pops the same events in the same order, so any
+    /// windowed drive of this method is byte-identical to one big
+    /// `step_until` over the whole run.
+    pub(crate) fn step_until(&mut self, horizon: SimTime) -> bool {
+        if self.done {
+            return true;
+        }
+        let warmup = self.cfg.warmup;
         // Hoisted so the hot loop pays one branch per event when off —
         // the same pattern the tracer uses.
         let profiling = self.profiler.is_enabled();
-        while let Some((t, ev)) = self.queue.pop() {
+        while self.queue.peek_time().is_some_and(|t| t <= horizon) {
+            let (t, ev) = self.queue.pop().expect("peeked event");
             self.events += 1;
             if profiling {
                 self.profiler.observe(ev_name(&ev), self.queue.len());
@@ -678,7 +746,8 @@ impl World {
                     if profiling {
                         self.profiler.exit();
                     }
-                    break;
+                    self.done = true;
+                    return true;
                 }
                 Ev::FabricSync => {
                     let armed_at = match self.fabric_sync {
@@ -776,7 +845,15 @@ impl World {
             }
             self.rearm();
         }
+        false
+    }
 
+    /// Settles the fabric, audits invariants, and assembles metrics.
+    /// Consumes the world; called exactly once after `End` has fired.
+    pub(crate) fn finish(mut self) -> (RunMetrics, ObservedRun) {
+        debug_assert!(self.done, "finish() before the End event fired");
+        let duration = self.cfg.duration;
+        let warmup = self.cfg.warmup;
         // Flush any lazily-batched serialization effects so the fabric
         // counters read below reflect everything that completed by run end.
         self.fabric.settle_links(SimTime::ZERO + duration);
@@ -815,6 +892,7 @@ impl World {
             events_processed: self.events,
             adversary: AdversaryTotals::default(),
             crashes: self.crash.as_ref().map(|p| p.totals).unwrap_or_default(),
+            shards: Vec::new(),
         };
         for (i, mut m) in self.metrics.into_iter().enumerate() {
             m.served = self.vms[i].server.served();
@@ -879,6 +957,40 @@ impl World {
             }
         }
         (out, observed)
+    }
+
+    /// Lifetime bytes the server node pushed onto its egress link — the
+    /// rack runner diffs this across sync windows to get per-host uplink
+    /// demand.
+    pub(crate) fn server_egress_bytes(&self) -> u64 {
+        self.fabric
+            .node_counters(self.node_srv)
+            .map(|c| c.bytes_sent)
+            .unwrap_or(0)
+    }
+
+    /// Applies (or clears) a per-flow egress rate limit on every server
+    /// VM QP — the rack runner's actuation path for ToR-uplink grants.
+    /// A VM's own scenario QoS stays the binding cap when stricter. Safe
+    /// mid-run: the fabric settles the node before touching flow state.
+    pub(crate) fn shape_server_egress(&mut self, per_qp: Option<u64>) {
+        let burst = (self.cfg.fabric.grant_mtus * self.cfg.fabric.mtu_bytes) as u64;
+        for i in 0..self.vms.len() {
+            let qos = self.cfg.vms[i].qos;
+            let rate = match (qos.and_then(|q| q.rate_limit), per_qp) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            };
+            let params = FlowParams {
+                weight: qos.map(|q| q.weight.max(1)).unwrap_or(1),
+                priority: qos.map(|q| q.priority).unwrap_or(0),
+                rate_limit: rate.map(|bps| TokenBucket::new(bps, burst.max(1))),
+            };
+            self.fabric
+                .set_qp_flow_params(self.node_srv, self.vms[i].qp, params)
+                .expect("uplink shaping applies");
+        }
     }
 
     // ------------------------------------------------------------------
@@ -2066,6 +2178,15 @@ fn fabric_ev_name(ev: &FabricEvent) -> &'static str {
 /// ```
 pub fn run_scenario(cfg: ScenarioConfig) -> RunMetrics {
     World::build(cfg).run()
+}
+
+/// True when `RESEX_SHARDED` asks ordinary scenario runs to go through
+/// the windowed conservative driver (`""`/`"0"`/`"off"`/unset = the
+/// monolithic loop). CI flips this to prove the two are byte-identical.
+fn sharded_env() -> bool {
+    std::env::var("RESEX_SHARDED")
+        .map(|v| !matches!(v.as_str(), "" | "0" | "off"))
+        .unwrap_or(false)
 }
 
 /// Builds and runs with observability output, honouring `cfg.obs`.

@@ -28,6 +28,7 @@ fn short() -> Scale {
         warmup: SimDuration::from_millis(100),
         faults: resex_faults::FaultSpec::default(),
         adversary: resex_adversary::AdversarySpec::default(),
+        rack_hosts: 64,
     }
 }
 

@@ -1,0 +1,134 @@
+//! The sharded calendar's hard contract, tested at the library level:
+//! advancing a world in conservative-lookahead windows is *state-neutral*
+//! — no window quantum, and no `RESEX_SHARDED` env flag, may change a
+//! byte of the results. Plus the rack runner's own claims: reproducible
+//! JSON, conserved event accounting, and a real topology signal
+//! (cross-ToR pairs slower than intra-ToR pairs).
+
+use resex_platform::experiments::{fig9, rack, Scale};
+use resex_platform::{PolicyKind, ScenarioConfig, World};
+use resex_simcore::time::SimDuration;
+
+/// Fingerprints a scenario run strongly enough to catch any divergence:
+/// event count plus the full per-interval metrics JSONL stream.
+fn fingerprint(run: (resex_platform::RunMetrics, resex_platform::ObservedRun)) -> (u64, String) {
+    let (metrics, observed) = run;
+    (
+        metrics.events_processed,
+        observed.metrics_jsonl.expect("metrics stream enabled"),
+    )
+}
+
+fn probe_scenario() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::managed(2 * 1024 * 1024, PolicyKind::FreeMarket);
+    cfg.duration = SimDuration::from_millis(300);
+    cfg.warmup = SimDuration::from_millis(50);
+    cfg.obs.metrics = true;
+    cfg
+}
+
+#[test]
+fn windowed_calendar_is_state_neutral_for_any_quantum() {
+    let monolithic = fingerprint(World::build(probe_scenario()).run_observed());
+    let link = probe_scenario()
+        .topology
+        .one_way_latency(&probe_scenario().fabric);
+    for quantum in [
+        SimDuration::from_nanos(1),
+        link,
+        SimDuration::from_nanos(7 * link.as_nanos()),
+        SimDuration::from_micros(500),
+        SimDuration::from_secs(3600), // one window spanning the whole run
+    ] {
+        let windowed = fingerprint(World::build(probe_scenario()).run_observed_windowed(quantum));
+        assert_eq!(
+            monolithic, windowed,
+            "quantum {quantum:?} changed the run — windowing leaked state"
+        );
+    }
+}
+
+/// `RESEX_SHARDED=1` must be invisible in the figure data, end to end
+/// through a real sweep. Env mutation stays inside this single test (the
+/// other tests in this binary never read the flag mid-run because this
+/// one holds it only around its own sweeps).
+#[test]
+fn sharded_env_flag_never_changes_fig9() {
+    let scale = Scale {
+        duration: SimDuration::from_millis(300),
+        timeline: SimDuration::from_millis(600),
+        warmup: SimDuration::from_millis(50),
+        faults: resex_faults::FaultSpec::default(),
+        adversary: resex_adversary::AdversarySpec::default(),
+        rack_hosts: 8,
+    };
+    std::env::remove_var("RESEX_SHARDED");
+    let monolithic = serde_json::to_string(&fig9::run(&scale)).expect("serialize");
+    std::env::set_var("RESEX_SHARDED", "1");
+    let sharded = serde_json::to_string(&fig9::run(&scale)).expect("serialize");
+    std::env::remove_var("RESEX_SHARDED");
+    assert_eq!(
+        monolithic, sharded,
+        "RESEX_SHARDED changed fig9 — the windowed calendar is not state-neutral"
+    );
+}
+
+#[test]
+fn rack_experiment_is_reproducible_and_conserves_events() {
+    let scale = Scale {
+        duration: SimDuration::from_millis(300),
+        timeline: SimDuration::from_millis(600),
+        warmup: SimDuration::from_millis(50),
+        faults: resex_faults::FaultSpec::default(),
+        adversary: resex_adversary::AdversarySpec::default(),
+        rack_hosts: 8, // one ToR, quick enough for a debug-profile test
+    };
+    let first = rack::run(&scale);
+    let second = rack::run(&scale);
+    assert_eq!(
+        serde_json::to_string(&first).expect("serialize"),
+        serde_json::to_string(&second).expect("serialize"),
+        "same rack, different JSON"
+    );
+    // Per-shard accounting must add up to the rack total, and every
+    // shard must actually have done work.
+    assert!(
+        first.shard_events_min + first.shard_events_max <= first.total_events,
+        "shard extremes exceed the rack total"
+    );
+    assert!(
+        first.shard_events_min > 0,
+        "an idle shard processed nothing"
+    );
+    assert!(first.windows > 0, "the rack never advanced a window");
+}
+
+#[test]
+fn cross_tor_pairs_are_slower_than_intra_tor_pairs() {
+    // 32 hosts = 2 ToRs: half the pairs stay inside a ToR, half cross
+    // the oversubscribed spine. The cross-ToR class must be measurably
+    // slower — otherwise the topology is decorative.
+    let scale = Scale {
+        duration: SimDuration::from_millis(300),
+        timeline: SimDuration::from_millis(600),
+        warmup: SimDuration::from_millis(50),
+        faults: resex_faults::FaultSpec::default(),
+        adversary: resex_adversary::AdversarySpec::default(),
+        rack_hosts: 32,
+    };
+    let r = rack::run(&scale);
+    let row = |class: &str| {
+        r.rows
+            .iter()
+            .find(|row| row.class == class)
+            .unwrap_or_else(|| panic!("missing {class} row"))
+    };
+    let (intra, cross) = (row("intra-tor"), row("cross-tor"));
+    assert_eq!(intra.hosts + cross.hosts, 32);
+    assert!(
+        cross.mean_us > intra.mean_us,
+        "cross-ToR ({:.1}µs) not slower than intra-ToR ({:.1}µs)",
+        cross.mean_us,
+        intra.mean_us
+    );
+}
